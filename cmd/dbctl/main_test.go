@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestInitCorruptVerifyRepairCycle(t *testing.T) {
+	img := filepath.Join(t.TempDir(), "db.img")
+
+	if err := run([]string{"-op", "init", "-img", img}); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	st, err := os.Stat(img)
+	if err != nil || st.Size() == 0 {
+		t.Fatalf("image not written: %v", err)
+	}
+	if err := run([]string{"-op", "verify", "-img", img}); err != nil {
+		t.Fatalf("verify pristine: %v", err)
+	}
+	if err := run([]string{"-op", "corrupt", "-img", img, "-offset", "700", "-bit", "2"}); err != nil {
+		t.Fatalf("corrupt: %v", err)
+	}
+	if err := run([]string{"-op", "repair", "-img", img}); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	// After repair the image round-trips as consistent.
+	if err := run([]string{"-op", "verify", "-img", img}); err != nil {
+		t.Fatalf("verify repaired: %v", err)
+	}
+	if err := run([]string{"-op", "dump", "-img", img, "-table", "0"}); err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+}
+
+func TestArgumentValidation(t *testing.T) {
+	if err := run([]string{"-op", "init"}); err == nil {
+		t.Fatal("missing -img accepted")
+	}
+	img := filepath.Join(t.TempDir(), "db.img")
+	if err := run([]string{"-op", "bogus", "-img", img}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if err := run([]string{"-op", "dump", "-img", img}); err == nil {
+		t.Fatal("dump of missing image accepted")
+	}
+	if err := run([]string{"-op", "init", "-img", img}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-op", "corrupt", "-img", img, "-offset", "-5"}); err == nil {
+		t.Fatal("negative corrupt offset accepted")
+	}
+	// Image under a different schema sizing is rejected.
+	if err := run([]string{"-op", "dump", "-img", img, "-call-records", "99"}); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+}

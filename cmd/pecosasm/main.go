@@ -1,0 +1,140 @@
+// Command pecosasm is the PECOS toolchain driver: it assembles programs in
+// the reproduction's ISA, optionally embeds PECOS assertion blocks, prints
+// disassembly, and executes programs on the VM — the workflow the paper's
+// "PECOS parser" automated for SPARC assembly.
+//
+// Usage:
+//
+//	pecosasm -in prog.s                      # assemble + disassemble
+//	pecosasm -in prog.s -instrument          # with assertion blocks
+//	pecosasm -in prog.s -instrument -run     # and execute on the VM
+//	pecosasm -in prog.s -run -threads 4 -steps 100000
+//	pecosasm -in prog.s -indirect fn1,fn2    # register indirect targets
+//
+// With -run, each thread's final state and registers are printed; a PECOS
+// detection (on instrumented programs) terminates only the faulting
+// thread, exactly like the paper's signal handler.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/pecos"
+	"repro/internal/vm"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pecosasm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pecosasm", flag.ContinueOnError)
+	in := fs.String("in", "", "assembly source file (default: stdin)")
+	instrument := fs.Bool("instrument", false, "embed PECOS assertion blocks")
+	callsOnly := fs.Bool("calls-only", false, "instrument only calls/returns/indirect jumps")
+	indirect := fs.String("indirect", "", "comma-separated labels registered as indirect-call targets")
+	execute := fs.Bool("run", false, "execute the program on the VM")
+	threads := fs.Int("threads", 1, "VM thread count")
+	steps := fs.Uint64("steps", 1<<20, "VM step budget")
+	trace := fs.Int("trace", 0, "with -run: print the first N fetched instructions")
+	quiet := fs.Bool("q", false, "suppress disassembly")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	src, err := readSource(*in)
+	if err != nil {
+		return err
+	}
+	prog, err := isa.AssembleWithInfo(src)
+	if err != nil {
+		return err
+	}
+	text := prog.Text
+	var rt *pecos.Runtime
+
+	if *instrument {
+		opts := pecos.DefaultOptions()
+		if *callsOnly {
+			opts.Granularity = pecos.ProtectCallsReturns
+		}
+		if *indirect != "" {
+			opts.IndirectTargets = strings.Split(*indirect, ",")
+		}
+		ins, err := pecos.Instrument(prog, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("; instrumented: %d assertion blocks over %d CFIs, %d → %d words\n",
+			ins.Blocks, len(ins.CFIAddrs), len(prog.Text), len(ins.Text))
+		text = ins.Text
+		rt = pecos.NewRuntime(ins)
+	}
+
+	if !*quiet {
+		for _, line := range isa.DisassembleProgram(text) {
+			fmt.Println(line)
+		}
+	}
+	if !*execute {
+		return nil
+	}
+
+	m, err := vm.New(text, *threads, vm.DefaultConfig(), nil)
+	if err != nil {
+		return err
+	}
+	if *trace > 0 {
+		remaining := *trace
+		m.OnFetch = func(t *vm.Thread, pc uint32, word uint32) uint32 {
+			if remaining > 0 {
+				remaining--
+				fmt.Printf("; T%d %4d: %s\n", t.ID, pc, isa.Disassemble(word))
+			}
+			return word
+		}
+	}
+	if rt != nil {
+		rt.OnDetect = func(tid int, assertPC uint32) {
+			fmt.Printf("; PECOS: thread %d illegal transfer caught at assertion pc=%d\n", tid, assertPC)
+		}
+		m.OnTrap = rt.OnTrap
+	}
+	ran := m.Run(*steps)
+	fmt.Printf("\n; executed %d steps, crashed=%v\n", ran, m.Crashed())
+	for _, th := range m.Threads() {
+		fmt.Printf("; thread %d: %v (trap %v at pc=%d), steps=%d\n",
+			th.ID, th.State, th.Trap, th.TrapPC, th.Steps)
+		fmt.Printf(";   regs: %v\n", th.Regs)
+	}
+	if rt != nil {
+		fmt.Printf("; PECOS detections: %d\n", rt.Detections)
+	}
+	if m.Runnable() > 0 {
+		fmt.Printf("; %d thread(s) still runnable: budget exhausted (possible hang)\n", m.Runnable())
+	}
+	return nil
+}
+
+func readSource(path string) (string, error) {
+	if path == "" {
+		b, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return "", fmt.Errorf("read stdin: %w", err)
+		}
+		return string(b), nil
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

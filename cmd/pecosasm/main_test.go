@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeProgram(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.s")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const sample = `
+	movi r1, 0
+loop:
+	addi r1, r1, 1
+	cmpi r1, 3
+	blt  loop
+	call fn
+	halt
+fn:
+	movi r2, 9
+	ret
+`
+
+func TestAssembleAndDisassemble(t *testing.T) {
+	path := writeProgram(t, sample)
+	if err := run([]string{"-in", path}); err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+}
+
+func TestInstrumentAndRun(t *testing.T) {
+	path := writeProgram(t, sample)
+	if err := run([]string{"-in", path, "-instrument", "-run", "-q"}); err != nil {
+		t.Fatalf("instrument+run: %v", err)
+	}
+	if err := run([]string{"-in", path, "-instrument", "-calls-only", "-run", "-q"}); err != nil {
+		t.Fatalf("calls-only: %v", err)
+	}
+}
+
+func TestIndirectTargets(t *testing.T) {
+	path := writeProgram(t, `
+		movi r1, handler
+		calr r1
+		halt
+	handler:
+		ret
+	`)
+	if err := run([]string{"-in", path, "-instrument", "-indirect", "handler", "-run", "-q"}); err != nil {
+		t.Fatalf("indirect: %v", err)
+	}
+	if err := run([]string{"-in", path, "-instrument", "-indirect", "nope"}); err == nil {
+		t.Fatal("unknown indirect label accepted")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run([]string{"-in", filepath.Join(t.TempDir(), "missing.s")}); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	bad := writeProgram(t, "bogus r1")
+	if err := run([]string{"-in", bad}); err == nil {
+		t.Fatal("unassemblable input accepted")
+	}
+}
+
+func TestTraceFlag(t *testing.T) {
+	path := writeProgram(t, sample)
+	if err := run([]string{"-in", path, "-run", "-trace", "5", "-q"}); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+}

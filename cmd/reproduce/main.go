@@ -1,0 +1,105 @@
+// Command reproduce regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	reproduce -exp table3 [-scale 1.0]
+//	reproduce -exp all -scale 0.25
+//
+// Experiments: table3, table4, figure3, figure4, figure5, figure6,
+// table8, table9, table10, selective, ablation-period, all.
+//
+// Scale ∈ (0,1] shrinks run counts and durations proportionally; 1.0 is
+// the paper's full shape (30 × 2000 s simulated runs for the database
+// experiments, 200 runs × 4 error models × 4 configurations for the
+// control-flow campaigns).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "reproduce:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("reproduce", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment to regenerate")
+	scale := fs.Float64("scale", 1.0, "scale factor in (0,1] for runs and durations")
+	seed := fs.Int64("seed", 7, "seed for seed-parameterized studies")
+	detail := fs.Bool("detail", false, "per-error-model breakdown with confidence intervals (table8/table9)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	type runner struct {
+		name string
+		fn   func() (fmt.Stringer, error)
+	}
+	render := func(r interface{ Render() string }, err error) (fmt.Stringer, error) {
+		if err != nil {
+			return nil, err
+		}
+		return stringer{r.Render()}, nil
+	}
+	runners := []runner{
+		{"table3", func() (fmt.Stringer, error) { return render(experiment.RunTable3(*scale)) }},
+		{"table4", func() (fmt.Stringer, error) { return render(experiment.RunTable4(*scale)) }},
+		{"figure3", func() (fmt.Stringer, error) { return render(experiment.RunFigure3(*scale)) }},
+		{"figure4", func() (fmt.Stringer, error) { return render(experiment.RunFigure4()) }},
+		{"figure5", func() (fmt.Stringer, error) { return render(experiment.RunFigure5(*scale)) }},
+		{"figure6", func() (fmt.Stringer, error) { return render(experiment.RunFigure6(*scale)) }},
+		{"table8", func() (fmt.Stringer, error) {
+			t, err := experiment.RunTable8(*scale)
+			return renderTable89(t, err, *detail)
+		}},
+		{"table9", func() (fmt.Stringer, error) {
+			t, err := experiment.RunTable9(*scale)
+			return renderTable89(t, err, *detail)
+		}},
+		{"table10", func() (fmt.Stringer, error) { return render(experiment.RunTable10(*scale)) }},
+		{"table10-direct", func() (fmt.Stringer, error) { return render(experiment.RunTable10Direct(*scale)) }},
+		{"selective", func() (fmt.Stringer, error) { return render(experiment.RunSelective(*seed)) }},
+		{"ablation-period", func() (fmt.Stringer, error) { return render(experiment.RunAblationAuditPeriod(*scale)) }},
+		{"resilience", func() (fmt.Stringer, error) { return render(experiment.RunResilience(*scale)) }},
+	}
+
+	matched := false
+	for _, r := range runners {
+		if *exp != "all" && *exp != r.name {
+			continue
+		}
+		matched = true
+		out, err := r.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.name, err)
+		}
+		fmt.Println(out.String())
+	}
+	if !matched {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}
+
+func renderTable89(t *experiment.Table89, err error, detail bool) (fmt.Stringer, error) {
+	if err != nil {
+		return nil, err
+	}
+	out := t.Render()
+	if detail {
+		out += "\n" + t.RenderDetailed()
+	}
+	return stringer{out}, nil
+}
+
+type stringer struct{ s string }
+
+func (s stringer) String() string { return s.s }

@@ -1,0 +1,50 @@
+// Prioritized: the §4.4.1 prioritized audit triggering head to head with
+// fixed round-robin auditing under the paper's Table 5 parameters.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	for _, proportional := range []bool{false, true} {
+		model := "uniform"
+		if proportional {
+			model = "access-proportional"
+		}
+		fmt.Printf("error model: %s\n", model)
+		for _, mtbf := range []time.Duration{time.Second, 2 * time.Second, 4 * time.Second} {
+			cfg := experiment.DefaultPriorityConfig()
+			cfg.MTBF = mtbf
+			cfg.Proportional = proportional
+			cfg.Runs = 3
+			cfg.Duration = 200 * time.Second
+
+			cfg.Prioritized = false
+			unprio, err := experiment.RunPriority(cfg)
+			if err != nil {
+				return err
+			}
+			cfg.Prioritized = true
+			prio, err := experiment.RunPriority(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  MTBF %v: escapes %5.1f%% → %5.1f%%   latency %6v → %6v\n",
+				mtbf, unprio.EscapedPct(), prio.EscapedPct(),
+				unprio.MeanLatency.Round(100*time.Millisecond),
+				prio.MeanLatency.Round(100*time.Millisecond))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,682 @@
+package audit
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/memdb"
+)
+
+const (
+	tblConfig = 0
+	tblProc   = 1
+	tblConn   = 2
+	tblRes    = 3
+)
+
+// controllerSchema mirrors the call-processing database: a static config
+// table plus the Process/Connection/Resource loop tables.
+func controllerSchema() memdb.Schema {
+	return memdb.Schema{Tables: []memdb.TableSpec{
+		{
+			Name: "SysConfig", NumRecords: 4,
+			Fields: []memdb.FieldSpec{
+				{Name: "NumCPUs", Kind: memdb.Static, HasRange: true, Min: 1, Max: 64, Default: 2},
+				{Name: "MaxCalls", Kind: memdb.Static, HasRange: true, Min: 1, Max: 10000, Default: 100},
+			},
+		},
+		{
+			Name: "Process", Dynamic: true, NumRecords: 16,
+			Fields: []memdb.FieldSpec{
+				{Name: "ConnID", Kind: memdb.Dynamic, HasRange: true, Min: 0, Max: 15, Default: 0},
+				{Name: "Status", Kind: memdb.Dynamic, HasRange: true, Min: 0, Max: 3, Default: 0},
+			},
+		},
+		{
+			Name: "Connection", Dynamic: true, NumRecords: 16,
+			Fields: []memdb.FieldSpec{
+				{Name: "ChannelID", Kind: memdb.Dynamic, HasRange: true, Min: 0, Max: 15, Default: 0},
+				{Name: "CallerID", Kind: memdb.Dynamic}, // no enforceable rule
+				{Name: "State", Kind: memdb.Dynamic, HasRange: true, Min: 0, Max: 4, Default: 0},
+			},
+		},
+		{
+			Name: "Resource", Dynamic: true, NumRecords: 16,
+			Fields: []memdb.FieldSpec{
+				{Name: "ProcID", Kind: memdb.Dynamic, HasRange: true, Min: 0, Max: 15, Default: 0},
+				{Name: "Status", Kind: memdb.Dynamic, HasRange: true, Min: 0, Max: 2, Default: 0},
+			},
+		},
+	}}
+}
+
+func newTestDB(t *testing.T, opts ...memdb.Option) *memdb.DB {
+	t.Helper()
+	db, err := memdb.New(controllerSchema(), opts...)
+	if err != nil {
+		t.Fatalf("memdb.New: %v", err)
+	}
+	return db
+}
+
+func callLoop() Loop {
+	return Loop{
+		Name: "call",
+		Steps: []LoopStep{
+			{Table: tblProc, Field: 0}, // Process.ConnID → Connection
+			{Table: tblConn, Field: 0}, // Connection.ChannelID → Resource
+			{Table: tblRes, Field: 0},  // Resource.ProcID → Process (closes)
+		},
+	}
+}
+
+// setUpCall allocates a full, consistent Process→Connection→Resource chain
+// and returns the three record indexes.
+func setUpCall(t *testing.T, db *memdb.DB) (proc, conn, res int) {
+	t.Helper()
+	c, err := db.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	proc, err = c.Alloc(tblProc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err = c.Alloc(tblConn, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = c.Alloc(tblRes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteRec(tblProc, proc, []uint32{uint32(conn), 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteRec(tblConn, conn, []uint32{uint32(res), 5551234, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteRec(tblRes, res, []uint32{uint32(proc), 1}); err != nil {
+		t.Fatal(err)
+	}
+	return proc, conn, res
+}
+
+// --- Static check --------------------------------------------------------
+
+func TestStaticCheckCleanDatabase(t *testing.T) {
+	db := newTestDB(t)
+	sc := NewStaticCheck(db, Recovery{})
+	if fs := sc.CheckAll(); len(fs) != 0 {
+		t.Fatalf("clean DB produced findings: %v", fs)
+	}
+}
+
+func TestStaticCheckDetectsAndRepairsCatalogCorruption(t *testing.T) {
+	db := newTestDB(t)
+	sc := NewStaticCheck(db, Recovery{})
+	// Flip a bit in the middle of the catalog.
+	if err := db.FlipBit(20, 2); err != nil {
+		t.Fatal(err)
+	}
+	fs := sc.CheckAll()
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v, want 1", fs)
+	}
+	f := fs[0]
+	if f.Class != ClassStatic || f.Action != ActionReload {
+		t.Fatalf("finding = %+v", f)
+	}
+	if !f.Covers(20) {
+		t.Fatalf("finding %+v does not cover injected offset 20", f)
+	}
+	if f.Table != -1 {
+		t.Fatalf("catalog finding table = %d, want -1", f.Table)
+	}
+	// Repair applied: a second pass is clean.
+	if fs := sc.CheckAll(); len(fs) != 0 {
+		t.Fatalf("after repair, findings = %v", fs)
+	}
+}
+
+func TestStaticCheckDetectsStaticTableCorruption(t *testing.T) {
+	db := newTestDB(t)
+	sc := NewStaticCheck(db, Recovery{})
+	ext, err := db.TableExtent(tblConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := ext.Off + ext.Len/2
+	if err := db.FlipBit(off, 7); err != nil {
+		t.Fatal(err)
+	}
+	fs := sc.CheckAll()
+	if len(fs) != 1 || fs[0].Table != tblConfig {
+		t.Fatalf("findings = %v", fs)
+	}
+	if db.TableStats(tblConfig).ErrorsAll != 1 {
+		t.Fatal("error history not updated")
+	}
+}
+
+func TestStaticCheckCheckTableScoping(t *testing.T) {
+	db := newTestDB(t)
+	sc := NewStaticCheck(db, Recovery{})
+	ext, _ := db.TableExtent(tblConfig)
+	_ = db.FlipBit(ext.Off, 0)
+	// Dynamic tables are outside the static checker's purview.
+	if fs := sc.CheckTable(tblProc); fs != nil {
+		t.Fatalf("CheckTable(dynamic) = %v", fs)
+	}
+	fs := sc.CheckTable(tblConfig)
+	if len(fs) != 1 {
+		t.Fatalf("CheckTable(config) = %v", fs)
+	}
+}
+
+func TestStaticCheckCoalescesDamageRuns(t *testing.T) {
+	db := newTestDB(t)
+	sc := NewStaticCheck(db, Recovery{})
+	// Two adjacent corrupted bytes → one finding; a distant third → second.
+	db.Raw()[16] ^= 0xFF
+	db.Raw()[17] ^= 0xFF
+	db.Raw()[40] ^= 0x01
+	fs := sc.CheckAll()
+	if len(fs) != 2 {
+		t.Fatalf("findings = %v, want 2 runs", fs)
+	}
+	if fs[0].Offset != 16 || fs[0].Length != 2 {
+		t.Fatalf("first run = %+v", fs[0])
+	}
+	if fs[1].Offset != 40 || fs[1].Length != 1 {
+		t.Fatalf("second run = %+v", fs[1])
+	}
+}
+
+func TestStaticCheckNotifiesRecovery(t *testing.T) {
+	db := newTestDB(t)
+	var seen []Finding
+	sc := NewStaticCheck(db, Recovery{OnFinding: func(f Finding) { seen = append(seen, f) }})
+	_ = db.FlipBit(10, 0)
+	sc.CheckAll()
+	if len(seen) != 1 {
+		t.Fatalf("recovery observer saw %d findings, want 1", len(seen))
+	}
+}
+
+// --- Structural check ----------------------------------------------------
+
+func TestStructuralCheckCleanDatabase(t *testing.T) {
+	db := newTestDB(t)
+	sc := NewStructuralCheck(db, Recovery{})
+	if fs := sc.CheckAll(); len(fs) != 0 {
+		t.Fatalf("clean DB produced findings: %v", fs)
+	}
+}
+
+func TestStructuralCheckRepairsSingleIdentityError(t *testing.T) {
+	db := newTestDB(t)
+	proc, _, _ := setUpCall(t, db)
+	off, _ := db.TrueRecordOffset(tblProc, proc)
+	// Corrupt the record identifier of the process record.
+	db.Raw()[off+2] ^= 0x0F
+	sc := NewStructuralCheck(db, Recovery{})
+	fs := sc.CheckTable(tblProc)
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v, want 1", fs)
+	}
+	if fs[0].Action != ActionRewriteHeader || fs[0].Record != proc {
+		t.Fatalf("finding = %+v", fs[0])
+	}
+	h := db.HeaderAt(off)
+	if h.RecordID != proc || h.TableID != tblProc || h.Status != memdb.StatusActive {
+		t.Fatalf("header after repair = %+v", h)
+	}
+	// Field data untouched by the repair.
+	v, _ := db.ReadFieldDirect(tblProc, proc, 1)
+	if v != 1 {
+		t.Fatalf("field after repair = %d, want 1", v)
+	}
+}
+
+func TestStructuralCheckFreesRecordWithBadStatus(t *testing.T) {
+	db := newTestDB(t)
+	proc, _, _ := setUpCall(t, db)
+	off, _ := db.TrueRecordOffset(tblProc, proc)
+	db.Raw()[off+1] = 77 // invalid status byte
+	sc := NewStructuralCheck(db, Recovery{})
+	fs := sc.CheckTable(tblProc)
+	if len(fs) != 1 || fs[0].Action != ActionFree {
+		t.Fatalf("findings = %v", fs)
+	}
+	st, _ := db.StatusDirect(tblProc, proc)
+	if st != memdb.StatusFree {
+		t.Fatalf("status after repair = %d", st)
+	}
+}
+
+func TestStructuralCheckEscalatesToFullReload(t *testing.T) {
+	db := newTestDB(t)
+	setUpCall(t, db)
+	// Corrupt two consecutive record headers → misalignment suspected.
+	for ri := 3; ri <= 4; ri++ {
+		off, _ := db.TrueRecordOffset(tblConn, ri)
+		db.Raw()[off] ^= 0xFF // table ID
+	}
+	sc := NewStructuralCheck(db, Recovery{})
+	fs := sc.CheckAll()
+	var reloaded bool
+	for _, f := range fs {
+		if f.Action == ActionReloadAll {
+			reloaded = true
+		}
+	}
+	if !reloaded {
+		t.Fatalf("no full reload in findings: %v", fs)
+	}
+	// Full reload wipes even the legitimate call state (pristine image).
+	st, _ := db.StatusDirect(tblProc, 0)
+	if st != memdb.StatusFree {
+		t.Fatal("database not restored to pristine image")
+	}
+	if fs := sc.CheckAll(); len(fs) != 0 {
+		t.Fatalf("after reload, findings = %v", fs)
+	}
+}
+
+func TestStructuralCheckNonConsecutiveCorruptionsRepairedIndividually(t *testing.T) {
+	db := newTestDB(t)
+	for _, ri := range []int{2, 9} { // non-adjacent
+		off, _ := db.TrueRecordOffset(tblConn, ri)
+		db.Raw()[off+2] ^= 0x3F
+	}
+	sc := NewStructuralCheck(db, Recovery{})
+	fs := sc.CheckTable(tblConn)
+	if len(fs) != 2 {
+		t.Fatalf("findings = %v, want 2", fs)
+	}
+	for _, f := range fs {
+		if f.Action != ActionRewriteHeader {
+			t.Fatalf("finding = %+v, want rewrite", f)
+		}
+	}
+}
+
+func TestStructuralCheckBadTableIndex(t *testing.T) {
+	db := newTestDB(t)
+	sc := NewStructuralCheck(db, Recovery{})
+	if fs := sc.CheckTable(-1); fs != nil {
+		t.Fatalf("CheckTable(-1) = %v", fs)
+	}
+	if fs := sc.CheckTable(99); fs != nil {
+		t.Fatalf("CheckTable(99) = %v", fs)
+	}
+}
+
+// --- Range check ---------------------------------------------------------
+
+func TestRangeCheckCleanDatabase(t *testing.T) {
+	db := newTestDB(t)
+	setUpCall(t, db)
+	rc := NewRangeCheck(db, Recovery{})
+	if fs := rc.CheckAll(); len(fs) != 0 {
+		t.Fatalf("clean DB produced findings: %v", fs)
+	}
+}
+
+func TestRangeCheckResetsAndFrees(t *testing.T) {
+	db := newTestDB(t)
+	proc, _, _ := setUpCall(t, db)
+	// Drive Status (field 1, max 3) out of range.
+	if err := db.WriteFieldDirect(tblProc, proc, 1, 999); err != nil {
+		t.Fatal(err)
+	}
+	rc := NewRangeCheck(db, Recovery{})
+	fs := rc.CheckRecord(tblProc, proc)
+	if len(fs) != 2 {
+		t.Fatalf("findings = %v, want reset+free", fs)
+	}
+	if fs[0].Action != ActionReset || fs[0].Field != 1 {
+		t.Fatalf("first finding = %+v", fs[0])
+	}
+	if fs[1].Action != ActionFree {
+		t.Fatalf("second finding = %+v", fs[1])
+	}
+	st, _ := db.StatusDirect(tblProc, proc)
+	if st != memdb.StatusFree {
+		t.Fatal("record not freed after range violation")
+	}
+}
+
+func TestRangeCheckWithoutFree(t *testing.T) {
+	db := newTestDB(t)
+	proc, _, _ := setUpCall(t, db)
+	_ = db.WriteFieldDirect(tblProc, proc, 1, 999)
+	rc := NewRangeCheck(db, Recovery{})
+	rc.FreeOnError = false
+	fs := rc.CheckRecord(tblProc, proc)
+	if len(fs) != 1 || fs[0].Action != ActionReset {
+		t.Fatalf("findings = %v", fs)
+	}
+	st, _ := db.StatusDirect(tblProc, proc)
+	if st != memdb.StatusActive {
+		t.Fatal("record freed despite FreeOnError=false")
+	}
+	v, _ := db.ReadFieldDirect(tblProc, proc, 1)
+	if v != 0 { // catalog default
+		t.Fatalf("field after reset = %d, want default 0", v)
+	}
+}
+
+func TestRangeCheckIgnoresFieldsWithoutRules(t *testing.T) {
+	db := newTestDB(t)
+	_, conn, _ := setUpCall(t, db)
+	// CallerID (field 1 of Connection) has no range rule: any value passes.
+	if err := db.WriteFieldDirect(tblConn, conn, 1, 0xFFFFFFFF); err != nil {
+		t.Fatal(err)
+	}
+	rc := NewRangeCheck(db, Recovery{})
+	if fs := rc.CheckRecord(tblConn, conn); len(fs) != 0 {
+		t.Fatalf("no-rule field produced findings: %v", fs)
+	}
+}
+
+func TestRangeCheckRepairsFreeRecordDeviation(t *testing.T) {
+	db := newTestDB(t)
+	rc := NewRangeCheck(db, Recovery{})
+	// Record 5 is free: its fields must hold catalog defaults, so a
+	// corrupted byte there is detected and reset (robust-data-structure
+	// rule over free space).
+	off, _ := db.TrueRecordOffset(tblProc, 5)
+	db.Raw()[off+memdb.RecordHeaderSize] = 0xEE
+	fs := rc.CheckRecord(tblProc, 5)
+	if len(fs) != 1 || fs[0].Action != ActionReset || fs[0].Field != 0 {
+		t.Fatalf("free-record findings = %v", fs)
+	}
+	v, _ := db.ReadFieldDirect(tblProc, 5, 0)
+	if v != 0 {
+		t.Fatalf("field after repair = %d, want default 0", v)
+	}
+	// With the free-space rule disabled, garbage in free records is
+	// invisible to the dynamic-data audit.
+	db.Raw()[off+memdb.RecordHeaderSize] = 0xEE
+	rc.CheckFreeRecords = false
+	if fs := rc.CheckRecord(tblProc, 5); len(fs) != 0 {
+		t.Fatalf("disabled free-record check produced findings: %v", fs)
+	}
+}
+
+func TestRangeCheckSkipsStaticTables(t *testing.T) {
+	db := newTestDB(t)
+	rc := NewRangeCheck(db, Recovery{})
+	if fs := rc.CheckTable(tblConfig); fs != nil {
+		t.Fatalf("static table produced findings: %v", fs)
+	}
+}
+
+func TestRangeCheckCheckAllCoversAllDynamicTables(t *testing.T) {
+	db := newTestDB(t)
+	proc, conn, res := setUpCall(t, db)
+	_ = db.WriteFieldDirect(tblProc, proc, 1, 999)
+	_ = db.WriteFieldDirect(tblConn, conn, 2, 999)
+	_ = db.WriteFieldDirect(tblRes, res, 1, 999)
+	rc := NewRangeCheck(db, Recovery{})
+	fs := rc.CheckAll()
+	tables := map[int]bool{}
+	for _, f := range fs {
+		tables[f.Table] = true
+	}
+	if !tables[tblProc] || !tables[tblConn] || !tables[tblRes] {
+		t.Fatalf("CheckAll missed tables: %v", fs)
+	}
+}
+
+// --- Semantic check ------------------------------------------------------
+
+func semCheck(t *testing.T, db *memdb.DB, rec Recovery, now func() time.Duration) *SemanticCheck {
+	t.Helper()
+	sc, err := NewSemanticCheck(db, rec, now, callLoop())
+	if err != nil {
+		t.Fatalf("NewSemanticCheck: %v", err)
+	}
+	sc.GraceAge = 0 // tests control time explicitly
+	return sc
+}
+
+func TestSemanticCheckCleanLoop(t *testing.T) {
+	db := newTestDB(t)
+	setUpCall(t, db)
+	sc := semCheck(t, db, Recovery{}, nil)
+	if fs := sc.CheckAll(); len(fs) != 0 {
+		t.Fatalf("consistent loop produced findings: %v", fs)
+	}
+}
+
+func TestSemanticCheckDetectsBrokenClosure(t *testing.T) {
+	db := newTestDB(t)
+	proc, conn, res := setUpCall(t, db)
+	// Resource.ProcID points at the wrong process: loop fails to close.
+	if err := db.WriteFieldDirect(tblRes, res, 0, uint32(proc+1)); err != nil {
+		t.Fatal(err)
+	}
+	terminated := 0
+	sc := semCheck(t, db, Recovery{TerminateClient: func(pid int) { terminated++ }}, nil)
+	fs := sc.CheckAll()
+	if len(fs) == 0 {
+		t.Fatal("broken loop not detected")
+	}
+	// Every chain member freed.
+	for _, m := range [][2]int{{tblProc, proc}, {tblConn, conn}, {tblRes, res}} {
+		st, _ := db.StatusDirect(m[0], m[1])
+		if st != memdb.StatusFree {
+			t.Fatalf("record (%d,%d) not freed", m[0], m[1])
+		}
+	}
+	if terminated != 1 {
+		t.Fatalf("terminated %d clients, want 1", terminated)
+	}
+}
+
+func TestSemanticCheckDetectsDanglingReference(t *testing.T) {
+	db := newTestDB(t)
+	proc, conn, _ := setUpCall(t, db)
+	// Free the connection record behind the process's back: dangling ref.
+	if err := db.FreeRecordDirect(tblConn, conn); err != nil {
+		t.Fatal(err)
+	}
+	sc := semCheck(t, db, Recovery{}, nil)
+	fs := sc.CheckAll()
+	if len(fs) == 0 {
+		t.Fatal("dangling reference not detected")
+	}
+	st, _ := db.StatusDirect(tblProc, proc)
+	if st != memdb.StatusFree {
+		t.Fatal("head of broken chain not freed")
+	}
+}
+
+func TestSemanticCheckReclaimsOrphans(t *testing.T) {
+	clock := time.Duration(0)
+	db := newTestDB(t, memdb.WithClock(func() time.Duration { return clock }))
+	c, err := db.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A resource record allocated but never linked into any loop: leak.
+	leaked, err := c.Alloc(tblRes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := func() time.Duration { return clock }
+	sc := semCheck(t, db, Recovery{}, now)
+	sc.GraceAge = 2 * time.Second
+
+	// Within the grace window: not reclaimed.
+	clock = time.Second
+	if fs := sc.CheckAll(); len(fs) != 0 {
+		t.Fatalf("fresh record reclaimed inside grace window: %v", fs)
+	}
+	// Past the grace window: reclaimed.
+	clock = 5 * time.Second
+	fs := sc.CheckAll()
+	if len(fs) != 1 || fs[0].Action != ActionFree || fs[0].Record != leaked {
+		t.Fatalf("findings = %v", fs)
+	}
+	st, _ := db.StatusDirect(tblRes, leaked)
+	if st != memdb.StatusFree {
+		t.Fatal("orphan not freed")
+	}
+}
+
+func TestSemanticCheckValidLoopMembersNotReclaimed(t *testing.T) {
+	clock := 100 * time.Second
+	db := newTestDB(t, memdb.WithClock(func() time.Duration { return clock }))
+	proc, conn, res := setUpCall(t, db)
+	sc := semCheck(t, db, Recovery{}, func() time.Duration { return clock + time.Hour })
+	if fs := sc.CheckAll(); len(fs) != 0 {
+		t.Fatalf("members of valid loop reclaimed: %v", fs)
+	}
+	for _, m := range [][2]int{{tblProc, proc}, {tblConn, conn}, {tblRes, res}} {
+		st, _ := db.StatusDirect(m[0], m[1])
+		if st != memdb.StatusActive {
+			t.Fatalf("valid record (%d,%d) freed", m[0], m[1])
+		}
+	}
+}
+
+func TestSemanticCheckOutOfRangeIndex(t *testing.T) {
+	db := newTestDB(t)
+	proc, _, _ := setUpCall(t, db)
+	// Process.ConnID beyond the Connection table.
+	if err := db.WriteFieldDirect(tblProc, proc, 0, 9999); err != nil {
+		t.Fatal(err)
+	}
+	sc := semCheck(t, db, Recovery{}, nil)
+	fs := sc.CheckTable(tblProc)
+	if len(fs) == 0 {
+		t.Fatal("out-of-range reference not detected")
+	}
+}
+
+func TestLoopValidate(t *testing.T) {
+	schema := controllerSchema()
+	if err := callLoop().Validate(schema); err != nil {
+		t.Fatalf("valid loop rejected: %v", err)
+	}
+	bad := Loop{Name: "short", Steps: []LoopStep{{Table: 0, Field: 0}}}
+	if err := bad.Validate(schema); err == nil {
+		t.Fatal("1-step loop accepted")
+	}
+	bad = Loop{Name: "table", Steps: []LoopStep{{Table: 99, Field: 0}, {Table: 0, Field: 0}}}
+	if err := bad.Validate(schema); err == nil {
+		t.Fatal("bad table accepted")
+	}
+	bad = Loop{Name: "field", Steps: []LoopStep{{Table: 0, Field: 99}, {Table: 1, Field: 0}}}
+	if err := bad.Validate(schema); err == nil {
+		t.Fatal("bad field accepted")
+	}
+	if _, err := NewSemanticCheck(newTestDB(t), Recovery{}, nil, bad); err == nil {
+		t.Fatal("NewSemanticCheck accepted invalid loop")
+	}
+}
+
+// --- Finding helpers -----------------------------------------------------
+
+func TestFindingCovers(t *testing.T) {
+	f := Finding{Offset: 100, Length: 4}
+	for _, off := range []int{100, 101, 103} {
+		if !f.Covers(off) {
+			t.Errorf("Covers(%d) = false", off)
+		}
+	}
+	for _, off := range []int{99, 104} {
+		if f.Covers(off) {
+			t.Errorf("Covers(%d) = true", off)
+		}
+	}
+	zeroLen := Finding{Offset: 50, Length: 0}
+	if !zeroLen.Covers(50) || zeroLen.Covers(51) {
+		t.Error("zero-length finding should cover exactly its offset")
+	}
+	noOff := Finding{Offset: -1}
+	if noOff.Covers(0) {
+		t.Error("offset-less finding covers nothing")
+	}
+}
+
+func TestStatsAccumulation(t *testing.T) {
+	s := NewStats()
+	s.Add([]Finding{
+		{Class: ClassRange, Action: ActionReset},
+		{Class: ClassRange, Action: ActionFree},
+		{Class: ClassSemantic, Action: ActionTerminate, PID: 3},
+		{Class: ClassSuspect, Action: ActionNone},
+	})
+	if s.Total() != 4 {
+		t.Fatalf("Total = %d, want 4", s.Total())
+	}
+	if s.ByClass[ClassRange] != 2 || s.ByClass[ClassSemantic] != 1 || s.ByClass[ClassSuspect] != 1 {
+		t.Fatalf("ByClass = %v", s.ByClass)
+	}
+	if s.Repairs != 3 {
+		t.Fatalf("Repairs = %d, want 3", s.Repairs)
+	}
+	if s.Terminated != 1 {
+		t.Fatalf("Terminated = %d, want 1", s.Terminated)
+	}
+}
+
+func TestClassAndActionStrings(t *testing.T) {
+	if ClassStatic.String() != "static" || ClassDeadlock.String() != "deadlock" || Class(0).String() != "unknown" {
+		t.Fatal("Class.String mismatch")
+	}
+	if ActionReloadAll.String() != "reload-all" || Action(0).String() != "unknown" {
+		t.Fatal("Action.String mismatch")
+	}
+	f := Finding{Class: ClassRange, Action: ActionReset, Table: 1, Record: 2, Field: 3, Offset: 4, Detail: "x"}
+	if f.String() == "" {
+		t.Fatal("Finding.String empty")
+	}
+}
+
+func TestSemanticCheckMultipleLoops(t *testing.T) {
+	// Two loops sharing the Process table: the call loop and a short
+	// supervision loop Process→Resource→Process via the Status fields
+	// is not meaningful, so build a second genuine loop over dedicated
+	// fields: Connection→Resource→Connection.
+	db := newTestDB(t)
+	proc, conn, res := setUpCall(t, db)
+	_ = proc
+	second := Loop{
+		Name: "channel",
+		Steps: []LoopStep{
+			{Table: tblConn, Field: 0}, // Connection.ChannelID → Resource
+			{Table: tblRes, Field: 1},  // Resource.Status repurposed as back-ref
+		},
+	}
+	// Close the second loop: the back-reference must point at conn.
+	if err := db.WriteFieldDirect(tblRes, res, 1, uint32(conn)); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewSemanticCheck(db, Recovery{}, nil, callLoop(), second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.GraceAge = 0
+	if fs := sc.CheckAll(); len(fs) != 0 {
+		t.Fatalf("two consistent loops produced findings: %v", fs)
+	}
+	// Break only the second loop.
+	if err := db.WriteFieldDirect(tblRes, res, 1, uint32(conn+1)); err != nil {
+		t.Fatal(err)
+	}
+	fs := sc.CheckAll()
+	if len(fs) == 0 {
+		t.Fatal("broken second loop not detected")
+	}
+}

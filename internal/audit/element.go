@@ -1,0 +1,185 @@
+package audit
+
+import (
+	"time"
+
+	"repro/internal/ipc"
+	"repro/internal/memdb"
+	"repro/internal/sim"
+)
+
+// Element is one pluggable unit of the audit framework (Figure 1). An
+// element declares the message kinds it accepts; the audit main thread
+// routes matching messages to it. Elements arm their own periodic triggers
+// at Start and must disarm them at Stop — the framework's extensibility
+// contract: "a new element ... needs to define and communicate to the audit
+// main thread a set of messages that it accepts" (§4).
+type Element interface {
+	// Name identifies the element.
+	Name() string
+	// Accepts lists the message kinds routed to this element.
+	Accepts() []ipc.MsgKind
+	// Handle processes one routed message.
+	Handle(m ipc.Message)
+	// Start attaches the element to a running audit process.
+	Start(ctx *Context)
+	// Stop disarms the element's triggers.
+	Stop()
+}
+
+// Context is what a started element may use: the simulation environment
+// for timers, the database for direct access, and the shared statistics.
+type Context struct {
+	Env   *sim.Env
+	DB    *memdb.DB
+	Stats *Stats
+}
+
+// --- Heartbeat element ---------------------------------------------------
+
+// HeartbeatElement answers the manager's liveness probes (§4.1). The
+// manager puts a reply function in the heartbeat message payload; as long
+// as the audit process is draining its queue, the reply fires. A crashed or
+// hung process never drains, the manager times out, and restarts it.
+type HeartbeatElement struct {
+	replies uint64
+}
+
+var _ Element = (*HeartbeatElement)(nil)
+
+// NewHeartbeatElement returns the heartbeat responder.
+func NewHeartbeatElement() *HeartbeatElement { return &HeartbeatElement{} }
+
+// Name implements Element.
+func (h *HeartbeatElement) Name() string { return "heartbeat" }
+
+// Accepts implements Element.
+func (h *HeartbeatElement) Accepts() []ipc.MsgKind { return []ipc.MsgKind{ipc.MsgHeartbeat} }
+
+// Handle replies to a heartbeat probe.
+func (h *HeartbeatElement) Handle(m ipc.Message) {
+	reply, ok := m.Payload.(func())
+	if !ok {
+		return
+	}
+	h.replies++
+	reply()
+}
+
+// Start implements Element.
+func (h *HeartbeatElement) Start(*Context) {}
+
+// Stop implements Element.
+func (h *HeartbeatElement) Stop() {}
+
+// Replies reports how many probes were answered.
+func (h *HeartbeatElement) Replies() uint64 { return h.replies }
+
+// --- Progress indicator element ------------------------------------------
+
+// ProgressElement detects database deadlock (§4.2): every database API call
+// posts a message that bumps its activity counter; if the counter stays
+// unchanged for Timeout while some client holds a table lock longer than
+// HoldThreshold, the element terminates that client and force-releases its
+// locks.
+type ProgressElement struct {
+	recovery Recovery
+	// Timeout is how long the activity counter may stay flat before
+	// recovery triggers (paper: 100 seconds).
+	Timeout time.Duration
+	// HoldThreshold is the longest a client may legitimately hold a lock
+	// (paper: 100 milliseconds).
+	HoldThreshold time.Duration
+	// CheckPeriod is how often stalls are checked for.
+	CheckPeriod time.Duration
+
+	ctx          *Context
+	ticker       *sim.Ticker
+	counter      uint64
+	lastCounter  uint64
+	lastActivity time.Duration
+	recoveries   int
+}
+
+var _ Element = (*ProgressElement)(nil)
+
+// NewProgressElement returns a progress indicator with the paper's
+// thresholds.
+func NewProgressElement(rec Recovery) *ProgressElement {
+	return &ProgressElement{
+		recovery:      rec,
+		Timeout:       100 * time.Second,
+		HoldThreshold: 100 * time.Millisecond,
+		CheckPeriod:   10 * time.Second,
+	}
+}
+
+// Name implements Element.
+func (p *ProgressElement) Name() string { return "progress-indicator" }
+
+// Accepts implements Element: all database activity messages.
+func (p *ProgressElement) Accepts() []ipc.MsgKind {
+	return []ipc.MsgKind{ipc.MsgDBAccess, ipc.MsgDBWrite}
+}
+
+// Handle bumps the activity counter.
+func (p *ProgressElement) Handle(m ipc.Message) {
+	p.counter++
+	if p.ctx != nil {
+		p.lastActivity = p.ctx.Env.Now()
+	}
+}
+
+// Start arms the stall check.
+func (p *ProgressElement) Start(ctx *Context) {
+	p.ctx = ctx
+	p.lastActivity = ctx.Env.Now()
+	t, err := ctx.Env.NewTicker(p.CheckPeriod, p.check)
+	if err == nil {
+		p.ticker = t
+	}
+}
+
+// Stop disarms the stall check.
+func (p *ProgressElement) Stop() {
+	if p.ticker != nil {
+		p.ticker.Stop()
+		p.ticker = nil
+	}
+}
+
+// Recoveries reports how many stuck clients were terminated.
+func (p *ProgressElement) Recoveries() int { return p.recoveries }
+
+func (p *ProgressElement) check() {
+	if p.counter != p.lastCounter {
+		p.lastCounter = p.counter
+		return
+	}
+	if p.ctx.Env.Now()-p.lastActivity < p.Timeout {
+		return
+	}
+	// No database activity for the full timeout: look for stuck locks.
+	for ti := range p.ctx.DB.Schema().Tables {
+		pid, heldFor, held := p.ctx.DB.LockHolder(ti)
+		if !held || heldFor < p.HoldThreshold {
+			continue
+		}
+		p.ctx.DB.ReleaseAllLocks(pid)
+		p.recovery.terminate(pid)
+		p.recoveries++
+		f := Finding{
+			Class:  ClassDeadlock,
+			Action: ActionTerminate,
+			Table:  ti,
+			Record: -1,
+			Field:  -1,
+			Offset: -1,
+			PID:    pid,
+			Detail: "lock held beyond threshold with no database progress",
+		}
+		p.recovery.note(f)
+		p.ctx.Stats.Add([]Finding{f})
+	}
+	p.lastActivity = p.ctx.Env.Now()
+}

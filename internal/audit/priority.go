@@ -1,0 +1,147 @@
+package audit
+
+import (
+	"repro/internal/memdb"
+)
+
+// Scheduler decides which table the next TableSlice audit pass covers.
+type Scheduler interface {
+	// Next returns the table index for the next audit slot.
+	Next() int
+}
+
+// RoundRobin audits tables "in a fixed order with the same frequency
+// regardless how each table is used" — the unprioritized baseline of the
+// §5.3 comparison.
+type RoundRobin struct {
+	n   int
+	cur int
+}
+
+var _ Scheduler = (*RoundRobin)(nil)
+
+// NewRoundRobin returns a fixed-order scheduler over n tables.
+func NewRoundRobin(n int) *RoundRobin { return &RoundRobin{n: n} }
+
+// Next implements Scheduler.
+func (r *RoundRobin) Next() int {
+	if r.n <= 0 {
+		return 0
+	}
+	t := r.cur
+	r.cur = (r.cur + 1) % r.n
+	return t
+}
+
+// Prioritized implements the §4.4.1 prioritized audit triggering: each
+// table's importance is a weighted combination of
+//
+//   - its access frequency (heavily used tables corrupt and propagate more),
+//   - the nature of the object (the system catalog and catalog-like tables
+//     matter most), and
+//   - its recent error history (temporal locality of data errors).
+//
+// Slots are dealt by smooth weighted round-robin, so a table with twice the
+// weight is audited twice as often while every table is still visited —
+// prioritization must not starve cold tables.
+type Prioritized struct {
+	db *memdb.DB
+	// Nature is the per-table static importance (the "nature of the
+	// database object" criterion). Zero entries get weight from the
+	// other criteria only.
+	Nature []float64
+	// FreqCoeff, NatureCoeff, ErrorCoeff weight the three criteria.
+	FreqCoeff, NatureCoeff, ErrorCoeff float64
+	// Floor is the minimum weight per table, preventing starvation.
+	Floor float64
+
+	current  []float64
+	lastSeen []uint64  // access counts at the previous weight refresh
+	freq     []float64 // decayed access-frequency signal
+	weights  []float64
+}
+
+var _ Scheduler = (*Prioritized)(nil)
+
+// NewPrioritized builds the prioritized scheduler over the database's
+// tables with the default criterion weights.
+func NewPrioritized(db *memdb.DB) *Prioritized {
+	n := len(db.Schema().Tables)
+	return &Prioritized{
+		db:          db,
+		Nature:      make([]float64, n),
+		FreqCoeff:   1.0,
+		NatureCoeff: 1.0,
+		ErrorCoeff:  0.5,
+		Floor:       0.05,
+		current:     make([]float64, n),
+		lastSeen:    make([]uint64, n),
+		freq:        make([]float64, n),
+		weights:     make([]float64, n),
+	}
+}
+
+// Next implements Scheduler: refresh weights from runtime statistics, then
+// deal one smooth-WRR slot.
+func (p *Prioritized) Next() int {
+	p.refresh()
+	var total float64
+	best, bestVal := 0, -1.0
+	for i := range p.weights {
+		total += p.weights[i]
+		p.current[i] += p.weights[i]
+		if p.current[i] > bestVal {
+			best, bestVal = i, p.current[i]
+		}
+	}
+	p.current[best] -= total
+	return best
+}
+
+// Weights returns the last computed per-table weights (for tests and
+// diagnostics).
+func (p *Prioritized) Weights() []float64 {
+	out := make([]float64, len(p.weights))
+	copy(out, p.weights)
+	return out
+}
+
+// refresh recomputes weights from access-frequency deltas, nature, and the
+// per-table error history the database accumulates for the audit (§4.4.1:
+// "information on access frequency and error history are collected at
+// runtime by modifying the database read/write API").
+func (p *Prioritized) refresh() {
+	n := len(p.weights)
+	errs := make([]float64, n)
+	var maxFreq, maxErr float64
+	for i := 0; i < n; i++ {
+		st := p.db.TableStats(i)
+		acc := st.Accesses()
+		delta := float64(acc - p.lastSeen[i])
+		// Exponential decay of the frequency signal so the scheduler
+		// keeps favouring recently hot tables but adapts when the
+		// workload shifts.
+		p.freq[i] = 0.98*p.freq[i] + delta
+		p.lastSeen[i] = acc
+		errs[i] = float64(st.ErrorsLast) + 0.25*float64(st.ErrorsAll)
+		if p.freq[i] > maxFreq {
+			maxFreq = p.freq[i]
+		}
+		if errs[i] > maxErr {
+			maxErr = errs[i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		w := p.Floor
+		if maxFreq > 0 {
+			w += p.FreqCoeff * p.freq[i] / maxFreq
+		}
+		if i < len(p.Nature) {
+			w += p.NatureCoeff * p.Nature[i]
+		}
+		if maxErr > 0 {
+			w += p.ErrorCoeff * errs[i] / maxErr
+		}
+		p.weights[i] = w
+	}
+}

@@ -1,0 +1,152 @@
+package audit
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ipc"
+	"repro/internal/memdb"
+	"repro/internal/sim"
+)
+
+// State is the audit process's liveness state, driven externally by the
+// error-injection experiments (a crashed or hung audit process stops
+// draining its queue, which is exactly what the manager's heartbeat
+// detects).
+type State int
+
+// Process states.
+const (
+	StateIdle State = iota + 1
+	StateRunning
+	StateStopped
+	StateCrashed
+	StateHung
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateRunning:
+		return "running"
+	case StateStopped:
+		return "stopped"
+	case StateCrashed:
+		return "crashed"
+	case StateHung:
+		return "hung"
+	default:
+		return "unknown"
+	}
+}
+
+// Process is the audit process of Figure 1: a main thread that drains the
+// IPC queue and routes messages to registered elements, plus the elements
+// themselves with their periodic triggers.
+type Process struct {
+	env      *sim.Env
+	db       *memdb.DB
+	queue    *ipc.Queue
+	elements []Element
+	byKind   map[ipc.MsgKind][]Element
+	stats    *Stats
+	state    State
+	poll     *sim.Ticker
+	// PollInterval is the main thread's queue-drain period.
+	PollInterval time.Duration
+}
+
+// NewProcess creates an audit process attached to the database and its
+// notification queue. Register elements before Start.
+func NewProcess(env *sim.Env, db *memdb.DB, queue *ipc.Queue) *Process {
+	return &Process{
+		env:          env,
+		db:           db,
+		queue:        queue,
+		byKind:       make(map[ipc.MsgKind][]Element),
+		stats:        NewStats(),
+		state:        StateIdle,
+		PollInterval: 50 * time.Millisecond,
+	}
+}
+
+// Register adds an element and indexes its accepted message kinds. Only
+// valid before Start.
+func (p *Process) Register(el Element) error {
+	if p.state != StateIdle {
+		return fmt.Errorf("audit: cannot register %q in state %v", el.Name(), p.state)
+	}
+	p.elements = append(p.elements, el)
+	for _, k := range el.Accepts() {
+		p.byKind[k] = append(p.byKind[k], el)
+	}
+	return nil
+}
+
+// Elements returns the registered elements.
+func (p *Process) Elements() []Element {
+	out := make([]Element, len(p.elements))
+	copy(out, p.elements)
+	return out
+}
+
+// Stats returns the shared statistics accumulator.
+func (p *Process) Stats() *Stats { return p.stats }
+
+// State reports the process state.
+func (p *Process) State() State { return p.state }
+
+// Alive reports whether the process is draining its queue.
+func (p *Process) Alive() bool { return p.state == StateRunning }
+
+// Start arms the main thread and every element.
+func (p *Process) Start() error {
+	if p.state == StateRunning {
+		return fmt.Errorf("audit: process already running")
+	}
+	ctx := &Context{Env: p.env, DB: p.db, Stats: p.stats}
+	t, err := p.env.NewTicker(p.PollInterval, p.drain)
+	if err != nil {
+		return fmt.Errorf("audit: arm main thread: %w", err)
+	}
+	p.poll = t
+	for _, el := range p.elements {
+		el.Start(ctx)
+	}
+	p.state = StateRunning
+	return nil
+}
+
+// Stop shuts the process down gracefully.
+func (p *Process) Stop() { p.halt(StateStopped) }
+
+// Crash simulates the audit process dying: it stops draining the queue and
+// answering heartbeats, which the manager's timeout detects (§4.1).
+func (p *Process) Crash() { p.halt(StateCrashed) }
+
+// Hang simulates the audit process wedging (e.g. a scheduling anomaly):
+// observable behaviour is identical to a crash — no queue drain, no
+// heartbeat replies — but the state is reported distinctly.
+func (p *Process) Hang() { p.halt(StateHung) }
+
+func (p *Process) halt(s State) {
+	if p.poll != nil {
+		p.poll.Stop()
+		p.poll = nil
+	}
+	for _, el := range p.elements {
+		el.Stop()
+	}
+	p.state = s
+}
+
+// drain is the main-thread body: pull every pending message and route it.
+func (p *Process) drain() {
+	for _, m := range p.queue.DrainAll() {
+		for _, el := range p.byKind[m.Kind] {
+			el.Handle(m)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package audit
+
+import (
+	"fmt"
+
+	"repro/internal/memdb"
+)
+
+// RangeCheck is the dynamic-data audit (§4.3.1): for every active record of
+// a dynamic table, each field whose allowable range is recorded in the
+// system catalog is verified against that range. An out-of-range field is
+// reset to its catalog default and — because the table is dynamic — the
+// record is freed as a preemptive measure to stop error propagation.
+//
+// The range rules are read from the live on-region catalog, so this audit
+// genuinely loses rules when the catalog itself is damaged; fields with no
+// declared range are unchecked ("lack of enforceable rule", Table 4).
+type RangeCheck struct {
+	db       *memdb.DB
+	recovery Recovery
+	// FreeOnError controls whether out-of-range records in dynamic
+	// tables are freed after the field reset (paper default: true).
+	FreeOnError bool
+	// CheckFreeRecords extends the dynamic-data audit with a robust-
+	// data-structure rule: a free record's fields must hold their
+	// catalog defaults (Free resets them, and pristine records start
+	// there), so any deviation in free space is corruption. Default
+	// true.
+	CheckFreeRecords bool
+}
+
+var _ FullChecker = (*RangeCheck)(nil)
+
+// NewRangeCheck returns a dynamic-data auditor with the paper's recovery.
+func NewRangeCheck(db *memdb.DB, rec Recovery) *RangeCheck {
+	return &RangeCheck{db: db, recovery: rec, FreeOnError: true, CheckFreeRecords: true}
+}
+
+// Name implements Checker.
+func (c *RangeCheck) Name() string { return "dynamic-range" }
+
+// CheckAll audits every dynamic table.
+func (c *RangeCheck) CheckAll() []Finding {
+	var findings []Finding
+	for ti, t := range c.db.Schema().Tables {
+		if !t.Dynamic {
+			continue
+		}
+		findings = append(findings, c.CheckTable(ti)...)
+	}
+	return findings
+}
+
+// CheckTable audits every active record of table ti.
+func (c *RangeCheck) CheckTable(ti int) []Finding {
+	schema := c.db.Schema()
+	if ti < 0 || ti >= len(schema.Tables) || !schema.Tables[ti].Dynamic {
+		return nil
+	}
+	var findings []Finding
+	for ri := 0; ri < schema.Tables[ti].NumRecords; ri++ {
+		findings = append(findings, c.CheckRecord(ti, ri)...)
+	}
+	return findings
+}
+
+// CheckRecord audits one record; it is also the event-triggered audit's
+// unit of work after a database write (§4.3).
+func (c *RangeCheck) CheckRecord(ti, ri int) []Finding {
+	st, err := c.db.StatusDirect(ti, ri)
+	if err != nil {
+		return nil
+	}
+	if st != memdb.StatusActive {
+		if c.CheckFreeRecords {
+			return c.checkFreeRecord(ti, ri)
+		}
+		return nil
+	}
+	// Audits access the database directly, bypassing API locks; an
+	// intervening client update invalidates the result (§4.3). The
+	// version is sampled before and re-validated after the scan.
+	verBefore := c.db.Version(ti, ri)
+
+	schema := c.db.Schema()
+	type bad struct {
+		field int
+		value uint32
+		def   uint32
+	}
+	var bads []bad
+	for fi := range schema.Tables[ti].Fields {
+		spec, err := c.db.CatalogFieldSpec(ti, fi)
+		if err != nil || !spec.HasRange {
+			continue // no enforceable rule for this field
+		}
+		v, err := c.db.ReadFieldDirect(ti, ri, fi)
+		if err != nil {
+			continue
+		}
+		if v < spec.Min || v > spec.Max {
+			bads = append(bads, bad{field: fi, value: v, def: spec.Default})
+		}
+	}
+	if len(bads) == 0 {
+		return nil
+	}
+	if c.db.Version(ti, ri) != verBefore {
+		// Intervening update: result invalid, re-run later.
+		return []Finding{{
+			Class: ClassRange, Action: ActionNone, Table: ti, Record: ri,
+			Field: -1, Offset: -1,
+			Detail: "audit invalidated by intervening update",
+		}}
+	}
+
+	var findings []Finding
+	for _, b := range bads {
+		off, err := c.db.TrueRecordOffset(ti, ri)
+		if err != nil {
+			continue
+		}
+		if err := c.db.WriteFieldDirect(ti, ri, b.field, b.def); err != nil {
+			continue
+		}
+		f := Finding{
+			Class:  ClassRange,
+			Action: ActionReset,
+			Table:  ti,
+			Record: ri,
+			Field:  b.field,
+			Offset: off + memdb.RecordHeaderSize + memdb.FieldSize*b.field,
+			Length: memdb.FieldSize,
+			Detail: fmt.Sprintf("value %d outside declared range", b.value),
+		}
+		findings = append(findings, f)
+		c.recovery.note(f)
+		c.db.NoteAuditError(ti)
+	}
+	if c.FreeOnError {
+		off, _ := c.db.TrueRecordOffset(ti, ri)
+		if err := c.db.FreeRecordDirect(ti, ri); err == nil {
+			f := Finding{
+				Class:  ClassRange,
+				Action: ActionFree,
+				Table:  ti,
+				Record: ri,
+				Field:  -1,
+				Offset: off,
+				Length: memdb.RecordHeaderSize,
+				Detail: "record freed preemptively after range violation",
+			}
+			findings = append(findings, f)
+			c.recovery.note(f)
+		}
+	}
+	return findings
+}
+
+// checkFreeRecord verifies a free record still holds its catalog defaults
+// and resets any deviating field.
+func (c *RangeCheck) checkFreeRecord(ti, ri int) []Finding {
+	schema := c.db.Schema()
+	var findings []Finding
+	for fi, spec := range schema.Tables[ti].Fields {
+		v, err := c.db.ReadFieldDirect(ti, ri, fi)
+		if err != nil || v == spec.Default {
+			continue
+		}
+		off, err := c.db.TrueRecordOffset(ti, ri)
+		if err != nil {
+			continue
+		}
+		if err := c.db.WriteFieldDirect(ti, ri, fi, spec.Default); err != nil {
+			continue
+		}
+		f := Finding{
+			Class:  ClassRange,
+			Action: ActionReset,
+			Table:  ti,
+			Record: ri,
+			Field:  fi,
+			Offset: off + memdb.RecordHeaderSize + memdb.FieldSize*fi,
+			Length: memdb.FieldSize,
+			Detail: fmt.Sprintf("free record holds %d, expected default %d", v, spec.Default),
+		}
+		findings = append(findings, f)
+		c.recovery.note(f)
+		c.db.NoteAuditError(ti)
+	}
+	return findings
+}

@@ -1,0 +1,190 @@
+package audit
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ipc"
+	"repro/internal/memdb"
+	"repro/internal/sim"
+)
+
+// SelectiveMonitor implements the §4.4.2 selective monitoring of
+// attributes: for a table attribute with no good static audit rule, the
+// monitor periodically examines the attribute's value across all active
+// records, derives candidate invariants from the observed value-frequency
+// distribution, and flags statistically rare values as suspect. Suspects
+// are not auto-repaired — "any abnormality detected with these derived
+// invariants needs to be further checked by other means" — so the findings
+// carry ActionNone and are meant to steer the semantic audit.
+//
+// It also accumulates the observed min/max of the attribute, yielding an
+// adaptive range rule (DerivedRange) for fields whose bounds were not
+// declared in the catalog.
+type SelectiveMonitor struct {
+	db    *memdb.DB
+	table int
+	field int
+	// ThresholdFraction sets the suspect cutoff: a value appearing fewer
+	// than ThresholdFraction × (average occurrences per distinct value)
+	// times is suspect. Paper: "a certain fraction of the average".
+	ThresholdFraction float64
+	// MinSamples gates invariant derivation: with fewer active records
+	// observed in total, no value is flagged and no range is derived.
+	MinSamples int
+
+	observed   int
+	rangeValid bool
+	lo, hi     uint32
+}
+
+// NewSelectiveMonitor monitors field fi of table ti.
+func NewSelectiveMonitor(db *memdb.DB, ti, fi int) (*SelectiveMonitor, error) {
+	s := db.Schema()
+	if ti < 0 || ti >= len(s.Tables) {
+		return nil, fmt.Errorf("audit: selective monitor: table %d out of range", ti)
+	}
+	if fi < 0 || fi >= len(s.Tables[ti].Fields) {
+		return nil, fmt.Errorf("audit: selective monitor: field %d out of range for table %d", fi, ti)
+	}
+	return &SelectiveMonitor{
+		db:                db,
+		table:             ti,
+		field:             fi,
+		ThresholdFraction: 0.5,
+		MinSamples:        10,
+	}, nil
+}
+
+// Table returns the monitored table index.
+func (m *SelectiveMonitor) Table() int { return m.table }
+
+// Field returns the monitored field index.
+func (m *SelectiveMonitor) Field() int { return m.field }
+
+// Scan examines the attribute across all active records and returns
+// suspect-value findings.
+func (m *SelectiveMonitor) Scan() []Finding {
+	schema := m.db.Schema()
+	counts := make(map[uint32]int)
+	recordsOf := make(map[uint32][]int)
+	total := 0
+	for ri := 0; ri < schema.Tables[m.table].NumRecords; ri++ {
+		st, err := m.db.StatusDirect(m.table, ri)
+		if err != nil || st != memdb.StatusActive {
+			continue
+		}
+		v, err := m.db.ReadFieldDirect(m.table, ri, m.field)
+		if err != nil {
+			continue
+		}
+		counts[v]++
+		recordsOf[v] = append(recordsOf[v], ri)
+		total++
+		if !m.rangeValid || v < m.lo {
+			m.lo = v
+		}
+		if !m.rangeValid || v > m.hi {
+			m.hi = v
+		}
+		m.rangeValid = true
+	}
+	m.observed += total
+	if total < m.MinSamples || len(counts) < 2 {
+		return nil
+	}
+	avg := float64(total) / float64(len(counts))
+	threshold := m.ThresholdFraction * avg
+	var findings []Finding
+	for v, n := range counts {
+		if float64(n) >= threshold {
+			continue
+		}
+		for _, ri := range recordsOf[v] {
+			off, err := m.db.TrueRecordOffset(m.table, ri)
+			if err != nil {
+				continue
+			}
+			findings = append(findings, Finding{
+				Class:  ClassSuspect,
+				Action: ActionNone,
+				Table:  m.table,
+				Record: ri,
+				Field:  m.field,
+				Offset: off + memdb.RecordHeaderSize + memdb.FieldSize*m.field,
+				Length: memdb.FieldSize,
+				Detail: fmt.Sprintf("value %d seen %d times vs avg %.1f", v, n, avg),
+			})
+		}
+	}
+	return findings
+}
+
+// DerivedRange returns the adaptive [lo, hi] rule inferred from the traces
+// observed so far. ok is false until enough samples accumulated.
+func (m *SelectiveMonitor) DerivedRange() (lo, hi uint32, ok bool) {
+	if !m.rangeValid || m.observed < m.MinSamples {
+		return 0, 0, false
+	}
+	return m.lo, m.hi, true
+}
+
+// SelectiveElement wraps one or more monitors as a periodic framework
+// element; suspect findings feed the shared statistics, and an optional
+// escalation callback hands them to the semantic audit.
+type SelectiveElement struct {
+	monitors []*SelectiveMonitor
+	period   time.Duration
+	escalate func([]Finding)
+
+	ctx    *Context
+	ticker *sim.Ticker
+}
+
+var _ Element = (*SelectiveElement)(nil)
+
+// NewSelectiveElement runs the monitors every period of virtual time;
+// escalate (may be nil) receives each non-empty suspect batch.
+func NewSelectiveElement(period time.Duration, escalate func([]Finding), monitors ...*SelectiveMonitor) *SelectiveElement {
+	return &SelectiveElement{monitors: monitors, period: period, escalate: escalate}
+}
+
+// Name implements Element.
+func (e *SelectiveElement) Name() string { return "selective-monitor" }
+
+// Accepts implements Element.
+func (e *SelectiveElement) Accepts() []ipc.MsgKind { return nil }
+
+// Handle implements Element.
+func (e *SelectiveElement) Handle(ipc.Message) {}
+
+// Start arms the periodic scan.
+func (e *SelectiveElement) Start(ctx *Context) {
+	e.ctx = ctx
+	t, err := ctx.Env.NewTicker(e.period, e.scan)
+	if err == nil {
+		e.ticker = t
+	}
+}
+
+// Stop disarms the scan.
+func (e *SelectiveElement) Stop() {
+	if e.ticker != nil {
+		e.ticker.Stop()
+		e.ticker = nil
+	}
+}
+
+func (e *SelectiveElement) scan() {
+	var all []Finding
+	for _, m := range e.monitors {
+		all = append(all, m.Scan()...)
+	}
+	if len(all) == 0 {
+		return
+	}
+	e.ctx.Stats.Add(all)
+	if e.escalate != nil {
+		e.escalate(all)
+	}
+}

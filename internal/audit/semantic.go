@@ -1,0 +1,292 @@
+package audit
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/memdb"
+)
+
+// LoopStep is one edge of a semantic referential-integrity loop: records of
+// Table refer, via Field, to record indexes of the next step's table.
+type LoopStep struct {
+	Table int
+	Field int
+}
+
+// Loop is a closed chain of 1-to-1 correspondences (§4.3.3). The field of
+// the last step must point back to the record index in the first step's
+// table, making single corruptions 1-detectable. The paper's example:
+//
+//	Process.ConnID → Connection, Connection.ChannelID → Resource,
+//	Resource.ProcID → Process (closing the loop).
+type Loop struct {
+	Name  string
+	Steps []LoopStep
+}
+
+// Validate checks the loop is well-formed against a schema.
+func (l Loop) Validate(schema memdb.Schema) error {
+	if len(l.Steps) < 2 {
+		return fmt.Errorf("audit: loop %q needs at least 2 steps", l.Name)
+	}
+	for i, s := range l.Steps {
+		if s.Table < 0 || s.Table >= len(schema.Tables) {
+			return fmt.Errorf("audit: loop %q step %d references table %d", l.Name, i, s.Table)
+		}
+		if s.Field < 0 || s.Field >= len(schema.Tables[s.Table].Fields) {
+			return fmt.Errorf("audit: loop %q step %d references field %d of table %d",
+				l.Name, i, s.Field, s.Table)
+		}
+	}
+	return nil
+}
+
+// SemanticCheck is the semantic referential-integrity audit (§4.3.3). It
+// traces each configured loop from every active record of the loop's first
+// table; a chain that points at a free record, an out-of-range index, or
+// fails to close is a violation. Recovery frees the "zombie" records on
+// the broken chain and preemptively terminates the client that last
+// accessed them, identified through the redundant per-record metadata.
+//
+// It also detects resource leaks: active records in loop tables that
+// participate in no valid loop ("lost" records) are freed once they are
+// older than GraceAge, so records freshly allocated by an in-progress call
+// setup are not reclaimed out from under the client.
+type SemanticCheck struct {
+	db       *memdb.DB
+	recovery Recovery
+	loops    []Loop
+	now      func() time.Duration
+	// GraceAge is the minimum last-access age before an orphan record is
+	// reclaimed. Default 2s.
+	GraceAge time.Duration
+	// TerminateOwners controls whether clients owning zombie records are
+	// terminated (paper default: true).
+	TerminateOwners bool
+}
+
+var _ FullChecker = (*SemanticCheck)(nil)
+
+// NewSemanticCheck validates the loops and returns the auditor.
+func NewSemanticCheck(db *memdb.DB, rec Recovery, now func() time.Duration, loops ...Loop) (*SemanticCheck, error) {
+	for _, l := range loops {
+		if err := l.Validate(db.Schema()); err != nil {
+			return nil, err
+		}
+	}
+	if now == nil {
+		now = func() time.Duration { return 0 }
+	}
+	return &SemanticCheck{
+		db:              db,
+		recovery:        rec,
+		loops:           loops,
+		now:             now,
+		GraceAge:        2 * time.Second,
+		TerminateOwners: true,
+	}, nil
+}
+
+// Name implements Checker.
+func (c *SemanticCheck) Name() string { return "semantic" }
+
+// CheckAll traces every loop and then reclaims orphans.
+func (c *SemanticCheck) CheckAll() []Finding {
+	var findings []Finding
+	valid := make(map[[2]int]bool) // (table,record) participating in a valid loop
+	for _, l := range c.loops {
+		findings = append(findings, c.checkLoop(l, valid)...)
+	}
+	findings = append(findings, c.reclaimOrphans(valid)...)
+	return findings
+}
+
+// CheckTable runs the loops that start at the given table. Orphan
+// reclamation needs global knowledge and only runs in CheckAll.
+func (c *SemanticCheck) CheckTable(table int) []Finding {
+	var findings []Finding
+	valid := make(map[[2]int]bool)
+	for _, l := range c.loops {
+		if len(l.Steps) > 0 && l.Steps[0].Table == table {
+			findings = append(findings, c.checkLoop(l, valid)...)
+		}
+	}
+	return findings
+}
+
+// checkLoop walks loop l from every active head record. Valid chains mark
+// their members in valid.
+func (c *SemanticCheck) checkLoop(l Loop, valid map[[2]int]bool) []Finding {
+	head := l.Steps[0].Table
+	schema := c.db.Schema()
+	var findings []Finding
+	for ri := 0; ri < schema.Tables[head].NumRecords; ri++ {
+		st, err := c.db.StatusDirect(head, ri)
+		if err != nil || st != memdb.StatusActive {
+			continue
+		}
+		verBefore := c.db.Version(head, ri)
+		chain, ok, detail := c.trace(l, ri)
+		if ok {
+			for _, m := range chain {
+				valid[m] = true
+			}
+			continue
+		}
+		if c.db.Version(head, ri) != verBefore {
+			findings = append(findings, Finding{
+				Class: ClassSemantic, Action: ActionNone,
+				Table: head, Record: ri, Field: -1, Offset: -1,
+				Detail: "audit invalidated by intervening update",
+			})
+			continue
+		}
+		// Skip heads inside the allocation grace window: the client may
+		// simply not have linked the chain yet.
+		if meta, err := c.db.Meta(head, ri); err == nil {
+			if c.now()-meta.LastAccess < c.GraceAge {
+				continue
+			}
+		}
+		findings = append(findings, c.repairChain(l, ri, chain, detail)...)
+	}
+	return findings
+}
+
+// trace follows the loop from head record ri. It returns the chain members
+// visited, whether the loop closed correctly, and a diagnostic.
+func (c *SemanticCheck) trace(l Loop, ri int) (chain [][2]int, ok bool, detail string) {
+	schema := c.db.Schema()
+	cur := ri
+	chain = append(chain, [2]int{l.Steps[0].Table, ri})
+	for i, step := range l.Steps {
+		v, err := c.db.ReadFieldDirect(step.Table, cur, step.Field)
+		if err != nil {
+			return chain, false, fmt.Sprintf("step %d unreadable: %v", i, err)
+		}
+		nextTable := l.Steps[(i+1)%len(l.Steps)].Table
+		next := int(v)
+		if i == len(l.Steps)-1 {
+			// Closing edge: must point back at the head record.
+			if next != ri {
+				return chain, false, fmt.Sprintf("loop does not close: step %d points to %d, head is %d", i, next, ri)
+			}
+			return chain, true, ""
+		}
+		if next < 0 || next >= schema.Tables[nextTable].NumRecords {
+			return chain, false, fmt.Sprintf("step %d index %d out of range for table %d", i, next, nextTable)
+		}
+		st, err := c.db.StatusDirect(nextTable, next)
+		if err != nil {
+			return chain, false, fmt.Sprintf("step %d status unreadable: %v", i, err)
+		}
+		if st != memdb.StatusActive {
+			return chain, false, fmt.Sprintf("step %d points to non-active record (%d,%d)", i, nextTable, next)
+		}
+		chain = append(chain, [2]int{nextTable, next})
+		cur = next
+	}
+	return chain, false, "loop has no closing step"
+}
+
+// repairChain frees the zombie records of a broken chain and terminates the
+// owning client.
+func (c *SemanticCheck) repairChain(l Loop, head int, chain [][2]int, detail string) []Finding {
+	var findings []Finding
+	ownerPID := 0
+	if meta, err := c.db.Meta(l.Steps[0].Table, head); err == nil {
+		ownerPID = meta.LastPID
+	}
+	for _, m := range chain {
+		ti, ri := m[0], m[1]
+		off, err := c.db.TrueRecordOffset(ti, ri)
+		if err != nil {
+			continue
+		}
+		if err := c.db.FreeRecordDirect(ti, ri); err != nil {
+			continue
+		}
+		f := Finding{
+			Class:  ClassSemantic,
+			Action: ActionFree,
+			Table:  ti,
+			Record: ri,
+			Field:  -1,
+			Offset: off,
+			Length: memdb.RecordHeaderSize,
+			Detail: detail,
+		}
+		findings = append(findings, f)
+		c.recovery.note(f)
+		c.db.NoteAuditError(ti)
+	}
+	if c.TerminateOwners && ownerPID != 0 {
+		c.recovery.terminate(ownerPID)
+		f := Finding{
+			Class:  ClassSemantic,
+			Action: ActionTerminate,
+			Table:  l.Steps[0].Table,
+			Record: head,
+			Field:  -1,
+			Offset: -1,
+			PID:    ownerPID,
+			Detail: "terminated owner of broken semantic chain",
+		}
+		findings = append(findings, f)
+		c.recovery.note(f)
+	}
+	return findings
+}
+
+// reclaimOrphans frees sufficiently old active records of loop tables that
+// participate in no valid loop — the "resource leak" recovery.
+func (c *SemanticCheck) reclaimOrphans(valid map[[2]int]bool) []Finding {
+	schema := c.db.Schema()
+	tables := make(map[int]bool)
+	for _, l := range c.loops {
+		for _, s := range l.Steps {
+			tables[s.Table] = true
+		}
+	}
+	var findings []Finding
+	for ti := range schema.Tables {
+		if !tables[ti] {
+			continue
+		}
+		for ri := 0; ri < schema.Tables[ti].NumRecords; ri++ {
+			if valid[[2]int{ti, ri}] {
+				continue
+			}
+			st, err := c.db.StatusDirect(ti, ri)
+			if err != nil || st != memdb.StatusActive {
+				continue
+			}
+			meta, err := c.db.Meta(ti, ri)
+			if err != nil || c.now()-meta.LastAccess < c.GraceAge {
+				continue
+			}
+			off, err := c.db.TrueRecordOffset(ti, ri)
+			if err != nil {
+				continue
+			}
+			if err := c.db.FreeRecordDirect(ti, ri); err != nil {
+				continue
+			}
+			f := Finding{
+				Class:  ClassSemantic,
+				Action: ActionFree,
+				Table:  ti,
+				Record: ri,
+				Field:  -1,
+				Offset: off,
+				Length: memdb.RecordHeaderSize,
+				Detail: "orphan record reclaimed (resource leak)",
+			}
+			findings = append(findings, f)
+			c.recovery.note(f)
+			c.db.NoteAuditError(ti)
+		}
+	}
+	return findings
+}

@@ -1,0 +1,225 @@
+package audit
+
+import (
+	"fmt"
+
+	"repro/internal/memdb"
+)
+
+// StructuralCheck validates the database structure: every record header is
+// located at an offset computable from the fixed record sizes in the system
+// tables, and must carry the table/record identity implied by that offset
+// (§4.3.2). A single corrupted identifier is corrected in place (the
+// correct ID is inferred from the offset); multiple consecutive corrupted
+// headers indicate table/record misalignment and force a full reload from
+// permanent storage.
+type StructuralCheck struct {
+	db       *memdb.DB
+	recovery Recovery
+	// ReloadRunLength is the consecutive-corruption threshold that
+	// escalates to a full database reload. The paper uses "multiple
+	// consecutive corruptions"; default 2.
+	ReloadRunLength int
+}
+
+var _ FullChecker = (*StructuralCheck)(nil)
+
+// NewStructuralCheck returns a structural auditor with the default
+// escalation threshold.
+func NewStructuralCheck(db *memdb.DB, rec Recovery) *StructuralCheck {
+	return &StructuralCheck{db: db, recovery: rec, ReloadRunLength: 2}
+}
+
+// Name implements Checker.
+func (c *StructuralCheck) Name() string { return "structural" }
+
+// CheckAll audits the headers of every table.
+func (c *StructuralCheck) CheckAll() []Finding {
+	var findings []Finding
+	for ti := 0; ti < tableCount(c.db); ti++ {
+		fs := c.CheckTable(ti)
+		findings = append(findings, fs...)
+		// CheckTable escalated to a full reload: structure is now
+		// pristine, nothing further to check.
+		for _, f := range fs {
+			if f.Action == ActionReloadAll {
+				return findings
+			}
+		}
+	}
+	return findings
+}
+
+// CheckTable audits table ti's record headers.
+func (c *StructuralCheck) CheckTable(ti int) []Finding {
+	schema := c.db.Schema()
+	if ti < 0 || ti >= len(schema.Tables) {
+		return nil
+	}
+	type damage struct {
+		record int
+		offset int
+		head   memdb.Header
+	}
+	var damaged []damage
+	run, maxRun := 0, 0
+	n := schema.Tables[ti].NumRecords
+	for ri := 0; ri < n; ri++ {
+		off, err := c.db.TrueRecordOffset(ti, ri)
+		if err != nil {
+			continue
+		}
+		h := c.db.HeaderAt(off)
+		if headerConsistent(h, ti, ri, n) {
+			run = 0
+			continue
+		}
+		run++
+		if run > maxRun {
+			maxRun = run
+		}
+		damaged = append(damaged, damage{record: ri, offset: off, head: h})
+	}
+	if len(damaged) == 0 {
+		return c.checkGroupChains(ti)
+	}
+
+	var findings []Finding
+	if maxRun >= c.ReloadRunLength {
+		// Misalignment suspected: reload the entire database (§4.3.2).
+		c.db.ReloadAll()
+		f := Finding{
+			Class:  ClassStructural,
+			Action: ActionReloadAll,
+			Table:  ti,
+			Record: -1,
+			Field:  -1,
+			Offset: damaged[0].offset,
+			Length: damaged[len(damaged)-1].offset - damaged[0].offset + memdb.RecordHeaderSize,
+			Detail: fmt.Sprintf("%d consecutive corrupt headers in table %d", maxRun, ti),
+		}
+		findings = append(findings, f)
+		c.recovery.note(f)
+		c.db.NoteAuditError(ti)
+		return findings
+	}
+
+	for _, d := range damaged {
+		var f Finding
+		switch {
+		case d.head.TableID != ti || d.head.RecordID != d.record:
+			// Identity corruption: correctable from the offset.
+			if err := c.db.RewriteHeader(ti, d.record); err != nil {
+				continue
+			}
+			f = Finding{
+				Class:  ClassStructural,
+				Action: ActionRewriteHeader,
+				Table:  ti,
+				Record: d.record,
+				Field:  -1,
+				Offset: d.offset,
+				Length: memdb.RecordHeaderSize,
+				Detail: fmt.Sprintf("header identity (%d,%d) at record (%d,%d)",
+					d.head.TableID, d.head.RecordID, ti, d.record),
+			}
+		case !validStatus(d.head.Status) || d.head.Status == memdb.StatusFree:
+			// A garbage status byte, or a free record whose group/link
+			// fields deviate from the formatted state: reformat it.
+			if err := c.db.FreeRecordDirect(ti, d.record); err != nil {
+				continue
+			}
+			f = Finding{
+				Class:  ClassStructural,
+				Action: ActionFree,
+				Table:  ti,
+				Record: d.record,
+				Field:  -1,
+				Offset: d.offset,
+				Length: memdb.RecordHeaderSize,
+				Detail: fmt.Sprintf("inconsistent header state (status %d)", d.head.Status),
+			}
+		default:
+			// Active record with a corrupted adjacency index: repair
+			// the link in place.
+			if err := c.db.ResetLink(ti, d.record); err != nil {
+				continue
+			}
+			f = Finding{
+				Class:  ClassStructural,
+				Action: ActionRewriteHeader,
+				Table:  ti,
+				Record: d.record,
+				Field:  -1,
+				Offset: d.offset,
+				Length: memdb.RecordHeaderSize,
+				Detail: fmt.Sprintf("invalid adjacency index %d", d.head.NextIdx),
+			}
+		}
+		findings = append(findings, f)
+		c.recovery.note(f)
+		c.db.NoteAuditError(ti)
+	}
+	findings = append(findings, c.checkGroupChains(ti)...)
+	return findings
+}
+
+// checkGroupChains validates a table's logical-group chains — the "indexes
+// of logically adjacent records" part of the structural audit — and
+// rebuilds the directory and links from the redundant per-record group
+// labels when any chain is broken.
+func (c *StructuralCheck) checkGroupChains(ti int) []Finding {
+	if c.db.Schema().Tables[ti].Groups == 0 {
+		return nil
+	}
+	consistent, err := c.db.GroupsConsistent(ti)
+	if err != nil || consistent {
+		return nil
+	}
+	relinked, err := c.db.RebuildGroups(ti)
+	if err != nil {
+		return nil
+	}
+	// The finding's damage extent is the chain directory: that is what
+	// the rebuild rewrites wholesale (link fields inside record headers
+	// are attributed by the header findings).
+	ext, extErr := c.db.GroupDirExtent(ti)
+	off, length := -1, 0
+	if extErr == nil {
+		off, length = ext.Off, ext.Len
+	}
+	f := Finding{
+		Class:  ClassStructural,
+		Action: ActionRelink,
+		Table:  ti,
+		Record: -1,
+		Field:  -1,
+		Offset: off,
+		Length: length,
+		Detail: fmt.Sprintf("group chains rebuilt from record labels (%d records relinked)", relinked),
+	}
+	c.recovery.note(f)
+	c.db.NoteAuditError(ti)
+	return []Finding{f}
+}
+
+// headerConsistent checks every structural invariant of a record header:
+// positional identity, a defined status byte, an adjacency index that is
+// NilIndex or a valid record index, and — for free records — the formatted
+// group/link state (free records have a fully known header).
+func headerConsistent(h memdb.Header, ti, ri, numRecords int) bool {
+	if h.TableID != ti || h.RecordID != ri || !validStatus(h.Status) {
+		return false
+	}
+	if h.NextIdx != memdb.NilIndex && h.NextIdx >= numRecords {
+		return false
+	}
+	if h.Status == memdb.StatusFree && (h.GroupID != 0 || h.NextIdx != memdb.NilIndex) {
+		return false
+	}
+	return true
+}
+
+func validStatus(s int) bool {
+	return s == memdb.StatusFree || s == memdb.StatusActive
+}

@@ -1,0 +1,181 @@
+package callproc
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/memdb"
+	"repro/internal/sim"
+)
+
+func simEnvForTest(t *testing.T) *sim.Env {
+	t.Helper()
+	return sim.NewEnv(5)
+}
+
+func TestCatalogCorruptionReportedAsOpFailure(t *testing.T) {
+	var failures []OpFailure
+	r := newRig(t, DefaultConfig(), Events{
+		OnOpFailure: func(f OpFailure) { failures = append(failures, f) },
+	})
+	if err := r.wl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Let some calls run cleanly, then destroy the catalog magic: every
+	// subsequent API call fails with ErrCorruptCatalog.
+	r.env.Schedule(30*time.Second, func() {
+		r.db.Raw()[0] ^= 0xFF
+	})
+	if err := r.env.Run(120 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) == 0 {
+		t.Fatal("catalog corruption produced no op-failure events")
+	}
+	if !errors.Is(failures[0].Err, memdb.ErrCorruptCatalog) {
+		t.Fatalf("failure error = %v, want ErrCorruptCatalog", failures[0].Err)
+	}
+	if r.wl.Stats().OpFailures == 0 {
+		t.Fatal("OpFailures counter not incremented")
+	}
+	// Calls after the corruption are dropped, not hung.
+	if r.wl.Stats().Dropped == 0 {
+		t.Fatal("no dropped calls despite dead catalog")
+	}
+}
+
+func TestVanishedRecordMidCall(t *testing.T) {
+	var failures []OpFailure
+	r := newRig(t, DefaultConfig(), Events{
+		OnOpFailure: func(f OpFailure) { failures = append(failures, f) },
+	})
+	if err := r.wl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Once a call is active, clear its connection record's status byte
+	// without resetting the fields: reads still match golden, but the
+	// mid-call state write fails with ErrNotActive.
+	sabotaged := false
+	tk, err := r.env.NewTicker(2*time.Second, func() {
+		if sabotaged {
+			return
+		}
+		for ri := 0; ri < 64; ri++ {
+			st, err := r.db.StatusDirect(TblConn, ri)
+			if err == nil && st == memdb.StatusActive {
+				off, _ := r.db.TrueRecordOffset(TblConn, ri)
+				r.db.Raw()[off+1] = memdb.StatusFree
+				sabotaged = true
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tk.Stop()
+	if err := r.env.Run(120 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !sabotaged {
+		t.Fatal("no active connection record appeared")
+	}
+	found := false
+	for _, f := range failures {
+		if errors.Is(f.Err, memdb.ErrNotActive) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no ErrNotActive op failure among %d failures", len(failures))
+	}
+}
+
+func TestLockStarvationDropsCall(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LockRetries = 2
+	cfg.LockRetry = 10 * time.Millisecond
+	var outcomes []string
+	r := newRig(t, cfg, Events{
+		OnCallDone: func(pid int, o Outcome, reason string) {
+			if o == OutcomeDropped {
+				outcomes = append(outcomes, reason)
+			}
+		},
+	})
+	// A foreign client wedges the Process table before any call arrives
+	// and never releases it.
+	blocker, err := r.db.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := blocker.Begin(TblProc); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.wl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.env.Run(120 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) == 0 {
+		t.Fatal("no dropped calls despite a wedged table")
+	}
+	starved := false
+	for _, reason := range outcomes {
+		if reason == "lock starvation" {
+			starved = true
+		}
+	}
+	if !starved {
+		t.Fatalf("drop reasons %v missing lock starvation", outcomes)
+	}
+	// All calls fail but nothing hangs: no in-flight state remains.
+	if r.wl.Active() != 0 {
+		t.Fatalf("active calls = %d after starvation run", r.wl.Active())
+	}
+}
+
+func TestTableExhaustionDropsCall(t *testing.T) {
+	// A tiny call-record pool plus an aggressive arrival rate exhausts
+	// the Process table; calls must drop with "table exhausted".
+	env := simEnvForTest(t)
+	db, err := memdb.New(Schema(SchemaConfig{ConfigRecords: 4, CallRecords: 4}),
+		memdb.WithClock(env.Now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-claim every Process record so allocation always fails.
+	c, err := db.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := c.Alloc(TblProc, 9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var reasons []string
+	wl, err := New(env, db, DefaultConfig(), Events{
+		OnCallDone: func(pid int, o Outcome, reason string) { reasons = append(reasons, reason) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Run(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	exhausted := false
+	for _, reason := range reasons {
+		if reason == "table exhausted" {
+			exhausted = true
+		}
+	}
+	if !exhausted {
+		t.Fatalf("drop reasons %v missing table exhaustion", reasons)
+	}
+}

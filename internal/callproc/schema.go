@@ -1,0 +1,132 @@
+// Package callproc emulates the paper's call-processing client (§5.1,
+// Figures 2 and 8): a multi-threaded workload that authenticates, allocates
+// resources, holds, and tears down calls against the controller database,
+// keeping golden local copies of everything it writes and comparing on
+// read-back — the fail-silence oracle of the error-injection experiments.
+package callproc
+
+import (
+	"fmt"
+
+	"repro/internal/audit"
+	"repro/internal/memdb"
+)
+
+// Table indexes of the controller schema built by Schema.
+const (
+	TblConfig = 0
+	TblProc   = 1
+	TblConn   = 2
+	TblRes    = 3
+)
+
+// Field indexes used by the workload.
+const (
+	// Process table fields.
+	FldProcConnID = 0
+	FldProcStatus = 1
+	// Connection table fields.
+	FldConnChannelID = 0
+	FldConnCallerID  = 1
+	FldConnState     = 2
+	// Resource table fields.
+	FldResProcID  = 0
+	FldResStatus  = 1
+	FldResQuality = 2
+)
+
+// SchemaConfig sizes the controller database.
+type SchemaConfig struct {
+	ConfigRecords int // static configuration rows
+	ConfigFields  int // parameters per configuration row (≥ 4)
+	CallRecords   int // rows in each of Process/Connection/Resource
+}
+
+// DefaultSchemaConfig sizes the tables for the Table 2 workload (16
+// concurrent call threads with headroom for leak accumulation).
+func DefaultSchemaConfig() SchemaConfig {
+	return SchemaConfig{ConfigRecords: 16, ConfigFields: 4, CallRecords: 64}
+}
+
+// Schema builds the controller database schema: one static system
+// configuration table plus the three dynamic tables whose records form the
+// paper's semantic loop (§4.3.3):
+//
+//	Process(ConnID, Status) → Connection(ChannelID, CallerID, State) →
+//	Resource(ProcID, Status, Quality) → back to Process.
+func Schema(cfg SchemaConfig) memdb.Schema {
+	if cfg.ConfigRecords <= 0 {
+		cfg.ConfigRecords = 16
+	}
+	if cfg.CallRecords <= 0 {
+		cfg.CallRecords = 64
+	}
+	cfgFields := []memdb.FieldSpec{
+		{Name: "NumCPUs", Kind: memdb.Static, HasRange: true, Min: 1, Max: 64, Default: 2},
+		{Name: "MaxCalls", Kind: memdb.Static, HasRange: true, Min: 1, Max: 100000, Default: 1000},
+		{Name: "AuthMode", Kind: memdb.Static, HasRange: true, Min: 0, Max: 3, Default: 1},
+		{Name: "Region", Kind: memdb.Static, HasRange: true, Min: 0, Max: 255, Default: 7},
+	}
+	// Controller configuration is parameter-rich; extra parameter slots
+	// let experiments reproduce a configuration-dominated database image.
+	for i := len(cfgFields); i < cfg.ConfigFields; i++ {
+		cfgFields = append(cfgFields, memdb.FieldSpec{
+			Name: fmt.Sprintf("Param%02d", i), Kind: memdb.Static,
+			HasRange: true, Min: 0, Max: 1 << 20, Default: uint32(1000 + i*37),
+		})
+	}
+	maxIdx := uint32(cfg.CallRecords - 1)
+	return memdb.Schema{Tables: []memdb.TableSpec{
+		{
+			Name: "SysConfig", NumRecords: cfg.ConfigRecords,
+			Fields: cfgFields,
+		},
+		{
+			Name: "Process", Dynamic: true, NumRecords: cfg.CallRecords,
+			Fields: []memdb.FieldSpec{
+				{Name: "ConnID", Kind: memdb.Dynamic, HasRange: true, Min: 0, Max: maxIdx, Default: 0},
+				{Name: "Status", Kind: memdb.Dynamic, HasRange: true, Min: 0, Max: 3, Default: 0},
+			},
+		},
+		{
+			Name: "Connection", Dynamic: true, NumRecords: cfg.CallRecords,
+			Fields: []memdb.FieldSpec{
+				{Name: "ChannelID", Kind: memdb.Dynamic, HasRange: true, Min: 0, Max: maxIdx, Default: 0},
+				// Caller identity has no characterizable bounds: it is
+				// the "lack of enforceable rule" field of Table 4 and
+				// the natural target for selective monitoring (§4.4.2).
+				{Name: "CallerID", Kind: memdb.Dynamic},
+				{Name: "State", Kind: memdb.Dynamic, HasRange: true, Min: 0, Max: 4, Default: 0},
+			},
+		},
+		{
+			Name: "Resource", Dynamic: true, NumRecords: cfg.CallRecords,
+			// Channel resources are organized into logical groups (the
+			// channel banks DBmove shuffles records between); the
+			// structural audit validates and repairs these chains.
+			Groups: ResourceBanks,
+			Fields: []memdb.FieldSpec{
+				{Name: "ProcID", Kind: memdb.Dynamic, HasRange: true, Min: 0, Max: maxIdx, Default: 0},
+				{Name: "Status", Kind: memdb.Dynamic, HasRange: true, Min: 0, Max: 2, Default: 0},
+				{Name: "Quality", Kind: memdb.Dynamic, HasRange: true, Min: 0, Max: 100, Default: 50},
+			},
+		},
+	}}
+}
+
+// ResourceBanks is the number of logical channel banks in the Resource
+// table's group directory.
+const ResourceBanks = 4
+
+// CallLoop returns the semantic referential-integrity loop the workload
+// maintains, in the audit subsystem's vocabulary.
+func CallLoop() audit.Loop {
+	return audit.Loop{
+		Name: "call",
+		Steps: []audit.LoopStep{
+			{Table: TblProc, Field: FldProcConnID},
+			{Table: TblConn, Field: FldConnChannelID},
+			{Table: TblRes, Field: FldResProcID},
+		},
+	}
+}

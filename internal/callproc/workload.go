@@ -1,0 +1,637 @@
+package callproc
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/memdb"
+	"repro/internal/sim"
+)
+
+// Config parameterizes the workload; defaults follow the paper's Table 2.
+type Config struct {
+	// Threads is the number of concurrent call-handling threads (16).
+	Threads int
+	// HoldMin/HoldMax bound the uniform call duration (20–30 s).
+	HoldMin, HoldMax time.Duration
+	// InterArrival is the mean of the exponential call inter-arrival
+	// time (10 s).
+	InterArrival time.Duration
+	// MidCallPeriod is how often an active call touches its records.
+	MidCallPeriod time.Duration
+	// ConfigReads is how many system-configuration records each call
+	// setup consults (authentication, feature lookup, routing). The
+	// controller's behaviour is configuration-driven, so corrupted
+	// configuration data observably impacts call processing.
+	ConfigReads int
+	// LockRetry is the back-off before retrying a locked operation;
+	// LockRetries bounds the attempts before the call is dropped.
+	LockRetry   time.Duration
+	LockRetries int
+
+	// Call setup time model, calibrated to §5.1: average setup 160 ms
+	// without audits rising to 270 ms with them. Setup time is
+	// SetupBase + OpAmplification × (charged DB-op cost of the setup
+	// phases) + AuditContention (the last term only when the database
+	// runs with audit support, covering lock-free audit scans contending
+	// for the shared region).
+	SetupBase       time.Duration
+	OpAmplification float64
+	AuditContention time.Duration
+}
+
+// DefaultConfig returns the Table 2 workload parameters.
+func DefaultConfig() Config {
+	return Config{
+		Threads:         16,
+		HoldMin:         20 * time.Second,
+		HoldMax:         30 * time.Second,
+		InterArrival:    10 * time.Second,
+		MidCallPeriod:   5 * time.Second,
+		ConfigReads:     14,
+		LockRetry:       50 * time.Millisecond,
+		LockRetries:     5,
+		SetupBase:       75 * time.Millisecond,
+		OpAmplification: 21,
+		AuditContention: 85 * time.Millisecond,
+	}
+}
+
+// Outcome classifies how a call ended.
+type Outcome int
+
+// Call outcomes.
+const (
+	// OutcomeCompleted: full lifecycle with clean teardown comparison.
+	OutcomeCompleted Outcome = iota + 1
+	// OutcomeDropped: aborted by the client (resource exhaustion, lock
+	// starvation, corrupted data, or audit-freed records).
+	OutcomeDropped
+	// OutcomeTerminated: killed externally (audit recovery).
+	OutcomeTerminated
+)
+
+// String returns the outcome name.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCompleted:
+		return "completed"
+	case OutcomeDropped:
+		return "dropped"
+	case OutcomeTerminated:
+		return "terminated"
+	default:
+		return "unknown"
+	}
+}
+
+// Mismatch reports one field whose read-back differed from the golden
+// local copy — data corruption observed by the client.
+type Mismatch struct {
+	Table, Record, Field int
+	Offset               int // region byte offset of the damaged field
+	Got, Want            uint32
+	At                   time.Duration
+}
+
+// OpFailure reports a database operation failing for corruption-flavoured
+// reasons (corrupt catalog, vanished record) rather than contention.
+type OpFailure struct {
+	Table, Record int
+	Offset        int // header offset of the implicated record, -1 if unknown
+	Err           error
+	At            time.Duration
+}
+
+// Events are the workload's observation hooks; any may be nil.
+type Events struct {
+	// OnMismatch fires for every field-level golden-copy mismatch.
+	OnMismatch func(Mismatch)
+	// OnOpFailure fires when corruption makes a database op fail.
+	OnOpFailure func(OpFailure)
+	// OnCallDone fires when a call reaches a terminal outcome.
+	OnCallDone func(pid int, outcome Outcome, reason string)
+}
+
+// Stats aggregates workload activity.
+type Stats struct {
+	Arrivals   int
+	Rejected   int // no free thread
+	Completed  int
+	Dropped    int
+	Terminated int
+	Mismatches int // field-level golden-copy mismatches observed
+	OpFailures int
+	SetupCount int
+	SetupTotal time.Duration
+}
+
+// AvgSetup returns the mean call setup time.
+func (s Stats) AvgSetup() time.Duration {
+	if s.SetupCount == 0 {
+		return 0
+	}
+	return s.SetupTotal / time.Duration(s.SetupCount)
+}
+
+// Workload drives the emulated call-processing client on the simulation
+// event loop.
+type Workload struct {
+	env    *sim.Env
+	db     *memdb.DB
+	cfg    Config
+	events Events
+	rng    *sim.RNG
+
+	stats   Stats
+	calls   map[int]*call
+	running bool
+	arrival *sim.Event
+}
+
+// call is one in-flight call thread's state.
+type call struct {
+	pid     int
+	client  *memdb.Client
+	proc    int
+	conn    int
+	res     int
+	haveRec [3]bool // proc, conn, res allocated
+	golden  map[[2]int][]uint32
+	pending []*sim.Event
+	tick    *sim.Ticker
+	done    bool
+}
+
+// New builds a workload over db. The database schema must be the one
+// returned by Schema.
+func New(env *sim.Env, db *memdb.DB, cfg Config, events Events) (*Workload, error) {
+	s := db.Schema()
+	for _, want := range []string{"SysConfig", "Process", "Connection", "Resource"} {
+		if s.TableIndex(want) < 0 {
+			return nil, fmt.Errorf("callproc: schema missing table %q", want)
+		}
+	}
+	if cfg.Threads <= 0 {
+		return nil, errors.New("callproc: Threads must be positive")
+	}
+	if cfg.HoldMax < cfg.HoldMin {
+		return nil, errors.New("callproc: HoldMax < HoldMin")
+	}
+	return &Workload{
+		env:    env,
+		db:     db,
+		cfg:    cfg,
+		events: events,
+		rng:    env.RNG().Split(),
+		calls:  make(map[int]*call),
+	}, nil
+}
+
+// Stats returns a copy of the workload counters.
+func (w *Workload) Stats() Stats { return w.stats }
+
+// Active reports the number of in-flight calls.
+func (w *Workload) Active() int { return len(w.calls) }
+
+// Start begins generating call arrivals.
+func (w *Workload) Start() error {
+	if w.running {
+		return errors.New("callproc: already running")
+	}
+	w.running = true
+	w.scheduleArrival()
+	return nil
+}
+
+// Stop halts new arrivals and aborts in-flight calls.
+func (w *Workload) Stop() {
+	if !w.running {
+		return
+	}
+	w.running = false
+	if w.arrival != nil {
+		w.arrival.Cancel()
+		w.arrival = nil
+	}
+	for pid := range w.calls {
+		w.finish(w.calls[pid], OutcomeDropped, "workload stopped")
+	}
+}
+
+// TerminateThread kills the call thread with the given PID — the recovery
+// entry point the audit subsystem's Recovery.TerminateClient wires to
+// (semantic zombie cleanup and progress-indicator deadlock resolution).
+func (w *Workload) TerminateThread(pid int) {
+	c, ok := w.calls[pid]
+	if !ok {
+		return
+	}
+	// A killed thread performs no cleanup of its own: its connection is
+	// abandoned and its locks force-released by the terminator's path.
+	c.client.Abandon()
+	w.db.ReleaseAllLocks(pid)
+	w.finish(c, OutcomeTerminated, "terminated by audit recovery")
+}
+
+func (w *Workload) scheduleArrival() {
+	if !w.running {
+		return
+	}
+	delay := w.rng.Exp(w.cfg.InterArrival)
+	w.arrival = w.env.Schedule(delay, func() {
+		w.stats.Arrivals++
+		if len(w.calls) >= w.cfg.Threads {
+			w.stats.Rejected++
+		} else {
+			w.startCall()
+		}
+		w.scheduleArrival()
+	})
+}
+
+// startCall runs the Figure 2 lifecycle: auth → resource allocation →
+// active call → teardown.
+func (w *Workload) startCall() {
+	client, err := w.db.Connect()
+	if err != nil {
+		w.stats.Dropped++
+		return
+	}
+	c := &call{
+		pid:    client.PID(),
+		client: client,
+		golden: make(map[[2]int][]uint32),
+	}
+	w.calls[c.pid] = c
+
+	setupOpsCost := client.LastChargedCost(memdb.OpInit)
+	w.phaseAuth(c, setupOpsCost, 0)
+}
+
+// phaseAuth reads system configuration to authenticate the subscriber.
+func (w *Workload) phaseAuth(c *call, opsCost time.Duration, attempt int) {
+	if c.done {
+		return
+	}
+	reads := w.cfg.ConfigReads
+	if reads <= 0 {
+		reads = 1
+	}
+	clean := true
+	for n := 0; n < reads; n++ {
+		cfgRec := w.rng.Intn(w.configRecords())
+		vals, err := c.client.ReadRec(TblConfig, cfgRec)
+		if err != nil {
+			w.opError(c, TblConfig, cfgRec, err, attempt, func(next int) {
+				w.phaseAuth(c, opsCost, next)
+			})
+			return
+		}
+		opsCost += c.client.LastChargedCost(memdb.OpReadRec)
+		// Static configuration is known-good from startup: the client
+		// validates what it read against the expected values, so
+		// corrupted configuration observably impacts call processing.
+		for fi, got := range vals {
+			want, serr := w.db.SnapshotField(TblConfig, cfgRec, fi)
+			if serr != nil || got == want {
+				continue
+			}
+			clean = false
+			w.stats.Mismatches++
+			off := -1
+			if base, oerr := w.db.TrueRecordOffset(TblConfig, cfgRec); oerr == nil {
+				off = base + memdb.RecordHeaderSize + memdb.FieldSize*fi
+			}
+			if w.events.OnMismatch != nil {
+				w.events.OnMismatch(Mismatch{
+					Table: TblConfig, Record: cfgRec, Field: fi,
+					Offset: off, Got: got, Want: want, At: w.env.Now(),
+				})
+			}
+		}
+	}
+	if !clean {
+		w.abortWithCleanup(c, "corrupted system configuration")
+		return
+	}
+	if _, err := c.client.ReadFld(TblConfig, 0, 2); err == nil {
+		opsCost += c.client.LastChargedCost(memdb.OpReadFld)
+	}
+	// Authentication compute time.
+	w.after(c, 10*time.Millisecond, func() { w.phaseAlloc(c, opsCost, 0) })
+}
+
+// phaseAlloc claims the three-record chain and writes the semantic loop.
+func (w *Workload) phaseAlloc(c *call, opsCost time.Duration, attempt int) {
+	if c.done {
+		return
+	}
+	retry := func(next int) { w.phaseAlloc(c, opsCost, next) }
+
+	if !c.haveRec[0] {
+		ri, err := c.client.Alloc(TblProc, 1)
+		if err != nil {
+			w.opError(c, TblProc, -1, err, attempt, retry)
+			return
+		}
+		c.proc, c.haveRec[0] = ri, true
+		opsCost += c.client.LastChargedCost(memdb.OpAlloc)
+	}
+	if !c.haveRec[1] {
+		ri, err := c.client.Alloc(TblConn, 1)
+		if err != nil {
+			w.opError(c, TblConn, -1, err, attempt, retry)
+			return
+		}
+		c.conn, c.haveRec[1] = ri, true
+		opsCost += c.client.LastChargedCost(memdb.OpAlloc)
+	}
+	if !c.haveRec[2] {
+		// Resources come from a randomly selected channel bank, linking
+		// the record into that bank's group chain.
+		ri, err := c.client.Alloc(TblRes, w.rng.Intn(ResourceBanks))
+		if err != nil {
+			w.opError(c, TblRes, -1, err, attempt, retry)
+			return
+		}
+		c.res, c.haveRec[2] = ri, true
+		opsCost += c.client.LastChargedCost(memdb.OpAlloc)
+	}
+
+	caller := uint32(w.rng.Uint64()%9_000_000) + 1_000_000
+	writes := []struct {
+		table, rec int
+		vals       []uint32
+	}{
+		{TblProc, c.proc, []uint32{uint32(c.conn), 1}},
+		{TblConn, c.conn, []uint32{uint32(c.res), caller, 1}},
+		{TblRes, c.res, []uint32{uint32(c.proc), 1, 80}},
+	}
+	for _, wr := range writes {
+		if err := c.client.WriteRec(wr.table, wr.rec, wr.vals); err != nil {
+			w.opError(c, wr.table, wr.rec, err, attempt, retry)
+			return
+		}
+		// Golden local copy of everything written (Figure 8 step 2).
+		g := make([]uint32, len(wr.vals))
+		copy(g, wr.vals)
+		c.golden[[2]int{wr.table, wr.rec}] = g
+		opsCost += c.client.LastChargedCost(memdb.OpWriteRec)
+	}
+
+	// Setup complete: account its duration per the calibrated model.
+	setup := w.cfg.SetupBase + time.Duration(w.cfg.OpAmplification*float64(opsCost))
+	if w.db.Audited() {
+		setup += w.cfg.AuditContention
+	}
+	w.stats.SetupCount++
+	w.stats.SetupTotal += setup
+
+	w.after(c, setup, func() { w.phaseActive(c) })
+}
+
+// phaseActive holds the call, touching its records periodically.
+func (w *Workload) phaseActive(c *call) {
+	if c.done {
+		return
+	}
+	if w.cfg.MidCallPeriod > 0 {
+		tk, err := w.env.NewTicker(w.cfg.MidCallPeriod, func() { w.midCall(c) })
+		if err == nil {
+			c.tick = tk
+		}
+	}
+	hold := w.rng.Uniform(w.cfg.HoldMin, w.cfg.HoldMax)
+	w.after(c, hold, func() { w.phaseTeardown(c, 0) })
+}
+
+// midCall reads the connection record back (using the data — where escaped
+// database errors impact the client), consults configuration for the
+// in-call features, and advances the call state field.
+func (w *Workload) midCall(c *call) {
+	if c.done {
+		return
+	}
+	// In-call feature handling consults system configuration; corrupted
+	// parameters impact the call exactly as during setup.
+	cfgRec := w.rng.Intn(w.configRecords())
+	if vals, err := c.client.ReadRec(TblConfig, cfgRec); err == nil {
+		for fi, got := range vals {
+			want, serr := w.db.SnapshotField(TblConfig, cfgRec, fi)
+			if serr != nil || got == want {
+				continue
+			}
+			w.stats.Mismatches++
+			off := -1
+			if base, oerr := w.db.TrueRecordOffset(TblConfig, cfgRec); oerr == nil {
+				off = base + memdb.RecordHeaderSize + memdb.FieldSize*fi
+			}
+			if w.events.OnMismatch != nil {
+				w.events.OnMismatch(Mismatch{
+					Table: TblConfig, Record: cfgRec, Field: fi,
+					Offset: off, Got: got, Want: want, At: w.env.Now(),
+				})
+			}
+			w.abortWithCleanup(c, "corrupted system configuration")
+			return
+		}
+	}
+	vals, err := c.client.ReadRec(TblConn, c.conn)
+	if err != nil {
+		if w.corruptionError(err) {
+			w.reportOpFailure(c, TblConn, c.conn, err)
+			w.abortWithCleanup(c, "mid-call read failed")
+		}
+		return // transient lock contention: skip this touch
+	}
+	if !w.compare(c, TblConn, c.conn, vals) {
+		w.abortWithCleanup(c, "mid-call data corruption")
+		return
+	}
+	g := c.golden[[2]int{TblConn, c.conn}]
+	next := (g[FldConnState] + 1) % 5
+	if err := c.client.WriteFld(TblConn, c.conn, FldConnState, next); err != nil {
+		if w.corruptionError(err) {
+			// The call's record vanished or the catalog broke: the
+			// state machine cannot advance this call.
+			w.reportOpFailure(c, TblConn, c.conn, err)
+			w.abortWithCleanup(c, "mid-call state update failed")
+		}
+		return // transient lock contention: try again next touch
+	}
+	g[FldConnState] = next
+}
+
+// phaseTeardown re-reads every record, compares against golden copies
+// (Figure 8 steps 4–6), frees the chain, and closes the connection.
+func (w *Workload) phaseTeardown(c *call, attempt int) {
+	if c.done {
+		return
+	}
+	clean := true
+	for _, m := range [][2]int{{TblProc, c.proc}, {TblConn, c.conn}, {TblRes, c.res}} {
+		vals, err := c.client.ReadRec(m[0], m[1])
+		if err != nil {
+			if errors.Is(err, memdb.ErrLocked) && attempt < w.cfg.LockRetries {
+				w.after(c, w.cfg.LockRetry, func() { w.phaseTeardown(c, attempt+1) })
+				return
+			}
+			w.reportOpFailure(c, m[0], m[1], err)
+			clean = false
+			continue
+		}
+		if !w.compare(c, m[0], m[1], vals) {
+			clean = false
+		}
+	}
+	w.cleanup(c)
+	if clean {
+		w.finish(c, OutcomeCompleted, "")
+	} else {
+		w.finish(c, OutcomeDropped, "teardown comparison failed")
+	}
+}
+
+// compare checks read-back values against the golden copy, reporting every
+// mismatching field with its exact region offset.
+func (w *Workload) compare(c *call, table, rec int, got []uint32) bool {
+	want, ok := c.golden[[2]int{table, rec}]
+	if !ok {
+		return true
+	}
+	clean := true
+	for fi := range want {
+		if fi >= len(got) || got[fi] == want[fi] {
+			continue
+		}
+		clean = false
+		w.stats.Mismatches++
+		off := -1
+		if base, err := w.db.TrueRecordOffset(table, rec); err == nil {
+			off = base + memdb.RecordHeaderSize + memdb.FieldSize*fi
+		}
+		if w.events.OnMismatch != nil {
+			w.events.OnMismatch(Mismatch{
+				Table: table, Record: rec, Field: fi,
+				Offset: off, Got: got[fi], Want: want[fi],
+				At: w.env.Now(),
+			})
+		}
+	}
+	return clean
+}
+
+// opError routes an operation failure: lock contention retries with
+// back-off; allocation exhaustion and corruption drop the call.
+func (w *Workload) opError(c *call, table, rec int, err error, attempt int, retry func(int)) {
+	switch {
+	case errors.Is(err, memdb.ErrLocked):
+		if attempt < w.cfg.LockRetries {
+			w.after(c, w.cfg.LockRetry, func() { retry(attempt + 1) })
+			return
+		}
+		w.abortWithCleanup(c, "lock starvation")
+	case errors.Is(err, memdb.ErrNoFreeRecord):
+		w.abortWithCleanup(c, "table exhausted")
+	default:
+		if w.corruptionError(err) {
+			w.reportOpFailure(c, table, rec, err)
+		}
+		w.abortWithCleanup(c, fmt.Sprintf("operation failed: %v", err))
+	}
+}
+
+// corruptionError distinguishes corruption-flavoured failures from
+// contention and client-lifecycle errors.
+func (w *Workload) corruptionError(err error) bool {
+	var be *memdb.BoundsError
+	return errors.Is(err, memdb.ErrCorruptCatalog) ||
+		errors.Is(err, memdb.ErrNotActive) ||
+		errors.As(err, &be)
+}
+
+func (w *Workload) reportOpFailure(c *call, table, rec int, err error) {
+	w.stats.OpFailures++
+	if w.events.OnOpFailure == nil {
+		return
+	}
+	off := -1
+	if rec >= 0 {
+		if base, oerr := w.db.TrueRecordOffset(table, rec); oerr == nil {
+			off = base
+		}
+	}
+	w.events.OnOpFailure(OpFailure{Table: table, Record: rec, Offset: off, Err: err, At: w.env.Now()})
+}
+
+// abortWithCleanup frees the call's records (best effort) and drops it.
+func (w *Workload) abortWithCleanup(c *call, reason string) {
+	w.cleanup(c)
+	w.finish(c, OutcomeDropped, reason)
+}
+
+// cleanup frees allocated records and closes the connection, best effort.
+func (w *Workload) cleanup(c *call) {
+	frees := []struct {
+		have  bool
+		table int
+		rec   int
+	}{
+		{c.haveRec[0], TblProc, c.proc},
+		{c.haveRec[1], TblConn, c.conn},
+		{c.haveRec[2], TblRes, c.res},
+	}
+	for _, f := range frees {
+		if f.have {
+			_ = c.client.Free(f.table, f.rec) // record may already be gone
+		}
+	}
+	if !c.client.Closed() {
+		_ = c.client.Close()
+	}
+}
+
+// finish retires the call with a terminal outcome.
+func (w *Workload) finish(c *call, outcome Outcome, reason string) {
+	if c.done {
+		return
+	}
+	c.done = true
+	for _, ev := range c.pending {
+		ev.Cancel()
+	}
+	if c.tick != nil {
+		c.tick.Stop()
+	}
+	if !c.client.Closed() {
+		_ = c.client.Close()
+	}
+	delete(w.calls, c.pid)
+	switch outcome {
+	case OutcomeCompleted:
+		w.stats.Completed++
+	case OutcomeTerminated:
+		w.stats.Terminated++
+	default:
+		w.stats.Dropped++
+	}
+	if w.events.OnCallDone != nil {
+		w.events.OnCallDone(c.pid, outcome, reason)
+	}
+}
+
+// after schedules fn on the call, tracking the event for cancellation.
+func (w *Workload) after(c *call, d time.Duration, fn func()) {
+	ev := w.env.Schedule(d, func() {
+		if !c.done {
+			fn()
+		}
+	})
+	c.pending = append(c.pending, ev)
+}
+
+func (w *Workload) configRecords() int {
+	return w.db.Schema().Tables[TblConfig].NumRecords
+}

@@ -1,0 +1,392 @@
+package callproc
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/ipc"
+	"repro/internal/memdb"
+	"repro/internal/sim"
+)
+
+type rig struct {
+	env *sim.Env
+	db  *memdb.DB
+	wl  *Workload
+}
+
+func newRig(t *testing.T, cfg Config, events Events) *rig {
+	t.Helper()
+	env := sim.NewEnv(7)
+	db, err := memdb.New(Schema(DefaultSchemaConfig()), memdb.WithClock(env.Now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := New(env, db, cfg, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{env: env, db: db, wl: wl}
+}
+
+func TestSchemaValid(t *testing.T) {
+	if err := Schema(DefaultSchemaConfig()).Validate(); err != nil {
+		t.Fatalf("Schema invalid: %v", err)
+	}
+	// Degenerate config falls back to defaults.
+	if err := Schema(SchemaConfig{}).Validate(); err != nil {
+		t.Fatalf("Schema with zero config invalid: %v", err)
+	}
+	if err := CallLoop().Validate(Schema(DefaultSchemaConfig())); err != nil {
+		t.Fatalf("CallLoop invalid: %v", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	env := sim.NewEnv(1)
+	db, err := memdb.New(Schema(DefaultSchemaConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Threads = 0
+	if _, err := New(env, db, cfg, Events{}); err == nil {
+		t.Fatal("Threads=0 accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.HoldMin, cfg.HoldMax = 10*time.Second, 5*time.Second
+	if _, err := New(env, db, cfg, Events{}); err == nil {
+		t.Fatal("HoldMax<HoldMin accepted")
+	}
+	// A schema missing the call tables is rejected.
+	other, err := memdb.New(memdb.Schema{Tables: []memdb.TableSpec{{
+		Name: "X", NumRecords: 2, Fields: []memdb.FieldSpec{{Name: "f", Kind: memdb.Dynamic}}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(env, other, DefaultConfig(), Events{}); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+func TestCallsCompleteOnCleanDatabase(t *testing.T) {
+	var done []Outcome
+	r := newRig(t, DefaultConfig(), Events{
+		OnCallDone: func(pid int, o Outcome, reason string) {
+			done = append(done, o)
+			if o != OutcomeCompleted {
+				t.Errorf("call %d: %v (%s)", pid, o, reason)
+			}
+		},
+	})
+	if err := r.wl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.env.Run(2000 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := r.wl.Stats()
+	if st.Completed < 150 {
+		t.Fatalf("completed %d calls over 2000s, want ≈190", st.Completed)
+	}
+	if st.Mismatches != 0 || st.Dropped != 0 || st.Terminated != 0 {
+		t.Fatalf("clean run saw mismatches/drops: %+v", st)
+	}
+	if len(done) != st.Completed {
+		t.Fatalf("OnCallDone fired %d times for %d completions", len(done), st.Completed)
+	}
+}
+
+func TestSetupTimeCalibration(t *testing.T) {
+	// Without audits: ≈160 ms average setup. With audits: ≈270 ms.
+	run := func(audited bool) time.Duration {
+		r := newRig(t, DefaultConfig(), Events{})
+		if audited {
+			q, err := ipc.NewQueue(1 << 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.db.EnableAudit(q)
+		}
+		if err := r.wl.Start(); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.env.Run(2000 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return r.wl.Stats().AvgSetup()
+	}
+	plain := run(false)
+	audited := run(true)
+	if plain < 140*time.Millisecond || plain > 180*time.Millisecond {
+		t.Fatalf("unaudited setup = %v, want ≈160ms", plain)
+	}
+	if audited < 240*time.Millisecond || audited > 300*time.Millisecond {
+		t.Fatalf("audited setup = %v, want ≈270ms", audited)
+	}
+	if float64(audited)/float64(plain) < 1.4 {
+		t.Fatalf("audit setup overhead ratio %v too small", float64(audited)/float64(plain))
+	}
+}
+
+func TestClientDetectsCorruption(t *testing.T) {
+	var mismatches []Mismatch
+	cfg := DefaultConfig()
+	r := newRig(t, cfg, Events{
+		OnMismatch: func(m Mismatch) { mismatches = append(mismatches, m) },
+	})
+	if err := r.wl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the CallerID of the first connection record that becomes
+	// active.
+	corrupted := false
+	tk, err := r.env.NewTicker(2*time.Second, func() {
+		if corrupted {
+			return
+		}
+		for ri := 0; ri < 64; ri++ {
+			st, err := r.db.StatusDirect(TblConn, ri)
+			if err == nil && st == memdb.StatusActive {
+				_ = r.db.WriteFieldDirect(TblConn, ri, FldConnCallerID, 424242)
+				corrupted = true
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tk.Stop()
+	if err := r.env.Run(120 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(mismatches) == 0 {
+		t.Fatal("corruption not observed by client")
+	}
+	m := mismatches[0]
+	if m.Table != TblConn || m.Field != FldConnCallerID || m.Got != 424242 {
+		t.Fatalf("mismatch = %+v", m)
+	}
+	if m.Offset < 0 {
+		t.Fatal("mismatch offset unknown")
+	}
+	if r.wl.Stats().Dropped == 0 {
+		t.Fatal("corrupted call not dropped")
+	}
+}
+
+func TestCallDroppedWhenAuditFreesRecords(t *testing.T) {
+	r := newRig(t, DefaultConfig(), Events{})
+	if err := r.wl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-run, emulate an audit recovery freeing an active connection.
+	r.env.Schedule(15*time.Second, func() {
+		for ri := 0; ri < 64; ri++ {
+			st, err := r.db.StatusDirect(TblConn, ri)
+			if err == nil && st == memdb.StatusActive {
+				_ = r.db.FreeRecordDirect(TblConn, ri)
+				return
+			}
+		}
+	})
+	if err := r.env.Run(120 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := r.wl.Stats()
+	// The affected call ends dropped (teardown mismatch on freed record's
+	// defaults or ErrNotActive on mid-call write), not hung.
+	if st.Dropped == 0 {
+		t.Fatalf("no dropped call after audit free: %+v", st)
+	}
+	if r.wl.Active() != 0 && r.env.Pending() == 0 {
+		t.Fatal("call leaked with no pending events (hang)")
+	}
+}
+
+func TestTerminateThread(t *testing.T) {
+	var terminated []int
+	r := newRig(t, DefaultConfig(), Events{
+		OnCallDone: func(pid int, o Outcome, _ string) {
+			if o == OutcomeTerminated {
+				terminated = append(terminated, pid)
+			}
+		},
+	})
+	if err := r.wl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	victim := -1
+	tk, err := r.env.NewTicker(2*time.Second, func() {
+		if victim >= 0 {
+			return
+		}
+		// Kill the first active call thread that appears.
+		for pid := range r.wl.calls {
+			victim = pid
+			r.wl.TerminateThread(pid)
+			return
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tk.Stop()
+	if err := r.env.Run(120 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(terminated) != 1 || terminated[0] != victim {
+		t.Fatalf("terminated = %v, want [%d]", terminated, victim)
+	}
+	if r.wl.Stats().Terminated != 1 {
+		t.Fatalf("stats = %+v", r.wl.Stats())
+	}
+	// Terminating an unknown PID is a no-op.
+	r.wl.TerminateThread(999999)
+}
+
+func TestThreadLimitRejectsExcessCalls(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Threads = 2
+	cfg.InterArrival = time.Second // heavy offered load
+	r := newRig(t, cfg, Events{})
+	if err := r.wl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.env.Run(300 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := r.wl.Stats()
+	if st.Rejected == 0 {
+		t.Fatalf("no rejections under overload: %+v", st)
+	}
+	if r.wl.Active() > 2 {
+		t.Fatalf("active calls %d exceed thread limit", r.wl.Active())
+	}
+}
+
+func TestStopAbortsInFlightCalls(t *testing.T) {
+	r := newRig(t, DefaultConfig(), Events{})
+	if err := r.wl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.wl.Start(); err == nil {
+		t.Fatal("double Start succeeded")
+	}
+	if err := r.env.Run(25 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	r.wl.Stop()
+	if r.wl.Active() != 0 {
+		t.Fatalf("active = %d after Stop", r.wl.Active())
+	}
+	arrivalsAtStop := r.wl.Stats().Arrivals
+	if err := r.env.Run(100 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if r.wl.Stats().Arrivals != arrivalsAtStop {
+		t.Fatal("arrivals continued after Stop")
+	}
+	r.wl.Stop() // idempotent
+}
+
+func TestLockContentionRetriesThenCompletes(t *testing.T) {
+	r := newRig(t, DefaultConfig(), Events{})
+	// A foreign client holds the Connection table across a window that
+	// overlaps call setups; calls must retry and eventually complete.
+	blocker, err := r.db.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.env.Schedule(4*time.Second, func() {
+		if err := blocker.Begin(TblConn); err != nil {
+			t.Errorf("Begin: %v", err)
+		}
+	})
+	r.env.Schedule(4*time.Second+120*time.Millisecond, func() {
+		if err := blocker.Commit(); err != nil {
+			t.Errorf("Commit: %v", err)
+		}
+	})
+	if err := r.wl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.env.Run(300 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := r.wl.Stats()
+	if st.Completed == 0 {
+		t.Fatalf("no completions: %+v", st)
+	}
+}
+
+func TestWorkloadWithFullAuditStack(t *testing.T) {
+	// Integration: workload + audit process + semantic/structural/range/
+	// static checks, clean database → no findings, calls complete.
+	env := sim.NewEnv(11)
+	db, err := memdb.New(Schema(DefaultSchemaConfig()), memdb.WithClock(env.Now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ipc.NewQueue(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.EnableAudit(q)
+	wl, err := New(env, db, DefaultConfig(), Events{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := audit.Recovery{TerminateClient: wl.TerminateThread}
+	sem, err := audit.NewSemanticCheck(db, rec, env.Now, CallLoop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := audit.NewProcess(env, db, q)
+	pe := audit.NewPeriodicElement(10*time.Second, audit.FullSweep, nil,
+		audit.NewStaticCheck(db, rec),
+		audit.NewStructuralCheck(db, rec),
+		audit.NewRangeCheck(db, rec),
+		sem,
+	)
+	for _, el := range []audit.Element{audit.NewHeartbeatElement(), audit.NewProgressElement(rec), pe} {
+		if err := proc.Register(el); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := proc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Run(500 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := proc.Stats().Total(); got != 0 {
+		t.Fatalf("clean run produced %d findings: %v", got, proc.Stats().ByClass)
+	}
+	if wl.Stats().Completed == 0 {
+		t.Fatal("no calls completed under audit stack")
+	}
+	if wl.Stats().Terminated != 0 {
+		t.Fatalf("audit terminated healthy calls: %+v", wl.Stats())
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	if OutcomeCompleted.String() != "completed" || OutcomeDropped.String() != "dropped" ||
+		OutcomeTerminated.String() != "terminated" || Outcome(0).String() != "unknown" {
+		t.Fatal("Outcome.String mismatch")
+	}
+}
+
+func TestAvgSetupZeroDivision(t *testing.T) {
+	var s Stats
+	if s.AvgSetup() != 0 {
+		t.Fatal("AvgSetup on empty stats nonzero")
+	}
+}

@@ -1,0 +1,45 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// barRow is one horizontal bar of an ASCII chart.
+type barRow struct {
+	Label  string
+	Value  float64
+	Suffix string
+}
+
+// asciiBars renders labeled horizontal bars scaled so the widest bar fills
+// width cells — the terminal rendering of the paper's bar figures.
+func asciiBars(title string, rows []barRow, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	maxVal := 0.0
+	labelW := 0
+	for _, r := range rows {
+		if r.Value > maxVal {
+			maxVal = r.Value
+		}
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for _, r := range rows {
+		n := 0
+		if maxVal > 0 {
+			n = int(r.Value/maxVal*float64(width) + 0.5)
+		}
+		fmt.Fprintf(&b, "  %-*s |%s%s %s\n",
+			labelW, r.Label, strings.Repeat("█", n), strings.Repeat(" ", width-n), r.Suffix)
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Figure3Point is one x-position of Figure 3: the escaped-error count and
+// percentage at a given fault/error inter-arrival time.
+type Figure3Point struct {
+	InterArrival time.Duration
+	Runs         int
+	Injected     int
+	Escaped      int
+	EscapedPct   float64
+}
+
+// EscapedPerRun normalizes the count to a single run, the paper's y-axis.
+func (p Figure3Point) EscapedPerRun() float64 {
+	if p.Runs == 0 {
+		return 0
+	}
+	return float64(p.Escaped) / float64(p.Runs)
+}
+
+// Figure3 is the escape-rate sweep over error inter-arrival times 2–20 s
+// with audits running (Table 2 parameters otherwise).
+type Figure3 struct {
+	Points []Figure3Point
+}
+
+// RunFigure3 regenerates Figure 3. Scale shrinks runs/duration as in
+// RunTable3.
+func RunFigure3(scale float64) (*Figure3, error) {
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("experiment: scale %v out of (0,1]", scale)
+	}
+	var fig Figure3
+	for _, sec := range []int{2, 4, 6, 8, 10, 12, 14, 16, 18, 20} {
+		cfg := DefaultEffectConfig()
+		cfg.WithAudit = true
+		cfg.ErrorInterArrival = time.Duration(sec) * time.Second
+		cfg.Runs = atLeast(int(float64(cfg.Runs)*scale), 2)
+		cfg.Duration = time.Duration(float64(cfg.Duration) * scale)
+		if cfg.Duration < 200*time.Second {
+			cfg.Duration = 200 * time.Second
+		}
+		res, err := RunEffect(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: figure 3 at %ds: %w", sec, err)
+		}
+		fig.Points = append(fig.Points, Figure3Point{
+			InterArrival: cfg.ErrorInterArrival,
+			Runs:         cfg.Runs,
+			Injected:     res.Injected,
+			Escaped:      res.Escaped,
+			EscapedPct:   res.EscapedPct(),
+		})
+	}
+	return &fig, nil
+}
+
+// Render prints the two Figure 3 series (escaped count per run and escaped
+// percentage) against the inter-arrival axis.
+func (f *Figure3) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 3: escaped errors vs. fault/error inter-arrival time (with audits)\n")
+	b.WriteString("inter-arrival   injected   escaped   escaped-per-run   escaped%\n")
+	for _, p := range f.Points {
+		fmt.Fprintf(&b, "%13v %10d %9d %17.1f %9.1f%%\n",
+			p.InterArrival, p.Injected, p.Escaped, p.EscapedPerRun(), p.EscapedPct)
+	}
+	rows := make([]barRow, 0, len(f.Points))
+	for _, p := range f.Points {
+		rows = append(rows, barRow{
+			Label:  p.InterArrival.String(),
+			Value:  p.EscapedPerRun(),
+			Suffix: fmt.Sprintf("%.1f escapes/run (%.1f%%)", p.EscapedPerRun(), p.EscapedPct),
+		})
+	}
+	b.WriteString(asciiBars("", rows, 44))
+	b.WriteString("(paper: count rises as inter-arrival shrinks; percentage stays ≈8–14%)\n")
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/callproc"
+	"repro/internal/ipc"
+	"repro/internal/memdb"
+)
+
+// Figure4Row is one bar pair of Figure 4: the average running time of a
+// database API function in its original and audit-modified form.
+type Figure4Row struct {
+	Op          memdb.Op
+	Original    time.Duration
+	Modified    time.Duration
+	OverheadPct float64
+}
+
+// Figure4 is the run-time overhead of the modified database API.
+type Figure4 struct {
+	Rows       []Figure4Row
+	Executions int
+}
+
+// RunFigure4 regenerates Figure 4 by executing each API function the
+// paper's 200 times in both configurations and averaging the charged cost.
+func RunFigure4() (*Figure4, error) {
+	const executions = 200
+	ops := []memdb.Op{
+		memdb.OpWriteRec, memdb.OpWriteFld, memdb.OpMove,
+		memdb.OpClose, memdb.OpReadRec, memdb.OpReadFld, memdb.OpInit,
+	}
+	measure := func(audited bool) (map[memdb.Op]time.Duration, error) {
+		db, err := memdb.New(callproc.Schema(callproc.DefaultSchemaConfig()))
+		if err != nil {
+			return nil, err
+		}
+		if audited {
+			q, err := ipc.NewQueue(1 << 20)
+			if err != nil {
+				return nil, err
+			}
+			db.EnableAudit(q)
+		}
+		for i := 0; i < executions; i++ {
+			c, err := db.Connect() // DBinit
+			if err != nil {
+				return nil, err
+			}
+			ri, err := c.Alloc(callproc.TblConn, 1)
+			if err != nil {
+				return nil, err
+			}
+			if err := c.WriteRec(callproc.TblConn, ri, []uint32{1, 42, 1}); err != nil {
+				return nil, err
+			}
+			if err := c.WriteFld(callproc.TblConn, ri, callproc.FldConnState, 2); err != nil {
+				return nil, err
+			}
+			if err := c.Move(callproc.TblConn, ri, 3); err != nil {
+				return nil, err
+			}
+			if _, err := c.ReadRec(callproc.TblConn, ri); err != nil {
+				return nil, err
+			}
+			if _, err := c.ReadFld(callproc.TblConn, ri, 0); err != nil {
+				return nil, err
+			}
+			if err := c.Free(callproc.TblConn, ri); err != nil {
+				return nil, err
+			}
+			if err := c.Close(); err != nil {
+				return nil, err
+			}
+		}
+		counts := db.Counts()
+		out := make(map[memdb.Op]time.Duration, len(ops))
+		for _, op := range ops {
+			if counts.Calls[op] == 0 {
+				continue
+			}
+			out[op] = counts.Time[op] / time.Duration(counts.Calls[op])
+		}
+		return out, nil
+	}
+	orig, err := measure(false)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: figure 4 original: %w", err)
+	}
+	mod, err := measure(true)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: figure 4 modified: %w", err)
+	}
+	fig := &Figure4{Executions: executions}
+	for _, op := range ops {
+		o, m := orig[op], mod[op]
+		overhead := 0.0
+		if o > 0 {
+			overhead = 100 * float64(m-o) / float64(o)
+		}
+		fig.Rows = append(fig.Rows, Figure4Row{
+			Op: op, Original: o, Modified: m, OverheadPct: overhead,
+		})
+	}
+	return fig, nil
+}
+
+// Render prints the Figure 4 bars with the paper's overhead annotations.
+func (f *Figure4) Render() string {
+	paper := map[memdb.Op]float64{
+		memdb.OpWriteRec: 45.2, memdb.OpWriteFld: 29.4, memdb.OpMove: 25.8,
+		memdb.OpClose: 19.1, memdb.OpReadRec: 10.5, memdb.OpReadFld: 10.3,
+		memdb.OpInit: 6.5,
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4: run-time overhead of the modified database API (%d executions)\n", f.Executions)
+	b.WriteString("function      original     modified    overhead    (paper)\n")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-12s %9v %12v %9.1f%%    (%.1f%%)\n",
+			r.Op, r.Original, r.Modified, r.OverheadPct, paper[r.Op])
+	}
+	return b.String()
+}

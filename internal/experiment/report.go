@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/inject"
+)
+
+// RenderDetailed prints the per-error-model breakdown behind the
+// cumulative Tables 8/9, with the 95% binomial confidence intervals the
+// paper reports in parentheses.
+func (t *Table89) RenderDetailed() string {
+	var b strings.Builder
+	if t.Directed {
+		b.WriteString("Per-model breakdown: directed injection to control flow instructions\n")
+	} else {
+		b.WriteString("Per-model breakdown: random injection to the instruction stream\n")
+	}
+	outcomes := []inject.Outcome{
+		inject.OutcomeNotManifested, inject.OutcomePECOS, inject.OutcomeAudit,
+		inject.OutcomeSystem, inject.OutcomeHang, inject.OutcomeFSV,
+	}
+	for _, col := range t.Columns {
+		fmt.Fprintf(&b, "\n%s\n", col.Name())
+		fmt.Fprintf(&b, "  %-10s %9s %10s", "model", "injected", "activated")
+		for _, o := range outcomes {
+			fmt.Fprintf(&b, " %24s", shortOutcome(o))
+		}
+		b.WriteByte('\n')
+		for _, res := range col.Results {
+			fmt.Fprintf(&b, "  %-10s %9d %10d", res.Campaign.Model, res.Injected, res.Activated)
+			for _, o := range outcomes {
+				lo, hi := res.ConfidenceInterval(o)
+				fmt.Fprintf(&b, "    %5.1f%% (%4.1f,%4.1f)", 100*res.Rate(o), 100*lo, 100*hi)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func shortOutcome(o inject.Outcome) string {
+	switch o {
+	case inject.OutcomeNotManifested:
+		return "not-manifested"
+	case inject.OutcomePECOS:
+		return "pecos"
+	case inject.OutcomeAudit:
+		return "audit"
+	case inject.OutcomeSystem:
+		return "system"
+	case inject.OutcomeHang:
+		return "hang"
+	case inject.OutcomeFSV:
+		return "fail-silence"
+	default:
+		return o.String()
+	}
+}
+
+// MultiActivationRate reports the share of runs where the single injected
+// error activated in more than one thread — the §6.1.2 multi-thread
+// observation ("cases of multiple errors being activated are observed").
+func (c *CampaignColumn) MultiActivationRate() float64 {
+	multi, inj := 0, 0
+	for _, res := range c.Results {
+		multi += res.MultiActivations
+		inj += res.Injected
+	}
+	if inj == 0 {
+		return 0
+	}
+	return float64(multi) / float64(inj)
+}

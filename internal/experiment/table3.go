@@ -1,0 +1,127 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/audit"
+)
+
+// Table3 is the paper's Table 3: running the call-processing client with
+// and without database audits at a 20-second error inter-arrival time.
+type Table3 struct {
+	Without *EffectResult
+	With    *EffectResult
+	// Paper's reference values, for EXPERIMENTS.md comparison.
+	PaperEscapedWithoutPct, PaperEscapedWithPct float64
+	PaperCaughtPct                              float64
+	PaperSetupWithout, PaperSetupWith           time.Duration
+}
+
+// RunTable3 regenerates Table 3. Scale (0,1] shrinks runs and duration for
+// quick benchmarking; 1.0 is the paper's shape (30 × 2000 s).
+func RunTable3(scale float64) (*Table3, error) {
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("experiment: scale %v out of (0,1]", scale)
+	}
+	base := DefaultEffectConfig()
+	base.Runs = atLeast(int(float64(base.Runs)*scale), 2)
+	base.Duration = time.Duration(float64(base.Duration) * scale)
+	if base.Duration < 200*time.Second {
+		base.Duration = 200 * time.Second
+	}
+
+	without := base
+	without.WithAudit = false
+	resWithout, err := RunEffect(without)
+	if err != nil {
+		return nil, err
+	}
+	with := base
+	with.WithAudit = true
+	resWith, err := RunEffect(with)
+	if err != nil {
+		return nil, err
+	}
+	return &Table3{
+		Without:                resWithout,
+		With:                   resWith,
+		PaperEscapedWithoutPct: 63,
+		PaperEscapedWithPct:    13,
+		PaperCaughtPct:         85,
+		PaperSetupWithout:      160 * time.Millisecond,
+		PaperSetupWith:         270 * time.Millisecond,
+	}, nil
+}
+
+// Render prints the table in the paper's row layout.
+func (t *Table3) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: client with and without audits (error inter-arrival %v)\n",
+		t.With.Config.ErrorInterArrival)
+	fmt.Fprintf(&b, "%-52s %14s %14s\n", "", "Without Audits", "With Audits")
+	fmt.Fprintf(&b, "%-52s %10d     %10d\n", "Total number of injected errors",
+		t.Without.Injected, t.With.Injected)
+	fmt.Fprintf(&b, "%-52s %9.0f%%     %9.0f%%   (paper: %.0f%% / %.0f%%)\n",
+		"Errors escaped from audits, affecting application",
+		t.Without.EscapedPct(), t.With.EscapedPct(),
+		t.PaperEscapedWithoutPct, t.PaperEscapedWithPct)
+	fmt.Fprintf(&b, "%-52s %10s     %9.0f%%   (paper: %.0f%%)\n",
+		"Errors caught by audits", "N/A", t.With.CaughtPct(), t.PaperCaughtPct)
+	fmt.Fprintf(&b, "%-52s %9.0f%%     %9.0f%%   (paper: 37%% / 2%%)\n",
+		"Errors with no effect on application",
+		t.Without.NoEffectPct(), t.With.NoEffectPct())
+	fmt.Fprintf(&b, "%-52s %11v     %11v   (paper: %v / %v)\n",
+		"Average call setup time",
+		t.Without.AvgSetup.Round(time.Millisecond), t.With.AvgSetup.Round(time.Millisecond),
+		t.PaperSetupWithout, t.PaperSetupWith)
+	return b.String()
+}
+
+// Table4 is the per-error-type breakdown of the audited run.
+type Table4 struct {
+	Result *EffectResult
+}
+
+// RunTable4 regenerates Table 4 (the detailed breakdown of the Table 3
+// "with audits" column).
+func RunTable4(scale float64) (*Table4, error) {
+	t3, err := RunTable3(scale)
+	if err != nil {
+		return nil, err
+	}
+	return &Table4{Result: t3.With}, nil
+}
+
+// Render prints the Table 4 row layout.
+func (t *Table4) Render() string {
+	r := t.Result
+	var b strings.Builder
+	b.WriteString("Table 4: breakdown of inserted and detected errors (with audits)\n")
+	structural := r.ByRegion["structural"]
+	static := r.ByRegion["static"]
+	dynamic := r.ByRegion["dynamic"]
+	row := func(name string, detected, escaped, noeffect int) {
+		total := detected + escaped + noeffect
+		fmt.Fprintf(&b, "%-22s detected %5d (%5.1f%%)  escaped %5d (%5.1f%%)  no-effect %5d (%5.1f%%)\n",
+			name, detected, pct(detected, total), escaped, pct(escaped, total),
+			noeffect, pct(noeffect, total))
+	}
+	row("Structural (headers)", structural.Detected, structural.Escaped, structural.NoEffect)
+	row("Static data", static.Detected, static.Escaped, static.NoEffect)
+	row("Dynamic data", dynamic.Detected, dynamic.Escaped, dynamic.NoEffect)
+	fmt.Fprintf(&b, "All detections by technique: range=%d semantic=%d structural=%d static=%d\n",
+		r.CaughtByClass[audit.ClassRange], r.CaughtByClass[audit.ClassSemantic],
+		r.CaughtByClass[audit.ClassStructural], r.CaughtByClass[audit.ClassStatic])
+	fmt.Fprintf(&b, "Escapes: timing=%d no-enforceable-rule=%d (paper: 14%% timing, 4%% no rule)\n",
+		r.EscapedByReason[EscapeTiming], r.EscapedByReason[EscapeNoRule])
+	return b.String()
+}
+
+func atLeast(v, floor int) int {
+	if v < floor {
+		return floor
+	}
+	return v
+}

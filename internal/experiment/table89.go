@@ -1,0 +1,236 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/inject"
+)
+
+// CampaignColumn is one column of Tables 8/9: a detector configuration
+// with cumulative results across the four error models.
+type CampaignColumn struct {
+	UsePECOS bool
+	UseAudit bool
+	// Results holds one campaign result per error model.
+	Results []*inject.Result
+	// Aggregate counters over the column.
+	Counts    map[inject.Outcome]int
+	Injected  int
+	Activated int
+}
+
+// Name renders the paper's column heading.
+func (c *CampaignColumn) Name() string {
+	p, a := "Without PECOS", "Without Audit"
+	if c.UsePECOS {
+		p = "With PECOS"
+	}
+	if c.UseAudit {
+		a = "With Audit"
+	}
+	return p + " / " + a
+}
+
+// Rate is the share of activated runs with the outcome.
+func (c *CampaignColumn) Rate(o inject.Outcome) float64 {
+	if c.Activated == 0 {
+		return 0
+	}
+	return float64(c.Counts[o]) / float64(c.Activated)
+}
+
+// Table89 is the cumulative error-injection table: Table 8 when Directed
+// (injections only into control-flow instructions), Table 9 when not
+// (random injections anywhere in the instruction stream).
+type Table89 struct {
+	Directed bool
+	Columns  []*CampaignColumn
+}
+
+// RunTable8 regenerates Table 8 (directed injection to CFIs). Scale
+// shrinks the per-campaign run count (paper: 200 runs × 4 models × 4
+// configurations).
+func RunTable8(scale float64) (*Table89, error) { return runTable89(scale, true) }
+
+// RunTable9 regenerates Table 9 (random injection to the text segment).
+func RunTable9(scale float64) (*Table89, error) { return runTable89(scale, false) }
+
+func runTable89(scale float64, directed bool) (*Table89, error) {
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("experiment: scale %v out of (0,1]", scale)
+	}
+	t := &Table89{Directed: directed}
+	configs := []struct{ pecos, audit bool }{
+		{false, false}, {false, true}, {true, false}, {true, true},
+	}
+	for _, cc := range configs {
+		col := &CampaignColumn{
+			UsePECOS: cc.pecos,
+			UseAudit: cc.audit,
+			Counts:   make(map[inject.Outcome]int),
+		}
+		for _, model := range inject.Models() {
+			c := inject.DefaultCampaign(model, directed, cc.pecos, cc.audit)
+			c.Runs = atLeast(int(float64(c.Runs)*scale), 10)
+			res, err := c.Run()
+			if err != nil {
+				return nil, fmt.Errorf("experiment: campaign %v %s: %w", model, col.Name(), err)
+			}
+			col.Results = append(col.Results, res)
+			for o, n := range res.Counts {
+				col.Counts[o] += n
+			}
+			col.Injected += res.Injected
+			col.Activated += res.Activated
+		}
+		t.Columns = append(t.Columns, col)
+	}
+	return t, nil
+}
+
+// Render prints the Table 8/9 row layout (percentages of activated runs).
+func (t *Table89) Render() string {
+	var b strings.Builder
+	if t.Directed {
+		b.WriteString("Table 8: cumulative results, directed injection to control flow instructions\n")
+	} else {
+		b.WriteString("Table 9: cumulative results, random injection to the instruction stream\n")
+	}
+	fmt.Fprintf(&b, "%-34s", "Category")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " %26s", c.Name())
+	}
+	b.WriteByte('\n')
+	rows := []struct {
+		name    string
+		outcome inject.Outcome
+	}{
+		{"Errors not activated", inject.OutcomeNotActivated},
+		{"Activated but not manifested", inject.OutcomeNotManifested},
+		{"PECOS detection", inject.OutcomePECOS},
+		{"Audit detection", inject.OutcomeAudit},
+		{"System detection", inject.OutcomeSystem},
+		{"Client hang", inject.OutcomeHang},
+		{"Fail-silence violation", inject.OutcomeFSV},
+	}
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-34s", row.name)
+		for _, c := range t.Columns {
+			if row.outcome == inject.OutcomeNotActivated {
+				fmt.Fprintf(&b, " %25.0f%%", pct(c.Counts[row.outcome], c.Injected))
+				continue
+			}
+			applicable := true
+			if row.outcome == inject.OutcomePECOS && !c.UsePECOS {
+				applicable = false
+			}
+			if row.outcome == inject.OutcomeAudit && !c.UseAudit {
+				applicable = false
+			}
+			if !applicable {
+				fmt.Fprintf(&b, " %26s", "N/A")
+				continue
+			}
+			fmt.Fprintf(&b, " %25.0f%%", 100*c.Rate(row.outcome))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-34s", "Total number of injected errors")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " %26d", c.Injected)
+	}
+	b.WriteByte('\n')
+	if t.Directed {
+		b.WriteString("(paper: system detection 52%→19%, PECOS 77–83%, hangs eliminated, ≤1 FSV)\n")
+	} else {
+		b.WriteString("(paper: system detection 66%→39%, PECOS 45–49%, FSV 5%→2%)\n")
+	}
+	return b.String()
+}
+
+// Coverage returns the column's error-detection coverage per Table 10:
+// 100% − (system detection + fail-silence violation + hang)%.
+func (c *CampaignColumn) Coverage() float64 {
+	bad := c.Rate(inject.OutcomeSystem) + c.Rate(inject.OutcomeFSV) + c.Rate(inject.OutcomeHang)
+	return 100 * (1 - bad)
+}
+
+// Table10 is the system-wide coverage estimate for combined database and
+// client errors (25% client / 75% database error mix), derived from the
+// Table 3 database results and the Table 9 client results exactly as the
+// paper composes them.
+type Table10 struct {
+	// ClientCoverage per configuration (from Table 9 columns).
+	ClientCoverage [4]float64
+	// DBCoverageNoAudit and DBCoverageAudit from the Table 3 experiment:
+	// without audits only overwritten/latent errors are "covered";
+	// with audits coverage is caught + no-effect.
+	DBCoverageNoAudit, DBCoverageAudit float64
+	// Mixed coverage per configuration at the 25/75 mix.
+	Mixed [4]float64
+	// ColumnNames for rendering.
+	ColumnNames [4]string
+}
+
+// RunTable10 regenerates the Table 10 estimate from fresh Table 3 and
+// Table 9 runs at the given scale.
+func RunTable10(scale float64) (*Table10, error) {
+	t3, err := RunTable3(scale)
+	if err != nil {
+		return nil, err
+	}
+	t9, err := RunTable9(scale)
+	if err != nil {
+		return nil, err
+	}
+	out := &Table10{}
+	// Database coverage: an error is covered unless it escaped to the
+	// client (paper: 37% without audits = the no-effect row; 87% with =
+	// caught 85% + no-effect 2%).
+	out.DBCoverageNoAudit = t3.Without.NoEffectPct()
+	out.DBCoverageAudit = t3.With.CaughtPct() + t3.With.NoEffectPct()
+	for i, col := range t9.Columns {
+		out.ClientCoverage[i] = col.Coverage()
+		out.ColumnNames[i] = col.Name()
+		dbCov := out.DBCoverageNoAudit
+		if col.UseAudit {
+			dbCov = out.DBCoverageAudit
+		}
+		out.Mixed[i] = 0.25*out.ClientCoverage[i] + 0.75*dbCov
+	}
+	return out, nil
+}
+
+// Render prints the Table 10 layout.
+func (t *Table10) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 10: system-wide coverage for database or client errors\n")
+	fmt.Fprintf(&b, "%-28s", "Error target")
+	for _, n := range t.ColumnNames {
+		fmt.Fprintf(&b, " %26s", n)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-28s", "Client")
+	for _, v := range t.ClientCoverage {
+		fmt.Fprintf(&b, " %25.0f%%", v)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-28s", "Database")
+	for i, n := range t.ColumnNames {
+		v := t.DBCoverageNoAudit
+		if strings.Contains(n, "With Audit") {
+			v = t.DBCoverageAudit
+		}
+		_ = i
+		fmt.Fprintf(&b, " %25.0f%%", v)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-28s", "Client+DB (25%/75% mix)")
+	for _, v := range t.Mixed {
+		fmt.Fprintf(&b, " %25.0f%%", v)
+	}
+	b.WriteByte('\n')
+	b.WriteString("(paper: none 35%, audit-only 73%, PECOS-only 42%, both 80%)\n")
+	return b.String()
+}

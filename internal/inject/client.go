@@ -1,0 +1,330 @@
+package inject
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/callproc"
+	"repro/internal/memdb"
+	"repro/internal/vm"
+)
+
+// The campaign client is the paper's Figure 8 program, lowered onto the
+// ISA: in a loop, each thread allocates a Process/Connection/Resource
+// chain, determines a data value, keeps a golden local copy in its private
+// memory, writes the records (maintaining the semantic loop), reads them
+// back, compares against the golden copy (flagging a fail-silence
+// violation on mismatch), frees the chain, and finally "prints" success.
+//
+// Syscall ABI (registers fixed by convention):
+//
+//	 1 GETTID            → r0 = thread id
+//	 2 ALLOC   r1=table  → r0 = record index, or 65535 on failure
+//	 3 WRPROC  r5=proc r6=conn
+//	 4 WRCONN  r6=conn r7=res r3=caller value
+//	 5 WRRES   r7=res  r5=proc
+//	 6 RDCONN  r6=conn  → r0 = CallerID
+//	 7 DONE
+//	 8 FLAGERR
+//	 9 FREEALL
+//	10 CHKCONF r1=rec   → r0 = 1 when the configuration record matches the
+//	                      values loaded at startup (the client validates
+//	                      the parameters it is about to act on)
+const (
+	sysGetTID  = 1
+	sysAlloc   = 2
+	sysWrProc  = 3
+	sysWrConn  = 4
+	sysWrRes   = 5
+	sysRdConn  = 6
+	sysDone    = 7
+	sysFlagErr = 8
+	sysFreeAll = 9
+	sysChkConf = 10
+
+	allocFail = 65535
+)
+
+// ClientSource returns the Figure 8 client program with the given per-
+// thread iteration count.
+func ClientSource(iterations int) string {
+	return fmt.Sprintf(`
+; Figure 8 call-processing client: alloc → write (golden copy) → read →
+; compare → free, iterated, with success "printed" via sys DONE.
+start:
+	sys  %d            ; GETTID
+	mov  r10, r0       ; r10 = tid
+	movi r8, 0         ; iteration counter
+	movi r9, %d        ; iteration limit
+mainloop:
+	; consult system configuration for this call, validating what is read
+	mov  r1, r10
+	add  r1, r1, r8
+	movi r4, 7
+	and  r1, r1, r4
+	sys  %d            ; CHKCONF → r0 = 1 when consistent
+	cmpi r0, 1
+	beq  confok
+	sys  %d            ; FLAGERR: corrupted configuration impacted the call
+confok:
+	call setup
+	cmpi r0, 0
+	bne  skipverify    ; setup failed: free partial chain and continue
+	call hold          ; active-call phase: records stay live in the DB
+	call verify
+skipverify:
+	call teardown
+	addi r8, r8, 1
+	cmp  r8, r9
+	blt  mainloop
+	sys  %d            ; DONE: completed successfully
+	halt
+
+setup:
+	movi r2, 65535     ; allocation-failure sentinel
+	movi r1, 1         ; Process table
+	sys  %d            ; ALLOC
+	cmp  r0, r2
+	beq  setupfail
+	mov  r5, r0
+	movi r1, 2         ; Connection table
+	sys  %d
+	cmp  r0, r2
+	beq  setupfail
+	mov  r6, r0
+	movi r1, 3         ; Resource table
+	sys  %d
+	cmp  r0, r2
+	beq  setupfail
+	mov  r7, r0
+	; determine the data value: mix tid and iteration
+	movi r4, 251
+	mul  r3, r10, r4
+	movi r4, 17
+	mul  r4, r8, r4
+	add  r3, r3, r4
+	movi r4, 10007
+	add  r3, r3, r4
+	; golden local copy (Figure 8 step 2)
+	movi r12, 0
+	st   [r12+0], r3
+	; write the three records, closing the semantic loop; the caller
+	; value is re-loaded from the local copy so the write always uses
+	; the same data the client remembered (Figure 8 step 3)
+	sys  %d            ; WRPROC
+	ld   r3, [r12+0]
+	sys  %d            ; WRCONN (writes r3 as CallerID)
+	sys  %d            ; WRRES
+	movi r0, 0
+	ret
+setupfail:
+	movi r0, 1
+	ret
+
+; Cold path: exception handling for resource shortfalls and maintenance
+; interactions. Never executed in a fault-free run, like most error-
+; handling code in the real controller, but fully instrumented and a valid
+; injection target.
+recovery:
+	cmpi r1, 1
+	beq  recA
+	cmpi r1, 2
+	beq  recB
+	cmpi r1, 3
+	beq  recC
+	jmp  recout
+recA:
+	movi r2, 11
+	call reclog
+	jmp  recout
+recB:
+	movi r2, 22
+	call reclog
+	jmp  recout
+recC:
+	movi r2, 33
+	call reclog
+	cmpi r2, 40
+	blt  recout
+	movi r2, 0
+recout:
+	ret
+reclog:
+	addi r2, r2, 1
+	cmpi r2, 100
+	bge  reclogclip
+	ret
+reclogclip:
+	movi r2, 99
+	ret
+
+hold:
+	movi r13, 30       ; call-hold busy loop (the active-call phase)
+holdloop:
+	addi r13, r13, -1
+	cmpi r13, 0
+	bne  holdloop
+	ret
+
+verify:
+	sys  %d            ; RDCONN → r0 = CallerID from the database
+	movi r12, 0
+	ld   r4, [r12+0]   ; golden local copy
+	cmp  r0, r4
+	beq  verifyok
+	sys  %d            ; FLAGERR: fail-silence violation observed
+verifyok:
+	ret
+
+teardown:
+	sys  %d            ; FREEALL
+	ret
+`, sysGetTID, iterations,
+		sysChkConf, sysFlagErr, sysDone,
+		sysAlloc, sysAlloc, sysAlloc,
+		sysWrProc, sysWrConn, sysWrRes,
+		sysRdConn, sysFlagErr, sysFreeAll)
+}
+
+// connWrite remembers one connection write for the end-of-run fail-silence
+// sweep: the record index and the client's golden local copy at write time.
+type connWrite struct {
+	rec    int
+	golden uint32
+}
+
+// ClientEnv bridges the VM client to the database and keeps the oracle
+// state of the campaign run.
+type ClientEnv struct {
+	db        *memdb.DB
+	clients   map[int]*memdb.Client
+	allocated map[int][][2]int // (table, record) per thread
+	connW     map[int]*connWrite
+	doneCount int
+	// FlagErrSteps records the step stamp of the first client-observed
+	// mismatch, -1 when none.
+	FlagErrSteps int64
+	// Steps is advanced by the campaign loop for event stamping.
+	Steps uint64
+}
+
+// NewClientEnv builds the bridge over the campaign database.
+func NewClientEnv(db *memdb.DB) *ClientEnv {
+	return &ClientEnv{
+		db:           db,
+		clients:      make(map[int]*memdb.Client),
+		allocated:    make(map[int][][2]int),
+		connW:        make(map[int]*connWrite),
+		FlagErrSteps: -1,
+	}
+}
+
+// DoneCount reports threads that completed successfully (sys DONE).
+func (e *ClientEnv) DoneCount() int { return e.doneCount }
+
+// Syscall implements the vm.Syscall bridge.
+func (e *ClientEnv) Syscall(t *vm.Thread, num uint32) vm.Trap {
+	switch num {
+	case sysGetTID:
+		t.Regs[0] = uint32(t.ID)
+	case sysAlloc:
+		table := int(t.Regs[1])
+		ri, err := e.client(t.ID).Alloc(table, t.ID+1)
+		if err != nil {
+			t.Regs[0] = allocFail
+			return vm.TrapNone
+		}
+		e.allocated[t.ID] = append(e.allocated[t.ID], [2]int{table, ri})
+		t.Regs[0] = uint32(ri)
+	case sysWrProc:
+		// Write errors are deliberately unchecked: a client corrupted
+		// into writing a bad record does not notice, which is exactly
+		// the propagation path under study.
+		_ = e.client(t.ID).WriteRec(callproc.TblProc, int(t.Regs[5]),
+			[]uint32{t.Regs[6], 1})
+	case sysWrConn:
+		err := e.client(t.ID).WriteRec(callproc.TblConn, int(t.Regs[6]),
+			[]uint32{t.Regs[7], t.Regs[3], 1})
+		if err == nil {
+			e.connW[t.ID] = &connWrite{rec: int(t.Regs[6]), golden: t.Mem[0]}
+		}
+	case sysWrRes:
+		_ = e.client(t.ID).WriteRec(callproc.TblRes, int(t.Regs[7]),
+			[]uint32{t.Regs[5], 1, 80})
+	case sysRdConn:
+		v, err := e.client(t.ID).ReadFld(callproc.TblConn, int(t.Regs[6]), callproc.FldConnCallerID)
+		if err != nil {
+			// Record vanished (e.g. audit recovery freed it): the read
+			// yields the reset default, observable as a mismatch.
+			v = 0
+		}
+		t.Regs[0] = v
+	case sysDone:
+		e.doneCount++
+	case sysFlagErr:
+		if e.FlagErrSteps < 0 {
+			e.FlagErrSteps = int64(e.Steps)
+		}
+	case sysFreeAll:
+		for _, ar := range e.allocated[t.ID] {
+			_ = e.client(t.ID).Free(ar[0], ar[1])
+		}
+		e.allocated[t.ID] = nil
+		delete(e.connW, t.ID)
+	case sysChkConf:
+		t.Regs[0] = e.checkConfig(t)
+	default:
+		return vm.TrapIllegal
+	}
+	return vm.TrapNone
+}
+
+// checkConfig validates one configuration record against the startup
+// snapshot, the way the real client validates the parameters it acts on.
+// Catalog failures also report inconsistent: configuration is unusable.
+func (e *ClientEnv) checkConfig(t *vm.Thread) uint32 {
+	rec := int(t.Regs[1]) % e.db.Schema().Tables[callproc.TblConfig].NumRecords
+	vals, err := e.client(t.ID).ReadRec(callproc.TblConfig, rec)
+	if err != nil {
+		return 0
+	}
+	for fi, got := range vals {
+		want, serr := e.db.SnapshotField(callproc.TblConfig, rec, fi)
+		if serr != nil || got != want {
+			return 0
+		}
+	}
+	return 1
+}
+
+func (e *ClientEnv) client(tid int) *memdb.Client {
+	if c, ok := e.clients[tid]; ok && !c.Closed() {
+		return c
+	}
+	// Connect does not fail on a live database.
+	c, _ := e.db.Connect()
+	e.clients[tid] = c
+	return c
+}
+
+// FinalSweepMismatch implements Figure 8 step 5 for threads that died
+// before their own verify: compare each still-allocated connection record
+// against the thread's golden copy.
+func (e *ClientEnv) FinalSweepMismatch() bool {
+	for _, w := range e.connW {
+		v, err := e.db.ReadFieldDirect(callproc.TblConn, w.rec, callproc.FldConnCallerID)
+		if err != nil {
+			continue
+		}
+		if v != w.golden {
+			return true
+		}
+	}
+	return false
+}
+
+// stepClock converts executed VM steps to a virtual time for the audit
+// subsystem's metadata (1 step ≈ 1 µs).
+func stepClock(steps *uint64) func() time.Duration {
+	return func() time.Duration { return time.Duration(*steps) * time.Microsecond }
+}

@@ -1,0 +1,181 @@
+package inject
+
+import (
+	"testing"
+
+	"repro/internal/callproc"
+	"repro/internal/isa"
+	"repro/internal/memdb"
+	"repro/internal/vm"
+)
+
+func newClientRig(t *testing.T, threads, iterations int) (*memdb.DB, *ClientEnv, *vm.VM) {
+	t.Helper()
+	db, err := memdb.New(callproc.Schema(callproc.SchemaConfig{
+		ConfigRecords: 8, CallRecords: 32,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := isa.AssembleWithInfo(ClientSource(iterations))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := NewClientEnv(db)
+	m, err := vm.New(prog.Text, threads, vm.DefaultConfig(), env.Syscall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, env, m
+}
+
+func TestClientChecksConfiguration(t *testing.T) {
+	db, env, m := newClientRig(t, 1, 2)
+	// Corrupt a configuration field before the client runs: the CHKCONF
+	// validation must observe it on the iteration that consults that
+	// record and flag the impact.
+	for rec := 0; rec < 8; rec++ {
+		off, err := db.TrueRecordOffset(callproc.TblConfig, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.Raw()[off+memdb.RecordHeaderSize] ^= 0x40
+	}
+	m.Run(1 << 20)
+	if env.FlagErrSteps < 0 {
+		t.Fatal("corrupted configuration not flagged by the client")
+	}
+	// The client continues (configuration impact does not crash it).
+	if m.Crashed() {
+		t.Fatal("client crashed on configuration mismatch")
+	}
+	if env.DoneCount() != 1 {
+		t.Fatalf("DoneCount = %d, want 1", env.DoneCount())
+	}
+}
+
+func TestClientChkConfCatalogFailure(t *testing.T) {
+	db, env, m := newClientRig(t, 1, 1)
+	// Destroy the catalog magic: every API op fails, so the config check
+	// must report inconsistent.
+	db.Raw()[0] ^= 0xFF
+	m.Run(1 << 20)
+	if env.FlagErrSteps < 0 {
+		t.Fatal("catalog failure not observed by the client")
+	}
+}
+
+func TestClientSemanticLoopMaintained(t *testing.T) {
+	// Pause the client mid-hold and check the three records form a valid
+	// loop — the property the semantic audit depends on.
+	db, env, m := newClientRig(t, 1, 3)
+	_ = env
+	// Run until the first full chain is written (after sysWrRes, the
+	// Resource record is active).
+	for i := 0; i < 1<<16; i++ {
+		m.Step(m.Thread(0))
+		st, err := db.StatusDirect(callproc.TblRes, 0)
+		if err == nil && st == memdb.StatusActive {
+			break
+		}
+	}
+	proc, err := db.ReadFieldDirect(callproc.TblRes, 0, callproc.FldResProcID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := db.ReadFieldDirect(callproc.TblProc, int(proc), callproc.FldProcConnID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.ReadFieldDirect(callproc.TblConn, int(conn), callproc.FldConnChannelID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != 0 {
+		t.Fatalf("loop does not close: res=%d, want 0", res)
+	}
+}
+
+func TestClientSourceScalesCFIsWithColdCode(t *testing.T) {
+	prog, err := isa.AssembleWithInfo(ClientSource(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hot and cold CFIs both present: the cold recovery block provides
+	// unreached injection targets, like real error-handling code.
+	cfis := len(scanCFIsForTest(prog.Text))
+	if cfis < 20 {
+		t.Fatalf("CFIs = %d, want ≥ 20 (hot + cold)", cfis)
+	}
+	// The recovery label exists and is never called from the hot path.
+	if _, ok := prog.Labels["recovery"]; !ok {
+		t.Fatal("cold recovery block missing")
+	}
+}
+
+func scanCFIsForTest(text []uint32) []uint32 {
+	var out []uint32
+	for i, w := range text {
+		in, err := isa.Decode(w)
+		if err != nil {
+			continue
+		}
+		if in.Op.IsCFI() {
+			out = append(out, uint32(i))
+		}
+	}
+	return out
+}
+
+func TestClientUnknownSyscallTraps(t *testing.T) {
+	db, err := memdb.New(callproc.Schema(callproc.SchemaConfig{ConfigRecords: 4, CallRecords: 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := NewClientEnv(db)
+	text, err := isa.Assemble("sys 99\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(text, 1, vm.DefaultConfig(), env.Syscall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(10)
+	if m.Thread(0).Trap != vm.TrapIllegal {
+		t.Fatalf("trap = %v, want illegal", m.Thread(0).Trap)
+	}
+}
+
+func TestFinalSweepDetectsUnverifiedCorruptWrite(t *testing.T) {
+	db, env, m := newClientRig(t, 1, 1)
+	// Run until the connection record is written, then corrupt it and
+	// kill the thread before its own verify — the final sweep must see
+	// the mismatch.
+	for i := 0; i < 1<<16; i++ {
+		m.Step(m.Thread(0))
+		if len(env.connW) > 0 {
+			break
+		}
+	}
+	if len(env.connW) == 0 {
+		t.Fatal("connection write never happened")
+	}
+	var w *connWrite
+	for _, cw := range env.connW {
+		w = cw
+	}
+	if err := db.WriteFieldDirect(callproc.TblConn, w.rec, callproc.FldConnCallerID, w.golden+1); err != nil {
+		t.Fatal(err)
+	}
+	if !env.FinalSweepMismatch() {
+		t.Fatal("final sweep missed the corrupted write")
+	}
+	// Restore: sweep is clean again.
+	if err := db.WriteFieldDirect(callproc.TblConn, w.rec, callproc.FldConnCallerID, w.golden); err != nil {
+		t.Fatal(err)
+	}
+	if env.FinalSweepMismatch() {
+		t.Fatal("final sweep false positive")
+	}
+}

@@ -1,0 +1,468 @@
+package inject
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/callproc"
+	"repro/internal/isa"
+	"repro/internal/memdb"
+	"repro/internal/pecos"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+func TestErrorModelStrings(t *testing.T) {
+	want := map[ErrorModel]string{
+		ADDIF: "ADDIF", DATAIF: "DATAIF", DATAOF: "DATAOF", DATAInF: "DATAInF",
+		ErrorModel(0): "unknown",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), s)
+		}
+	}
+	if len(Models()) != 4 {
+		t.Fatal("Models() should list 4 models")
+	}
+}
+
+func TestCorruptFlipModels(t *testing.T) {
+	rng := sim.NewRNG(1)
+	word := uint32(0x12345678)
+	for i := 0; i < 200; i++ {
+		w, err := Corrupt(DATAIF, rng, nil, 0, word)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff := w ^ word
+		if diff == 0 || diff&0x00FFFFFF != 0 {
+			t.Fatalf("DATAIF flipped outside opcode byte: %08x", diff)
+		}
+		w, err = Corrupt(DATAOF, rng, nil, 0, word)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff = w ^ word
+		if diff == 0 || diff&0xFF000000 != 0 {
+			t.Fatalf("DATAOF flipped outside operand bits: %08x", diff)
+		}
+		w, err = Corrupt(DATAInF, rng, nil, 0, word)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w == word {
+			t.Fatal("DATAInF did not flip")
+		}
+	}
+}
+
+func TestCorruptADDIFSubstitutesFromStream(t *testing.T) {
+	rng := sim.NewRNG(2)
+	text := []uint32{10, 20, 30, 40, 50, 60, 70, 80}
+	for i := 0; i < 100; i++ {
+		w, err := Corrupt(ADDIF, rng, text, 3, text[3])
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, tw := range text {
+			if tw == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("ADDIF produced word %d not from the stream", w)
+		}
+	}
+	if _, err := Corrupt(ADDIF, rng, []uint32{1}, 0, 1); err == nil {
+		t.Fatal("ADDIF on 1-instruction program accepted")
+	}
+	if _, err := Corrupt(ErrorModel(99), rng, text, 0, 0); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestTextInjectorBreakpointAndRestore(t *testing.T) {
+	// Program loops 5 times over the target instruction; the window is
+	// tiny so the error is restored after the first activation.
+	src := `
+		movi r1, 0
+	loop:
+		addi r2, r2, 3   ; target: corrupting this perturbs r2
+		addi r1, r1, 1
+		cmpi r1, 5
+		blt  loop
+		halt
+	`
+	text, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(text, 1, vm.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NewTextInjector(DATAOF, sim.NewRNG(3), 1)
+	inj.WindowSteps = 1
+	if err := inj.Attach(m); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(1000)
+	if !inj.Activated() {
+		t.Fatal("injection never activated")
+	}
+	if inj.Activations == 0 {
+		t.Fatal("no activations counted")
+	}
+	// After restore, later iterations run the pristine instruction; the
+	// text segment itself was never modified.
+	orig, _ := isa.Assemble(src)
+	for i, w := range m.Text() {
+		if w != orig[i] {
+			t.Fatalf("text segment mutated at %d", i)
+		}
+	}
+}
+
+func TestTextInjectorMultiThreadWindow(t *testing.T) {
+	// All threads pass the same instruction; a wide window lets several
+	// threads execute the erroneous word.
+	src := `
+		addi r2, r2, 3
+		addi r2, r2, 5
+		halt
+	`
+	text, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(text, 8, vm.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The corrupted word may be an illegal encoding; keep other threads
+	// running so the window effect is observable.
+	m.OnTrap = func(*vm.Thread, vm.Trap) vm.TrapAction { return vm.ActionKillThread }
+	inj := NewTextInjector(DATAOF, sim.NewRNG(4), 0)
+	inj.WindowSteps = 1000
+	if err := inj.Attach(m); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(1000)
+	if len(inj.ActivatedThreads) < 2 {
+		t.Fatalf("ActivatedThreads = %d, want multi-thread activation", len(inj.ActivatedThreads))
+	}
+	if err := inj.Attach(nil); err == nil {
+		t.Fatal("Attach(nil) accepted")
+	}
+}
+
+func TestTextInjectorNotActivated(t *testing.T) {
+	text, err := isa.Assemble("movi r1, 1\nhalt\nmovi r2, 2") // addr 2 unreachable
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(text, 1, vm.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NewTextInjector(DATAInF, sim.NewRNG(5), 2)
+	if err := inj.Attach(m); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(100)
+	if inj.Activated() {
+		t.Fatal("unreachable breakpoint activated")
+	}
+	if inj.Target() != 2 {
+		t.Fatal("Target() mismatch")
+	}
+}
+
+func TestDBInjectorRegistryAndStates(t *testing.T) {
+	db, err := memdb.New(callproc.Schema(callproc.DefaultSchemaConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	di := NewDBInjector(db, sim.NewRNG(6))
+	inj1, err := di.InjectRandomBit(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj2, err := di.InjectRandomBit(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(di.Injections()) != 2 {
+		t.Fatal("registry size")
+	}
+	if di.MarkCaught(inj1.Offset, 1, 3*time.Second) != 1 {
+		t.Fatal("MarkCaught missed")
+	}
+	if inj1.State != DBCaught || inj1.DecidedAt != 3*time.Second {
+		t.Fatalf("inj1 = %+v", inj1)
+	}
+	// Escaped takes over outstanding; caught is not downgraded.
+	if di.MarkEscaped(inj1.Offset, 1, 4*time.Second) != 0 {
+		t.Fatal("caught injection re-marked")
+	}
+	if di.MarkEscaped(inj2.Offset, 1, 4*time.Second) != 1 {
+		t.Fatal("MarkEscaped missed")
+	}
+	di.Finalize(5 * time.Second)
+	tally := di.Tally()
+	if tally[DBCaught] != 1 || tally[DBEscaped] != 1 || tally[DBNoEffect] != 0 {
+		t.Fatalf("tally = %v", tally)
+	}
+	lats := di.DetectionLatencies()
+	if len(lats) != 1 || lats[0] != 2*time.Second {
+		t.Fatalf("latencies = %v", lats)
+	}
+	if DBCaught.String() != "caught" || DBState(0).String() != "unknown" {
+		t.Fatal("DBState.String mismatch")
+	}
+}
+
+func TestDBInjectorExtentConfinement(t *testing.T) {
+	db, err := memdb.New(callproc.Schema(callproc.DefaultSchemaConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := db.TableExtent(callproc.TblRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	di := NewDBInjector(db, sim.NewRNG(7))
+	di.Extent = &ext
+	for i := 0; i < 100; i++ {
+		inj, err := di.InjectRandomBit(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inj.Offset < ext.Off || inj.Offset >= ext.Off+ext.Len {
+			t.Fatalf("injection at %d outside extent [%d,%d)", inj.Offset, ext.Off, ext.Off+ext.Len)
+		}
+	}
+}
+
+func TestClientProgramCompletesCleanly(t *testing.T) {
+	// The Figure 8 client on a pristine database: every thread finishes,
+	// no mismatch, no leaked records.
+	db, err := memdb.New(callproc.Schema(callproc.SchemaConfig{ConfigRecords: 8, CallRecords: 32}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := isa.AssembleWithInfo(ClientSource(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := NewClientEnv(db)
+	m, err := vm.New(prog.Text, 4, vm.DefaultConfig(), env.Syscall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(1 << 20)
+	if m.Crashed() {
+		t.Fatalf("client crashed: thread traps %v", m.Thread(0).Trap)
+	}
+	for _, th := range m.Threads() {
+		if th.State != vm.ThreadHalted {
+			t.Fatalf("thread %d state %v", th.ID, th.State)
+		}
+	}
+	if env.DoneCount() != 4 {
+		t.Fatalf("DoneCount = %d, want 4", env.DoneCount())
+	}
+	if env.FlagErrSteps >= 0 {
+		t.Fatal("clean run flagged a mismatch")
+	}
+	if env.FinalSweepMismatch() {
+		t.Fatal("final sweep mismatch on clean run")
+	}
+	// All records freed: no resource leaks.
+	for _, tbl := range []int{callproc.TblProc, callproc.TblConn, callproc.TblRes} {
+		for ri := 0; ri < 32; ri++ {
+			st, err := db.StatusDirect(tbl, ri)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st != memdb.StatusFree {
+				t.Fatalf("record (%d,%d) leaked", tbl, ri)
+			}
+		}
+	}
+}
+
+func TestClientProgramSurvivesPECOSInstrumentation(t *testing.T) {
+	db, err := memdb.New(callproc.Schema(callproc.SchemaConfig{ConfigRecords: 8, CallRecords: 32}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := isa.AssembleWithInfo(ClientSource(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := pecos.Instrument(prog, pecos.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := NewClientEnv(db)
+	m, err := vm.New(ins.Text, 2, vm.DefaultConfig(), env.Syscall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(1 << 20)
+	if m.Crashed() {
+		t.Fatal("instrumented client crashed on clean run")
+	}
+	if env.DoneCount() != 2 {
+		t.Fatalf("DoneCount = %d, want 2", env.DoneCount())
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	c := DefaultCampaign(DATAInF, false, false, false)
+	c.Runs = 0
+	if _, err := c.Run(); err == nil {
+		t.Fatal("zero-run campaign accepted")
+	}
+}
+
+func TestSmallCampaignOutcomesSum(t *testing.T) {
+	c := DefaultCampaign(DATAInF, false, true, true)
+	c.Runs = 30
+	c.Threads = 2
+	c.Iterations = 3
+	c.StepBudget = 100_000
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range res.Counts {
+		total += n
+	}
+	if total != res.Injected || res.Injected != 30 {
+		t.Fatalf("counts %v don't sum to injected %d", res.Counts, res.Injected)
+	}
+	if res.Activated != res.Injected-res.Counts[OutcomeNotActivated] {
+		t.Fatalf("Activated = %d inconsistent", res.Activated)
+	}
+	lo, hi := res.ConfidenceInterval(OutcomeSystem)
+	if lo < 0 || hi > 1 || lo > hi {
+		t.Fatalf("CI = (%v,%v)", lo, hi)
+	}
+}
+
+func TestCampaignDeterministicForSeed(t *testing.T) {
+	mk := func() map[Outcome]int {
+		c := DefaultCampaign(DATAOF, true, true, false)
+		c.Runs = 20
+		c.Threads = 2
+		c.Iterations = 2
+		c.StepBudget = 50_000
+		res, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Counts
+	}
+	a, b := mk(), mk()
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("campaigns diverge: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestDirectedPECOSDetectsMostCFIErrors(t *testing.T) {
+	// The paper's headline: directed CFI injections are predominantly
+	// caught by PECOS (77–83%) and system detection collapses.
+	with := DefaultCampaign(DATAOF, true, true, false)
+	with.Runs = 60
+	with.Threads = 2
+	with.Iterations = 3
+	with.StepBudget = 150_000
+	resWith, err := with.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	without := with
+	without.UsePECOS = false
+	resWithout, err := without.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resWith.Rate(OutcomePECOS) < 0.4 {
+		t.Fatalf("PECOS detection rate %.2f too low: %v", resWith.Rate(OutcomePECOS), resWith.Counts)
+	}
+	if resWith.Rate(OutcomeSystem) >= resWithout.Rate(OutcomeSystem) {
+		t.Fatalf("PECOS did not reduce system detections: with=%.2f without=%.2f",
+			resWith.Rate(OutcomeSystem), resWithout.Rate(OutcomeSystem))
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	for o, s := range map[Outcome]string{
+		OutcomeNotActivated:  "error-not-activated",
+		OutcomeNotManifested: "activated-not-manifested",
+		OutcomePECOS:         "pecos-detection",
+		OutcomeAudit:         "audit-detection",
+		OutcomeSystem:        "system-detection",
+		OutcomeHang:          "client-hang",
+		OutcomeFSV:           "fail-silence-violation",
+		Outcome(0):           "unknown",
+	} {
+		if o.String() != s {
+			t.Errorf("Outcome(%d) = %q, want %q", o, o.String(), s)
+		}
+	}
+}
+
+func TestResultRateZeroActivated(t *testing.T) {
+	r := &Result{Counts: map[Outcome]int{OutcomeSystem: 3}}
+	if r.Rate(OutcomeSystem) != 0 {
+		t.Fatal("Rate with zero activated should be 0")
+	}
+	if lo, hi := r.ConfidenceInterval(OutcomeSystem); lo != 0 || hi != 0 {
+		t.Fatalf("CI with zero activated = (%v,%v)", lo, hi)
+	}
+}
+
+func TestDBStateStringsComplete(t *testing.T) {
+	for st, want := range map[DBState]string{
+		DBOutstanding: "outstanding",
+		DBCaught:      "caught",
+		DBEscaped:     "escaped",
+		DBNoEffect:    "no-effect",
+	} {
+		if st.String() != want {
+			t.Fatalf("DBState(%d).String() = %q, want %q", st, st.String(), want)
+		}
+	}
+}
+
+func TestFinalizeLeavesDecidedStatesAlone(t *testing.T) {
+	db, err := memdb.New(callproc.Schema(callproc.DefaultSchemaConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	di := NewDBInjector(db, sim.NewRNG(1))
+	a, err := di.InjectRandomBit(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := di.InjectRandomBit(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	di.MarkCaught(a.Offset, 1, 3*time.Second)
+	di.Finalize(9 * time.Second)
+	if a.State != DBCaught || a.DecidedAt != 3*time.Second {
+		t.Fatalf("Finalize disturbed a decided injection: %+v", a)
+	}
+	if b.State != DBNoEffect || b.DecidedAt != 9*time.Second {
+		t.Fatalf("Finalize missed the outstanding injection: %+v", b)
+	}
+}

@@ -1,0 +1,92 @@
+// Package inject is the reproduction's NFTAPE analogue (§6.1.2): a
+// software-implemented error injector for the call-processing environment.
+// It provides the paper's four error models over the client's instruction
+// stream (Table 6), breakpoint-triggered single-error injection with the
+// multi-thread double-activation window, random bit-flip injection into the
+// database region, and the campaign driver that classifies run outcomes per
+// Table 7.
+package inject
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// ErrorModel is one of the paper's Table 6 error models.
+type ErrorModel int
+
+// Error models (Table 6).
+const (
+	// ADDIF: address-line error — a different instruction from the
+	// instruction stream is executed in place of the intended one.
+	ADDIF ErrorModel = iota + 1
+	// DATAIF: data-line error while an opcode is fetched — a bit flips
+	// in the opcode byte.
+	DATAIF
+	// DATAOF: data-line error while an operand is fetched — a bit flips
+	// in the operand bits.
+	DATAOF
+	// DATAInF: data-line error on instruction fetch (random) — a bit
+	// flips anywhere in the word.
+	DATAInF
+)
+
+// String returns the model name.
+func (m ErrorModel) String() string {
+	switch m {
+	case ADDIF:
+		return "ADDIF"
+	case DATAIF:
+		return "DATAIF"
+	case DATAOF:
+		return "DATAOF"
+	case DATAInF:
+		return "DATAInF"
+	default:
+		return "unknown"
+	}
+}
+
+// Models lists all four error models in Table 6 order.
+func Models() []ErrorModel { return []ErrorModel{ADDIF, DATAIF, DATAOF, DATAInF} }
+
+// Corrupt produces the erroneous instruction word for the model, given the
+// intended word, the full text segment, and the target address. The
+// returned word is guaranteed to differ from the original where the model
+// permits (a flip always differs; ADDIF may pick an identical neighbour in
+// degenerate programs).
+func Corrupt(m ErrorModel, rng *sim.RNG, text []uint32, addr uint32, word uint32) (uint32, error) {
+	switch m {
+	case ADDIF:
+		if len(text) < 2 {
+			return word, fmt.Errorf("inject: ADDIF needs at least 2 instructions")
+		}
+		// Execute a different instruction taken from the stream: an
+		// address-line flip lands within a nearby power-of-two window.
+		for attempt := 0; attempt < 8; attempt++ {
+			bit := uint(rng.Intn(4)) // flip one of the low address lines
+			other := addr ^ (1 << bit)
+			if int(other) < len(text) && other != addr {
+				return text[other], nil
+			}
+		}
+		// Fallback: any other instruction.
+		other := uint32(rng.Intn(len(text)))
+		if other == addr {
+			other = (other + 1) % uint32(len(text))
+		}
+		return text[other], nil
+	case DATAIF:
+		bit := uint(24 + rng.Intn(8))
+		return word ^ (1 << bit), nil
+	case DATAOF:
+		bit := uint(rng.Intn(24))
+		return word ^ (1 << bit), nil
+	case DATAInF:
+		bit := uint(rng.Intn(32))
+		return word ^ (1 << bit), nil
+	default:
+		return word, fmt.Errorf("inject: unknown error model %d", m)
+	}
+}

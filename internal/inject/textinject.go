@@ -1,0 +1,97 @@
+package inject
+
+import (
+	"errors"
+
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// errNoVM is returned when attaching an injector without a VM.
+var errNoVM = errors.New("inject: injector not attached to a VM")
+
+// TextInjector performs one breakpoint-triggered error injection into a
+// VM's instruction stream, following the paper's methodology (§6.1.2):
+// when the first thread reaches the breakpoint, the erroneous instruction
+// is made visible, the thread executes it, and the error is then removed —
+// but in the interval before restoration other threads fetching the same
+// address also execute the erroneous instruction, so one injection can
+// activate in multiple threads.
+type TextInjector struct {
+	model  ErrorModel
+	rng    *sim.RNG
+	target uint32
+	text   []uint32
+	// WindowSteps is how many further fetches (of any address, a proxy
+	// for elapsed time) the corrupted word stays visible after first
+	// activation, before the original instruction is restored.
+	WindowSteps uint64
+
+	corrupt     uint32
+	prepared    bool
+	activated   bool
+	restored    bool
+	fetchClock  uint64
+	activatedAt uint64
+	// Activations counts erroneous executions; ActivatedThreads the
+	// distinct threads involved (multiple-activation effect).
+	Activations      int
+	ActivatedThreads map[int]bool
+}
+
+// NewTextInjector arms an injector for one error at target using the given
+// model. Attach must be called before running the VM.
+func NewTextInjector(model ErrorModel, rng *sim.RNG, target uint32) *TextInjector {
+	return &TextInjector{
+		model:            model,
+		rng:              rng,
+		target:           target,
+		WindowSteps:      32,
+		ActivatedThreads: make(map[int]bool),
+	}
+}
+
+// Target returns the breakpoint address.
+func (ti *TextInjector) Target() uint32 { return ti.target }
+
+// Activated reports whether any thread executed the erroneous instruction.
+func (ti *TextInjector) Activated() bool { return ti.activated }
+
+// Attach wires the injector into the VM's fetch path.
+func (ti *TextInjector) Attach(m *vm.VM) error {
+	if m == nil {
+		return errNoVM
+	}
+	ti.text = m.Text()
+	m.OnFetch = ti.onFetch
+	return nil
+}
+
+// onFetch implements the breakpoint / inject / execute / restore cycle.
+func (ti *TextInjector) onFetch(t *vm.Thread, pc uint32, word uint32) uint32 {
+	ti.fetchClock++
+	if ti.restored || pc != ti.target {
+		return word
+	}
+	if !ti.prepared {
+		w, err := Corrupt(ti.model, ti.rng, ti.text, pc, word)
+		if err != nil {
+			ti.restored = true
+			return word
+		}
+		ti.corrupt = w
+		ti.prepared = true
+	}
+	if !ti.activated {
+		ti.activated = true
+		ti.activatedAt = ti.fetchClock
+	} else if ti.fetchClock-ti.activatedAt > ti.WindowSteps {
+		// Restoration: after the window the original instruction is
+		// back; later fetches see the pristine word.
+		ti.restored = true
+		return word
+	}
+	ti.Activations++
+	ti.ActivatedThreads[t.ID] = true
+	return ti.corrupt
+}

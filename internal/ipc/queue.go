@@ -1,0 +1,196 @@
+// Package ipc provides a bounded message queue modelled on the POSIX IPC
+// message queue the paper inserts between the database API and the audit
+// process (Figure 1). The database API posts a message on every API call;
+// the audit process drains the queue to drive the progress-indicator element
+// and event-triggered audits.
+//
+// The queue has two usage modes. In simulation mode (the default for this
+// repository's experiments) producers and consumer run on the simulation
+// event loop, so the queue is a plain FIFO with drop accounting. The queue
+// is nevertheless safe for concurrent use so that it can also back the
+// standalone, goroutine-based deployments exercised by the examples.
+package ipc
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Common queue errors.
+var (
+	// ErrQueueFull is returned by TrySend when the queue is at capacity.
+	ErrQueueFull = errors.New("ipc: queue full")
+	// ErrQueueClosed is returned when operating on a closed queue.
+	ErrQueueClosed = errors.New("ipc: queue closed")
+)
+
+// MsgKind identifies the purpose of a message, mirroring the event types
+// the modified database API emits.
+type MsgKind int
+
+// Message kinds posted by the database API and control plane.
+const (
+	// MsgDBAccess reports any database API invocation (progress signal).
+	MsgDBAccess MsgKind = iota + 1
+	// MsgDBWrite reports a write-class API invocation (event trigger for
+	// event-triggered audits, per §4.3).
+	MsgDBWrite
+	// MsgHeartbeat is the manager's liveness probe.
+	MsgHeartbeat
+	// MsgHeartbeatReply is the audit process's response to a heartbeat.
+	MsgHeartbeatReply
+	// MsgControl carries framework control commands (element registration,
+	// configuration changes).
+	MsgControl
+)
+
+// String returns a human-readable kind name.
+func (k MsgKind) String() string {
+	switch k {
+	case MsgDBAccess:
+		return "db-access"
+	case MsgDBWrite:
+		return "db-write"
+	case MsgHeartbeat:
+		return "heartbeat"
+	case MsgHeartbeatReply:
+		return "heartbeat-reply"
+	case MsgControl:
+		return "control"
+	default:
+		return "unknown"
+	}
+}
+
+// Message is one queue entry. It carries the client process ID and the
+// database location being accessed, as the paper's progress indicator
+// requires (§4.2), plus the operation name for per-table statistics.
+type Message struct {
+	Kind    MsgKind
+	PID     int           // client process/thread ID
+	Table   int           // table ID accessed, -1 when not applicable
+	Record  int           // record index accessed, -1 when not applicable
+	Op      string        // API operation name, e.g. "DBwrite_rec"
+	At      time.Duration // virtual time the message was posted
+	Payload any           // element-specific payload for control messages
+}
+
+// Stats is a snapshot of queue counters.
+type Stats struct {
+	Sent     uint64
+	Received uint64
+	Dropped  uint64
+	MaxDepth int
+}
+
+// Queue is a bounded FIFO of Messages.
+type Queue struct {
+	mu     sync.Mutex
+	buf    []Message
+	cap    int
+	closed bool
+	stats  Stats
+}
+
+// NewQueue returns a queue holding at most capacity messages. Capacity must
+// be positive.
+func NewQueue(capacity int) (*Queue, error) {
+	if capacity <= 0 {
+		return nil, errors.New("ipc: capacity must be positive")
+	}
+	return &Queue{cap: capacity}, nil
+}
+
+// TrySend enqueues m, returning ErrQueueFull (and counting a drop) when the
+// queue is at capacity, or ErrQueueClosed after Close.
+func (q *Queue) TrySend(m Message) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	if len(q.buf) >= q.cap {
+		q.stats.Dropped++
+		return ErrQueueFull
+	}
+	q.buf = append(q.buf, m)
+	q.stats.Sent++
+	if len(q.buf) > q.stats.MaxDepth {
+		q.stats.MaxDepth = len(q.buf)
+	}
+	return nil
+}
+
+// TryRecv dequeues the oldest message. ok is false when the queue is empty.
+func (q *Queue) TryRecv() (m Message, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.buf) == 0 {
+		return Message{}, false
+	}
+	m = q.buf[0]
+	// Shift rather than re-slice so the backing array does not pin
+	// delivered messages.
+	copy(q.buf, q.buf[1:])
+	q.buf = q.buf[:len(q.buf)-1]
+	q.stats.Received++
+	return m, true
+}
+
+// DrainAll dequeues and returns every pending message.
+func (q *Queue) DrainAll() []Message {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.buf) == 0 {
+		return nil
+	}
+	out := make([]Message, len(q.buf))
+	copy(out, q.buf)
+	q.buf = q.buf[:0]
+	q.stats.Received += uint64(len(out))
+	return out
+}
+
+// Len reports the number of pending messages.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buf)
+}
+
+// Cap reports the queue capacity.
+func (q *Queue) Cap() int { return q.cap }
+
+// Stats returns a snapshot of the queue counters.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
+}
+
+// Close marks the queue closed. Pending messages remain receivable; sends
+// fail with ErrQueueClosed. Close is idempotent.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
+// Reset empties the queue and reopens it, preserving nothing. Used when the
+// manager restarts the audit process: a fresh process attaches to a fresh
+// queue state.
+func (q *Queue) Reset() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.buf = q.buf[:0]
+	q.closed = false
+	q.stats = Stats{}
+}

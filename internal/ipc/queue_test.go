@@ -1,0 +1,234 @@
+package ipc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func mustQueue(t *testing.T, capacity int) *Queue {
+	t.Helper()
+	q, err := NewQueue(capacity)
+	if err != nil {
+		t.Fatalf("NewQueue(%d): %v", capacity, err)
+	}
+	return q
+}
+
+func TestNewQueueRejectsBadCapacity(t *testing.T) {
+	for _, c := range []int{0, -1, -100} {
+		if _, err := NewQueue(c); err == nil {
+			t.Fatalf("NewQueue(%d) succeeded, want error", c)
+		}
+	}
+}
+
+func TestSendRecvFIFO(t *testing.T) {
+	q := mustQueue(t, 10)
+	for i := 0; i < 5; i++ {
+		if err := q.TrySend(Message{Kind: MsgDBAccess, PID: i}); err != nil {
+			t.Fatalf("TrySend %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		m, ok := q.TryRecv()
+		if !ok {
+			t.Fatalf("TryRecv %d: empty", i)
+		}
+		if m.PID != i {
+			t.Fatalf("recv order: got PID %d, want %d", m.PID, i)
+		}
+	}
+	if _, ok := q.TryRecv(); ok {
+		t.Fatal("TryRecv on empty queue reported ok")
+	}
+}
+
+func TestFullQueueDrops(t *testing.T) {
+	q := mustQueue(t, 2)
+	if err := q.TrySend(Message{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.TrySend(Message{}); err != nil {
+		t.Fatal(err)
+	}
+	err := q.TrySend(Message{})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("TrySend on full queue: %v, want ErrQueueFull", err)
+	}
+	st := q.Stats()
+	if st.Dropped != 1 || st.Sent != 2 {
+		t.Fatalf("stats = %+v, want Dropped=1 Sent=2", st)
+	}
+}
+
+func TestDrainAll(t *testing.T) {
+	q := mustQueue(t, 10)
+	for i := 0; i < 4; i++ {
+		if err := q.TrySend(Message{PID: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	msgs := q.DrainAll()
+	if len(msgs) != 4 {
+		t.Fatalf("DrainAll returned %d messages, want 4", len(msgs))
+	}
+	for i, m := range msgs {
+		if m.PID != i {
+			t.Fatalf("drain order: got %d at %d", m.PID, i)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len after drain = %d, want 0", q.Len())
+	}
+	if got := q.DrainAll(); got != nil {
+		t.Fatalf("DrainAll on empty = %v, want nil", got)
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	q := mustQueue(t, 4)
+	if err := q.TrySend(Message{PID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	if !q.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+	if err := q.TrySend(Message{}); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("send after close: %v, want ErrQueueClosed", err)
+	}
+	// Pending messages remain receivable.
+	m, ok := q.TryRecv()
+	if !ok || m.PID != 7 {
+		t.Fatalf("recv after close = (%+v, %v), want PID 7", m, ok)
+	}
+	q.Close() // idempotent
+}
+
+func TestReset(t *testing.T) {
+	q := mustQueue(t, 4)
+	for i := 0; i < 3; i++ {
+		_ = q.TrySend(Message{})
+	}
+	q.Close()
+	q.Reset()
+	if q.Closed() {
+		t.Fatal("queue still closed after Reset")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", q.Len())
+	}
+	if st := q.Stats(); st != (Stats{}) {
+		t.Fatalf("stats after Reset = %+v, want zero", st)
+	}
+	if err := q.TrySend(Message{}); err != nil {
+		t.Fatalf("send after Reset: %v", err)
+	}
+}
+
+func TestStatsMaxDepth(t *testing.T) {
+	q := mustQueue(t, 10)
+	for i := 0; i < 6; i++ {
+		_ = q.TrySend(Message{})
+	}
+	for i := 0; i < 3; i++ {
+		_, _ = q.TryRecv()
+	}
+	_ = q.TrySend(Message{})
+	st := q.Stats()
+	if st.MaxDepth != 6 {
+		t.Fatalf("MaxDepth = %d, want 6", st.MaxDepth)
+	}
+	if st.Received != 3 {
+		t.Fatalf("Received = %d, want 3", st.Received)
+	}
+}
+
+func TestMsgKindString(t *testing.T) {
+	tests := []struct {
+		kind MsgKind
+		want string
+	}{
+		{MsgDBAccess, "db-access"},
+		{MsgDBWrite, "db-write"},
+		{MsgHeartbeat, "heartbeat"},
+		{MsgHeartbeatReply, "heartbeat-reply"},
+		{MsgControl, "control"},
+		{MsgKind(99), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("MsgKind(%d).String() = %q, want %q", tt.kind, got, tt.want)
+		}
+	}
+}
+
+func TestConcurrentProducersConsumer(t *testing.T) {
+	q := mustQueue(t, 1000)
+	const producers, perProducer = 8, 100
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				for {
+					if err := q.TrySend(Message{PID: p, Record: i, At: time.Duration(i)}); err == nil {
+						break
+					}
+				}
+			}
+		}()
+	}
+	done := make(chan int)
+	go func() {
+		count := 0
+		for count < producers*perProducer {
+			if _, ok := q.TryRecv(); ok {
+				count++
+			}
+		}
+		done <- count
+	}()
+	wg.Wait()
+	if got := <-done; got != producers*perProducer {
+		t.Fatalf("consumed %d, want %d", got, producers*perProducer)
+	}
+}
+
+// Property: for any interleaving of sends and receives, the number of
+// messages received never exceeds the number sent, and FIFO order holds per
+// the sequence numbers we stamp into Record.
+func TestPropertySendRecvConservation(t *testing.T) {
+	f := func(ops []bool) bool {
+		q, err := NewQueue(8)
+		if err != nil {
+			return false
+		}
+		next := 0
+		lastRecv := -1
+		sent, recvd := 0, 0
+		for _, isSend := range ops {
+			if isSend {
+				if err := q.TrySend(Message{Record: next}); err == nil {
+					next++
+					sent++
+				}
+			} else if m, ok := q.TryRecv(); ok {
+				if m.Record <= lastRecv {
+					return false // order violated
+				}
+				lastRecv = m.Record
+				recvd++
+			}
+		}
+		return recvd <= sent && q.Len() == sent-recvd
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,322 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Program is an assembled text segment plus the symbol information the
+// PECOS instrumenter needs: label addresses and which instructions carry a
+// label-resolved immediate (so relocation after instruction insertion can
+// distinguish an address constant from plain data).
+type Program struct {
+	// Text is the encoded instruction stream.
+	Text []uint32
+	// Labels maps label names to word addresses.
+	Labels map[string]uint32
+	// LabelRefs maps instruction index → label name for every imm16
+	// operand that was written as a label in the source.
+	LabelRefs map[int]string
+}
+
+// Assemble translates assembly text into a text segment. Syntax:
+//
+//	; comment
+//	label:
+//	    movi r1, 42
+//	    cmp  r1, r2
+//	    beq  done
+//	    call subroutine
+//	done:
+//	    halt
+//
+// Registers are r0..r15; immediates are decimal or 0x-hex; branch, jump,
+// and call targets are labels or absolute word addresses.
+func Assemble(src string) ([]uint32, error) {
+	p, err := AssembleWithInfo(src)
+	if err != nil {
+		return nil, err
+	}
+	return p.Text, nil
+}
+
+// AssembleWithInfo is Assemble, additionally returning label addresses and
+// label-reference positions for instrumentation passes.
+func AssembleWithInfo(src string) (*Program, error) {
+	type pending struct {
+		line  int
+		index int
+		label string
+	}
+	labels := make(map[string]uint32)
+	var instrs []Instr
+	var fixups []pending
+
+	lines := strings.Split(src, "\n")
+	addr := 0
+	for lineNo, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels, possibly followed by an instruction on the same line.
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if label == "" || strings.ContainsAny(label, " \t,") {
+				return nil, fmt.Errorf("isa: line %d: malformed label %q", lineNo+1, label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("isa: line %d: duplicate label %q", lineNo+1, label)
+			}
+			labels[label] = uint32(addr)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		in, labelRef, err := parseInstr(line)
+		if err != nil {
+			return nil, fmt.Errorf("isa: line %d: %w", lineNo+1, err)
+		}
+		if labelRef != "" {
+			fixups = append(fixups, pending{line: lineNo + 1, index: len(instrs), label: labelRef})
+		}
+		instrs = append(instrs, in)
+		addr++
+	}
+	refs := make(map[int]string, len(fixups))
+	for _, fx := range fixups {
+		target, ok := labels[fx.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: line %d: undefined label %q", fx.line, fx.label)
+		}
+		instrs[fx.index].Imm16 = target
+		refs[fx.index] = fx.label
+	}
+	text := make([]uint32, len(instrs))
+	for i, in := range instrs {
+		text[i] = Encode(in)
+	}
+	return &Program{Text: text, Labels: labels, LabelRefs: refs}, nil
+}
+
+// parseInstr parses one instruction; labelRef is non-empty when the imm16
+// operand is a label awaiting resolution.
+func parseInstr(line string) (in Instr, labelRef string, err error) {
+	fields := strings.Fields(line)
+	mnemonic := strings.ToLower(fields[0])
+	rest := strings.TrimSpace(line[len(fields[0]):])
+	var args []string
+	if rest != "" {
+		for _, a := range strings.Split(rest, ",") {
+			args = append(args, strings.TrimSpace(a))
+		}
+	}
+
+	var op Op
+	for o, name := range opNames {
+		if name == mnemonic {
+			op = o
+			break
+		}
+	}
+	if op == 0 {
+		return in, "", fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	in.Op = op
+
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s wants %d operands, got %d", mnemonic, n, len(args))
+		}
+		return nil
+	}
+
+	switch op {
+	case OpNop, OpHalt, OpRet:
+		return in, "", need(0)
+	case OpMovi:
+		if err := need(2); err != nil {
+			return in, "", err
+		}
+		if in.Rd, err = parseReg(args[0]); err != nil {
+			return in, "", err
+		}
+		imm, ref, err := parseImmOrLabel(args[1], 0xFFFF)
+		if err != nil {
+			return in, "", err
+		}
+		in.Imm16 = imm
+		return in, ref, nil
+	case OpMov:
+		if err := need(2); err != nil {
+			return in, "", err
+		}
+		if in.Rd, err = parseReg(args[0]); err != nil {
+			return in, "", err
+		}
+		in.Rs1, err = parseReg(args[1])
+		return in, "", err
+	case OpAdd, OpSub, OpMul, OpDiv, OpAnd, OpOr, OpXor:
+		if err := need(3); err != nil {
+			return in, "", err
+		}
+		if in.Rd, err = parseReg(args[0]); err != nil {
+			return in, "", err
+		}
+		if in.Rs1, err = parseReg(args[1]); err != nil {
+			return in, "", err
+		}
+		in.Rs2, err = parseReg(args[2])
+		return in, "", err
+	case OpAddi:
+		if err := need(3); err != nil {
+			return in, "", err
+		}
+		if in.Rd, err = parseReg(args[0]); err != nil {
+			return in, "", err
+		}
+		if in.Rs1, err = parseReg(args[1]); err != nil {
+			return in, "", err
+		}
+		in.Imm12, err = parseSigned(args[2])
+		return in, "", err
+	case OpCmp:
+		if err := need(2); err != nil {
+			return in, "", err
+		}
+		if in.Rs1, err = parseReg(args[0]); err != nil {
+			return in, "", err
+		}
+		in.Rs2, err = parseReg(args[1])
+		return in, "", err
+	case OpCmpi:
+		if err := need(2); err != nil {
+			return in, "", err
+		}
+		if in.Rs1, err = parseReg(args[0]); err != nil {
+			return in, "", err
+		}
+		in.Imm12, err = parseSigned(args[1])
+		return in, "", err
+	case OpBeq, OpBne, OpBlt, OpBge, OpJmp, OpCall:
+		if err := need(1); err != nil {
+			return in, "", err
+		}
+		imm, ref, err := parseImmOrLabel(args[0], 0xFFFF)
+		if err != nil {
+			return in, "", err
+		}
+		in.Imm16 = imm
+		return in, ref, nil
+	case OpJr, OpCalr:
+		if err := need(1); err != nil {
+			return in, "", err
+		}
+		in.Rs1, err = parseReg(args[0])
+		return in, "", err
+	case OpLd:
+		if err := need(2); err != nil {
+			return in, "", err
+		}
+		if in.Rd, err = parseReg(args[0]); err != nil {
+			return in, "", err
+		}
+		in.Rs1, in.Imm12, err = parseMem(args[1])
+		return in, "", err
+	case OpSt:
+		if err := need(2); err != nil {
+			return in, "", err
+		}
+		if in.Rs1, in.Imm12, err = parseMem(args[0]); err != nil {
+			return in, "", err
+		}
+		in.Rs2, err = parseReg(args[1])
+		return in, "", err
+	case OpSys, OpAssert:
+		if err := need(1); err != nil {
+			return in, "", err
+		}
+		imm, ref, err := parseImmOrLabel(args[0], 0xFFFF)
+		if err != nil || ref != "" {
+			if ref != "" {
+				err = fmt.Errorf("%s takes a number, not a label", mnemonic)
+			}
+			return in, "", err
+		}
+		in.Imm16 = imm
+		return in, "", nil
+	}
+	return in, "", fmt.Errorf("unhandled mnemonic %q", mnemonic)
+}
+
+func parseReg(s string) (uint8, error) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseImmOrLabel(s string, max uint64) (uint32, string, error) {
+	if s == "" {
+		return 0, "", fmt.Errorf("empty operand")
+	}
+	if v, err := strconv.ParseUint(strings.TrimPrefix(s, "0x"), base(s), 32); err == nil {
+		if v > max {
+			return 0, "", fmt.Errorf("immediate %s exceeds %d", s, max)
+		}
+		return uint32(v), "", nil
+	}
+	// Not a number: treat as a label reference.
+	if strings.ContainsAny(s, " \t[]") {
+		return 0, "", fmt.Errorf("bad operand %q", s)
+	}
+	return 0, s, nil
+}
+
+func parseSigned(s string) (int32, error) {
+	v, err := strconv.ParseInt(s, 0, 32)
+	if err != nil || v < -2048 || v > 2047 {
+		return 0, fmt.Errorf("bad 12-bit immediate %q", s)
+	}
+	return int32(v), nil
+}
+
+// parseMem parses "[rN+imm]", "[rN-imm]", or "[rN]".
+func parseMem(s string) (reg uint8, off int32, err error) {
+	if len(s) < 3 || s[0] != '[' || s[len(s)-1] != ']' {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	sep := strings.IndexAny(inner, "+-")
+	if sep < 0 {
+		reg, err = parseReg(strings.TrimSpace(inner))
+		return reg, 0, err
+	}
+	reg, err = parseReg(strings.TrimSpace(inner[:sep]))
+	if err != nil {
+		return 0, 0, err
+	}
+	off, err = parseSigned(strings.TrimSpace(inner[sep:]))
+	return reg, off, err
+}
+
+func base(s string) int {
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		return 16
+	}
+	return 10
+}

@@ -1,0 +1,54 @@
+package isa
+
+import "testing"
+
+// FuzzDecode checks that Decode is total: any 32-bit word either errors or
+// yields an instruction that re-encodes to the identical word.
+func FuzzDecode(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(Encode(Instr{Op: OpHalt}))
+	f.Add(Encode(Instr{Op: OpMovi, Rd: 3, Imm16: 999}))
+	f.Add(Encode(Instr{Op: OpBeq, Imm16: 4}))
+	f.Add(Encode(Instr{Op: OpSt, Rs1: 1, Rs2: 2, Imm12: -1}))
+	f.Add(uint32(0xFFFFFFFF))
+	f.Fuzz(func(t *testing.T, w uint32) {
+		in, err := Decode(w)
+		if err != nil {
+			return
+		}
+		if got := Encode(in); got != w {
+			t.Fatalf("Decode(%#x) re-encodes to %#x", w, got)
+		}
+		// Disassembly of a decodable word never produces a raw .word.
+		if s := Disassemble(w); len(s) == 0 {
+			t.Fatalf("empty disassembly for %#x", w)
+		}
+	})
+}
+
+// FuzzAssemble checks the assembler never panics and that everything it
+// accepts disassembles and reassembles stably.
+func FuzzAssemble(f *testing.F) {
+	f.Add("movi r1, 5\nhalt")
+	f.Add("loop: addi r1, r1, 1\ncmpi r1, 9\nblt loop\nhalt")
+	f.Add("call fn\nhalt\nfn: ret")
+	f.Add("ld r1, [r2+4]\nst [r2-4], r1")
+	f.Add("x:\ny: jmp x")
+	f.Add("; only a comment")
+	f.Add("bogus operand soup , , ,")
+	f.Fuzz(func(t *testing.T, src string) {
+		text, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		for i, w := range text {
+			in, derr := Decode(w)
+			if derr != nil {
+				t.Fatalf("assembled word %d (%#x) does not decode: %v", i, w, derr)
+			}
+			if in.Op == OpAssert {
+				t.Fatalf("assembler emitted a reserved assert at %d", i)
+			}
+		}
+	})
+}

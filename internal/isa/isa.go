@@ -1,0 +1,248 @@
+// Package isa defines the small RISC-style instruction set the reproduced
+// call-processing client is lowered onto.
+//
+// The paper instruments the client at the SPARC assembly level; Go's
+// runtime hides native control flow, so this reproduction makes the program
+// counter explicit again: client programs are arrays of 32-bit instruction
+// words executed by internal/vm, PECOS assertion blocks are real words
+// embedded in that stream, and the NFTAPE error models (ADDIF, DATAIF,
+// DATAOF, DATAInF) are literal bit manipulations of instruction words.
+//
+// Encoding (little layout, 32-bit words):
+//
+//	op(8) | rd(4) | rs1(4) | rs2(4) | imm12(12)     — register forms
+//	op(8) | rd(4) | spare(4) | imm16(16)            — immediate forms
+//
+// Branch, jump, and call targets are absolute word addresses, so valid
+// target sets are plain constants — what a PECOS assertion block stores.
+package isa
+
+import (
+	"fmt"
+)
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Instruction opcodes. OpAssert is reserved for PECOS instrumentation: an
+// assertion header whose imm16 counts the raw target words that follow it.
+const (
+	OpNop Op = iota + 1
+	OpHalt
+	OpMovi // rd ← imm16
+	OpMov  // rd ← rs1
+	OpAdd  // rd ← rs1 + rs2
+	OpSub  // rd ← rs1 - rs2
+	OpMul  // rd ← rs1 * rs2
+	OpDiv  // rd ← rs1 / rs2 (traps on rs2 == 0)
+	OpAnd
+	OpOr
+	OpXor
+	OpAddi // rd ← rs1 + signExtend(imm12)
+	OpCmp  // flags ← compare(rs1, rs2)
+	OpCmpi // flags ← compare(rs1, signExtend(imm12))
+	OpBeq  // branch to imm16 when Z
+	OpBne  // branch to imm16 when !Z
+	OpBlt  // branch to imm16 when N
+	OpBge  // branch to imm16 when !N
+	OpJmp  // jump to imm16
+	OpJr   // jump to rs1 (runtime-determined target)
+	OpCall // call imm16, pushing return address
+	OpCalr // call rs1 (runtime-determined target)
+	OpRet  // return to popped address
+	OpLd   // rd ← mem[rs1 + signExtend(imm12)]
+	OpSt   // mem[rs1 + signExtend(imm12)] ← rs2
+	OpSys  // syscall imm16 (bridges to the database API)
+	OpAssert
+	opMax
+)
+
+// NumRegs is the register-file size (r0..r15).
+const NumRegs = 16
+
+var opNames = map[Op]string{
+	OpNop: "nop", OpHalt: "halt", OpMovi: "movi", OpMov: "mov",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpAddi: "addi",
+	OpCmp: "cmp", OpCmpi: "cmpi",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge",
+	OpJmp: "jmp", OpJr: "jr", OpCall: "call", OpCalr: "calr",
+	OpRet: "ret", OpLd: "ld", OpSt: "st", OpSys: "sys",
+	OpAssert: "assert",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+// Valid reports whether the opcode is defined.
+func (o Op) Valid() bool { return o >= OpNop && o < opMax }
+
+// IsCFI reports whether the opcode is a control-flow instruction — the
+// trigger for inserting a PECOS assertion block.
+func (o Op) IsCFI() bool {
+	switch o {
+	case OpBeq, OpBne, OpBlt, OpBge, OpJmp, OpJr, OpCall, OpCalr, OpRet:
+		return true
+	}
+	return false
+}
+
+// Instr is a decoded instruction.
+type Instr struct {
+	Op    Op
+	Rd    uint8
+	Rs1   uint8
+	Rs2   uint8
+	Imm12 int32  // sign-extended 12-bit immediate (register forms)
+	Imm16 uint32 // 16-bit immediate (absolute addresses, syscall numbers)
+}
+
+// usesImm16 reports whether the opcode uses the imm16 layout.
+func usesImm16(op Op) bool {
+	switch op {
+	case OpMovi, OpBeq, OpBne, OpBlt, OpBge, OpJmp, OpCall, OpSys, OpAssert:
+		return true
+	}
+	return false
+}
+
+// Encode packs the instruction into a word.
+func Encode(in Instr) uint32 {
+	w := uint32(in.Op) << 24
+	w |= uint32(in.Rd&0xF) << 20
+	if usesImm16(in.Op) {
+		w |= in.Imm16 & 0xFFFF
+		return w
+	}
+	w |= uint32(in.Rs1&0xF) << 16
+	w |= uint32(in.Rs2&0xF) << 12
+	w |= uint32(in.Imm12) & 0xFFF
+	return w
+}
+
+// operandMask returns the word bits an opcode's operands may occupy.
+// All other non-opcode bits are reserved and must be zero — as in real
+// RISC encodings, where reserved-field violations are illegal instructions.
+// This is what makes single-bit corruption of an instruction word highly
+// detectable, matching the dense SPARC encoding the paper instrumented.
+func operandMask(op Op) uint32 {
+	const (
+		rdBits    = 0x00F00000
+		rs1Bits   = 0x000F0000
+		rs2Bits   = 0x0000F000
+		imm12Bits = 0x00000FFF
+		imm16Bits = 0x0000FFFF
+	)
+	switch op {
+	case OpNop, OpHalt, OpRet:
+		return 0
+	case OpMovi:
+		return rdBits | imm16Bits
+	case OpMov:
+		return rdBits | rs1Bits
+	case OpAdd, OpSub, OpMul, OpDiv, OpAnd, OpOr, OpXor:
+		return rdBits | rs1Bits | rs2Bits
+	case OpAddi, OpLd:
+		return rdBits | rs1Bits | imm12Bits
+	case OpCmp:
+		return rs1Bits | rs2Bits
+	case OpCmpi:
+		return rs1Bits | imm12Bits
+	case OpBeq, OpBne, OpBlt, OpBge, OpJmp, OpCall, OpSys, OpAssert:
+		return imm16Bits
+	case OpJr, OpCalr:
+		return rs1Bits
+	case OpSt:
+		return rs1Bits | rs2Bits | imm12Bits
+	}
+	return 0
+}
+
+// Decode unpacks a word. The error reports undefined opcodes and reserved-
+// field violations; operand fields are still extracted so callers can
+// inspect a corrupted word (the VM turns the error into an illegal-
+// instruction trap).
+func Decode(w uint32) (Instr, error) {
+	in := Instr{
+		Op:    Op(w >> 24),
+		Rd:    uint8(w >> 20 & 0xF),
+		Rs1:   uint8(w >> 16 & 0xF),
+		Rs2:   uint8(w >> 12 & 0xF),
+		Imm16: w & 0xFFFF,
+	}
+	imm12 := int32(w & 0xFFF)
+	if imm12&0x800 != 0 {
+		imm12 -= 0x1000
+	}
+	in.Imm12 = imm12
+	if !in.Op.Valid() {
+		return in, fmt.Errorf("isa: undefined opcode %d", uint8(in.Op))
+	}
+	if w&0x00FFFFFF&^operandMask(in.Op) != 0 {
+		return in, fmt.Errorf("isa: reserved bits set in %v encoding", in.Op)
+	}
+	return in, nil
+}
+
+// Disassemble renders one instruction word.
+func Disassemble(w uint32) string {
+	in, err := Decode(w)
+	if err != nil {
+		return fmt.Sprintf(".word 0x%08x", w)
+	}
+	switch in.Op {
+	case OpNop, OpHalt, OpRet:
+		return in.Op.String()
+	case OpMovi:
+		return fmt.Sprintf("movi r%d, %d", in.Rd, in.Imm16)
+	case OpMov:
+		return fmt.Sprintf("mov r%d, r%d", in.Rd, in.Rs1)
+	case OpAdd, OpSub, OpMul, OpDiv, OpAnd, OpOr, OpXor:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case OpAddi:
+		return fmt.Sprintf("addi r%d, r%d, %d", in.Rd, in.Rs1, in.Imm12)
+	case OpCmp:
+		return fmt.Sprintf("cmp r%d, r%d", in.Rs1, in.Rs2)
+	case OpCmpi:
+		return fmt.Sprintf("cmpi r%d, %d", in.Rs1, in.Imm12)
+	case OpBeq, OpBne, OpBlt, OpBge, OpJmp, OpCall:
+		return fmt.Sprintf("%s %d", in.Op, in.Imm16)
+	case OpJr, OpCalr:
+		return fmt.Sprintf("%s r%d", in.Op, in.Rs1)
+	case OpLd:
+		return fmt.Sprintf("ld r%d, [r%d%+d]", in.Rd, in.Rs1, in.Imm12)
+	case OpSt:
+		return fmt.Sprintf("st [r%d%+d], r%d", in.Rs1, in.Imm12, in.Rs2)
+	case OpSys:
+		return fmt.Sprintf("sys %d", in.Imm16)
+	case OpAssert:
+		return fmt.Sprintf("assert %d", in.Imm16)
+	}
+	return fmt.Sprintf(".word 0x%08x", w)
+}
+
+// DisassembleProgram renders a whole text segment with addresses.
+func DisassembleProgram(text []uint32) []string {
+	out := make([]string, 0, len(text))
+	i := 0
+	for i < len(text) {
+		line := fmt.Sprintf("%4d: %s", i, Disassemble(text[i]))
+		out = append(out, line)
+		in, err := Decode(text[i])
+		if err == nil && in.Op == OpAssert {
+			// Raw target words follow the assertion header.
+			n := int(in.Imm16)
+			for k := 1; k <= n && i+k < len(text); k++ {
+				out = append(out, fmt.Sprintf("%4d:   .target %d", i+k, text[i+k]))
+			}
+			i += n
+		}
+		i++
+	}
+	return out
+}

@@ -1,0 +1,333 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tests := []Instr{
+		{Op: OpNop},
+		{Op: OpHalt},
+		{Op: OpMovi, Rd: 3, Imm16: 12345},
+		{Op: OpMov, Rd: 1, Rs1: 2},
+		{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpDiv, Rd: 15, Rs1: 14, Rs2: 13},
+		{Op: OpAddi, Rd: 4, Rs1: 5, Imm12: -7},
+		{Op: OpAddi, Rd: 4, Rs1: 5, Imm12: 2047},
+		{Op: OpAddi, Rd: 4, Rs1: 5, Imm12: -2048},
+		{Op: OpCmp, Rs1: 1, Rs2: 2},
+		{Op: OpCmpi, Rs1: 1, Imm12: -100},
+		{Op: OpBeq, Imm16: 999},
+		{Op: OpJmp, Imm16: 0xFFFF},
+		{Op: OpJr, Rs1: 7},
+		{Op: OpCall, Imm16: 42},
+		{Op: OpCalr, Rs1: 9},
+		{Op: OpRet},
+		{Op: OpLd, Rd: 2, Rs1: 3, Imm12: 16},
+		{Op: OpSt, Rs1: 3, Rs2: 4, Imm12: -16},
+		{Op: OpSys, Imm16: 5},
+		{Op: OpAssert, Imm16: 2},
+	}
+	for _, in := range tests {
+		w := Encode(in)
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", in, err)
+		}
+		if got.Op != in.Op || got.Rd != in.Rd {
+			t.Fatalf("round trip %v → %v", in, got)
+		}
+		if usesImm16(in.Op) {
+			if got.Imm16 != in.Imm16 {
+				t.Fatalf("imm16 round trip %v → %v", in, got)
+			}
+		} else {
+			if got.Rs1 != in.Rs1 || got.Rs2 != in.Rs2 || got.Imm12 != in.Imm12 {
+				t.Fatalf("register form round trip %v → %v", in, got)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsUndefinedOpcode(t *testing.T) {
+	if _, err := Decode(0x00_000000); err == nil {
+		t.Fatal("opcode 0 decoded")
+	}
+	if _, err := Decode(0xFF_000000); err == nil {
+		t.Fatal("opcode 255 decoded")
+	}
+}
+
+func TestIsCFI(t *testing.T) {
+	cfis := []Op{OpBeq, OpBne, OpBlt, OpBge, OpJmp, OpJr, OpCall, OpCalr, OpRet}
+	for _, op := range cfis {
+		if !op.IsCFI() {
+			t.Errorf("%v not classified as CFI", op)
+		}
+	}
+	for _, op := range []Op{OpNop, OpHalt, OpMovi, OpAdd, OpSys, OpAssert, OpLd} {
+		if op.IsCFI() {
+			t.Errorf("%v wrongly classified as CFI", op)
+		}
+	}
+}
+
+func TestAssembleBasicProgram(t *testing.T) {
+	text, err := Assemble(`
+		; compute 6*7 and halt
+		movi r1, 6
+		movi r2, 7
+		mul  r3, r1, r2
+		halt
+	`)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if len(text) != 4 {
+		t.Fatalf("len = %d, want 4", len(text))
+	}
+	in, err := Decode(text[2])
+	if err != nil || in.Op != OpMul || in.Rd != 3 || in.Rs1 != 1 || in.Rs2 != 2 {
+		t.Fatalf("instr 2 = %+v, err %v", in, err)
+	}
+}
+
+func TestAssembleLabelsAndBranches(t *testing.T) {
+	text, err := Assemble(`
+	start:
+		movi r1, 0
+	loop:
+		addi r1, r1, 1
+		cmpi r1, 10
+		blt  loop
+		call sub
+		jmp  end
+	sub:
+		ret
+	end:
+		halt
+	`)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	blt, err := Decode(text[3])
+	if err != nil || blt.Op != OpBlt || blt.Imm16 != 1 {
+		t.Fatalf("blt = %+v (%v), want target 1", blt, err)
+	}
+	call, err := Decode(text[4])
+	if err != nil || call.Op != OpCall || call.Imm16 != 6 {
+		t.Fatalf("call = %+v, want target 6", call)
+	}
+	jmp, err := Decode(text[5])
+	if err != nil || jmp.Op != OpJmp || jmp.Imm16 != 7 {
+		t.Fatalf("jmp = %+v, want target 7", jmp)
+	}
+}
+
+func TestAssembleMemoryOperands(t *testing.T) {
+	text, err := Assemble(`
+		ld r1, [r2+4]
+		st [r2-8], r3
+		ld r4, [r5]
+	`)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	ld, _ := Decode(text[0])
+	if ld.Op != OpLd || ld.Rd != 1 || ld.Rs1 != 2 || ld.Imm12 != 4 {
+		t.Fatalf("ld = %+v", ld)
+	}
+	st, _ := Decode(text[1])
+	if st.Op != OpSt || st.Rs1 != 2 || st.Rs2 != 3 || st.Imm12 != -8 {
+		t.Fatalf("st = %+v", st)
+	}
+	ld2, _ := Decode(text[2])
+	if ld2.Imm12 != 0 || ld2.Rs1 != 5 {
+		t.Fatalf("ld2 = %+v", ld2)
+	}
+}
+
+func TestAssembleHexAndComments(t *testing.T) {
+	text, err := Assemble(`
+		movi r1, 0xFF   ; hex immediate
+		sys 3           ; syscall
+	`)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	movi, _ := Decode(text[0])
+	if movi.Imm16 != 255 {
+		t.Fatalf("movi imm = %d", movi.Imm16)
+	}
+}
+
+func TestAssembleLabelOnSameLine(t *testing.T) {
+	text, err := Assemble("start: movi r1, 1\n jmp start")
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	jmp, _ := Decode(text[1])
+	if jmp.Imm16 != 0 {
+		t.Fatalf("jmp target = %d, want 0", jmp.Imm16)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+	}{
+		{"unknown mnemonic", "bogus r1, r2"},
+		{"undefined label", "jmp nowhere"},
+		{"duplicate label", "a:\na:\nhalt"},
+		{"bad register", "mov r99, r1"},
+		{"wrong arity", "add r1, r2"},
+		{"imm too large", "movi r1, 70000"},
+		{"imm12 too large", "addi r1, r1, 5000"},
+		{"bad memory operand", "ld r1, r2"},
+		{"label in sys", "x: sys x"},
+		{"malformed label", "a b:\nhalt"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Assemble(tt.src); err == nil {
+				t.Fatalf("Assemble(%q) succeeded", tt.src)
+			}
+		})
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string
+	}{
+		{"nop", "nop"},
+		{"movi r1, 42", "movi r1, 42"},
+		{"add r1, r2, r3", "add r1, r2, r3"},
+		{"addi r1, r2, -5", "addi r1, r2, -5"},
+		{"cmp r1, r2", "cmp r1, r2"},
+		{"beq 7", "beq 7"},
+		{"jr r3", "jr r3"},
+		{"ld r1, [r2+4]", "ld r1, [r2+4]"},
+		{"st [r2-8], r3", "st [r2-8], r3"},
+		{"sys 9", "sys 9"},
+		{"ret", "ret"},
+	}
+	for _, tt := range tests {
+		text, err := Assemble(tt.src)
+		if err != nil {
+			t.Fatalf("Assemble(%q): %v", tt.src, err)
+		}
+		if got := Disassemble(text[0]); got != tt.want {
+			t.Errorf("Disassemble(%q) = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+	if got := Disassemble(0xFF000000); !strings.HasPrefix(got, ".word") {
+		t.Errorf("undefined opcode disassembled as %q", got)
+	}
+}
+
+func TestDisassembleProgramSkipsAssertTargets(t *testing.T) {
+	text := []uint32{
+		Encode(Instr{Op: OpAssert, Imm16: 2}),
+		5, // raw target words
+		9,
+		Encode(Instr{Op: OpJmp, Imm16: 5}),
+		Encode(Instr{Op: OpHalt}),
+	}
+	lines := DisassembleProgram(text)
+	if len(lines) != 5 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if !strings.Contains(lines[1], ".target 5") || !strings.Contains(lines[2], ".target 9") {
+		t.Fatalf("target words not rendered: %v", lines)
+	}
+	if !strings.Contains(lines[3], "jmp 5") {
+		t.Fatalf("CFI after assertion not rendered: %v", lines)
+	}
+}
+
+func TestOpStringFallback(t *testing.T) {
+	if Op(200).String() != "op200" {
+		t.Fatal("Op fallback string wrong")
+	}
+}
+
+// Property: assembling a disassembled single instruction reproduces the
+// original word, for all valid register-form instructions.
+func TestPropertyDisasmAsmRoundTrip(t *testing.T) {
+	ops := []Op{OpMov, OpAdd, OpSub, OpMul, OpDiv, OpAnd, OpOr, OpXor, OpAddi, OpCmp, OpCmpi, OpLd, OpSt}
+	f := func(opIdx, rd, rs1, rs2 uint8, imm int16) bool {
+		op := ops[int(opIdx)%len(ops)]
+		// Populate only the fields the op's disassembly renders; unused
+		// encoded fields would not survive a disasm→asm round trip.
+		in := Instr{Op: op, Rs1: rs1 % NumRegs}
+		imm12 := int32(imm % 2048)
+		switch op {
+		case OpMov:
+			in.Rd = rd % NumRegs
+		case OpAdd, OpSub, OpMul, OpDiv, OpAnd, OpOr, OpXor:
+			in.Rd = rd % NumRegs
+			in.Rs2 = rs2 % NumRegs
+		case OpAddi, OpLd:
+			in.Rd = rd % NumRegs
+			in.Imm12 = imm12
+		case OpCmp:
+			in.Rs2 = rs2 % NumRegs
+		case OpCmpi:
+			in.Imm12 = imm12
+		case OpSt:
+			in.Rs2 = rs2 % NumRegs
+			in.Imm12 = imm12
+		}
+		w := Encode(in)
+		src := Disassemble(w)
+		text, err := Assemble(src)
+		if err != nil || len(text) != 1 {
+			return false
+		}
+		return text[0] == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every 32-bit word either fails to decode (undefined opcode or
+// reserved-field violation) or round-trips exactly through Encode/Decode.
+func TestPropertyDecodeTotal(t *testing.T) {
+	f := func(w uint32) bool {
+		in, err := Decode(w)
+		if err != nil {
+			// Either the opcode is undefined, or a reserved bit is set.
+			return !in.Op.Valid() || w&0x00FFFFFF&^operandMask(in.Op) != 0
+		}
+		// A successfully decoded word re-encodes to itself: reserved
+		// fields were zero and all operand bits survived.
+		return Encode(in) == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsReservedBits(t *testing.T) {
+	// beq with a nonzero rd field: reserved-field violation.
+	w := Encode(Instr{Op: OpBeq, Imm16: 5}) | 0x00300000
+	if _, err := Decode(w); err == nil {
+		t.Fatal("beq with reserved bits decoded")
+	}
+	// ret with any operand bits: reserved.
+	w = Encode(Instr{Op: OpRet}) | 1
+	if _, err := Decode(w); err == nil {
+		t.Fatal("ret with reserved bits decoded")
+	}
+	// mov with rs2 bits set: reserved.
+	w = Encode(Instr{Op: OpMov, Rd: 1, Rs1: 2}) | 0x00003000
+	if _, err := Decode(w); err == nil {
+		t.Fatal("mov with reserved bits decoded")
+	}
+}

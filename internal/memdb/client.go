@@ -1,0 +1,332 @@
+package memdb
+
+import (
+	"fmt"
+	"time"
+)
+
+// Client is one database connection (the paper's DBinit/DBclose session).
+// Every call-processing thread owns a Client; the PID identifies it in
+// lock tables, shadow metadata, and audit diagnoses.
+type Client struct {
+	db     *DB
+	pid    int
+	closed bool
+	txn    map[int]bool // tables locked by an open transaction
+}
+
+// PID returns the client's process identifier.
+func (c *Client) PID() int { return c.pid }
+
+// Close releases the connection and its locks (DBclose).
+func (c *Client) Close() error {
+	if c.closed {
+		return ErrClosed
+	}
+	c.db.charge(OpClose, c.pid, -1, -1)
+	c.db.ReleaseAllLocks(c.pid)
+	c.closed = true
+	delete(c.db.clients, c.pid)
+	c.txn = nil
+	return nil
+}
+
+// Abandon simulates the client crashing without committing: the connection
+// is dead but its locks stay held, the exact condition the progress
+// indicator element exists to detect (§4.2).
+func (c *Client) Abandon() {
+	c.closed = true
+	delete(c.db.clients, c.pid)
+}
+
+// Closed reports whether the connection is closed or abandoned.
+func (c *Client) Closed() bool { return c.closed }
+
+// Begin opens a transaction on table: the lock is held across operations
+// until Commit. Nested Begin on the same table is a no-op.
+func (c *Client) Begin(table int) error {
+	if c.closed {
+		return ErrClosed
+	}
+	if err := c.db.acquire(table, c.pid); err != nil {
+		return err
+	}
+	if c.txn == nil {
+		c.txn = make(map[int]bool)
+	}
+	c.txn[table] = true
+	return nil
+}
+
+// Commit releases every transaction lock held by the client.
+func (c *Client) Commit() error {
+	if c.closed {
+		return ErrClosed
+	}
+	for table := range c.txn {
+		c.db.release(table, c.pid)
+	}
+	c.txn = nil
+	return nil
+}
+
+// InTxn reports whether the client holds a transaction lock on table.
+func (c *Client) InTxn(table int) bool { return c.txn[table] }
+
+// lockFor acquires table's lock for the duration of one operation, and
+// returns the matching unlock. Under an open transaction the lock is
+// already held and must not be dropped by the per-op path.
+func (c *Client) lockFor(table int) (unlock func(), err error) {
+	if err := c.db.acquire(table, c.pid); err != nil {
+		return nil, err
+	}
+	if c.txn[table] {
+		return func() {}, nil
+	}
+	return func() { c.db.release(table, c.pid) }, nil
+}
+
+// ReadRec reads all fields of record rec in table (DBread_rec).
+func (c *Client) ReadRec(table, rec int) ([]uint32, error) {
+	if c.closed {
+		return nil, ErrClosed
+	}
+	unlock, err := c.lockFor(table)
+	if err != nil {
+		return nil, err
+	}
+	defer unlock()
+	defer c.db.charge(OpReadRec, c.pid, table, rec)
+	td, off, err := c.locate(table, rec)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]uint32, td.NumFields)
+	for fi := range vals {
+		vals[fi] = getU32(c.db.region, off+RecordHeaderSize+FieldSize*fi)
+	}
+	c.db.shadow.noteRead(table, rec, c.pid, c.db.now())
+	return vals, nil
+}
+
+// ReadFld reads one field of a record (DBread_fld).
+func (c *Client) ReadFld(table, rec, field int) (uint32, error) {
+	if c.closed {
+		return 0, ErrClosed
+	}
+	unlock, err := c.lockFor(table)
+	if err != nil {
+		return 0, err
+	}
+	defer unlock()
+	defer c.db.charge(OpReadFld, c.pid, table, rec)
+	td, off, err := c.locate(table, rec)
+	if err != nil {
+		return 0, err
+	}
+	if field < 0 || field >= td.NumFields {
+		return 0, &BoundsError{What: "field", Index: field, Limit: td.NumFields}
+	}
+	c.db.shadow.noteRead(table, rec, c.pid, c.db.now())
+	return getU32(c.db.region, off+RecordHeaderSize+FieldSize*field), nil
+}
+
+// WriteRec writes all fields of an active record (DBwrite_rec).
+func (c *Client) WriteRec(table, rec int, vals []uint32) error {
+	if c.closed {
+		return ErrClosed
+	}
+	unlock, err := c.lockFor(table)
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	defer c.db.charge(OpWriteRec, c.pid, table, rec)
+	td, off, err := c.locate(table, rec)
+	if err != nil {
+		return err
+	}
+	if len(vals) != td.NumFields {
+		return fmt.Errorf("memdb: WriteRec got %d values for %d fields", len(vals), td.NumFields)
+	}
+	if c.db.region[off+1] != StatusActive {
+		return fmt.Errorf("table %d record %d: %w", table, rec, ErrNotActive)
+	}
+	for fi, v := range vals {
+		putU32(c.db.region, off+RecordHeaderSize+FieldSize*fi, v)
+	}
+	c.db.shadow.noteWrite(table, rec, c.pid, c.db.now())
+	return nil
+}
+
+// WriteFld writes one field of an active record (DBwrite_fld).
+func (c *Client) WriteFld(table, rec, field int, v uint32) error {
+	if c.closed {
+		return ErrClosed
+	}
+	unlock, err := c.lockFor(table)
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	defer c.db.charge(OpWriteFld, c.pid, table, rec)
+	td, off, err := c.locate(table, rec)
+	if err != nil {
+		return err
+	}
+	if field < 0 || field >= td.NumFields {
+		return &BoundsError{What: "field", Index: field, Limit: td.NumFields}
+	}
+	if c.db.region[off+1] != StatusActive {
+		return fmt.Errorf("table %d record %d: %w", table, rec, ErrNotActive)
+	}
+	putU32(c.db.region, off+RecordHeaderSize+FieldSize*field, v)
+	c.db.shadow.noteWrite(table, rec, c.pid, c.db.now())
+	return nil
+}
+
+// Move reassigns a record to another logical group (DBmove).
+func (c *Client) Move(table, rec, newGroup int) error {
+	if c.closed {
+		return ErrClosed
+	}
+	unlock, err := c.lockFor(table)
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	defer c.db.charge(OpMove, c.pid, table, rec)
+	_, off, err := c.locate(table, rec)
+	if err != nil {
+		return err
+	}
+	if c.db.region[off+1] != StatusActive {
+		return fmt.Errorf("table %d record %d: %w", table, rec, ErrNotActive)
+	}
+	if n := c.db.groupCount(table); n > 0 {
+		// DBmove relinks the record between logical-group chains.
+		if newGroup < 0 || newGroup >= n {
+			return &BoundsError{What: "group", Index: newGroup, Limit: n}
+		}
+		if err := c.db.unlinkFromGroup(table, rec); err != nil {
+			return err
+		}
+		if err := c.db.linkIntoGroup(table, rec, newGroup); err != nil {
+			return err
+		}
+	} else {
+		if newGroup < 0 || newGroup > 0xFFFF {
+			return &BoundsError{What: "group", Index: newGroup, Limit: 0x10000}
+		}
+		putU16(c.db.region, off+4, uint16(newGroup))
+	}
+	c.db.shadow.noteWrite(table, rec, c.pid, c.db.now())
+	return nil
+}
+
+// Alloc claims the first free record of table, assigns it to group, and
+// returns its index. The pre-allocated table is a finite resource: records
+// left allocated by failed clients are the "resource leaks" the semantic
+// audit reclaims.
+func (c *Client) Alloc(table, group int) (int, error) {
+	if c.closed {
+		return 0, ErrClosed
+	}
+	unlock, err := c.lockFor(table)
+	if err != nil {
+		return 0, err
+	}
+	defer unlock()
+	defer c.db.charge(OpAlloc, c.pid, table, -1)
+	td, err := readTableDesc(c.db.region, table)
+	if err != nil {
+		return 0, err
+	}
+	if n := c.db.groupCount(table); n > 0 && (group < 0 || group >= n) {
+		return 0, &BoundsError{What: "group", Index: group, Limit: n}
+	}
+	for ri := 0; ri < td.NumRecords; ri++ {
+		off, err := recordOffset(c.db.region, td, ri)
+		if err != nil {
+			return 0, err
+		}
+		if c.db.region[off+1] == StatusFree {
+			c.db.region[off+1] = StatusActive
+			if c.db.groupCount(table) > 0 {
+				if err := c.db.linkIntoGroup(table, ri, group); err != nil {
+					c.db.region[off+1] = StatusFree
+					return 0, err
+				}
+			} else {
+				putU16(c.db.region, off+4, uint16(group))
+			}
+			c.db.shadow.noteWrite(table, ri, c.pid, c.db.now())
+			return ri, nil
+		}
+	}
+	return 0, fmt.Errorf("table %d: %w", table, ErrNoFreeRecord)
+}
+
+// Free releases a record back to the table's free pool.
+func (c *Client) Free(table, rec int) error {
+	if c.closed {
+		return ErrClosed
+	}
+	unlock, err := c.lockFor(table)
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	defer c.db.charge(OpFree, c.pid, table, rec)
+	td, off, err := c.locate(table, rec)
+	if err != nil {
+		return err
+	}
+	if c.db.groupCount(table) > 0 && c.db.region[off+1] == StatusActive {
+		if err := c.db.unlinkFromGroup(table, rec); err != nil {
+			return err
+		}
+	}
+	formatHeader(c.db.region, off, table, rec)
+	for fi := 0; fi < td.NumFields; fi++ {
+		fd, err := readFieldDesc(c.db.region, td, fi)
+		if err != nil {
+			return err
+		}
+		putU32(c.db.region, off+RecordHeaderSize+FieldSize*fi, fd.Default)
+	}
+	c.db.shadow.noteWrite(table, rec, c.pid, c.db.now())
+	return nil
+}
+
+// Status reports the header status byte of a record via the API path.
+func (c *Client) Status(table, rec int) (int, error) {
+	if c.closed {
+		return 0, ErrClosed
+	}
+	_, off, err := c.locate(table, rec)
+	if err != nil {
+		return 0, err
+	}
+	return int(c.db.region[off+1]), nil
+}
+
+// locate resolves (table, rec) through the on-region catalog, surfacing
+// corruption as errors instead of wild addresses where detectable.
+func (c *Client) locate(table, rec int) (tableDesc, int, error) {
+	td, err := readTableDesc(c.db.region, table)
+	if err != nil {
+		return tableDesc{}, 0, err
+	}
+	off, err := recordOffset(c.db.region, td, rec)
+	if err != nil {
+		return tableDesc{}, 0, err
+	}
+	return td, off, nil
+}
+
+// LastChargedCost returns the most recent charge for op — a convenience
+// for workload code accumulating call setup time.
+func (c *Client) LastChargedCost(op Op) time.Duration {
+	return c.db.costs.Cost(op, c.db.audited)
+}

@@ -1,0 +1,13 @@
+package memdb
+
+import "encoding/binary"
+
+// All on-region values are little-endian. Field access goes through these
+// explicit codecs (rather than struct overlays) because the region is the
+// error-injection target: audits and injectors must agree on the exact byte
+// layout.
+
+func putU16(b []byte, off int, v uint16) { binary.LittleEndian.PutUint16(b[off:off+2], v) }
+func getU16(b []byte, off int) uint16    { return binary.LittleEndian.Uint16(b[off : off+2]) }
+func putU32(b []byte, off int, v uint32) { binary.LittleEndian.PutUint32(b[off:off+4], v) }
+func getU32(b []byte, off int) uint32    { return binary.LittleEndian.Uint32(b[off : off+4]) }

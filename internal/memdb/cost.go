@@ -1,0 +1,114 @@
+package memdb
+
+import "time"
+
+// Op names the database API operations of the paper's Table 1 (plus the
+// allocation pair the call-processing workload uses).
+type Op int
+
+// API operations.
+const (
+	OpInit Op = iota + 1
+	OpClose
+	OpReadRec
+	OpReadFld
+	OpWriteRec
+	OpWriteFld
+	OpMove
+	OpAlloc
+	OpFree
+	numOps = OpFree
+)
+
+// String returns the paper's name for the operation.
+func (o Op) String() string {
+	switch o {
+	case OpInit:
+		return "DBinit"
+	case OpClose:
+		return "DBclose"
+	case OpReadRec:
+		return "DBread_rec"
+	case OpReadFld:
+		return "DBread_fld"
+	case OpWriteRec:
+		return "DBwrite_rec"
+	case OpWriteFld:
+		return "DBwrite_fld"
+	case OpMove:
+		return "DBmove"
+	case OpAlloc:
+		return "DBalloc"
+	case OpFree:
+		return "DBfree"
+	default:
+		return "unknown"
+	}
+}
+
+// CostModel charges virtual time for each API call: a base cost for the
+// original function plus an audit overhead charged only when audit support
+// is enabled. Base costs and overhead fractions are calibrated to Figure 4
+// of the paper (average running times in tens-to-hundreds of microseconds;
+// overhead 6.5% for DBinit up to 45.2% for DBwrite_rec, dominated by the
+// event notification to the audit process).
+type CostModel struct {
+	Base     map[Op]time.Duration
+	Overhead map[Op]float64 // fraction of base added when audited
+}
+
+// DefaultCostModel returns the Figure 4 calibration.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		Base: map[Op]time.Duration{
+			OpInit:     620 * time.Microsecond,
+			OpClose:    180 * time.Microsecond,
+			OpReadRec:  120 * time.Microsecond,
+			OpReadFld:  95 * time.Microsecond,
+			OpWriteRec: 430 * time.Microsecond,
+			OpWriteFld: 240 * time.Microsecond,
+			OpMove:     310 * time.Microsecond,
+			OpAlloc:    150 * time.Microsecond,
+			OpFree:     130 * time.Microsecond,
+		},
+		Overhead: map[Op]float64{
+			OpInit:     0.065,
+			OpClose:    0.191,
+			OpReadRec:  0.105,
+			OpReadFld:  0.103,
+			OpWriteRec: 0.452,
+			OpWriteFld: 0.294,
+			OpMove:     0.258,
+			OpAlloc:    0.30, // write-class: posts an event message
+			OpFree:     0.30,
+		},
+	}
+}
+
+// Cost returns the charged duration for op, with or without audit support.
+func (m CostModel) Cost(op Op, audited bool) time.Duration {
+	base := m.Base[op]
+	if !audited {
+		return base
+	}
+	return base + time.Duration(float64(base)*m.Overhead[op])
+}
+
+// OpCounts tallies API invocations and charged time, for the Figure 4
+// reproduction and the client's call-setup-time accounting.
+type OpCounts struct {
+	Calls map[Op]uint64
+	Time  map[Op]time.Duration
+}
+
+func newOpCounts() *OpCounts {
+	return &OpCounts{
+		Calls: make(map[Op]uint64, numOps),
+		Time:  make(map[Op]time.Duration, numOps),
+	}
+}
+
+func (c *OpCounts) note(op Op, d time.Duration) {
+	c.Calls[op]++
+	c.Time[op] += d
+}

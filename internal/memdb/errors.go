@@ -1,0 +1,38 @@
+package memdb
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors returned by the database API. Clients match these to
+// distinguish recoverable conditions (lock contention, exhaustion) from
+// corruption-induced failures.
+var (
+	// ErrCorruptCatalog indicates the system catalog failed validation
+	// during an operation. The paper notes catalog corruption "can cause
+	// all database operations to fail, thus bringing down the whole
+	// controller"; the API surfaces it rather than crashing.
+	ErrCorruptCatalog = errors.New("memdb: system catalog corrupted")
+	// ErrLocked indicates another client holds the table lock.
+	ErrLocked = errors.New("memdb: table locked by another client")
+	// ErrNoFreeRecord indicates the pre-allocated table is exhausted.
+	ErrNoFreeRecord = errors.New("memdb: no free record in table")
+	// ErrClosed indicates the client connection has been closed.
+	ErrClosed = errors.New("memdb: connection closed")
+	// ErrNotActive indicates an operation on a record that is not active.
+	ErrNotActive = errors.New("memdb: record not active")
+)
+
+// BoundsError reports an access that fell outside the valid table, record,
+// or field range — whether because the caller passed bad indices or because
+// a corrupted catalog descriptor produced an out-of-range address.
+type BoundsError struct {
+	What  string
+	Index int
+	Limit int
+}
+
+func (e *BoundsError) Error() string {
+	return fmt.Sprintf("memdb: %s index %d out of range (limit %d)", e.What, e.Index, e.Limit)
+}

@@ -1,0 +1,37 @@
+package memdb_test
+
+import (
+	"fmt"
+
+	"repro/internal/memdb"
+)
+
+// Example shows the Table 1 API surface: connect, allocate a record into a
+// logical group, write, read back, move between groups, and free.
+func Example() {
+	schema := memdb.Schema{Tables: []memdb.TableSpec{{
+		Name: "Resource", Dynamic: true, NumRecords: 8, Groups: 2,
+		Fields: []memdb.FieldSpec{
+			{Name: "Owner", Kind: memdb.Dynamic, HasRange: true, Min: 0, Max: 99, Default: 0},
+			{Name: "Load", Kind: memdb.Dynamic, HasRange: true, Min: 0, Max: 10, Default: 0},
+		},
+	}}}
+	db, err := memdb.New(schema)
+	if err != nil {
+		fmt.Println("new:", err)
+		return
+	}
+	c, _ := db.Connect() // DBinit
+
+	ri, _ := c.Alloc(0, 0)                 // claim a record in group 0
+	_ = c.WriteRec(0, ri, []uint32{42, 7}) // DBwrite_rec
+	owner, _ := c.ReadFld(0, ri, 0)        // DBread_fld
+	_ = c.Move(0, ri, 1)                   // DBmove: relink to group 1
+	records, ok, _ := db.WalkGroup(0, 1)   // audit-side chain walk
+	fmt.Println("owner:", owner, "group 1:", records, "chains ok:", ok)
+
+	_ = c.Free(0, ri)
+	_ = c.Close() // DBclose
+	// Output:
+	// owner: 42 group 1: [0] chains ok: true
+}

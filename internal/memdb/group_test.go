@@ -1,0 +1,313 @@
+package memdb
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// chainedSchema is a table with an on-region logical-group directory.
+func chainedSchema() Schema {
+	return Schema{Tables: []TableSpec{
+		{
+			Name: "Channels", Dynamic: true, NumRecords: 16, Groups: 4,
+			Fields: []FieldSpec{
+				{Name: "Owner", Kind: Dynamic, HasRange: true, Min: 0, Max: 100, Default: 0},
+				{Name: "Load", Kind: Dynamic, HasRange: true, Min: 0, Max: 10, Default: 0},
+			},
+		},
+		{
+			Name: "Plain", Dynamic: true, NumRecords: 4,
+			Fields: []FieldSpec{{Name: "X", Kind: Dynamic}},
+		},
+	}}
+}
+
+func chainedDB(t *testing.T) (*DB, *Client) {
+	t.Helper()
+	db, err := New(chainedSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := db.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, c
+}
+
+func TestGroupSchemaValidation(t *testing.T) {
+	s := chainedSchema()
+	s.Tables[0].Groups = -1
+	if err := s.Validate(); err == nil {
+		t.Fatal("negative Groups accepted")
+	}
+	s.Tables[0].Groups = 1 << 17
+	if err := s.Validate(); err == nil {
+		t.Fatal("oversized Groups accepted")
+	}
+}
+
+func TestAllocLinksIntoGroupChain(t *testing.T) {
+	db, c := chainedDB(t)
+	// Pristine: every chain empty.
+	for g := 0; g < 4; g++ {
+		head, err := db.GroupHead(0, g)
+		if err != nil || head != -1 {
+			t.Fatalf("pristine head(%d) = (%d,%v)", g, head, err)
+		}
+	}
+	a, err := c.Alloc(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Alloc(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Newest at the head.
+	records, ok, err := db.WalkGroup(0, 2)
+	if err != nil || !ok {
+		t.Fatalf("WalkGroup = (%v,%v,%v)", records, ok, err)
+	}
+	if len(records) != 2 || records[0] != b || records[1] != a {
+		t.Fatalf("chain = %v, want [%d %d]", records, b, a)
+	}
+	consistent, err := db.GroupsConsistent(0)
+	if err != nil || !consistent {
+		t.Fatalf("GroupsConsistent = (%v,%v)", consistent, err)
+	}
+}
+
+func TestAllocRejectsOutOfRangeGroup(t *testing.T) {
+	_, c := chainedDB(t)
+	var be *BoundsError
+	if _, err := c.Alloc(0, 4); !errors.As(err, &be) {
+		t.Fatalf("Alloc(group 4) = %v, want BoundsError", err)
+	}
+	if _, err := c.Alloc(0, -1); !errors.As(err, &be) {
+		t.Fatalf("Alloc(group -1) = %v, want BoundsError", err)
+	}
+}
+
+func TestFreeUnlinksFromChain(t *testing.T) {
+	db, c := chainedDB(t)
+	a, _ := c.Alloc(0, 1)
+	b, _ := c.Alloc(0, 1)
+	d, _ := c.Alloc(0, 1)
+	// Chain head→tail: d, b, a. Remove the middle.
+	if err := c.Free(0, b); err != nil {
+		t.Fatal(err)
+	}
+	records, ok, _ := db.WalkGroup(0, 1)
+	if !ok || len(records) != 2 || records[0] != d || records[1] != a {
+		t.Fatalf("chain after middle free = %v", records)
+	}
+	// Remove the head.
+	if err := c.Free(0, d); err != nil {
+		t.Fatal(err)
+	}
+	records, ok, _ = db.WalkGroup(0, 1)
+	if !ok || len(records) != 1 || records[0] != a {
+		t.Fatalf("chain after head free = %v", records)
+	}
+	// Remove the last.
+	if err := c.Free(0, a); err != nil {
+		t.Fatal(err)
+	}
+	records, ok, _ = db.WalkGroup(0, 1)
+	if !ok || len(records) != 0 {
+		t.Fatalf("chain after all frees = %v", records)
+	}
+}
+
+func TestMoveRelinksBetweenChains(t *testing.T) {
+	db, c := chainedDB(t)
+	a, _ := c.Alloc(0, 0)
+	b, _ := c.Alloc(0, 0)
+	if err := c.Move(0, a, 3); err != nil {
+		t.Fatal(err)
+	}
+	g0, ok0, _ := db.WalkGroup(0, 0)
+	g3, ok3, _ := db.WalkGroup(0, 3)
+	if !ok0 || !ok3 {
+		t.Fatalf("chains inconsistent after move")
+	}
+	if len(g0) != 1 || g0[0] != b {
+		t.Fatalf("group 0 = %v, want [%d]", g0, b)
+	}
+	if len(g3) != 1 || g3[0] != a {
+		t.Fatalf("group 3 = %v, want [%d]", g3, a)
+	}
+	var be *BoundsError
+	if err := c.Move(0, a, 9); !errors.As(err, &be) {
+		t.Fatalf("Move to group 9 = %v, want BoundsError", err)
+	}
+}
+
+func TestFreeRecordDirectUnlinks(t *testing.T) {
+	db, c := chainedDB(t)
+	a, _ := c.Alloc(0, 1)
+	b, _ := c.Alloc(0, 1)
+	if err := db.FreeRecordDirect(0, b); err != nil {
+		t.Fatal(err)
+	}
+	records, ok, _ := db.WalkGroup(0, 1)
+	if !ok || len(records) != 1 || records[0] != a {
+		t.Fatalf("chain after direct free = %v (ok=%v)", records, ok)
+	}
+	consistent, _ := db.GroupsConsistent(0)
+	if !consistent {
+		t.Fatal("chains inconsistent after direct free")
+	}
+}
+
+func TestGroupOpsOnPlainTable(t *testing.T) {
+	db, c := chainedDB(t)
+	// Table 1 has no directory: group APIs refuse, labels still work.
+	if _, err := db.GroupHead(1, 0); !errors.Is(err, ErrNoGroups) {
+		t.Fatalf("GroupHead on plain table = %v", err)
+	}
+	if _, _, err := db.WalkGroup(1, 0); !errors.Is(err, ErrNoGroups) {
+		t.Fatalf("WalkGroup on plain table = %v", err)
+	}
+	if _, err := db.RebuildGroups(1); !errors.Is(err, ErrNoGroups) {
+		t.Fatalf("RebuildGroups on plain table = %v", err)
+	}
+	ri, err := c.Alloc(1, 7) // plain label, any value
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, _ := db.TrueRecordOffset(1, ri)
+	if h := db.HeaderAt(off); h.GroupID != 7 {
+		t.Fatalf("plain group label = %d", h.GroupID)
+	}
+}
+
+func TestGroupsConsistentDetectsDamage(t *testing.T) {
+	corruptions := []struct {
+		name string
+		do   func(db *DB, recs []int)
+	}{
+		{"broken link", func(db *DB, recs []int) {
+			off, _ := db.TrueRecordOffset(0, recs[2])
+			putU16(db.Raw(), off+6, 9999)
+		}},
+		{"cycle", func(db *DB, recs []int) {
+			off, _ := db.TrueRecordOffset(0, recs[0])
+			putU16(db.Raw(), off+6, uint16(recs[2]))
+		}},
+		{"corrupt head", func(db *DB, recs []int) {
+			base, _ := db.groupDirBase(0)
+			putU16(db.Raw(), base+2*1, 200)
+		}},
+		{"label mismatch", func(db *DB, recs []int) {
+			off, _ := db.TrueRecordOffset(0, recs[1])
+			putU16(db.Raw(), off+4, 3)
+		}},
+		{"orphan active record", func(db *DB, recs []int) {
+			// Activate a record behind the chains' back.
+			off, _ := db.TrueRecordOffset(0, 10)
+			db.Raw()[off+1] = StatusActive
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			db, c := chainedDB(t)
+			var recs []int
+			for i := 0; i < 3; i++ {
+				ri, err := c.Alloc(0, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				recs = append(recs, ri)
+			}
+			tc.do(db, recs)
+			consistent, err := db.GroupsConsistent(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if consistent {
+				t.Fatal("damage not detected")
+			}
+			// Rebuild restores consistency from the group labels.
+			if _, err := db.RebuildGroups(0); err != nil {
+				t.Fatal(err)
+			}
+			consistent, err = db.GroupsConsistent(0)
+			if err != nil || !consistent {
+				t.Fatalf("rebuild did not restore consistency: (%v,%v)", consistent, err)
+			}
+		})
+	}
+}
+
+func TestRebuildFreesUnrecoverableLabels(t *testing.T) {
+	db, c := chainedDB(t)
+	ri, _ := c.Alloc(0, 1)
+	// Group label beyond the directory: membership unrecoverable.
+	off, _ := db.TrueRecordOffset(0, ri)
+	putU16(db.Raw(), off+4, 999)
+	if _, err := db.RebuildGroups(0); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := db.StatusDirect(0, ri)
+	if st != StatusFree {
+		t.Fatal("record with unrecoverable label not freed")
+	}
+}
+
+// Property: any random sequence of alloc/free/move operations leaves the
+// chains consistent, and walking every group yields exactly the active
+// records of each label.
+func TestPropertyChainOpsStayConsistent(t *testing.T) {
+	f := func(ops []uint16) bool {
+		db, err := New(chainedSchema())
+		if err != nil {
+			return false
+		}
+		c, err := db.Connect()
+		if err != nil {
+			return false
+		}
+		var live []int
+		for _, op := range ops {
+			kind := op % 3
+			g := int(op/3) % 4
+			switch {
+			case kind == 0 || len(live) == 0:
+				if ri, err := c.Alloc(0, g); err == nil {
+					live = append(live, ri)
+				}
+			case kind == 1:
+				k := int(op/16) % len(live)
+				if err := c.Free(0, live[k]); err != nil {
+					return false
+				}
+				live = append(live[:k], live[k+1:]...)
+			default:
+				k := int(op/16) % len(live)
+				if err := c.Move(0, live[k], g); err != nil {
+					return false
+				}
+			}
+		}
+		consistent, err := db.GroupsConsistent(0)
+		if err != nil || !consistent {
+			return false
+		}
+		// Chains cover exactly the live records.
+		total := 0
+		for g := 0; g < 4; g++ {
+			records, ok, err := db.WalkGroup(0, g)
+			if err != nil || !ok {
+				return false
+			}
+			total += len(records)
+		}
+		return total == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+package memdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Database images. The target controller loads its entire database from
+// disk into memory at startup (§3.1.2) and recovers static/structural
+// damage by reloading from permanent storage. These helpers give the
+// reproduction the same disk story: WriteImage persists the region,
+// NewFromImage boots a database from it (the image becomes both the live
+// region and the reload snapshot).
+//
+// Image format: magic "MDBI" u32 | length u32 | region bytes.
+const imageMagic = 0x4D444249
+
+// WriteImage persists the current region to w.
+func (db *DB) WriteImage(w io.Writer) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], imageMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(db.region)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("memdb: write image header: %w", err)
+	}
+	if _, err := w.Write(db.region); err != nil {
+		return fmt.Errorf("memdb: write image body: %w", err)
+	}
+	return nil
+}
+
+// NewFromImage boots a database for schema from a persisted image. The
+// image must have been produced for the identical schema (the region
+// length and catalog must match); the loaded bytes become both the live
+// region and the permanent-storage snapshot used for reload recovery.
+func NewFromImage(schema Schema, r io.Reader, opts ...Option) (*DB, error) {
+	db, err := New(schema, opts...)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("memdb: read image header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != imageMagic {
+		return nil, fmt.Errorf("memdb: bad image magic %#x", binary.LittleEndian.Uint32(hdr[0:4]))
+	}
+	length := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	if length != len(db.region) {
+		return nil, fmt.Errorf("memdb: image length %d does not match schema region %d",
+			length, len(db.region))
+	}
+	if _, err := io.ReadFull(r, db.region); err != nil {
+		return nil, fmt.Errorf("memdb: read image body: %w", err)
+	}
+	// Sanity: the image's catalog must decode for every table; a damaged
+	// image is rejected at load, not discovered mid-operation.
+	for ti := range schema.Tables {
+		if _, err := readTableDesc(db.region, ti); err != nil {
+			return nil, fmt.Errorf("memdb: image catalog invalid: %w", err)
+		}
+	}
+	copy(db.snapshot, db.region)
+	return db, nil
+}

@@ -1,0 +1,79 @@
+package memdb
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestImageRoundTrip(t *testing.T) {
+	db := mustDB(t)
+	c := mustClient(t, db)
+	ri, err := c.Alloc(tblConn, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteRec(tblConn, ri, []uint32{1, 777, 2}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.WriteImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := NewFromImage(testSchema(), &buf)
+	if err != nil {
+		t.Fatalf("NewFromImage: %v", err)
+	}
+	if !bytes.Equal(db.Raw(), db2.Raw()) {
+		t.Fatal("loaded region differs from persisted region")
+	}
+	// Live state survived: record active with its data.
+	st, _ := db2.StatusDirect(tblConn, ri)
+	if st != StatusActive {
+		t.Fatal("allocated record not active after load")
+	}
+	v, _ := db2.ReadFieldDirect(tblConn, ri, 1)
+	if v != 777 {
+		t.Fatalf("field after load = %d", v)
+	}
+	// The loaded image is the reload baseline: corrupt and reload.
+	off, _ := db2.TrueRecordOffset(tblConn, ri)
+	db2.Raw()[off+RecordHeaderSize+4] ^= 0xFF
+	if err := db2.ReloadExtent(off, RecordHeaderSize+FieldSize*3); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = db2.ReadFieldDirect(tblConn, ri, 1)
+	if v != 777 {
+		t.Fatalf("reload restored %d, want the image value 777", v)
+	}
+}
+
+func TestImageRejectsMismatches(t *testing.T) {
+	db := mustDB(t)
+	var buf bytes.Buffer
+	if err := db.WriteImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong schema (different region size).
+	small := testSchema()
+	small.Tables[0].NumRecords = 1
+	if _, err := NewFromImage(small, bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("image accepted under a mismatching schema")
+	}
+	// Bad magic.
+	raw := append([]byte(nil), buf.Bytes()...)
+	raw[0] ^= 0xFF
+	if _, err := NewFromImage(testSchema(), bytes.NewReader(raw)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncated body.
+	if _, err := NewFromImage(testSchema(), bytes.NewReader(buf.Bytes()[:20])); err == nil {
+		t.Fatal("truncated image accepted")
+	}
+	// Corrupted on-disk catalog rejected at load.
+	raw = append([]byte(nil), buf.Bytes()...)
+	raw[8] ^= 0xFF // first region byte: catalog magic
+	if _, err := NewFromImage(testSchema(), bytes.NewReader(raw)); err == nil {
+		t.Fatal("image with damaged catalog accepted")
+	}
+}

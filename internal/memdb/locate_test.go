@@ -1,0 +1,177 @@
+package memdb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLocateCatalog(t *testing.T) {
+	db := mustDB(t)
+	loc, err := db.Locate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loc.Catalog || loc.Table != -1 || loc.Record != -1 {
+		t.Fatalf("Locate(0) = %+v, want catalog", loc)
+	}
+	// Last catalog byte.
+	catEnd := db.CatalogExtent().Len
+	loc, err = db.Locate(catEnd - 1)
+	if err != nil || !loc.Catalog {
+		t.Fatalf("Locate(catalog end-1) = %+v, %v", loc, err)
+	}
+	// First table byte is no longer catalog.
+	loc, err = db.Locate(catEnd)
+	if err != nil || loc.Catalog {
+		t.Fatalf("Locate(first table byte) = %+v, %v", loc, err)
+	}
+}
+
+func TestLocateHeaderAndFields(t *testing.T) {
+	db := mustDB(t)
+	off, err := db.TrueRecordOffset(tblConn, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header bytes.
+	for d := 0; d < RecordHeaderSize; d++ {
+		loc, err := db.Locate(off + d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !loc.Header || loc.Table != tblConn || loc.Record != 3 {
+			t.Fatalf("Locate(header+%d) = %+v", d, loc)
+		}
+	}
+	// Field bytes map to the right field index.
+	for fi := 0; fi < len(db.Schema().Tables[tblConn].Fields); fi++ {
+		for d := 0; d < FieldSize; d++ {
+			loc, err := db.Locate(off + RecordHeaderSize + FieldSize*fi + d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if loc.Header || loc.Field != fi || loc.Record != 3 || loc.Table != tblConn {
+				t.Fatalf("Locate(field %d byte %d) = %+v", fi, d, loc)
+			}
+		}
+	}
+}
+
+func TestLocateBounds(t *testing.T) {
+	db := mustDB(t)
+	if _, err := db.Locate(-1); err == nil {
+		t.Fatal("Locate(-1) succeeded")
+	}
+	if _, err := db.Locate(db.Size()); err == nil {
+		t.Fatal("Locate(size) succeeded")
+	}
+	// Final byte of the region is inside the last table.
+	loc, err := db.Locate(db.Size() - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Table != len(db.Schema().Tables)-1 {
+		t.Fatalf("Locate(last byte) = %+v", loc)
+	}
+}
+
+// Property: every in-range offset locates somewhere consistent with the
+// true record offsets.
+func TestPropertyLocateConsistent(t *testing.T) {
+	db := mustDB(t)
+	f := func(raw uint16) bool {
+		off := int(raw) % db.Size()
+		loc, err := db.Locate(off)
+		if err != nil {
+			return false
+		}
+		if loc.Catalog {
+			return off < db.CatalogExtent().Len
+		}
+		base, err := db.TrueRecordOffset(loc.Table, loc.Record)
+		if err != nil {
+			return false
+		}
+		rel := off - base
+		recSize := RecordHeaderSize + FieldSize*len(db.Schema().Tables[loc.Table].Fields)
+		if rel < 0 || rel >= recSize {
+			return false
+		}
+		if loc.Header {
+			return rel < RecordHeaderSize
+		}
+		return loc.Field == (rel-RecordHeaderSize)/FieldSize
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotField(t *testing.T) {
+	db := mustDB(t)
+	c := mustClient(t, db)
+	// Snapshot holds the pristine defaults even after live writes.
+	ri, err := c.Alloc(tblProc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteFld(tblProc, ri, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	want := db.Schema().Tables[tblProc].Fields[1].Default
+	got, err := db.SnapshotField(tblProc, ri, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("SnapshotField = %d, want pristine default %d", got, want)
+	}
+	if _, err := db.SnapshotField(tblProc, ri, 99); err == nil {
+		t.Fatal("bad field accepted")
+	}
+	if _, err := db.SnapshotField(99, 0, 0); err == nil {
+		t.Fatal("bad table accepted")
+	}
+}
+
+func TestResetLink(t *testing.T) {
+	db := mustDB(t)
+	off, err := db.TrueRecordOffset(tblRes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the adjacency index.
+	db.Raw()[off+6] = 0x12
+	db.Raw()[off+7] = 0x00
+	if h := db.HeaderAt(off); h.NextIdx == NilIndex {
+		t.Fatal("corruption did not change NextIdx")
+	}
+	if err := db.ResetLink(tblRes, 2); err != nil {
+		t.Fatal(err)
+	}
+	if h := db.HeaderAt(off); h.NextIdx != NilIndex {
+		t.Fatalf("NextIdx after reset = %d", h.NextIdx)
+	}
+	if err := db.ResetLink(99, 0); err == nil {
+		t.Fatal("bad table accepted")
+	}
+}
+
+func TestCatalogFieldSpecReadsLiveRegion(t *testing.T) {
+	db := mustDB(t)
+	spec, err := db.CatalogFieldSpec(tblProc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := db.Schema().Tables[tblProc].Fields[1]
+	if spec.Kind != want.Kind || spec.Min != want.Min || spec.Max != want.Max ||
+		spec.Default != want.Default || spec.HasRange != want.HasRange {
+		t.Fatalf("CatalogFieldSpec = %+v, want %+v", spec, want)
+	}
+	// Corrupting the catalog magic makes the lookup fail, as every API
+	// path that depends on the catalog should.
+	db.Raw()[0] ^= 0xFF
+	if _, err := db.CatalogFieldSpec(tblProc, 1); err == nil {
+		t.Fatal("lookup succeeded with corrupt catalog")
+	}
+}

@@ -1,0 +1,150 @@
+// Package memdb implements the paper's in-memory controller database: a
+// single contiguous memory region holding pre-allocated, fixed-size tables,
+// fronted by a system catalog and accessed through the API of the paper's
+// Table 1 (DBinit, DBclose, DBread_rec, DBread_fld, DBwrite_rec,
+// DBwrite_fld, DBmove).
+//
+// The organization follows §3.1.2: the whole database lives in one
+// contiguous region so it can be shared, snapshot, checksummed, and — for
+// the reproduction — bit-flipped by the error injector at arbitrary
+// offsets; no dynamic allocation happens after startup; every record starts
+// with header fields (record identifier and logical-group links) that the
+// structural audit validates at computed offsets.
+package memdb
+
+import (
+	"errors"
+	"fmt"
+)
+
+// FieldKind classifies a field as static configuration data or dynamic
+// runtime state (§3.1.2: "each table usually contains a mixture of static
+// and dynamic data").
+type FieldKind uint8
+
+// Field kinds.
+const (
+	// Static fields hold configuration data constant during operation;
+	// they are covered by the golden checksum audit.
+	Static FieldKind = iota + 1
+	// Dynamic fields hold runtime state; they are covered by range,
+	// structural, and semantic audits.
+	Dynamic
+)
+
+// String returns the kind name.
+func (k FieldKind) String() string {
+	switch k {
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	}
+	return "unknown"
+}
+
+// FieldSpec describes one uint32 field of a table record. Range limits and
+// the default value are stored into the system catalog region, where the
+// dynamic-data audit reads them back (§4.3.1: "the range of allowable
+// values for database fields are stored in the database system catalog").
+type FieldSpec struct {
+	Name     string
+	Kind     FieldKind
+	HasRange bool   // whether Min/Max are enforceable by the range audit
+	Min, Max uint32 // inclusive bounds, meaningful when HasRange
+	Default  uint32 // recovery value when the range audit trips
+}
+
+// TableSpec describes one pre-allocated table.
+type TableSpec struct {
+	Name       string
+	Dynamic    bool // dynamic tables have records allocated/freed at runtime
+	NumRecords int
+	Fields     []FieldSpec
+	// Groups, when positive, gives the table an on-region logical-group
+	// directory: records allocated into a group are chained through
+	// their header adjacency indexes from a per-group head slot, the
+	// structure DBmove manipulates (§3.1.2: header fields contain
+	// "indexes of logically adjacent records"). Zero disables chains;
+	// group IDs are then plain labels.
+	Groups int
+}
+
+// Schema is the full database definition. Table order defines on-region
+// placement order and table IDs.
+type Schema struct {
+	Tables []TableSpec
+}
+
+// Validate checks structural soundness of the schema.
+func (s Schema) Validate() error {
+	if len(s.Tables) == 0 {
+		return errors.New("memdb: schema has no tables")
+	}
+	if len(s.Tables) > 250 {
+		return fmt.Errorf("memdb: %d tables exceeds the 250-table limit", len(s.Tables))
+	}
+	names := make(map[string]bool, len(s.Tables))
+	for ti, tbl := range s.Tables {
+		if tbl.Name == "" {
+			return fmt.Errorf("memdb: table %d has empty name", ti)
+		}
+		if names[tbl.Name] {
+			return fmt.Errorf("memdb: duplicate table name %q", tbl.Name)
+		}
+		names[tbl.Name] = true
+		if tbl.NumRecords <= 0 || tbl.NumRecords > 0xFFFE {
+			return fmt.Errorf("memdb: table %q has invalid record count %d", tbl.Name, tbl.NumRecords)
+		}
+		if tbl.Groups < 0 || tbl.Groups > 0xFFFF {
+			return fmt.Errorf("memdb: table %q has invalid group count %d", tbl.Name, tbl.Groups)
+		}
+		if len(tbl.Fields) == 0 || len(tbl.Fields) > 0xFFFF {
+			return fmt.Errorf("memdb: table %q has invalid field count %d", tbl.Name, len(tbl.Fields))
+		}
+		fieldNames := make(map[string]bool, len(tbl.Fields))
+		for fi, f := range tbl.Fields {
+			if f.Name == "" {
+				return fmt.Errorf("memdb: table %q field %d has empty name", tbl.Name, fi)
+			}
+			if fieldNames[f.Name] {
+				return fmt.Errorf("memdb: table %q duplicate field %q", tbl.Name, f.Name)
+			}
+			fieldNames[f.Name] = true
+			if f.Kind != Static && f.Kind != Dynamic {
+				return fmt.Errorf("memdb: table %q field %q has invalid kind %d", tbl.Name, f.Name, f.Kind)
+			}
+			if f.HasRange && f.Min > f.Max {
+				return fmt.Errorf("memdb: table %q field %q has min %d > max %d", tbl.Name, f.Name, f.Min, f.Max)
+			}
+			if f.HasRange && (f.Default < f.Min || f.Default > f.Max) {
+				return fmt.Errorf("memdb: table %q field %q default %d outside [%d,%d]",
+					tbl.Name, f.Name, f.Default, f.Min, f.Max)
+			}
+		}
+	}
+	return nil
+}
+
+// TableIndex returns the index of the named table, or -1.
+func (s Schema) TableIndex(name string) int {
+	for i, t := range s.Tables {
+		if t.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// FieldIndex returns the index of the named field in table t, or -1.
+func (s Schema) FieldIndex(table int, name string) int {
+	if table < 0 || table >= len(s.Tables) {
+		return -1
+	}
+	for i, f := range s.Tables[table].Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,130 @@
+package memdb
+
+import "testing"
+
+// testSchema is a miniature of the controller database: one static config
+// table and the three dynamic tables forming the paper's semantic loop.
+func testSchema() Schema {
+	return Schema{Tables: []TableSpec{
+		{
+			Name:       "SysConfig",
+			Dynamic:    false,
+			NumRecords: 4,
+			Fields: []FieldSpec{
+				{Name: "NumCPUs", Kind: Static, HasRange: true, Min: 1, Max: 64, Default: 2},
+				{Name: "MaxCalls", Kind: Static, HasRange: true, Min: 1, Max: 10000, Default: 100},
+			},
+		},
+		{
+			Name:       "Process",
+			Dynamic:    true,
+			NumRecords: 8,
+			Fields: []FieldSpec{
+				{Name: "ConnID", Kind: Dynamic, HasRange: true, Min: 0, Max: 7, Default: 0},
+				{Name: "Status", Kind: Dynamic, HasRange: true, Min: 0, Max: 3, Default: 0},
+			},
+		},
+		{
+			Name:       "Connection",
+			Dynamic:    true,
+			NumRecords: 8,
+			Fields: []FieldSpec{
+				{Name: "ChannelID", Kind: Dynamic, HasRange: true, Min: 0, Max: 7, Default: 0},
+				{Name: "CallerID", Kind: Dynamic},
+				{Name: "State", Kind: Dynamic, HasRange: true, Min: 0, Max: 4, Default: 0},
+			},
+		},
+		{
+			Name:       "Resource",
+			Dynamic:    true,
+			NumRecords: 8,
+			Fields: []FieldSpec{
+				{Name: "ProcID", Kind: Dynamic, HasRange: true, Min: 0, Max: 7, Default: 0},
+				{Name: "Status", Kind: Dynamic, HasRange: true, Min: 0, Max: 2, Default: 0},
+			},
+		},
+	}}
+}
+
+func mustDB(t *testing.T, opts ...Option) *DB {
+	t.Helper()
+	db, err := New(testSchema(), opts...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return db
+}
+
+func mustClient(t *testing.T, db *DB) *Client {
+	t.Helper()
+	c, err := db.Connect()
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	return c
+}
+
+func TestSchemaValidateAcceptsGood(t *testing.T) {
+	if err := testSchema().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestSchemaValidateRejections(t *testing.T) {
+	good := func() Schema { return testSchema() }
+	tests := []struct {
+		name   string
+		mutate func(*Schema)
+	}{
+		{"no tables", func(s *Schema) { s.Tables = nil }},
+		{"empty table name", func(s *Schema) { s.Tables[0].Name = "" }},
+		{"duplicate table name", func(s *Schema) { s.Tables[1].Name = s.Tables[0].Name }},
+		{"zero records", func(s *Schema) { s.Tables[0].NumRecords = 0 }},
+		{"too many records", func(s *Schema) { s.Tables[0].NumRecords = 0xFFFF }},
+		{"no fields", func(s *Schema) { s.Tables[0].Fields = nil }},
+		{"empty field name", func(s *Schema) { s.Tables[0].Fields[0].Name = "" }},
+		{"duplicate field name", func(s *Schema) {
+			s.Tables[0].Fields[1].Name = s.Tables[0].Fields[0].Name
+		}},
+		{"bad field kind", func(s *Schema) { s.Tables[0].Fields[0].Kind = 0 }},
+		{"min above max", func(s *Schema) {
+			s.Tables[0].Fields[0].Min = 10
+			s.Tables[0].Fields[0].Max = 1
+		}},
+		{"default outside range", func(s *Schema) { s.Tables[0].Fields[0].Default = 9999 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := good()
+			tt.mutate(&s)
+			if err := s.Validate(); err == nil {
+				t.Fatalf("Validate accepted schema with %s", tt.name)
+			}
+		})
+	}
+}
+
+func TestSchemaLookups(t *testing.T) {
+	s := testSchema()
+	if got := s.TableIndex("Connection"); got != 2 {
+		t.Fatalf("TableIndex(Connection) = %d, want 2", got)
+	}
+	if got := s.TableIndex("Nope"); got != -1 {
+		t.Fatalf("TableIndex(Nope) = %d, want -1", got)
+	}
+	if got := s.FieldIndex(2, "CallerID"); got != 1 {
+		t.Fatalf("FieldIndex = %d, want 1", got)
+	}
+	if got := s.FieldIndex(2, "Nope"); got != -1 {
+		t.Fatalf("FieldIndex(Nope) = %d, want -1", got)
+	}
+	if got := s.FieldIndex(99, "CallerID"); got != -1 {
+		t.Fatalf("FieldIndex(bad table) = %d, want -1", got)
+	}
+}
+
+func TestFieldKindString(t *testing.T) {
+	if Static.String() != "static" || Dynamic.String() != "dynamic" || FieldKind(9).String() != "unknown" {
+		t.Fatal("FieldKind.String mismatch")
+	}
+}

@@ -1,0 +1,43 @@
+package pecos_test
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/pecos"
+	"repro/internal/vm"
+)
+
+// Example instruments a small program, corrupts a branch target, and shows
+// the assertion block trapping the illegal transfer preemptively — the
+// faulting thread is killed gracefully instead of crashing the process.
+func Example() {
+	prog, _ := isa.AssembleWithInfo(`
+		movi r1, 0
+	loop:
+		addi r1, r1, 1
+		cmpi r1, 5
+		blt  loop
+		halt
+	`)
+	ins, _ := pecos.Instrument(prog, pecos.DefaultOptions())
+	fmt.Printf("assertion blocks: %d\n", ins.Blocks)
+
+	// Corrupt the protected branch's displacement.
+	cfi := ins.CFIAddrs[0]
+	in, _ := isa.Decode(ins.Text[cfi])
+	in.Imm16 = 0 // no longer a valid target of this branch
+	text := append([]uint32(nil), ins.Text...)
+	text[cfi] = isa.Encode(in)
+
+	m, _ := vm.New(text, 1, vm.DefaultConfig(), nil)
+	rt := pecos.NewRuntime(ins)
+	m.OnTrap = rt.OnTrap
+	m.Run(1000)
+
+	fmt.Printf("detections: %d, thread: %v, process crashed: %v\n",
+		rt.Detections, m.Thread(0).State, m.Crashed())
+	// Output:
+	// assertion blocks: 1
+	// detections: 1, thread: killed, process crashed: false
+}

@@ -1,0 +1,304 @@
+// Package pecos implements PECOS (PreEmptive COntrol Signatures, §6.1):
+// compile-time instrumentation that embeds assertion blocks into the
+// instruction stream before every control-flow instruction (CFI), plus the
+// runtime signal handler that turns an assertion's divide-by-zero trap into
+// graceful termination of the malfunctioning thread.
+//
+// The instrumenter is the reproduction of the paper's "PECOS parser" for
+// SPARC assembly: it decomposes the program into basic blocks (each
+// terminated by a CFI), computes the valid target set of every CFI —
+// statically for branches/jumps/calls, as the set of registered function
+// entries for indirect calls, and as the set of return sites for returns —
+// and inserts `assert n; T1..Tn` words ahead of the CFI. The assertion
+// block introduces no CFIs of its own ("it defeats the purpose to have the
+// Assertion Block insert any further CFIs").
+package pecos
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// Granularity selects which CFIs get assertion blocks — the ablation knob.
+type Granularity int
+
+// Granularities.
+const (
+	// ProtectAll instruments every CFI (the paper's configuration).
+	ProtectAll Granularity = iota + 1
+	// ProtectCallsReturns instruments only call/calr/ret/jr — the
+	// "inter-block transfers only" ablation.
+	ProtectCallsReturns
+)
+
+// Options configures instrumentation.
+type Options struct {
+	Granularity Granularity
+	// IndirectTargets names labels that are legal targets of indirect
+	// calls/jumps, beyond the automatically discovered direct-call
+	// entries. This is the paper's "determined at runtime" registration
+	// path for dynamic-library-style targets.
+	IndirectTargets []string
+}
+
+// DefaultOptions instruments every CFI.
+func DefaultOptions() Options { return Options{Granularity: ProtectAll} }
+
+// Instrumented is the result of instrumenting a program.
+type Instrumented struct {
+	// Text is the instrumented text segment.
+	Text []uint32
+	// NewAddr maps original instruction index → new word address.
+	NewAddr []uint32
+	// AssertPCs is the set of assertion-header addresses; the signal
+	// handler consults it to attribute a divide-by-zero trap to PECOS.
+	AssertPCs map[uint32]bool
+	// CFIAddrs lists the (new) addresses of every protected CFI — the
+	// directed-injection campaign's target set.
+	CFIAddrs []uint32
+	// Blocks is the number of assertion blocks inserted.
+	Blocks int
+}
+
+// Instrument embeds assertion blocks into the program.
+func Instrument(p *isa.Program, opts Options) (*Instrumented, error) {
+	if p == nil || len(p.Text) == 0 {
+		return nil, errors.New("pecos: empty program")
+	}
+	if opts.Granularity == 0 {
+		opts.Granularity = ProtectAll
+	}
+	n := len(p.Text)
+	instrs := make([]isa.Instr, n)
+	for i, w := range p.Text {
+		in, err := isa.Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("pecos: instruction %d: %w", i, err)
+		}
+		if in.Op == isa.OpAssert {
+			return nil, fmt.Errorf("pecos: instruction %d: program already instrumented", i)
+		}
+		instrs[i] = in
+	}
+
+	protect := func(op isa.Op) bool {
+		if !op.IsCFI() {
+			return false
+		}
+		if opts.Granularity == ProtectCallsReturns {
+			switch op {
+			case isa.OpCall, isa.OpCalr, isa.OpRet, isa.OpJr:
+				return true
+			}
+			return false
+		}
+		return true
+	}
+
+	// Indirect-target set (original addresses): every direct-call entry
+	// plus explicitly registered labels.
+	indirectSet := make(map[uint32]bool)
+	for _, in := range instrs {
+		if in.Op == isa.OpCall {
+			indirectSet[in.Imm16] = true
+		}
+	}
+	for _, name := range opts.IndirectTargets {
+		addr, ok := p.Labels[name]
+		if !ok {
+			return nil, fmt.Errorf("pecos: indirect target label %q not defined", name)
+		}
+		indirectSet[addr] = true
+	}
+	// Return sites (original "address of instruction after the call").
+	var returnSites []uint32
+	for i, in := range instrs {
+		if in.Op == isa.OpCall || in.Op == isa.OpCalr {
+			returnSites = append(returnSites, uint32(i+1))
+		}
+	}
+
+	// targetCount returns how many valid-target words CFI i needs.
+	targetCount := func(in isa.Instr) int {
+		switch in.Op {
+		case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
+			return 2
+		case isa.OpJmp, isa.OpCall:
+			return 1
+		case isa.OpJr, isa.OpCalr:
+			if len(indirectSet) == 0 {
+				return 0 // nothing known: cannot protect
+			}
+			return len(indirectSet)
+		case isa.OpRet:
+			if len(returnSites) == 0 {
+				return 0
+			}
+			return len(returnSites)
+		}
+		return 0
+	}
+
+	// Pass 1: compute new addresses.
+	newAddr := make([]uint32, n+1)
+	cursor := uint32(0)
+	for i := 0; i < n; i++ {
+		newAddr[i] = cursor
+		if protect(instrs[i].Op) {
+			if tc := targetCount(instrs[i]); tc > 0 {
+				cursor += 1 + uint32(tc) // assert header + target words
+			}
+		}
+		cursor++
+	}
+	newAddr[n] = cursor
+	if cursor > 0xFFFF {
+		return nil, fmt.Errorf("pecos: instrumented program (%d words) exceeds address space", cursor)
+	}
+
+	reloc := func(orig uint32) (uint32, error) {
+		if int(orig) > n {
+			return 0, fmt.Errorf("pecos: target address %d outside program", orig)
+		}
+		return newAddr[orig], nil
+	}
+
+	// Pass 2: emit, relocating every address-bearing immediate.
+	ins := &Instrumented{
+		NewAddr:   newAddr[:n],
+		AssertPCs: make(map[uint32]bool),
+	}
+	out := make([]uint32, 0, cursor)
+	for i := 0; i < n; i++ {
+		in := instrs[i]
+
+		if protect(in.Op) {
+			if tc := targetCount(in); tc > 0 {
+				targets, err := validTargets(in, uint32(i), indirectSet, returnSites, reloc)
+				if err != nil {
+					return nil, err
+				}
+				ins.AssertPCs[uint32(len(out))] = true
+				out = append(out, isa.Encode(isa.Instr{Op: isa.OpAssert, Imm16: uint32(len(targets))}))
+				out = append(out, targets...)
+				ins.Blocks++
+			}
+		}
+
+		// Relocate the instruction's own immediate where it is an
+		// address: all direct CFIs, and movi of a label constant.
+		switch in.Op {
+		case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpJmp, isa.OpCall:
+			na, err := reloc(in.Imm16)
+			if err != nil {
+				return nil, err
+			}
+			in.Imm16 = na
+		case isa.OpMovi:
+			if _, isLabel := p.LabelRefs[i]; isLabel {
+				na, err := reloc(in.Imm16)
+				if err != nil {
+					return nil, err
+				}
+				in.Imm16 = na
+			}
+		}
+		if in.Op.IsCFI() {
+			ins.CFIAddrs = append(ins.CFIAddrs, uint32(len(out)))
+		}
+		out = append(out, isa.Encode(in))
+	}
+	ins.Text = out
+	return ins, nil
+}
+
+// validTargets builds the relocated valid-target word list for CFI i.
+func validTargets(in isa.Instr, i uint32, indirect map[uint32]bool, returnSites []uint32, reloc func(uint32) (uint32, error)) ([]uint32, error) {
+	var origs []uint32
+	switch in.Op {
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
+		origs = []uint32{in.Imm16, i + 1} // taken, fall-through
+	case isa.OpJmp, isa.OpCall:
+		origs = []uint32{in.Imm16}
+	case isa.OpJr, isa.OpCalr:
+		for a := range indirect {
+			origs = append(origs, a)
+		}
+	case isa.OpRet:
+		origs = append(origs, returnSites...)
+	}
+	// Deterministic order for reproducible binaries.
+	sortU32(origs)
+	out := make([]uint32, 0, len(origs))
+	for _, a := range origs {
+		na, err := reloc(a)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, na)
+	}
+	return out, nil
+}
+
+func sortU32(s []uint32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// ScanCFIs lists the addresses of CFI words in a text segment, skipping
+// assertion-block operand words. It is the directed-injection target list
+// for both instrumented and plain programs.
+func ScanCFIs(text []uint32) []uint32 {
+	var out []uint32
+	i := 0
+	for i < len(text) {
+		in, err := isa.Decode(text[i])
+		if err != nil {
+			i++
+			continue
+		}
+		if in.Op == isa.OpAssert {
+			i += int(in.Imm16) + 1
+			continue
+		}
+		if in.Op.IsCFI() {
+			out = append(out, uint32(i))
+		}
+		i++
+	}
+	return out
+}
+
+// Runtime is the PECOS signal handler (§6.1): it examines the trap's PC,
+// and if it corresponds to an assertion block concludes a control-flow
+// error was caught preemptively, terminating the malfunctioning thread of
+// execution. Any other trap is left to the system (process crash).
+type Runtime struct {
+	ins *Instrumented
+	// Detections counts assertion-attributed traps.
+	Detections int
+	// OnDetect, if set, observes each detection with the faulting
+	// thread's ID and the assertion PC.
+	OnDetect func(tid int, assertPC uint32)
+}
+
+// NewRuntime builds the handler for an instrumented program.
+func NewRuntime(ins *Instrumented) *Runtime { return &Runtime{ins: ins} }
+
+// OnTrap implements the vm.VM trap-handler contract.
+func (r *Runtime) OnTrap(t *vm.Thread, trap vm.Trap) vm.TrapAction {
+	if trap == vm.TrapDivZero && t.InAssert && r.ins.AssertPCs[t.TrapPC] {
+		r.Detections++
+		if r.OnDetect != nil {
+			r.OnDetect(t.ID, t.TrapPC)
+		}
+		return vm.ActionKillThread
+	}
+	return vm.ActionCrashProcess
+}

@@ -1,0 +1,304 @@
+package pecos
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+func assemble(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := isa.AssembleWithInfo(src)
+	if err != nil {
+		t.Fatalf("AssembleWithInfo: %v", err)
+	}
+	return p
+}
+
+func instrument(t *testing.T, src string, opts Options) *Instrumented {
+	t.Helper()
+	ins, err := Instrument(assemble(t, src), opts)
+	if err != nil {
+		t.Fatalf("Instrument: %v", err)
+	}
+	return ins
+}
+
+// loopProgram sums 1..10 with a backward branch, a call, and a return.
+const loopProgram = `
+	movi r1, 0
+	movi r2, 0
+loop:
+	addi r1, r1, 1
+	add  r2, r2, r1
+	cmpi r1, 10
+	blt  loop
+	call finish
+	halt
+finish:
+	movi r3, 1
+	ret
+`
+
+func runToCompletion(t *testing.T, text []uint32, threads int) *vm.VM {
+	t.Helper()
+	m, err := vm.New(text, threads, vm.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatalf("vm.New: %v", err)
+	}
+	m.Run(1 << 20)
+	return m
+}
+
+func TestInstrumentedProgramBehavesIdentically(t *testing.T) {
+	plain := assemble(t, loopProgram)
+	ins := instrument(t, loopProgram, DefaultOptions())
+
+	mPlain := runToCompletion(t, plain.Text, 1)
+	mIns := runToCompletion(t, ins.Text, 1)
+
+	tp, ti := mPlain.Thread(0), mIns.Thread(0)
+	if tp.State != vm.ThreadHalted || ti.State != vm.ThreadHalted {
+		t.Fatalf("states: plain=%v instrumented=%v (trap %v at %d)",
+			tp.State, ti.State, ti.Trap, ti.TrapPC)
+	}
+	// Architectural results must match: instrumentation is transparent.
+	if tp.Regs != ti.Regs {
+		t.Fatalf("registers diverge:\nplain: %v\ninstr: %v", tp.Regs, ti.Regs)
+	}
+}
+
+func TestInstrumentInsertsBlockPerCFI(t *testing.T) {
+	ins := instrument(t, loopProgram, DefaultOptions())
+	// CFIs: blt, call, ret → 3 assertion blocks.
+	if ins.Blocks != 3 {
+		t.Fatalf("Blocks = %d, want 3", ins.Blocks)
+	}
+	if len(ins.CFIAddrs) != 3 {
+		t.Fatalf("CFIAddrs = %v", ins.CFIAddrs)
+	}
+	if len(ins.AssertPCs) != 3 {
+		t.Fatalf("AssertPCs = %v", ins.AssertPCs)
+	}
+	// Each protected CFI is immediately preceded by its target words and
+	// assertion header.
+	for _, cfi := range ins.CFIAddrs {
+		in, err := isa.Decode(ins.Text[cfi])
+		if err != nil || !in.Op.IsCFI() {
+			t.Fatalf("word at %d is not a CFI", cfi)
+		}
+	}
+}
+
+func TestInstrumentRejectsBadInput(t *testing.T) {
+	if _, err := Instrument(nil, DefaultOptions()); err == nil {
+		t.Fatal("nil program accepted")
+	}
+	if _, err := Instrument(&isa.Program{}, DefaultOptions()); err == nil {
+		t.Fatal("empty program accepted")
+	}
+	// Double instrumentation rejected.
+	ins := instrument(t, loopProgram, DefaultOptions())
+	if _, err := Instrument(&isa.Program{Text: ins.Text}, DefaultOptions()); err == nil {
+		t.Fatal("already-instrumented program accepted")
+	}
+	// Unknown indirect-target label rejected.
+	p := assemble(t, "halt")
+	if _, err := Instrument(p, Options{IndirectTargets: []string{"nope"}}); err == nil {
+		t.Fatal("unknown indirect label accepted")
+	}
+}
+
+func TestGranularityCallsReturnsOnly(t *testing.T) {
+	full := instrument(t, loopProgram, DefaultOptions())
+	partial := instrument(t, loopProgram, Options{Granularity: ProtectCallsReturns})
+	if partial.Blocks >= full.Blocks {
+		t.Fatalf("partial blocks %d !< full blocks %d", partial.Blocks, full.Blocks)
+	}
+	if partial.Blocks != 2 { // call + ret, branch unprotected
+		t.Fatalf("partial blocks = %d, want 2", partial.Blocks)
+	}
+	m := runToCompletion(t, partial.Text, 1)
+	if m.Thread(0).State != vm.ThreadHalted || m.Thread(0).Regs[2] != 55 {
+		t.Fatalf("partial instrumentation broke the program: %v r2=%d",
+			m.Thread(0).State, m.Thread(0).Regs[2])
+	}
+}
+
+func TestIndirectCallInstrumentation(t *testing.T) {
+	src := `
+		movi r1, handler
+		calr r1
+		halt
+	handler:
+		movi r2, 7
+		ret
+	`
+	ins, err := Instrument(assemble(t, src), Options{
+		Granularity:     ProtectAll,
+		IndirectTargets: []string{"handler"},
+	})
+	if err != nil {
+		t.Fatalf("Instrument: %v", err)
+	}
+	m := runToCompletion(t, ins.Text, 1)
+	th := m.Thread(0)
+	if th.State != vm.ThreadHalted || th.Regs[2] != 7 {
+		t.Fatalf("state=%v trap=%v r2=%d", th.State, th.Trap, th.Regs[2])
+	}
+}
+
+func TestMoviLabelRelocation(t *testing.T) {
+	// The movi loads a code address; instrumentation moves the target, so
+	// the constant must be relocated — but a movi of plain data must not.
+	src := `
+		movi r1, fn
+		movi r2, 6
+		calr r1
+		halt
+	fn:
+		movi r3, 1
+		ret
+	`
+	ins, err := Instrument(assemble(t, src), Options{IndirectTargets: []string{"fn"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := runToCompletion(t, ins.Text, 1)
+	th := m.Thread(0)
+	if th.State != vm.ThreadHalted {
+		t.Fatalf("state=%v trap=%v at %d", th.State, th.Trap, th.TrapPC)
+	}
+	if th.Regs[2] != 6 {
+		t.Fatalf("data constant was relocated: r2 = %d", th.Regs[2])
+	}
+	if th.Regs[3] != 1 {
+		t.Fatal("function pointer relocation failed")
+	}
+}
+
+func TestRuntimeCatchesCorruptedBranchTarget(t *testing.T) {
+	ins := instrument(t, loopProgram, DefaultOptions())
+	rt := NewRuntime(ins)
+
+	// Corrupt the blt's target immediate to point mid-block.
+	var bltAddr uint32
+	for _, cfi := range ins.CFIAddrs {
+		in, err := isa.Decode(ins.Text[cfi])
+		if err == nil && in.Op == isa.OpBlt {
+			bltAddr = cfi
+		}
+	}
+	in, err := isa.Decode(ins.Text[bltAddr])
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Imm16 = 0 // address 0 is not a valid target of this branch
+	text := make([]uint32, len(ins.Text))
+	copy(text, ins.Text)
+	text[bltAddr] = isa.Encode(in)
+
+	m, err := vm.New(text, 1, vm.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var detectedTID int = -1
+	rt.OnDetect = func(tid int, assertPC uint32) { detectedTID = tid }
+	m.OnTrap = rt.OnTrap
+	m.Run(1 << 20)
+
+	if rt.Detections != 1 {
+		t.Fatalf("Detections = %d, want 1", rt.Detections)
+	}
+	if detectedTID != 0 {
+		t.Fatalf("detected tid = %d", detectedTID)
+	}
+	th := m.Thread(0)
+	if th.State != vm.ThreadKilled {
+		t.Fatalf("thread state = %v, want killed (graceful termination)", th.State)
+	}
+	if m.Crashed() {
+		t.Fatal("process crashed despite PECOS recovery")
+	}
+}
+
+func TestRuntimeLeavesOtherTrapsToSystem(t *testing.T) {
+	ins := instrument(t, "movi r1, 5\nmovi r2, 0\ndiv r3, r1, r2\nhalt", DefaultOptions())
+	rt := NewRuntime(ins)
+	m, err := vm.New(ins.Text, 1, vm.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.OnTrap = rt.OnTrap
+	m.Run(1000)
+	// A genuine application divide-by-zero is NOT a PECOS detection: the
+	// signal handler checks the PC against assertion blocks.
+	if rt.Detections != 0 {
+		t.Fatalf("Detections = %d for an application fault", rt.Detections)
+	}
+	if !m.Crashed() {
+		t.Fatal("application fault did not crash the process")
+	}
+}
+
+func TestScanCFIsSkipsAssertOperands(t *testing.T) {
+	ins := instrument(t, loopProgram, DefaultOptions())
+	got := ScanCFIs(ins.Text)
+	if len(got) != len(ins.CFIAddrs) {
+		t.Fatalf("ScanCFIs = %v, want %v", got, ins.CFIAddrs)
+	}
+	for i := range got {
+		if got[i] != ins.CFIAddrs[i] {
+			t.Fatalf("ScanCFIs = %v, want %v", got, ins.CFIAddrs)
+		}
+	}
+	// On plain text, the scan finds the raw CFIs.
+	plain := assemble(t, loopProgram)
+	if n := len(ScanCFIs(plain.Text)); n != 3 {
+		t.Fatalf("plain CFIs = %d, want 3", n)
+	}
+}
+
+func TestMultiThreadedInstrumentedRun(t *testing.T) {
+	ins := instrument(t, loopProgram, DefaultOptions())
+	m := runToCompletion(t, ins.Text, 8)
+	for _, th := range m.Threads() {
+		if th.State != vm.ThreadHalted || th.Regs[2] != 55 {
+			t.Fatalf("thread %d: state=%v r2=%d", th.ID, th.State, th.Regs[2])
+		}
+	}
+}
+
+func TestReturnSiteValidation(t *testing.T) {
+	// Two call sites: the return must land at one of them. A corrupted
+	// stack sends it elsewhere → PECOS detection.
+	src := `
+		call fn
+		call fn
+		halt
+	fn:
+		ret
+	`
+	ins := instrument(t, src, DefaultOptions())
+	rt := NewRuntime(ins)
+	m, err := vm.New(ins.Text, 1, vm.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.OnTrap = rt.OnTrap
+
+	// Let it run until the thread enters fn (stack non-empty), then
+	// corrupt the return address.
+	for m.Thread(0).Steps < 1<<16 && m.Thread(0).State == vm.ThreadRunning {
+		m.Step(m.Thread(0))
+		if len(m.Thread(0).Stack) > 0 {
+			m.Thread(0).Stack[0] = 0 // 0 is not a return site
+			break
+		}
+	}
+	m.Run(1 << 16)
+	if rt.Detections == 0 {
+		t.Fatal("corrupted return address not detected")
+	}
+}

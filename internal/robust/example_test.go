@@ -1,0 +1,30 @@
+package robust_test
+
+import (
+	"fmt"
+
+	"repro/internal/robust"
+)
+
+// Example demonstrates single-fault detection and correction: one
+// corrupted forward pointer is found by two-way traversal and repaired
+// from the surviving backward evidence.
+func Example() {
+	l, _ := robust.New(8)
+	var hs []int32
+	for _, v := range []uint32{10, 20, 30} {
+		h, _ := l.Insert(v)
+		hs = append(hs, h)
+	}
+	l.CorruptNext(hs[0], hs[2]) // 10 now claims 30 follows it
+
+	fmt.Println("faults:", len(l.Verify()) > 0)
+	if _, err := l.Repair(); err != nil {
+		fmt.Println("repair failed:", err)
+		return
+	}
+	fmt.Println("restored:", l.Walk())
+	// Output:
+	// faults: true
+	// restored: [10 20 30]
+}

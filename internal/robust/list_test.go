@@ -1,0 +1,353 @@
+package robust
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func buildList(t *testing.T, values ...uint32) (*List, []int32) {
+	t.Helper()
+	l, err := New(len(values) + 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handles := make([]int32, len(values))
+	for i, v := range values {
+		h, err := l.Insert(v)
+		if err != nil {
+			t.Fatalf("Insert(%d): %v", v, err)
+		}
+		handles[i] = h
+	}
+	return l, handles
+}
+
+func wantWalk(t *testing.T, l *List, want []uint32) {
+	t.Helper()
+	got := l.Walk()
+	if len(got) != len(want) {
+		t.Fatalf("Walk = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Walk = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("New(0) succeeded")
+	}
+	l, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Cap() != 4 || l.Len() != 0 {
+		t.Fatalf("Cap/Len = %d/%d", l.Cap(), l.Len())
+	}
+}
+
+func TestInsertWalkRemove(t *testing.T) {
+	l, hs := buildList(t, 10, 20, 30, 40)
+	wantWalk(t, l, []uint32{10, 20, 30, 40})
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	v, err := l.Value(hs[2])
+	if err != nil || v != 30 {
+		t.Fatalf("Value = %d, %v", v, err)
+	}
+	// Remove middle, head, tail.
+	if err := l.Remove(hs[1]); err != nil {
+		t.Fatal(err)
+	}
+	wantWalk(t, l, []uint32{10, 30, 40})
+	if err := l.Remove(hs[0]); err != nil {
+		t.Fatal(err)
+	}
+	wantWalk(t, l, []uint32{30, 40})
+	if err := l.Remove(hs[3]); err != nil {
+		t.Fatal(err)
+	}
+	wantWalk(t, l, []uint32{30})
+	if err := l.Remove(hs[2]); err != nil {
+		t.Fatal(err)
+	}
+	wantWalk(t, l, nil)
+	if fs := l.Verify(); fs != nil {
+		t.Fatalf("empty list has faults: %v", fs)
+	}
+}
+
+func TestRemoveBadHandle(t *testing.T) {
+	l, hs := buildList(t, 1)
+	if err := l.Remove(-1); err == nil {
+		t.Fatal("Remove(-1) succeeded")
+	}
+	if err := l.Remove(99); err == nil {
+		t.Fatal("Remove(99) succeeded")
+	}
+	if err := l.Remove(hs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Remove(hs[0]); err == nil {
+		t.Fatal("double Remove succeeded")
+	}
+	if _, err := l.Value(hs[0]); err == nil {
+		t.Fatal("Value of removed handle succeeded")
+	}
+}
+
+func TestArenaExhaustionAndReuse(t *testing.T) {
+	l, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hs []int32
+	for i := 0; i < 3; i++ {
+		h, err := l.Insert(uint32(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs = append(hs, h)
+	}
+	if _, err := l.Insert(9); err != ErrFull {
+		t.Fatalf("Insert on full arena: %v", err)
+	}
+	if err := l.Remove(hs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Insert(9); err != nil {
+		t.Fatalf("Insert after free: %v", err)
+	}
+	wantWalk(t, l, []uint32{0, 2, 9})
+}
+
+func TestVerifyCleanList(t *testing.T) {
+	l, _ := buildList(t, 1, 2, 3, 4, 5)
+	if fs := l.Verify(); fs != nil {
+		t.Fatalf("clean list has faults: %v", fs)
+	}
+}
+
+func TestVerifyDetectsEveryFieldCorruption(t *testing.T) {
+	corruptions := []struct {
+		name string
+		do   func(l *List, hs []int32)
+		kind FaultKind
+	}{
+		{"next pointer", func(l *List, hs []int32) { l.CorruptNext(hs[1], hs[3]) }, FaultLink},
+		{"prev pointer", func(l *List, hs []int32) { l.CorruptPrev(hs[2], hs[0]) }, FaultLink},
+		{"next to invalid", func(l *List, hs []int32) { l.CorruptNext(hs[1], 999) }, FaultLink},
+		{"identity", func(l *List, hs []int32) { l.CorruptID(hs[2], 77) }, FaultID},
+		{"head anchor", func(l *List, hs []int32) { l.CorruptHead(hs[2]) }, FaultHead},
+		{"tail anchor", func(l *List, hs []int32) { l.CorruptTail(hs[0]) }, FaultTail},
+		{"count", func(l *List, hs []int32) { l.CorruptCount(99) }, FaultCount},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			l, hs := buildList(t, 1, 2, 3, 4, 5)
+			tc.do(l, hs)
+			fs := l.Verify()
+			if len(fs) == 0 {
+				t.Fatal("corruption not detected")
+			}
+			found := false
+			for _, f := range fs {
+				if f.Kind == tc.kind {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("faults %v missing kind %v", fs, tc.kind)
+			}
+		})
+	}
+}
+
+func TestRepairSingleCorruptions(t *testing.T) {
+	want := []uint32{1, 2, 3, 4, 5}
+	corruptions := []struct {
+		name string
+		do   func(l *List, hs []int32)
+	}{
+		{"mid next", func(l *List, hs []int32) { l.CorruptNext(hs[1], hs[3]) }},
+		{"mid prev", func(l *List, hs []int32) { l.CorruptPrev(hs[3], hs[0]) }},
+		{"next to garbage", func(l *List, hs []int32) { l.CorruptNext(hs[2], 1000) }},
+		{"prev to garbage", func(l *List, hs []int32) { l.CorruptPrev(hs[2], -5) }},
+		{"first next", func(l *List, hs []int32) { l.CorruptNext(hs[0], hs[4]) }},
+		{"last prev", func(l *List, hs []int32) { l.CorruptPrev(hs[4], hs[1]) }},
+		{"tail next non-nil", func(l *List, hs []int32) { l.CorruptNext(hs[4], hs[0]) }},
+		{"head prev non-nil", func(l *List, hs []int32) { l.CorruptPrev(hs[0], hs[2]) }},
+		{"identity", func(l *List, hs []int32) { l.CorruptID(hs[3], 1234) }},
+		{"head anchor", func(l *List, hs []int32) { l.CorruptHead(hs[3]) }},
+		{"tail anchor", func(l *List, hs []int32) { l.CorruptTail(hs[1]) }},
+		{"count", func(l *List, hs []int32) { l.CorruptCount(-3) }},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			l, hs := buildList(t, want...)
+			tc.do(l, hs)
+			if len(l.Verify()) == 0 {
+				t.Fatal("corruption invisible to Verify")
+			}
+			n, err := l.Repair()
+			if err != nil {
+				t.Fatalf("Repair: %v", err)
+			}
+			if n == 0 {
+				t.Fatal("Repair rewrote nothing")
+			}
+			if fs := l.Verify(); fs != nil {
+				t.Fatalf("faults after repair: %v", fs)
+			}
+			wantWalk(t, l, want)
+		})
+	}
+}
+
+func TestRepairCleanListIsNoOp(t *testing.T) {
+	l, _ := buildList(t, 1, 2, 3)
+	n, err := l.Repair()
+	if err != nil || n != 0 {
+		t.Fatalf("Repair on clean list = (%d, %v)", n, err)
+	}
+}
+
+func TestRepairEmptyListAnchors(t *testing.T) {
+	l, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.CorruptHead(2)
+	l.CorruptCount(7)
+	n, err := l.Repair()
+	if err != nil || n == 0 {
+		t.Fatalf("Repair = (%d, %v)", n, err)
+	}
+	if fs := l.Verify(); fs != nil {
+		t.Fatalf("faults after repair: %v", fs)
+	}
+}
+
+func TestRepairSingleNodeList(t *testing.T) {
+	l, hs := buildList(t, 42)
+	l.CorruptNext(hs[0], hs[0]+100)
+	if _, err := l.Repair(); err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	wantWalk(t, l, []uint32{42})
+}
+
+// Property: after a random sequence of inserts/removes and ONE random
+// single-field corruption, Verify detects it and Repair restores the
+// exact original sequence (1-detectable, 1-correctable).
+func TestPropertySingleFaultCorrectable(t *testing.T) {
+	f := func(opsRaw []byte, fieldSel uint8, nodeSel, valSel uint16) bool {
+		l, err := New(24)
+		if err != nil {
+			return false
+		}
+		var live []int32
+		next := uint32(1)
+		for _, op := range opsRaw {
+			if op%3 != 0 || len(live) == 0 {
+				if h, err := l.Insert(next); err == nil {
+					live = append(live, h)
+					next++
+				}
+			} else {
+				k := int(op) % len(live)
+				if err := l.Remove(live[k]); err != nil {
+					return false
+				}
+				live = append(live[:k], live[k+1:]...)
+			}
+		}
+		want := l.Walk()
+		if len(live) == 0 {
+			return true // nothing to corrupt meaningfully
+		}
+		h := live[int(nodeSel)%len(live)]
+		v := int32(valSel%40) - 8 // includes invalid and Nil-ish values
+		switch fieldSel % 5 {
+		case 0:
+			if v == l.arena[h].Next {
+				return true // no-op corruption
+			}
+			l.CorruptNext(h, v)
+		case 1:
+			if v == l.arena[h].Prev {
+				return true
+			}
+			l.CorruptPrev(h, v)
+		case 2:
+			if v == h {
+				return true
+			}
+			l.CorruptID(h, v)
+		case 3:
+			if v == l.head {
+				return true
+			}
+			l.CorruptHead(v)
+		case 4:
+			if v == l.count {
+				return true
+			}
+			l.CorruptCount(v)
+		}
+		if len(l.Verify()) == 0 {
+			return false // 1-detectability violated
+		}
+		if _, err := l.Repair(); err != nil {
+			return false
+		}
+		if len(l.Verify()) != 0 {
+			return false
+		}
+		got := l.Walk()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiFaultDetectedEvenIfUncorrectable(t *testing.T) {
+	l, hs := buildList(t, 1, 2, 3, 4, 5, 6)
+	// Two independent pointer corruptions on the same adjacency destroy
+	// both witnesses: detection must still fire; repair may legitimately
+	// fail.
+	l.CorruptNext(hs[2], hs[5])
+	l.CorruptPrev(hs[3], hs[0])
+	if len(l.Verify()) == 0 {
+		t.Fatal("double corruption not detected")
+	}
+	// Repair either fixes it (when evidence still suffices) or reports
+	// ErrUnrepairable; it must not silently produce a corrupt list.
+	if _, err := l.Repair(); err == nil {
+		if fs := l.Verify(); fs != nil {
+			t.Fatalf("repair claimed success but faults remain: %v", fs)
+		}
+	}
+}
+
+func TestFaultStrings(t *testing.T) {
+	if FaultID.String() != "identity" || FaultCount.String() != "count" || FaultKind(0).String() != "unknown" {
+		t.Fatal("FaultKind.String mismatch")
+	}
+	f := Fault{Kind: FaultLink, Node: 3}
+	if f.String() != "link@3" {
+		t.Fatalf("Fault.String = %q", f.String())
+	}
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"time"
+)
+
+// RealtimeRunner executes a simulation environment against the wall clock:
+// each pending event fires when its virtual time, divided by Speedup, has
+// elapsed in real time. It is the bridge from the deterministic experiment
+// kernel to a live deployment of the framework — the same audit process,
+// manager, and workload code runs unmodified, just paced by real time.
+type RealtimeRunner struct {
+	env *Env
+	// Speedup scales virtual time to real time: 60 runs one virtual
+	// minute per real second. Must be positive.
+	Speedup float64
+	// Now supplies the wall clock (injected for tests).
+	Now func() time.Time
+	// Sleep waits for a real duration or context cancellation (injected
+	// for tests).
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// NewRealtimeRunner wraps env with a wall-clock pacer.
+func NewRealtimeRunner(env *Env, speedup float64) (*RealtimeRunner, error) {
+	if env == nil {
+		return nil, errors.New("sim: nil environment")
+	}
+	if speedup <= 0 {
+		return nil, errors.New("sim: speedup must be positive")
+	}
+	return &RealtimeRunner{
+		env:     env,
+		Speedup: speedup,
+		Now:     time.Now,
+		Sleep:   sleepCtx,
+	}, nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Run paces the environment for the given virtual horizon, honouring ctx
+// cancellation. Virtual event work itself executes instantaneously (the
+// event loop is single-threaded); only gaps between events consume real
+// time.
+func (r *RealtimeRunner) Run(ctx context.Context, horizon time.Duration) error {
+	end := r.env.Now() + horizon
+	wallStart := r.Now()
+	virtStart := r.env.Now()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// Find the next event time without firing it.
+		next, ok := r.env.PeekNext()
+		if !ok || next > end {
+			// Idle until the horizon, then stop.
+			remaining := r.realDelay(wallStart, virtStart, end)
+			if err := r.Sleep(ctx, remaining); err != nil {
+				return err
+			}
+			return r.env.Run(end - r.env.Now())
+		}
+		// Sleep until the event's wall time, then fire everything due.
+		if err := r.Sleep(ctx, r.realDelay(wallStart, virtStart, next)); err != nil {
+			return err
+		}
+		if err := r.env.Run(next - r.env.Now()); err != nil {
+			return err
+		}
+	}
+}
+
+// realDelay converts a target virtual instant to the remaining real wait.
+func (r *RealtimeRunner) realDelay(wallStart time.Time, virtStart, target time.Duration) time.Duration {
+	virtElapsed := target - virtStart
+	realTarget := wallStart.Add(time.Duration(float64(virtElapsed) / r.Speedup))
+	return realTarget.Sub(r.Now())
+}
+
+// PeekNext reports the virtual time of the earliest pending non-cancelled
+// event without firing it.
+func (e *Env) PeekNext() (time.Duration, bool) {
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if !next.dead {
+			return next.at, true
+		}
+		// Drain cancelled events so Peek makes progress.
+		heap.Pop(&e.queue)
+	}
+	return 0, false
+}

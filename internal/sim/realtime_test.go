@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock drives RealtimeRunner without real sleeping: Sleep advances
+// the fake wall clock instantly.
+type fakeClock struct {
+	now    time.Time
+	sleeps []time.Duration
+}
+
+func (f *fakeClock) Now() time.Time { return f.now }
+
+func (f *fakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d > 0 {
+		f.now = f.now.Add(d)
+		f.sleeps = append(f.sleeps, d)
+	}
+	return nil
+}
+
+func newRealtimeRig(t *testing.T, speedup float64) (*Env, *RealtimeRunner, *fakeClock) {
+	t.Helper()
+	env := NewEnv(1)
+	r, err := NewRealtimeRunner(env, speedup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	r.Now = clock.Now
+	r.Sleep = clock.Sleep
+	return env, r, clock
+}
+
+func TestRealtimeRunnerValidation(t *testing.T) {
+	if _, err := NewRealtimeRunner(nil, 1); err == nil {
+		t.Fatal("nil env accepted")
+	}
+	if _, err := NewRealtimeRunner(NewEnv(1), 0); err == nil {
+		t.Fatal("zero speedup accepted")
+	}
+}
+
+func TestRealtimeRunnerFiresEventsAtScaledWallTimes(t *testing.T) {
+	env, r, clock := newRealtimeRig(t, 10) // 10 virtual seconds per real second
+	var fired []time.Duration
+	env.Schedule(10*time.Second, func() { fired = append(fired, env.Now()) })
+	env.Schedule(30*time.Second, func() { fired = append(fired, env.Now()) })
+
+	start := clock.now
+	if err := r.Run(context.Background(), 40*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[0] != 10*time.Second || fired[1] != 30*time.Second {
+		t.Fatalf("fired = %v", fired)
+	}
+	if env.Now() != 40*time.Second {
+		t.Fatalf("virtual clock = %v, want 40s", env.Now())
+	}
+	// 40 virtual seconds at 10× = 4 real seconds of wall time.
+	if got := clock.now.Sub(start); got != 4*time.Second {
+		t.Fatalf("wall elapsed = %v, want 4s", got)
+	}
+}
+
+func TestRealtimeRunnerTickerCadence(t *testing.T) {
+	env, r, clock := newRealtimeRig(t, 60)
+	count := 0
+	tk, err := env.NewTicker(time.Minute, func() { count++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tk.Stop()
+	start := clock.now
+	if err := r.Run(context.Background(), 5*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Fatalf("ticks = %d, want 5", count)
+	}
+	if got := clock.now.Sub(start); got != 5*time.Second {
+		t.Fatalf("wall elapsed = %v, want 5s at 60x", got)
+	}
+}
+
+func TestRealtimeRunnerContextCancel(t *testing.T) {
+	env, r, _ := newRealtimeRig(t, 1)
+	env.Schedule(time.Hour, func() { t.Error("event fired despite cancel") })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := r.Run(ctx, 2*time.Hour)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run = %v, want context.Canceled", err)
+	}
+}
+
+func TestRealtimeRunnerResumes(t *testing.T) {
+	env, r, _ := newRealtimeRig(t, 100)
+	var fired []time.Duration
+	env.Schedule(30*time.Second, func() { fired = append(fired, env.Now()) })
+	if err := r.Run(context.Background(), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 0 {
+		t.Fatal("event fired before its time")
+	}
+	if err := r.Run(context.Background(), 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != 30*time.Second {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestPeekNext(t *testing.T) {
+	env := NewEnv(1)
+	if _, ok := env.PeekNext(); ok {
+		t.Fatal("PeekNext on empty queue reported an event")
+	}
+	ev := env.Schedule(5*time.Second, func() {})
+	env.Schedule(9*time.Second, func() {})
+	at, ok := env.PeekNext()
+	if !ok || at != 5*time.Second {
+		t.Fatalf("PeekNext = (%v,%v), want 5s", at, ok)
+	}
+	// Cancelled heads are drained.
+	ev.Cancel()
+	at, ok = env.PeekNext()
+	if !ok || at != 9*time.Second {
+		t.Fatalf("PeekNext after cancel = (%v,%v), want 9s", at, ok)
+	}
+}
+
+func TestRealtimeRunnerRealSleep(t *testing.T) {
+	// Exercise the production Sleep path with a tiny real wait.
+	env := NewEnv(1)
+	r, err := NewRealtimeRunner(env, 1e6) // 1 virtual second ≈ 1 µs real
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	env.Schedule(time.Second, func() { fired = true })
+	if err := r.Run(context.Background(), 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("event did not fire under real sleep")
+	}
+}

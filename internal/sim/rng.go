@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"math"
+	"time"
+)
+
+// RNG is a small deterministic random source (splitmix64-seeded
+// xorshift64*). It is intentionally self-contained so that campaign results
+// are reproducible across Go releases, unlike math/rand whose stream is not
+// guaranteed stable.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded from seed via splitmix64 so that nearby
+// seeds produce uncorrelated streams.
+func NewRNG(seed int64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state.
+func (r *RNG) Seed(seed int64) {
+	z := uint64(seed) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x2545f4914f6cdd1d
+	}
+	r.state = z
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0, matching
+// math/rand semantics (callers pass validated sizes).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a non-negative 63-bit integer.
+func (r *RNG) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Exp returns an exponentially distributed duration with the given mean.
+// A non-positive mean yields zero.
+func (r *RNG) Exp(mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	d := -math.Log(u) * float64(mean)
+	if d > float64(math.MaxInt64) {
+		d = float64(math.MaxInt64)
+	}
+	return time.Duration(d)
+}
+
+// Uniform returns a duration uniformly distributed in [lo, hi]. If hi < lo
+// the bounds are swapped.
+func (r *RNG) Uniform(lo, hi time.Duration) time.Duration {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	span := hi - lo
+	if span == 0 {
+		return lo
+	}
+	return lo + time.Duration(r.Uint64()%uint64(span+1))
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// WeightedIndex picks an index with probability proportional to weights[i].
+// All-zero or empty weights fall back to uniform choice over the slice (or
+// 0 for an empty slice).
+func (r *RNG) WeightedIndex(weights []float64) int {
+	if len(weights) == 0 {
+		return 0
+	}
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return r.Intn(len(weights))
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Split returns a new RNG whose stream is independent of r's future output.
+// Use it to give subsystems their own streams so that adding draws in one
+// subsystem does not perturb another.
+func (r *RNG) Split() *RNG {
+	return NewRNG(int64(r.Uint64()))
+}

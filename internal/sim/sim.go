@@ -1,0 +1,227 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All "processes" of the reproduced controller environment — call-processing
+// threads, the audit process, the manager, the error injector — are state
+// machines scheduled on a single virtual clock. This replaces the paper's
+// wall-clock experiment runs (2000 seconds each on a Sun UltraSPARC-2) with
+// runs that are fast, deterministic, and seedable, while preserving the
+// event orderings (audit period vs. error inter-arrival vs. call activity)
+// that the paper's results are built from.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// ErrStopped is returned by Run when the simulation was halted via Stop
+// before reaching its horizon.
+var ErrStopped = errors.New("simulation stopped")
+
+// Event is a scheduled callback. Events fire in (time, sequence) order so
+// that two events at the same instant fire in scheduling order.
+type Event struct {
+	at     time.Duration
+	seq    uint64
+	fn     func()
+	index  int // heap index; -1 once removed
+	dead   bool
+	labels string
+}
+
+// At reports the virtual time the event is scheduled for.
+func (e *Event) At() time.Duration { return e.at }
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired or been cancelled is a no-op.
+func (e *Event) Cancel() { e.dead = true }
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.dead }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Env is the simulation environment: a virtual clock plus a pending-event
+// heap. The zero value is not usable; construct with NewEnv.
+type Env struct {
+	now     time.Duration
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	rng     *RNG
+	fired   uint64
+}
+
+// NewEnv returns an environment with its clock at zero and a deterministic
+// random source derived from seed.
+func NewEnv(seed int64) *Env {
+	return &Env{rng: NewRNG(seed)}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() time.Duration { return e.now }
+
+// RNG returns the environment's deterministic random source.
+func (e *Env) RNG() *RNG { return e.rng }
+
+// EventsFired reports the number of events executed so far.
+func (e *Env) EventsFired() uint64 { return e.fired }
+
+// Pending reports the number of events currently scheduled (including
+// cancelled events not yet drained).
+func (e *Env) Pending() int { return len(e.queue) }
+
+// Schedule arranges for fn to run after delay of virtual time. A negative
+// delay is treated as zero. The returned Event may be cancelled.
+func (e *Env) Schedule(delay time.Duration, fn func()) *Event {
+	return e.ScheduleNamed(delay, "", fn)
+}
+
+// ScheduleNamed is Schedule with a diagnostic label recorded on the event.
+func (e *Env) ScheduleNamed(delay time.Duration, label string, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	ev := &Event{at: e.now + delay, seq: e.seq, fn: fn, labels: label}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// ScheduleAt arranges for fn to run at absolute virtual time at. Times in
+// the past are clamped to now.
+func (e *Env) ScheduleAt(at time.Duration, fn func()) *Event {
+	return e.Schedule(at-e.now, fn)
+}
+
+// Stop halts the simulation after the currently firing event completes.
+func (e *Env) Stop() { e.stopped = true }
+
+// Run executes events in order until the horizon is crossed, the queue
+// drains, or Stop is called. The clock finishes at min(horizon, last event)
+// for a drained queue, or exactly horizon when the horizon is hit. Returns
+// ErrStopped if halted early by Stop.
+func (e *Env) Run(horizon time.Duration) error {
+	end := e.now + horizon
+	for len(e.queue) > 0 {
+		if e.stopped {
+			e.stopped = false
+			return ErrStopped
+		}
+		next := e.queue[0]
+		if next.at > end {
+			e.now = end
+			return nil
+		}
+		popped, ok := heap.Pop(&e.queue).(*Event)
+		if !ok {
+			return fmt.Errorf("sim: event queue corrupted at t=%v", e.now)
+		}
+		if popped.dead {
+			continue
+		}
+		e.now = popped.at
+		e.fired++
+		popped.fn()
+	}
+	if e.now < end {
+		e.now = end
+	}
+	return nil
+}
+
+// RunUntilIdle executes events until the queue drains or Stop is called,
+// with no horizon. Use only with workloads that terminate.
+func (e *Env) RunUntilIdle() error {
+	return e.Run(time.Duration(math.MaxInt64) - e.now - 1)
+}
+
+// Ticker repeatedly invokes fn every period of virtual time until stopped.
+// It is the simulation analogue of time.Ticker with a controlled lifetime.
+type Ticker struct {
+	env     *Env
+	period  time.Duration
+	fn      func()
+	pending *Event
+	stopped bool
+}
+
+// NewTicker schedules fn to run every period, first firing one period from
+// now. Period must be positive.
+func (e *Env) NewTicker(period time.Duration, fn func()) (*Ticker, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("sim: ticker period %v must be positive", period)
+	}
+	t := &Ticker{env: e, period: period, fn: fn}
+	t.arm()
+	return t, nil
+}
+
+func (t *Ticker) arm() {
+	t.pending = t.env.Schedule(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels the ticker. Safe to call multiple times.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.pending != nil {
+		t.pending.Cancel()
+	}
+}
+
+// Reset makes the next firing happen one full period from now, cancelling
+// the currently pending tick.
+func (t *Ticker) Reset() {
+	if t.stopped {
+		return
+	}
+	if t.pending != nil {
+		t.pending.Cancel()
+	}
+	t.arm()
+}

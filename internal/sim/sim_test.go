@@ -1,0 +1,481 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEnvStartsAtZero(t *testing.T) {
+	env := NewEnv(1)
+	if env.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", env.Now())
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	env := NewEnv(1)
+	var order []int
+	env.Schedule(3*time.Second, func() { order = append(order, 3) })
+	env.Schedule(1*time.Second, func() { order = append(order, 1) })
+	env.Schedule(2*time.Second, func() { order = append(order, 2) })
+	if err := env.Run(10 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	env := NewEnv(1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		env.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	if err := env.Run(2 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if order[i] != i {
+			t.Fatalf("same-instant events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	env := NewEnv(1)
+	fired := false
+	env.Schedule(-time.Second, func() { fired = true })
+	if err := env.Run(time.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !fired {
+		t.Fatal("negative-delay event did not fire")
+	}
+	// Clock advanced to horizon since queue drained before it.
+	if env.Now() != time.Millisecond {
+		t.Fatalf("Now() = %v, want 1ms", env.Now())
+	}
+}
+
+func TestHorizonStopsClock(t *testing.T) {
+	env := NewEnv(1)
+	fired := false
+	env.Schedule(5*time.Second, func() { fired = true })
+	if err := env.Run(2 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if env.Now() != 2*time.Second {
+		t.Fatalf("Now() = %v, want 2s", env.Now())
+	}
+	// A second Run call resumes and reaches the event.
+	if err := env.Run(10 * time.Second); err != nil {
+		t.Fatalf("Run (resume): %v", err)
+	}
+	if !fired {
+		t.Fatal("event did not fire on resumed run")
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	env := NewEnv(1)
+	fired := false
+	ev := env.Schedule(time.Second, func() { fired = true })
+	ev.Cancel()
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+	if err := env.Run(5 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	env := NewEnv(1)
+	count := 0
+	env.Schedule(time.Second, func() {
+		count++
+		env.Stop()
+	})
+	env.Schedule(2*time.Second, func() { count++ })
+	err := env.Run(10 * time.Second)
+	if err != ErrStopped {
+		t.Fatalf("Run error = %v, want ErrStopped", err)
+	}
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 (second event must not fire)", count)
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	env := NewEnv(1)
+	var times []time.Duration
+	env.Schedule(time.Second, func() {
+		times = append(times, env.Now())
+		env.Schedule(time.Second, func() {
+			times = append(times, env.Now())
+		})
+	})
+	if err := env.Run(10 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(times) != 2 || times[0] != time.Second || times[1] != 2*time.Second {
+		t.Fatalf("times = %v, want [1s 2s]", times)
+	}
+}
+
+func TestScheduleAt(t *testing.T) {
+	env := NewEnv(1)
+	var at time.Duration = -1
+	env.Schedule(time.Second, func() {
+		env.ScheduleAt(3*time.Second, func() { at = env.Now() })
+	})
+	if err := env.Run(10 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 3*time.Second {
+		t.Fatalf("absolute event fired at %v, want 3s", at)
+	}
+}
+
+func TestRunUntilIdle(t *testing.T) {
+	env := NewEnv(1)
+	n := 0
+	var chain func()
+	chain = func() {
+		n++
+		if n < 100 {
+			env.Schedule(time.Minute, chain)
+		}
+	}
+	env.Schedule(0, chain)
+	if err := env.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if n != 100 {
+		t.Fatalf("n = %d, want 100", n)
+	}
+}
+
+func TestTickerFiresPeriodically(t *testing.T) {
+	env := NewEnv(1)
+	var fires []time.Duration
+	tk, err := env.NewTicker(10*time.Second, func() {
+		fires = append(fires, env.Now())
+	})
+	if err != nil {
+		t.Fatalf("NewTicker: %v", err)
+	}
+	defer tk.Stop()
+	if err := env.Run(35 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(fires) != 3 {
+		t.Fatalf("ticker fired %d times, want 3: %v", len(fires), fires)
+	}
+	for i, want := range []time.Duration{10 * time.Second, 20 * time.Second, 30 * time.Second} {
+		if fires[i] != want {
+			t.Fatalf("fire %d at %v, want %v", i, fires[i], want)
+		}
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	env := NewEnv(1)
+	count := 0
+	tk, err := env.NewTicker(time.Second, func() { count++ })
+	if err != nil {
+		t.Fatalf("NewTicker: %v", err)
+	}
+	env.Schedule(2500*time.Millisecond, tk.Stop)
+	if err := env.Run(10 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+	tk.Stop() // idempotent
+}
+
+func TestTickerReset(t *testing.T) {
+	env := NewEnv(1)
+	var fires []time.Duration
+	tk, err := env.NewTicker(10*time.Second, func() {
+		fires = append(fires, env.Now())
+	})
+	if err != nil {
+		t.Fatalf("NewTicker: %v", err)
+	}
+	defer tk.Stop()
+	env.Schedule(5*time.Second, tk.Reset)
+	if err := env.Run(16 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(fires) != 1 || fires[0] != 15*time.Second {
+		t.Fatalf("fires = %v, want [15s]", fires)
+	}
+}
+
+func TestTickerRejectsNonPositivePeriod(t *testing.T) {
+	env := NewEnv(1)
+	if _, err := env.NewTicker(0, func() {}); err == nil {
+		t.Fatal("NewTicker(0) succeeded, want error")
+	}
+	if _, err := env.NewTicker(-time.Second, func() {}); err == nil {
+		t.Fatal("NewTicker(-1s) succeeded, want error")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []uint64 {
+		env := NewEnv(42)
+		var draws []uint64
+		tk, err := env.NewTicker(time.Second, func() {
+			draws = append(draws, env.RNG().Uint64())
+		})
+		if err != nil {
+			t.Fatalf("NewTicker: %v", err)
+		}
+		defer tk.Stop()
+		if err := env.Run(20 * time.Second); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return draws
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEventsFiredCounter(t *testing.T) {
+	env := NewEnv(1)
+	for i := 0; i < 7; i++ {
+		env.Schedule(time.Duration(i)*time.Second, func() {})
+	}
+	if err := env.Run(time.Hour); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if env.EventsFired() != 7 {
+		t.Fatalf("EventsFired = %d, want 7", env.EventsFired())
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) over 1000 draws hit %d distinct values, want 10", len(seen))
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(11)
+	const n = 200000
+	mean := 10 * time.Second
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(r.Exp(mean))
+	}
+	got := sum / n
+	want := float64(mean)
+	if math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("empirical mean %v deviates >2%% from %v", time.Duration(got), mean)
+	}
+}
+
+func TestRNGExpNonPositiveMean(t *testing.T) {
+	r := NewRNG(1)
+	if d := r.Exp(0); d != 0 {
+		t.Fatalf("Exp(0) = %v, want 0", d)
+	}
+	if d := r.Exp(-time.Second); d != 0 {
+		t.Fatalf("Exp(-1s) = %v, want 0", d)
+	}
+}
+
+func TestRNGUniformBounds(t *testing.T) {
+	r := NewRNG(3)
+	lo, hi := 20*time.Second, 30*time.Second
+	for i := 0; i < 10000; i++ {
+		d := r.Uniform(lo, hi)
+		if d < lo || d > hi {
+			t.Fatalf("Uniform(%v,%v) = %v out of bounds", lo, hi, d)
+		}
+	}
+	// Swapped bounds behave the same.
+	for i := 0; i < 1000; i++ {
+		d := r.Uniform(hi, lo)
+		if d < lo || d > hi {
+			t.Fatalf("Uniform with swapped bounds = %v out of bounds", d)
+		}
+	}
+	if d := r.Uniform(lo, lo); d != lo {
+		t.Fatalf("Uniform(x,x) = %v, want %v", d, lo)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGWeightedIndex(t *testing.T) {
+	r := NewRNG(9)
+	weights := []float64{0, 1, 3}
+	counts := make([]int, 3)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[r.WeightedIndex(weights)]++
+	}
+	if counts[0] != 0 {
+		t.Fatalf("zero-weight index chosen %d times", counts[0])
+	}
+	ratio := float64(counts[2]) / float64(counts[1])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("weight-3/weight-1 ratio = %v, want ≈3", ratio)
+	}
+}
+
+func TestRNGWeightedIndexDegenerate(t *testing.T) {
+	r := NewRNG(9)
+	if got := r.WeightedIndex(nil); got != 0 {
+		t.Fatalf("WeightedIndex(nil) = %d, want 0", got)
+	}
+	// All-zero weights: uniform fallback, still in range.
+	for i := 0; i < 100; i++ {
+		got := r.WeightedIndex([]float64{0, 0, 0})
+		if got < 0 || got > 2 {
+			t.Fatalf("WeightedIndex all-zero = %d out of range", got)
+		}
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	a := NewRNG(1)
+	b := a.Split()
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("split stream mirrors parent stream")
+	}
+}
+
+func TestRNGBoolExtremes(t *testing.T) {
+	r := NewRNG(2)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1.0) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestRNGDeterministicForSeed(t *testing.T) {
+	a, b := NewRNG(123), NewRNG(123)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRNG(124)
+	same := true
+	for i := 0; i < 10; i++ {
+		if NewRNG(123).Uint64() == c.Uint64() {
+			continue
+		}
+		same = false
+	}
+	if same {
+		t.Fatal("adjacent seeds produced identical streams")
+	}
+}
+
+// Property: events always fire in non-decreasing time order, regardless of
+// the order and values of scheduled delays.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		env := NewEnv(1)
+		var fired []time.Duration
+		for _, d := range delays {
+			env.Schedule(time.Duration(d)*time.Millisecond, func() {
+				fired = append(fired, env.Now())
+			})
+		}
+		if err := env.RunUntilIdle(); err != nil {
+			return false
+		}
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Uniform always stays within (possibly swapped) bounds.
+func TestPropertyUniformInBounds(t *testing.T) {
+	r := NewRNG(77)
+	f := func(a, b uint32) bool {
+		lo, hi := time.Duration(a), time.Duration(b)
+		d := r.Uniform(lo, hi)
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		return d >= lo && d <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

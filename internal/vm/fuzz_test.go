@@ -1,0 +1,55 @@
+package vm
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// FuzzVMExecution feeds arbitrary bytes to the VM as a text segment: the
+// machine must never panic, must terminate within the step budget or
+// remain runnable, and must leave every thread in a defined state. This is
+// the safety property the error injector depends on — corrupted
+// instruction streams always fault cleanly.
+func FuzzVMExecution(f *testing.F) {
+	good, _ := isa.Assemble("movi r1, 3\nloop: addi r1, r1, -1\ncmpi r1, 0\nbne loop\nhalt")
+	seed := make([]byte, len(good)*4)
+	for i, w := range good {
+		binary.LittleEndian.PutUint32(seed[i*4:], w)
+	}
+	f.Add(seed)
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x01, 0x02, 0x03, 0x04})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 4 {
+			return
+		}
+		text := make([]uint32, 0, len(raw)/4)
+		for i := 0; i+4 <= len(raw) && len(text) < 4096; i += 4 {
+			text = append(text, binary.LittleEndian.Uint32(raw[i:]))
+		}
+		m, err := New(text, 2, DefaultConfig(), func(th *Thread, num uint32) Trap {
+			th.Regs[0] = num
+			return TrapNone
+		})
+		if err != nil {
+			return
+		}
+		const budget = 4096
+		ran := m.Run(budget)
+		if ran > budget {
+			t.Fatalf("ran %d steps over budget %d", ran, budget)
+		}
+		for _, th := range m.Threads() {
+			switch th.State {
+			case ThreadRunning, ThreadHalted, ThreadKilled, ThreadCrashed:
+			default:
+				t.Fatalf("thread %d in undefined state %d", th.ID, th.State)
+			}
+			if th.State == ThreadCrashed && th.Trap == TrapNone {
+				t.Fatalf("crashed thread %d has no trap", th.ID)
+			}
+		}
+	})
+}

@@ -1,0 +1,495 @@
+// Package vm interprets programs in the internal/isa instruction set.
+//
+// The VM is the substrate that makes PECOS reproducible in Go: the program
+// counter, the instruction words, and the control-transfer targets are all
+// explicit data, so preemptive assertion blocks can validate an impending
+// transfer before it retires, and the error injector can corrupt the
+// instruction stream exactly as the paper's NFTAPE error models describe.
+//
+// Multi-threading follows the paper's client: every thread shares the text
+// segment (so one injected error can activate in several threads) but owns
+// its registers, flags, data memory, and call stack.
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Trap enumerates execution faults, mirroring the signals of the paper's
+// Solaris target.
+type Trap int
+
+// Traps.
+const (
+	TrapNone Trap = iota
+	// TrapHalt is normal termination.
+	TrapHalt
+	// TrapIllegal is an undecodable or malformed instruction (SIGILL).
+	TrapIllegal
+	// TrapMemFault is an out-of-range data or text access (SIGSEGV/SIGBUS).
+	TrapMemFault
+	// TrapDivZero is an integer division by zero (SIGFPE) — also the trap
+	// a PECOS assertion block raises on an impending illegal transfer.
+	TrapDivZero
+	// TrapStackFault is call-stack underflow/overflow.
+	TrapStackFault
+)
+
+// String returns the trap name.
+func (t Trap) String() string {
+	switch t {
+	case TrapNone:
+		return "none"
+	case TrapHalt:
+		return "halt"
+	case TrapIllegal:
+		return "illegal-instruction"
+	case TrapMemFault:
+		return "memory-fault"
+	case TrapDivZero:
+		return "divide-by-zero"
+	case TrapStackFault:
+		return "stack-fault"
+	default:
+		return "unknown"
+	}
+}
+
+// ThreadState is a thread's lifecycle state.
+type ThreadState int
+
+// Thread states.
+const (
+	ThreadRunning ThreadState = iota + 1
+	// ThreadHalted: reached halt normally.
+	ThreadHalted
+	// ThreadKilled: terminated gracefully by a recovery handler (the
+	// PECOS signal handler's action).
+	ThreadKilled
+	// ThreadCrashed: took an unhandled trap (system detection).
+	ThreadCrashed
+)
+
+// String returns the state name.
+func (s ThreadState) String() string {
+	switch s {
+	case ThreadRunning:
+		return "running"
+	case ThreadHalted:
+		return "halted"
+	case ThreadKilled:
+		return "killed"
+	case ThreadCrashed:
+		return "crashed"
+	default:
+		return "unknown"
+	}
+}
+
+// TrapAction is a trap handler's decision.
+type TrapAction int
+
+// Trap actions.
+const (
+	// ActionCrashProcess: unhandled — the whole client process crashes
+	// (the paper's "system detection" outcome).
+	ActionCrashProcess TrapAction = iota + 1
+	// ActionKillThread: terminate only the faulting thread and continue
+	// — the PECOS handler's graceful recovery.
+	ActionKillThread
+)
+
+// Thread is one execution context.
+type Thread struct {
+	ID    int
+	Regs  [isa.NumRegs]uint32
+	PC    uint32
+	FlagZ bool
+	FlagN bool
+	Mem   []uint32 // private data memory
+	Stack []uint32 // return-address stack
+
+	State  ThreadState
+	Trap   Trap
+	TrapPC uint32
+	// InAssert marks that the trap was raised by a PECOS assertion block
+	// (the PECOS signal handler checks exactly this: "examines the PC
+	// from which the signal was raised, and if it corresponds to a PECOS
+	// Assertion Block, concludes that a control flow error raised it").
+	InAssert bool
+	Steps    uint64
+}
+
+// Config sizes the VM.
+type Config struct {
+	// MemWords is each thread's private data memory size.
+	MemWords int
+	// MaxStack bounds the call stack.
+	MaxStack int
+}
+
+// DefaultConfig returns reasonable sizes for the client programs.
+func DefaultConfig() Config {
+	return Config{MemWords: 256, MaxStack: 64}
+}
+
+// Syscall bridges sys instructions to the environment (database API,
+// golden-copy bookkeeping). It may read and write thread registers; a
+// non-TrapNone return faults the thread.
+type Syscall func(t *Thread, num uint32) Trap
+
+// VM executes a shared text segment across threads.
+type VM struct {
+	text    []uint32
+	threads []*Thread
+	cfg     Config
+	sys     Syscall
+	crashed bool
+
+	// OnFetch, when set, may substitute the fetched instruction word —
+	// the error injector's hook (data-line models corrupt the word;
+	// the address-line model substitutes a different instruction).
+	OnFetch func(t *Thread, pc uint32, word uint32) uint32
+	// OnTrap decides what a trap does. Nil means every trap crashes the
+	// process. The PECOS runtime installs a handler here.
+	OnTrap func(t *Thread, trap Trap) TrapAction
+}
+
+// New builds a VM over text with n threads.
+func New(text []uint32, n int, cfg Config, sys Syscall) (*VM, error) {
+	if len(text) == 0 {
+		return nil, errors.New("vm: empty text segment")
+	}
+	if len(text) > 0xFFFF {
+		return nil, fmt.Errorf("vm: text segment %d words exceeds 16-bit address space", len(text))
+	}
+	if n <= 0 {
+		return nil, errors.New("vm: thread count must be positive")
+	}
+	if cfg.MemWords <= 0 {
+		cfg.MemWords = DefaultConfig().MemWords
+	}
+	if cfg.MaxStack <= 0 {
+		cfg.MaxStack = DefaultConfig().MaxStack
+	}
+	m := &VM{text: text, cfg: cfg, sys: sys}
+	for i := 0; i < n; i++ {
+		m.threads = append(m.threads, &Thread{
+			ID:    i,
+			Mem:   make([]uint32, cfg.MemWords),
+			State: ThreadRunning,
+		})
+	}
+	return m, nil
+}
+
+// Text returns the live text segment (the injection target).
+func (m *VM) Text() []uint32 { return m.text }
+
+// Threads returns the thread table.
+func (m *VM) Threads() []*Thread { return m.threads }
+
+// Thread returns thread i, or nil.
+func (m *VM) Thread(i int) *Thread {
+	if i < 0 || i >= len(m.threads) {
+		return nil
+	}
+	return m.threads[i]
+}
+
+// Crashed reports whether an unhandled trap crashed the whole process.
+func (m *VM) Crashed() bool { return m.crashed }
+
+// Runnable reports the number of threads still running.
+func (m *VM) Runnable() int {
+	n := 0
+	for _, t := range m.threads {
+		if t.State == ThreadRunning {
+			n++
+		}
+	}
+	return n
+}
+
+// Done reports whether no thread can make further progress.
+func (m *VM) Done() bool { return m.crashed || m.Runnable() == 0 }
+
+// Run interleaves threads round-robin for at most maxSteps total
+// instructions, returning the steps actually executed. It stops early when
+// the process crashes or every thread reaches a terminal state. A return
+// value equal to maxSteps with Runnable()>0 is the caller's hang signal.
+func (m *VM) Run(maxSteps uint64) uint64 {
+	var steps uint64
+	for steps < maxSteps && !m.Done() {
+		for _, t := range m.threads {
+			if steps >= maxSteps || m.crashed {
+				break
+			}
+			if t.State != ThreadRunning {
+				continue
+			}
+			m.Step(t)
+			steps++
+		}
+	}
+	return steps
+}
+
+// Step executes one instruction on t.
+func (m *VM) Step(t *Thread) {
+	if t.State != ThreadRunning || m.crashed {
+		return
+	}
+	t.Steps++
+	pc := t.PC
+	word, ok := m.fetch(t, pc)
+	if !ok {
+		m.fault(t, TrapMemFault, pc, false)
+		return
+	}
+	in, err := isa.Decode(word)
+	if err != nil {
+		m.fault(t, TrapIllegal, pc, false)
+		return
+	}
+	switch in.Op {
+	case isa.OpNop:
+		t.PC = pc + 1
+	case isa.OpHalt:
+		t.State = ThreadHalted
+		t.Trap = TrapHalt
+		t.TrapPC = pc
+	case isa.OpMovi:
+		t.Regs[in.Rd] = in.Imm16
+		t.PC = pc + 1
+	case isa.OpMov:
+		t.Regs[in.Rd] = t.Regs[in.Rs1]
+		t.PC = pc + 1
+	case isa.OpAdd:
+		t.Regs[in.Rd] = t.Regs[in.Rs1] + t.Regs[in.Rs2]
+		t.PC = pc + 1
+	case isa.OpSub:
+		t.Regs[in.Rd] = t.Regs[in.Rs1] - t.Regs[in.Rs2]
+		t.PC = pc + 1
+	case isa.OpMul:
+		t.Regs[in.Rd] = t.Regs[in.Rs1] * t.Regs[in.Rs2]
+		t.PC = pc + 1
+	case isa.OpDiv:
+		if t.Regs[in.Rs2] == 0 {
+			m.fault(t, TrapDivZero, pc, false)
+			return
+		}
+		t.Regs[in.Rd] = t.Regs[in.Rs1] / t.Regs[in.Rs2]
+		t.PC = pc + 1
+	case isa.OpAnd:
+		t.Regs[in.Rd] = t.Regs[in.Rs1] & t.Regs[in.Rs2]
+		t.PC = pc + 1
+	case isa.OpOr:
+		t.Regs[in.Rd] = t.Regs[in.Rs1] | t.Regs[in.Rs2]
+		t.PC = pc + 1
+	case isa.OpXor:
+		t.Regs[in.Rd] = t.Regs[in.Rs1] ^ t.Regs[in.Rs2]
+		t.PC = pc + 1
+	case isa.OpAddi:
+		t.Regs[in.Rd] = t.Regs[in.Rs1] + uint32(in.Imm12)
+		t.PC = pc + 1
+	case isa.OpCmp:
+		m.setFlags(t, t.Regs[in.Rs1], t.Regs[in.Rs2])
+		t.PC = pc + 1
+	case isa.OpCmpi:
+		m.setFlags(t, t.Regs[in.Rs1], uint32(in.Imm12))
+		t.PC = pc + 1
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
+		if m.branchTaken(t, in.Op) {
+			t.PC = in.Imm16
+		} else {
+			t.PC = pc + 1
+		}
+	case isa.OpJmp:
+		t.PC = in.Imm16
+	case isa.OpJr:
+		t.PC = t.Regs[in.Rs1]
+	case isa.OpCall:
+		if len(t.Stack) >= m.cfg.MaxStack {
+			m.fault(t, TrapStackFault, pc, false)
+			return
+		}
+		t.Stack = append(t.Stack, pc+1)
+		t.PC = in.Imm16
+	case isa.OpCalr:
+		if len(t.Stack) >= m.cfg.MaxStack {
+			m.fault(t, TrapStackFault, pc, false)
+			return
+		}
+		t.Stack = append(t.Stack, pc+1)
+		t.PC = t.Regs[in.Rs1]
+	case isa.OpRet:
+		if len(t.Stack) == 0 {
+			m.fault(t, TrapStackFault, pc, false)
+			return
+		}
+		t.PC = t.Stack[len(t.Stack)-1]
+		t.Stack = t.Stack[:len(t.Stack)-1]
+	case isa.OpLd:
+		addr := int(t.Regs[in.Rs1]) + int(in.Imm12)
+		if addr < 0 || addr >= len(t.Mem) {
+			m.fault(t, TrapMemFault, pc, false)
+			return
+		}
+		t.Regs[in.Rd] = t.Mem[addr]
+		t.PC = pc + 1
+	case isa.OpSt:
+		addr := int(t.Regs[in.Rs1]) + int(in.Imm12)
+		if addr < 0 || addr >= len(t.Mem) {
+			m.fault(t, TrapMemFault, pc, false)
+			return
+		}
+		t.Mem[addr] = t.Regs[in.Rs2]
+		t.PC = pc + 1
+	case isa.OpSys:
+		if m.sys == nil {
+			m.fault(t, TrapIllegal, pc, false)
+			return
+		}
+		if trap := m.sys(t, in.Imm16); trap != TrapNone {
+			m.fault(t, trap, pc, false)
+			return
+		}
+		t.PC = pc + 1
+	case isa.OpAssert:
+		m.assert(t, pc, int(in.Imm16))
+	default:
+		m.fault(t, TrapIllegal, pc, false)
+	}
+}
+
+// assert executes a PECOS assertion block (Figure 7): determine the
+// runtime target of the protected CFI preemptively, compare it against the
+// embedded valid-target words, and raise a divide-by-zero trap on an
+// impending illegal transfer — before the transfer executes.
+func (m *VM) assert(t *Thread, pc uint32, nTargets int) {
+	cfiAddr := pc + 1 + uint32(nTargets)
+	if nTargets <= 0 || int(cfiAddr) >= len(m.text) {
+		// The assertion header itself is damaged: structural violation.
+		m.fault(t, TrapDivZero, pc, true)
+		return
+	}
+	targets := make([]uint32, nTargets)
+	for i := 0; i < nTargets; i++ {
+		w, ok := m.fetch(t, pc+1+uint32(i))
+		if !ok {
+			m.fault(t, TrapDivZero, pc, true)
+			return
+		}
+		targets[i] = w
+	}
+	cfiWord, ok := m.fetch(t, cfiAddr)
+	if !ok {
+		m.fault(t, TrapDivZero, pc, true)
+		return
+	}
+	cfi, err := isa.Decode(cfiWord)
+	if err != nil || !cfi.Op.IsCFI() {
+		// The protected slot no longer holds a CFI: the control-flow
+		// structure itself was corrupted.
+		m.fault(t, TrapDivZero, pc, true)
+		return
+	}
+	xout, known := m.runtimeTarget(t, cfi, cfiAddr)
+	if !known {
+		// Target indeterminable (e.g. return with empty stack): treat
+		// as illegal transfer.
+		m.fault(t, TrapDivZero, pc, true)
+		return
+	}
+	// ID := Xout * 1/P with P = !((Xout-X1)*(Xout-X2)...): P is zero —
+	// and the division traps — exactly when Xout matches no valid target.
+	p := uint32(1)
+	prod := uint32(1)
+	for _, x := range targets {
+		prod *= xout - x
+	}
+	if prod != 0 {
+		p = 0
+	}
+	if p == 0 {
+		m.fault(t, TrapDivZero, pc, true)
+		return
+	}
+	// Valid transfer: fall through to the CFI itself.
+	t.PC = cfiAddr
+}
+
+// runtimeTarget determines the target address the CFI at cfiAddr would
+// transfer to, per §6.1.1: (a) for static CFIs the target is the constant
+// embedded in the instruction stream — validating the embedded constant
+// itself means a corrupted displacement is caught even on an execution
+// where the branch would fall through (the fall-through address is in the
+// valid set anyway); (b) for runtime-calculated targets it is the register
+// value; (c) for returns it is the saved return address.
+func (m *VM) runtimeTarget(t *Thread, cfi isa.Instr, cfiAddr uint32) (uint32, bool) {
+	switch cfi.Op {
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpJmp, isa.OpCall:
+		return cfi.Imm16, true
+	case isa.OpJr, isa.OpCalr:
+		return t.Regs[cfi.Rs1], true
+	case isa.OpRet:
+		if len(t.Stack) == 0 {
+			return 0, false
+		}
+		return t.Stack[len(t.Stack)-1], true
+	}
+	return 0, false
+}
+
+func (m *VM) branchTaken(t *Thread, op isa.Op) bool {
+	switch op {
+	case isa.OpBeq:
+		return t.FlagZ
+	case isa.OpBne:
+		return !t.FlagZ
+	case isa.OpBlt:
+		return t.FlagN
+	case isa.OpBge:
+		return !t.FlagN
+	}
+	return false
+}
+
+func (m *VM) setFlags(t *Thread, a, b uint32) {
+	t.FlagZ = a == b
+	t.FlagN = int32(a) < int32(b)
+}
+
+// fetch reads the instruction word at pc, applying the injection hook.
+func (m *VM) fetch(t *Thread, pc uint32) (uint32, bool) {
+	if int(pc) >= len(m.text) {
+		return 0, false
+	}
+	w := m.text[pc]
+	if m.OnFetch != nil {
+		w = m.OnFetch(t, pc, w)
+	}
+	return w, true
+}
+
+// fault records a trap and applies the handler's decision.
+func (m *VM) fault(t *Thread, trap Trap, pc uint32, inAssert bool) {
+	t.Trap = trap
+	t.TrapPC = pc
+	t.InAssert = inAssert
+	action := ActionCrashProcess
+	if m.OnTrap != nil {
+		action = m.OnTrap(t, trap)
+	}
+	switch action {
+	case ActionKillThread:
+		t.State = ThreadKilled
+	default:
+		t.State = ThreadCrashed
+		m.crashed = true
+	}
+}

@@ -1,0 +1,561 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) []uint32 {
+	t.Helper()
+	text, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return text
+}
+
+func run1(t *testing.T, src string) *Thread {
+	t.Helper()
+	m, err := New(mustAssemble(t, src), 1, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	m.Run(100000)
+	return m.Thread(0)
+}
+
+func TestArithmetic(t *testing.T) {
+	th := run1(t, `
+		movi r1, 6
+		movi r2, 7
+		mul  r3, r1, r2
+		add  r4, r3, r1
+		sub  r5, r4, r2
+		movi r6, 2
+		div  r7, r5, r6
+		halt
+	`)
+	if th.State != ThreadHalted {
+		t.Fatalf("state = %v, trap %v", th.State, th.Trap)
+	}
+	if th.Regs[3] != 42 || th.Regs[4] != 48 || th.Regs[5] != 41 || th.Regs[7] != 20 {
+		t.Fatalf("regs = %v", th.Regs)
+	}
+}
+
+func TestBitwiseAndImmediates(t *testing.T) {
+	th := run1(t, `
+		movi r1, 0xF0
+		movi r2, 0x0F
+		or   r3, r1, r2
+		and  r4, r1, r2
+		xor  r5, r1, r3
+		addi r6, r1, -16
+		mov  r7, r6
+		halt
+	`)
+	if th.Regs[3] != 0xFF || th.Regs[4] != 0 || th.Regs[5] != 0x0F || th.Regs[6] != 0xE0 || th.Regs[7] != 0xE0 {
+		t.Fatalf("regs = %v", th.Regs[:8])
+	}
+}
+
+func TestBranchesAndLoop(t *testing.T) {
+	th := run1(t, `
+		movi r1, 0
+		movi r2, 0
+	loop:
+		addi r1, r1, 1
+		add  r2, r2, r1
+		cmpi r1, 10
+		blt  loop
+		halt
+	`)
+	if th.State != ThreadHalted {
+		t.Fatalf("state = %v", th.State)
+	}
+	if th.Regs[1] != 10 || th.Regs[2] != 55 {
+		t.Fatalf("r1=%d r2=%d, want 10, 55", th.Regs[1], th.Regs[2])
+	}
+}
+
+func TestConditionalBranchVariants(t *testing.T) {
+	th := run1(t, `
+		movi r1, 5
+		movi r2, 5
+		cmp  r1, r2
+		beq  eq
+		movi r10, 1
+	eq:
+		cmpi r1, 9
+		bge  done      ; not taken: 5 < 9
+		movi r11, 1
+		cmpi r1, 3
+		bne  done      ; taken: 5 != 3
+		movi r12, 1
+	done:
+		halt
+	`)
+	if th.Regs[10] != 0 {
+		t.Fatal("beq not taken when equal")
+	}
+	if th.Regs[11] != 1 {
+		t.Fatal("bge taken when less")
+	}
+	if th.Regs[12] != 0 {
+		t.Fatal("bne not taken when unequal")
+	}
+}
+
+func TestCallRetAndIndirect(t *testing.T) {
+	th := run1(t, `
+		call fn
+		movi r2, 10
+		movi r3, fn2
+		calr r3
+		halt
+	fn:
+		movi r1, 1
+		ret
+	fn2:
+		movi r4, 4
+		ret
+	`)
+	if th.State != ThreadHalted {
+		t.Fatalf("state = %v trap=%v pc=%d", th.State, th.Trap, th.TrapPC)
+	}
+	if th.Regs[1] != 1 || th.Regs[2] != 10 || th.Regs[4] != 4 {
+		t.Fatalf("regs = %v", th.Regs[:5])
+	}
+	if len(th.Stack) != 0 {
+		t.Fatalf("stack not empty: %v", th.Stack)
+	}
+}
+
+func TestJrIndirectJump(t *testing.T) {
+	th := run1(t, `
+		movi r1, target
+		jr   r1
+		movi r9, 1   ; skipped
+	target:
+		halt
+	`)
+	if th.State != ThreadHalted || th.Regs[9] != 0 {
+		t.Fatalf("state=%v r9=%d", th.State, th.Regs[9])
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	th := run1(t, `
+		movi r1, 10     ; base address
+		movi r2, 777
+		st   [r1+5], r2
+		ld   r3, [r1+5]
+		halt
+	`)
+	if th.Regs[3] != 777 {
+		t.Fatalf("r3 = %d", th.Regs[3])
+	}
+	if th.Mem[15] != 777 {
+		t.Fatalf("mem[15] = %d", th.Mem[15])
+	}
+}
+
+func TestTraps(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		trap Trap
+	}{
+		{"div by zero", "movi r1, 5\nmovi r2, 0\ndiv r3, r1, r2\nhalt", TrapDivZero},
+		{"mem fault load", "movi r1, 60000\nld r2, [r1]\nhalt", TrapMemFault},
+		{"mem fault store", "movi r1, 60000\nst [r1], r2\nhalt", TrapMemFault},
+		{"stack underflow", "ret", TrapStackFault},
+		{"pc off end", "movi r1, 1", TrapMemFault}, // falls off text
+		{"jump off end", "jmp 9999", TrapMemFault},
+		{"syscall without handler", "sys 1", TrapIllegal},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			th := run1(t, tt.src)
+			if th.State != ThreadCrashed {
+				t.Fatalf("state = %v, want crashed", th.State)
+			}
+			if th.Trap != tt.trap {
+				t.Fatalf("trap = %v, want %v", th.Trap, tt.trap)
+			}
+		})
+	}
+}
+
+func TestIllegalInstructionTrap(t *testing.T) {
+	m, err := New([]uint32{0xFE000000}, 1, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(10)
+	th := m.Thread(0)
+	if th.State != ThreadCrashed || th.Trap != TrapIllegal {
+		t.Fatalf("state=%v trap=%v", th.State, th.Trap)
+	}
+	if !m.Crashed() {
+		t.Fatal("process not crashed")
+	}
+}
+
+func TestStackOverflow(t *testing.T) {
+	th := run1(t, `
+	rec:
+		call rec
+		halt
+	`)
+	if th.Trap != TrapStackFault {
+		t.Fatalf("trap = %v, want stack fault", th.Trap)
+	}
+}
+
+func TestSyscallBridge(t *testing.T) {
+	var calls []uint32
+	sys := func(th *Thread, num uint32) Trap {
+		calls = append(calls, num)
+		th.Regs[0] = num * 2
+		return TrapNone
+	}
+	m, err := New(mustAssemble(t, "sys 21\nmov r1, r0\nsys 4\nhalt"), 1, DefaultConfig(), sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(100)
+	th := m.Thread(0)
+	if th.State != ThreadHalted {
+		t.Fatalf("state = %v", th.State)
+	}
+	if len(calls) != 2 || calls[0] != 21 || calls[1] != 4 {
+		t.Fatalf("calls = %v", calls)
+	}
+	if th.Regs[1] != 42 {
+		t.Fatalf("r1 = %d", th.Regs[1])
+	}
+}
+
+func TestSyscallTrapFaultsThread(t *testing.T) {
+	sys := func(th *Thread, num uint32) Trap { return TrapMemFault }
+	m, err := New(mustAssemble(t, "sys 1\nhalt"), 1, DefaultConfig(), sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(10)
+	if m.Thread(0).Trap != TrapMemFault {
+		t.Fatalf("trap = %v", m.Thread(0).Trap)
+	}
+}
+
+func TestMultiThreadInterleaving(t *testing.T) {
+	// Each thread sums its own counter privately; all must halt with the
+	// same result, proving register/memory isolation.
+	src := `
+		movi r1, 0
+		movi r2, 0
+	loop:
+		addi r1, r1, 1
+		add  r2, r2, r1
+		st   [r0+1], r2
+		cmpi r1, 100
+		blt  loop
+		halt
+	`
+	m, err := New(mustAssemble(t, src), 4, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(1 << 20)
+	for _, th := range m.Threads() {
+		if th.State != ThreadHalted {
+			t.Fatalf("thread %d state = %v", th.ID, th.State)
+		}
+		if th.Regs[2] != 5050 || th.Mem[1] != 5050 {
+			t.Fatalf("thread %d r2=%d mem=%d", th.ID, th.Regs[2], th.Mem[1])
+		}
+	}
+	if !m.Done() || m.Runnable() != 0 {
+		t.Fatal("VM not done after all halts")
+	}
+}
+
+func TestRunBudgetHangSignal(t *testing.T) {
+	m, err := New(mustAssemble(t, "x: jmp x"), 1, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := m.Run(1000)
+	if steps != 1000 {
+		t.Fatalf("steps = %d, want budget 1000", steps)
+	}
+	if m.Runnable() != 1 {
+		t.Fatal("spinning thread not runnable")
+	}
+}
+
+func TestOnTrapKillThreadContinuesOthers(t *testing.T) {
+	src := `
+		cmpi r9, 1
+		beq  bad
+		movi r1, 1
+		halt
+	bad:
+		movi r2, 0
+		div  r3, r1, r2
+		halt
+	`
+	m, err := New(mustAssemble(t, src), 2, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Thread(1).Regs[9] = 1 // thread 1 takes the faulting path
+	m.OnTrap = func(th *Thread, trap Trap) TrapAction {
+		if trap == TrapDivZero {
+			return ActionKillThread
+		}
+		return ActionCrashProcess
+	}
+	m.Run(1000)
+	if m.Crashed() {
+		t.Fatal("process crashed despite kill-thread handler")
+	}
+	if m.Thread(0).State != ThreadHalted {
+		t.Fatalf("thread 0 = %v", m.Thread(0).State)
+	}
+	if m.Thread(1).State != ThreadKilled || m.Thread(1).Trap != TrapDivZero {
+		t.Fatalf("thread 1 = %v/%v", m.Thread(1).State, m.Thread(1).Trap)
+	}
+}
+
+func TestOnFetchSubstitution(t *testing.T) {
+	// Substitute the movi at pc=0 with movi r1, 99.
+	m, err := New(mustAssemble(t, "movi r1, 5\nhalt"), 1, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.OnFetch = func(th *Thread, pc uint32, w uint32) uint32 {
+		if pc == 0 {
+			return isa.Encode(isa.Instr{Op: isa.OpMovi, Rd: 1, Imm16: 99})
+		}
+		return w
+	}
+	m.Run(10)
+	if got := m.Thread(0).Regs[1]; got != 99 {
+		t.Fatalf("r1 = %d, want substituted 99", got)
+	}
+}
+
+// --- Assertion-block semantics ------------------------------------------
+
+// buildAsserted builds: assert(2){T1,T2}; beq T1; with flags preset.
+func buildAsserted(taken uint32, fall uint32) []uint32 {
+	return []uint32{
+		isa.Encode(isa.Instr{Op: isa.OpAssert, Imm16: 2}),
+		taken,
+		fall,
+		isa.Encode(isa.Instr{Op: isa.OpBeq, Imm16: taken}),
+		isa.Encode(isa.Instr{Op: isa.OpHalt}), // fall-through (addr 4)
+		isa.Encode(isa.Instr{Op: isa.OpHalt}), // taken target (addr 5)
+	}
+}
+
+func TestAssertPassesValidTransfer(t *testing.T) {
+	text := buildAsserted(5, 4)
+	m, err := New(text, 1, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Thread(0).FlagZ = true // branch taken → target 5: valid
+	m.Run(10)
+	th := m.Thread(0)
+	if th.State != ThreadHalted {
+		t.Fatalf("state = %v trap=%v", th.State, th.Trap)
+	}
+	if th.TrapPC != 5 {
+		t.Fatalf("halted at %d, want taken target 5", th.TrapPC)
+	}
+}
+
+func TestAssertPassesFallThrough(t *testing.T) {
+	text := buildAsserted(5, 4)
+	m, err := New(text, 1, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Thread(0).FlagZ = false // fall through → 4: valid
+	m.Run(10)
+	if m.Thread(0).TrapPC != 4 {
+		t.Fatalf("halted at %d, want fall-through 4", m.Thread(0).TrapPC)
+	}
+}
+
+func TestAssertTrapsOnCorruptedTarget(t *testing.T) {
+	text := buildAsserted(5, 4)
+	// Corrupt the branch target: beq now points at 2 (inside the
+	// assertion block) — an illegal transfer.
+	text[3] = isa.Encode(isa.Instr{Op: isa.OpBeq, Imm16: 2})
+	m, err := New(text, 1, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Thread(0).FlagZ = true
+	m.Run(10)
+	th := m.Thread(0)
+	if th.State != ThreadCrashed || th.Trap != TrapDivZero {
+		t.Fatalf("state=%v trap=%v", th.State, th.Trap)
+	}
+	if !th.InAssert {
+		t.Fatal("trap not attributed to the assertion block")
+	}
+	if th.TrapPC != 0 {
+		t.Fatalf("trap PC = %d, want assertion header 0", th.TrapPC)
+	}
+	// Preemptive: the illegal transfer never executed, so the PC of the
+	// *thread* never reached address 2.
+}
+
+func TestAssertTrapsWhenCFIBecomesNonCFI(t *testing.T) {
+	text := buildAsserted(5, 4)
+	text[3] = isa.Encode(isa.Instr{Op: isa.OpAdd, Rd: 1, Rs1: 1, Rs2: 1})
+	m, err := New(text, 1, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(10)
+	th := m.Thread(0)
+	if th.Trap != TrapDivZero || !th.InAssert {
+		t.Fatalf("trap=%v inAssert=%v", th.Trap, th.InAssert)
+	}
+}
+
+func TestAssertIndirectJumpRuntimeTarget(t *testing.T) {
+	// assert(1){4}; jr r1; halt@3(wrong); halt@4(valid)
+	text := []uint32{
+		isa.Encode(isa.Instr{Op: isa.OpAssert, Imm16: 1}),
+		4,
+		isa.Encode(isa.Instr{Op: isa.OpJr, Rs1: 1}),
+		isa.Encode(isa.Instr{Op: isa.OpHalt}),
+		isa.Encode(isa.Instr{Op: isa.OpHalt}),
+	}
+	m, err := New(text, 1, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Thread(0).Regs[1] = 4
+	m.Run(10)
+	if m.Thread(0).State != ThreadHalted || m.Thread(0).TrapPC != 4 {
+		t.Fatalf("state=%v pc=%d", m.Thread(0).State, m.Thread(0).TrapPC)
+	}
+
+	// Runtime-computed register now holds an invalid target.
+	m2, err := New(text, 1, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.Thread(0).Regs[1] = 3
+	m2.Run(10)
+	if m2.Thread(0).Trap != TrapDivZero || !m2.Thread(0).InAssert {
+		t.Fatalf("trap=%v", m2.Thread(0).Trap)
+	}
+}
+
+func TestAssertReturnUsesStackTop(t *testing.T) {
+	// assert(1){7}; ret — valid only when returning to 7.
+	text := []uint32{
+		isa.Encode(isa.Instr{Op: isa.OpAssert, Imm16: 1}),
+		7,
+		isa.Encode(isa.Instr{Op: isa.OpRet}),
+		0, 0, 0, 0,
+		isa.Encode(isa.Instr{Op: isa.OpHalt}), // addr 7
+	}
+	m, err := New(text, 1, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Thread(0).Stack = []uint32{7}
+	m.Run(10)
+	if m.Thread(0).State != ThreadHalted {
+		t.Fatalf("state=%v trap=%v", m.Thread(0).State, m.Thread(0).Trap)
+	}
+
+	// Corrupted return address.
+	m2, err := New(text, 1, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.Thread(0).Stack = []uint32{3}
+	m2.Run(10)
+	if m2.Thread(0).Trap != TrapDivZero {
+		t.Fatalf("trap=%v", m2.Thread(0).Trap)
+	}
+
+	// Empty stack: target indeterminable → assertion trap.
+	m3, err := New(text, 1, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3.Run(10)
+	if m3.Thread(0).Trap != TrapDivZero || !m3.Thread(0).InAssert {
+		t.Fatalf("trap=%v", m3.Thread(0).Trap)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 1, DefaultConfig(), nil); err == nil {
+		t.Fatal("empty text accepted")
+	}
+	if _, err := New([]uint32{1}, 0, DefaultConfig(), nil); err == nil {
+		t.Fatal("zero threads accepted")
+	}
+	if _, err := New(make([]uint32, 1<<17), 1, DefaultConfig(), nil); err == nil {
+		t.Fatal("oversized text accepted")
+	}
+	m, err := New([]uint32{isa.Encode(isa.Instr{Op: isa.OpHalt})}, 1, Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Thread(0).Mem) == 0 {
+		t.Fatal("zero config did not default")
+	}
+	if m.Thread(99) != nil || m.Thread(-1) != nil {
+		t.Fatal("out-of-range Thread lookup nonzero")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if TrapDivZero.String() != "divide-by-zero" || Trap(99).String() != "unknown" {
+		t.Fatal("Trap.String mismatch")
+	}
+	if ThreadKilled.String() != "killed" || ThreadState(0).String() != "unknown" {
+		t.Fatal("ThreadState.String mismatch")
+	}
+}
+
+func TestTextAccessorAndStrings(t *testing.T) {
+	text := mustAssemble(t, "halt")
+	m, err := New(text, 1, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Text()) != 1 || m.Text()[0] != text[0] {
+		t.Fatal("Text() does not expose the live segment")
+	}
+	for trap, want := range map[Trap]string{
+		TrapNone: "none", TrapHalt: "halt", TrapIllegal: "illegal-instruction",
+		TrapMemFault: "memory-fault", TrapStackFault: "stack-fault",
+	} {
+		if trap.String() != want {
+			t.Fatalf("Trap(%d).String() = %q, want %q", trap, trap.String(), want)
+		}
+	}
+	for st, want := range map[ThreadState]string{
+		ThreadRunning: "running", ThreadHalted: "halted",
+	} {
+		if st.String() != want {
+			t.Fatalf("ThreadState(%d).String() = %q, want %q", st, st.String(), want)
+		}
+	}
+}
