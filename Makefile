@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build vet test check bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race ./...
+
+# The CI gate: compile everything, vet, full test suite under the race
+# detector (includes the server end-to-end tests).
+check: build vet test
+
+bench:
+	$(GO) test -bench . -benchtime 0.5s -run '^$$' .
+
+clean:
+	$(GO) clean ./...

@@ -13,6 +13,7 @@
 package repro_test
 
 import (
+	"net"
 	"testing"
 	"time"
 
@@ -26,8 +27,10 @@ import (
 	"repro/internal/memdb"
 	"repro/internal/pecos"
 	"repro/internal/robust"
+	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/vm"
+	"repro/internal/wire"
 )
 
 const benchScale = 0.15
@@ -346,6 +349,65 @@ func BenchmarkAuditFullSweep(b *testing.B) {
 			}
 		}
 	}
+}
+
+// benchmarkServerThroughput measures request round-trips over a loopback
+// TCP connection to the serving subsystem: one synchronous client cycling
+// write-field/read-field against an allocated Resource record. With
+// auditPeriod > 0 the audit process sweeps the live region between
+// requests, so the delta against the unaudited run is the paper's audit
+// overhead as seen by a network client.
+func benchmarkServerThroughput(b *testing.B, auditPeriod time.Duration) {
+	db, err := memdb.New(callproc.Schema(callproc.DefaultSchemaConfig()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := server.New(db, server.Config{AuditPeriod: auditPeriod})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown(10 * time.Second)
+
+	c, err := wire.Dial(ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Init(); err != nil {
+		b.Fatal(err)
+	}
+	ri, err := c.Alloc(callproc.TblRes, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.WriteRec(callproc.TblRes, ri, []uint32{uint32(ri), 1, 50}); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			if err := c.WriteFld(callproc.TblRes, ri, callproc.FldResQuality, uint32(i%101)); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if _, err := c.ReadFld(callproc.TblRes, ri, callproc.FldResQuality); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "ops/s")
+}
+
+func BenchmarkServerThroughput(b *testing.B) {
+	b.Run("noaudit", func(b *testing.B) { benchmarkServerThroughput(b, -1) })
+	b.Run("audited", func(b *testing.B) { benchmarkServerThroughput(b, 50*time.Millisecond) })
 }
 
 func BenchmarkVMStep(b *testing.B) {

@@ -1,0 +1,250 @@
+// Command dbload is a closed-loop load generator for dbserve: each worker
+// connection drives a mixed read/write workload against the Resource table
+// (all values in their audited ranges), verifies every read against a
+// client-side golden copy, and at the end forces a full audit sweep — which
+// must come back clean — before reporting throughput and latency
+// percentiles.
+//
+// Usage:
+//
+//	dbload -addr 127.0.0.1:7420 -conns 4 -ops 10000
+//
+// dbload exits nonzero on any protocol error, golden-copy mismatch, or
+// audit finding.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/callproc"
+	"repro/internal/memdb"
+	"repro/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dbload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dbload", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7420", "dbserve address")
+	conns := fs.Int("conns", 4, "concurrent client connections")
+	ops := fs.Int("ops", 10000, "total operations across all connections")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *conns <= 0 || *ops <= 0 {
+		return errors.New("-conns and -ops must be positive")
+	}
+
+	var wg sync.WaitGroup
+	workers := make([]*worker, *conns)
+	perWorker := *ops / *conns
+	if perWorker == 0 {
+		perWorker = 1
+	}
+	start := time.Now()
+	for i := range workers {
+		w := &worker{id: i, addr: *addr, ops: perWorker}
+		workers[i] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.err = w.drive()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var lats []time.Duration
+	done := 0
+	for _, w := range workers {
+		if w.err != nil {
+			return fmt.Errorf("worker %d: %w", w.id, w.err)
+		}
+		lats = append(lats, w.lats...)
+		done += len(w.lats)
+	}
+
+	// The workload only wrote in-range values through the API, so a full
+	// audit sweep over the live region must be clean.
+	ctl, err := wire.Dial(*addr)
+	if err != nil {
+		return fmt.Errorf("control connection: %w", err)
+	}
+	defer ctl.Close()
+	findings, err := ctl.Sweep()
+	if err != nil {
+		return fmt.Errorf("final sweep: %w", err)
+	}
+	stats, err := ctl.Stats()
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	fmt.Fprintf(out, "dbload: %d ops over %d conns in %v: %.0f ops/s\n",
+		done, *conns, elapsed.Round(time.Millisecond), float64(done)/elapsed.Seconds())
+	fmt.Fprintf(out, "  latency p50=%v p95=%v p99=%v max=%v\n",
+		pct(lats, 50), pct(lats, 95), pct(lats, 99), pct(lats, 100))
+	fmt.Fprintf(out, "  server: %d requests dropped, %d audit sweeps, %d findings\n",
+		stats[wire.StatReqDropped], stats[wire.StatAuditSweeps], stats[wire.StatAuditFindings])
+	fmt.Fprintf(out, "  final sweep: %d findings\n", findings)
+	if findings != 0 {
+		return fmt.Errorf("final audit sweep found %d errors", findings)
+	}
+	if n := stats[wire.StatAuditFindings]; n != 0 {
+		return fmt.Errorf("live audits produced %d findings during the run", n)
+	}
+	return nil
+}
+
+// pct reads the p-th percentile from sorted latencies.
+func pct(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := len(sorted) * p / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// worker is one closed-loop client connection.
+type worker struct {
+	id   int
+	addr string
+	ops  int
+	lats []time.Duration
+	err  error
+}
+
+// retryLocked retries op while it fails with lock contention: table locks
+// are advisory and non-blocking, so a busy table answers ErrLocked
+// immediately and the client is expected to come back.
+func retryLocked(op func() error) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		err := op()
+		if !errors.Is(err, memdb.ErrLocked) || time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// drive runs the mixed workload: allocate one Resource record, then cycle
+// writes, reads (verified against the golden copy), moves, status checks,
+// and transactions over it. Every value written stays inside the ranges
+// the audit checks enforce.
+func (w *worker) drive() error {
+	c, err := wire.Dial(w.addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if _, err := c.Init(); err != nil {
+		return fmt.Errorf("DBinit: %w", err)
+	}
+	group := w.id % callproc.ResourceBanks
+	var ri int
+	if err := retryLocked(func() (err error) {
+		ri, err = c.Alloc(callproc.TblRes, group)
+		return err
+	}); err != nil {
+		return fmt.Errorf("DBalloc: %w", err)
+	}
+	golden := []uint32{uint32(ri), 1, 50}
+	if err := retryLocked(func() error {
+		return c.WriteRec(callproc.TblRes, ri, golden)
+	}); err != nil {
+		return fmt.Errorf("DBwrite_rec: %w", err)
+	}
+
+	timed := func(op func() error) error {
+		t0 := time.Now()
+		err := retryLocked(op)
+		w.lats = append(w.lats, time.Since(t0))
+		return err
+	}
+	for i := 0; i < w.ops; i++ {
+		var err error
+		switch i % 6 {
+		case 0:
+			v := uint32((w.id + i*13) % 101)
+			err = timed(func() error {
+				return c.WriteFld(callproc.TblRes, ri, callproc.FldResQuality, v)
+			})
+			if err == nil {
+				golden[callproc.FldResQuality] = v
+			}
+		case 1:
+			next := []uint32{uint32(ri), uint32(i % 3), uint32(i % 101)}
+			err = timed(func() error { return c.WriteRec(callproc.TblRes, ri, next) })
+			if err == nil {
+				golden = next
+			}
+		case 2:
+			var vals []uint32
+			err = timed(func() (err error) {
+				vals, err = c.ReadRec(callproc.TblRes, ri)
+				return err
+			})
+			if err == nil {
+				for fi := range golden {
+					if vals[fi] != golden[fi] {
+						return fmt.Errorf("op %d: field %d = %d, golden %d",
+							i, fi, vals[fi], golden[fi])
+					}
+				}
+			}
+		case 3:
+			var v uint32
+			err = timed(func() (err error) {
+				v, err = c.ReadFld(callproc.TblRes, ri, callproc.FldResQuality)
+				return err
+			})
+			if err == nil && v != golden[callproc.FldResQuality] {
+				return fmt.Errorf("op %d: Quality = %d, golden %d",
+					i, v, golden[callproc.FldResQuality])
+			}
+		case 4:
+			group = (group + 1) % callproc.ResourceBanks
+			g := group
+			err = timed(func() error { return c.Move(callproc.TblRes, ri, g) })
+		case 5:
+			err = timed(func() error {
+				if err := c.Begin(callproc.TblRes); err != nil {
+					return err
+				}
+				v := uint32(i % 101)
+				if err := c.WriteFld(callproc.TblRes, ri, callproc.FldResQuality, v); err != nil {
+					return err
+				}
+				golden[callproc.FldResQuality] = v
+				return c.Commit()
+			})
+		}
+		if err != nil {
+			return fmt.Errorf("op %d: %w", i, err)
+		}
+	}
+	if err := retryLocked(func() error { return c.Free(callproc.TblRes, ri) }); err != nil {
+		return fmt.Errorf("DBfree: %w", err)
+	}
+	if err := c.CloseSession(); err != nil {
+		return fmt.Errorf("DBclose: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/callproc"
+	"repro/internal/memdb"
+	"repro/internal/server"
+)
+
+// startServer brings up an in-process dbserve-equivalent on a loopback
+// port with fast audits, so the generator runs against the real serving
+// stack.
+func startServer(t *testing.T) string {
+	t.Helper()
+	db, err := memdb.New(callproc.Schema(callproc.DefaultSchemaConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(db, server.Config{AuditPeriod: 20 * time.Millisecond, Guard: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		if err := srv.Shutdown(5 * time.Second); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return ln.Addr().String()
+}
+
+func TestLoadRunCleanAgainstLiveServer(t *testing.T) {
+	addr := startServer(t)
+	var out bytes.Buffer
+	if err := run([]string{"-addr", addr, "-conns", "3", "-ops", "600"}, &out); err != nil {
+		t.Fatalf("dbload: %v\noutput:\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"ops/s", "p50=", "p99=", "final sweep: 0 findings"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestLoadFailsWithoutServer(t *testing.T) {
+	// A port nothing listens on: every worker fails to dial, run must
+	// report the protocol error.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if err := run([]string{"-addr", addr, "-conns", "1", "-ops", "10"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("run against dead server succeeded")
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	if err := run([]string{"-conns", "0"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("zero conns accepted")
+	}
+	if err := run([]string{"-ops", "-5"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("negative ops accepted")
+	}
+}

@@ -1,0 +1,136 @@
+// Command dbserve exposes the audited controller database over TCP: it is
+// the deployment face of internal/server, serving either a pristine
+// controller-schema database or an image prepared by cmd/dbctl. While it
+// serves, the audit process sweeps the live region between requests and the
+// manager supervises it with heartbeats, exactly as in the simulator.
+//
+// Usage:
+//
+//	dbserve -addr :7420                         # pristine database
+//	dbserve -addr :7420 -img db.img             # image built by dbctl
+//	dbserve -addr :7420 -audit-period 250ms -queue 512
+//
+// The schema sizing flags (-config-records, -config-fields, -call-records)
+// must match the ones the image was built with; they default to the same
+// values as dbctl. SIGINT/SIGTERM trigger a drain-then-stop shutdown: open
+// connections finish their in-flight requests, queued work executes, a
+// final audit sweep certifies the region, and a stats summary is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/callproc"
+	"repro/internal/memdb"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+func main() {
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		close(stop)
+	}()
+	if err := run(os.Args[1:], os.Stdout, nil, stop); err != nil {
+		fmt.Fprintln(os.Stderr, "dbserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run builds the database, serves it until stop closes (or a fatal accept
+// error), and prints the final stats summary to out. When ready is
+// non-nil, the bound address is delivered on it once the listener is up —
+// the hook the tests use to serve on port 0.
+func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("dbserve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7420", "listen address")
+	img := fs.String("img", "", "serve this dbctl image instead of a pristine database")
+	queue := fs.Int("queue", 0, "request queue depth (0 = default)")
+	auditPeriod := fs.Duration("audit-period", time.Second, "periodic audit sweep interval; negative disables audits")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "drain deadline on shutdown")
+	cfgRecords := fs.Int("config-records", 16, "schema: configuration records")
+	cfgFields := fs.Int("config-fields", 4, "schema: configuration fields")
+	callRecords := fs.Int("call-records", 24, "schema: records per call table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	schema := callproc.Schema(callproc.SchemaConfig{
+		ConfigRecords: *cfgRecords,
+		ConfigFields:  *cfgFields,
+		CallRecords:   *callRecords,
+	})
+
+	var db *memdb.DB
+	var err error
+	if *img != "" {
+		f, oerr := os.Open(*img)
+		if oerr != nil {
+			return oerr
+		}
+		db, err = memdb.NewFromImage(schema, f)
+		f.Close()
+	} else {
+		db, err = memdb.New(schema)
+	}
+	if err != nil {
+		return err
+	}
+
+	srv, err := server.New(db, server.Config{
+		QueueDepth:  *queue,
+		AuditPeriod: *auditPeriod,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "dbserve: serving on %s (audit period %v)\n", ln.Addr(), *auditPeriod)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	go func() {
+		<-stop
+		srv.Shutdown(*shutdownTimeout)
+	}()
+
+	serveErr := srv.Serve(ln)
+	// Serve returns on orderly shutdown or a fatal accept error; in the
+	// latter case the server still needs draining before the summary.
+	drainErr := srv.Shutdown(*shutdownTimeout)
+	printSummary(out, srv.Stats())
+	if serveErr != nil {
+		return serveErr
+	}
+	return drainErr
+}
+
+func printSummary(out io.Writer, st server.Stats) {
+	fmt.Fprintf(out, "dbserve: %d requests executed over %d connections (%d still open)\n",
+		st.Executed, st.TotalConns, st.ActiveConns)
+	for op := 0; op < wire.NumOps; op++ {
+		s := st.PerOp[op]
+		if s.OK == 0 && s.Errs == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "  %-14s ok=%-8d err=%d\n", wire.Op(op), s.OK, s.Errs)
+	}
+	fmt.Fprintf(out, "  request drops: %d (burst %d, queue high-water %d)\n",
+		st.ReqDrops.Dropped, st.ReqDrops.Burst, st.ReqDrops.HighWater)
+	fmt.Fprintf(out, "  audit: %d sweeps, %d findings, %d restarts, %d notifications dropped\n",
+		st.Sweeps, st.AuditFindings, st.Restarts, st.AuditDrops.Dropped)
+}

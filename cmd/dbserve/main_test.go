@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/callproc"
+	"repro/internal/memdb"
+	"repro/internal/wire"
+)
+
+// serve starts run on a loopback port and returns the bound address, the
+// stop trigger, and the channel carrying run's result and output.
+func serve(t *testing.T, args []string) (addr string, stop chan struct{}, done chan error, out *bytes.Buffer) {
+	t.Helper()
+	out = &bytes.Buffer{}
+	ready := make(chan string, 1)
+	stop = make(chan struct{})
+	done = make(chan error, 1)
+	go func() {
+		done <- run(append([]string{"-addr", "127.0.0.1:0"}, args...), out, ready, stop)
+	}()
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before binding: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never bound")
+	}
+	return addr, stop, done, out
+}
+
+func TestServeAndShutdown(t *testing.T) {
+	addr, stop, done, out := serve(t, []string{"-audit-period", "20ms"})
+
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Init(); err != nil {
+		t.Fatal(err)
+	}
+	ri, err := c.Alloc(callproc.TblRes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteRec(callproc.TblRes, ri, []uint32{uint32(ri), 1, 42}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.ReadFld(callproc.TblRes, ri, callproc.FldResQuality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Fatalf("read back %d, want 42", v)
+	}
+	if n, err := c.Sweep(); err != nil || n != 0 {
+		t.Fatalf("sweep: %d findings, err %v", n, err)
+	}
+
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	s := out.String()
+	for _, want := range []string{"requests executed", "DBwrite_rec", "audit:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestServeImage(t *testing.T) {
+	// Build an image the way dbctl does, pre-populating one record, and
+	// check dbserve serves that state.
+	img := filepath.Join(t.TempDir(), "db.img")
+	// Sizing must match dbserve's flag defaults, as it would a dbctl image.
+	db, err := memdb.New(callproc.Schema(callproc.SchemaConfig{
+		ConfigRecords: 16, ConfigFields: 4, CallRecords: 24,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := db.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, err := cl.Alloc(callproc.TblRes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.WriteRec(callproc.TblRes, ri, []uint32{7, 2, 99}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.WriteImage(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	addr, stop, done, _ := serve(t, []string{"-img", img})
+	defer func() {
+		close(stop)
+		<-done
+	}()
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Init(); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := c.ReadRec(callproc.TblRes, ri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{7, 2, 99}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("field %d = %d, want %d (image state not served)", i, vals[i], want[i])
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-img", "/nonexistent/db.img"}, &bytes.Buffer{}, nil, nil); err == nil {
+		t.Fatal("missing image accepted")
+	}
+	if err := run([]string{"-addr", "256.0.0.1:bogus"}, &bytes.Buffer{}, nil, nil); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

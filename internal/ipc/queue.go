@@ -84,13 +84,31 @@ type Stats struct {
 	MaxDepth int
 }
 
+// DropStats is a snapshot of rejection accounting for a bounded queue — the
+// numbers a consumer needs to report backpressure: how much was shed in
+// total, the worst consecutive shedding run, and how deep the queue got.
+// The network server reports this shape for both its request queue and the
+// audit notification queue.
+type DropStats struct {
+	// Dropped is the total number of messages rejected at capacity.
+	Dropped uint64
+	// Burst is the longest run of consecutive rejections, i.e. how long
+	// the producer was shedding without a single successful send — the
+	// high-water mark of sustained overload.
+	Burst uint64
+	// HighWater is the deepest queue depth ever observed.
+	HighWater int
+}
+
 // Queue is a bounded FIFO of Messages.
 type Queue struct {
-	mu     sync.Mutex
-	buf    []Message
-	cap    int
-	closed bool
-	stats  Stats
+	mu       sync.Mutex
+	buf      []Message
+	cap      int
+	closed   bool
+	stats    Stats
+	curBurst uint64 // consecutive TrySend rejections since the last success
+	maxBurst uint64
 }
 
 // NewQueue returns a queue holding at most capacity messages. Capacity must
@@ -112,10 +130,15 @@ func (q *Queue) TrySend(m Message) error {
 	}
 	if len(q.buf) >= q.cap {
 		q.stats.Dropped++
+		q.curBurst++
+		if q.curBurst > q.maxBurst {
+			q.maxBurst = q.curBurst
+		}
 		return ErrQueueFull
 	}
 	q.buf = append(q.buf, m)
 	q.stats.Sent++
+	q.curBurst = 0
 	if len(q.buf) > q.stats.MaxDepth {
 		q.stats.MaxDepth = len(q.buf)
 	}
@@ -169,6 +192,18 @@ func (q *Queue) Stats() Stats {
 	return q.stats
 }
 
+// Drops returns the rejection-accounting snapshot: total drops, the longest
+// consecutive-drop burst, and the depth high-water mark.
+func (q *Queue) Drops() DropStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return DropStats{
+		Dropped:   q.stats.Dropped,
+		Burst:     q.maxBurst,
+		HighWater: q.stats.MaxDepth,
+	}
+}
+
 // Close marks the queue closed. Pending messages remain receivable; sends
 // fail with ErrQueueClosed. Close is idempotent.
 func (q *Queue) Close() {
@@ -193,4 +228,6 @@ func (q *Queue) Reset() {
 	q.buf = q.buf[:0]
 	q.closed = false
 	q.stats = Stats{}
+	q.curBurst = 0
+	q.maxBurst = 0
 }

@@ -1,0 +1,150 @@
+package ipc
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestConcurrentProducersConsumers hammers one bounded queue from several
+// producer and consumer goroutines — the exact access pattern of the
+// network server, where connection goroutines post while the executor
+// drains — and checks that no message is lost or invented and that the
+// drop accounting balances. Run under -race this also certifies the
+// queue's internal synchronization.
+func TestConcurrentProducersConsumers(t *testing.T) {
+	const (
+		producers   = 4
+		consumers   = 2
+		perProducer = 5000
+	)
+	q, err := NewQueue(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sent, dropped, received atomic.Uint64
+	var wg sync.WaitGroup
+
+	stop := make(chan struct{})
+	for i := 0; i < consumers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if m, ok := q.TryRecv(); ok {
+					received.Add(1)
+					_ = m
+					continue
+				}
+				select {
+				case <-stop:
+					// Producers are done: drain whatever remains, then
+					// exit once the queue stays empty.
+					if q.Len() == 0 {
+						return
+					}
+				default:
+				}
+			}
+		}()
+	}
+
+	var pwg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func(p int) {
+			defer pwg.Done()
+			for i := 0; i < perProducer; i++ {
+				err := q.TrySend(Message{
+					Kind: MsgDBWrite, PID: p, Record: i,
+					At: time.Duration(i),
+				})
+				switch err {
+				case nil:
+					sent.Add(1)
+				case ErrQueueFull:
+					dropped.Add(1)
+				default:
+					t.Errorf("producer %d: unexpected error %v", p, err)
+					return
+				}
+			}
+		}(p)
+	}
+	pwg.Wait()
+	close(stop)
+	wg.Wait()
+
+	if got := sent.Load() + dropped.Load(); got != producers*perProducer {
+		t.Fatalf("sent %d + dropped %d = %d, want %d attempts",
+			sent.Load(), dropped.Load(), got, producers*perProducer)
+	}
+	if received.Load() != sent.Load() {
+		t.Fatalf("received %d of %d sent messages", received.Load(), sent.Load())
+	}
+
+	st := q.Stats()
+	if st.Sent != sent.Load() || st.Dropped != dropped.Load() {
+		t.Fatalf("queue stats (sent %d, dropped %d) disagree with producers (sent %d, dropped %d)",
+			st.Sent, st.Dropped, sent.Load(), dropped.Load())
+	}
+	if st.MaxDepth > q.Cap() {
+		t.Fatalf("depth high-water %d exceeds capacity %d", st.MaxDepth, q.Cap())
+	}
+
+	d := q.Drops()
+	if d.Dropped != st.Dropped || d.HighWater != st.MaxDepth {
+		t.Fatalf("Drops() %+v disagrees with Stats() %+v", d, st)
+	}
+	if d.Dropped > 0 && (d.Burst == 0 || d.Burst > d.Dropped) {
+		t.Fatalf("burst high-water %d implausible for %d total drops", d.Burst, d.Dropped)
+	}
+}
+
+func TestDropsBurstAccounting(t *testing.T) {
+	q, err := NewQueue(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(q.TrySend(Message{}))
+	must(q.TrySend(Message{}))
+	// Three consecutive rejections at capacity: burst 3.
+	for i := 0; i < 3; i++ {
+		if err := q.TrySend(Message{}); err != ErrQueueFull {
+			t.Fatalf("send %d on full queue: %v", i, err)
+		}
+	}
+	if _, ok := q.TryRecv(); !ok {
+		t.Fatal("recv from full queue failed")
+	}
+	// A successful send resets the burst counter...
+	must(q.TrySend(Message{}))
+	// ...so two more rejections form a burst of 2, not 5.
+	for i := 0; i < 2; i++ {
+		if err := q.TrySend(Message{}); err != ErrQueueFull {
+			t.Fatalf("send %d on refull queue: %v", i, err)
+		}
+	}
+	d := q.Drops()
+	if d.Dropped != 5 {
+		t.Fatalf("Dropped = %d, want 5", d.Dropped)
+	}
+	if d.Burst != 3 {
+		t.Fatalf("Burst = %d, want 3 (reset by successful send)", d.Burst)
+	}
+	if d.HighWater != 2 {
+		t.Fatalf("HighWater = %d, want 2", d.HighWater)
+	}
+	q.Reset()
+	if d := q.Drops(); d != (DropStats{}) {
+		t.Fatalf("Drops() after Reset = %+v, want zero", d)
+	}
+}

@@ -20,6 +20,7 @@ func (c *Client) PID() int { return c.pid }
 
 // Close releases the connection and its locks (DBclose).
 func (c *Client) Close() error {
+	defer c.db.guardEnter("DBclose")()
 	if c.closed {
 		return ErrClosed
 	}
@@ -45,6 +46,7 @@ func (c *Client) Closed() bool { return c.closed }
 // Begin opens a transaction on table: the lock is held across operations
 // until Commit. Nested Begin on the same table is a no-op.
 func (c *Client) Begin(table int) error {
+	defer c.db.guardEnter("DBbegin")()
 	if c.closed {
 		return ErrClosed
 	}
@@ -60,6 +62,7 @@ func (c *Client) Begin(table int) error {
 
 // Commit releases every transaction lock held by the client.
 func (c *Client) Commit() error {
+	defer c.db.guardEnter("DBcommit")()
 	if c.closed {
 		return ErrClosed
 	}
@@ -88,6 +91,7 @@ func (c *Client) lockFor(table int) (unlock func(), err error) {
 
 // ReadRec reads all fields of record rec in table (DBread_rec).
 func (c *Client) ReadRec(table, rec int) ([]uint32, error) {
+	defer c.db.guardEnter("DBread_rec")()
 	if c.closed {
 		return nil, ErrClosed
 	}
@@ -111,6 +115,7 @@ func (c *Client) ReadRec(table, rec int) ([]uint32, error) {
 
 // ReadFld reads one field of a record (DBread_fld).
 func (c *Client) ReadFld(table, rec, field int) (uint32, error) {
+	defer c.db.guardEnter("DBread_fld")()
 	if c.closed {
 		return 0, ErrClosed
 	}
@@ -133,6 +138,7 @@ func (c *Client) ReadFld(table, rec, field int) (uint32, error) {
 
 // WriteRec writes all fields of an active record (DBwrite_rec).
 func (c *Client) WriteRec(table, rec int, vals []uint32) error {
+	defer c.db.guardEnter("DBwrite_rec")()
 	if c.closed {
 		return ErrClosed
 	}
@@ -161,6 +167,7 @@ func (c *Client) WriteRec(table, rec int, vals []uint32) error {
 
 // WriteFld writes one field of an active record (DBwrite_fld).
 func (c *Client) WriteFld(table, rec, field int, v uint32) error {
+	defer c.db.guardEnter("DBwrite_fld")()
 	if c.closed {
 		return ErrClosed
 	}
@@ -187,6 +194,7 @@ func (c *Client) WriteFld(table, rec, field int, v uint32) error {
 
 // Move reassigns a record to another logical group (DBmove).
 func (c *Client) Move(table, rec, newGroup int) error {
+	defer c.db.guardEnter("DBmove")()
 	if c.closed {
 		return ErrClosed
 	}
@@ -229,6 +237,7 @@ func (c *Client) Move(table, rec, newGroup int) error {
 // left allocated by failed clients are the "resource leaks" the semantic
 // audit reclaims.
 func (c *Client) Alloc(table, group int) (int, error) {
+	defer c.db.guardEnter("DBalloc")()
 	if c.closed {
 		return 0, ErrClosed
 	}
@@ -269,6 +278,7 @@ func (c *Client) Alloc(table, group int) (int, error) {
 
 // Free releases a record back to the table's free pool.
 func (c *Client) Free(table, rec int) error {
+	defer c.db.guardEnter("DBfree")()
 	if c.closed {
 		return ErrClosed
 	}
@@ -301,6 +311,7 @@ func (c *Client) Free(table, rec int) error {
 
 // Status reports the header status byte of a record via the API path.
 func (c *Client) Status(table, rec int) (int, error) {
+	defer c.db.guardEnter("DBstatus")()
 	if c.closed {
 		return 0, ErrClosed
 	}

@@ -41,6 +41,7 @@ type DB struct {
 	audited  bool
 	nextPID  int
 	clients  map[int]*Client
+	guard    *guardState // debug concurrent-access detector; nil when off
 }
 
 // Option configures a DB.
@@ -112,6 +113,7 @@ func (db *DB) Counts() *OpCounts { return db.counts }
 // Connect opens a client connection (the paper's DBinit) and returns the
 // session handle. Each connection carries a unique process ID.
 func (db *DB) Connect() (*Client, error) {
+	defer db.guardEnter("DBinit")()
 	db.nextPID++
 	pid := db.nextPID
 	c := &Client{db: db, pid: pid}

@@ -1,0 +1,787 @@
+// Package server is the network serving subsystem: a concurrent TCP
+// front-end over the audited in-memory controller database. It is the
+// paper's API boundary (Table 1) lifted out of the discrete-event
+// simulator and exposed to real clients over the wire protocol of
+// internal/wire.
+//
+// # Architecture
+//
+// memdb.DB is documented as not safe for concurrent use — the controller's
+// database is one shared memory region with audits running live against
+// it. The server preserves that single-writer contract while still serving
+// many connections concurrently:
+//
+//   - one goroutine per accepted connection decodes requests and encodes
+//     responses (all parsing/serialization is parallel);
+//   - decoded requests funnel through a bounded queue into a single
+//     executor goroutine, the only code that touches the DB;
+//   - when the queue is full the request is dropped immediately with a
+//     CodeOverload response (backpressure, never unbounded buffering),
+//     with drop accounting in the shape of internal/ipc's DropStats;
+//   - the executor also owns a discrete-event clock paced by wall time, on
+//     which the audit process (internal/audit) and the manager heartbeat
+//     (internal/manager) run exactly as they do in the simulator — audits
+//     sweep the live region between requests, never during one.
+//
+// Shutdown is drain-then-stop: the listener closes, connection goroutines
+// finish their in-flight request, queued work executes, a final audit
+// sweep certifies the region, and only then does the executor exit.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/ipc"
+	"repro/internal/manager"
+	"repro/internal/memdb"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Config tunes the serving subsystem. The zero value is usable: every
+// field has a default applied by New.
+type Config struct {
+	// QueueDepth bounds the request queue between connection goroutines
+	// and the executor. Default 256.
+	QueueDepth int
+	// AuditQueueDepth bounds the DB→audit notification queue. Default
+	// 4096.
+	AuditQueueDepth int
+	// AuditPeriod is the periodic full-sweep interval on the executor
+	// clock. Default 1s. Negative disables the audit process and manager
+	// entirely (the "without audit" configuration).
+	AuditPeriod time.Duration
+	// HeartbeatPeriod/HeartbeatTimeout drive the manager's supervision of
+	// the audit process. Defaults 5s / 2s.
+	HeartbeatPeriod  time.Duration
+	HeartbeatTimeout time.Duration
+	// IdleTimeout closes a connection with no complete request for this
+	// long. Default 2m.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write. Default 10s.
+	WriteTimeout time.Duration
+	// ReplyTimeout bounds how long a connection goroutine waits for the
+	// executor before answering CodeTimeout. Default 10s.
+	ReplyTimeout time.Duration
+	// ClockTick is how often the executor advances the audit clock when
+	// idle. Default 20ms.
+	ClockTick time.Duration
+	// MaxFrame bounds accepted request payloads. Default wire.MaxFrame.
+	MaxFrame int
+	// Seed seeds the executor's simulation environment RNG.
+	Seed int64
+	// Guard, when set, arms the memdb concurrent-access detector for the
+	// server's lifetime; any violation panics the executor — by contract
+	// there can be none.
+	Guard bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.AuditQueueDepth <= 0 {
+		c.AuditQueueDepth = 4096
+	}
+	if c.AuditPeriod == 0 {
+		c.AuditPeriod = time.Second
+	}
+	if c.HeartbeatPeriod <= 0 {
+		c.HeartbeatPeriod = 5 * time.Second
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 2 * time.Second
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.ReplyTimeout <= 0 {
+		c.ReplyTimeout = 10 * time.Second
+	}
+	if c.ClockTick <= 0 {
+		c.ClockTick = 20 * time.Millisecond
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = wire.MaxFrame
+	}
+}
+
+// task is one decoded request in flight from a connection goroutine to the
+// executor. reply has capacity 1 so the executor never blocks delivering,
+// even to a connection that timed out and walked away.
+type task struct {
+	c     *conn
+	req   wire.Request
+	reply chan wire.Response
+}
+
+// OpStat is the per-operation counter pair.
+type OpStat struct {
+	OK   uint64
+	Errs uint64
+}
+
+// Stats is a point-in-time snapshot of the server's counters.
+type Stats struct {
+	// PerOp is indexed by wire.Op.
+	PerOp [wire.NumOps]OpStat
+	// ReqDrops accounts requests shed at the bounded executor queue,
+	// in internal/ipc's DropStats shape.
+	ReqDrops ipc.DropStats
+	// AuditDrops accounts DB→audit notifications shed by the ipc queue.
+	AuditDrops ipc.DropStats
+	// AuditFindings counts findings produced by live audits; Sweeps
+	// counts completed full sweeps (periodic + forced).
+	AuditFindings uint64
+	Sweeps        uint64
+	// Restarts counts audit-process restarts by the manager.
+	Restarts int
+	// ActiveConns / TotalConns track connections.
+	ActiveConns int
+	TotalConns  uint64
+	// Executed counts requests the executor completed.
+	Executed uint64
+}
+
+// Server serves one memdb.DB over TCP.
+type Server struct {
+	cfg   Config
+	db    *memdb.DB
+	env   *sim.Env
+	audit *ipc.Queue
+	mgr   *manager.Manager
+
+	// checks are the audit techniques run by both the periodic element
+	// and forced sweeps; executor-only after construction.
+	checks []audit.FullChecker
+
+	reqs chan task
+	ctrl chan func() // executor-thread closures (session teardown, snapshots)
+
+	quit     chan struct{} // closed: stop accepting/reading
+	stopping chan struct{} // closed: executor drains and exits
+	done     chan struct{} // closed: executor has exited
+
+	listener net.Listener
+	acceptWG sync.WaitGroup
+	connWG   sync.WaitGroup
+
+	mu       sync.Mutex
+	conns    map[*conn]struct{}
+	shutdown bool
+
+	// Counters. perOp and the scalar counters below are written by the
+	// executor or connection goroutines and read by Stats(); all atomic.
+	perOpOK    [wire.NumOps]atomic.Uint64
+	perOpErr   [wire.NumOps]atomic.Uint64
+	executed   atomic.Uint64
+	totalConns atomic.Uint64
+	findings   atomic.Uint64
+	sweeps     atomic.Uint64
+	restarts   atomic.Int64
+
+	// Request-queue drop accounting (ipc.DropStats semantics): written by
+	// connection goroutines under dropMu.
+	dropMu    sync.Mutex
+	dropped   uint64
+	curBurst  uint64
+	maxBurst  uint64
+	highWater int
+
+	start time.Time
+}
+
+// conn is the per-connection state. sess is owned by the executor: it is
+// only created, used, and destroyed inside executor-thread code.
+type conn struct {
+	nc   net.Conn
+	sess *memdb.Client
+}
+
+// New builds a server over db. The database must not be touched by anyone
+// else while the server runs — the server is its single writer (enable
+// cfg.Guard to have violations fail loudly).
+func New(db *memdb.DB, cfg Config) (*Server, error) {
+	if db == nil {
+		return nil, errors.New("server: nil database")
+	}
+	cfg.applyDefaults()
+	s := &Server{
+		cfg:      cfg,
+		db:       db,
+		env:      sim.NewEnv(cfg.Seed),
+		reqs:     make(chan task, cfg.QueueDepth),
+		ctrl:     make(chan func(), 16),
+		quit:     make(chan struct{}),
+		stopping: make(chan struct{}),
+		done:     make(chan struct{}),
+		conns:    make(map[*conn]struct{}),
+	}
+	db.SetClock(s.env.Now)
+	if cfg.Guard {
+		db.EnableConcurrencyCheck(nil)
+	}
+
+	rec := audit.Recovery{OnFinding: func(audit.Finding) { s.findings.Add(1) }}
+	s.checks = []audit.FullChecker{
+		// The first check is wrapped to count completed sweeps: every
+		// full pass (periodic or forced) runs each check exactly once.
+		countedCheck{FullChecker: audit.NewStaticCheck(db, rec), n: &s.sweeps},
+		audit.NewStructuralCheck(db, rec),
+		audit.NewRangeCheck(db, rec),
+	}
+
+	if cfg.AuditPeriod > 0 {
+		q, err := ipc.NewQueue(cfg.AuditQueueDepth)
+		if err != nil {
+			return nil, fmt.Errorf("server: audit queue: %w", err)
+		}
+		s.audit = q
+		db.EnableAudit(q)
+		s.mgr = manager.New(s.env, q, s.buildAuditProcess,
+			manager.WithHeartbeat(cfg.HeartbeatPeriod, cfg.HeartbeatTimeout),
+			manager.WithOnRestart(func(n int) { s.restarts.Store(int64(n)) }))
+	}
+	s.start = time.Now()
+	go s.executor()
+	return s, nil
+}
+
+// countedCheck wraps one audit technique with a sweep counter.
+type countedCheck struct {
+	audit.FullChecker
+	n *atomic.Uint64
+}
+
+// CheckAll counts one sweep and delegates.
+func (c countedCheck) CheckAll() []audit.Finding {
+	c.n.Add(1)
+	return c.FullChecker.CheckAll()
+}
+
+// buildAuditProcess is the manager's factory: heartbeat responder,
+// progress indicator, and the periodic full-sweep element over the
+// static/structural/range checks. Called at start and on every restart.
+func (s *Server) buildAuditProcess(q *ipc.Queue) (*audit.Process, error) {
+	p := audit.NewProcess(s.env, s.db, q)
+	if err := p.Register(audit.NewHeartbeatElement()); err != nil {
+		return nil, err
+	}
+	rec := audit.Recovery{OnFinding: func(audit.Finding) { s.findings.Add(1) }}
+	if err := p.Register(audit.NewProgressElement(rec)); err != nil {
+		return nil, err
+	}
+	checkers := make([]audit.Checker, len(s.checks))
+	for i, c := range s.checks {
+		checkers[i] = c
+	}
+	per := audit.NewPeriodicElement(s.cfg.AuditPeriod, audit.FullSweep, nil, checkers...)
+	if err := p.Register(per); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// DB returns the served database (for tests that inspect the region after
+// shutdown; never touch it while the server runs).
+func (s *Server) DB() *memdb.DB { return s.db }
+
+// Addr returns the bound listener address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return nil
+	}
+	return s.listener.Addr()
+}
+
+// ListenAndServe binds addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve runs the accept loop on ln and the executor, returning after
+// Shutdown completes or on a fatal accept error.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.listener != nil {
+		s.mu.Unlock()
+		return errors.New("server: already serving")
+	}
+	s.listener = ln
+	// Shutdown closes whatever listener it finds registered; if it already
+	// ran, it found nothing, so this Serve must close ln itself or the
+	// accept loop below would block forever on a live socket.
+	down := s.shutdown
+	s.mu.Unlock()
+	if down {
+		ln.Close()
+		return nil
+	}
+
+	s.acceptWG.Add(1)
+	defer s.acceptWG.Done()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.quit:
+				return nil // orderly shutdown closed the listener
+			default:
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		c := &conn{nc: nc}
+		s.mu.Lock()
+		if s.shutdown {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.totalConns.Add(1)
+		s.connWG.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+// --- Executor -------------------------------------------------------------
+
+// executor is the single writer: the only goroutine that touches the DB,
+// the audit process, and the manager. It interleaves request execution
+// with advancing the audit clock, so sweeps and heartbeats run in the
+// gaps between requests.
+func (s *Server) executor() {
+	defer close(s.done)
+	if s.mgr != nil {
+		if err := s.mgr.Start(); err != nil {
+			// Audits are wired in but cannot start; serve unaudited
+			// rather than not at all. The condition is visible via
+			// Stats (zero sweeps, zero restarts).
+			s.mgr = nil
+		}
+	}
+	tick := time.NewTicker(s.cfg.ClockTick)
+	defer tick.Stop()
+	for {
+		select {
+		case t := <-s.reqs:
+			s.execute(t)
+		case f := <-s.ctrl:
+			f()
+		case <-tick.C:
+			s.advanceClock()
+		case <-s.stopping:
+			s.drainAndStop()
+			return
+		}
+	}
+}
+
+// advanceClock runs the discrete-event environment up to the wall-clock
+// elapsed time, firing due audit sweeps, heartbeats, and timeouts.
+func (s *Server) advanceClock() {
+	target := time.Since(s.start)
+	if d := target - s.env.Now(); d > 0 {
+		_ = s.env.Run(d)
+	}
+}
+
+// drainAndStop finishes every queued request and control action, runs one
+// final certifying sweep, and stops the audit stack.
+func (s *Server) drainAndStop() {
+	for {
+		select {
+		case t := <-s.reqs:
+			s.execute(t)
+			continue
+		case f := <-s.ctrl:
+			f()
+			continue
+		default:
+		}
+		break
+	}
+	s.runSweep()
+	if s.mgr != nil {
+		s.mgr.Stop()
+	}
+	if s.audit != nil {
+		s.db.DisableAudit()
+	}
+}
+
+// runSweep executes every audit technique over the whole region and
+// returns the number of findings. Executor thread only.
+func (s *Server) runSweep() int {
+	n := 0
+	for _, c := range s.checks {
+		n += len(c.CheckAll())
+	}
+	return n
+}
+
+// execute handles one task and delivers its response. Executor thread only.
+func (s *Server) execute(t task) {
+	resp := s.handle(t.c, t.req)
+	resp.Seq = t.req.Seq
+	op := t.req.Op
+	if op.Valid() {
+		if resp.Code == wire.CodeOK {
+			s.perOpOK[int(op)].Add(1)
+		} else {
+			s.perOpErr[int(op)].Add(1)
+		}
+	}
+	s.executed.Add(1)
+	t.reply <- resp
+}
+
+// ok builds a success response carrying vals.
+func ok(vals ...uint32) wire.Response { return wire.Response{Vals: vals} }
+
+// handle dispatches one request against the session's DB client.
+func (s *Server) handle(c *conn, q wire.Request) wire.Response {
+	// Session-less control ops first.
+	switch q.Op {
+	case wire.OpPing:
+		return ok()
+	case wire.OpSweep:
+		return ok(uint32(s.runSweep()))
+	case wire.OpStats:
+		return ok(s.statsVals()...)
+	case wire.OpInit:
+		if c.sess != nil {
+			return wire.ErrorResponse(q.Seq, wire.ErrSessionExists)
+		}
+		cl, err := s.db.Connect()
+		if err != nil {
+			return wire.ErrorResponse(q.Seq, err)
+		}
+		c.sess = cl
+		return ok(uint32(cl.PID()))
+	}
+	if !q.Op.Valid() {
+		return wire.ErrorResponse(q.Seq, wire.ErrUnknownOp)
+	}
+	if c.sess == nil {
+		return wire.ErrorResponse(q.Seq, wire.ErrNoSession)
+	}
+	table, rec, field := int(q.Table), int(q.Record), int(q.Field)
+	switch q.Op {
+	case wire.OpClose:
+		err := c.sess.Close()
+		c.sess = nil
+		if err != nil {
+			return wire.ErrorResponse(q.Seq, err)
+		}
+		return ok()
+	case wire.OpReadRec:
+		vals, err := c.sess.ReadRec(table, rec)
+		if err != nil {
+			return wire.ErrorResponse(q.Seq, err)
+		}
+		return ok(vals...)
+	case wire.OpReadFld:
+		v, err := c.sess.ReadFld(table, rec, field)
+		if err != nil {
+			return wire.ErrorResponse(q.Seq, err)
+		}
+		return ok(v)
+	case wire.OpWriteRec:
+		if err := c.sess.WriteRec(table, rec, q.Vals); err != nil {
+			return wire.ErrorResponse(q.Seq, err)
+		}
+		return ok()
+	case wire.OpWriteFld:
+		if len(q.Vals) != 1 {
+			return wire.ErrorResponse(q.Seq,
+				fmt.Errorf("%w: DBwrite_fld carries %d values", wire.ErrBadFrame, len(q.Vals)))
+		}
+		if err := c.sess.WriteFld(table, rec, field, q.Vals[0]); err != nil {
+			return wire.ErrorResponse(q.Seq, err)
+		}
+		return ok()
+	case wire.OpMove:
+		if err := c.sess.Move(table, rec, int(q.Aux)); err != nil {
+			return wire.ErrorResponse(q.Seq, err)
+		}
+		return ok()
+	case wire.OpAlloc:
+		ri, err := c.sess.Alloc(table, int(q.Aux))
+		if err != nil {
+			return wire.ErrorResponse(q.Seq, err)
+		}
+		return ok(uint32(ri))
+	case wire.OpFree:
+		if err := c.sess.Free(table, rec); err != nil {
+			return wire.ErrorResponse(q.Seq, err)
+		}
+		return ok()
+	case wire.OpBegin:
+		if err := c.sess.Begin(table); err != nil {
+			return wire.ErrorResponse(q.Seq, err)
+		}
+		return ok()
+	case wire.OpCommit:
+		if err := c.sess.Commit(); err != nil {
+			return wire.ErrorResponse(q.Seq, err)
+		}
+		return ok()
+	case wire.OpStatus:
+		st, err := c.sess.Status(table, rec)
+		if err != nil {
+			return wire.ErrorResponse(q.Seq, err)
+		}
+		return ok(uint32(st))
+	default:
+		return wire.ErrorResponse(q.Seq, wire.ErrUnknownOp)
+	}
+}
+
+// statsVals builds the OpStats value vector. Executor thread, but all
+// sources are atomics/locked so the same data is available via Stats().
+func (s *Server) statsVals() []uint32 {
+	st := s.Stats()
+	vals := make([]uint32, wire.NumStatVals)
+	vals[wire.StatReqDropped] = uint32(st.ReqDrops.Dropped)
+	vals[wire.StatReqDropBurst] = uint32(st.ReqDrops.Burst)
+	vals[wire.StatReqHighWater] = uint32(st.ReqDrops.HighWater)
+	vals[wire.StatAuditDropped] = uint32(st.AuditDrops.Dropped)
+	vals[wire.StatAuditHighWater] = uint32(st.AuditDrops.HighWater)
+	vals[wire.StatAuditFindings] = uint32(st.AuditFindings)
+	vals[wire.StatAuditSweeps] = uint32(st.Sweeps)
+	vals[wire.StatActiveConns] = uint32(st.ActiveConns)
+	vals[wire.StatTotalConns] = uint32(st.TotalConns)
+	return vals
+}
+
+// --- Connection goroutines ------------------------------------------------
+
+func (s *Server) serveConn(c *conn) {
+	defer s.connWG.Done()
+	defer s.teardownConn(c)
+	br := bufio.NewReader(c.nc)
+	var respBuf []byte
+	for {
+		select {
+		case <-s.quit:
+			return
+		default:
+		}
+		if err := c.nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
+			return
+		}
+		payload, err := wire.ReadFrame(br, s.cfg.MaxFrame)
+		if err != nil {
+			// Idle timeout, peer close, shutdown poke, or garbage:
+			// in every case the connection is done. A malformed
+			// length prefix gets a parting diagnostic.
+			if errors.Is(err, wire.ErrBadFrame) {
+				s.writeResponse(c, &respBuf, wire.ErrorResponse(0, err))
+			}
+			return
+		}
+		req, err := wire.ParseRequest(payload)
+		if err != nil {
+			// Frame arrived intact but the payload is malformed:
+			// answer and keep the connection (framing is still
+			// synchronized).
+			s.writeResponse(c, &respBuf, wire.ErrorResponse(0, err))
+			continue
+		}
+		resp := s.submit(c, req)
+		if !s.writeResponse(c, &respBuf, resp) {
+			return
+		}
+	}
+}
+
+// submit funnels one request into the executor queue, applying
+// backpressure and the reply deadline.
+func (s *Server) submit(c *conn, req wire.Request) wire.Response {
+	select {
+	case <-s.quit:
+		return wire.ErrorResponse(req.Seq, wire.ErrShutdown)
+	default:
+	}
+	t := task{c: c, req: req, reply: make(chan wire.Response, 1)}
+	select {
+	case s.reqs <- t:
+		s.noteAdmit(len(s.reqs))
+	default:
+		// Queue full: shed immediately rather than buffer or block —
+		// the same discipline as the audit notification queue.
+		s.noteDrop()
+		return wire.ErrorResponse(req.Seq, wire.ErrOverload)
+	}
+	select {
+	case resp := <-t.reply:
+		return resp
+	case <-time.After(s.cfg.ReplyTimeout):
+		// The executor is wedged or far behind. The buffered reply
+		// channel lets it finish without blocking; this connection
+		// reports the timeout.
+		return wire.ErrorResponse(req.Seq, wire.ErrTimeout)
+	}
+}
+
+func (s *Server) writeResponse(c *conn, buf *[]byte, resp wire.Response) bool {
+	*buf = wire.AppendResponse((*buf)[:0], resp)
+	if err := c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
+		return false
+	}
+	if err := wire.WriteFrame(c.nc, *buf); err != nil {
+		return false
+	}
+	return true
+}
+
+// teardownConn unregisters the connection and retires its DB session on
+// the executor thread.
+func (s *Server) teardownConn(c *conn) {
+	c.nc.Close()
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	closeSess := func() {
+		if c.sess != nil {
+			_ = c.sess.Close()
+			c.sess = nil
+		}
+	}
+	select {
+	case s.ctrl <- closeSess:
+	case <-s.done:
+		// Executor already gone (post-drain): sessions die with it.
+	}
+}
+
+// --- Drop accounting ------------------------------------------------------
+
+func (s *Server) noteAdmit(depth int) {
+	s.dropMu.Lock()
+	s.curBurst = 0
+	if depth > s.highWater {
+		s.highWater = depth
+	}
+	s.dropMu.Unlock()
+}
+
+func (s *Server) noteDrop() {
+	s.dropMu.Lock()
+	s.dropped++
+	s.curBurst++
+	if s.curBurst > s.maxBurst {
+		s.maxBurst = s.curBurst
+	}
+	s.dropMu.Unlock()
+}
+
+// --- Lifecycle ------------------------------------------------------------
+
+// ErrShutdownTimeout is returned by Shutdown when draining exceeded the
+// deadline.
+var ErrShutdownTimeout = errors.New("server: shutdown deadline exceeded")
+
+// Shutdown drains and stops the server: stop accepting, let every
+// connection finish its in-flight request, execute queued work, run a
+// final audit sweep, stop the audit stack. timeout bounds the whole
+// sequence; zero means wait indefinitely.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		<-s.done
+		return nil
+	}
+	s.shutdown = true
+	ln := s.listener
+	s.mu.Unlock()
+
+	close(s.quit)
+	if ln != nil {
+		ln.Close()
+	}
+	s.acceptWG.Wait()
+
+	// Poke blocked reads so connection goroutines notice the quit signal;
+	// an in-flight request still completes because the executor is
+	// running until connWG drains.
+	s.mu.Lock()
+	for c := range s.conns {
+		_ = c.nc.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	connsDone := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(connsDone)
+	}()
+	var timedOut bool
+	if timeout > 0 {
+		select {
+		case <-connsDone:
+		case <-time.After(timeout):
+			timedOut = true
+			s.mu.Lock()
+			for c := range s.conns {
+				c.nc.Close()
+			}
+			s.mu.Unlock()
+			<-connsDone
+		}
+	} else {
+		<-connsDone
+	}
+
+	close(s.stopping)
+	<-s.done
+	if s.cfg.Guard {
+		s.db.DisableConcurrencyCheck()
+	}
+	if timedOut {
+		return ErrShutdownTimeout
+	}
+	return nil
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	var st Stats
+	for i := 0; i < wire.NumOps; i++ {
+		st.PerOp[i] = OpStat{OK: s.perOpOK[i].Load(), Errs: s.perOpErr[i].Load()}
+	}
+	s.dropMu.Lock()
+	st.ReqDrops = ipc.DropStats{Dropped: s.dropped, Burst: s.maxBurst, HighWater: s.highWater}
+	s.dropMu.Unlock()
+	if s.audit != nil {
+		st.AuditDrops = s.audit.Drops()
+	}
+	st.AuditFindings = s.findings.Load()
+	st.Sweeps = s.sweeps.Load()
+	st.Restarts = int(s.restarts.Load())
+	s.mu.Lock()
+	st.ActiveConns = len(s.conns)
+	s.mu.Unlock()
+	st.TotalConns = s.totalConns.Load()
+	st.Executed = s.executed.Load()
+	return st
+}

@@ -1,0 +1,470 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/callproc"
+	"repro/internal/memdb"
+	"repro/internal/wire"
+)
+
+// startServer builds a controller-schema database and serves it on a
+// loopback listener with fast audit pacing and the concurrent-access guard
+// armed. Cleanup shuts the server down (t.Fatal on drain failure).
+func startServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	db, err := memdb.New(callproc.Schema(callproc.DefaultSchemaConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.AuditPeriod == 0 {
+		cfg.AuditPeriod = 50 * time.Millisecond
+	}
+	if cfg.ClockTick == 0 {
+		cfg.ClockTick = 5 * time.Millisecond
+	}
+	cfg.Guard = true
+	srv, err := New(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		if err := srv.Shutdown(5 * time.Second); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return srv, ln.Addr().String()
+}
+
+// TestEndToEndMixedWorkloadWithLiveAudits is the subsystem's acceptance
+// test: concurrent connections run a mixed read/write workload over
+// loopback while periodic audit sweeps run live against the shared region;
+// after drain, every record must equal the client-side golden copy and a
+// final sweep must be clean.
+func TestEndToEndMixedWorkloadWithLiveAudits(t *testing.T) {
+	srv, addr := startServer(t, Config{})
+
+	const workers = 4
+	const opsPerWorker = 400
+
+	type golden struct {
+		rec  int
+		vals []uint32 // ProcID, Status, Quality
+	}
+	models := make([]golden, workers)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			report := func(err error) { errs <- fmt.Errorf("worker %d: %w", w, err) }
+			// Table locks are advisory and non-blocking: while another
+			// session holds TblRes in an open transaction (case 7), every
+			// op on the table fails fast with ErrLocked. Real clients
+			// retry; so do the workers.
+			retry := func(op func() error) error {
+				deadline := time.Now().Add(10 * time.Second)
+				for {
+					err := op()
+					if !errors.Is(err, memdb.ErrLocked) || time.Now().After(deadline) {
+						return err
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+			c, err := wire.Dial(addr)
+			if err != nil {
+				report(err)
+				return
+			}
+			defer c.Close()
+			if _, err := c.Init(); err != nil {
+				report(err)
+				return
+			}
+			group := w % callproc.ResourceBanks
+			var ri int
+			if err := retry(func() (err error) {
+				ri, err = c.Alloc(callproc.TblRes, group)
+				return err
+			}); err != nil {
+				report(err)
+				return
+			}
+			// Local golden copy of the record; every write updates it,
+			// every read is checked against it.
+			model := []uint32{uint32(ri), 1, 50}
+			if err := retry(func() error { return c.WriteRec(callproc.TblRes, ri, model) }); err != nil {
+				report(err)
+				return
+			}
+			for i := 0; i < opsPerWorker; i++ {
+				switch i % 8 {
+				case 0: // DBwrite_fld: Quality stays in its 0..100 range
+					v := uint32((i * 7) % 101)
+					if err := retry(func() error {
+						return c.WriteFld(callproc.TblRes, ri, callproc.FldResQuality, v)
+					}); err != nil {
+						report(err)
+						return
+					}
+					model[callproc.FldResQuality] = v
+				case 1: // DBwrite_rec, all fields in range
+					next := []uint32{uint32(ri), uint32(i % 3), uint32(i % 101)}
+					if err := retry(func() error {
+						return c.WriteRec(callproc.TblRes, ri, next)
+					}); err != nil {
+						report(err)
+						return
+					}
+					model = next
+				case 2: // DBread_fld against the golden copy
+					var v uint32
+					if err := retry(func() (err error) {
+						v, err = c.ReadFld(callproc.TblRes, ri, callproc.FldResStatus)
+						return err
+					}); err != nil {
+						report(err)
+						return
+					}
+					if v != model[callproc.FldResStatus] {
+						report(fmt.Errorf("op %d: Status=%d, golden %d", i, v, model[callproc.FldResStatus]))
+						return
+					}
+				case 3: // DBread_rec against the golden copy
+					var vals []uint32
+					if err := retry(func() (err error) {
+						vals, err = c.ReadRec(callproc.TblRes, ri)
+						return err
+					}); err != nil {
+						report(err)
+						return
+					}
+					for fi := range model {
+						if vals[fi] != model[fi] {
+							report(fmt.Errorf("op %d: field %d=%d, golden %d", i, fi, vals[fi], model[fi]))
+							return
+						}
+					}
+				case 4: // DBmove between channel banks
+					next := (group + 1) % callproc.ResourceBanks
+					if err := retry(func() error {
+						return c.Move(callproc.TblRes, ri, next)
+					}); err != nil {
+						report(err)
+						return
+					}
+					group = next
+				case 5: // DBstatus: the record stays active
+					st, err := c.Status(callproc.TblRes, ri)
+					if err != nil {
+						report(err)
+						return
+					}
+					if st != memdb.StatusActive {
+						report(fmt.Errorf("op %d: status %d, want active", i, st))
+						return
+					}
+				case 6: // read a static configuration field via the API
+					if _, err := c.ReadFld(callproc.TblConfig, 0, 0); err != nil {
+						report(err)
+						return
+					}
+				case 7: // transaction: lock, write, commit
+					if err := retry(func() error { return c.Begin(callproc.TblRes) }); err != nil {
+						report(err)
+						return
+					}
+					v := uint32(i % 101)
+					if err := c.WriteFld(callproc.TblRes, ri, callproc.FldResQuality, v); err != nil {
+						report(err)
+						return
+					}
+					model[callproc.FldResQuality] = v
+					if err := c.Commit(); err != nil {
+						report(err)
+						return
+					}
+				}
+			}
+			models[w] = golden{rec: ri, vals: append([]uint32(nil), model...)}
+			if err := c.CloseSession(); err != nil {
+				report(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// A forced sweep over the live region must be clean: the workload only
+	// wrote in-range values through the API.
+	ctl, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	n, err := ctl.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("live audit sweep found %d errors in a clean workload", n)
+	}
+	stats, err := ctl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[wire.StatReqDropped] != 0 {
+		t.Fatalf("%d requests dropped with queue depth %d", stats[wire.StatReqDropped], srv.cfg.QueueDepth)
+	}
+
+	// Drain-then-shutdown, then check golden-record equality directly
+	// against the region and that audits really ran live.
+	if err := srv.Shutdown(5 * time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	db := srv.DB()
+	for w, g := range models {
+		for fi, want := range g.vals {
+			got, err := db.ReadFieldDirect(callproc.TblRes, g.rec, fi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("worker %d rec %d field %d = %d after drain, golden %d",
+					w, g.rec, fi, got, want)
+			}
+		}
+	}
+	st := srv.Stats()
+	if st.AuditFindings != 0 {
+		t.Errorf("live audits produced %d findings on a clean workload", st.AuditFindings)
+	}
+	if st.Sweeps < 2 {
+		t.Errorf("only %d audit sweeps ran; audits were not live", st.Sweeps)
+	}
+	if st.Restarts != 0 {
+		t.Errorf("audit process restarted %d times during a healthy run", st.Restarts)
+	}
+	if got := st.PerOp[wire.OpWriteFld].OK; got == 0 {
+		t.Error("per-op stats recorded no DBwrite_fld successes")
+	}
+	if st.Executed == 0 {
+		t.Error("executor counted no requests")
+	}
+	if db.GuardViolations() != 0 {
+		t.Errorf("single-writer guard recorded %d violations", db.GuardViolations())
+	}
+}
+
+// TestProtocolErrorsCrossTheWire exercises the error mapping end to end:
+// each failure mode produced server-side must decode to the matching
+// sentinel or typed error client-side.
+func TestProtocolErrorsCrossTheWire(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Any session op before DBinit.
+	if _, err := c.ReadFld(0, 0, 0); !errors.Is(err, wire.ErrNoSession) {
+		t.Fatalf("pre-init read: %v, want ErrNoSession", err)
+	}
+	if _, err := c.Init(); err != nil {
+		t.Fatal(err)
+	}
+	// Double DBinit.
+	if _, err := c.Init(); !errors.Is(err, wire.ErrSessionExists) {
+		t.Fatalf("double init: %v, want ErrSessionExists", err)
+	}
+	// Bounds errors carry their What/Index/Limit across the wire.
+	var be *memdb.BoundsError
+	_, err = c.ReadFld(0, 99999, 0)
+	if !errors.As(err, &be) {
+		t.Fatalf("out-of-range read: %v, want BoundsError", err)
+	}
+	if be.Index != 99999 {
+		t.Fatalf("BoundsError index %d, want 99999", be.Index)
+	}
+	// Writing an inactive record.
+	if err := c.WriteFld(callproc.TblRes, 5, 0, 1); !errors.Is(err, memdb.ErrNotActive) {
+		t.Fatalf("write to free record: %v, want ErrNotActive", err)
+	}
+	// Unknown opcode.
+	r, err := c.Call(wire.Request{Op: wire.Op(200)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(r.Err(), wire.ErrUnknownOp) {
+		t.Fatalf("unknown op: %v, want ErrUnknownOp", r.Err())
+	}
+	// Exhaust a table.
+	got := 0
+	for {
+		if _, err := c.Alloc(callproc.TblProc, 0); err != nil {
+			if !errors.Is(err, memdb.ErrNoFreeRecord) {
+				t.Fatalf("alloc to exhaustion: %v, want ErrNoFreeRecord", err)
+			}
+			break
+		}
+		got++
+		if got > 1000 {
+			t.Fatal("table never exhausted")
+		}
+	}
+	// Lock contention: a second session cannot lock a table held by an
+	// open transaction.
+	if err := c.Begin(callproc.TblRes); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Alloc(callproc.TblRes, 0); !errors.Is(err, memdb.ErrLocked) {
+		t.Fatalf("alloc on locked table: %v, want ErrLocked", err)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Alloc(callproc.TblRes, 0); err != nil {
+		t.Fatalf("alloc after commit: %v", err)
+	}
+}
+
+// TestSessionLocksReleasedOnDisconnect verifies that a connection dying
+// with an open transaction does not wedge the table: teardown closes the
+// session on the executor, releasing its locks.
+func TestSessionLocksReleasedOnDisconnect(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	c1, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Begin(callproc.TblRes); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close() // vanish mid-transaction
+
+	c2, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Init(); err != nil {
+		t.Fatal(err)
+	}
+	// The teardown is asynchronous (executor control path); poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, err = c2.Alloc(callproc.TblRes, 0)
+		if err == nil {
+			return
+		}
+		if !errors.Is(err, memdb.ErrLocked) {
+			t.Fatalf("alloc: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("table still locked 2s after lock holder disconnected")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestShutdownRejectsNewConnections verifies drain semantics: after
+// Shutdown no new connection is served.
+func TestShutdownRejectsNewConnections(t *testing.T) {
+	srv, addr := startServer(t, Config{})
+	if err := srv.Shutdown(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return // refused outright: fine
+	}
+	defer c.Close()
+	c.Timeout = 500 * time.Millisecond
+	if err := c.Ping(); err == nil {
+		t.Fatal("ping succeeded after shutdown")
+	}
+}
+
+// TestRequestQueueDropAccounting exercises the backpressure path directly:
+// with the executor intentionally saturated, submissions beyond the queue
+// depth must be shed with CodeOverload and accounted in DropStats shape.
+func TestRequestQueueDropAccounting(t *testing.T) {
+	db, err := memdb.New(callproc.Schema(callproc.DefaultSchemaConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(db, Config{QueueDepth: 2, AuditPeriod: -1, ReplyTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(time.Second)
+
+	// Stall the executor with a control closure so the queue backs up.
+	release := make(chan struct{})
+	stalled := make(chan struct{})
+	srv.ctrl <- func() { close(stalled); <-release }
+	<-stalled
+
+	c := &conn{nc: &net.TCPConn{}} // never written: all submissions fail fast
+	var overloads, timeouts int
+	for i := 0; i < 6; i++ {
+		resp := srv.submit(c, wire.Request{Seq: uint32(i), Op: wire.OpPing})
+		switch resp.Code {
+		case wire.CodeOverload:
+			overloads++
+		case wire.CodeTimeout:
+			timeouts++
+		default:
+			t.Fatalf("submit %d: code %d", i, resp.Code)
+		}
+	}
+	close(release)
+	if overloads != 4 || timeouts != 2 {
+		t.Fatalf("got %d overloads and %d timeouts, want 4 and 2", overloads, timeouts)
+	}
+	st := srv.Stats()
+	if st.ReqDrops.Dropped != 4 {
+		t.Fatalf("ReqDrops.Dropped = %d, want 4", st.ReqDrops.Dropped)
+	}
+	if st.ReqDrops.Burst != 4 {
+		t.Fatalf("ReqDrops.Burst = %d, want 4 (consecutive sheds)", st.ReqDrops.Burst)
+	}
+	if st.ReqDrops.HighWater != 2 {
+		t.Fatalf("ReqDrops.HighWater = %d, want 2", st.ReqDrops.HighWater)
+	}
+}

@@ -1,0 +1,224 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Conn is a synchronous client connection: one in-flight request at a time,
+// sequence numbers checked on every reply. It is the client half used by
+// cmd/dbload and the server's end-to-end tests; it is not safe for
+// concurrent use (open one Conn per worker goroutine).
+type Conn struct {
+	nc  net.Conn
+	br  *bufio.Reader
+	bw  *bufio.Writer
+	seq uint32
+	buf []byte
+
+	// Timeout bounds each call (write + reply read). Zero disables
+	// deadlines.
+	Timeout time.Duration
+	// MaxFrame bounds accepted response payloads.
+	MaxFrame int
+}
+
+// Dial connects to a dbserve endpoint.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(nc), nil
+}
+
+// NewConn wraps an established connection.
+func NewConn(nc net.Conn) *Conn {
+	return &Conn{
+		nc:       nc,
+		br:       bufio.NewReader(nc),
+		bw:       bufio.NewWriter(nc),
+		Timeout:  10 * time.Second,
+		MaxFrame: MaxFrame,
+	}
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// Call sends one request and waits for its reply. The sequence number is
+// assigned here; a reply with a mismatched sequence is a protocol error.
+func (c *Conn) Call(q Request) (Response, error) {
+	c.seq++
+	q.Seq = c.seq
+	if c.Timeout > 0 {
+		if err := c.nc.SetDeadline(time.Now().Add(c.Timeout)); err != nil {
+			return Response{}, err
+		}
+	}
+	c.buf = AppendRequest(c.buf[:0], q)
+	if err := WriteFrame(c.bw, c.buf); err != nil {
+		return Response{}, fmt.Errorf("wire: send %v: %w", q.Op, err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return Response{}, fmt.Errorf("wire: flush %v: %w", q.Op, err)
+	}
+	payload, err := ReadFrame(c.br, c.MaxFrame)
+	if err != nil {
+		return Response{}, fmt.Errorf("wire: recv %v: %w", q.Op, err)
+	}
+	r, err := ParseResponse(payload)
+	if err != nil {
+		return Response{}, err
+	}
+	if r.Seq != q.Seq {
+		return Response{}, fmt.Errorf("%w: reply seq %d for request %d", ErrBadFrame, r.Seq, q.Seq)
+	}
+	return r, nil
+}
+
+// call runs Call and folds the response code into the error.
+func (c *Conn) call(q Request) (Response, error) {
+	r, err := c.Call(q)
+	if err != nil {
+		return Response{}, err
+	}
+	return r, r.Err()
+}
+
+// Ping round-trips a no-op request.
+func (c *Conn) Ping() error {
+	_, err := c.call(Request{Op: OpPing})
+	return err
+}
+
+// Init opens the database session (DBinit) and returns the server-side PID.
+func (c *Conn) Init() (int, error) {
+	r, err := c.call(Request{Op: OpInit})
+	if err != nil {
+		return 0, err
+	}
+	if len(r.Vals) != 1 {
+		return 0, fmt.Errorf("%w: DBinit reply carries %d values", ErrBadFrame, len(r.Vals))
+	}
+	return int(r.Vals[0]), nil
+}
+
+// CloseSession closes the database session (DBclose) without closing the
+// underlying connection.
+func (c *Conn) CloseSession() error {
+	_, err := c.call(Request{Op: OpClose})
+	return err
+}
+
+// ReadRec reads all fields of a record (DBread_rec).
+func (c *Conn) ReadRec(table, rec int) ([]uint32, error) {
+	r, err := c.call(Request{Op: OpReadRec, Table: int32(table), Record: int32(rec)})
+	if err != nil {
+		return nil, err
+	}
+	return r.Vals, nil
+}
+
+// ReadFld reads one field (DBread_fld).
+func (c *Conn) ReadFld(table, rec, field int) (uint32, error) {
+	r, err := c.call(Request{Op: OpReadFld, Table: int32(table), Record: int32(rec), Field: int32(field)})
+	if err != nil {
+		return 0, err
+	}
+	if len(r.Vals) != 1 {
+		return 0, fmt.Errorf("%w: DBread_fld reply carries %d values", ErrBadFrame, len(r.Vals))
+	}
+	return r.Vals[0], nil
+}
+
+// WriteRec writes all fields of a record (DBwrite_rec).
+func (c *Conn) WriteRec(table, rec int, vals []uint32) error {
+	_, err := c.call(Request{Op: OpWriteRec, Table: int32(table), Record: int32(rec), Vals: vals})
+	return err
+}
+
+// WriteFld writes one field (DBwrite_fld).
+func (c *Conn) WriteFld(table, rec, field int, v uint32) error {
+	_, err := c.call(Request{
+		Op: OpWriteFld, Table: int32(table), Record: int32(rec), Field: int32(field),
+		Vals: []uint32{v},
+	})
+	return err
+}
+
+// Move reassigns a record to another logical group (DBmove).
+func (c *Conn) Move(table, rec, group int) error {
+	_, err := c.call(Request{Op: OpMove, Table: int32(table), Record: int32(rec), Aux: int32(group)})
+	return err
+}
+
+// Alloc claims a free record of table into group and returns its index.
+func (c *Conn) Alloc(table, group int) (int, error) {
+	r, err := c.call(Request{Op: OpAlloc, Table: int32(table), Aux: int32(group)})
+	if err != nil {
+		return 0, err
+	}
+	if len(r.Vals) != 1 {
+		return 0, fmt.Errorf("%w: DBalloc reply carries %d values", ErrBadFrame, len(r.Vals))
+	}
+	return int(r.Vals[0]), nil
+}
+
+// Free releases a record back to the table's free pool.
+func (c *Conn) Free(table, rec int) error {
+	_, err := c.call(Request{Op: OpFree, Table: int32(table), Record: int32(rec)})
+	return err
+}
+
+// Begin opens a transaction lock on table.
+func (c *Conn) Begin(table int) error {
+	_, err := c.call(Request{Op: OpBegin, Table: int32(table)})
+	return err
+}
+
+// Commit releases every transaction lock held by the session.
+func (c *Conn) Commit() error {
+	_, err := c.call(Request{Op: OpCommit})
+	return err
+}
+
+// Status reports a record's header status byte.
+func (c *Conn) Status(table, rec int) (int, error) {
+	r, err := c.call(Request{Op: OpStatus, Table: int32(table), Record: int32(rec)})
+	if err != nil {
+		return 0, err
+	}
+	if len(r.Vals) != 1 {
+		return 0, fmt.Errorf("%w: DBstatus reply carries %d values", ErrBadFrame, len(r.Vals))
+	}
+	return int(r.Vals[0]), nil
+}
+
+// Sweep forces one full audit sweep on the server and returns the number of
+// findings it produced.
+func (c *Conn) Sweep() (int, error) {
+	r, err := c.call(Request{Op: OpSweep})
+	if err != nil {
+		return 0, err
+	}
+	if len(r.Vals) != 1 {
+		return 0, fmt.Errorf("%w: Sweep reply carries %d values", ErrBadFrame, len(r.Vals))
+	}
+	return int(r.Vals[0]), nil
+}
+
+// Stats fetches the server counter snapshot (indexed by the StatsVals
+// constants).
+func (c *Conn) Stats() ([]uint32, error) {
+	r, err := c.call(Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	if len(r.Vals) < NumStatVals {
+		return nil, fmt.Errorf("%w: Stats reply carries %d values", ErrBadFrame, len(r.Vals))
+	}
+	return r.Vals, nil
+}

@@ -1,0 +1,389 @@
+// Package wire defines the network protocol of the database serving
+// subsystem: a compact length-prefixed binary codec exposing the paper's
+// seven-call DB API (Table 1: DBinit, DBclose, DBread_rec, DBread_fld,
+// DBwrite_rec, DBwrite_fld, DBmove) plus the allocation, transaction, and
+// control calls the reproduction's `internal/memdb` grew around them.
+//
+// Framing: every message is `u32 payload-length | payload`, little endian,
+// so a reader never has to scan for delimiters and a bad peer cannot make
+// the server buffer unboundedly (lengths above the configured maximum are
+// rejected before any allocation).
+//
+// Request payload layout (23 + 4n bytes):
+//
+//	u32 seq | u8 op | i32 table | i32 record | i32 field | i32 aux | u16 n | n × u32
+//
+// Response payload layout (15 + len(detail) + 4n bytes):
+//
+//	u32 seq | u8 code | i32 index | i32 limit | u16 detail-len | detail | u16 n | n × u32
+//
+// Every `internal/memdb` error has a stable wire code; BoundsError carries
+// its What/Index/Limit triple across the wire so clients recover the exact
+// server-side error value.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/memdb"
+)
+
+// Op identifies one request operation.
+type Op uint8
+
+// Protocol operations. The first block mirrors the paper's Table 1 API;
+// the second exposes the allocation/transaction calls of internal/memdb;
+// the third is serving-plane control.
+const (
+	OpPing Op = iota + 1
+	OpInit     // DBinit: open a session, returns [pid]
+	OpClose    // DBclose: close the session
+	OpReadRec  // DBread_rec: returns all fields
+	OpReadFld  // DBread_fld: returns [value]
+	OpWriteRec // DBwrite_rec: Vals carries all fields
+	OpWriteFld // DBwrite_fld: Vals[0] is the value
+	OpMove     // DBmove: Aux is the destination group
+	OpAlloc    // allocate a record, Aux is the group, returns [record]
+	OpFree     // free a record
+	OpBegin    // open a transaction lock on Table
+	OpCommit   // release every transaction lock
+	OpStatus   // returns [record status byte]
+	OpSweep    // force one full audit sweep, returns [finding count]
+	OpStats    // server counters snapshot, see StatsVals
+	opMax
+)
+
+// NumOps is the number of defined operations (for per-op stat arrays).
+const NumOps = int(opMax)
+
+// String returns the protocol-level operation name.
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "Ping"
+	case OpInit:
+		return "DBinit"
+	case OpClose:
+		return "DBclose"
+	case OpReadRec:
+		return "DBread_rec"
+	case OpReadFld:
+		return "DBread_fld"
+	case OpWriteRec:
+		return "DBwrite_rec"
+	case OpWriteFld:
+		return "DBwrite_fld"
+	case OpMove:
+		return "DBmove"
+	case OpAlloc:
+		return "DBalloc"
+	case OpFree:
+		return "DBfree"
+	case OpBegin:
+		return "DBbegin"
+	case OpCommit:
+		return "DBcommit"
+	case OpStatus:
+		return "DBstatus"
+	case OpSweep:
+		return "Sweep"
+	case OpStats:
+		return "Stats"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Valid reports whether o is a defined operation.
+func (o Op) Valid() bool { return o >= OpPing && o < opMax }
+
+// Code is a response status code. Zero is success; every memdb error and
+// serving-plane failure has a distinct code.
+type Code uint8
+
+// Response codes.
+const (
+	CodeOK Code = iota
+	CodeBadFrame
+	CodeUnknownOp
+	CodeNoSession
+	CodeSessionExists
+	CodeCorruptCatalog // memdb.ErrCorruptCatalog
+	CodeLocked         // memdb.ErrLocked
+	CodeNoFreeRecord   // memdb.ErrNoFreeRecord
+	CodeClosed         // memdb.ErrClosed
+	CodeNotActive      // memdb.ErrNotActive
+	CodeBounds         // *memdb.BoundsError, detail carries What
+	CodeOverload       // request queue full (backpressure drop)
+	CodeShutdown       // server draining, no new work accepted
+	CodeTimeout        // executor reply deadline exceeded
+	CodeInternal       // unclassified server-side error
+)
+
+// Serving-plane sentinel errors decoded from response codes.
+var (
+	ErrBadFrame      = errors.New("wire: malformed frame")
+	ErrUnknownOp     = errors.New("wire: unknown operation")
+	ErrNoSession     = errors.New("wire: no session (DBinit first)")
+	ErrSessionExists = errors.New("wire: session already open")
+	ErrOverload      = errors.New("wire: server overloaded, request dropped")
+	ErrShutdown      = errors.New("wire: server shutting down")
+	ErrTimeout       = errors.New("wire: request timed out")
+)
+
+// Request is one client→server call.
+type Request struct {
+	Seq    uint32 // echoed verbatim in the response
+	Op     Op
+	Table  int32
+	Record int32
+	Field  int32
+	Aux    int32 // group for DBmove/DBalloc; operation-specific otherwise
+	Vals   []uint32
+}
+
+// Response is one server→client reply.
+type Response struct {
+	Seq    uint32
+	Code   Code
+	Index  int32  // BoundsError index, else 0
+	Limit  int32  // BoundsError limit, else 0
+	Detail string // BoundsError What, or diagnostic text
+	Vals   []uint32
+}
+
+// Frame and payload size limits.
+const (
+	// MaxFrame is the default maximum payload length accepted by either
+	// side. Large enough for any record of a realistic schema, small
+	// enough that a hostile length prefix cannot balloon memory.
+	MaxFrame = 1 << 16
+	// maxVals bounds the value vector; with u16 count this is the codec
+	// ceiling regardless of frame budget.
+	maxVals = 1 << 14
+
+	reqFixed  = 4 + 1 + 4*4 + 2
+	respFixed = 4 + 1 + 4 + 4 + 2 + 2
+)
+
+// WriteFrame writes one length-prefixed payload.
+func WriteFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed payload, rejecting lengths of zero or
+// above max before allocating.
+func ReadFrame(r io.Reader, max int) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n <= 0 || n > max {
+		return nil, fmt.Errorf("%w: payload length %d (max %d)", ErrBadFrame, n, max)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// AppendRequest appends the encoded request to dst.
+func AppendRequest(dst []byte, q Request) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, q.Seq)
+	dst = append(dst, byte(q.Op))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(q.Table))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(q.Record))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(q.Field))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(q.Aux))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(q.Vals)))
+	for _, v := range q.Vals {
+		dst = binary.LittleEndian.AppendUint32(dst, v)
+	}
+	return dst
+}
+
+// ParseRequest decodes one request payload.
+func ParseRequest(p []byte) (Request, error) {
+	if len(p) < reqFixed {
+		return Request{}, fmt.Errorf("%w: request payload %d bytes", ErrBadFrame, len(p))
+	}
+	q := Request{
+		Seq:    binary.LittleEndian.Uint32(p[0:4]),
+		Op:     Op(p[4]),
+		Table:  int32(binary.LittleEndian.Uint32(p[5:9])),
+		Record: int32(binary.LittleEndian.Uint32(p[9:13])),
+		Field:  int32(binary.LittleEndian.Uint32(p[13:17])),
+		Aux:    int32(binary.LittleEndian.Uint32(p[17:21])),
+	}
+	n := int(binary.LittleEndian.Uint16(p[21:23]))
+	if n > maxVals || len(p) != reqFixed+4*n {
+		return Request{}, fmt.Errorf("%w: request claims %d values in %d bytes", ErrBadFrame, n, len(p))
+	}
+	if n > 0 {
+		q.Vals = make([]uint32, n)
+		for i := range q.Vals {
+			q.Vals[i] = binary.LittleEndian.Uint32(p[reqFixed+4*i:])
+		}
+	}
+	return q, nil
+}
+
+// AppendResponse appends the encoded response to dst.
+func AppendResponse(dst []byte, r Response) []byte {
+	detail := r.Detail
+	if len(detail) > 1<<10 {
+		detail = detail[:1<<10]
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, r.Seq)
+	dst = append(dst, byte(r.Code))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(r.Index))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(r.Limit))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(detail)))
+	dst = append(dst, detail...)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(r.Vals)))
+	for _, v := range r.Vals {
+		dst = binary.LittleEndian.AppendUint32(dst, v)
+	}
+	return dst
+}
+
+// ParseResponse decodes one response payload.
+func ParseResponse(p []byte) (Response, error) {
+	if len(p) < respFixed {
+		return Response{}, fmt.Errorf("%w: response payload %d bytes", ErrBadFrame, len(p))
+	}
+	r := Response{
+		Seq:   binary.LittleEndian.Uint32(p[0:4]),
+		Code:  Code(p[4]),
+		Index: int32(binary.LittleEndian.Uint32(p[5:9])),
+		Limit: int32(binary.LittleEndian.Uint32(p[9:13])),
+	}
+	dn := int(binary.LittleEndian.Uint16(p[13:15]))
+	if len(p) < 15+dn+2 {
+		return Response{}, fmt.Errorf("%w: response detail overruns payload", ErrBadFrame)
+	}
+	r.Detail = string(p[15 : 15+dn])
+	off := 15 + dn
+	n := int(binary.LittleEndian.Uint16(p[off : off+2]))
+	off += 2
+	if n > maxVals || len(p) != off+4*n {
+		return Response{}, fmt.Errorf("%w: response claims %d values in %d bytes", ErrBadFrame, n, len(p))
+	}
+	if n > 0 {
+		r.Vals = make([]uint32, n)
+		for i := range r.Vals {
+			r.Vals[i] = binary.LittleEndian.Uint32(p[off+4*i:])
+		}
+	}
+	return r, nil
+}
+
+// ErrorResponse maps a server-side error to a response for seq. Every memdb
+// sentinel and BoundsError gets its dedicated code; anything else is
+// CodeInternal with the error text as detail.
+func ErrorResponse(seq uint32, err error) Response {
+	r := Response{Seq: seq}
+	var be *memdb.BoundsError
+	switch {
+	case err == nil:
+		// Defensive: an OK response should be built directly.
+	case errors.As(err, &be):
+		r.Code = CodeBounds
+		r.Index = int32(be.Index)
+		r.Limit = int32(be.Limit)
+		r.Detail = be.What
+	case errors.Is(err, memdb.ErrCorruptCatalog):
+		r.Code = CodeCorruptCatalog
+	case errors.Is(err, memdb.ErrLocked):
+		r.Code = CodeLocked
+		r.Detail = err.Error()
+	case errors.Is(err, memdb.ErrNoFreeRecord):
+		r.Code = CodeNoFreeRecord
+	case errors.Is(err, memdb.ErrClosed):
+		r.Code = CodeClosed
+	case errors.Is(err, memdb.ErrNotActive):
+		r.Code = CodeNotActive
+	case errors.Is(err, ErrUnknownOp):
+		r.Code = CodeUnknownOp
+	case errors.Is(err, ErrNoSession):
+		r.Code = CodeNoSession
+	case errors.Is(err, ErrSessionExists):
+		r.Code = CodeSessionExists
+	case errors.Is(err, ErrOverload):
+		r.Code = CodeOverload
+	case errors.Is(err, ErrShutdown):
+		r.Code = CodeShutdown
+	case errors.Is(err, ErrTimeout):
+		r.Code = CodeTimeout
+	case errors.Is(err, ErrBadFrame):
+		r.Code = CodeBadFrame
+		r.Detail = err.Error()
+	default:
+		r.Code = CodeInternal
+		r.Detail = err.Error()
+	}
+	return r
+}
+
+// Err converts the response code back into the matching Go error, so client
+// code can errors.Is/As against memdb sentinels exactly as if it had called
+// the API in-process. Returns nil for CodeOK.
+func (r Response) Err() error {
+	switch r.Code {
+	case CodeOK:
+		return nil
+	case CodeBadFrame:
+		return fmt.Errorf("%w: %s", ErrBadFrame, r.Detail)
+	case CodeUnknownOp:
+		return ErrUnknownOp
+	case CodeNoSession:
+		return ErrNoSession
+	case CodeSessionExists:
+		return ErrSessionExists
+	case CodeCorruptCatalog:
+		return memdb.ErrCorruptCatalog
+	case CodeLocked:
+		return fmt.Errorf("%s: %w", r.Detail, memdb.ErrLocked)
+	case CodeNoFreeRecord:
+		return memdb.ErrNoFreeRecord
+	case CodeClosed:
+		return memdb.ErrClosed
+	case CodeNotActive:
+		return memdb.ErrNotActive
+	case CodeBounds:
+		return &memdb.BoundsError{What: r.Detail, Index: int(r.Index), Limit: int(r.Limit)}
+	case CodeOverload:
+		return ErrOverload
+	case CodeShutdown:
+		return ErrShutdown
+	case CodeTimeout:
+		return ErrTimeout
+	default:
+		return fmt.Errorf("wire: server error (code %d): %s", r.Code, r.Detail)
+	}
+}
+
+// StatsVals indexes the value vector returned by OpStats.
+const (
+	StatReqDropped     = iota // requests rejected with CodeOverload
+	StatReqDropBurst          // longest consecutive-drop run
+	StatReqHighWater          // deepest request-queue depth observed
+	StatAuditDropped          // audit notification messages dropped
+	StatAuditHighWater        // deepest audit-queue depth observed
+	StatAuditFindings         // findings produced by live audits
+	StatAuditSweeps           // full audit sweeps completed
+	StatActiveConns           // currently connected clients
+	StatTotalConns            // connections accepted since start
+	NumStatVals
+)

@@ -1,0 +1,191 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/memdb"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	cases := []Request{
+		{Seq: 1, Op: OpPing},
+		{Seq: 7, Op: OpReadFld, Table: 2, Record: 13, Field: 1},
+		{Seq: 0xFFFFFFFF, Op: OpWriteRec, Table: 3, Record: 0, Vals: []uint32{1, 2, 3, 0xFFFFFFFF}},
+		{Seq: 9, Op: OpMove, Table: 3, Record: 5, Aux: 2},
+		{Seq: 10, Op: OpAlloc, Table: -1, Record: -1, Field: -1, Aux: -1},
+	}
+	for _, q := range cases {
+		p := AppendRequest(nil, q)
+		got, err := ParseRequest(p)
+		if err != nil {
+			t.Fatalf("ParseRequest(%v): %v", q.Op, err)
+		}
+		if got.Seq != q.Seq || got.Op != q.Op || got.Table != q.Table ||
+			got.Record != q.Record || got.Field != q.Field || got.Aux != q.Aux {
+			t.Fatalf("round trip mismatch: sent %+v got %+v", q, got)
+		}
+		if len(got.Vals) != len(q.Vals) {
+			t.Fatalf("vals length: sent %d got %d", len(q.Vals), len(got.Vals))
+		}
+		for i := range q.Vals {
+			if got.Vals[i] != q.Vals[i] {
+				t.Fatalf("vals[%d]: sent %d got %d", i, q.Vals[i], got.Vals[i])
+			}
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []Response{
+		{Seq: 1, Code: CodeOK, Vals: []uint32{42}},
+		{Seq: 2, Code: CodeBounds, Index: 99, Limit: 64, Detail: "record"},
+		{Seq: 3, Code: CodeInternal, Detail: "something odd"},
+		{Seq: 4, Code: CodeOK, Vals: make([]uint32, 200)},
+	}
+	for _, r := range cases {
+		p := AppendResponse(nil, r)
+		got, err := ParseResponse(p)
+		if err != nil {
+			t.Fatalf("ParseResponse(code %d): %v", r.Code, err)
+		}
+		if got.Seq != r.Seq || got.Code != r.Code || got.Index != r.Index ||
+			got.Limit != r.Limit || got.Detail != r.Detail || len(got.Vals) != len(r.Vals) {
+			t.Fatalf("round trip mismatch: sent %+v got %+v", r, got)
+		}
+	}
+}
+
+func TestParseRejectsTruncatedAndOversized(t *testing.T) {
+	q := AppendRequest(nil, Request{Op: OpWriteRec, Vals: []uint32{1, 2, 3}})
+	for cut := 1; cut < len(q); cut++ {
+		if _, err := ParseRequest(q[:cut]); err == nil {
+			t.Fatalf("ParseRequest accepted a %d-byte truncation of %d", cut, len(q))
+		}
+	}
+	r := AppendResponse(nil, Response{Code: CodeOK, Detail: "x", Vals: []uint32{9}})
+	for cut := 1; cut < len(r); cut++ {
+		if _, err := ParseResponse(r[:cut]); err == nil {
+			t.Fatalf("ParseResponse accepted a %d-byte truncation of %d", cut, len(r))
+		}
+	}
+	// Trailing garbage must be rejected too: frames are exact.
+	if _, err := ParseRequest(append(q, 0)); err == nil {
+		t.Fatal("ParseRequest accepted trailing bytes")
+	}
+	if _, err := ParseResponse(append(r, 0)); err == nil {
+		t.Fatal("ParseResponse accepted trailing bytes")
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(&buf, 99); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized frame: got %v, want ErrBadFrame", err)
+	}
+	buf.Reset()
+	if err := WriteFrame(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(&buf, MaxFrame); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("empty frame: got %v, want ErrBadFrame", err)
+	}
+	// Truncated body surfaces as an IO error, not a hang.
+	buf.Reset()
+	buf.Write([]byte{10, 0, 0, 0, 1, 2})
+	if _, err := ReadFrame(&buf, MaxFrame); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated body: got %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestErrorMappingRoundTrip(t *testing.T) {
+	cases := []struct {
+		err  error
+		code Code
+	}{
+		{memdb.ErrCorruptCatalog, CodeCorruptCatalog},
+		{fmt.Errorf("table 1 held by pid 3: %w", memdb.ErrLocked), CodeLocked},
+		{memdb.ErrNoFreeRecord, CodeNoFreeRecord},
+		{memdb.ErrClosed, CodeClosed},
+		{fmt.Errorf("table 0 record 2: %w", memdb.ErrNotActive), CodeNotActive},
+		{ErrUnknownOp, CodeUnknownOp},
+		{ErrNoSession, CodeNoSession},
+		{ErrSessionExists, CodeSessionExists},
+		{ErrOverload, CodeOverload},
+		{ErrShutdown, CodeShutdown},
+		{ErrTimeout, CodeTimeout},
+		{errors.New("weird"), CodeInternal},
+	}
+	for _, c := range cases {
+		r := ErrorResponse(5, c.err)
+		if r.Code != c.code {
+			t.Fatalf("ErrorResponse(%v) code %d, want %d", c.err, r.Code, c.code)
+		}
+		back := r.Err()
+		if back == nil {
+			t.Fatalf("decoded error for code %d is nil", c.code)
+		}
+		// The decoded error must satisfy errors.Is against the original
+		// sentinel (unwrapping dressing on either side).
+		for _, sentinel := range []error{
+			memdb.ErrCorruptCatalog, memdb.ErrLocked, memdb.ErrNoFreeRecord,
+			memdb.ErrClosed, memdb.ErrNotActive, ErrUnknownOp, ErrNoSession,
+			ErrSessionExists, ErrOverload, ErrShutdown, ErrTimeout,
+		} {
+			if errors.Is(c.err, sentinel) != errors.Is(back, sentinel) {
+				t.Fatalf("code %d: errors.Is(%v) disagree between %v and %v",
+					c.code, sentinel, c.err, back)
+			}
+		}
+	}
+}
+
+func TestBoundsErrorCrossesWire(t *testing.T) {
+	orig := &memdb.BoundsError{What: "record", Index: 99, Limit: 64}
+	r := ErrorResponse(1, fmt.Errorf("wrapped: %w", orig))
+	if r.Code != CodeBounds {
+		t.Fatalf("code %d, want CodeBounds", r.Code)
+	}
+	p := AppendResponse(nil, r)
+	got, err := ParseResponse(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var be *memdb.BoundsError
+	if !errors.As(got.Err(), &be) {
+		t.Fatalf("decoded error %v is not a BoundsError", got.Err())
+	}
+	if be.What != orig.What || be.Index != orig.Index || be.Limit != orig.Limit {
+		t.Fatalf("BoundsError fields lost: got %+v want %+v", be, orig)
+	}
+}
+
+func TestOKResponseErrIsNil(t *testing.T) {
+	if err := (Response{Code: CodeOK}).Err(); err != nil {
+		t.Fatalf("OK response decodes to error %v", err)
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for o := OpPing; o < opMax; o++ {
+		if !o.Valid() {
+			t.Fatalf("op %d not valid", o)
+		}
+		if s := o.String(); s == "" || s[0] == 'O' && s != "DBstatus" && o != OpPing {
+			// Just ensure no defined op falls through to the default
+			// formatting.
+			if len(s) > 3 && s[:3] == "Op(" {
+				t.Fatalf("op %d has no name", o)
+			}
+		}
+	}
+	if Op(0).Valid() || Op(200).Valid() {
+		t.Fatal("out-of-range ops report valid")
+	}
+}
