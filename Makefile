@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test check bench clean
+.PHONY: all build vet test check cover fuzz-smoke bench clean
 
 all: check
 
@@ -17,8 +17,21 @@ test:
 # detector (includes the server end-to-end tests).
 check: build vet test
 
+# Coverage over every package, with the per-function summary and an HTML
+# report left in cover.out / cover.html.
+cover:
+	$(GO) test -coverprofile=cover.out -covermode=atomic ./...
+	$(GO) tool cover -func=cover.out | tail -n 1
+	$(GO) tool cover -html=cover.out -o cover.html
+
+# Short fuzzing pass over the wire codec: seeds from testdata plus 30s of
+# mutation. Any crasher is a framing-safety regression.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzCodec -fuzztime=30s ./internal/wire
+
 bench:
 	$(GO) test -bench . -benchtime 0.5s -run '^$$' .
 
 clean:
 	$(GO) clean ./...
+	rm -f cover.out cover.html

@@ -356,13 +356,15 @@ func BenchmarkAuditFullSweep(b *testing.B) {
 // write-field/read-field against an allocated Resource record. With
 // auditPeriod > 0 the audit process sweeps the live region between
 // requests, so the delta against the unaudited run is the paper's audit
-// overhead as seen by a network client.
-func benchmarkServerThroughput(b *testing.B, auditPeriod time.Duration) {
+// overhead as seen by a network client. disableMetrics turns the
+// observability layer off, so audited vs audited-nometrics isolates the
+// instrumentation cost (latency histograms + gauges; target < 5%).
+func benchmarkServerThroughput(b *testing.B, auditPeriod time.Duration, disableMetrics bool) {
 	db, err := memdb.New(callproc.Schema(callproc.DefaultSchemaConfig()))
 	if err != nil {
 		b.Fatal(err)
 	}
-	srv, err := server.New(db, server.Config{AuditPeriod: auditPeriod})
+	srv, err := server.New(db, server.Config{AuditPeriod: auditPeriod, DisableMetrics: disableMetrics})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -406,8 +408,9 @@ func benchmarkServerThroughput(b *testing.B, auditPeriod time.Duration) {
 }
 
 func BenchmarkServerThroughput(b *testing.B) {
-	b.Run("noaudit", func(b *testing.B) { benchmarkServerThroughput(b, -1) })
-	b.Run("audited", func(b *testing.B) { benchmarkServerThroughput(b, 50*time.Millisecond) })
+	b.Run("noaudit", func(b *testing.B) { benchmarkServerThroughput(b, -1, false) })
+	b.Run("audited", func(b *testing.B) { benchmarkServerThroughput(b, 50*time.Millisecond, false) })
+	b.Run("audited-nometrics", func(b *testing.B) { benchmarkServerThroughput(b, 50*time.Millisecond, true) })
 }
 
 func BenchmarkVMStep(b *testing.B) {

@@ -8,6 +8,13 @@
 // Usage:
 //
 //	dbload -addr 127.0.0.1:7420 -conns 4 -ops 10000
+//	dbload -addr 127.0.0.1:7420 -watch 1s            # live telemetry feed
+//
+// With -watch, dbload generates no load: it polls the server's STATS2
+// metrics snapshot at the given interval and prints a one-line summary per
+// poll (throughput since the previous poll, queue depth, drops, audit
+// sweeps/findings, and the busiest operation's latency percentiles). It
+// runs until interrupted, or for -watch-n polls.
 //
 // dbload exits nonzero on any protocol error, golden-copy mismatch, or
 // audit finding.
@@ -19,29 +26,45 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
+	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/callproc"
 	"repro/internal/memdb"
+	"repro/internal/metrics"
 	"repro/internal/wire"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		close(stop)
+	}()
+	if err := run(os.Args[1:], os.Stdout, stop); err != nil {
 		fmt.Fprintln(os.Stderr, "dbload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("dbload", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7420", "dbserve address")
 	conns := fs.Int("conns", 4, "concurrent client connections")
 	ops := fs.Int("ops", 10000, "total operations across all connections")
+	watch := fs.Duration("watch", 0, "watch mode: poll the server's metrics at this interval instead of generating load")
+	watchN := fs.Int("watch-n", 0, "watch mode: stop after this many polls (0 = until interrupted)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *watch > 0 {
+		return watchLoop(out, *addr, *watch, *watchN, stop)
 	}
 	if *conns <= 0 || *ops <= 0 {
 		return errors.New("-conns and -ops must be positive")
@@ -107,6 +130,75 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("live audits produced %d findings during the run", n)
 	}
 	return nil
+}
+
+// watchLoop is -watch mode: one STATS2 poll per interval over a single
+// control connection, one summary line per poll. Throughput is the
+// executed-counter delta between polls; the latency percentiles shown are
+// those of the busiest per-operation histogram, computed server-side.
+func watchLoop(out io.Writer, addr string, interval time.Duration, n int, stop <-chan struct{}) error {
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var prevExec int64
+	var prevAt time.Time
+	for i := 0; n <= 0 || i < n; i++ {
+		if i > 0 {
+			select {
+			case <-tick.C:
+			case <-stop:
+				return nil
+			}
+		}
+		doc, err := c.Stats2()
+		if err != nil {
+			return fmt.Errorf("STATS2: %w", err)
+		}
+		snap, err := metrics.ParseSnapshot(doc)
+		if err != nil {
+			return fmt.Errorf("STATS2 decode: %w", err)
+		}
+		now := time.Now()
+		exec := snap.Gauges["server.executed"]
+		rate := 0.0
+		if !prevAt.IsZero() {
+			if dt := now.Sub(prevAt).Seconds(); dt > 0 {
+				rate = float64(exec-prevExec) / dt
+			}
+		}
+		prevExec, prevAt = exec, now
+		fmt.Fprintln(out, watchLine(snap, rate))
+	}
+	return nil
+}
+
+// watchLine renders one poll of the snapshot as a single summary line.
+func watchLine(snap metrics.Snapshot, rate float64) string {
+	line := fmt.Sprintf("watch: %6.0f ops/s conns=%d queue=%d/%d drops=%d sweeps=%d findings=%d",
+		rate,
+		snap.Gauges["server.conns.active"],
+		snap.Gauges["server.queue.depth"], snap.Gauges["server.queue.capacity"],
+		snap.Gauges["server.queue.dropped"],
+		snap.Counters["audit.sweeps"],
+		snap.Gauges["server.audit.findings"])
+	// Busiest operation's latency distribution, if any traffic yet.
+	var busiest string
+	var hs metrics.HistogramSnapshot
+	for name, h := range snap.Histograms {
+		op, isLat := strings.CutPrefix(name, "server.latency.")
+		if isLat && h.Count > hs.Count {
+			busiest, hs = op, h
+		}
+	}
+	if busiest != "" {
+		line += fmt.Sprintf(" | %s p50=%v p95=%v p99=%v",
+			busiest, time.Duration(hs.P50), time.Duration(hs.P95), time.Duration(hs.P99))
+	}
+	return line
 }
 
 // pct reads the p-th percentile from sorted latencies.

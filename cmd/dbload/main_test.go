@@ -41,7 +41,7 @@ func startServer(t *testing.T) string {
 func TestLoadRunCleanAgainstLiveServer(t *testing.T) {
 	addr := startServer(t)
 	var out bytes.Buffer
-	if err := run([]string{"-addr", addr, "-conns", "3", "-ops", "600"}, &out); err != nil {
+	if err := run([]string{"-addr", addr, "-conns", "3", "-ops", "600"}, &out, nil); err != nil {
 		t.Fatalf("dbload: %v\noutput:\n%s", err, out.String())
 	}
 	s := out.String()
@@ -61,16 +61,70 @@ func TestLoadFailsWithoutServer(t *testing.T) {
 	}
 	addr := ln.Addr().String()
 	ln.Close()
-	if err := run([]string{"-addr", addr, "-conns", "1", "-ops", "10"}, &bytes.Buffer{}); err == nil {
+	if err := run([]string{"-addr", addr, "-conns", "1", "-ops", "10"}, &bytes.Buffer{}, nil); err == nil {
 		t.Fatal("run against dead server succeeded")
 	}
 }
 
+// TestWatchMode runs a short workload and then polls the live telemetry
+// feed: each poll must render one summary line from the STATS2 snapshot.
+func TestWatchMode(t *testing.T) {
+	addr := startServer(t)
+	var load bytes.Buffer
+	if err := run([]string{"-addr", addr, "-conns", "2", "-ops", "200"}, &load, nil); err != nil {
+		t.Fatalf("load phase: %v\noutput:\n%s", err, load.String())
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-addr", addr, "-watch", "10ms", "-watch-n", "3"}, &out, nil); err != nil {
+		t.Fatalf("watch: %v\noutput:\n%s", err, out.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d watch lines, want 3:\n%s", len(lines), out.String())
+	}
+	for _, l := range lines {
+		for _, want := range []string{"watch:", "ops/s", "queue=", "sweeps=", "findings=0"} {
+			if !strings.Contains(l, want) {
+				t.Errorf("watch line missing %q: %s", want, l)
+			}
+		}
+	}
+	// The workload ran before the polls, so the busiest-operation latency
+	// section must be present.
+	if !strings.Contains(out.String(), "p99=") {
+		t.Errorf("watch output has no latency percentiles:\n%s", out.String())
+	}
+}
+
+// TestWatchModeStops checks that a closed stop channel ends an unbounded
+// watch after the in-flight poll.
+func TestWatchModeStops(t *testing.T) {
+	addr := startServer(t)
+	stop := make(chan struct{})
+	close(stop)
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", addr, "-watch", "1h"}, &out, stop)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("watch: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch did not stop")
+	}
+	if !strings.Contains(out.String(), "watch:") {
+		t.Errorf("no poll before stop:\n%s", out.String())
+	}
+}
+
 func TestFlagValidation(t *testing.T) {
-	if err := run([]string{"-conns", "0"}, &bytes.Buffer{}); err == nil {
+	if err := run([]string{"-conns", "0"}, &bytes.Buffer{}, nil); err == nil {
 		t.Fatal("zero conns accepted")
 	}
-	if err := run([]string{"-ops", "-5"}, &bytes.Buffer{}); err == nil {
+	if err := run([]string{"-ops", "-5"}, &bytes.Buffer{}, nil); err == nil {
 		t.Fatal("negative ops accepted")
 	}
 }

@@ -18,10 +18,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -54,6 +56,7 @@ func main() {
 func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("dbserve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7420", "listen address")
+	metricsAddr := fs.String("metrics-addr", "", "serve metrics snapshots over HTTP on this address (GET /statsz, ?format=text for the line format)")
 	img := fs.String("img", "", "serve this dbctl image instead of a pristine database")
 	queue := fs.Int("queue", 0, "request queue depth (0 = default)")
 	auditPeriod := fs.Duration("audit-period", time.Second, "periodic audit sweep interval; negative disables audits")
@@ -94,6 +97,17 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 		return err
 	}
 
+	if *metricsAddr != "" {
+		mln, merr := net.Listen("tcp", *metricsAddr)
+		if merr != nil {
+			return fmt.Errorf("metrics listener: %w", merr)
+		}
+		hs := &http.Server{Handler: statszMux(srv)}
+		go hs.Serve(mln)
+		defer hs.Close()
+		fmt.Fprintf(out, "dbserve: metrics on %s\n", mln.Addr())
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -117,6 +131,30 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 		return serveErr
 	}
 	return drainErr
+}
+
+// statszMux serves the server's metrics registry: GET /statsz answers the
+// JSON snapshot (the same document the wire STATS2 request returns);
+// ?format=text switches to the sorted line format.
+func statszMux(srv *server.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
+		snap, err := srv.SnapshotMetrics()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			snap.WriteText(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+	})
+	return mux
 }
 
 func printSummary(out io.Writer, st server.Stats) {

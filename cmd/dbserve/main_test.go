@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +12,7 @@ import (
 
 	"repro/internal/callproc"
 	"repro/internal/memdb"
+	"repro/internal/metrics"
 	"repro/internal/wire"
 )
 
@@ -137,6 +140,90 @@ func TestServeImage(t *testing.T) {
 	for i := range want {
 		if vals[i] != want[i] {
 			t.Fatalf("field %d = %d, want %d (image state not served)", i, vals[i], want[i])
+		}
+	}
+}
+
+// TestMetricsEndpoint drives traffic through the wire front-end and reads
+// the same observability snapshot back over the -metrics-addr HTTP
+// endpoint, in both JSON and text form.
+func TestMetricsEndpoint(t *testing.T) {
+	addr, stop, done, out := serve(t, []string{"-metrics-addr", "127.0.0.1:0", "-audit-period", "20ms"})
+	defer func() {
+		close(stop)
+		<-done
+	}()
+
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Init(); err != nil {
+		t.Fatal(err)
+	}
+	ri, err := c.Alloc(callproc.TblRes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := c.WriteFld(callproc.TblRes, ri, callproc.FldResQuality, uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := c.Sweep(); err != nil || n != 0 {
+		t.Fatalf("sweep: %d findings, err %v", n, err)
+	}
+
+	// The metrics line is printed before the ready signal, so the buffer
+	// already holds it (and nothing writes again until shutdown).
+	const marker = "dbserve: metrics on "
+	s := out.String()
+	i := strings.Index(s, marker)
+	if i < 0 {
+		t.Fatalf("no %q line in output:\n%s", marker, s)
+	}
+	maddr := strings.TrimSpace(strings.SplitN(s[i+len(marker):], "\n", 2)[0])
+
+	resp, err := http.Get("http://" + maddr + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /statsz: %s\n%s", resp.Status, body)
+	}
+	snap, err := metrics.ParseSnapshot(body)
+	if err != nil {
+		t.Fatalf("ParseSnapshot: %v\nbody:\n%s", err, body)
+	}
+	if snap.Histograms["server.latency.DBwrite_fld"].Count != 20 {
+		t.Errorf("DBwrite_fld observations = %d, want 20",
+			snap.Histograms["server.latency.DBwrite_fld"].Count)
+	}
+	if snap.Counters["audit.sweeps"] == 0 {
+		t.Error("audit.sweeps counter is zero")
+	}
+	if snap.Gauges["memdb.table.Resource.writes"] == 0 {
+		t.Error("memdb.table.Resource.writes gauge is zero")
+	}
+
+	resp, err = http.Get("http://" + maddr + "/statsz?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"histogram server.latency.DBwrite_fld", "counter", "gauge"} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("text snapshot missing %q:\n%s", want, text)
 		}
 	}
 }

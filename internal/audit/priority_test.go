@@ -1,0 +1,184 @@
+package audit
+
+import (
+	"testing"
+)
+
+// TestRoundRobinOrder pins the unprioritized baseline: a fixed cycle in
+// table order, plus the degenerate zero-table case.
+func TestRoundRobinOrder(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		want []int
+	}{
+		{"three tables", 3, []int{0, 1, 2, 0, 1, 2, 0}},
+		{"one table", 1, []int{0, 0, 0}},
+		{"no tables", 0, []int{0, 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rr := NewRoundRobin(tc.n)
+			for i, want := range tc.want {
+				if got := rr.Next(); got != want {
+					t.Fatalf("slot %d: got table %d, want %d", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestPrioritizedTieBreak: with no activity, no nature weighting, and no
+// error history, every table carries the floor weight. The first round of
+// smooth weighted round-robin must then deal slots in table order (ties
+// break toward the lowest index), and over a long horizon equal weights
+// must yield an exactly fair share — each table every round, never two
+// slots ahead of another.
+func TestPrioritizedTieBreak(t *testing.T) {
+	db := newTestDB(t)
+	p := NewPrioritized(db)
+	n := len(db.Schema().Tables)
+	for i := 0; i < n; i++ {
+		if got := p.Next(); got != i {
+			t.Fatalf("slot %d: got table %d, want %d (equal-weight tie must break low)", i, got, i)
+		}
+	}
+	for i, w := range p.Weights() {
+		if w != p.Floor {
+			t.Errorf("table %d weight = %v, want floor %v on a quiet database", i, w, p.Floor)
+		}
+	}
+	const rounds = 25
+	seen := make([]int, n)
+	for i := 0; i < rounds*n; i++ {
+		seen[p.Next()]++
+	}
+	for ti, got := range seen {
+		// Floating-point accumulation may rotate which table opens a
+		// round, but equal weights can never drift a table more than one
+		// slot from its fair share.
+		if got < rounds-1 || got > rounds+1 {
+			t.Errorf("table %d dealt %d slots over %d equal-weight rounds, want %d±1", ti, got, rounds, rounds)
+		}
+	}
+}
+
+// TestPrioritizedZeroActivityNoStarvation: even when one table is made
+// dominant through the static nature criterion, floor weighting must keep
+// dealing slots to completely idle tables.
+func TestPrioritizedZeroActivityNoStarvation(t *testing.T) {
+	db := newTestDB(t)
+	p := NewPrioritized(db)
+	p.Nature[tblConfig] = 1.0 // catalog-like: most important statically
+
+	const slots = 200
+	seen := make(map[int]int)
+	for i := 0; i < slots; i++ {
+		seen[p.Next()]++
+	}
+	for ti := range db.Schema().Tables {
+		if seen[ti] == 0 {
+			t.Errorf("table %d starved over %d slots", ti, slots)
+		}
+	}
+	if seen[tblConfig] <= seen[tblProc] {
+		t.Errorf("nature-weighted table got %d slots, idle table %d — prioritization had no effect",
+			seen[tblConfig], seen[tblProc])
+	}
+}
+
+// TestPrioritizedAccessFrequency: tables a workload hammers must receive
+// proportionally more audit slots than cold ones.
+func TestPrioritizedAccessFrequency(t *testing.T) {
+	db := newTestDB(t)
+	c, err := db.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, err := c.Alloc(tblProc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := c.ReadRec(tblProc, ri); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	p := NewPrioritized(db)
+	seen := make(map[int]int)
+	for i := 0; i < 100; i++ {
+		seen[p.Next()]++
+	}
+	for _, cold := range []int{tblConfig, tblConn, tblRes} {
+		if seen[tblProc] <= seen[cold] {
+			t.Errorf("hot table got %d slots, cold table %d got %d", seen[tblProc], cold, seen[cold])
+		}
+		if seen[cold] == 0 {
+			t.Errorf("cold table %d starved", cold)
+		}
+	}
+}
+
+// TestPrioritizedErrorHistoryEscalation: the error-history criterion must
+// order tables by how recently and how often audits found errors in them —
+// more findings, higher weight, more slots.
+func TestPrioritizedErrorHistoryEscalation(t *testing.T) {
+	cases := []struct {
+		name   string
+		errs   map[int]int // table → NoteAuditError count
+		higher int         // must outweigh...
+		lower  int
+	}{
+		{"one error beats none", map[int]int{tblConn: 1}, tblConn, tblProc},
+		{"more errors escalate", map[int]int{tblProc: 1, tblConn: 5}, tblConn, tblProc},
+		{"history orders all tables", map[int]int{tblProc: 2, tblConn: 7, tblRes: 4}, tblConn, tblRes},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			db := newTestDB(t)
+			for ti, n := range tc.errs {
+				for i := 0; i < n; i++ {
+					db.NoteAuditError(ti)
+				}
+			}
+			p := NewPrioritized(db)
+			p.Next() // one slot refreshes the weights
+			w := p.Weights()
+			if w[tc.higher] <= w[tc.lower] {
+				t.Fatalf("weights %v: table %d (more errors) must outweigh table %d",
+					w, tc.higher, tc.lower)
+			}
+			// Escalation also shows up in slot share.
+			seen := make(map[int]int)
+			for i := 0; i < 120; i++ {
+				seen[p.Next()]++
+			}
+			if seen[tc.higher] <= seen[tc.lower] {
+				t.Errorf("slots %v: table %d must be audited more often than table %d",
+					seen, tc.higher, tc.lower)
+			}
+		})
+	}
+
+	// Rolling the audit cycle clears the per-cycle counters but keeps the
+	// since-startup tail, so an error-prone table stays elevated above
+	// clean tables across cycles.
+	db := newTestDB(t)
+	for i := 0; i < 4; i++ {
+		db.NoteAuditError(tblRes)
+	}
+	totals := db.EndAuditCycle()
+	if totals[tblRes] != 4 {
+		t.Fatalf("EndAuditCycle reported %d errors for table %d, want 4", totals[tblRes], tblRes)
+	}
+	if st := db.TableStats(tblRes); st.ErrorsLast != 0 || st.ErrorsAll != 4 {
+		t.Fatalf("after cycle roll: ErrorsLast=%d ErrorsAll=%d, want 0 and 4", st.ErrorsLast, st.ErrorsAll)
+	}
+	p := NewPrioritized(db)
+	p.Next()
+	w := p.Weights()
+	if w[tblRes] <= w[tblConn] {
+		t.Errorf("weights %v: ErrorsAll tail must keep table %d above clean table %d", w, tblRes, tblConn)
+	}
+}

@@ -1,0 +1,19 @@
+package ipc
+
+import "repro/internal/metrics"
+
+// RegisterMetrics publishes the queue's live state and rejection
+// accounting into reg under prefix (e.g. "audit.queue"): depth, capacity,
+// sent/received totals, and the DropStats triple (dropped, longest drop
+// burst, depth high-water mark). The gauges read the queue under its own
+// mutex at snapshot time, so they are always current and safe from any
+// goroutine.
+func (q *Queue) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.GaugeFunc(prefix+".depth", func() int64 { return int64(q.Len()) })
+	reg.GaugeFunc(prefix+".capacity", func() int64 { return int64(q.Cap()) })
+	reg.GaugeFunc(prefix+".sent", func() int64 { return int64(q.Stats().Sent) })
+	reg.GaugeFunc(prefix+".received", func() int64 { return int64(q.Stats().Received) })
+	reg.GaugeFunc(prefix+".dropped", func() int64 { return int64(q.Drops().Dropped) })
+	reg.GaugeFunc(prefix+".drop_burst", func() int64 { return int64(q.Drops().Burst) })
+	reg.GaugeFunc(prefix+".high_water", func() int64 { return int64(q.Drops().HighWater) })
+}

@@ -41,7 +41,8 @@ type DB struct {
 	audited  bool
 	nextPID  int
 	clients  map[int]*Client
-	guard    *guardState // debug concurrent-access detector; nil when off
+	guard    *guardState   // debug concurrent-access detector; nil when off
+	metrics  *boundMetrics // gauges published by RefreshMetrics; nil when unbound
 }
 
 // Option configures a DB.

@@ -1,0 +1,313 @@
+// Model-based property test: a long randomized run of the seven-call API
+// is checked, call by call, against a plain in-memory golden model. The
+// package is external (memdb_test) because the final certifying sweep uses
+// internal/audit, which itself imports memdb.
+package memdb_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/memdb"
+)
+
+// modelRec mirrors one record: allocation status plus field values.
+type modelRec struct {
+	active bool
+	vals   []uint32
+}
+
+// model is the golden copy of both dynamic tables.
+type model struct {
+	tables map[int][]modelRec
+}
+
+func newModel(schema memdb.Schema, tables ...int) *model {
+	m := &model{tables: make(map[int][]modelRec)}
+	for _, ti := range tables {
+		spec := schema.Tables[ti]
+		recs := make([]modelRec, spec.NumRecords)
+		for ri := range recs {
+			recs[ri] = modelRec{vals: defaults(spec)}
+		}
+		m.tables[ti] = recs
+	}
+	return m
+}
+
+func defaults(spec memdb.TableSpec) []uint32 {
+	vals := make([]uint32, len(spec.Fields))
+	for i, f := range spec.Fields {
+		vals[i] = f.Default
+	}
+	return vals
+}
+
+// alloc returns the index the first-free scan must claim, or -1 when full.
+func (m *model) alloc(table int) int {
+	for ri := range m.tables[table] {
+		if !m.tables[table][ri].active {
+			m.tables[table][ri].active = true
+			return ri
+		}
+	}
+	return -1
+}
+
+// modelSchema is the purview of the randomized run: an untouched static
+// configuration table (its checksum must survive the whole run), a plain
+// dynamic table, and a group-chained dynamic table so allocation, free,
+// and move all exercise the header chain relinking the structural audit
+// verifies.
+func modelSchema() memdb.Schema {
+	return memdb.Schema{Tables: []memdb.TableSpec{
+		{
+			Name: "Cfg", NumRecords: 4,
+			Fields: []memdb.FieldSpec{
+				{Name: "Limit", Kind: memdb.Static, HasRange: true, Min: 1, Max: 100, Default: 10},
+				{Name: "Mode", Kind: memdb.Static, HasRange: true, Min: 0, Max: 3, Default: 1},
+			},
+		},
+		{
+			Name: "Plain", Dynamic: true, NumRecords: 8,
+			Fields: []memdb.FieldSpec{
+				{Name: "A", Kind: memdb.Dynamic, HasRange: true, Min: 0, Max: 1000, Default: 0},
+				{Name: "B", Kind: memdb.Dynamic, HasRange: true, Min: 5, Max: 50, Default: 5},
+				{Name: "C", Kind: memdb.Dynamic, Default: 0},
+			},
+		},
+		{
+			Name: "Chained", Dynamic: true, NumRecords: 8, Groups: 3,
+			Fields: []memdb.FieldSpec{
+				{Name: "X", Kind: memdb.Dynamic, HasRange: true, Min: 0, Max: 255, Default: 0},
+				{Name: "Y", Kind: memdb.Dynamic, HasRange: true, Min: 0, Max: 7, Default: 0},
+			},
+		},
+	}}
+}
+
+const (
+	tblPlain   = 1
+	tblChained = 2
+)
+
+// TestModelRandomOps drives ~1k randomized operations — roughly a fifth of
+// them deliberately invalid — against the API with the concurrency guard
+// armed, checking every result against the golden model, and finishes with
+// a full static/structural/range sweep that must come back clean.
+func TestModelRandomOps(t *testing.T) {
+	schema := modelSchema()
+	db, err := memdb.New(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.EnableConcurrencyCheck(nil)
+	defer db.DisableConcurrencyCheck()
+	c, err := db.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := newModel(schema, tblPlain, tblChained)
+	rng := rand.New(rand.NewSource(20010701)) // deterministic: DSN 2001 deadline
+	groups := map[int]int{tblPlain: 0, tblChained: 3}
+
+	// inRange picks a legal value for field fi of table ti.
+	inRange := func(ti, fi int) uint32 {
+		f := schema.Tables[ti].Fields[fi]
+		if !f.HasRange {
+			return rng.Uint32() % 1000
+		}
+		return f.Min + rng.Uint32()%(f.Max-f.Min+1)
+	}
+
+	tablesUnderTest := []int{tblPlain, tblChained}
+	for op := 0; op < 1000; op++ {
+		ti := tablesUnderTest[rng.Intn(len(tablesUnderTest))]
+		spec := schema.Tables[ti]
+		recs := m.tables[ti]
+		ri := rng.Intn(spec.NumRecords)
+		rec := &recs[ri]
+
+		switch rng.Intn(10) {
+		case 0: // Alloc
+			group := 0
+			if groups[ti] > 0 {
+				group = rng.Intn(groups[ti])
+			}
+			got, err := c.Alloc(ti, group)
+			want := m.alloc(ti)
+			if want < 0 {
+				if !errors.Is(err, memdb.ErrNoFreeRecord) {
+					t.Fatalf("op %d: Alloc on full table %d: got (%d, %v), want ErrNoFreeRecord", op, ti, got, err)
+				}
+			} else if err != nil || got != want {
+				t.Fatalf("op %d: Alloc(%d, %d) = (%d, %v), model wants record %d", op, ti, group, got, err, want)
+			}
+		case 1: // Free: legal on any record, resets fields to defaults
+			if err := c.Free(ti, ri); err != nil {
+				t.Fatalf("op %d: Free(%d, %d): %v", op, ti, ri, err)
+			}
+			rec.active = false
+			rec.vals = defaults(spec)
+		case 2: // WriteRec on whatever state the record is in
+			vals := make([]uint32, len(spec.Fields))
+			for fi := range vals {
+				vals[fi] = inRange(ti, fi)
+			}
+			err := c.WriteRec(ti, ri, vals)
+			if rec.active {
+				if err != nil {
+					t.Fatalf("op %d: WriteRec(%d, %d): %v", op, ti, ri, err)
+				}
+				rec.vals = vals
+			} else if !errors.Is(err, memdb.ErrNotActive) {
+				t.Fatalf("op %d: WriteRec on free record %d/%d: err = %v, want ErrNotActive", op, ti, ri, err)
+			}
+		case 3: // WriteFld
+			fi := rng.Intn(len(spec.Fields))
+			v := inRange(ti, fi)
+			err := c.WriteFld(ti, ri, fi, v)
+			if rec.active {
+				if err != nil {
+					t.Fatalf("op %d: WriteFld(%d, %d, %d): %v", op, ti, ri, fi, err)
+				}
+				rec.vals[fi] = v
+			} else if !errors.Is(err, memdb.ErrNotActive) {
+				t.Fatalf("op %d: WriteFld on free record: err = %v, want ErrNotActive", op, err)
+			}
+		case 4: // ReadRec: legal on free records too (reads see defaults)
+			vals, err := c.ReadRec(ti, ri)
+			if err != nil {
+				t.Fatalf("op %d: ReadRec(%d, %d): %v", op, ti, ri, err)
+			}
+			for fi := range rec.vals {
+				if vals[fi] != rec.vals[fi] {
+					t.Fatalf("op %d: ReadRec(%d, %d) field %d = %d, model %d",
+						op, ti, ri, fi, vals[fi], rec.vals[fi])
+				}
+			}
+		case 5: // ReadFld
+			fi := rng.Intn(len(spec.Fields))
+			v, err := c.ReadFld(ti, ri, fi)
+			if err != nil {
+				t.Fatalf("op %d: ReadFld(%d, %d, %d): %v", op, ti, ri, fi, err)
+			}
+			if v != rec.vals[fi] {
+				t.Fatalf("op %d: ReadFld(%d, %d, %d) = %d, model %d", op, ti, ri, fi, v, rec.vals[fi])
+			}
+		case 6: // Move
+			group := 0
+			if groups[ti] > 0 {
+				group = rng.Intn(groups[ti])
+			}
+			err := c.Move(ti, ri, group)
+			if rec.active {
+				if err != nil {
+					t.Fatalf("op %d: Move(%d, %d, %d): %v", op, ti, ri, group, err)
+				}
+			} else if !errors.Is(err, memdb.ErrNotActive) {
+				t.Fatalf("op %d: Move on free record: err = %v, want ErrNotActive", op, err)
+			}
+		case 7: // Status
+			st, err := c.Status(ti, ri)
+			if err != nil {
+				t.Fatalf("op %d: Status(%d, %d): %v", op, ti, ri, err)
+			}
+			want := memdb.StatusFree
+			if rec.active {
+				want = memdb.StatusActive
+			}
+			if st != want {
+				t.Fatalf("op %d: Status(%d, %d) = %d, model %d", op, ti, ri, st, want)
+			}
+		case 8: // transaction bracket around a write
+			if err := c.Begin(ti); err != nil {
+				t.Fatalf("op %d: Begin(%d): %v", op, ti, err)
+			}
+			fi := rng.Intn(len(spec.Fields))
+			v := inRange(ti, fi)
+			err := c.WriteFld(ti, ri, fi, v)
+			if rec.active {
+				if err != nil {
+					t.Fatalf("op %d: WriteFld in txn: %v", op, err)
+				}
+				rec.vals[fi] = v
+			} else if !errors.Is(err, memdb.ErrNotActive) {
+				t.Fatalf("op %d: WriteFld in txn on free record: err = %v", op, err)
+			}
+			if err := c.Commit(); err != nil {
+				t.Fatalf("op %d: Commit: %v", op, err)
+			}
+		case 9: // deliberately out-of-contract calls: must error, never corrupt
+			switch rng.Intn(4) {
+			case 0: // record index out of bounds
+				var be *memdb.BoundsError
+				if _, err := c.ReadRec(ti, spec.NumRecords+rng.Intn(5)); !errors.As(err, &be) {
+					t.Fatalf("op %d: out-of-bounds ReadRec: err = %v, want BoundsError", op, err)
+				}
+			case 1: // field index out of bounds
+				var be *memdb.BoundsError
+				if _, err := c.ReadFld(ti, ri, len(spec.Fields)); !errors.As(err, &be) {
+					t.Fatalf("op %d: out-of-bounds ReadFld: err = %v, want BoundsError", op, err)
+				}
+			case 2: // wrong value-vector length
+				if err := c.WriteRec(ti, ri, []uint32{1}); err == nil {
+					t.Fatalf("op %d: short WriteRec accepted", op)
+				}
+			case 3: // bad group on the chained table
+				var be *memdb.BoundsError
+				if _, err := c.Alloc(tblChained, groups[tblChained]); !errors.As(err, &be) {
+					t.Fatalf("op %d: bad-group Alloc: err = %v, want BoundsError", op, err)
+				}
+			}
+		}
+	}
+
+	// Final full readback: region and model must agree everywhere.
+	for _, ti := range tablesUnderTest {
+		for ri, rec := range m.tables[ti] {
+			vals, err := c.ReadRec(ti, ri)
+			if err != nil {
+				t.Fatalf("final ReadRec(%d, %d): %v", ti, ri, err)
+			}
+			for fi := range rec.vals {
+				if vals[fi] != rec.vals[fi] {
+					t.Errorf("final state: table %d record %d field %d = %d, model %d",
+						ti, ri, fi, vals[fi], rec.vals[fi])
+				}
+			}
+			st, err := c.Status(ti, ri)
+			if err != nil {
+				t.Fatalf("final Status(%d, %d): %v", ti, ri, err)
+			}
+			want := memdb.StatusFree
+			if rec.active {
+				want = memdb.StatusActive
+			}
+			if st != want {
+				t.Errorf("final state: table %d record %d status %d, model %d", ti, ri, st, want)
+			}
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The run only wrote in-range values through the API, so every audit
+	// technique over the whole region must certify it clean.
+	for _, chk := range []audit.FullChecker{
+		audit.NewStaticCheck(db, audit.Recovery{}),
+		audit.NewStructuralCheck(db, audit.Recovery{}),
+		audit.NewRangeCheck(db, audit.Recovery{}),
+	} {
+		if fs := chk.CheckAll(); len(fs) != 0 {
+			t.Errorf("final %s sweep: %d findings, first: %+v", chk.Name(), len(fs), fs[0])
+		}
+	}
+	if n := db.GuardViolations(); n != 0 {
+		t.Errorf("concurrency guard tripped %d times in a single-goroutine run", n)
+	}
+}

@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Snapshot is a point-in-time copy of every metric in a registry, grouped
+// by kind. Gauge functions appear under Gauges. It marshals to stable JSON
+// (map keys sort alphabetically) — the payload of the wire STATS2 op and
+// the dbserve /statsz endpoint.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// MarshalJSON uses the default struct encoding; defined explicitly so the
+// wire format is a documented commitment, not an accident.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	type plain Snapshot // shed the method to avoid recursion
+	return json.Marshal(plain(s))
+}
+
+// WriteText renders the snapshot as sorted expvar-style lines:
+//
+//	counter   audit.sweeps 17
+//	gauge     server.queue.depth 0
+//	histogram server.latency.DBread_fld count=100 p50=85µs p95=120µs p99=160µs max=1.2ms
+//
+// Latency histograms print durations; counters and gauges print raw
+// values.
+func (s Snapshot) WriteText(w io.Writer) error {
+	var names []string
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "counter   %s %d\n", n, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "gauge     %s %d\n", n, s.Gauges[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		if _, err := fmt.Fprintf(w, "histogram %s count=%d p50=%v p95=%v p99=%v max=%v\n",
+			n, h.Count,
+			time.Duration(h.P50), time.Duration(h.P95), time.Duration(h.P99),
+			time.Duration(h.Max)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseSnapshot decodes a JSON snapshot (the inverse of MarshalJSON) —
+// the client half of STATS2, used by dbload -watch.
+func ParseSnapshot(data []byte) (Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("metrics: parse snapshot: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("a.gauge")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	// Get-or-create returns the same instance.
+	if r.Counter("a.count") != c {
+		t.Fatal("Counter did not return the registered instance")
+	}
+	r.GaugeFunc("a.fn", func() int64 { return 42 })
+	s := r.Snapshot()
+	if s.Counters["a.count"] != 5 || s.Gauges["a.gauge"] != 7 || s.Gauges["a.fn"] != 42 {
+		t.Fatalf("snapshot mismatch: %+v", s)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(LatencyBuckets())
+	// Uniform 1..1000µs: p50 ≈ 500µs, p95 ≈ 950µs, p99 ≈ 990µs.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(int64(i) * int64(time.Microsecond))
+	}
+	s := h.SnapshotHistogram()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	if s.Max != 1000*int64(time.Microsecond) {
+		t.Fatalf("max = %d", s.Max)
+	}
+	check := func(name string, got int64, want, tol time.Duration) {
+		t.Helper()
+		if d := time.Duration(got) - want; d < -tol || d > tol {
+			t.Errorf("%s = %v, want %v ± %v", name, time.Duration(got), want, tol)
+		}
+	}
+	// Exponential buckets are coarse at the top; allow one-bucket slack.
+	check("p50", s.P50, 500*time.Microsecond, 300*time.Microsecond)
+	check("p95", s.P95, 950*time.Microsecond, 300*time.Microsecond)
+	check("p99", s.P99, 990*time.Microsecond, 300*time.Microsecond)
+	if s.P50 > s.P95 || s.P95 > s.P99 || time.Duration(s.P99) > time.Duration(s.Max) {
+		t.Fatalf("percentiles not monotonic: p50=%d p95=%d p99=%d max=%d", s.P50, s.P95, s.P99, s.Max)
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	h := NewHistogram([]int64{10, 100})
+	if s := h.SnapshotHistogram(); s.Count != 0 || s.P50 != 0 || s.Max != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+	h.Observe(-5) // clamps to 0
+	if s := h.SnapshotHistogram(); s.Count != 1 || s.Sum != 0 {
+		t.Fatalf("negative observation not clamped: %+v", s)
+	}
+}
+
+func TestHistogramObserveAllocationFree(t *testing.T) {
+	h := NewHistogram(LatencyBuckets())
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(12345)
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", nil)
+	c := r.Counter("n")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(int64(i+w) * 1000)
+				c.Inc()
+				if i%100 == 0 {
+					_ = r.Snapshot() // snapshots race harmlessly with updates
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["n"] != 8000 || s.Histograms["lat"].Count != 8000 {
+		t.Fatalf("lost updates: %+v", s)
+	}
+}
+
+func TestSnapshotEncodeDecode(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(-2)
+	r.Histogram("h", nil).Observe(int64(time.Millisecond))
+	snap := r.Snapshot()
+
+	data, err := snap.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["c"] != 3 || back.Gauges["g"] != -2 {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+	if hb := back.Histograms["h"]; hb.Count != 1 || hb.Max != int64(time.Millisecond) {
+		t.Fatalf("histogram round-trip mismatch: %+v", hb)
+	}
+
+	var sb strings.Builder
+	if err := snap.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{"counter   c 3", "gauge     g -2", "histogram h count=1"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text output missing %q:\n%s", want, text)
+		}
+	}
+
+	if _, err := ParseSnapshot([]byte("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -30,6 +30,7 @@ package server
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -41,6 +42,7 @@ import (
 	"repro/internal/ipc"
 	"repro/internal/manager"
 	"repro/internal/memdb"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/wire"
 )
@@ -81,6 +83,14 @@ type Config struct {
 	// server's lifetime; any violation panics the executor — by contract
 	// there can be none.
 	Guard bool
+	// Metrics, when set, is the registry the server publishes its
+	// telemetry into; nil creates a private registry (retrieve it with
+	// Server.Metrics). Ignored when DisableMetrics is set.
+	Metrics *metrics.Registry
+	// DisableMetrics turns the observability layer off entirely: no
+	// registry, no latency histograms, STATS2 answers an error. Exists so
+	// BenchmarkServerThroughput can quantify the instrumentation overhead.
+	DisableMetrics bool
 }
 
 func (c *Config) applyDefaults() {
@@ -165,6 +175,18 @@ type Server struct {
 	// and forced sweeps; executor-only after construction.
 	checks []audit.FullChecker
 
+	// tel is the server-level telemetry (nil when Config.DisableMetrics);
+	// auditTel publishes audit-layer metrics into the same registry.
+	tel      *telemetry
+	auditTel *audit.Telemetry
+
+	// Audit-process elements of the most recent buildAuditProcess run,
+	// retained so refreshExecutorMetrics can publish their counters.
+	// Executor-thread only.
+	hbElem   *audit.HeartbeatElement
+	progElem *audit.ProgressElement
+	periodic *audit.PeriodicElement
+
 	reqs chan task
 	ctrl chan func() // executor-thread closures (session teardown, snapshots)
 
@@ -232,14 +254,29 @@ func New(db *memdb.DB, cfg Config) (*Server, error) {
 		db.EnableConcurrencyCheck(nil)
 	}
 
-	rec := audit.Recovery{OnFinding: func(audit.Finding) { s.findings.Add(1) }}
+	if !cfg.DisableMetrics {
+		reg := cfg.Metrics
+		if reg == nil {
+			reg = metrics.NewRegistry()
+		}
+		s.auditTel = audit.NewTelemetry(reg)
+		s.tel = newTelemetry(reg)
+	}
+
+	rec := audit.Recovery{OnFinding: s.noteFinding}
 	s.checks = []audit.FullChecker{
-		// The first check is wrapped to count completed sweeps: every
-		// full pass (periodic or forced) runs each check exactly once.
-		countedCheck{FullChecker: audit.NewStaticCheck(db, rec), n: &s.sweeps},
+		audit.NewStaticCheck(db, rec),
 		audit.NewStructuralCheck(db, rec),
 		audit.NewRangeCheck(db, rec),
 	}
+	if s.auditTel != nil {
+		for i, c := range s.checks {
+			s.checks[i] = s.auditTel.WrapFull(c)
+		}
+	}
+	// The first check is wrapped to count completed sweeps: every full
+	// pass (periodic or forced) runs each check exactly once.
+	s.checks[0] = countedCheck{FullChecker: s.checks[0], n: &s.sweeps, tel: s.auditTel}
 
 	if cfg.AuditPeriod > 0 {
 		q, err := ipc.NewQueue(cfg.AuditQueueDepth)
@@ -253,20 +290,168 @@ func New(db *memdb.DB, cfg Config) (*Server, error) {
 			manager.WithOnRestart(func(n int) { s.restarts.Store(int64(n)) }))
 	}
 	s.start = time.Now()
+	if s.tel != nil {
+		s.registerMetrics()
+	}
 	go s.executor()
 	return s, nil
+}
+
+// noteFinding observes every audit finding: the legacy aggregate counter
+// plus the per-class/per-action telemetry.
+func (s *Server) noteFinding(f audit.Finding) {
+	s.findings.Add(1)
+	if s.auditTel != nil {
+		s.auditTel.Note(f)
+	}
 }
 
 // countedCheck wraps one audit technique with a sweep counter.
 type countedCheck struct {
 	audit.FullChecker
-	n *atomic.Uint64
+	n   *atomic.Uint64
+	tel *audit.Telemetry
 }
 
 // CheckAll counts one sweep and delegates.
 func (c countedCheck) CheckAll() []audit.Finding {
 	c.n.Add(1)
+	if c.tel != nil {
+		c.tel.NoteSweep()
+	}
 	return c.FullChecker.CheckAll()
+}
+
+// telemetry is the server-level metric set. The histograms and counters
+// are updated from connection goroutines and the executor; the refreshed
+// gauges are published only by refreshExecutorMetrics (executor thread).
+type telemetry struct {
+	reg *metrics.Registry
+
+	// latency is indexed by wire.Op (index 0, the invalid op, stays nil).
+	// Each histogram observes queue wait + execution, measured in submit.
+	latency [wire.NumOps]*metrics.Histogram
+
+	// forcedSweeps counts OpSweep-driven full sweeps (shutdown's certifying
+	// sweep included); "audit.sweeps" counts all completed sweeps.
+	forcedSweeps *metrics.Counter
+
+	// Executor-refreshed gauges mirroring single-writer counters that live
+	// in the manager and the audit-process elements.
+	mgrProbes, mgrReplies, mgrAlive      *metrics.Gauge
+	hbReplies, progRecoveries, perSweeps *metrics.Gauge
+}
+
+func newTelemetry(reg *metrics.Registry) *telemetry {
+	t := &telemetry{reg: reg}
+	for op := 1; op < wire.NumOps; op++ {
+		t.latency[op] = reg.Histogram("server.latency."+wire.Op(op).String(), nil)
+	}
+	t.forcedSweeps = reg.Counter("audit.sweeps.forced")
+	t.mgrProbes = reg.Gauge("manager.probes")
+	t.mgrReplies = reg.Gauge("manager.replies")
+	t.mgrAlive = reg.Gauge("manager.alive")
+	t.hbReplies = reg.Gauge("audit.heartbeat.replies")
+	t.progRecoveries = reg.Gauge("audit.progress.recoveries")
+	t.perSweeps = reg.Gauge("audit.triggers.periodic")
+	return t
+}
+
+// registerMetrics wires the gauge functions that read the server's own
+// lock-protected or atomic state, binds the memdb activity gauges, and
+// exports the audit notification queue. Called once from New.
+func (s *Server) registerMetrics() {
+	reg := s.tel.reg
+	reg.GaugeFunc("server.queue.depth", func() int64 { return int64(len(s.reqs)) })
+	reg.GaugeFunc("server.queue.capacity", func() int64 { return int64(cap(s.reqs)) })
+	reg.GaugeFunc("server.queue.dropped", func() int64 {
+		s.dropMu.Lock()
+		defer s.dropMu.Unlock()
+		return int64(s.dropped)
+	})
+	reg.GaugeFunc("server.queue.drop_burst", func() int64 {
+		s.dropMu.Lock()
+		defer s.dropMu.Unlock()
+		return int64(s.maxBurst)
+	})
+	reg.GaugeFunc("server.queue.high_water", func() int64 {
+		s.dropMu.Lock()
+		defer s.dropMu.Unlock()
+		return int64(s.highWater)
+	})
+	reg.GaugeFunc("server.conns.active", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(len(s.conns))
+	})
+	reg.GaugeFunc("server.conns.total", func() int64 { return int64(s.totalConns.Load()) })
+	reg.GaugeFunc("server.executed", func() int64 { return int64(s.executed.Load()) })
+	reg.GaugeFunc("server.audit.restarts", func() int64 { return s.restarts.Load() })
+	reg.GaugeFunc("server.audit.findings", func() int64 { return int64(s.findings.Load()) })
+	if s.audit != nil {
+		s.audit.RegisterMetrics(reg, "audit.queue")
+	}
+	s.db.BindMetrics(reg)
+}
+
+// refreshExecutorMetrics publishes every single-writer counter — memdb
+// table activity, manager probe accounting, audit element progress — into
+// the registry's atomic gauges. Executor thread only; called on each clock
+// tick, before STATS2 snapshots, and at drain.
+func (s *Server) refreshExecutorMetrics() {
+	if s.tel == nil {
+		return
+	}
+	s.db.RefreshMetrics()
+	if s.mgr != nil {
+		s.tel.mgrProbes.Set(int64(s.mgr.Probes()))
+		s.tel.mgrReplies.Set(int64(s.mgr.Replies()))
+		alive := int64(0)
+		if p := s.mgr.Process(); p != nil && p.Alive() {
+			alive = 1
+		}
+		s.tel.mgrAlive.Set(alive)
+	}
+	if s.hbElem != nil {
+		s.tel.hbReplies.Set(int64(s.hbElem.Replies()))
+	}
+	if s.progElem != nil {
+		s.tel.progRecoveries.Set(int64(s.progElem.Recoveries()))
+	}
+	if s.periodic != nil {
+		s.tel.perSweeps.Set(int64(s.periodic.Sweeps()))
+	}
+}
+
+// Metrics returns the registry the server publishes into, or nil when
+// Config.DisableMetrics was set.
+func (s *Server) Metrics() *metrics.Registry {
+	if s.tel == nil {
+		return nil
+	}
+	return s.tel.reg
+}
+
+// SnapshotMetrics refreshes the executor-owned gauges and snapshots the
+// registry, from any goroutine: the refresh rides the executor's control
+// channel, so the returned snapshot is current rather than one clock tick
+// stale. Returns an error when metrics are disabled.
+func (s *Server) SnapshotMetrics() (metrics.Snapshot, error) {
+	if s.tel == nil {
+		return metrics.Snapshot{}, errors.New("server: metrics disabled")
+	}
+	refreshed := make(chan struct{})
+	select {
+	case s.ctrl <- func() { s.refreshExecutorMetrics(); close(refreshed) }:
+		select {
+		case <-refreshed:
+		case <-s.done:
+			// Executor exited first; drainAndStop ran a final refresh.
+		}
+	case <-s.done:
+		// Executor already gone: the gauges hold their final values.
+	}
+	return s.tel.reg.Snapshot(), nil
 }
 
 // buildAuditProcess is the manager's factory: heartbeat responder,
@@ -274,11 +459,13 @@ func (c countedCheck) CheckAll() []audit.Finding {
 // static/structural/range checks. Called at start and on every restart.
 func (s *Server) buildAuditProcess(q *ipc.Queue) (*audit.Process, error) {
 	p := audit.NewProcess(s.env, s.db, q)
-	if err := p.Register(audit.NewHeartbeatElement()); err != nil {
+	hb := audit.NewHeartbeatElement()
+	if err := p.Register(hb); err != nil {
 		return nil, err
 	}
-	rec := audit.Recovery{OnFinding: func(audit.Finding) { s.findings.Add(1) }}
-	if err := p.Register(audit.NewProgressElement(rec)); err != nil {
+	rec := audit.Recovery{OnFinding: s.noteFinding}
+	prog := audit.NewProgressElement(rec)
+	if err := p.Register(prog); err != nil {
 		return nil, err
 	}
 	checkers := make([]audit.Checker, len(s.checks))
@@ -289,6 +476,9 @@ func (s *Server) buildAuditProcess(q *ipc.Queue) (*audit.Process, error) {
 	if err := p.Register(per); err != nil {
 		return nil, err
 	}
+	// Retained for refreshExecutorMetrics; buildAuditProcess runs only on
+	// the executor thread (manager start/restart), same as the refresher.
+	s.hbElem, s.progElem, s.periodic = hb, prog, per
 	return p, nil
 }
 
@@ -401,6 +591,7 @@ func (s *Server) advanceClock() {
 	if d := target - s.env.Now(); d > 0 {
 		_ = s.env.Run(d)
 	}
+	s.refreshExecutorMetrics()
 }
 
 // drainAndStop finishes every queued request and control action, runs one
@@ -425,11 +616,15 @@ func (s *Server) drainAndStop() {
 	if s.audit != nil {
 		s.db.DisableAudit()
 	}
+	s.refreshExecutorMetrics()
 }
 
 // runSweep executes every audit technique over the whole region and
 // returns the number of findings. Executor thread only.
 func (s *Server) runSweep() int {
+	if s.tel != nil {
+		s.tel.forcedSweeps.Inc()
+	}
 	n := 0
 	for _, c := range s.checks {
 		n += len(c.CheckAll())
@@ -466,6 +661,16 @@ func (s *Server) handle(c *conn, q wire.Request) wire.Response {
 		return ok(uint32(s.runSweep()))
 	case wire.OpStats:
 		return ok(s.statsVals()...)
+	case wire.OpStats2:
+		if s.tel == nil {
+			return wire.ErrorResponse(q.Seq, errors.New("server: metrics disabled"))
+		}
+		s.refreshExecutorMetrics()
+		data, err := json.Marshal(s.tel.reg.Snapshot())
+		if err != nil {
+			return wire.ErrorResponse(q.Seq, err)
+		}
+		return wire.Response{Detail: string(data)}
 	case wire.OpInit:
 		if c.sess != nil {
 			return wire.ErrorResponse(q.Seq, wire.ErrSessionExists)
@@ -621,6 +826,14 @@ func (s *Server) submit(c *conn, req wire.Request) wire.Response {
 		return wire.ErrorResponse(req.Seq, wire.ErrShutdown)
 	default:
 	}
+	// Latency is measured from enqueue to reply delivery: queue wait plus
+	// execution. Shed and timed-out requests are not observed — they would
+	// fold two failure modes into the service-time distribution.
+	rec := s.tel != nil && req.Op.Valid()
+	var t0 time.Time
+	if rec {
+		t0 = time.Now()
+	}
 	t := task{c: c, req: req, reply: make(chan wire.Response, 1)}
 	select {
 	case s.reqs <- t:
@@ -633,6 +846,9 @@ func (s *Server) submit(c *conn, req wire.Request) wire.Response {
 	}
 	select {
 	case resp := <-t.reply:
+		if rec {
+			s.tel.latency[req.Op].Observe(int64(time.Since(t0)))
+		}
 		return resp
 	case <-time.After(s.cfg.ReplyTimeout):
 		// The executor is wedged or far behind. The buffered reply

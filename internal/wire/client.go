@@ -210,6 +210,21 @@ func (c *Conn) Sweep() (int, error) {
 	return int(r.Vals[0]), nil
 }
 
+// Stats2 fetches the server's full metrics snapshot as a JSON document:
+// per-opcode latency percentiles, audit check runtimes and findings, queue
+// drop stats, and the memdb activity gauges. Decode it with
+// metrics.ParseSnapshot.
+func (c *Conn) Stats2() ([]byte, error) {
+	r, err := c.call(Request{Op: OpStats2})
+	if err != nil {
+		return nil, err
+	}
+	if len(r.Detail) == 0 {
+		return nil, fmt.Errorf("%w: Stats2 reply carries no document", ErrBadFrame)
+	}
+	return []byte(r.Detail), nil
+}
+
 // Stats fetches the server counter snapshot (indexed by the StatsVals
 // constants).
 func (c *Conn) Stats() ([]uint32, error) {

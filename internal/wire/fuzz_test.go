@@ -1,0 +1,66 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzCodec throws arbitrary bytes at every decoder entry point a peer
+// controls: the frame reader and both payload parsers. The invariants are
+// the protocol's safety contract — a malformed length prefix, truncated
+// payload, or lying count field must produce an error, never a panic or an
+// over-allocation; and any payload a parser accepts must re-encode to the
+// identical bytes (the codec is canonical).
+func FuzzCodec(f *testing.F) {
+	// In-code seeds mirror testdata/fuzz/FuzzCodec: valid request and
+	// response encodings plus the malformed shapes the parsers reject.
+	f.Add(AppendRequest(nil, Request{Seq: 7, Op: OpReadFld, Table: 3, Record: 9, Field: 2}))
+	f.Add(AppendRequest(nil, Request{Seq: 1, Op: OpWriteRec, Table: 1, Vals: []uint32{1, 2, 3}}))
+	f.Add(AppendResponse(nil, Response{Seq: 7, Vals: []uint32{42}}))
+	f.Add(AppendResponse(nil, Response{Seq: 9, Code: CodeBounds, Index: 5, Limit: 4, Detail: "record"}))
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(bytes.Repeat([]byte{0xFF}, reqFixed))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if q, err := ParseRequest(data); err == nil {
+			out := AppendRequest(nil, q)
+			if !bytes.Equal(out, data) {
+				t.Errorf("request re-encode differs:\n in %x\nout %x", data, out)
+			}
+			q2, err := ParseRequest(out)
+			if err != nil {
+				t.Fatalf("re-parse of accepted request failed: %v", err)
+			}
+			if !reflect.DeepEqual(q, q2) {
+				t.Errorf("request round-trip drift: %+v vs %+v", q, q2)
+			}
+		}
+
+		if r, err := ParseResponse(data); err == nil {
+			out := AppendResponse(nil, r)
+			// The encoder truncates Detail at MaxDetail; a parsed detail can
+			// be longer (u16 length field), so byte equality only holds below
+			// the cap.
+			if len(r.Detail) <= MaxDetail && !bytes.Equal(out, data) {
+				t.Errorf("response re-encode differs:\n in %x\nout %x", data, out)
+			}
+			if _, err := ParseResponse(out); err != nil {
+				t.Fatalf("re-parse of re-encoded response failed: %v", err)
+			}
+		}
+
+		// Frame layer: whatever the bytes claim, ReadFrame must either
+		// deliver exactly the declared payload or fail cleanly.
+		payload, err := ReadFrame(bytes.NewReader(data), MaxFrame)
+		if err == nil {
+			if len(payload) == 0 || len(payload) > MaxFrame {
+				t.Fatalf("ReadFrame accepted a %d-byte payload", len(payload))
+			}
+			if !bytes.Equal(payload, data[4:4+len(payload)]) {
+				t.Error("ReadFrame delivered bytes that differ from the wire")
+			}
+		}
+	})
+}

@@ -38,21 +38,22 @@ type Op uint8
 // the second exposes the allocation/transaction calls of internal/memdb;
 // the third is serving-plane control.
 const (
-	OpPing Op = iota + 1
-	OpInit     // DBinit: open a session, returns [pid]
-	OpClose    // DBclose: close the session
-	OpReadRec  // DBread_rec: returns all fields
-	OpReadFld  // DBread_fld: returns [value]
-	OpWriteRec // DBwrite_rec: Vals carries all fields
-	OpWriteFld // DBwrite_fld: Vals[0] is the value
-	OpMove     // DBmove: Aux is the destination group
-	OpAlloc    // allocate a record, Aux is the group, returns [record]
-	OpFree     // free a record
-	OpBegin    // open a transaction lock on Table
-	OpCommit   // release every transaction lock
-	OpStatus   // returns [record status byte]
-	OpSweep    // force one full audit sweep, returns [finding count]
-	OpStats    // server counters snapshot, see StatsVals
+	OpPing     Op = iota + 1
+	OpInit        // DBinit: open a session, returns [pid]
+	OpClose       // DBclose: close the session
+	OpReadRec     // DBread_rec: returns all fields
+	OpReadFld     // DBread_fld: returns [value]
+	OpWriteRec    // DBwrite_rec: Vals carries all fields
+	OpWriteFld    // DBwrite_fld: Vals[0] is the value
+	OpMove        // DBmove: Aux is the destination group
+	OpAlloc       // allocate a record, Aux is the group, returns [record]
+	OpFree        // free a record
+	OpBegin       // open a transaction lock on Table
+	OpCommit      // release every transaction lock
+	OpStatus      // returns [record status byte]
+	OpSweep       // force one full audit sweep, returns [finding count]
+	OpStats       // server counters snapshot, see StatsVals
+	OpStats2      // full metrics snapshot; Detail carries the JSON document
 	opMax
 )
 
@@ -92,6 +93,8 @@ func (o Op) String() string {
 		return "Sweep"
 	case OpStats:
 		return "Stats"
+	case OpStats2:
+		return "Stats2"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -164,6 +167,11 @@ const (
 	// maxVals bounds the value vector; with u16 count this is the codec
 	// ceiling regardless of frame budget.
 	maxVals = 1 << 14
+	// MaxDetail bounds the response detail string. Error diagnostics are
+	// short, but the STATS2 metrics snapshot rides in Detail as a JSON
+	// document, so the cap must clear a full registry dump while still
+	// fitting MaxFrame alongside the fixed response fields.
+	MaxDetail = 1 << 15
 
 	reqFixed  = 4 + 1 + 4*4 + 2
 	respFixed = 4 + 1 + 4 + 4 + 2 + 2
@@ -242,8 +250,8 @@ func ParseRequest(p []byte) (Request, error) {
 // AppendResponse appends the encoded response to dst.
 func AppendResponse(dst []byte, r Response) []byte {
 	detail := r.Detail
-	if len(detail) > 1<<10 {
-		detail = detail[:1<<10]
+	if len(detail) > MaxDetail {
+		detail = detail[:MaxDetail]
 	}
 	dst = binary.LittleEndian.AppendUint32(dst, r.Seq)
 	dst = append(dst, byte(r.Code))
