@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test check cover fuzz-smoke bench clean
+.PHONY: all build vet test check cover fuzz-smoke trace-smoke bench clean
 
 all: check
 
@@ -28,6 +28,13 @@ cover:
 # mutation. Any crasher is a framing-safety regression.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzCodec -fuzztime=30s ./internal/wire
+
+# Flight-recorder smoke: a small traced injection campaign must produce a
+# non-empty journal that round-trips through the JSON codec (reproduce
+# validates both before writing the file).
+trace-smoke:
+	$(GO) run ./cmd/reproduce -exp table8 -scale 0.05 -trace /tmp/trace-smoke.json
+	rm -f /tmp/trace-smoke.json
 
 bench:
 	$(GO) test -bench . -benchtime 0.5s -run '^$$' .

@@ -359,12 +359,18 @@ func BenchmarkAuditFullSweep(b *testing.B) {
 // overhead as seen by a network client. disableMetrics turns the
 // observability layer off, so audited vs audited-nometrics isolates the
 // instrumentation cost (latency histograms + gauges; target < 5%).
-func benchmarkServerThroughput(b *testing.B, auditPeriod time.Duration, disableMetrics bool) {
+// disableTrace likewise gates the flight recorder, so audited-traced vs
+// audited pins the per-request journaling cost (target < 5%).
+func benchmarkServerThroughput(b *testing.B, auditPeriod time.Duration, disableMetrics, disableTrace bool) {
 	db, err := memdb.New(callproc.Schema(callproc.DefaultSchemaConfig()))
 	if err != nil {
 		b.Fatal(err)
 	}
-	srv, err := server.New(db, server.Config{AuditPeriod: auditPeriod, DisableMetrics: disableMetrics})
+	srv, err := server.New(db, server.Config{
+		AuditPeriod:    auditPeriod,
+		DisableMetrics: disableMetrics,
+		DisableTrace:   disableTrace,
+	})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -408,9 +414,13 @@ func benchmarkServerThroughput(b *testing.B, auditPeriod time.Duration, disableM
 }
 
 func BenchmarkServerThroughput(b *testing.B) {
-	b.Run("noaudit", func(b *testing.B) { benchmarkServerThroughput(b, -1, false) })
-	b.Run("audited", func(b *testing.B) { benchmarkServerThroughput(b, 50*time.Millisecond, false) })
-	b.Run("audited-nometrics", func(b *testing.B) { benchmarkServerThroughput(b, 50*time.Millisecond, true) })
+	// The flight recorder stays off in the first three subruns so
+	// "audited" remains the metrics-only baseline; "audited-traced" is the
+	// same configuration with per-request journaling on.
+	b.Run("noaudit", func(b *testing.B) { benchmarkServerThroughput(b, -1, false, true) })
+	b.Run("audited", func(b *testing.B) { benchmarkServerThroughput(b, 50*time.Millisecond, false, true) })
+	b.Run("audited-nometrics", func(b *testing.B) { benchmarkServerThroughput(b, 50*time.Millisecond, true, true) })
+	b.Run("audited-traced", func(b *testing.B) { benchmarkServerThroughput(b, 50*time.Millisecond, false, false) })
 }
 
 func BenchmarkVMStep(b *testing.B) {

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"net"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -10,6 +12,7 @@ import (
 	"repro/internal/callproc"
 	"repro/internal/memdb"
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 // startServer brings up an in-process dbserve-equivalent on a loopback
@@ -126,5 +129,96 @@ func TestFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"-ops", "-5"}, &bytes.Buffer{}, nil); err == nil {
 		t.Fatal("negative ops accepted")
+	}
+}
+
+// TestTraceDump runs a load against an injecting server and checks the
+// -trace journal dump: the file holds a merged, decodable, seq-ordered
+// journal that includes request chains and injected shots.
+func TestTraceDump(t *testing.T) {
+	db, err := memdb.New(callproc.Schema(callproc.DefaultSchemaConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(db, server.Config{
+		AuditPeriod:  20 * time.Millisecond,
+		InjectPeriod: 10 * time.Millisecond,
+		InjectSeed:   5,
+		Guard:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		if err := srv.Shutdown(5 * time.Second); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	addr := ln.Addr().String()
+
+	path := filepath.Join(t.TempDir(), "journal.json")
+	var out bytes.Buffer
+	err = run([]string{"-addr", addr, "-conns", "2", "-ops", "400",
+		"-expect-findings", "-trace", path}, &out, nil)
+	if err != nil {
+		t.Fatalf("dbload: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "dbload: journal: ") {
+		t.Errorf("no journal summary line in:\n%s", out.String())
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := trace.DecodeJSON(data)
+	if err != nil {
+		t.Fatalf("decode journal: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("journal is empty")
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("journal out of order at %d: seq %d then %d",
+				i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	// The load's own requests are journaled; the injector fired during a
+	// 400-op run against a 10 ms period.
+	if len(trace.Filter(evs, trace.KindReqReply)) == 0 {
+		t.Error("journal has no req-reply events")
+	}
+	if len(trace.Filter(evs, trace.KindShot)) == 0 {
+		t.Error("journal has no inject-shot events")
+	}
+}
+
+// TestTraceDumpToStdout: "-trace -" writes the journal to the report
+// writer instead of a file.
+func TestTraceDumpToStdout(t *testing.T) {
+	addr := startServer(t)
+	var out bytes.Buffer
+	if err := run([]string{"-addr", addr, "-conns", "1", "-ops", "50",
+		"-trace", "-"}, &out, nil); err != nil {
+		t.Fatalf("dbload: %v\noutput:\n%s", err, out.String())
+	}
+	s := out.String()
+	i := strings.Index(s, "[")
+	if i < 0 {
+		t.Fatalf("no JSON array in output:\n%s", s)
+	}
+	j := strings.LastIndex(s, "]")
+	evs, err := trace.DecodeJSON([]byte(s[i : j+1]))
+	if err != nil {
+		t.Fatalf("decode stdout journal: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("stdout journal is empty")
 	}
 }

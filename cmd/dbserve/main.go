@@ -24,14 +24,17 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
 	"repro/internal/callproc"
 	"repro/internal/memdb"
 	"repro/internal/server"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -60,6 +63,8 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 	img := fs.String("img", "", "serve this dbctl image instead of a pristine database")
 	queue := fs.Int("queue", 0, "request queue depth (0 = default)")
 	auditPeriod := fs.Duration("audit-period", time.Second, "periodic audit sweep interval; negative disables audits")
+	injectPeriod := fs.Duration("inject-period", 0, "flip one random database bit per interval and journal the shot (fault-injection demo; 0 disables)")
+	injectSeed := fs.Int64("inject-seed", 1, "fault injector RNG seed")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "drain deadline on shutdown")
 	cfgRecords := fs.Int("config-records", 16, "schema: configuration records")
 	cfgFields := fs.Int("config-fields", 4, "schema: configuration fields")
@@ -90,11 +95,17 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 	}
 
 	srv, err := server.New(db, server.Config{
-		QueueDepth:  *queue,
-		AuditPeriod: *auditPeriod,
+		QueueDepth:   *queue,
+		AuditPeriod:  *auditPeriod,
+		InjectPeriod: *injectPeriod,
+		InjectSeed:   *injectSeed,
 	})
 	if err != nil {
 		return err
+	}
+	if *injectPeriod > 0 {
+		fmt.Fprintf(out, "dbserve: fault injector armed (one bit flip per %v, seed %d)\n",
+			*injectPeriod, *injectSeed)
 	}
 
 	if *metricsAddr != "" {
@@ -133,9 +144,12 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 	return drainErr
 }
 
-// statszMux serves the server's metrics registry: GET /statsz answers the
-// JSON snapshot (the same document the wire STATS2 request returns);
-// ?format=text switches to the sorted line format.
+// statszMux serves the server's observability endpoints: GET /statsz
+// answers the metrics snapshot (the same document the wire STATS2 request
+// returns; ?format=text for the line format), GET /tracez the flight-
+// recorder journal (?n= caps the event count, ?kind= filters by journal
+// name like "req-reply" or "finding", ?format=text for the line format),
+// and /debug/pprof/ the standard Go profiles.
 func statszMux(srv *server.Server) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
@@ -154,6 +168,49 @@ func statszMux(srv *server.Server) *http.ServeMux {
 		enc.SetIndent("", "  ")
 		enc.Encode(snap)
 	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		if srv.Trace() == nil {
+			http.Error(w, "tracing disabled", http.StatusServiceUnavailable)
+			return
+		}
+		q := r.URL.Query()
+		n := 0
+		if v := q.Get("n"); v != "" {
+			parsed, err := strconv.Atoi(v)
+			if err != nil || parsed < 0 {
+				http.Error(w, "bad n: want a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			n = parsed
+		}
+		var kind trace.Kind
+		if v := q.Get("kind"); v != "" {
+			k, ok := trace.KindFromString(v)
+			if !ok {
+				http.Error(w, "unknown kind "+strconv.Quote(v), http.StatusBadRequest)
+				return
+			}
+			kind = k
+		}
+		evs := srv.TraceEvents(kind, n)
+		if q.Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			trace.WriteText(w, evs)
+			return
+		}
+		data, err := trace.EncodeJSON(evs)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 

@@ -13,6 +13,7 @@ import (
 	"repro/internal/callproc"
 	"repro/internal/memdb"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -234,5 +235,117 @@ func TestBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-addr", "256.0.0.1:bogus"}, &bytes.Buffer{}, nil, nil); err == nil {
 		t.Fatal("bad address accepted")
+	}
+}
+
+// TestTracezEndpoint serves with the fault injector armed and checks the
+// flight-recorder endpoint: JSON journal, kind filter, tail cap, text
+// rendering, parameter validation, and the pprof index next door.
+func TestTracezEndpoint(t *testing.T) {
+	addr, stop, done, out := serve(t, []string{
+		"-metrics-addr", "127.0.0.1:0",
+		"-audit-period", "20ms",
+		"-inject-period", "10ms",
+	})
+	defer func() {
+		close(stop)
+		<-done
+	}()
+
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Init(); err != nil {
+		t.Fatal(err)
+	}
+	ri, err := c.Alloc(callproc.TblRes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Against an injecting server individual ops may fail; keep driving.
+	for i := 0; i < 100; i++ {
+		_ = c.WriteFld(callproc.TblRes, ri, callproc.FldResQuality, uint32(i%101))
+	}
+
+	s := out.String()
+	if !strings.Contains(s, "fault injector armed") {
+		t.Fatalf("no injector banner in output:\n%s", s)
+	}
+	const marker = "dbserve: metrics on "
+	i := strings.Index(s, marker)
+	if i < 0 {
+		t.Fatalf("no %q line in output:\n%s", marker, s)
+	}
+	maddr := strings.TrimSpace(strings.SplitN(s[i+len(marker):], "\n", 2)[0])
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get("http://" + maddr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	code, body := get("/tracez")
+	if code != http.StatusOK {
+		t.Fatalf("GET /tracez: %d\n%s", code, body)
+	}
+	evs, err := trace.DecodeJSON(body)
+	if err != nil {
+		t.Fatalf("decode /tracez: %v\n%s", err, body)
+	}
+	if len(evs) == 0 {
+		t.Fatal("/tracez journal is empty")
+	}
+
+	// Shots land on the executor's clock; keep driving load until the
+	// injector has fired at least once.
+	var shots []trace.Event
+	deadline := time.Now().Add(10 * time.Second)
+	for len(shots) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no inject-shot events within deadline")
+		}
+		for i := 0; i < 50; i++ {
+			_ = c.WriteFld(callproc.TblRes, ri, callproc.FldResQuality, uint32(i%101))
+		}
+		code, body = get("/tracez?kind=inject-shot&n=3")
+		if code != http.StatusOK {
+			t.Fatalf("GET /tracez?kind=inject-shot: %d\n%s", code, body)
+		}
+		if shots, err = trace.DecodeJSON(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(shots) > 3 {
+		t.Fatalf("filtered /tracez returned %d events, want 1..3", len(shots))
+	}
+	for _, e := range shots {
+		if e.Kind != trace.KindShot {
+			t.Fatalf("kind filter leaked %v event", e.Kind)
+		}
+	}
+
+	code, body = get("/tracez?format=text")
+	if code != http.StatusOK || !strings.Contains(string(body), "conn-accept") {
+		t.Fatalf("text /tracez: %d\n%s", code, body)
+	}
+
+	for _, bad := range []string{"/tracez?kind=bogus", "/tracez?n=-1", "/tracez?n=x"} {
+		if code, body = get(bad); code != http.StatusBadRequest {
+			t.Errorf("GET %s: %d, want 400\n%s", bad, code, body)
+		}
+	}
+
+	if code, body = get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("GET /debug/pprof/: %d\n%s", code, body)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"repro/internal/experiment"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -35,8 +36,16 @@ func run(args []string) error {
 	scale := fs.Float64("scale", 1.0, "scale factor in (0,1] for runs and durations")
 	seed := fs.Int64("seed", 7, "seed for seed-parameterized studies")
 	detail := fs.Bool("detail", false, "per-error-model breakdown with confidence intervals (table8/table9)")
+	traceFile := fs.String("trace", "", "write the campaigns' flight-recorder journal (table8/table9) as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// The recorder journals every table8/table9 campaign shot, detection,
+	// and outcome when -trace is set.
+	var rec *trace.Recorder
+	if *traceFile != "" {
+		rec = trace.New()
 	}
 
 	type runner struct {
@@ -57,11 +66,11 @@ func run(args []string) error {
 		{"figure5", func() (fmt.Stringer, error) { return render(experiment.RunFigure5(*scale)) }},
 		{"figure6", func() (fmt.Stringer, error) { return render(experiment.RunFigure6(*scale)) }},
 		{"table8", func() (fmt.Stringer, error) {
-			t, err := experiment.RunTable8(*scale)
+			t, err := experiment.RunTable8Traced(*scale, rec)
 			return renderTable89(t, err, *detail)
 		}},
 		{"table9", func() (fmt.Stringer, error) {
-			t, err := experiment.RunTable9(*scale)
+			t, err := experiment.RunTable9Traced(*scale, rec)
 			return renderTable89(t, err, *detail)
 		}},
 		{"table10", func() (fmt.Stringer, error) { return render(experiment.RunTable10(*scale)) }},
@@ -86,7 +95,45 @@ func run(args []string) error {
 	if !matched {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
+	if rec != nil {
+		return writeJournal(rec, *traceFile)
+	}
 	return nil
+}
+
+// writeJournal dumps the recorder's merged journal to path as JSON, then
+// validates it: the journal must be non-empty (a traced run that emitted
+// nothing is a wiring bug, not a quiet success) and must round-trip
+// through the decoder.
+func writeJournal(rec *trace.Recorder, path string) error {
+	evs := rec.Snapshot()
+	if len(evs) == 0 {
+		return fmt.Errorf("trace: journal is empty (-trace only captures table8/table9 campaigns)")
+	}
+	data, err := trace.EncodeJSON(evs)
+	if err != nil {
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	back, err := trace.DecodeJSON(data)
+	if err != nil {
+		return fmt.Errorf("trace: journal does not round-trip: %w", err)
+	}
+	if len(back) != len(evs) {
+		return fmt.Errorf("trace: round-trip lost events: %d != %d", len(back), len(evs))
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d events (%d dropped) to %s\n", len(evs), totalDrops(rec), path)
+	return nil
+}
+
+func totalDrops(rec *trace.Recorder) uint64 {
+	var n uint64
+	for _, d := range rec.Drops() {
+		n += d
+	}
+	return n
 }
 
 func renderTable89(t *experiment.Table89, err error, detail bool) (fmt.Stringer, error) {

@@ -1,0 +1,95 @@
+package audit
+
+import (
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Tracer is audit.Telemetry's flight-recorder sibling: where Telemetry
+// aggregates the audit layer into counters and histograms, Tracer records
+// each individual occurrence — check passes, findings, recoveries — into
+// a trace ring so a journal can reconstruct which check caught which
+// error and what recovery did about it.
+type Tracer struct {
+	ring *trace.Ring
+
+	// Resolve maps a finding to the correlation ID of its cause (e.g. the
+	// injected shot whose offset it covers); nil or a zero return leaves
+	// the finding uncorrelated.
+	Resolve func(Finding) uint64
+}
+
+// NewTracer builds an audit tracer emitting into rec's "audit" ring.
+func NewTracer(rec *trace.Recorder, ringSize int) *Tracer {
+	return &Tracer{ring: rec.Ring("audit", ringSize)}
+}
+
+// Ring returns the ring the tracer emits into, for co-located events
+// (manager heartbeat misses, restarts).
+func (t *Tracer) Ring() *trace.Ring { return t.ring }
+
+// Note records one finding as a finding event plus — when a recovery
+// action was applied — a recovery event sharing the same correlation ID.
+func (t *Tracer) Note(f Finding) {
+	var id uint64
+	if t.Resolve != nil {
+		id = t.Resolve(f)
+	}
+	t.ring.Emit(trace.Event{
+		Kind:   trace.KindFinding,
+		Trace:  id,
+		Op:     f.Class.String(),
+		Code:   int64(f.Action),
+		Arg:    int64(f.Offset),
+		Aux:    int64(f.Table),
+		Detail: f.Detail,
+	})
+	if f.Action != ActionNone {
+		t.ring.Emit(trace.Event{
+			Kind:  trace.KindRecovery,
+			Trace: id,
+			Op:    f.Action.String(),
+			Arg:   int64(f.Offset),
+			Aux:   int64(f.Table),
+		})
+	}
+}
+
+// WrapFull decorates one audit technique so every CheckAll/CheckTable
+// pass brackets its findings with check-start and check-end events
+// (check-end carries the finding count and the runtime in nanoseconds).
+func (t *Tracer) WrapFull(fc FullChecker) FullChecker {
+	return &tracedChecker{FullChecker: fc, ring: t.ring, name: fc.Name()}
+}
+
+// tracedChecker emits pass events around a FullChecker.
+type tracedChecker struct {
+	FullChecker
+	ring *trace.Ring
+	name string
+}
+
+// CheckAll brackets one whole-purview pass.
+func (c *tracedChecker) CheckAll() []Finding {
+	c.ring.Emit(trace.Event{Kind: trace.KindCheckStart, Op: c.name})
+	t0 := time.Now()
+	fs := c.FullChecker.CheckAll()
+	c.ring.Emit(trace.Event{
+		Kind: trace.KindCheckEnd, Op: c.name,
+		Code: int64(len(fs)), Arg: int64(time.Since(t0)),
+	})
+	return fs
+}
+
+// CheckTable brackets one table-scoped pass.
+func (c *tracedChecker) CheckTable(table int) []Finding {
+	c.ring.Emit(trace.Event{Kind: trace.KindCheckStart, Op: c.name, Aux: int64(table)})
+	t0 := time.Now()
+	fs := c.FullChecker.CheckTable(table)
+	c.ring.Emit(trace.Event{
+		Kind: trace.KindCheckEnd, Op: c.name,
+		Code: int64(len(fs)), Arg: int64(time.Since(t0)), Aux: int64(table),
+	})
+	return fs
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/inject"
+	"repro/internal/trace"
 )
 
 // CampaignColumn is one column of Tables 8/9: a detector configuration
@@ -51,12 +52,23 @@ type Table89 struct {
 // RunTable8 regenerates Table 8 (directed injection to CFIs). Scale
 // shrinks the per-campaign run count (paper: 200 runs × 4 models × 4
 // configurations).
-func RunTable8(scale float64) (*Table89, error) { return runTable89(scale, true) }
+func RunTable8(scale float64) (*Table89, error) { return runTable89(scale, true, nil) }
 
 // RunTable9 regenerates Table 9 (random injection to the text segment).
-func RunTable9(scale float64) (*Table89, error) { return runTable89(scale, false) }
+func RunTable9(scale float64) (*Table89, error) { return runTable89(scale, false, nil) }
 
-func runTable89(scale float64, directed bool) (*Table89, error) {
+// RunTable8Traced is RunTable8 with every campaign journaling its shots,
+// detections, and outcomes into rec's flight recorder.
+func RunTable8Traced(scale float64, rec *trace.Recorder) (*Table89, error) {
+	return runTable89(scale, true, rec)
+}
+
+// RunTable9Traced is RunTable9 with every campaign journaling into rec.
+func RunTable9Traced(scale float64, rec *trace.Recorder) (*Table89, error) {
+	return runTable89(scale, false, rec)
+}
+
+func runTable89(scale float64, directed bool, rec *trace.Recorder) (*Table89, error) {
 	if scale <= 0 || scale > 1 {
 		return nil, fmt.Errorf("experiment: scale %v out of (0,1]", scale)
 	}
@@ -73,6 +85,7 @@ func runTable89(scale float64, directed bool) (*Table89, error) {
 		for _, model := range inject.Models() {
 			c := inject.DefaultCampaign(model, directed, cc.pecos, cc.audit)
 			c.Runs = atLeast(int(float64(c.Runs)*scale), 10)
+			c.Trace = rec
 			res, err := c.Run()
 			if err != nil {
 				return nil, fmt.Errorf("experiment: campaign %v %s: %w", model, col.Name(), err)

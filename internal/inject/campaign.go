@@ -11,6 +11,7 @@ import (
 	"repro/internal/memdb"
 	"repro/internal/pecos"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
@@ -90,6 +91,12 @@ type Campaign struct {
 	DBErrorShare float64
 	// Seed makes the campaign deterministic.
 	Seed int64
+	// Trace, when set, turns the campaign into a replayable journal: each
+	// run emits its shot metadata onto the "inject" ring, audit findings
+	// onto the "audit" ring, PECOS violations onto the "pecos" ring, and
+	// its Table 7 classification as a run-outcome event — all correlated
+	// by a per-run shot ID.
+	Trace *trace.Recorder
 }
 
 // DefaultCampaign returns the paper's campaign shape for the given knobs.
@@ -159,7 +166,7 @@ func (c Campaign) Run() (*Result, error) {
 	}
 	res := &Result{Campaign: c, Counts: make(map[Outcome]int)}
 	for run := 0; run < c.Runs; run++ {
-		out, multi, err := c.oneRun(c.Seed + int64(run)*7919)
+		out, multi, err := c.oneRun(run, c.Seed+int64(run)*7919)
 		if err != nil {
 			return nil, fmt.Errorf("inject: run %d: %w", run, err)
 		}
@@ -176,9 +183,21 @@ func (c Campaign) Run() (*Result, error) {
 }
 
 // oneRun performs a single injection run and classifies it.
-func (c Campaign) oneRun(seed int64) (Outcome, bool, error) {
+func (c Campaign) oneRun(run int, seed int64) (Outcome, bool, error) {
 	rng := sim.NewRNG(seed)
 	dbError := c.DBErrorShare > 0 && rng.Bool(c.DBErrorShare)
+
+	// Flight recording: one shot ID correlates this run's injection,
+	// detections, and outcome across the journal.
+	var injRing *trace.Ring
+	var auditTracer *audit.Tracer
+	var shotID uint64
+	if c.Trace != nil {
+		injRing = c.Trace.Ring("inject", 0)
+		auditTracer = audit.NewTracer(c.Trace, 0)
+		shotID = c.Trace.NextTrace()
+		auditTracer.Resolve = func(audit.Finding) uint64 { return shotID }
+	}
 
 	var steps uint64
 	clock := stepClock(&steps)
@@ -228,6 +247,10 @@ func (c Campaign) oneRun(seed int64) (Outcome, bool, error) {
 	}
 	if rt != nil {
 		machine.OnTrap = rt.OnTrap
+		if c.Trace != nil {
+			rt.Trace = c.Trace.Ring("pecos", 0)
+			rt.TraceID = shotID
+		}
 	}
 
 	// Audit stack, when enabled.
@@ -276,6 +299,12 @@ func (c Campaign) oneRun(seed int64) (Outcome, bool, error) {
 		if err := injector.Attach(machine); err != nil {
 			return 0, false, err
 		}
+		if injRing != nil {
+			injRing.Emit(trace.Event{
+				Kind: trace.KindShot, Trace: shotID, Op: c.Model.String(),
+				Arg: int64(target), Aux: int64(run),
+			})
+		}
 	}
 
 	// Interleave execution quanta with periodic audits. Findings made
@@ -289,7 +318,13 @@ func (c Campaign) oneRun(seed int64) (Outcome, bool, error) {
 	}
 	runAudits := func(live bool) {
 		for _, chk := range checks {
-			if len(chk.CheckAll()) > 0 {
+			fs := chk.CheckAll()
+			if auditTracer != nil {
+				for _, f := range fs {
+					auditTracer.Note(f)
+				}
+			}
+			if len(fs) > 0 {
 				if live {
 					auditLive = true
 				} else {
@@ -307,8 +342,15 @@ func (c Campaign) oneRun(seed int64) (Outcome, bool, error) {
 			// Mixed campaign: the database error strikes now, at a
 			// uniformly random byte of the shared region.
 			off := rng.Intn(db.Size())
-			_ = db.FlipBit(off, uint(rng.Intn(8)))
+			bit := rng.Intn(8)
+			_ = db.FlipBit(off, uint(bit))
 			dbFlipped = true
+			if injRing != nil {
+				injRing.Emit(trace.Event{
+					Kind: trace.KindShot, Trace: shotID, Op: "dbflip",
+					Arg: int64(off), Code: int64(bit), Aux: int64(run),
+				})
+			}
 		}
 		if rt != nil && rt.Detections > 0 {
 			pecosDetected = true
@@ -332,14 +374,26 @@ func (c Campaign) oneRun(seed int64) (Outcome, bool, error) {
 		runAudits(!crashed && !hang)
 	}
 
+	// finish stamps the run's classification into the journal before
+	// returning it, closing the shot→detection→outcome chain.
+	finish := func(o Outcome, multi bool) (Outcome, bool, error) {
+		if injRing != nil {
+			injRing.Emit(trace.Event{
+				Kind: trace.KindOutcome, Trace: shotID, Op: o.String(),
+				Aux: int64(run),
+			})
+		}
+		return o, multi, nil
+	}
+
 	multi := false
 	if injector != nil {
 		multi = len(injector.ActivatedThreads) > 1
 		if !injector.Activated() {
-			return OutcomeNotActivated, multi, nil
+			return finish(OutcomeNotActivated, multi)
 		}
 	} else if !dbFlipped {
-		return OutcomeNotActivated, false, nil
+		return finish(OutcomeNotActivated, false)
 	}
 
 	// Fail-silence evidence: the client flagged a mismatch, or the final
@@ -353,18 +407,18 @@ func (c Campaign) oneRun(seed int64) (Outcome, bool, error) {
 	// found damage; then hang, audit-after-the-fact, and fail-silence.
 	switch {
 	case pecosDetected:
-		return OutcomePECOS, multi, nil
+		return finish(OutcomePECOS, multi)
 	case auditLive:
-		return OutcomeAudit, multi, nil
+		return finish(OutcomeAudit, multi)
 	case crashed:
-		return OutcomeSystem, multi, nil
+		return finish(OutcomeSystem, multi)
 	case hang:
-		return OutcomeHang, multi, nil
+		return finish(OutcomeHang, multi)
 	case auditPost:
-		return OutcomeAudit, multi, nil
+		return finish(OutcomeAudit, multi)
 	case fsv:
-		return OutcomeFSV, multi, nil
+		return finish(OutcomeFSV, multi)
 	default:
-		return OutcomeNotManifested, multi, nil
+		return finish(OutcomeNotManifested, multi)
 	}
 }

@@ -1,0 +1,86 @@
+package inject
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestCampaignJournal runs a small traced campaign and checks the journal
+// is complete and correlated: one shot and one outcome per run sharing a
+// trace ID, detections joined to their shot, sequence numbers monotone.
+func TestCampaignJournal(t *testing.T) {
+	rec := trace.New()
+	c := DefaultCampaign(ADDIF, true, true, true)
+	c.Runs = 12
+	c.Trace = rec
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected != c.Runs {
+		t.Fatalf("Injected = %d, want %d", res.Injected, c.Runs)
+	}
+
+	evs := rec.Snapshot()
+	if len(evs) == 0 {
+		t.Fatal("traced campaign produced an empty journal")
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("journal out of order at %d: seq %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+
+	shots := trace.Filter(evs, trace.KindShot)
+	outcomes := trace.Filter(evs, trace.KindOutcome)
+	if len(shots) != c.Runs {
+		t.Fatalf("%d shot events, want one per run (%d)", len(shots), c.Runs)
+	}
+	if len(outcomes) != c.Runs {
+		t.Fatalf("%d outcome events, want one per run (%d)", len(outcomes), c.Runs)
+	}
+
+	// Every outcome joins a shot by trace ID, and every shot resolves.
+	shotIDs := make(map[uint64]trace.Event, len(shots))
+	for _, s := range shots {
+		if s.Trace == 0 {
+			t.Fatalf("shot without trace ID: %+v", s)
+		}
+		if s.Op != ADDIF.String() {
+			t.Fatalf("shot Op = %q, want %q", s.Op, ADDIF.String())
+		}
+		shotIDs[s.Trace] = s
+	}
+	for _, o := range outcomes {
+		if _, ok := shotIDs[o.Trace]; !ok {
+			t.Fatalf("outcome %+v joins no shot", o)
+		}
+	}
+
+	// Detections — PECOS violations and audit findings — carry the shot ID
+	// of the run that caused them.
+	for _, k := range []trace.Kind{trace.KindPECOS, trace.KindFinding} {
+		for _, d := range trace.Filter(evs, k) {
+			if d.Trace == 0 {
+				continue // uncorrelated findings are legal, zero means unknown
+			}
+			if _, ok := shotIDs[d.Trace]; !ok {
+				t.Fatalf("%v event %+v joins no shot", k, d)
+			}
+		}
+	}
+
+	// The journal must round-trip through the JSON codec unchanged.
+	data, err := trace.EncodeJSON(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.DecodeJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(evs) {
+		t.Fatalf("round-trip lost events: %d != %d", len(back), len(evs))
+	}
+}

@@ -37,7 +37,9 @@ type Manager struct {
 	probes    uint64
 	replies   uint64
 	restarts  int
+	misses    uint64
 	onRestart func(int)
+	onMiss    func(int)
 }
 
 // Option configures a Manager.
@@ -55,6 +57,13 @@ func WithHeartbeat(period, timeout time.Duration) Option {
 // time the audit process is restarted.
 func WithOnRestart(fn func(restart int)) Option {
 	return func(m *Manager) { m.onRestart = fn }
+}
+
+// WithOnMiss installs an observer invoked with the cumulative miss count
+// each time a heartbeat probe times out without a reply — the moment the
+// manager declares the audit process dead, just before restarting it.
+func WithOnMiss(fn func(misses int)) Option {
+	return func(m *Manager) { m.onMiss = fn }
 }
 
 // New creates a manager that will build audit processes with factory and
@@ -84,6 +93,9 @@ func (m *Manager) Probes() uint64 { return m.probes }
 
 // Replies reports heartbeat answers received.
 func (m *Manager) Replies() uint64 { return m.replies }
+
+// Misses reports heartbeat probes that timed out without a reply.
+func (m *Manager) Misses() uint64 { return m.misses }
 
 // Start builds and starts the audit process, then arms the heartbeat.
 func (m *Manager) Start() error {
@@ -146,6 +158,10 @@ func (m *Manager) probe() {
 	m.env.Schedule(m.Timeout, func() {
 		if answered || !m.running {
 			return
+		}
+		m.misses++
+		if m.onMiss != nil {
+			m.onMiss(int(m.misses))
 		}
 		m.restart()
 	})

@@ -255,3 +255,29 @@ func TestStartFailsWhenFactoryFails(t *testing.T) {
 		t.Fatal("Start succeeded with failing factory")
 	}
 }
+
+func TestHeartbeatMissObserved(t *testing.T) {
+	var misses []int
+	r := newRig(t,
+		WithHeartbeat(5*time.Second, 2*time.Second),
+		WithOnMiss(func(n int) { misses = append(misses, n) }),
+	)
+	if err := r.mgr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	r.env.Schedule(12*time.Second, r.mgr.Process().Crash)
+	if err := r.env.Run(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The crash costs exactly one missed probe before the restart brings a
+	// healthy replacement; the observer fires at the declare-dead moment.
+	if r.mgr.Misses() != 1 {
+		t.Fatalf("Misses = %d, want 1", r.mgr.Misses())
+	}
+	if len(misses) != 1 || misses[0] != 1 {
+		t.Fatalf("miss observer saw %v, want [1]", misses)
+	}
+	if r.mgr.Restarts() != 1 {
+		t.Fatalf("Restarts = %d, want 1", r.mgr.Restarts())
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/isa"
+	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
@@ -286,6 +287,13 @@ type Runtime struct {
 	// OnDetect, if set, observes each detection with the faulting
 	// thread's ID and the assertion PC.
 	OnDetect func(tid int, assertPC uint32)
+	// Trace, if set, receives one violation event per detection carrying
+	// the offending signature pair: the assertion PC (Arg) and the
+	// rejected runtime target (Aux), with the faulting thread in Code.
+	Trace *trace.Ring
+	// TraceID correlates emitted violation events with their cause (the
+	// injection campaign sets it to the run's shot ID).
+	TraceID uint64
 }
 
 // NewRuntime builds the handler for an instrumented program.
@@ -297,6 +305,12 @@ func (r *Runtime) OnTrap(t *vm.Thread, trap vm.Trap) vm.TrapAction {
 		r.Detections++
 		if r.OnDetect != nil {
 			r.OnDetect(t.ID, t.TrapPC)
+		}
+		if r.Trace != nil {
+			r.Trace.Emit(trace.Event{
+				Kind: trace.KindPECOS, Trace: r.TraceID, Op: "assert",
+				Code: int64(t.ID), Arg: int64(t.TrapPC), Aux: int64(t.TrapTarget),
+			})
 		}
 		return vm.ActionKillThread
 	}

@@ -44,6 +44,7 @@ import (
 	"repro/internal/memdb"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -91,6 +92,25 @@ type Config struct {
 	// registry, no latency histograms, STATS2 answers an error. Exists so
 	// BenchmarkServerThroughput can quantify the instrumentation overhead.
 	DisableMetrics bool
+	// Trace, when set, is the flight recorder the server emits structured
+	// events into; nil creates a private recorder (retrieve it with
+	// Server.Trace). Ignored when DisableTrace is set.
+	Trace *trace.Recorder
+	// DisableTrace turns the flight recorder off entirely: no rings, no
+	// per-request events, TRACE answers an error. Exists so the
+	// "audited" benchmark baseline excludes recorder overhead.
+	DisableTrace bool
+	// TraceRingSize overrides the per-ring event capacity
+	// (default trace.DefaultRingSize).
+	TraceRingSize int
+	// InjectPeriod, when positive, arms a server-side fault injector on
+	// the executor clock: each period flips one random bit in the live
+	// database region and journals it as an inject-shot event, so a trace
+	// can follow shot → audit finding → recovery end to end. For tests
+	// and demos only — it deliberately corrupts the region.
+	InjectPeriod time.Duration
+	// InjectSeed seeds the injector RNG.
+	InjectSeed int64
 }
 
 func (c *Config) applyDefaults() {
@@ -132,6 +152,7 @@ func (c *Config) applyDefaults() {
 type task struct {
 	c     *conn
 	req   wire.Request
+	tid   uint64 // request trace ID (0: tracing off or untraced op)
 	reply chan wire.Response
 }
 
@@ -180,6 +201,21 @@ type Server struct {
 	tel      *telemetry
 	auditTel *audit.Telemetry
 
+	// Flight recorder (all nil when Config.DisableTrace): the server ring
+	// carries connection/request lifecycle events, the audit tracer's ring
+	// the check/finding/recovery/supervision events, and the inject ring
+	// the server-side injector's shots.
+	rec         *trace.Recorder
+	srvRing     *trace.Ring
+	injRing     *trace.Ring
+	auditTracer *audit.Tracer
+
+	// Server-side fault injector state; executor thread only. shots
+	// retains the most recent injections so resolveShot can join audit
+	// findings back to the shot that caused them.
+	injRNG *sim.RNG
+	shots  []shot
+
 	// Audit-process elements of the most recent buildAuditProcess run,
 	// retained so refreshExecutorMetrics can publish their counters.
 	// Executor-thread only.
@@ -227,8 +263,24 @@ type Server struct {
 // only created, used, and destroyed inside executor-thread code.
 type conn struct {
 	nc   net.Conn
+	id   uint64 // connection ordinal, tags this conn's trace events
 	sess *memdb.Client
 }
+
+// shot is one server-side injection: the correlation ID journaled with
+// the inject-shot event, and the region offset it corrupted.
+type shot struct {
+	id  uint64
+	off int
+}
+
+// maxRecentShots bounds the executor's shot history used for
+// finding → shot correlation.
+const maxRecentShots = 64
+
+// defaultTraceTail is the TRACE reply's event cap when the request does
+// not name one.
+const defaultTraceTail = 256
 
 // New builds a server over db. The database must not be touched by anyone
 // else while the server runs — the server is its single writer (enable
@@ -263,6 +315,23 @@ func New(db *memdb.DB, cfg Config) (*Server, error) {
 		s.tel = newTelemetry(reg)
 	}
 
+	if !cfg.DisableTrace {
+		r := cfg.Trace
+		if r == nil {
+			r = trace.New()
+		}
+		s.rec = r
+		s.srvRing = r.Ring("server", cfg.TraceRingSize)
+		s.auditTracer = audit.NewTracer(r, cfg.TraceRingSize)
+		s.auditTracer.Resolve = s.resolveShot
+		if cfg.InjectPeriod > 0 {
+			s.injRing = r.Ring("inject", cfg.TraceRingSize)
+		}
+	}
+	if cfg.InjectPeriod > 0 {
+		s.injRNG = sim.NewRNG(cfg.InjectSeed)
+	}
+
 	rec := audit.Recovery{OnFinding: s.noteFinding}
 	s.checks = []audit.FullChecker{
 		audit.NewStaticCheck(db, rec),
@@ -272,6 +341,11 @@ func New(db *memdb.DB, cfg Config) (*Server, error) {
 	if s.auditTel != nil {
 		for i, c := range s.checks {
 			s.checks[i] = s.auditTel.WrapFull(c)
+		}
+	}
+	if s.auditTracer != nil {
+		for i, c := range s.checks {
+			s.checks[i] = s.auditTracer.WrapFull(c)
 		}
 	}
 	// The first check is wrapped to count completed sweeps: every full
@@ -285,9 +359,21 @@ func New(db *memdb.DB, cfg Config) (*Server, error) {
 		}
 		s.audit = q
 		db.EnableAudit(q)
-		s.mgr = manager.New(s.env, q, s.buildAuditProcess,
+		mopts := []manager.Option{
 			manager.WithHeartbeat(cfg.HeartbeatPeriod, cfg.HeartbeatTimeout),
-			manager.WithOnRestart(func(n int) { s.restarts.Store(int64(n)) }))
+			manager.WithOnRestart(func(n int) {
+				s.restarts.Store(int64(n))
+				if s.auditTracer != nil {
+					s.auditTracer.Ring().Emit(trace.Event{Kind: trace.KindRestart, Aux: int64(n)})
+				}
+			}),
+		}
+		if s.auditTracer != nil {
+			mopts = append(mopts, manager.WithOnMiss(func(n int) {
+				s.auditTracer.Ring().Emit(trace.Event{Kind: trace.KindHeartbeatMiss, Aux: int64(n)})
+			}))
+		}
+		s.mgr = manager.New(s.env, q, s.buildAuditProcess, mopts...)
 	}
 	s.start = time.Now()
 	if s.tel != nil {
@@ -297,13 +383,30 @@ func New(db *memdb.DB, cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// noteFinding observes every audit finding: the legacy aggregate counter
-// plus the per-class/per-action telemetry.
+// noteFinding observes every audit finding: the legacy aggregate counter,
+// the per-class/per-action telemetry, and the journal (where the finding
+// is joined to the injected shot that caused it, when one covers it).
 func (s *Server) noteFinding(f audit.Finding) {
 	s.findings.Add(1)
 	if s.auditTel != nil {
 		s.auditTel.Note(f)
 	}
+	if s.auditTracer != nil {
+		s.auditTracer.Note(f)
+	}
+}
+
+// resolveShot joins an audit finding back to the most recent injected
+// shot whose offset it covers. Executor thread only — findings are only
+// produced by executor-run checks, and shots only by the executor's
+// injector ticker.
+func (s *Server) resolveShot(f audit.Finding) uint64 {
+	for i := len(s.shots) - 1; i >= 0; i-- {
+		if f.Covers(s.shots[i].off) {
+			return s.shots[i].id
+		}
+	}
+	return 0
 }
 
 // countedCheck wraps one audit technique with a sweep counter.
@@ -391,6 +494,12 @@ func (s *Server) registerMetrics() {
 	if s.audit != nil {
 		s.audit.RegisterMetrics(reg, "audit.queue")
 	}
+	if s.rec != nil {
+		// Every ring the server will ever emit on exists by now, so ring
+		// overflow (events lost to the bounded buffers) is first-class
+		// telemetry from the start.
+		s.rec.RegisterMetrics(reg)
+	}
 	s.db.BindMetrics(reg)
 }
 
@@ -430,6 +539,20 @@ func (s *Server) Metrics() *metrics.Registry {
 		return nil
 	}
 	return s.tel.reg
+}
+
+// Trace returns the flight recorder the server emits into, or nil when
+// Config.DisableTrace was set.
+func (s *Server) Trace() *trace.Recorder { return s.rec }
+
+// TraceEvents snapshots the merged journal, filtered to one kind (0 =
+// every kind) and capped to the most recent n events (n <= 0 = all).
+// Safe from any goroutine; returns nil when tracing is disabled.
+func (s *Server) TraceEvents(kind trace.Kind, n int) []trace.Event {
+	if s.rec == nil {
+		return nil
+	}
+	return trace.Tail(trace.Filter(s.rec.Snapshot(), kind), n)
 }
 
 // SnapshotMetrics refreshes the executor-owned gauges and snapshots the
@@ -545,7 +668,10 @@ func (s *Server) Serve(ln net.Listener) error {
 		}
 		s.conns[c] = struct{}{}
 		s.mu.Unlock()
-		s.totalConns.Add(1)
+		c.id = s.totalConns.Add(1)
+		if s.srvRing != nil {
+			s.srvRing.Emit(trace.Event{Kind: trace.KindConnAccept, Aux: int64(c.id)})
+		}
 		s.connWG.Add(1)
 		go s.serveConn(c)
 	}
@@ -565,6 +691,13 @@ func (s *Server) executor() {
 			// rather than not at all. The condition is visible via
 			// Stats (zero sweeps, zero restarts).
 			s.mgr = nil
+		}
+	}
+	if s.cfg.InjectPeriod > 0 {
+		// The injector rides the executor clock: flips land between
+		// requests, never during one, like every other executor action.
+		if _, err := s.env.NewTicker(s.cfg.InjectPeriod, s.injectOnce); err != nil {
+			s.injRNG = nil
 		}
 	}
 	tick := time.NewTicker(s.cfg.ClockTick)
@@ -619,6 +752,33 @@ func (s *Server) drainAndStop() {
 	s.refreshExecutorMetrics()
 }
 
+// injectOnce is the server-side fault injector (Config.InjectPeriod):
+// flip one random bit in the live region and journal the shot, so the
+// next audit pass demonstrably detects and recovers a known corruption.
+// Executor thread only (env ticker).
+func (s *Server) injectOnce() {
+	if s.injRNG == nil {
+		return
+	}
+	off := s.injRNG.Intn(s.db.Size())
+	bit := s.injRNG.Intn(8)
+	if err := s.db.FlipBit(off, uint(bit)); err != nil {
+		return
+	}
+	if s.rec == nil {
+		return
+	}
+	id := s.rec.NextTrace()
+	s.shots = append(s.shots, shot{id: id, off: off})
+	if len(s.shots) > maxRecentShots {
+		s.shots = s.shots[len(s.shots)-maxRecentShots:]
+	}
+	s.injRing.Emit(trace.Event{
+		Kind: trace.KindShot, Trace: id, Op: "dbflip",
+		Arg: int64(off), Code: int64(bit),
+	})
+}
+
 // runSweep executes every audit technique over the whole region and
 // returns the number of findings. Executor thread only.
 func (s *Server) runSweep() int {
@@ -634,6 +794,9 @@ func (s *Server) runSweep() int {
 
 // execute handles one task and delivers its response. Executor thread only.
 func (s *Server) execute(t task) {
+	if t.tid != 0 {
+		s.srvRing.Emit(trace.Event{Kind: trace.KindReqExecute, Trace: t.tid, Op: t.req.Op.String()})
+	}
 	resp := s.handle(t.c, t.req)
 	resp.Seq = t.req.Seq
 	op := t.req.Op
@@ -667,6 +830,26 @@ func (s *Server) handle(c *conn, q wire.Request) wire.Response {
 		}
 		s.refreshExecutorMetrics()
 		data, err := json.Marshal(s.tel.reg.Snapshot())
+		if err != nil {
+			return wire.ErrorResponse(q.Seq, err)
+		}
+		return wire.Response{Detail: string(data)}
+	case wire.OpTrace:
+		if s.rec == nil {
+			return wire.ErrorResponse(q.Seq, errors.New("server: tracing disabled"))
+		}
+		n := int(q.Aux)
+		if n <= 0 {
+			n = defaultTraceTail
+		}
+		evs := s.TraceEvents(trace.Kind(q.Table), n)
+		data, err := trace.EncodeJSON(evs)
+		for err == nil && len(data) > wire.MaxDetail && len(evs) > 0 {
+			// The frame ceiling is hard: shed the oldest half and retry
+			// until the journal fits. Newest events carry the evidence.
+			evs = evs[(len(evs)+1)/2:]
+			data, err = trace.EncodeJSON(evs)
+		}
 		if err != nil {
 			return wire.ErrorResponse(q.Seq, err)
 		}
@@ -830,11 +1013,21 @@ func (s *Server) submit(c *conn, req wire.Request) wire.Response {
 	// execution. Shed and timed-out requests are not observed — they would
 	// fold two failure modes into the service-time distribution.
 	rec := s.tel != nil && req.Op.Valid()
+	tr := s.srvRing != nil && req.Op.Valid()
 	var t0 time.Time
-	if rec {
+	if rec || tr {
 		t0 = time.Now()
 	}
 	t := task{c: c, req: req, reply: make(chan wire.Response, 1)}
+	if tr {
+		// The enqueue event is journaled before the send so its sequence
+		// number precedes the executor's req-execute for the same trace.
+		t.tid = s.rec.NextTrace()
+		s.srvRing.Emit(trace.Event{
+			Kind: trace.KindReqEnqueue, Trace: t.tid,
+			Op: req.Op.String(), Aux: int64(c.id),
+		})
+	}
 	select {
 	case s.reqs <- t:
 		s.noteAdmit(len(s.reqs))
@@ -842,12 +1035,24 @@ func (s *Server) submit(c *conn, req wire.Request) wire.Response {
 		// Queue full: shed immediately rather than buffer or block —
 		// the same discipline as the audit notification queue.
 		s.noteDrop()
+		if tr {
+			s.srvRing.Emit(trace.Event{
+				Kind: trace.KindReqDrop, Trace: t.tid,
+				Op: req.Op.String(), Aux: int64(c.id),
+			})
+		}
 		return wire.ErrorResponse(req.Seq, wire.ErrOverload)
 	}
 	select {
 	case resp := <-t.reply:
 		if rec {
 			s.tel.latency[req.Op].Observe(int64(time.Since(t0)))
+		}
+		if tr {
+			s.srvRing.Emit(trace.Event{
+				Kind: trace.KindReqReply, Trace: t.tid, Op: req.Op.String(),
+				Code: int64(resp.Code), Arg: int64(time.Since(t0)), Aux: int64(c.id),
+			})
 		}
 		return resp
 	case <-time.After(s.cfg.ReplyTimeout):
@@ -876,6 +1081,9 @@ func (s *Server) teardownConn(c *conn) {
 	s.mu.Lock()
 	delete(s.conns, c)
 	s.mu.Unlock()
+	if s.srvRing != nil {
+		s.srvRing.Emit(trace.Event{Kind: trace.KindConnClose, Aux: int64(c.id)})
+	}
 	closeSess := func() {
 		if c.sess != nil {
 			_ = c.sess.Close()

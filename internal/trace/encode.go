@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// MarshalJSON encodes the kind as its stable journal name, keeping dumps
+// readable; unknown kinds fall back to the numeric value.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	if k.String() != "unknown" {
+		return json.Marshal(k.String())
+	}
+	return json.Marshal(uint8(k))
+}
+
+// UnmarshalJSON accepts either the journal name or the numeric value, so
+// encoded journals round-trip and hand-written filters still parse.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		kk, ok := KindFromString(s)
+		if !ok {
+			return fmt.Errorf("trace: unknown event kind %q", s)
+		}
+		*k = kk
+		return nil
+	}
+	var n uint8
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("trace: event kind must be a name or number: %w", err)
+	}
+	*k = Kind(n)
+	return nil
+}
+
+// EncodeJSON renders the journal as a JSON array — the payload of the
+// wire TRACE op, the /tracez endpoint, and dbload's -trace dump.
+func EncodeJSON(evs []Event) ([]byte, error) {
+	if evs == nil {
+		evs = []Event{}
+	}
+	return json.Marshal(evs)
+}
+
+// DecodeJSON is the inverse of EncodeJSON.
+func DecodeJSON(data []byte) ([]Event, error) {
+	var evs []Event
+	if err := json.Unmarshal(data, &evs); err != nil {
+		return nil, fmt.Errorf("trace: decode journal: %w", err)
+	}
+	return evs, nil
+}
+
+// WriteText renders the journal one event per line:
+//
+//	#42 +1.203ms  req-reply       server trace=7 op=DBwrite_fld code=0 arg=83250
+//
+// Durations print human-readable; zero-valued optional fields are
+// omitted.
+func WriteText(w io.Writer, evs []Event) error {
+	for _, e := range evs {
+		if _, err := fmt.Fprintf(w, "#%-6d +%-12v %-15s %-7s", e.Seq, e.At.Round(time.Microsecond), e.Kind, e.Ring); err != nil {
+			return err
+		}
+		if e.Trace != 0 {
+			if _, err := fmt.Fprintf(w, " trace=%d", e.Trace); err != nil {
+				return err
+			}
+		}
+		if e.Op != "" {
+			if _, err := fmt.Fprintf(w, " op=%s", e.Op); err != nil {
+				return err
+			}
+		}
+		if e.Code != 0 || e.Kind == KindReqReply || e.Kind == KindCheckEnd {
+			if _, err := fmt.Fprintf(w, " code=%d", e.Code); err != nil {
+				return err
+			}
+		}
+		if e.Arg != 0 {
+			if _, err := fmt.Fprintf(w, " arg=%d", e.Arg); err != nil {
+				return err
+			}
+		}
+		if e.Aux != 0 {
+			if _, err := fmt.Fprintf(w, " aux=%d", e.Aux); err != nil {
+				return err
+			}
+		}
+		if e.Detail != "" {
+			if _, err := fmt.Fprintf(w, " %s", e.Detail); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Merge combines journals (e.g. per-kind TRACE fetches), deduplicates by
+// sequence number, and returns one ordered journal.
+func Merge(journals ...[]Event) []Event {
+	var out []Event
+	seen := make(map[uint64]bool)
+	for _, j := range journals {
+		for _, e := range j {
+			if seen[e.Seq] {
+				continue
+			}
+			seen[e.Seq] = true
+			out = append(out, e)
+		}
+	}
+	sortBySeq(out)
+	return out
+}

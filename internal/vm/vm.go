@@ -120,7 +120,12 @@ type Thread struct {
 	// from which the signal was raised, and if it corresponds to a PECOS
 	// Assertion Block, concludes that a control flow error raised it").
 	InAssert bool
-	Steps    uint64
+	// TrapTarget is the runtime CFI target (Xout) the assertion rejected —
+	// the other half of the offending signature pair. Meaningful only when
+	// InAssert is set and the trap came from a target mismatch; zero when
+	// the assertion block itself was damaged or the target indeterminable.
+	TrapTarget uint32
+	Steps      uint64
 }
 
 // Config sizes the VM.
@@ -371,6 +376,7 @@ func (m *VM) Step(t *Thread) {
 // embedded valid-target words, and raise a divide-by-zero trap on an
 // impending illegal transfer — before the transfer executes.
 func (m *VM) assert(t *Thread, pc uint32, nTargets int) {
+	t.TrapTarget = 0
 	cfiAddr := pc + 1 + uint32(nTargets)
 	if nTargets <= 0 || int(cfiAddr) >= len(m.text) {
 		// The assertion header itself is damaged: structural violation.
@@ -416,6 +422,9 @@ func (m *VM) assert(t *Thread, pc uint32, nTargets int) {
 		p = 0
 	}
 	if p == 0 {
+		// Record the rejected runtime target: (assert PC, Xout) is the
+		// offending signature pair the PECOS handler reports.
+		t.TrapTarget = xout
 		m.fault(t, TrapDivZero, pc, true)
 		return
 	}

@@ -225,6 +225,19 @@ func (c *Conn) Stats2() ([]byte, error) {
 	return []byte(r.Detail), nil
 }
 
+// TraceJSON fetches the server's flight-recorder journal as a JSON array
+// of trace events. kind filters to one event kind (0 = all kinds); n caps
+// the result to the most recent n events (0 = server default). Decode it
+// with trace.DecodeJSON. An empty journal decodes to zero events — it is
+// not an error.
+func (c *Conn) TraceJSON(kind, n int) ([]byte, error) {
+	r, err := c.call(Request{Op: OpTrace, Table: int32(kind), Aux: int32(n)})
+	if err != nil {
+		return nil, err
+	}
+	return []byte(r.Detail), nil
+}
+
 // Stats fetches the server counter snapshot (indexed by the StatsVals
 // constants).
 func (c *Conn) Stats() ([]uint32, error) {

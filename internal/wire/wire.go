@@ -54,6 +54,7 @@ const (
 	OpSweep       // force one full audit sweep, returns [finding count]
 	OpStats       // server counters snapshot, see StatsVals
 	OpStats2      // full metrics snapshot; Detail carries the JSON document
+	OpTrace       // flight-recorder journal; Table filters by kind, Aux caps the event count, Detail carries the JSON events
 	opMax
 )
 
@@ -95,6 +96,8 @@ func (o Op) String() string {
 		return "Stats"
 	case OpStats2:
 		return "Stats2"
+	case OpTrace:
+		return "Trace"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
