@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test check cover fuzz-smoke trace-smoke bench clean
+.PHONY: all build vet test check cover fuzz-smoke trace-smoke failover-smoke bench clean
 
 all: check
 
@@ -24,10 +24,11 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -n 1
 	$(GO) tool cover -html=cover.out -o cover.html
 
-# Short fuzzing pass over the wire codec: seeds from testdata plus 30s of
-# mutation. Any crasher is a framing-safety regression.
+# Short fuzzing passes: the wire codec (framing safety) and the WAL record
+# decoder (recovery must reject, never crash on, arbitrary log bytes).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzCodec -fuzztime=30s ./internal/wire
+	$(GO) test -fuzz=FuzzWALDecode -fuzztime=15s ./internal/wal
 
 # Flight-recorder smoke: a small traced injection campaign must produce a
 # non-empty journal that round-trips through the JSON codec (reproduce
@@ -35,6 +36,12 @@ fuzz-smoke:
 trace-smoke:
 	$(GO) run ./cmd/reproduce -exp table8 -scale 0.05 -trace /tmp/trace-smoke.json
 	rm -f /tmp/trace-smoke.json
+
+# Durability/failover smoke over real processes: WAL-backed primary + hot
+# standby, load through the failover-aware client, primary SIGKILLed
+# mid-run, run must complete against the self-promoted standby.
+failover-smoke:
+	sh scripts/failover_smoke.sh
 
 bench:
 	$(GO) test -bench . -benchtime 0.5s -run '^$$' .

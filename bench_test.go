@@ -30,6 +30,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/vm"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -360,16 +361,27 @@ func BenchmarkAuditFullSweep(b *testing.B) {
 // observability layer off, so audited vs audited-nometrics isolates the
 // instrumentation cost (latency histograms + gauges; target < 5%).
 // disableTrace likewise gates the flight recorder, so audited-traced vs
-// audited pins the per-request journaling cost (target < 5%).
-func benchmarkServerThroughput(b *testing.B, auditPeriod time.Duration, disableMetrics, disableTrace bool) {
+// audited pins the per-request journaling cost (target < 5%). A non-empty
+// walDir appends every mutation to an operation log there, so audited-wal
+// vs audited pins the durability cost — append + batched fsync on the
+// executor clock, never an fsync on the request path (target < 10%).
+func benchmarkServerThroughput(b *testing.B, auditPeriod time.Duration, disableMetrics, disableTrace bool, walDir string) {
 	db, err := memdb.New(callproc.Schema(callproc.DefaultSchemaConfig()))
 	if err != nil {
 		b.Fatal(err)
+	}
+	var walLog *wal.Log
+	if walDir != "" {
+		walLog, err = wal.Open(wal.Config{Dir: walDir}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	srv, err := server.New(db, server.Config{
 		AuditPeriod:    auditPeriod,
 		DisableMetrics: disableMetrics,
 		DisableTrace:   disableTrace,
+		WAL:            walLog,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -417,10 +429,11 @@ func BenchmarkServerThroughput(b *testing.B) {
 	// The flight recorder stays off in the first three subruns so
 	// "audited" remains the metrics-only baseline; "audited-traced" is the
 	// same configuration with per-request journaling on.
-	b.Run("noaudit", func(b *testing.B) { benchmarkServerThroughput(b, -1, false, true) })
-	b.Run("audited", func(b *testing.B) { benchmarkServerThroughput(b, 50*time.Millisecond, false, true) })
-	b.Run("audited-nometrics", func(b *testing.B) { benchmarkServerThroughput(b, 50*time.Millisecond, true, true) })
-	b.Run("audited-traced", func(b *testing.B) { benchmarkServerThroughput(b, 50*time.Millisecond, false, false) })
+	b.Run("noaudit", func(b *testing.B) { benchmarkServerThroughput(b, -1, false, true, "") })
+	b.Run("audited", func(b *testing.B) { benchmarkServerThroughput(b, 50*time.Millisecond, false, true, "") })
+	b.Run("audited-nometrics", func(b *testing.B) { benchmarkServerThroughput(b, 50*time.Millisecond, true, true, "") })
+	b.Run("audited-traced", func(b *testing.B) { benchmarkServerThroughput(b, 50*time.Millisecond, false, false, "") })
+	b.Run("audited-wal", func(b *testing.B) { benchmarkServerThroughput(b, 50*time.Millisecond, false, true, b.TempDir()) })
 }
 
 func BenchmarkVMStep(b *testing.B) {

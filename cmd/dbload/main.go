@@ -8,13 +8,23 @@
 // Usage:
 //
 //	dbload -addr 127.0.0.1:7420 -conns 4 -ops 10000
+//	dbload -addr 127.0.0.1:7420,127.0.0.1:7421 -ops 10000   # failover-aware
 //	dbload -addr 127.0.0.1:7420 -watch 1s            # live telemetry feed
+//
+// -addr accepts a comma-separated address list. With more than one address
+// dbload is failover-aware: it resolves the current primary via REPL_STATUS
+// before connecting, and when an operation fails with ErrStandby,
+// ErrShutdown, or a network error — the signatures of a primary dying under
+// it — the worker re-resolves, reconnects to whichever node now claims the
+// primary role (a promoted standby), and retries. Reconnects are counted
+// and reported.
 //
 // With -watch, dbload generates no load: it polls the server's STATS2
 // metrics snapshot at the given interval and prints a one-line summary per
 // poll (throughput since the previous poll, queue depth, shed and
-// trace-drop counters, audit sweeps/findings, and the busiest operation's
-// latency percentiles). It runs until interrupted, or for -watch-n polls.
+// trace-drop counters, audit sweeps/findings, WAL flush backlog and
+// replication lag on durable servers, and the busiest operation's latency
+// percentiles). It runs until interrupted, or for -watch-n polls.
 //
 // With -trace FILE, dbload fetches the server's flight-recorder journal
 // after the run — one TRACE request per event kind, merged client-side —
@@ -24,7 +34,8 @@
 // dbload exits nonzero on any protocol error, golden-copy mismatch, or
 // audit finding — unless -expect-findings is set, which tolerates
 // mismatches and findings (the expected state of a server running with
-// -inject-period fault injection) and reports them instead.
+// -inject-period fault injection, or of a failover that lost a not-yet-
+// replicated acknowledgement) and reports them instead.
 package main
 
 import (
@@ -32,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"os/signal"
 	"sort"
@@ -63,7 +75,7 @@ func main() {
 
 func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("dbload", flag.ContinueOnError)
-	addr := fs.String("addr", "127.0.0.1:7420", "dbserve address")
+	addr := fs.String("addr", "127.0.0.1:7420", "dbserve address, or comma-separated primary,standby list for failover-aware runs")
 	conns := fs.Int("conns", 4, "concurrent client connections")
 	ops := fs.Int("ops", 10000, "total operations across all connections")
 	watch := fs.Duration("watch", 0, "watch mode: poll the server's metrics at this interval instead of generating load")
@@ -73,18 +85,22 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	addrs := splitAddrs(*addr)
+	if len(addrs) == 0 {
+		return errors.New("-addr must name at least one address")
+	}
 	if *watch > 0 {
-		return watchLoop(out, *addr, *watch, *watchN, stop)
+		return watchLoop(out, addrs, *watch, *watchN, stop)
 	}
 	if *conns <= 0 || *ops <= 0 {
 		return errors.New("-conns and -ops must be positive")
 	}
 
-	runErr := loadRun(out, *addr, *conns, *ops, *expectFindings)
+	runErr := loadRun(out, addrs, *conns, *ops, *expectFindings)
 	// The journal is fetched after the run, success or not: when the run
 	// failed it is exactly the evidence worth keeping.
 	if *tracePath != "" {
-		if derr := dumpJournal(out, *addr, *tracePath); derr != nil {
+		if derr := dumpJournal(out, addrs, *tracePath); derr != nil {
 			if runErr == nil {
 				runErr = derr
 			} else {
@@ -95,8 +111,86 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	return runErr
 }
 
+// splitAddrs parses the comma-separated -addr value.
+func splitAddrs(s string) []string {
+	var addrs []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
+}
+
+// failoverWindow bounds how long a worker keeps re-resolving the primary
+// before giving up on an operation. It comfortably covers a standby's
+// promotion streak (fail-limit × poll interval) at the defaults.
+const failoverWindow = 15 * time.Second
+
+// isFailoverErr reports whether err is the signature of a primary dying or
+// demoting under the client — the cases where re-resolving the address
+// list can succeed — as opposed to a protocol or application error, where
+// a retry elsewhere would only mask a bug.
+func isFailoverErr(err error) bool {
+	if errors.Is(err, wire.ErrStandby) || errors.Is(err, wire.ErrShutdown) ||
+		errors.Is(err, wire.ErrNotPrimary) {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
+// dialPrimary connects to the current primary. With a single address it
+// preserves the classic behavior — connect, no role probe. With several it
+// asks each node for its role via REPL_STATUS and keeps the first that
+// claims primary, so after a failover the promoted standby is found on the
+// next resolve.
+func dialPrimary(addrs []string) (*wire.Conn, error) {
+	if len(addrs) == 1 {
+		return wire.Dial(addrs[0])
+	}
+	lastErr := errors.New("wire: no reachable address")
+	for _, a := range addrs {
+		c, err := wire.Dial(a)
+		if err != nil {
+			lastErr = fmt.Errorf("%s: %w", a, err)
+			continue
+		}
+		c.Timeout = 5 * time.Second
+		st, err := c.ReplStatus()
+		if err != nil {
+			c.Close()
+			lastErr = fmt.Errorf("%s: %w", a, err)
+			continue
+		}
+		if st.Role == wire.RolePrimary {
+			return c, nil
+		}
+		c.Close()
+		lastErr = fmt.Errorf("%s: %w", a, wire.ErrStandby)
+	}
+	return nil, lastErr
+}
+
+// dialAny connects to the first reachable address regardless of role —
+// watch mode and journal fetches are read-only and standbys answer them.
+func dialAny(addrs []string) (*wire.Conn, error) {
+	var lastErr error
+	for _, a := range addrs {
+		c, err := wire.Dial(a)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = fmt.Errorf("%s: %w", a, err)
+	}
+	return nil, lastErr
+}
+
 // loadRun drives the closed-loop workload and verifies the end state.
-func loadRun(out io.Writer, addr string, conns, ops int, expectFindings bool) error {
+func loadRun(out io.Writer, addrs []string, conns, ops int, expectFindings bool) error {
 	var wg sync.WaitGroup
 	workers := make([]*worker, conns)
 	perWorker := ops / conns
@@ -105,7 +199,7 @@ func loadRun(out io.Writer, addr string, conns, ops int, expectFindings bool) er
 	}
 	start := time.Now()
 	for i := range workers {
-		w := &worker{id: i, addr: addr, ops: perWorker, lax: expectFindings}
+		w := &worker{id: i, addrs: addrs, ops: perWorker, lax: expectFindings}
 		workers[i] = w
 		wg.Add(1)
 		go func() {
@@ -117,7 +211,7 @@ func loadRun(out io.Writer, addr string, conns, ops int, expectFindings bool) er
 	elapsed := time.Since(start)
 
 	var lats []time.Duration
-	done, mismatches := 0, 0
+	done, mismatches, reconnects := 0, 0, 0
 	for _, w := range workers {
 		if w.err != nil {
 			return fmt.Errorf("worker %d: %w", w.id, w.err)
@@ -125,13 +219,14 @@ func loadRun(out io.Writer, addr string, conns, ops int, expectFindings bool) er
 		lats = append(lats, w.lats...)
 		done += len(w.lats)
 		mismatches += w.mismatches
+		reconnects += w.reconnects
 	}
 
 	// The workload only wrote in-range values through the API, so a full
 	// audit sweep over the live region must be clean — unless the server
 	// is injecting faults into its own region, in which case findings are
 	// the system working as designed.
-	ctl, err := wire.Dial(addr)
+	ctl, err := dialPrimary(addrs)
 	if err != nil {
 		return fmt.Errorf("control connection: %w", err)
 	}
@@ -153,6 +248,9 @@ func loadRun(out io.Writer, addr string, conns, ops int, expectFindings bool) er
 	fmt.Fprintf(out, "  server: %d requests dropped, %d audit sweeps, %d findings\n",
 		stats[wire.StatReqDropped], stats[wire.StatAuditSweeps], stats[wire.StatAuditFindings])
 	fmt.Fprintf(out, "  final sweep: %d findings\n", findings)
+	if reconnects > 0 {
+		fmt.Fprintf(out, "  failover: %d reconnects\n", reconnects)
+	}
 	if expectFindings {
 		fmt.Fprintf(out, "  tolerated: %d golden-copy mismatches, %d live findings (-expect-findings)\n",
 			mismatches, stats[wire.StatAuditFindings])
@@ -171,8 +269,8 @@ func loadRun(out io.Writer, addr string, conns, ops int, expectFindings bool) er
 // request per event kind, so a chatty kind cannot crowd the others out of
 // the bounded reply frame — merges the fetches by sequence number, and
 // writes the JSON to path ("-" = out).
-func dumpJournal(out io.Writer, addr, path string) error {
-	c, err := wire.Dial(addr)
+func dumpJournal(out io.Writer, addrs []string, path string) error {
+	c, err := dialAny(addrs)
 	if err != nil {
 		return fmt.Errorf("trace connection: %w", err)
 	}
@@ -222,8 +320,8 @@ func dumpJournal(out io.Writer, addr, path string) error {
 // control connection, one summary line per poll. Throughput is the
 // executed-counter delta between polls; the latency percentiles shown are
 // those of the busiest per-operation histogram, computed server-side.
-func watchLoop(out io.Writer, addr string, interval time.Duration, n int, stop <-chan struct{}) error {
-	c, err := wire.Dial(addr)
+func watchLoop(out io.Writer, addrs []string, interval time.Duration, n int, stop <-chan struct{}) error {
+	c, err := dialAny(addrs)
 	if err != nil {
 		return err
 	}
@@ -264,7 +362,10 @@ func watchLoop(out io.Writer, addr string, interval time.Duration, n int, stop <
 
 // watchLine renders one poll of the snapshot as a single summary line.
 // shed= is the executor-queue drop counter; trace= is events emitted and,
-// after the slash, journal events lost to ring overflow.
+// after the slash, journal events lost to ring overflow. Durable servers
+// add wal= (appends awaiting fsync — sustained growth means the disk is
+// falling behind the executor clock) and lag= (log records the standby has
+// yet to acknowledge).
 func watchLine(snap metrics.Snapshot, rate float64) string {
 	var traceDrops int64
 	for name, v := range snap.Gauges {
@@ -280,6 +381,12 @@ func watchLine(snap metrics.Snapshot, rate float64) string {
 		snap.Gauges["trace.events"], traceDrops,
 		snap.Counters["audit.sweeps"],
 		snap.Gauges["server.audit.findings"])
+	if pending, ok := snap.Gauges["wal.flush_pending"]; ok {
+		line += fmt.Sprintf(" wal=%d", pending)
+	}
+	if lag, ok := snap.Gauges["repl.lag"]; ok {
+		line += fmt.Sprintf(" lag=%d", lag)
+	}
 	// Busiest operation's latency distribution, if any traffic yet.
 	var busiest string
 	var hs metrics.HistogramSnapshot
@@ -313,13 +420,15 @@ func pct(sorted []time.Duration, p int) time.Duration {
 // counted instead of aborting the worker: against a fault-injecting
 // server, reads may legitimately observe corruption or its repair.
 type worker struct {
-	id   int
-	addr string
-	ops  int
-	lax  bool
+	id    int
+	addrs []string
+	ops   int
+	lax   bool
 
+	c          *wire.Conn
 	lats       []time.Duration
 	mismatches int
+	reconnects int
 	err        error
 }
 
@@ -337,37 +446,95 @@ func retryLocked(op func() error) error {
 	}
 }
 
+// call runs one operation with both retry layers: lock contention inside,
+// failover outside. A failover-class error triggers a re-resolve of the
+// primary and a retry of the same operation against the new connection,
+// until the failover window closes.
+func (w *worker) call(op func() error) error {
+	deadline := time.Now().Add(failoverWindow)
+	for {
+		err := retryLocked(op)
+		if err == nil || !isFailoverErr(err) || time.Now().After(deadline) {
+			return err
+		}
+		if rerr := w.reconnect(deadline); rerr != nil {
+			return fmt.Errorf("%w (reconnect: %v)", err, rerr)
+		}
+	}
+}
+
+// reconnect replaces the worker's connection with a fresh session on the
+// current primary, polling the address list until the deadline: right
+// after a primary dies there is a window where no node claims the role,
+// while the standby's failure streak builds toward self-promotion.
+func (w *worker) reconnect(deadline time.Time) error {
+	if w.c != nil {
+		w.c.Close()
+		w.c = nil
+	}
+	for {
+		c, err := dialPrimary(w.addrs)
+		if err == nil {
+			if _, err = c.Init(); err == nil {
+				w.c = c
+				w.reconnects++
+				return nil
+			}
+			c.Close()
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// allocSeed allocates one Resource record in group and seeds its golden
+// copy.
+func (w *worker) allocSeed(group int) (int, []uint32, error) {
+	var ri int
+	if err := w.call(func() (err error) {
+		ri, err = w.c.Alloc(callproc.TblRes, group)
+		return err
+	}); err != nil {
+		return 0, nil, fmt.Errorf("DBalloc: %w", err)
+	}
+	golden := []uint32{uint32(ri), 1, 50}
+	if err := w.call(func() error {
+		return w.c.WriteRec(callproc.TblRes, ri, golden)
+	}); err != nil {
+		return 0, nil, fmt.Errorf("DBwrite_rec: %w", err)
+	}
+	return ri, golden, nil
+}
+
 // drive runs the mixed workload: allocate one Resource record, then cycle
 // writes, reads (verified against the golden copy), moves, status checks,
 // and transactions over it. Every value written stays inside the ranges
 // the audit checks enforce.
 func (w *worker) drive() error {
-	c, err := wire.Dial(w.addr)
+	c, err := dialPrimary(w.addrs)
 	if err != nil {
 		return err
 	}
-	defer c.Close()
-	if _, err := c.Init(); err != nil {
+	w.c = c
+	defer func() {
+		if w.c != nil {
+			w.c.Close()
+		}
+	}()
+	if _, err := w.c.Init(); err != nil {
 		return fmt.Errorf("DBinit: %w", err)
 	}
 	group := w.id % callproc.ResourceBanks
-	var ri int
-	if err := retryLocked(func() (err error) {
-		ri, err = c.Alloc(callproc.TblRes, group)
+	ri, golden, err := w.allocSeed(group)
+	if err != nil {
 		return err
-	}); err != nil {
-		return fmt.Errorf("DBalloc: %w", err)
-	}
-	golden := []uint32{uint32(ri), 1, 50}
-	if err := retryLocked(func() error {
-		return c.WriteRec(callproc.TblRes, ri, golden)
-	}); err != nil {
-		return fmt.Errorf("DBwrite_rec: %w", err)
 	}
 
 	timed := func(op func() error) error {
 		t0 := time.Now()
-		err := retryLocked(op)
+		err := w.call(op)
 		w.lats = append(w.lats, time.Since(t0))
 		return err
 	}
@@ -377,21 +544,21 @@ func (w *worker) drive() error {
 		case 0:
 			v := uint32((w.id + i*13) % 101)
 			err = timed(func() error {
-				return c.WriteFld(callproc.TblRes, ri, callproc.FldResQuality, v)
+				return w.c.WriteFld(callproc.TblRes, ri, callproc.FldResQuality, v)
 			})
 			if err == nil {
 				golden[callproc.FldResQuality] = v
 			}
 		case 1:
 			next := []uint32{uint32(ri), uint32(i % 3), uint32(i % 101)}
-			err = timed(func() error { return c.WriteRec(callproc.TblRes, ri, next) })
+			err = timed(func() error { return w.c.WriteRec(callproc.TblRes, ri, next) })
 			if err == nil {
 				golden = next
 			}
 		case 2:
 			var vals []uint32
 			err = timed(func() (err error) {
-				vals, err = c.ReadRec(callproc.TblRes, ri)
+				vals, err = w.c.ReadRec(callproc.TblRes, ri)
 				return err
 			})
 			if err == nil {
@@ -409,7 +576,7 @@ func (w *worker) drive() error {
 		case 3:
 			var v uint32
 			err = timed(func() (err error) {
-				v, err = c.ReadFld(callproc.TblRes, ri, callproc.FldResQuality)
+				v, err = w.c.ReadFld(callproc.TblRes, ri, callproc.FldResQuality)
 				return err
 			})
 			if err == nil && v != golden[callproc.FldResQuality] {
@@ -423,35 +590,43 @@ func (w *worker) drive() error {
 		case 4:
 			group = (group + 1) % callproc.ResourceBanks
 			g := group
-			err = timed(func() error { return c.Move(callproc.TblRes, ri, g) })
+			err = timed(func() error { return w.c.Move(callproc.TblRes, ri, g) })
 		case 5:
 			err = timed(func() error {
-				if err := c.Begin(callproc.TblRes); err != nil {
+				if err := w.c.Begin(callproc.TblRes); err != nil {
 					return err
 				}
 				v := uint32(i % 101)
-				if err := c.WriteFld(callproc.TblRes, ri, callproc.FldResQuality, v); err != nil {
+				if err := w.c.WriteFld(callproc.TblRes, ri, callproc.FldResQuality, v); err != nil {
 					return err
 				}
 				golden[callproc.FldResQuality] = v
-				return c.Commit()
+				return w.c.Commit()
 			})
 		}
 		if err != nil {
 			if w.lax {
 				// A fault-injecting server may corrupt — or audit
-				// recovery may reclaim — the worker's record mid-run;
-				// count it and keep driving load.
+				// recovery may reclaim — the worker's record mid-run,
+				// and a failover may have lost an acknowledgement that
+				// never reached the standby; count it and keep driving
+				// load. If the record itself is gone, re-seed so the
+				// remaining operations still exercise the server.
 				w.mismatches++
+				if errors.Is(err, memdb.ErrNotActive) {
+					if ri2, g2, aerr := w.allocSeed(group); aerr == nil {
+						ri, golden = ri2, g2
+					}
+				}
 				continue
 			}
 			return fmt.Errorf("op %d: %w", i, err)
 		}
 	}
-	if err := retryLocked(func() error { return c.Free(callproc.TblRes, ri) }); err != nil && !w.lax {
+	if err := w.call(func() error { return w.c.Free(callproc.TblRes, ri) }); err != nil && !w.lax {
 		return fmt.Errorf("DBfree: %w", err)
 	}
-	if err := c.CloseSession(); err != nil && !w.lax {
+	if err := w.c.CloseSession(); err != nil && !w.lax {
 		return fmt.Errorf("DBclose: %w", err)
 	}
 	return nil

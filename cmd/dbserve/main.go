@@ -9,6 +9,16 @@
 //	dbserve -addr :7420                         # pristine database
 //	dbserve -addr :7420 -img db.img             # image built by dbctl
 //	dbserve -addr :7420 -audit-period 250ms -queue 512
+//	dbserve -addr :7420 -wal-dir wal/           # durable: recover, log, checkpoint
+//	dbserve -addr :7421 -wal-dir wal2/ -replica-of 127.0.0.1:7420   # hot standby
+//
+// With -wal-dir the database is recovered from the newest checkpoint plus
+// the operation-log tail (a torn final record is truncated), every mutating
+// request is appended to the log (fsync batched on the executor clock), and
+// shutdown writes a final certifying checkpoint. With -replica-of the node
+// starts as a hot standby: it refuses sessions, replays the primary's log
+// stream, runs the audits in shadow mode, and promotes itself to primary
+// after -repl-fail-limit consecutive failed polls.
 //
 // The schema sizing flags (-config-records, -config-fields, -call-records)
 // must match the ones the image was built with; they default to the same
@@ -35,6 +45,7 @@ import (
 	"repro/internal/memdb"
 	"repro/internal/server"
 	"repro/internal/trace"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -66,6 +77,13 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 	injectPeriod := fs.Duration("inject-period", 0, "flip one random database bit per interval and journal the shot (fault-injection demo; 0 disables)")
 	injectSeed := fs.Int64("inject-seed", 1, "fault injector RNG seed")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "drain deadline on shutdown")
+	walDir := fs.String("wal-dir", "", "operation-log directory: recover the database from it on start, log every mutation, checkpoint on shutdown")
+	walSegment := fs.Int("wal-segment", 0, "WAL segment size cap in bytes (0 = default)")
+	walCheckpoint := fs.Int64("wal-checkpoint", 0, "logged bytes between automatic checkpoints (0 = default, negative disables)")
+	replicaOf := fs.String("replica-of", "", "start as a hot standby replicating from this primary address")
+	replPoll := fs.Duration("repl-poll", 100*time.Millisecond, "standby: replication poll interval")
+	replFailLimit := fs.Int("repl-fail-limit", 10, "standby: consecutive poll failures before self-promotion (negative disables)")
+	advertise := fs.String("advertise", "", "standby: address the primary should mirror-fetch from (default: the bound listen address)")
 	cfgRecords := fs.Int("config-records", 16, "schema: configuration records")
 	cfgFields := fs.Int("config-fields", 4, "schema: configuration fields")
 	callRecords := fs.Int("call-records", 24, "schema: records per call table")
@@ -78,30 +96,88 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 		CallRecords:   *callRecords,
 	})
 
+	if *img != "" && *walDir != "" {
+		return fmt.Errorf("-img and -wal-dir are mutually exclusive: the WAL recovery is the image")
+	}
+
 	var db *memdb.DB
 	var err error
-	if *img != "" {
+	var walLog *wal.Log
+	var rec *trace.Recorder
+	switch {
+	case *walDir != "":
+		res, rerr := wal.Recover(*walDir, schema)
+		if rerr != nil {
+			return fmt.Errorf("wal recover: %w", rerr)
+		}
+		db = res.DB
+		torn := ""
+		if res.Truncated {
+			torn = " (torn tail truncated)"
+		}
+		fmt.Fprintf(out, "dbserve: WAL recovered from %s: checkpoint seq %d, replayed %d records to seq %d%s\n",
+			*walDir, res.CheckpointSeq, res.Replayed, res.LastSeq, torn)
+		walLog, err = wal.Open(wal.Config{Dir: *walDir, SegmentCap: *walSegment}, res.LastSeq)
+		if err != nil {
+			return fmt.Errorf("wal open: %w", err)
+		}
+		// Journal the recovery so a post-start TRACE shows how this region
+		// came to be (Code 1 = a torn record was truncated).
+		rec = trace.New()
+		code := int64(0)
+		if res.Truncated {
+			code = 1
+		}
+		rec.Ring("wal", 0).Emit(trace.Event{
+			Kind: trace.KindWALRecover, Code: code,
+			Arg: int64(res.Replayed), Aux: int64(res.LastSeq),
+		})
+	case *img != "":
 		f, oerr := os.Open(*img)
 		if oerr != nil {
 			return oerr
 		}
 		db, err = memdb.NewFromImage(schema, f)
 		f.Close()
-	} else {
+	default:
 		db, err = memdb.New(schema)
 	}
 	if err != nil {
 		return err
 	}
 
-	srv, err := server.New(db, server.Config{
-		QueueDepth:   *queue,
-		AuditPeriod:  *auditPeriod,
-		InjectPeriod: *injectPeriod,
-		InjectSeed:   *injectSeed,
-	})
+	// The listener is bound before the server exists so a standby can
+	// default its advertised mirror address to the real bound endpoint.
+	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
+	}
+	advertiseAddr := *advertise
+	if advertiseAddr == "" {
+		advertiseAddr = ln.Addr().String()
+	}
+
+	srv, err := server.New(db, server.Config{
+		QueueDepth:    *queue,
+		AuditPeriod:   *auditPeriod,
+		InjectPeriod:  *injectPeriod,
+		InjectSeed:    *injectSeed,
+		Trace:         rec,
+		WAL:           walLog,
+		Standby:       *replicaOf != "",
+		PrimaryAddr:   *replicaOf,
+		AdvertiseAddr: advertiseAddr,
+		ReplPoll:      *replPoll,
+		ReplFailLimit: *replFailLimit,
+		CheckpointCap: *walCheckpoint,
+	})
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	if *replicaOf != "" {
+		fmt.Fprintf(out, "dbserve: hot standby of %s (poll %v, fail limit %d)\n",
+			*replicaOf, *replPoll, *replFailLimit)
 	}
 	if *injectPeriod > 0 {
 		fmt.Fprintf(out, "dbserve: fault injector armed (one bit flip per %v, seed %d)\n",
@@ -119,10 +195,6 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 		fmt.Fprintf(out, "dbserve: metrics on %s\n", mln.Addr())
 	}
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		return err
-	}
 	fmt.Fprintf(out, "dbserve: serving on %s (audit period %v)\n", ln.Addr(), *auditPeriod)
 	if ready != nil {
 		ready <- ln.Addr().String()
@@ -138,6 +210,10 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 	// latter case the server still needs draining before the summary.
 	drainErr := srv.Shutdown(*shutdownTimeout)
 	printSummary(out, srv.Stats())
+	if walLog != nil {
+		fmt.Fprintf(out, "  wal: synced through seq %d, checkpoint at seq %d\n",
+			walLog.SyncedSeq(), walLog.CheckpointSeq())
+	}
 	if serveErr != nil {
 		return serveErr
 	}

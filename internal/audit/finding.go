@@ -33,6 +33,10 @@ const (
 	ClassSuspect
 	// ClassDeadlock: a stalled lock caught by the progress indicator.
 	ClassDeadlock
+	// ClassFailover: a durability/replication event that escalated past
+	// in-place repair — most notably a standby promoting itself after
+	// losing its primary.
+	ClassFailover
 )
 
 // String returns the class name.
@@ -50,6 +54,8 @@ func (c Class) String() string {
 		return "suspect"
 	case ClassDeadlock:
 		return "deadlock"
+	case ClassFailover:
+		return "failover"
 	default:
 		return "unknown"
 	}
@@ -76,6 +82,13 @@ const (
 	ActionTerminate
 	// ActionRelink: logical-group chains rebuilt from record labels.
 	ActionRelink
+	// ActionMirror: field restored from the hot standby's copy — the
+	// "mirrored copy" recovery source the paper assumes; used when the
+	// static image cannot help (dynamic data has no pristine value).
+	ActionMirror
+	// ActionPromote: the fifth escalation level — the standby took over
+	// as primary.
+	ActionPromote
 )
 
 // String returns the action name.
@@ -97,6 +110,10 @@ func (a Action) String() string {
 		return "terminate"
 	case ActionRelink:
 		return "relink"
+	case ActionMirror:
+		return "mirror-restore"
+	case ActionPromote:
+		return "promote"
 	default:
 		return "unknown"
 	}

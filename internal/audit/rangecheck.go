@@ -27,6 +27,18 @@ type RangeCheck struct {
 	// there), so any deviation in free space is corruption. Default
 	// true.
 	CheckFreeRecords bool
+	// DetectOnly runs the audit in shadow mode: findings are produced
+	// and journaled but no repair touches the region. A hot standby
+	// audits this way — its region is the primary's replicated state,
+	// and recoveries are deferred to the primary until promotion.
+	DetectOnly bool
+	// Mirror, when set, fetches the replica's copy of a record (all
+	// field values) for mirror-sourced repair. An out-of-range field
+	// whose mirrored value is in range is restored from the mirror
+	// instead of reset to the catalog default, and the record is spared
+	// the preemptive free — the standby's copy is a better truth than
+	// the default. ok=false falls back to the paper's reset path.
+	Mirror func(table, rec int) (vals []uint32, ok bool)
 }
 
 var _ FullChecker = (*RangeCheck)(nil)
@@ -84,9 +96,10 @@ func (c *RangeCheck) CheckRecord(ti, ri int) []Finding {
 
 	schema := c.db.Schema()
 	type bad struct {
-		field int
-		value uint32
-		def   uint32
+		field    int
+		value    uint32
+		def      uint32
+		min, max uint32
 	}
 	var bads []bad
 	for fi := range schema.Tables[ti].Fields {
@@ -99,7 +112,7 @@ func (c *RangeCheck) CheckRecord(ti, ri int) []Finding {
 			continue
 		}
 		if v < spec.Min || v > spec.Max {
-			bads = append(bads, bad{field: fi, value: v, def: spec.Default})
+			bads = append(bads, bad{field: fi, value: v, def: spec.Default, min: spec.Min, max: spec.Max})
 		}
 	}
 	if len(bads) == 0 {
@@ -114,30 +127,56 @@ func (c *RangeCheck) CheckRecord(ti, ri int) []Finding {
 		}}
 	}
 
+	// When a mirror is available, prefer restoring the replica's copy over
+	// the catalog default: dynamic data has no pristine image, so the
+	// standby is the only source that can recover the actual value.
+	var mirrorVals []uint32
+	haveMirror := false
+	if c.Mirror != nil && !c.DetectOnly {
+		mirrorVals, haveMirror = c.Mirror(ti, ri)
+	}
+
 	var findings []Finding
+	mirrored := 0
 	for _, b := range bads {
 		off, err := c.db.TrueRecordOffset(ti, ri)
 		if err != nil {
 			continue
 		}
-		if err := c.db.WriteFieldDirect(ti, ri, b.field, b.def); err != nil {
+		action, newVal := ActionReset, b.def
+		detail := fmt.Sprintf("value %d outside declared range", b.value)
+		if haveMirror && b.field < len(mirrorVals) {
+			if mv := mirrorVals[b.field]; mv >= b.min && mv <= b.max {
+				action, newVal = ActionMirror, mv
+				detail = fmt.Sprintf("value %d outside declared range, restored %d from mirror", b.value, mv)
+			}
+		}
+		if c.DetectOnly {
+			action = ActionNone
+			detail += " (shadow: recovery deferred)"
+		} else if err := c.db.WriteFieldDirect(ti, ri, b.field, newVal); err != nil {
 			continue
+		}
+		if action == ActionMirror {
+			mirrored++
 		}
 		f := Finding{
 			Class:  ClassRange,
-			Action: ActionReset,
+			Action: action,
 			Table:  ti,
 			Record: ri,
 			Field:  b.field,
 			Offset: off + memdb.RecordHeaderSize + memdb.FieldSize*b.field,
 			Length: memdb.FieldSize,
-			Detail: fmt.Sprintf("value %d outside declared range", b.value),
+			Detail: detail,
 		}
 		findings = append(findings, f)
 		c.recovery.note(f)
 		c.db.NoteAuditError(ti)
 	}
-	if c.FreeOnError {
+	// A record fully restored from the mirror holds its true values again;
+	// freeing it would needlessly drop a live call.
+	if c.FreeOnError && !c.DetectOnly && mirrored < len(bads) {
 		off, _ := c.db.TrueRecordOffset(ti, ri)
 		if err := c.db.FreeRecordDirect(ti, ri); err == nil {
 			f := Finding{
@@ -171,18 +210,23 @@ func (c *RangeCheck) checkFreeRecord(ti, ri int) []Finding {
 		if err != nil {
 			continue
 		}
-		if err := c.db.WriteFieldDirect(ti, ri, fi, spec.Default); err != nil {
+		action := ActionReset
+		detail := fmt.Sprintf("free record holds %d, expected default %d", v, spec.Default)
+		if c.DetectOnly {
+			action = ActionNone
+			detail += " (shadow: recovery deferred)"
+		} else if err := c.db.WriteFieldDirect(ti, ri, fi, spec.Default); err != nil {
 			continue
 		}
 		f := Finding{
 			Class:  ClassRange,
-			Action: ActionReset,
+			Action: action,
 			Table:  ti,
 			Record: ri,
 			Field:  fi,
 			Offset: off + memdb.RecordHeaderSize + memdb.FieldSize*fi,
 			Length: memdb.FieldSize,
-			Detail: fmt.Sprintf("free record holds %d, expected default %d", v, spec.Default),
+			Detail: detail,
 		}
 		findings = append(findings, f)
 		c.recovery.note(f)

@@ -16,6 +16,9 @@ type StaticCheck struct {
 	recovery Recovery
 	extents  []memdb.Extent
 	golden   []uint32
+	// DetectOnly runs the audit in shadow mode (hot standby): damage is
+	// diagnosed and journaled but the extent is not reloaded.
+	DetectOnly bool
 }
 
 var _ FullChecker = (*StaticCheck)(nil)
@@ -74,13 +77,17 @@ func (c *StaticCheck) checkExtent(i int) []Finding {
 	var findings []Finding
 	run := -1
 	table := c.db.Schema().TableIndex(e.Name) // -1 for the catalog
+	action := ActionReload
+	if c.DetectOnly {
+		action = ActionNone
+	}
 	flush := func(end int) {
 		if run < 0 {
 			return
 		}
 		f := Finding{
 			Class:  ClassStatic,
-			Action: ActionReload,
+			Action: action,
 			Table:  table,
 			Record: -1,
 			Field:  -1,
@@ -105,6 +112,9 @@ func (c *StaticCheck) checkExtent(i int) []Finding {
 		}
 	}
 	flush(len(live))
+	if c.DetectOnly {
+		return findings
+	}
 	if err := c.db.ReloadExtent(e.Off, e.Len); err != nil {
 		// Reload of a validated extent cannot fail; if it somehow does,
 		// record the failure rather than dropping it silently.

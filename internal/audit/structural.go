@@ -20,6 +20,10 @@ type StructuralCheck struct {
 	// escalates to a full database reload. The paper uses "multiple
 	// consecutive corruptions"; default 2.
 	ReloadRunLength int
+	// DetectOnly runs the audit in shadow mode (hot standby): damage is
+	// diagnosed and journaled with the action that would have been taken
+	// replaced by ActionNone, and nothing is repaired.
+	DetectOnly bool
 }
 
 var _ FullChecker = (*StructuralCheck)(nil)
@@ -87,16 +91,23 @@ func (c *StructuralCheck) CheckTable(ti int) []Finding {
 	var findings []Finding
 	if maxRun >= c.ReloadRunLength {
 		// Misalignment suspected: reload the entire database (§4.3.2).
-		c.db.ReloadAll()
+		action := ActionReloadAll
+		detail := fmt.Sprintf("%d consecutive corrupt headers in table %d", maxRun, ti)
+		if c.DetectOnly {
+			action = ActionNone
+			detail += " (shadow: recovery deferred)"
+		} else {
+			c.db.ReloadAll()
+		}
 		f := Finding{
 			Class:  ClassStructural,
-			Action: ActionReloadAll,
+			Action: action,
 			Table:  ti,
 			Record: -1,
 			Field:  -1,
 			Offset: damaged[0].offset,
 			Length: damaged[len(damaged)-1].offset - damaged[0].offset + memdb.RecordHeaderSize,
-			Detail: fmt.Sprintf("%d consecutive corrupt headers in table %d", maxRun, ti),
+			Detail: detail,
 		}
 		findings = append(findings, f)
 		c.recovery.note(f)
@@ -109,8 +120,10 @@ func (c *StructuralCheck) CheckTable(ti int) []Finding {
 		switch {
 		case d.head.TableID != ti || d.head.RecordID != d.record:
 			// Identity corruption: correctable from the offset.
-			if err := c.db.RewriteHeader(ti, d.record); err != nil {
-				continue
+			if !c.DetectOnly {
+				if err := c.db.RewriteHeader(ti, d.record); err != nil {
+					continue
+				}
 			}
 			f = Finding{
 				Class:  ClassStructural,
@@ -126,8 +139,10 @@ func (c *StructuralCheck) CheckTable(ti int) []Finding {
 		case !validStatus(d.head.Status) || d.head.Status == memdb.StatusFree:
 			// A garbage status byte, or a free record whose group/link
 			// fields deviate from the formatted state: reformat it.
-			if err := c.db.FreeRecordDirect(ti, d.record); err != nil {
-				continue
+			if !c.DetectOnly {
+				if err := c.db.FreeRecordDirect(ti, d.record); err != nil {
+					continue
+				}
 			}
 			f = Finding{
 				Class:  ClassStructural,
@@ -142,8 +157,10 @@ func (c *StructuralCheck) CheckTable(ti int) []Finding {
 		default:
 			// Active record with a corrupted adjacency index: repair
 			// the link in place.
-			if err := c.db.ResetLink(ti, d.record); err != nil {
-				continue
+			if !c.DetectOnly {
+				if err := c.db.ResetLink(ti, d.record); err != nil {
+					continue
+				}
 			}
 			f = Finding{
 				Class:  ClassStructural,
@@ -155,6 +172,10 @@ func (c *StructuralCheck) CheckTable(ti int) []Finding {
 				Length: memdb.RecordHeaderSize,
 				Detail: fmt.Sprintf("invalid adjacency index %d", d.head.NextIdx),
 			}
+		}
+		if c.DetectOnly {
+			f.Action = ActionNone
+			f.Detail += " (shadow: recovery deferred)"
 		}
 		findings = append(findings, f)
 		c.recovery.note(f)
@@ -176,9 +197,17 @@ func (c *StructuralCheck) checkGroupChains(ti int) []Finding {
 	if err != nil || consistent {
 		return nil
 	}
-	relinked, err := c.db.RebuildGroups(ti)
-	if err != nil {
-		return nil
+	action, relinked := ActionRelink, 0
+	detail := ""
+	if c.DetectOnly {
+		action = ActionNone
+		detail = "group chains inconsistent (shadow: recovery deferred)"
+	} else {
+		relinked, err = c.db.RebuildGroups(ti)
+		if err != nil {
+			return nil
+		}
+		detail = fmt.Sprintf("group chains rebuilt from record labels (%d records relinked)", relinked)
 	}
 	// The finding's damage extent is the chain directory: that is what
 	// the rebuild rewrites wholesale (link fields inside record headers
@@ -190,13 +219,13 @@ func (c *StructuralCheck) checkGroupChains(ti int) []Finding {
 	}
 	f := Finding{
 		Class:  ClassStructural,
-		Action: ActionRelink,
+		Action: action,
 		Table:  ti,
 		Record: -1,
 		Field:  -1,
 		Offset: off,
 		Length: length,
-		Detail: fmt.Sprintf("group chains rebuilt from record labels (%d records relinked)", relinked),
+		Detail: detail,
 	}
 	c.recovery.note(f)
 	c.db.NoteAuditError(ti)

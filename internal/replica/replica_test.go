@@ -1,0 +1,179 @@
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/callproc"
+	"repro/internal/memdb"
+	"repro/internal/wal"
+)
+
+func testSchema() memdb.Schema {
+	return callproc.Schema(callproc.SchemaConfig{ConfigRecords: 4, ConfigFields: 4, CallRecords: 16})
+}
+
+// driveOps applies a deterministic mutation mix to db, logging each op.
+func driveOps(t *testing.T, db *memdb.DB, l *wal.Log, n int) {
+	t.Helper()
+	ti := callproc.TblRes
+	for i := 0; i < n; i++ {
+		// Each group of four ops hits one record: alloc, write, move, free.
+		ri := (i / 4) % 8
+		group := i % callproc.ResourceBanks
+		switch i % 4 {
+		case 0:
+			if err := db.AllocDirect(ti, ri, group); err != nil {
+				t.Fatalf("alloc %d: %v", i, err)
+			}
+			if _, err := l.Append(wal.Record{Op: wal.OpAlloc, Table: int32(ti), Rec: int32(ri), Aux: int32(group)}); err != nil {
+				t.Fatalf("append: %v", err)
+			}
+		case 1:
+			v := uint32(i%50 + 1)
+			if err := db.WriteFieldDirect(ti, ri, callproc.FldResQuality, v); err != nil {
+				t.Fatalf("writefld %d: %v", i, err)
+			}
+			db.TouchVersion(ti, ri)
+			if _, err := l.Append(wal.Record{Op: wal.OpWriteFld, Table: int32(ti), Rec: int32(ri),
+				Field: int32(callproc.FldResQuality), Vals: []uint32{v}}); err != nil {
+				t.Fatalf("append: %v", err)
+			}
+		case 2:
+			ng := (group + 1) % callproc.ResourceBanks
+			if err := db.MoveDirect(ti, ri, ng); err != nil {
+				t.Fatalf("move %d: %v", i, err)
+			}
+			if _, err := l.Append(wal.Record{Op: wal.OpMove, Table: int32(ti), Rec: int32(ri), Aux: int32(ng)}); err != nil {
+				t.Fatalf("append: %v", err)
+			}
+		default:
+			if err := db.FreeRecordDirect(ti, ri); err != nil {
+				t.Fatalf("free %d: %v", i, err)
+			}
+			if _, err := l.Append(wal.Record{Op: wal.OpFree, Table: int32(ti), Rec: int32(ri)}); err != nil {
+				t.Fatalf("append: %v", err)
+			}
+		}
+	}
+}
+
+// TestShipApply ships a primary's log through the Shipper and replays it
+// with the Applier's batch path; the standby region must converge to the
+// primary's byte for byte.
+func TestShipApply(t *testing.T) {
+	schema := testSchema()
+	primary, err := memdb.New(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := wal.Open(wal.Config{Dir: t.TempDir()}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	driveOps(t, primary, l, 40)
+
+	standby, err := memdb.New(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := NewShipper(l, 0)
+	ap := NewApplier(standby, nil, 0, ApplierConfig{Primary: "unused"})
+
+	for {
+		blob, lastSeq, err := sh.Serve(ap.Applied(), "standby:1")
+		if err != nil {
+			t.Fatalf("serve: %v", err)
+		}
+		if len(blob) == 0 {
+			if ap.Applied() != lastSeq {
+				t.Fatalf("caught up at %d, primary at %d", ap.Applied(), lastSeq)
+			}
+			break
+		}
+		if err := ap.applyBatch(blob); err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+	}
+	if !bytes.Equal(primary.Raw(), standby.Raw()) {
+		t.Fatal("standby region does not match primary after replay")
+	}
+	if sh.MirrorAddr() != "standby:1" {
+		t.Fatalf("mirror addr = %q", sh.MirrorAddr())
+	}
+	if sh.Lag() != 0 {
+		t.Fatalf("lag = %d after catch-up", sh.Lag())
+	}
+}
+
+// TestShipperGap verifies a position evicted from the tail ring reports
+// ErrGap, and that a duplicate-overlapping batch applies cleanly.
+func TestShipperGap(t *testing.T) {
+	schema := testSchema()
+	primary, err := memdb.New(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := wal.Open(wal.Config{Dir: t.TempDir(), TailCap: 8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	driveOps(t, primary, l, 40)
+
+	sh := NewShipper(l, 0)
+	if _, _, err := sh.Serve(0, ""); !errors.Is(err, ErrGap) {
+		t.Fatalf("expected ErrGap, got %v", err)
+	}
+
+	// A poll inside the retained window succeeds, and records at or below
+	// the applied watermark are skipped as duplicates. The standby holds
+	// the same history up to seq 34, so the batch overlaps by two records.
+	blob, _, err := sh.Serve(32, "")
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	standby, err := memdb.New(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := wal.Open(wal.Config{Dir: t.TempDir()}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sl.Close()
+	driveOps(t, standby, sl, 34)
+	ap := NewApplier(standby, nil, 34, ApplierConfig{Primary: "unused"})
+	if err := ap.applyBatch(blob); err != nil {
+		t.Fatalf("apply overlapping batch: %v", err)
+	}
+	if ap.Applied() != l.LastSeq() {
+		t.Fatalf("applied = %d, want %d", ap.Applied(), l.LastSeq())
+	}
+	if !bytes.Equal(primary.Raw(), standby.Raw()) {
+		t.Fatal("standby region does not match primary after overlap apply")
+	}
+}
+
+// TestApplierSeqGap: a batch that skips ahead must flag re-bootstrap, not
+// apply.
+func TestApplierSeqGap(t *testing.T) {
+	schema := testSchema()
+	db, err := memdb.New(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := NewApplier(db, nil, 0, ApplierConfig{Primary: "unused"})
+	blob := wal.AppendRecord(nil, wal.Record{Seq: 5, Op: wal.OpFree, Table: int32(callproc.TblRes)})
+	if err := ap.applyBatch(blob); err == nil {
+		t.Fatal("expected sequence-gap error")
+	}
+	if !ap.needBoot {
+		t.Fatal("gap must force re-bootstrap")
+	}
+	if ap.Applied() != 0 {
+		t.Fatalf("applied advanced to %d on gapped batch", ap.Applied())
+	}
+}

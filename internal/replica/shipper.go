@@ -1,0 +1,119 @@
+// Package replica implements hot-standby replication over the WAL: a
+// primary-side Shipper serving batches of framed log records from the
+// in-memory tail ring, and a standby-side Applier that polls the primary,
+// replays the batches on its own executor, and promotes itself when the
+// primary stops answering.
+//
+// The paper assumes a fault-tolerant platform beneath the controller —
+// recovery "from a mirrored copy" is one of its escalation sources — and
+// this package supplies that mirror. The division of labor follows the
+// paper's single-writer architecture: everything that touches a database
+// region runs on that node's executor thread (the Applier), while the
+// Shipper serves replication reads entirely off the primary's executor,
+// from the thread-safe tail ring, so shipping never steals cycles from
+// call processing (resource isolation, Jiang et al.).
+package replica
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+	"repro/internal/wal"
+)
+
+// ErrGap reports that the standby's position has fallen off the primary's
+// tail ring; the standby must re-bootstrap from a snapshot.
+var ErrGap = errors.New("replica: requested records fell off the primary's tail ring")
+
+// DefaultMaxBatch bounds one replication batch. It leaves headroom under
+// wire.MaxDetail so a batch always fits one response frame.
+const DefaultMaxBatch = 24 * 1024
+
+// Shipper is the primary side: it serves WAL record batches to a polling
+// standby and remembers where that standby can be reached, so the audit's
+// mirror-sourced recovery knows whom to ask. Safe from any goroutine —
+// replication reads deliberately bypass the executor.
+type Shipper struct {
+	log      *wal.Log
+	maxBatch int
+	ring     *trace.Ring // may be nil
+
+	mu     sync.Mutex
+	mirror string
+
+	acked   atomic.Uint64 // highest position acknowledged by the standby
+	batches atomic.Uint64
+	bytes   atomic.Uint64
+}
+
+// NewShipper builds a shipper over the primary's log. maxBatch <= 0 uses
+// DefaultMaxBatch.
+func NewShipper(log *wal.Log, maxBatch int) *Shipper {
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	return &Shipper{log: log, maxBatch: maxBatch}
+}
+
+// SetRing directs ship events into a trace ring.
+func (s *Shipper) SetRing(r *trace.Ring) { s.ring = r }
+
+// Serve answers one standby poll: records after afterSeq, up to the batch
+// cap, as a framed blob. addr, when non-empty, is recorded as the standby's
+// serving address (the audit's mirror). A poll is also an acknowledgement:
+// afterSeq advances the acked watermark monotonically. Returns ErrGap when
+// afterSeq has been evicted from the tail ring.
+func (s *Shipper) Serve(afterSeq uint64, addr string) (blob []byte, lastSeq uint64, err error) {
+	if addr != "" {
+		s.mu.Lock()
+		s.mirror = addr
+		s.mu.Unlock()
+	}
+	for {
+		cur := s.acked.Load()
+		if afterSeq <= cur || s.acked.CompareAndSwap(cur, afterSeq) {
+			break
+		}
+	}
+	blob, lastSeq, ok := s.log.Since(afterSeq, s.maxBatch)
+	if !ok {
+		return nil, lastSeq, ErrGap
+	}
+	s.batches.Add(1)
+	s.bytes.Add(uint64(len(blob)))
+	if s.ring != nil && len(blob) > 0 {
+		s.ring.Emit(trace.Event{Kind: trace.KindReplShip, Arg: int64(len(blob)), Aux: int64(lastSeq)})
+	}
+	return blob, lastSeq, nil
+}
+
+// MirrorAddr returns the standby's advertised serving address, or "" when
+// no standby has polled yet.
+func (s *Shipper) MirrorAddr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mirror
+}
+
+// Acked returns the standby's acknowledged log position.
+func (s *Shipper) Acked() uint64 { return s.acked.Load() }
+
+// Lag returns how many log records the standby is behind the primary.
+func (s *Shipper) Lag() uint64 {
+	last, acked := s.log.LastSeq(), s.acked.Load()
+	if acked >= last {
+		return 0
+	}
+	return last - acked
+}
+
+// BindMetrics publishes the shipper's gauges into reg.
+func (s *Shipper) BindMetrics(reg *metrics.Registry) {
+	reg.GaugeFunc("repl.lag", func() int64 { return int64(s.Lag()) })
+	reg.GaugeFunc("repl.acked", func() int64 { return int64(s.acked.Load()) })
+	reg.GaugeFunc("repl.ship.batches", func() int64 { return int64(s.batches.Load()) })
+	reg.GaugeFunc("repl.ship.bytes", func() int64 { return int64(s.bytes.Load()) })
+}

@@ -1,0 +1,212 @@
+package server
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/callproc"
+	"repro/internal/memdb"
+	"repro/internal/trace"
+	"repro/internal/wal"
+	"repro/internal/wire"
+)
+
+// startPair boots a WAL-backed primary and a hot standby polling it.
+// The primary's tail ring is kept tiny so a standby that joins after the
+// workload starts must bootstrap through the snapshot path.
+func startPair(t *testing.T) (primary, standby *Server, addrP, addrS string) {
+	t.Helper()
+	schema := callproc.Schema(callproc.DefaultSchemaConfig())
+
+	newNode := func(cfg Config, walCfg wal.Config, dir string) (*Server, string) {
+		db, err := memdb.New(schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		walCfg.Dir = dir
+		l, err := wal.Open(walCfg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.WAL = l
+		cfg.AuditPeriod = 50 * time.Millisecond
+		cfg.ClockTick = 5 * time.Millisecond
+		cfg.Guard = true
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Standby {
+			cfg.AdvertiseAddr = ln.Addr().String()
+		}
+		srv, err := New(db, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- srv.Serve(ln) }()
+		t.Cleanup(func() {
+			if err := srv.Shutdown(5 * time.Second); err != nil {
+				t.Errorf("shutdown: %v", err)
+			}
+			if err := <-serveErr; err != nil {
+				t.Errorf("serve: %v", err)
+			}
+		})
+		return srv, ln.Addr().String()
+	}
+
+	// InjectPeriod arms the shot journal for targeted injections without
+	// ever firing on its own.
+	primary, addrP = newNode(Config{InjectPeriod: time.Hour},
+		wal.Config{TailCap: 16}, t.TempDir())
+	standby, addrS = newNode(Config{
+		Standby:       true,
+		PrimaryAddr:   addrP,
+		ReplPoll:      10 * time.Millisecond,
+		ReplFailLimit: 5,
+		ReplTimeout:   300 * time.Millisecond,
+	}, wal.Config{}, t.TempDir())
+	return primary, standby, addrP, addrS
+}
+
+func waitFor(t *testing.T, what string, deadline time.Duration, cond func() bool) {
+	t.Helper()
+	end := time.Now().Add(deadline)
+	for !cond() {
+		if time.Now().After(end) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestFailoverEndToEnd is the subsystem acceptance test: bootstrap + catch-
+// up replication, mirror-sourced audit repair joined to its shot by trace
+// ID, and primary loss ending in standby self-promotion with zero lost
+// fsynced writes.
+func TestFailoverEndToEnd(t *testing.T) {
+	primary, standby, addrP, addrS := startPair(t)
+	connP := dialInit(t, addrP)
+
+	// Workload before the standby can have seen anything: with a 16-record
+	// tail ring this forces the snapshot bootstrap, then incremental polls.
+	d := &walDriver{conn: connP}
+	d.runCycles(t, 10)
+
+	connS, err := wire.Dial(addrS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer connS.Close()
+
+	// A standby refuses sessions outright.
+	if _, err := connS.Init(); !errors.Is(err, wire.ErrStandby) {
+		t.Fatalf("standby Init error = %v, want ErrStandby", err)
+	}
+
+	waitFor(t, "standby catch-up", 5*time.Second, func() bool {
+		st, err := connS.ReplStatus()
+		return err == nil && st.Role == wire.RoleStandby && st.Applied == primary.walLog.LastSeq()
+	})
+
+	// The replicated copy holds the client's data: cycle 9 left record
+	// active with quality 9%50+1 = 10.
+	lastRi := lastActiveRecord(t, connP)
+	goldenQ, err := connP.ReadFld(callproc.TblRes, lastRi, callproc.FldResQuality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, vals, err := connS.ReplFetch(callproc.TblRes, lastRi)
+	if err != nil {
+		t.Fatalf("replfetch: %v", err)
+	}
+	if st != memdb.StatusActive || vals[callproc.FldResQuality] != goldenQ {
+		t.Fatalf("standby copy = status %d vals %v, want active quality %d", st, vals, goldenQ)
+	}
+
+	// Targeted shot: flip the MSB of that record's quality field. The
+	// static image cannot repair dynamic data — only the mirror holds the
+	// true value — so the audit must restore goldenQ from the standby and
+	// spare the record the preemptive free.
+	shotID := make(chan uint64, 1)
+	primary.ctrl <- func() {
+		off, err := primary.db.TrueRecordOffset(callproc.TblRes, lastRi)
+		if err != nil {
+			shotID <- 0
+			return
+		}
+		fOff := off + memdb.RecordHeaderSize + memdb.FieldSize*callproc.FldResQuality
+		shotID <- primary.injectAt(fOff+3, 7)
+	}
+	tid := <-shotID
+	if tid == 0 {
+		t.Fatal("targeted injection failed")
+	}
+
+	waitFor(t, "mirror-restore finding", 5*time.Second, func() bool {
+		for _, ev := range primary.TraceEvents(trace.KindFinding, 0) {
+			if ev.Trace == tid && ev.Code == int64(audit.ActionMirror) {
+				return true
+			}
+		}
+		return false
+	})
+	v, err := connP.ReadFld(callproc.TblRes, lastRi, callproc.FldResQuality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != goldenQ {
+		t.Fatalf("after mirror repair quality = %d, want %d", v, goldenQ)
+	}
+	if st, err := connP.Status(callproc.TblRes, lastRi); err != nil || st != memdb.StatusActive {
+		t.Fatalf("record freed despite mirror restore (status %d, err %v)", st, err)
+	}
+
+	// Every write acknowledged so far is applied on the standby (checked
+	// above), so killing the primary must lose nothing.
+	if err := primary.Shutdown(5 * time.Second); err != nil {
+		t.Fatalf("primary shutdown: %v", err)
+	}
+	waitFor(t, "standby self-promotion", 5*time.Second, func() bool {
+		st, err := connS.ReplStatus()
+		return err == nil && st.Role == wire.RolePrimary
+	})
+	if len(standby.TraceEvents(trace.KindReplPromote, 1)) != 1 {
+		t.Fatal("promotion not journaled")
+	}
+
+	// The promoted standby serves sessions, with the full replicated state.
+	connS2 := dialInit(t, addrS)
+	v, err = connS2.ReadFld(callproc.TblRes, lastRi, callproc.FldResQuality)
+	if err != nil {
+		t.Fatalf("read from promoted standby: %v", err)
+	}
+	if v != goldenQ {
+		t.Fatalf("promoted standby quality = %d, want %d (lost write)", v, goldenQ)
+	}
+}
+
+// lastActiveRecord scans the resource table through the API for the
+// highest-indexed active record.
+func lastActiveRecord(t *testing.T, conn *wire.Conn) int {
+	t.Helper()
+	n := callproc.Schema(callproc.DefaultSchemaConfig()).Tables[callproc.TblRes].NumRecords
+	last := -1
+	for ri := 0; ri < n; ri++ {
+		st, err := conn.Status(callproc.TblRes, ri)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st == memdb.StatusActive {
+			last = ri
+		}
+	}
+	if last < 0 {
+		t.Fatal("no active record")
+	}
+	return last
+}

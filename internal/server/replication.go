@@ -1,0 +1,303 @@
+package server
+
+// Durability and failover: the server-side half of internal/wal and
+// internal/replica.
+//
+// A primary appends every successful mutating request to its operation log
+// (fsync batched on the executor clock tick) and serves the log to a
+// polling standby entirely off the executor, from the WAL's tail ring. A
+// standby replays that stream on its own executor — the region's single
+// writer there, exactly as the request executor is on the primary — and
+// runs the full audit process in shadow mode: findings journaled, repairs
+// deferred. When the standby's polls fail ReplFailLimit times in a row it
+// promotes itself, flipping the audits live and accepting sessions.
+//
+// Audit repairs are deliberately NOT logged: recovery replays valid
+// operations against a clean checkpoint, which reconstructs uncorrupted
+// state without them. The standby can therefore diverge from a primary
+// whose audit freed a record preemptively — a divergence that heals on the
+// next logged alloc of the same slot, and that is exactly what makes the
+// standby useful as a mirror: its copy still holds the true value the
+// primary's corruption destroyed.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/memdb"
+	"repro/internal/replica"
+	"repro/internal/trace"
+	"repro/internal/wal"
+	"repro/internal/wire"
+)
+
+// mirrorTimeout bounds the primary-executor's mirror fetch from the
+// standby during audit recovery. Short: an audit sweep must not stall the
+// executor on a dead mirror.
+const mirrorTimeout = 250 * time.Millisecond
+
+// snapChunk is the bootstrap snapshot chunk size; it leaves headroom under
+// wire.MaxDetail.
+const snapChunk = 24 * 1024
+
+// Role reports whether the server currently serves as primary or standby.
+// Safe from any goroutine.
+func (s *Server) Role() int {
+	if s.standby.Load() {
+		return wire.RoleStandby
+	}
+	return wire.RolePrimary
+}
+
+// logMutation appends one successfully executed mutating request to the
+// operation log. Alloc logs the index the executor chose (resp.Vals[0]), so
+// replay is deterministic. Executor thread only.
+func (s *Server) logMutation(q wire.Request, resp wire.Response, tid uint64) {
+	if s.walLog == nil || resp.Code != wire.CodeOK || s.standby.Load() {
+		return
+	}
+	rec := walRecordFor(q, resp)
+	if rec == nil {
+		return
+	}
+	rec.Trace = tid
+	if _, err := s.walLog.Append(*rec); err != nil && s.replRing != nil {
+		s.replRing.Emit(trace.Event{Kind: trace.KindWALRecover, Op: "append-error", Detail: err.Error()})
+	}
+}
+
+// walRecordFor translates a mutating request into its log record, or nil
+// for non-mutating ops.
+func walRecordFor(q wire.Request, resp wire.Response) *wal.Record {
+	switch q.Op {
+	case wire.OpWriteRec:
+		return &wal.Record{Op: wal.OpWriteRec, Table: q.Table, Rec: q.Record, Vals: q.Vals}
+	case wire.OpWriteFld:
+		return &wal.Record{Op: wal.OpWriteFld, Table: q.Table, Rec: q.Record, Field: q.Field, Vals: q.Vals}
+	case wire.OpMove:
+		return &wal.Record{Op: wal.OpMove, Table: q.Table, Rec: q.Record, Aux: q.Aux}
+	case wire.OpAlloc:
+		if len(resp.Vals) != 1 {
+			return nil
+		}
+		return &wal.Record{Op: wal.OpAlloc, Table: q.Table, Rec: int32(resp.Vals[0]), Aux: q.Aux}
+	case wire.OpFree:
+		return &wal.Record{Op: wal.OpFree, Table: q.Table, Rec: q.Record}
+	default:
+		return nil
+	}
+}
+
+// syncWAL batches pending appends into one fsync and writes a fresh
+// checkpoint once enough log has accumulated. Executor clock tick only.
+func (s *Server) syncWAL() {
+	if s.walLog == nil {
+		return
+	}
+	if s.walLog.Pending() > 0 {
+		_ = s.walLog.Sync()
+	}
+	if !s.standby.Load() && s.cfg.CheckpointCap > 0 &&
+		s.walLog.SizeSinceCheckpoint() >= s.cfg.CheckpointCap {
+		s.checkpointNow()
+	}
+}
+
+// checkpointNow captures the live region as the log's new recovery base.
+// Executor thread only.
+func (s *Server) checkpointNow() {
+	if err := s.walLog.Checkpoint(s.db.SnapshotInto); err != nil {
+		return
+	}
+	if s.replRing != nil {
+		s.replRing.Emit(trace.Event{Kind: trace.KindWALCheckpoint,
+			Aux: int64(s.walLog.CheckpointSeq())})
+	}
+}
+
+// replStep is the standby's poll tick: one Applier round, promoting when
+// the primary has been unreachable for the configured streak. Executor
+// thread only (env ticker).
+func (s *Server) replStep() {
+	if !s.standby.Load() || s.applier == nil {
+		return
+	}
+	if s.applier.Step() {
+		s.promote(fmt.Sprintf("primary unreachable for %d polls", s.cfg.ReplFailLimit))
+	}
+}
+
+// promote flips a standby into the primary role: replication stops, the
+// audits leave shadow mode, and sessions are accepted. This is the fifth
+// escalation level of the recovery ladder — beyond field reset, record
+// free, extent reload, and full reload, the service itself moves to the
+// mirror. Executor thread only (poll ticker or OpReplPromote).
+func (s *Server) promote(reason string) {
+	if !s.standby.CompareAndSwap(true, false) {
+		return
+	}
+	if s.replTicker != nil {
+		s.replTicker.Stop()
+	}
+	if s.applier != nil {
+		s.applier.Close()
+	}
+	if s.staticChk != nil {
+		s.staticChk.DetectOnly = false
+	}
+	if s.structChk != nil {
+		s.structChk.DetectOnly = false
+	}
+	if s.rangeChk != nil {
+		s.rangeChk.DetectOnly = false
+	}
+	f := audit.Finding{
+		Class: audit.ClassFailover, Action: audit.ActionPromote,
+		Table: -1, Record: -1, Field: -1, Offset: -1,
+		Detail: reason,
+	}
+	s.noteFinding(f)
+	if s.replRing != nil {
+		s.replRing.Emit(trace.Event{Kind: trace.KindReplPromote, Detail: reason})
+	}
+}
+
+// fetchMirror reads the standby's copy of a record for mirror-sourced audit
+// repair (audit.RangeCheck.Mirror). Executor thread only; the cached
+// connection is dropped on any error so the next sweep redials.
+func (s *Server) fetchMirror(table, rec int) ([]uint32, bool) {
+	if s.shipper == nil || s.standby.Load() {
+		return nil, false
+	}
+	addr := s.shipper.MirrorAddr()
+	if addr == "" {
+		return nil, false
+	}
+	if s.mirrorConn == nil {
+		nc, err := net.DialTimeout("tcp", addr, mirrorTimeout)
+		if err != nil {
+			return nil, false
+		}
+		s.mirrorConn = wire.NewConn(nc)
+		s.mirrorConn.Timeout = mirrorTimeout
+	}
+	st, vals, err := s.mirrorConn.ReplFetch(table, rec)
+	if err != nil {
+		s.mirrorConn.Close()
+		s.mirrorConn = nil
+		return nil, false
+	}
+	if st != memdb.StatusActive {
+		return nil, false
+	}
+	return vals, true
+}
+
+// handleReplicate answers a standby poll off the executor: the shipper
+// reads the WAL tail ring, which is safe from any goroutine, so shipping
+// never costs the request path anything (resource isolation).
+func (s *Server) handleReplicate(q wire.Request) wire.Response {
+	if s.shipper == nil || s.standby.Load() {
+		return wire.ErrorResponse(q.Seq, wire.ErrNotPrimary)
+	}
+	if len(q.Vals) < 2 {
+		return wire.ErrorResponse(q.Seq,
+			fmt.Errorf("%w: Replicate carries %d values", wire.ErrBadFrame, len(q.Vals)))
+	}
+	after := wire.JoinU64(q.Vals[0], q.Vals[1])
+	blob, lastSeq, err := s.shipper.Serve(after, q.Detail)
+	if errors.Is(err, replica.ErrGap) {
+		return wire.ErrorResponse(q.Seq, wire.ErrReplGap)
+	}
+	if err != nil {
+		return wire.ErrorResponse(q.Seq, err)
+	}
+	lo, hi := wire.SplitU64(lastSeq)
+	return wire.Response{Seq: q.Seq, Detail: string(blob), Vals: []uint32{lo, hi}}
+}
+
+// handleReplStatus reports role and log positions. Executor thread.
+func (s *Server) handleReplStatus() wire.Response {
+	vals := make([]uint32, wire.NumReplStatusVals)
+	vals[wire.ReplRole] = uint32(s.Role())
+	var last, applied uint64
+	if s.walLog != nil {
+		last = s.walLog.LastSeq()
+	}
+	if s.standby.Load() && s.applier != nil {
+		applied = s.applier.Applied()
+	} else if s.shipper != nil {
+		applied = s.shipper.Acked()
+	}
+	vals[wire.ReplLastLo], vals[wire.ReplLastHi] = wire.SplitU64(last)
+	vals[wire.ReplAppliedLo], vals[wire.ReplAppliedHi] = wire.SplitU64(applied)
+	return ok(vals...)
+}
+
+// handleReplSnap serves one chunk of the bootstrap snapshot. The snapshot
+// is captured atomically on the executor at offset 0 — log position and
+// region image taken together — and retained per connection so every chunk
+// comes from the same image. Executor thread only.
+func (s *Server) handleReplSnap(c *conn, q wire.Request) wire.Response {
+	if s.walLog == nil {
+		return wire.ErrorResponse(q.Seq, errors.New("server: replication disabled (no WAL)"))
+	}
+	off := int(q.Record)
+	if off == 0 || c.snap == nil {
+		var buf bytes.Buffer
+		if err := s.db.SnapshotInto(&buf); err != nil {
+			return wire.ErrorResponse(q.Seq, err)
+		}
+		c.snap = buf.Bytes()
+		c.snapSeq = s.walLog.LastSeq()
+	}
+	if off < 0 || off > len(c.snap) {
+		return wire.ErrorResponse(q.Seq,
+			fmt.Errorf("%w: snapshot offset %d of %d", wire.ErrBadFrame, off, len(c.snap)))
+	}
+	end := off + snapChunk
+	if end > len(c.snap) {
+		end = len(c.snap)
+	}
+	lo, hi := wire.SplitU64(c.snapSeq)
+	return wire.Response{
+		Detail: string(c.snap[off:end]),
+		Vals:   []uint32{uint32(len(c.snap)), lo, hi},
+	}
+}
+
+// handleReplFetch reads a record's status and fields directly from the
+// region for the primary's mirror-sourced repair. Executor thread only.
+func (s *Server) handleReplFetch(q wire.Request) wire.Response {
+	table, rec := int(q.Table), int(q.Record)
+	st, err := s.db.StatusDirect(table, rec)
+	if err != nil {
+		return wire.ErrorResponse(q.Seq, err)
+	}
+	nf := len(s.db.Schema().Tables[table].Fields)
+	vals := make([]uint32, 1, 1+nf)
+	vals[0] = uint32(st)
+	for fi := 0; fi < nf; fi++ {
+		v, err := s.db.ReadFieldDirect(table, rec, fi)
+		if err != nil {
+			return wire.ErrorResponse(q.Seq, err)
+		}
+		vals = append(vals, v)
+	}
+	return ok(vals...)
+}
+
+// standbyAllowed reports whether a standby answers op at all; everything
+// else gets ErrStandby so clients re-resolve to the primary.
+func standbyAllowed(op wire.Op) bool {
+	switch op {
+	case wire.OpPing, wire.OpSweep, wire.OpStats, wire.OpStats2, wire.OpTrace,
+		wire.OpReplStatus, wire.OpReplPromote, wire.OpReplSnap, wire.OpReplFetch:
+		return true
+	}
+	return false
+}

@@ -43,8 +43,10 @@ import (
 	"repro/internal/manager"
 	"repro/internal/memdb"
 	"repro/internal/metrics"
+	"repro/internal/replica"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -103,6 +105,33 @@ type Config struct {
 	// TraceRingSize overrides the per-ring event capacity
 	// (default trace.DefaultRingSize).
 	TraceRingSize int
+	// WAL, when set, is the operation log: every successful mutating
+	// request is appended, fsync batched on the executor clock tick. The
+	// server owns it from here on — Shutdown syncs, checkpoints, and
+	// closes it. Build it with wal.Open after wal.Recover.
+	WAL *wal.Log
+	// Standby starts the server as a hot standby of PrimaryAddr: sessions
+	// are refused (CodeStandby), the database is fed by replication, and
+	// the audits run in shadow mode until promotion.
+	Standby bool
+	// PrimaryAddr is the primary this standby polls. Required with Standby.
+	PrimaryAddr string
+	// AdvertiseAddr is this node's own serving address, told to the
+	// primary so its audit can mirror-fetch from here. Standby only.
+	AdvertiseAddr string
+	// ReplPoll is the standby's replication poll interval on the executor
+	// clock. Default 100ms.
+	ReplPoll time.Duration
+	// ReplFailLimit is the consecutive poll-failure streak after which the
+	// standby promotes itself. Default 10; negative disables
+	// self-promotion.
+	ReplFailLimit int
+	// ReplTimeout bounds each replication call to the primary. Default 1s.
+	ReplTimeout time.Duration
+	// CheckpointCap is the logged-bytes threshold that triggers an
+	// automatic checkpoint. Default 4MiB; negative disables automatic
+	// checkpoints.
+	CheckpointCap int64
 	// InjectPeriod, when positive, arms a server-side fault injector on
 	// the executor clock: each period flips one random bit in the live
 	// database region and journals it as an inject-shot event, so a trace
@@ -143,6 +172,18 @@ func (c *Config) applyDefaults() {
 	}
 	if c.MaxFrame <= 0 {
 		c.MaxFrame = wire.MaxFrame
+	}
+	if c.ReplPoll <= 0 {
+		c.ReplPoll = 100 * time.Millisecond
+	}
+	if c.ReplFailLimit == 0 {
+		c.ReplFailLimit = 10
+	}
+	if c.ReplTimeout <= 0 {
+		c.ReplTimeout = time.Second
+	}
+	if c.CheckpointCap == 0 {
+		c.CheckpointCap = 4 << 20
 	}
 }
 
@@ -193,8 +234,24 @@ type Server struct {
 	mgr   *manager.Manager
 
 	// checks are the audit techniques run by both the periodic element
-	// and forced sweeps; executor-only after construction.
-	checks []audit.FullChecker
+	// and forced sweeps; executor-only after construction. The concrete
+	// checker pointers are retained so promotion can flip them out of
+	// shadow mode and wire the mirror hook.
+	checks    []audit.FullChecker
+	staticChk *audit.StaticCheck
+	structChk *audit.StructuralCheck
+	rangeChk  *audit.RangeCheck
+
+	// Durability & failover. walLog is executor-owned except for its
+	// thread-safe tail ring, which shipper serves replication from off
+	// the executor. standby flips exactly once, at promotion.
+	walLog     *wal.Log
+	shipper    *replica.Shipper
+	applier    *replica.Applier
+	standby    atomic.Bool
+	replTicker *sim.Ticker
+	mirrorConn *wire.Conn  // executor-only cached conn to the standby
+	replRing   *trace.Ring // repl.*/wal.* events (nil when tracing off)
 
 	// tel is the server-level telemetry (nil when Config.DisableMetrics);
 	// auditTel publishes audit-layer metrics into the same registry.
@@ -260,11 +317,16 @@ type Server struct {
 }
 
 // conn is the per-connection state. sess is owned by the executor: it is
-// only created, used, and destroyed inside executor-thread code.
+// only created, used, and destroyed inside executor-thread code, as are
+// the bootstrap-snapshot fields (ReplSnap chunks are served one request at
+// a time through the executor).
 type conn struct {
 	nc   net.Conn
 	id   uint64 // connection ordinal, tags this conn's trace events
 	sess *memdb.Client
+
+	snap    []byte // retained bootstrap snapshot being chunked out
+	snapSeq uint64 // WAL position the snapshot captured
 }
 
 // shot is one server-side injection: the correlation ID journaled with
@@ -288,6 +350,9 @@ const defaultTraceTail = 256
 func New(db *memdb.DB, cfg Config) (*Server, error) {
 	if db == nil {
 		return nil, errors.New("server: nil database")
+	}
+	if cfg.Standby && cfg.PrimaryAddr == "" {
+		return nil, errors.New("server: standby requires a primary address")
 	}
 	cfg.applyDefaults()
 	s := &Server{
@@ -332,12 +397,53 @@ func New(db *memdb.DB, cfg Config) (*Server, error) {
 		s.injRNG = sim.NewRNG(cfg.InjectSeed)
 	}
 
-	rec := audit.Recovery{OnFinding: s.noteFinding}
-	s.checks = []audit.FullChecker{
-		audit.NewStaticCheck(db, rec),
-		audit.NewStructuralCheck(db, rec),
-		audit.NewRangeCheck(db, rec),
+	// Durability & failover wiring. The shipper exists whenever there is a
+	// log — a promoted standby ships to the next standby with no rebuild.
+	s.walLog = cfg.WAL
+	s.standby.Store(cfg.Standby)
+	if s.walLog != nil {
+		s.shipper = replica.NewShipper(s.walLog, 0)
 	}
+	if cfg.Standby {
+		startSeq := uint64(0)
+		if s.walLog != nil {
+			startSeq = s.walLog.LastSeq()
+		}
+		s.applier = replica.NewApplier(db, s.walLog, startSeq, replica.ApplierConfig{
+			Primary:   cfg.PrimaryAddr,
+			Advertise: cfg.AdvertiseAddr,
+			Timeout:   cfg.ReplTimeout,
+			FailLimit: cfg.ReplFailLimit,
+		})
+	}
+	if s.rec != nil && (s.walLog != nil || cfg.Standby) {
+		s.replRing = s.rec.Ring("repl", cfg.TraceRingSize)
+		if s.shipper != nil {
+			s.shipper.SetRing(s.replRing)
+		}
+		if s.applier != nil {
+			s.applier.SetRing(s.replRing)
+		}
+	}
+
+	rec := audit.Recovery{OnFinding: s.noteFinding}
+	s.staticChk = audit.NewStaticCheck(db, rec)
+	s.structChk = audit.NewStructuralCheck(db, rec)
+	s.rangeChk = audit.NewRangeCheck(db, rec)
+	if cfg.Standby {
+		// Shadow mode: the standby's audits diagnose and journal, but
+		// recovery stays with the primary until promotion.
+		s.staticChk.DetectOnly = true
+		s.structChk.DetectOnly = true
+		s.rangeChk.DetectOnly = true
+	}
+	if s.shipper != nil {
+		// Mirror-sourced repair: when the range audit finds a corrupted
+		// dynamic field, the standby's copy is the only source holding the
+		// true value (the static image cannot help).
+		s.rangeChk.Mirror = s.fetchMirror
+	}
+	s.checks = []audit.FullChecker{s.staticChk, s.structChk, s.rangeChk}
 	if s.auditTel != nil {
 		for i, c := range s.checks {
 			s.checks[i] = s.auditTel.WrapFull(c)
@@ -493,6 +599,16 @@ func (s *Server) registerMetrics() {
 	reg.GaugeFunc("server.audit.findings", func() int64 { return int64(s.findings.Load()) })
 	if s.audit != nil {
 		s.audit.RegisterMetrics(reg, "audit.queue")
+	}
+	reg.GaugeFunc("repl.role", func() int64 { return int64(s.Role()) })
+	if s.walLog != nil {
+		s.walLog.BindMetrics(reg)
+	}
+	if s.shipper != nil {
+		s.shipper.BindMetrics(reg)
+	}
+	if s.applier != nil {
+		s.applier.BindMetrics(reg)
 	}
 	if s.rec != nil {
 		// Every ring the server will ever emit on exists by now, so ring
@@ -700,6 +816,13 @@ func (s *Server) executor() {
 			s.injRNG = nil
 		}
 	}
+	if s.applier != nil {
+		// Replication rides the executor clock too: the applier is the
+		// standby region's single writer, interleaved with audits.
+		if tk, err := s.env.NewTicker(s.cfg.ReplPoll, s.replStep); err == nil {
+			s.replTicker = tk
+		}
+	}
 	tick := time.NewTicker(s.cfg.ClockTick)
 	defer tick.Stop()
 	for {
@@ -724,6 +847,7 @@ func (s *Server) advanceClock() {
 	if d := target - s.env.Now(); d > 0 {
 		_ = s.env.Run(d)
 	}
+	s.syncWAL()
 	s.refreshExecutorMetrics()
 }
 
@@ -742,12 +866,32 @@ func (s *Server) drainAndStop() {
 		}
 		break
 	}
+	// The WAL tail must be durable BEFORE the certifying sweep: the sweep
+	// may repair the region, and a crash after repairs but before fsync
+	// would otherwise lose acknowledged writes that the repairs were
+	// validated against.
+	if s.walLog != nil {
+		_ = s.walLog.Sync()
+	}
 	s.runSweep()
 	if s.mgr != nil {
 		s.mgr.Stop()
 	}
 	if s.audit != nil {
 		s.db.DisableAudit()
+	}
+	if s.applier != nil {
+		s.applier.Close()
+	}
+	if s.mirrorConn != nil {
+		s.mirrorConn.Close()
+		s.mirrorConn = nil
+	}
+	if s.walLog != nil {
+		// The final checkpoint captures the swept, certified region, so
+		// the next start replays nothing.
+		s.checkpointNow()
+		_ = s.walLog.Close()
 	}
 	s.refreshExecutorMetrics()
 }
@@ -760,13 +904,18 @@ func (s *Server) injectOnce() {
 	if s.injRNG == nil {
 		return
 	}
-	off := s.injRNG.Intn(s.db.Size())
-	bit := s.injRNG.Intn(8)
-	if err := s.db.FlipBit(off, uint(bit)); err != nil {
-		return
+	s.injectAt(s.injRNG.Intn(s.db.Size()), uint(s.injRNG.Intn(8)))
+}
+
+// injectAt flips one bit at a region offset and journals the shot,
+// returning the shot's correlation ID (0 when tracing is off or the flip
+// failed). Executor thread only; tests use it for targeted shots.
+func (s *Server) injectAt(off int, bit uint) uint64 {
+	if err := s.db.FlipBit(off, bit); err != nil {
+		return 0
 	}
-	if s.rec == nil {
-		return
+	if s.rec == nil || s.injRing == nil {
+		return 0
 	}
 	id := s.rec.NextTrace()
 	s.shots = append(s.shots, shot{id: id, off: off})
@@ -777,6 +926,7 @@ func (s *Server) injectOnce() {
 		Kind: trace.KindShot, Trace: id, Op: "dbflip",
 		Arg: int64(off), Code: int64(bit),
 	})
+	return id
 }
 
 // runSweep executes every audit technique over the whole region and
@@ -799,6 +949,7 @@ func (s *Server) execute(t task) {
 	}
 	resp := s.handle(t.c, t.req)
 	resp.Seq = t.req.Seq
+	s.logMutation(t.req, resp, t.tid)
 	op := t.req.Op
 	if op.Valid() {
 		if resp.Code == wire.CodeOK {
@@ -816,10 +967,28 @@ func ok(vals ...uint32) wire.Response { return wire.Response{Vals: vals} }
 
 // handle dispatches one request against the session's DB client.
 func (s *Server) handle(c *conn, q wire.Request) wire.Response {
+	// A standby answers only the control/replication plane; everything
+	// else is refused with CodeStandby so clients re-resolve to the
+	// primary.
+	if s.standby.Load() && !standbyAllowed(q.Op) {
+		return wire.ErrorResponse(q.Seq, wire.ErrStandby)
+	}
 	// Session-less control ops first.
 	switch q.Op {
 	case wire.OpPing:
 		return ok()
+	case wire.OpReplStatus:
+		return s.handleReplStatus()
+	case wire.OpReplPromote:
+		if !s.standby.Load() {
+			return wire.ErrorResponse(q.Seq, wire.ErrNotStandby)
+		}
+		s.promote("operator-ordered promotion")
+		return ok()
+	case wire.OpReplSnap:
+		return s.handleReplSnap(c, q)
+	case wire.OpReplFetch:
+		return s.handleReplFetch(q)
 	case wire.OpSweep:
 		return ok(uint32(s.runSweep()))
 	case wire.OpStats:
@@ -992,6 +1161,21 @@ func (s *Server) serveConn(c *conn) {
 			// answer and keep the connection (framing is still
 			// synchronized).
 			s.writeResponse(c, &respBuf, wire.ErrorResponse(0, err))
+			continue
+		}
+		if req.Op == wire.OpReplicate {
+			// Replication polls bypass the executor entirely: the shipper
+			// reads the WAL's thread-safe tail ring, so a standby catching
+			// up never competes with call processing for executor cycles.
+			resp := s.handleReplicate(req)
+			if resp.Code == wire.CodeOK {
+				s.perOpOK[int(req.Op)].Add(1)
+			} else {
+				s.perOpErr[int(req.Op)].Add(1)
+			}
+			if !s.writeResponse(c, &respBuf, resp) {
+				return
+			}
 			continue
 		}
 		resp := s.submit(c, req)

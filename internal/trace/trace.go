@@ -81,6 +81,25 @@ const (
 	// KindOutcome: an injection run's Table 7 classification (Op =
 	// outcome, Trace = the run's shot ID).
 	KindOutcome
+	// KindReplShip: the primary shipped a WAL batch to the standby
+	// (Arg = record count, Aux = last sequence shipped, low bits).
+	KindReplShip
+	// KindReplApply: the standby applied a shipped batch (Arg = record
+	// count, Aux = last applied sequence, low bits).
+	KindReplApply
+	// KindReplSnap: a bootstrap snapshot was taken or installed (Arg =
+	// snapshot bytes, Aux = captured sequence, low bits).
+	KindReplSnap
+	// KindReplPromote: a standby promoted itself to primary (Detail =
+	// reason).
+	KindReplPromote
+	// KindWALRecover: crash-restart replay finished (Arg = records
+	// replayed, Aux = recovered sequence low bits, Code = 1 when a torn
+	// tail was truncated).
+	KindWALRecover
+	// KindWALCheckpoint: a checkpoint was written (Aux = captured
+	// sequence, low bits).
+	KindWALCheckpoint
 	kindMax
 )
 
@@ -108,6 +127,12 @@ var kindNames = [...]string{
 	KindPECOS:         "pecos-violation",
 	KindShot:          "inject-shot",
 	KindOutcome:       "run-outcome",
+	KindReplShip:      "repl-ship",
+	KindReplApply:     "repl-apply",
+	KindReplSnap:      "repl-snap",
+	KindReplPromote:   "repl-promote",
+	KindWALRecover:    "wal-recover",
+	KindWALCheckpoint: "wal-checkpoint",
 }
 
 // Kinds lists every defined event kind, in declaration order.

@@ -1,0 +1,42 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWALDecode drives the frame decoder with arbitrary bytes. The decoder
+// must never panic, must never consume a frame whose CRC does not match,
+// and every record it does accept must re-encode to the exact bytes it was
+// decoded from (the codec is canonical — the same property FuzzCodec pins
+// for the wire protocol).
+func FuzzWALDecode(f *testing.F) {
+	f.Add(AppendRecord(nil, Record{Seq: 1, Trace: 7, Op: OpAlloc, Table: 3, Rec: 5, Field: -1, Aux: 2}))
+	f.Add(AppendRecord(nil, Record{Seq: 2, Op: OpWriteRec, Table: 3, Rec: 5, Vals: []uint32{1, 2, 3}}))
+	multi := AppendRecord(nil, Record{Seq: 1, Op: OpWriteFld, Table: 1, Rec: 0, Field: 2, Vals: []uint32{9}})
+	multi = AppendRecord(multi, Record{Seq: 2, Op: OpFree, Table: 1, Rec: 0})
+	f.Add(multi)
+	f.Add(multi[:len(multi)-3]) // torn tail
+	corrupt := AppendRecord(nil, Record{Seq: 3, Op: OpMove, Table: 2, Rec: 1, Aux: 1})
+	corrupt[5] ^= 0x40 // CRC mismatch
+	f.Add(corrupt)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0}) // wild length prefix
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(data)
+		for i := 0; i < 1<<16; i++ {
+			start := dec.Offset()
+			rec, err := dec.Next()
+			if err != nil {
+				if dec.Offset() != start {
+					t.Fatalf("decoder advanced %d bytes past an error", dec.Offset()-start)
+				}
+				return
+			}
+			frame := data[start:dec.Offset()]
+			if got := AppendRecord(nil, rec); !bytes.Equal(got, frame) {
+				t.Fatalf("record %d re-encodes to %d bytes, consumed %d", i, len(got), len(frame))
+			}
+		}
+	})
+}

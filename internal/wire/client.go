@@ -238,6 +238,81 @@ func (c *Conn) TraceJSON(kind, n int) ([]byte, error) {
 	return []byte(r.Detail), nil
 }
 
+// ReplState is the decoded OpReplStatus reply.
+type ReplState struct {
+	Role    int    // RolePrimary or RoleStandby
+	LastSeq uint64 // last WAL sequence appended on the queried node
+	Applied uint64 // standby: last applied; primary: standby's last acked
+}
+
+// ReplStatus queries a node's replication role and log positions.
+func (c *Conn) ReplStatus() (ReplState, error) {
+	r, err := c.call(Request{Op: OpReplStatus})
+	if err != nil {
+		return ReplState{}, err
+	}
+	if len(r.Vals) < NumReplStatusVals {
+		return ReplState{}, fmt.Errorf("%w: ReplStatus reply carries %d values", ErrBadFrame, len(r.Vals))
+	}
+	return ReplState{
+		Role:    int(r.Vals[ReplRole]),
+		LastSeq: JoinU64(r.Vals[ReplLastLo], r.Vals[ReplLastHi]),
+		Applied: JoinU64(r.Vals[ReplAppliedLo], r.Vals[ReplAppliedHi]),
+	}, nil
+}
+
+// Replicate polls the primary for WAL records after afterSeq. addr is the
+// poller's own serving address, which the primary remembers as its mirror
+// for audit repairs. The returned blob is a batch of CRC-framed WAL records
+// (possibly empty when caught up); lastSeq is the primary's log position.
+// A wire.ErrReplGap error means afterSeq fell off the primary's tail ring
+// and the standby must re-bootstrap with ReplSnap.
+func (c *Conn) Replicate(afterSeq uint64, addr string) (blob []byte, lastSeq uint64, err error) {
+	lo, hi := SplitU64(afterSeq)
+	r, err := c.call(Request{Op: OpReplicate, Detail: addr, Vals: []uint32{lo, hi}})
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(r.Vals) < 2 {
+		return nil, 0, fmt.Errorf("%w: Replicate reply carries %d values", ErrBadFrame, len(r.Vals))
+	}
+	return []byte(r.Detail), JoinU64(r.Vals[0], r.Vals[1]), nil
+}
+
+// ReplSnap fetches one chunk of the primary's bootstrap snapshot starting
+// at byte offset off. total is the full snapshot length and seq the WAL
+// position the snapshot captured; both are constant across the chunks of
+// one bootstrap.
+func (c *Conn) ReplSnap(off int) (chunk []byte, total int, seq uint64, err error) {
+	r, err := c.call(Request{Op: OpReplSnap, Record: int32(off)})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if len(r.Vals) < 3 {
+		return nil, 0, 0, fmt.Errorf("%w: ReplSnap reply carries %d values", ErrBadFrame, len(r.Vals))
+	}
+	return []byte(r.Detail), int(r.Vals[0]), JoinU64(r.Vals[1], r.Vals[2]), nil
+}
+
+// Promote orders a standby to take over as primary immediately.
+func (c *Conn) Promote() error {
+	_, err := c.call(Request{Op: OpReplPromote})
+	return err
+}
+
+// ReplFetch reads a record directly from a replica for mirror-sourced audit
+// repair: the record's status byte plus every field value.
+func (c *Conn) ReplFetch(table, rec int) (status int, vals []uint32, err error) {
+	r, err := c.call(Request{Op: OpReplFetch, Table: int32(table), Record: int32(rec)})
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(r.Vals) < 1 {
+		return 0, nil, fmt.Errorf("%w: ReplFetch reply carries %d values", ErrBadFrame, len(r.Vals))
+	}
+	return int(r.Vals[0]), r.Vals[1:], nil
+}
+
 // Stats fetches the server counter snapshot (indexed by the StatsVals
 // constants).
 func (c *Conn) Stats() ([]uint32, error) {

@@ -9,9 +9,9 @@
 // the server buffer unboundedly (lengths above the configured maximum are
 // rejected before any allocation).
 //
-// Request payload layout (23 + 4n bytes):
+// Request payload layout (25 + len(detail) + 4n bytes):
 //
-//	u32 seq | u8 op | i32 table | i32 record | i32 field | i32 aux | u16 n | n × u32
+//	u32 seq | u8 op | i32 table | i32 record | i32 field | i32 aux | u16 detail-len | detail | u16 n | n × u32
 //
 // Response payload layout (15 + len(detail) + 4n bytes):
 //
@@ -55,6 +55,15 @@ const (
 	OpStats       // server counters snapshot, see StatsVals
 	OpStats2      // full metrics snapshot; Detail carries the JSON document
 	OpTrace       // flight-recorder journal; Table filters by kind, Aux caps the event count, Detail carries the JSON events
+
+	// Replication plane (durability & failover subsystem). A standby polls
+	// its primary with OpReplicate; the record stream rides in Detail as
+	// CRC-framed WAL records, so integrity is end-to-end, not per-hop.
+	OpReplStatus  // role + log positions, see ReplStatus
+	OpReplicate   // Vals [after-lo, after-hi], request Detail = standby addr; response Detail = record batch, Vals [last-lo, last-hi]
+	OpReplSnap    // bootstrap snapshot chunk; Record is the byte offset, response Vals [total, seq-lo, seq-hi], Detail = chunk
+	OpReplPromote // force a standby to take over as primary
+	OpReplFetch   // mirror read for audit repair: returns [status, fields...] of (Table, Record)
 	opMax
 )
 
@@ -98,6 +107,16 @@ func (o Op) String() string {
 		return "Stats2"
 	case OpTrace:
 		return "Trace"
+	case OpReplStatus:
+		return "ReplStatus"
+	case OpReplicate:
+		return "Replicate"
+	case OpReplSnap:
+		return "ReplSnap"
+	case OpReplPromote:
+		return "ReplPromote"
+	case OpReplFetch:
+		return "ReplFetch"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -127,6 +146,10 @@ const (
 	CodeShutdown       // server draining, no new work accepted
 	CodeTimeout        // executor reply deadline exceeded
 	CodeInternal       // unclassified server-side error
+	CodeStandby        // server is a hot standby; clients must use the primary
+	CodeNotPrimary     // replication op requires a WAL-backed primary
+	CodeNotStandby     // promotion requires a standby
+	CodeReplGap        // requested log position evicted; re-bootstrap from snapshot
 )
 
 // Serving-plane sentinel errors decoded from response codes.
@@ -138,6 +161,10 @@ var (
 	ErrOverload      = errors.New("wire: server overloaded, request dropped")
 	ErrShutdown      = errors.New("wire: server shutting down")
 	ErrTimeout       = errors.New("wire: request timed out")
+	ErrStandby       = errors.New("wire: server is a standby, reconnect to the primary")
+	ErrNotPrimary    = errors.New("wire: not a WAL-backed primary")
+	ErrNotStandby    = errors.New("wire: not a standby")
+	ErrReplGap       = errors.New("wire: replication gap, snapshot bootstrap required")
 )
 
 // Request is one client→server call.
@@ -147,7 +174,8 @@ type Request struct {
 	Table  int32
 	Record int32
 	Field  int32
-	Aux    int32 // group for DBmove/DBalloc; operation-specific otherwise
+	Aux    int32  // group for DBmove/DBalloc; operation-specific otherwise
+	Detail string // replication-plane side data (standby address); empty for API ops
 	Vals   []uint32
 }
 
@@ -170,13 +198,14 @@ const (
 	// maxVals bounds the value vector; with u16 count this is the codec
 	// ceiling regardless of frame budget.
 	maxVals = 1 << 14
-	// MaxDetail bounds the response detail string. Error diagnostics are
-	// short, but the STATS2 metrics snapshot rides in Detail as a JSON
-	// document, so the cap must clear a full registry dump while still
-	// fitting MaxFrame alongside the fixed response fields.
+	// MaxDetail bounds the detail string on both sides. Error diagnostics
+	// are short, but the STATS2 metrics snapshot, the TRACE journal, and
+	// replication record batches all ride in Detail, so the cap must clear
+	// a full registry dump while still fitting MaxFrame alongside the
+	// fixed fields.
 	MaxDetail = 1 << 15
 
-	reqFixed  = 4 + 1 + 4*4 + 2
+	reqFixed  = 4 + 1 + 4*4 + 2 + 2
 	respFixed = 4 + 1 + 4 + 4 + 2 + 2
 )
 
@@ -211,12 +240,18 @@ func ReadFrame(r io.Reader, max int) ([]byte, error) {
 
 // AppendRequest appends the encoded request to dst.
 func AppendRequest(dst []byte, q Request) []byte {
+	detail := q.Detail
+	if len(detail) > MaxDetail {
+		detail = detail[:MaxDetail]
+	}
 	dst = binary.LittleEndian.AppendUint32(dst, q.Seq)
 	dst = append(dst, byte(q.Op))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(q.Table))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(q.Record))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(q.Field))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(q.Aux))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(detail)))
+	dst = append(dst, detail...)
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(q.Vals)))
 	for _, v := range q.Vals {
 		dst = binary.LittleEndian.AppendUint32(dst, v)
@@ -237,14 +272,21 @@ func ParseRequest(p []byte) (Request, error) {
 		Field:  int32(binary.LittleEndian.Uint32(p[13:17])),
 		Aux:    int32(binary.LittleEndian.Uint32(p[17:21])),
 	}
-	n := int(binary.LittleEndian.Uint16(p[21:23]))
-	if n > maxVals || len(p) != reqFixed+4*n {
+	dn := int(binary.LittleEndian.Uint16(p[21:23]))
+	if dn > MaxDetail || len(p) < 23+dn+2 {
+		return Request{}, fmt.Errorf("%w: request detail overruns payload", ErrBadFrame)
+	}
+	q.Detail = string(p[23 : 23+dn])
+	off := 23 + dn
+	n := int(binary.LittleEndian.Uint16(p[off : off+2]))
+	off += 2
+	if n > maxVals || len(p) != off+4*n {
 		return Request{}, fmt.Errorf("%w: request claims %d values in %d bytes", ErrBadFrame, n, len(p))
 	}
 	if n > 0 {
 		q.Vals = make([]uint32, n)
 		for i := range q.Vals {
-			q.Vals[i] = binary.LittleEndian.Uint32(p[reqFixed+4*i:])
+			q.Vals[i] = binary.LittleEndian.Uint32(p[off+4*i:])
 		}
 	}
 	return q, nil
@@ -337,6 +379,14 @@ func ErrorResponse(seq uint32, err error) Response {
 		r.Code = CodeShutdown
 	case errors.Is(err, ErrTimeout):
 		r.Code = CodeTimeout
+	case errors.Is(err, ErrStandby):
+		r.Code = CodeStandby
+	case errors.Is(err, ErrNotPrimary):
+		r.Code = CodeNotPrimary
+	case errors.Is(err, ErrNotStandby):
+		r.Code = CodeNotStandby
+	case errors.Is(err, ErrReplGap):
+		r.Code = CodeReplGap
 	case errors.Is(err, ErrBadFrame):
 		r.Code = CodeBadFrame
 		r.Detail = err.Error()
@@ -380,6 +430,14 @@ func (r Response) Err() error {
 		return ErrShutdown
 	case CodeTimeout:
 		return ErrTimeout
+	case CodeStandby:
+		return ErrStandby
+	case CodeNotPrimary:
+		return ErrNotPrimary
+	case CodeNotStandby:
+		return ErrNotStandby
+	case CodeReplGap:
+		return ErrReplGap
 	default:
 		return fmt.Errorf("wire: server error (code %d): %s", r.Code, r.Detail)
 	}
@@ -398,3 +456,26 @@ const (
 	StatTotalConns            // connections accepted since start
 	NumStatVals
 )
+
+// Replication roles reported by OpReplStatus.
+const (
+	RolePrimary = 0
+	RoleStandby = 1
+)
+
+// ReplStatusVals indexes the value vector returned by OpReplStatus.
+const (
+	ReplRole      = iota // RolePrimary or RoleStandby
+	ReplLastLo           // last WAL sequence appended (lo 32 bits)
+	ReplLastHi           //   "  (hi 32 bits)
+	ReplAppliedLo        // standby: last applied seq; primary: standby's last acked seq
+	ReplAppliedHi        //   "  (hi 32 bits)
+	NumReplStatusVals
+)
+
+// SplitU64 and JoinU64 move 64-bit log sequence numbers through the u32
+// value vector.
+func SplitU64(v uint64) (lo, hi uint32) { return uint32(v), uint32(v >> 32) }
+
+// JoinU64 is SplitU64's inverse.
+func JoinU64(lo, hi uint32) uint64 { return uint64(hi)<<32 | uint64(lo) }
