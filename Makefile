@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test check cover fuzz-smoke trace-smoke failover-smoke bench clean
+.PHONY: all build vet test check cover fuzz-smoke trace-smoke failover-smoke bench bench-smoke clean
 
 all: check
 
@@ -45,6 +45,14 @@ failover-smoke:
 
 bench:
 	$(GO) test -bench . -benchtime 0.5s -run '^$$' .
+
+# Throughput-bench smoke for CI: every BenchmarkServerThroughput subrun
+# (sync, multi-connection, pipelined fast lane) executes once, so the
+# serving hot path, the pipeline client, and the metrics plumbing they
+# report through cannot rot unnoticed. Compare two saved outputs with
+# scripts/bench_compare.sh.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkServerThroughput' -benchtime 1x .
 
 clean:
 	$(GO) clean ./...

@@ -14,6 +14,8 @@ package repro_test
 
 import (
 	"net"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -25,6 +27,7 @@ import (
 	"repro/internal/ipc"
 	"repro/internal/isa"
 	"repro/internal/memdb"
+	"repro/internal/metrics"
 	"repro/internal/pecos"
 	"repro/internal/robust"
 	"repro/internal/server"
@@ -425,6 +428,133 @@ func benchmarkServerThroughput(b *testing.B, auditPeriod time.Duration, disableM
 	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "ops/s")
 }
 
+// benchmarkServerMulti measures aggregate throughput with conns concurrent
+// clients against one audited server, each connection keeping window
+// requests in flight (window 1 degenerates to one synchronous round trip at
+// a time). The operation mix matches the single-connection subruns —
+// alternating write-field/read-field on a private Resource record — so
+// ops/s compares directly against "audited". Besides aggregate ops/s it
+// reports the server-side p99 read latency from the metrics snapshot, which
+// covers both fast-lane and executor-served reads.
+func benchmarkServerMulti(b *testing.B, conns, window int) {
+	db, err := memdb.New(callproc.Schema(callproc.DefaultSchemaConfig()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := server.New(db, server.Config{
+		AuditPeriod:  50 * time.Millisecond,
+		DisableTrace: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown(10 * time.Second)
+
+	clients := make([]*wire.Conn, conns)
+	recs := make([]int, conns)
+	for w := 0; w < conns; w++ {
+		c, err := wire.Dial(ln.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		if _, err := c.Init(); err != nil {
+			b.Fatal(err)
+		}
+		ri, err := c.Alloc(callproc.TblRes, w%callproc.ResourceBanks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.WriteRec(callproc.TblRes, ri, []uint32{uint32(ri), 1, 50}); err != nil {
+			b.Fatal(err)
+		}
+		clients[w], recs[w] = c, ri
+	}
+
+	drive := func(c *wire.Conn, ri, n int) error {
+		p := c.Pipeline(window)
+		recv := func() error {
+			r, err := p.Recv()
+			if err != nil {
+				return err
+			}
+			return r.Err()
+		}
+		for i := 0; i < n; i++ {
+			var q wire.Request
+			if i%2 == 0 {
+				q = wire.Request{
+					Op: wire.OpWriteFld, Table: int32(callproc.TblRes),
+					Record: int32(ri), Field: int32(callproc.FldResQuality),
+					Vals: []uint32{uint32(i % 101)},
+				}
+			} else {
+				q = wire.Request{
+					Op: wire.OpReadFld, Table: int32(callproc.TblRes),
+					Record: int32(ri), Field: int32(callproc.FldResQuality),
+				}
+			}
+			// Drain half the window when it fills so both directions
+			// batch: each flush carries window/2 frames instead of
+			// degenerating to one-in/one-out at the window edge.
+			if p.InFlight() >= window {
+				for p.InFlight() > window/2 {
+					if err := recv(); err != nil {
+						return err
+					}
+				}
+			}
+			if _, err := p.Send(q); err != nil {
+				return err
+			}
+		}
+		for p.InFlight() > 0 {
+			if err := recv(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	workerErrs := make([]error, conns)
+	per, rem := b.N/conns, b.N%conns
+	for w := 0; w < conns; w++ {
+		n := per
+		if w < rem {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			workerErrs[w] = drive(clients[w], recs[w], n)
+		}(w, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+	for _, err := range workerErrs {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "ops/s")
+	if raw, err := clients[0].Stats2(); err == nil {
+		if snap, err := metrics.ParseSnapshot(raw); err == nil {
+			if h := snap.Histograms["server.latency.DBread_fld"]; h.Count > 0 {
+				b.ReportMetric(float64(h.P99)/1e3, "p99-read-µs")
+			}
+		}
+	}
+}
+
 func BenchmarkServerThroughput(b *testing.B) {
 	// The flight recorder stays off in the first three subruns so
 	// "audited" remains the metrics-only baseline; "audited-traced" is the
@@ -434,6 +564,18 @@ func BenchmarkServerThroughput(b *testing.B) {
 	b.Run("audited-nometrics", func(b *testing.B) { benchmarkServerThroughput(b, 50*time.Millisecond, true, true, "") })
 	b.Run("audited-traced", func(b *testing.B) { benchmarkServerThroughput(b, 50*time.Millisecond, false, false, "") })
 	b.Run("audited-wal", func(b *testing.B) { benchmarkServerThroughput(b, 50*time.Millisecond, false, true, b.TempDir()) })
+	// Scaling subruns: multiconn adds concurrent synchronous clients (one
+	// request in flight each, capped at GOMAXPROCS so -cpu shrinks it);
+	// fastlane-pipelined adds request pipelining on top, which is where the
+	// connection-goroutine read lane and the batching executor pay off.
+	b.Run("multiconn", func(b *testing.B) {
+		conns := runtime.GOMAXPROCS(0)
+		if conns > 4 {
+			conns = 4
+		}
+		benchmarkServerMulti(b, conns, 1)
+	})
+	b.Run("fastlane-pipelined", func(b *testing.B) { benchmarkServerMulti(b, 4, 16) })
 }
 
 func BenchmarkVMStep(b *testing.B) {

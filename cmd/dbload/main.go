@@ -78,6 +78,8 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	addr := fs.String("addr", "127.0.0.1:7420", "dbserve address, or comma-separated primary,standby list for failover-aware runs")
 	conns := fs.Int("conns", 4, "concurrent client connections")
 	ops := fs.Int("ops", 10000, "total operations across all connections")
+	pipeline := fs.Int("pipeline", 1, "requests in flight per connection; >1 switches workers to the pipelined read/write workload (not failover-aware)")
+	readPct := fs.Int("read-pct", -1, "pipelined workload read percentage 0-100 (default 80; setting it implies the pipelined workload even at -pipeline 1)")
 	watch := fs.Duration("watch", 0, "watch mode: poll the server's metrics at this interval instead of generating load")
 	watchN := fs.Int("watch-n", 0, "watch mode: stop after this many polls (0 = until interrupted)")
 	tracePath := fs.String("trace", "", "after the run, fetch the server's flight-recorder journal and write it as JSON to this file (\"-\" = stdout)")
@@ -95,8 +97,11 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	if *conns <= 0 || *ops <= 0 {
 		return errors.New("-conns and -ops must be positive")
 	}
+	if *pipeline < 1 || *readPct > 100 {
+		return errors.New("-pipeline must be >= 1 and -read-pct <= 100")
+	}
 
-	runErr := loadRun(out, addrs, *conns, *ops, *expectFindings)
+	runErr := loadRun(out, addrs, *conns, *ops, *pipeline, *readPct, *expectFindings)
 	// The journal is fetched after the run, success or not: when the run
 	// failed it is exactly the evidence worth keeping.
 	if *tracePath != "" {
@@ -190,7 +195,7 @@ func dialAny(addrs []string) (*wire.Conn, error) {
 }
 
 // loadRun drives the closed-loop workload and verifies the end state.
-func loadRun(out io.Writer, addrs []string, conns, ops int, expectFindings bool) error {
+func loadRun(out io.Writer, addrs []string, conns, ops, pipeline, readPct int, expectFindings bool) error {
 	var wg sync.WaitGroup
 	workers := make([]*worker, conns)
 	perWorker := ops / conns
@@ -199,7 +204,8 @@ func loadRun(out io.Writer, addrs []string, conns, ops int, expectFindings bool)
 	}
 	start := time.Now()
 	for i := range workers {
-		w := &worker{id: i, addrs: addrs, ops: perWorker, lax: expectFindings}
+		w := &worker{id: i, addrs: addrs, ops: perWorker, lax: expectFindings,
+			pipeline: pipeline, readPct: readPct}
 		workers[i] = w
 		wg.Add(1)
 		go func() {
@@ -241,8 +247,15 @@ func loadRun(out io.Writer, addrs []string, conns, ops int, expectFindings bool)
 	}
 
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	fmt.Fprintf(out, "dbload: %d ops over %d conns in %v: %.0f ops/s\n",
-		done, conns, elapsed.Round(time.Millisecond), float64(done)/elapsed.Seconds())
+	mode := ""
+	if pipeline > 1 || readPct >= 0 {
+		if readPct < 0 {
+			readPct = defaultReadPct
+		}
+		mode = fmt.Sprintf(" (pipeline=%d read-pct=%d)", pipeline, readPct)
+	}
+	fmt.Fprintf(out, "dbload: %d ops over %d conns in %v: %.0f ops/s%s\n",
+		done, conns, elapsed.Round(time.Millisecond), float64(done)/elapsed.Seconds(), mode)
 	fmt.Fprintf(out, "  latency p50=%v p95=%v p99=%v max=%v\n",
 		pct(lats, 50), pct(lats, 95), pct(lats, 99), pct(lats, 100))
 	fmt.Fprintf(out, "  server: %d requests dropped, %d audit sweeps, %d findings\n",
@@ -387,6 +400,10 @@ func watchLine(snap metrics.Snapshot, rate float64) string {
 	if lag, ok := snap.Gauges["repl.lag"]; ok {
 		line += fmt.Sprintf(" lag=%d", lag)
 	}
+	if reads, ok := snap.Counters["fastlane.reads"]; ok {
+		line += fmt.Sprintf(" fast=%d/%d/%d", reads,
+			snap.Counters["fastlane.retries"], snap.Counters["fastlane.fallbacks"])
+	}
 	// Busiest operation's latency distribution, if any traffic yet.
 	var busiest string
 	var hs metrics.HistogramSnapshot
@@ -424,6 +441,10 @@ type worker struct {
 	addrs []string
 	ops   int
 	lax   bool
+	// pipeline > 1 (or readPct >= 0) selects the pipelined workload:
+	// a read/write mix with up to pipeline requests in flight.
+	pipeline int
+	readPct  int
 
 	c          *wire.Conn
 	lats       []time.Duration
@@ -526,6 +547,9 @@ func (w *worker) drive() error {
 	if _, err := w.c.Init(); err != nil {
 		return fmt.Errorf("DBinit: %w", err)
 	}
+	if w.pipeline > 1 || w.readPct >= 0 {
+		return w.drivePipelined()
+	}
 	group := w.id % callproc.ResourceBanks
 	ri, golden, err := w.allocSeed(group)
 	if err != nil {
@@ -624,6 +648,119 @@ func (w *worker) drive() error {
 		}
 	}
 	if err := w.call(func() error { return w.c.Free(callproc.TblRes, ri) }); err != nil && !w.lax {
+		return fmt.Errorf("DBfree: %w", err)
+	}
+	if err := w.c.CloseSession(); err != nil && !w.lax {
+		return fmt.Errorf("DBclose: %w", err)
+	}
+	return nil
+}
+
+// defaultReadPct is the pipelined workload's read share when -read-pct is
+// unset: call processing is overwhelmingly reads.
+const defaultReadPct = 80
+
+// drivePipelined is the pipelined workload: a read/write field mix over one
+// Resource record with up to -pipeline requests in flight. Reads are
+// verified against the golden copy as of their send time — the server
+// processes a connection's frames in order, so a read observes exactly the
+// writes sent before it, whichever lane serves it. Pipelined workers are
+// not failover-aware: replaying a half-acknowledged window after a
+// reconnect would be ambiguous, so a failover error aborts the worker.
+func (w *worker) drivePipelined() error {
+	window := w.pipeline
+	if window < 1 {
+		window = 1
+	}
+	readPct := w.readPct
+	if readPct < 0 {
+		readPct = defaultReadPct
+	}
+	group := w.id % callproc.ResourceBanks
+	ri, golden, err := w.allocSeed(group)
+	if err != nil {
+		return err
+	}
+	p := w.c.Pipeline(window)
+
+	// pending mirrors the pipeline's in-flight window: what was asked and,
+	// for reads, the golden value at send time.
+	type pending struct {
+		at   time.Time
+		op   string
+		read bool
+		want uint32
+	}
+	fifo := make([]pending, 0, window)
+	recvOne := func() error {
+		pd := fifo[0]
+		fifo = fifo[1:]
+		r, err := p.Recv()
+		if err != nil {
+			return fmt.Errorf("%s: %w", pd.op, err)
+		}
+		w.lats = append(w.lats, time.Since(pd.at))
+		if err := r.Err(); err != nil {
+			if w.lax {
+				w.mismatches++
+				return nil
+			}
+			return fmt.Errorf("%s: %w", pd.op, err)
+		}
+		if pd.read {
+			if len(r.Vals) != 1 {
+				return fmt.Errorf("%s reply carries %d values", pd.op, len(r.Vals))
+			}
+			if r.Vals[0] != pd.want {
+				if w.lax {
+					w.mismatches++
+				} else {
+					return fmt.Errorf("%s = %d, golden %d", pd.op, r.Vals[0], pd.want)
+				}
+			}
+		}
+		return nil
+	}
+
+	for i := 0; i < w.ops; i++ {
+		// When the window fills, drain half of it so frames batch in both
+		// directions rather than trickling one-in/one-out at the edge.
+		if p.InFlight() >= window {
+			for p.InFlight() > window/2 {
+				if err := recvOne(); err != nil {
+					return fmt.Errorf("op %d: %w", i, err)
+				}
+			}
+		}
+		var q wire.Request
+		pd := pending{at: time.Now()}
+		if i%100 < readPct {
+			q = wire.Request{
+				Op: wire.OpReadFld, Table: int32(callproc.TblRes),
+				Record: int32(ri), Field: int32(callproc.FldResQuality),
+			}
+			pd.op, pd.read, pd.want = "DBread_fld", true, golden[callproc.FldResQuality]
+		} else {
+			v := uint32((w.id + i*13) % 101)
+			q = wire.Request{
+				Op: wire.OpWriteFld, Table: int32(callproc.TblRes),
+				Record: int32(ri), Field: int32(callproc.FldResQuality),
+				Vals: []uint32{v},
+			}
+			pd.op = "DBwrite_fld"
+			golden[callproc.FldResQuality] = v
+		}
+		if _, err := p.Send(q); err != nil {
+			return fmt.Errorf("op %d: %w", i, err)
+		}
+		fifo = append(fifo, pd)
+	}
+	for len(fifo) > 0 {
+		if err := recvOne(); err != nil {
+			return err
+		}
+	}
+	if err := w.c.Free(callproc.TblRes, ri); err != nil && !w.lax {
 		return fmt.Errorf("DBfree: %w", err)
 	}
 	if err := w.c.CloseSession(); err != nil && !w.lax {

@@ -55,6 +55,24 @@ func TestLoadRunCleanAgainstLiveServer(t *testing.T) {
 	}
 }
 
+// TestLoadRunPipelined drives the pipelined read/write workload: reads are
+// verified against the send-time golden copy, so in-order pipelined replies
+// (and fast-lane reads racing concurrent audits) must still be exact.
+func TestLoadRunPipelined(t *testing.T) {
+	addr := startServer(t)
+	var out bytes.Buffer
+	if err := run([]string{"-addr", addr, "-conns", "2", "-ops", "800",
+		"-pipeline", "8", "-read-pct", "70"}, &out, nil); err != nil {
+		t.Fatalf("dbload: %v\noutput:\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"ops/s", "(pipeline=8 read-pct=70)", "final sweep: 0 findings"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q in:\n%s", want, s)
+		}
+	}
+}
+
 func TestLoadFailsWithoutServer(t *testing.T) {
 	// A port nothing listens on: every worker fails to dial, run must
 	// report the protocol error.
@@ -163,7 +181,7 @@ func TestTraceDump(t *testing.T) {
 
 	path := filepath.Join(t.TempDir(), "journal.json")
 	var out bytes.Buffer
-	err = run([]string{"-addr", addr, "-conns", "2", "-ops", "400",
+	err = run([]string{"-addr", addr, "-conns", "2", "-ops", "2000",
 		"-expect-findings", "-trace", path}, &out, nil)
 	if err != nil {
 		t.Fatalf("dbload: %v\noutput:\n%s", err, out.String())
@@ -189,8 +207,8 @@ func TestTraceDump(t *testing.T) {
 				i, evs[i-1].Seq, evs[i].Seq)
 		}
 	}
-	// The load's own requests are journaled; the injector fired during a
-	// 400-op run against a 10 ms period.
+	// The load's own requests are journaled; the run is sized to span
+	// several 10 ms injector periods however fast the server gets.
 	if len(trace.Filter(evs, trace.KindReqReply)) == 0 {
 		t.Error("journal has no req-reply events")
 	}

@@ -139,6 +139,7 @@ func (c *Client) ReadFld(table, rec, field int) (uint32, error) {
 // WriteRec writes all fields of an active record (DBwrite_rec).
 func (c *Client) WriteRec(table, rec int, vals []uint32) error {
 	defer c.db.guardEnter("DBwrite_rec")()
+	defer c.db.mutate()()
 	if c.closed {
 		return ErrClosed
 	}
@@ -168,6 +169,7 @@ func (c *Client) WriteRec(table, rec int, vals []uint32) error {
 // WriteFld writes one field of an active record (DBwrite_fld).
 func (c *Client) WriteFld(table, rec, field int, v uint32) error {
 	defer c.db.guardEnter("DBwrite_fld")()
+	defer c.db.mutate()()
 	if c.closed {
 		return ErrClosed
 	}
@@ -195,6 +197,7 @@ func (c *Client) WriteFld(table, rec, field int, v uint32) error {
 // Move reassigns a record to another logical group (DBmove).
 func (c *Client) Move(table, rec, newGroup int) error {
 	defer c.db.guardEnter("DBmove")()
+	defer c.db.mutate()()
 	if c.closed {
 		return ErrClosed
 	}
@@ -238,6 +241,7 @@ func (c *Client) Move(table, rec, newGroup int) error {
 // audit reclaims.
 func (c *Client) Alloc(table, group int) (int, error) {
 	defer c.db.guardEnter("DBalloc")()
+	defer c.db.mutate()()
 	if c.closed {
 		return 0, ErrClosed
 	}
@@ -279,6 +283,7 @@ func (c *Client) Alloc(table, group int) (int, error) {
 // Free releases a record back to the table's free pool.
 func (c *Client) Free(table, rec int) error {
 	defer c.db.guardEnter("DBfree")()
+	defer c.db.mutate()()
 	if c.closed {
 		return ErrClosed
 	}

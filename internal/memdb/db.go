@@ -2,6 +2,8 @@ package memdb
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ipc"
@@ -43,6 +45,16 @@ type DB struct {
 	clients  map[int]*Client
 	guard    *guardState   // debug concurrent-access detector; nil when off
 	metrics  *boundMetrics // gauges published by RefreshMetrics; nil when unbound
+
+	// Read fast lane (see view.go). regionMu serializes region access
+	// between the single writer and validated View readers; regionVer is
+	// the seqlock generation — even while stable, odd while a mutation is
+	// in progress. viewReads accumulates per-table View read counts off
+	// the owner thread until FoldViewReads drains them into the shadow
+	// activity stats.
+	regionMu  sync.RWMutex
+	regionVer atomic.Uint64
+	viewReads []atomic.Uint64
 }
 
 // Option configures a DB.
@@ -76,6 +88,7 @@ func New(schema Schema, opts ...Option) (*DB, error) {
 		counts:  newOpCounts(),
 		clients: make(map[int]*Client),
 	}
+	db.viewReads = make([]atomic.Uint64, len(schema.Tables))
 	for _, opt := range opts {
 		opt(db)
 	}
@@ -227,6 +240,7 @@ func (db *DB) FlipBit(byteOff int, bit uint) error {
 	if bit > 7 {
 		return &BoundsError{What: "bit", Index: int(bit), Limit: 8}
 	}
+	defer db.mutate()()
 	db.region[byteOff] ^= 1 << bit
 	return nil
 }
@@ -237,6 +251,7 @@ func (db *DB) ReloadExtent(off, n int) error {
 	if off < 0 || n < 0 || off+n > len(db.region) {
 		return &BoundsError{What: "extent", Index: off + n, Limit: len(db.region)}
 	}
+	defer db.mutate()()
 	copy(db.region[off:off+n], db.snapshot[off:off+n])
 	return nil
 }
@@ -244,6 +259,7 @@ func (db *DB) ReloadExtent(off, n int) error {
 // ReloadAll restores the entire database from the snapshot — the recovery
 // for structural damage spanning multiple records (§4.3.2).
 func (db *DB) ReloadAll() {
+	defer db.mutate()()
 	copy(db.region, db.snapshot)
 }
 
@@ -316,6 +332,7 @@ func (db *DB) RewriteHeader(ti, ri int) error {
 	if err != nil {
 		return err
 	}
+	defer db.mutate()()
 	db.region[off] = uint8(ti)
 	putU16(db.region, off+2, uint16(ri))
 	return nil
@@ -329,6 +346,7 @@ func (db *DB) ResetLink(ti, ri int) error {
 	if err != nil {
 		return err
 	}
+	defer db.mutate()()
 	putU16(db.region, off+6, NilIndex)
 	return nil
 }
@@ -356,6 +374,7 @@ func (db *DB) WriteFieldDirect(ti, ri, fi int, v uint32) error {
 	if fi < 0 || fi >= len(db.schema.Tables[ti].Fields) {
 		return &BoundsError{What: "field", Index: fi, Limit: len(db.schema.Tables[ti].Fields)}
 	}
+	defer db.mutate()()
 	putU32(db.region, off+RecordHeaderSize+FieldSize*fi, v)
 	return nil
 }
@@ -364,6 +383,14 @@ func (db *DB) WriteFieldDirect(ti, ri, fi int, v uint32) error {
 // zombie record drops at most one active call, which the environment
 // tolerates).
 func (db *DB) FreeRecordDirect(ti, ri int) error {
+	defer db.mutate()()
+	return db.freeRecordLocked(ti, ri)
+}
+
+// freeRecordLocked is FreeRecordDirect's body, factored out so callers that
+// already hold the region write lock (RebuildGroups) can reuse it without
+// re-entering the non-reentrant mutate bracket.
+func (db *DB) freeRecordLocked(ti, ri int) error {
 	off, err := db.TrueRecordOffset(ti, ri)
 	if err != nil {
 		return err

@@ -225,6 +225,7 @@ func (db *DB) RebuildGroups(ti int) (int, error) {
 	if groups == 0 {
 		return 0, fmt.Errorf("table %d: %w", ti, ErrNoGroups)
 	}
+	defer db.mutate()()
 	for g := 0; g < groups; g++ {
 		if err := db.setGroupHead(ti, g, NilIndex); err != nil {
 			return 0, err
@@ -244,7 +245,7 @@ func (db *DB) RebuildGroups(ti int) (int, error) {
 		}
 		g := decodeHeader(db.region, off).GroupID
 		if g < 0 || g >= groups {
-			if err := db.FreeRecordDirect(ti, ri); err != nil {
+			if err := db.freeRecordLocked(ti, ri); err != nil {
 				return relinked, err
 			}
 			continue

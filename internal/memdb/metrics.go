@@ -61,6 +61,7 @@ func (db *DB) RefreshMetrics() {
 	if bm == nil {
 		return
 	}
+	db.FoldViewReads()
 	for i := range bm.tables {
 		st := db.shadow.tables[i]
 		bm.tables[i].reads.Set(int64(st.Reads))

@@ -22,6 +22,7 @@ func (db *DB) WriteRecDirect(ti, ri int, vals []uint32) error {
 	if len(vals) != nf {
 		return fmt.Errorf("memdb: WriteRecDirect got %d values for %d fields", len(vals), nf)
 	}
+	defer db.mutate()()
 	for fi, v := range vals {
 		putU32(db.region, off+RecordHeaderSize+FieldSize*fi, v)
 	}
@@ -38,6 +39,7 @@ func (db *DB) AllocDirect(ti, ri, group int) error {
 	if err != nil {
 		return err
 	}
+	defer db.mutate()()
 	if n := db.groupCount(ti); n > 0 {
 		if group < 0 || group >= n {
 			return &BoundsError{What: "group", Index: group, Limit: n}
@@ -68,6 +70,7 @@ func (db *DB) MoveDirect(ti, ri, newGroup int) error {
 	if err != nil {
 		return err
 	}
+	defer db.mutate()()
 	if db.region[off+1] != StatusActive {
 		return fmt.Errorf("table %d record %d: %w", ti, ri, ErrNotActive)
 	}

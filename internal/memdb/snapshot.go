@@ -79,7 +79,10 @@ func (db *DB) RestoreFrom(r io.Reader) error {
 			return fmt.Errorf("memdb: snapshot catalog invalid: %w", err)
 		}
 	}
-	copy(db.region, buf)
+	func() {
+		defer db.mutate()()
+		copy(db.region, buf)
+	}()
 	for ti := range db.shadow.records {
 		for ri := range db.shadow.records[ti] {
 			db.shadow.records[ti][ri].Version++

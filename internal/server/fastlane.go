@@ -1,0 +1,110 @@
+package server
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/memdb"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// Read fast lane: the connection goroutine serves read opcodes directly
+// through the database's optimistic read view (memdb.View), skipping the
+// executor queue round trip that dominates read latency under load. A read
+// that cannot validate against a stable region generation within the view's
+// retry budget falls back to the executor path, which serializes with the
+// writer and therefore always succeeds — so the fast lane is an
+// optimization, never a different answer.
+//
+// Two deliberate semantic deltas versus the executor path, both documented
+// in DESIGN.md: fast-lane reads do not touch the advisory table locks (a
+// transaction holding a table lock does not delay them), and a session the
+// progress-indicator audit has terminated can still be answered until the
+// executor processes the connection's next non-read request or teardown.
+
+// fastTraceSample journals one in this many fast-lane reads: frequent
+// enough to show in a TRACE tail, cheap enough to leave the hot path alone.
+const fastTraceSample = 64
+
+// tryFastLane answers req from the connection goroutine when it is a read
+// opcode the view can serve. served=false means the caller must submit the
+// request to the executor as usual.
+func (s *Server) tryFastLane(c *conn, req wire.Request) (wire.Response, bool) {
+	switch req.Op {
+	case wire.OpReadRec, wire.OpReadFld, wire.OpStatus:
+	default:
+		return wire.Response{}, false
+	}
+	// A standby refuses reads with CodeStandby; let the executor say so.
+	if s.view == nil || s.standby.Load() {
+		return wire.Response{}, false
+	}
+	if c.sess.Load() == nil {
+		// Deterministic and database-independent: answer without a hop.
+		resp := wire.ErrorResponse(req.Seq, wire.ErrNoSession)
+		s.noteFastLane(c, req, resp, time.Now())
+		return resp, true
+	}
+	t0 := time.Now()
+	table, rec, field := int(req.Table), int(req.Record), int(req.Field)
+	var resp wire.Response
+	switch req.Op {
+	case wire.OpReadRec:
+		vals, err := s.view.ReadRec(table, rec)
+		if errors.Is(err, memdb.ErrContended) {
+			return wire.Response{}, false
+		}
+		if err != nil {
+			resp = wire.ErrorResponse(req.Seq, err)
+		} else {
+			resp = ok(vals...)
+		}
+	case wire.OpReadFld:
+		v, err := s.view.ReadFld(table, rec, field)
+		if errors.Is(err, memdb.ErrContended) {
+			return wire.Response{}, false
+		}
+		if err != nil {
+			resp = wire.ErrorResponse(req.Seq, err)
+		} else {
+			resp = ok(v)
+		}
+	case wire.OpStatus:
+		st, err := s.view.Status(table, rec)
+		if errors.Is(err, memdb.ErrContended) {
+			return wire.Response{}, false
+		}
+		if err != nil {
+			resp = wire.ErrorResponse(req.Seq, err)
+		} else {
+			resp = ok(uint32(st))
+		}
+	}
+	resp.Seq = req.Seq
+	s.noteFastLane(c, req, resp, t0)
+	return resp, true
+}
+
+// noteFastLane applies the same accounting a queued request gets from
+// submit/execute — per-op counters, executed total, latency histogram —
+// plus the sampled fast-read trace event.
+func (s *Server) noteFastLane(c *conn, req wire.Request, resp wire.Response, t0 time.Time) {
+	op := req.Op
+	if resp.Code == wire.CodeOK {
+		s.perOpOK[int(op)].Add(1)
+	} else {
+		s.perOpErr[int(op)].Add(1)
+	}
+	s.executed.Add(1)
+	if s.tel != nil {
+		s.tel.latency[op].Observe(int64(time.Since(t0)))
+	}
+	if s.srvRing != nil && s.fastSeq.Add(1)%fastTraceSample == 1 {
+		s.srvRing.Emit(trace.Event{
+			Kind: trace.KindFastRead, Trace: s.rec.NextTrace(),
+			Op: op.String(), Code: int64(resp.Code),
+			Arg: int64(time.Since(t0)), Aux: int64(c.id),
+		})
+	}
+}

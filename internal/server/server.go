@@ -78,6 +78,15 @@ type Config struct {
 	// ClockTick is how often the executor advances the audit clock when
 	// idle. Default 20ms.
 	ClockTick time.Duration
+	// BatchSize bounds how many queued requests the executor drains per
+	// wakeup. Draining a batch amortizes channel wakeups and lets the
+	// batch's WAL appends share one buffered write; the audit clock still
+	// advances only on ClockTick, between batches. Default 64.
+	BatchSize int
+	// DisableFastLane forces every read opcode through the executor
+	// queue, disabling the connection-goroutine read view. Exists for
+	// benchmarks and for debugging suspected fast-lane divergence.
+	DisableFastLane bool
 	// MaxFrame bounds accepted request payloads. Default wire.MaxFrame.
 	MaxFrame int
 	// Seed seeds the executor's simulation environment RNG.
@@ -170,6 +179,9 @@ func (c *Config) applyDefaults() {
 	if c.ClockTick <= 0 {
 		c.ClockTick = 20 * time.Millisecond
 	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
 	if c.MaxFrame <= 0 {
 		c.MaxFrame = wire.MaxFrame
 	}
@@ -258,6 +270,12 @@ type Server struct {
 	tel      *telemetry
 	auditTel *audit.Telemetry
 
+	// view is the fast-lane read view (nil when Config.DisableFastLane):
+	// connection goroutines serve read opcodes through it without an
+	// executor round trip. fastSeq drives the 1-in-N trace sampling.
+	view    *memdb.View
+	fastSeq atomic.Uint64
+
 	// Flight recorder (all nil when Config.DisableTrace): the server ring
 	// carries connection/request lifecycle events, the audit tracer's ring
 	// the check/finding/recovery/supervision events, and the inject ring
@@ -316,17 +334,25 @@ type Server struct {
 	start time.Time
 }
 
-// conn is the per-connection state. sess is owned by the executor: it is
-// only created, used, and destroyed inside executor-thread code, as are
-// the bootstrap-snapshot fields (ReplSnap chunks are served one request at
-// a time through the executor).
+// conn is the per-connection state. sess is created and destroyed only by
+// executor-thread code (OpInit/OpClose/teardown), but the fast lane reads
+// it from the connection goroutine to answer ErrNoSession without a queue
+// hop — hence the atomic pointer. The bootstrap-snapshot fields stay
+// executor-only (ReplSnap chunks are served one request at a time through
+// the executor).
 type conn struct {
 	nc   net.Conn
 	id   uint64 // connection ordinal, tags this conn's trace events
-	sess *memdb.Client
+	sess atomic.Pointer[memdb.Client]
 
 	snap    []byte // retained bootstrap snapshot being chunked out
 	snapSeq uint64 // WAL position the snapshot captured
+
+	// submit scratch, reused across requests (the conn goroutine is the
+	// only user). reply is dropped after a timeout — the executor still
+	// owes the orphaned channel a late send — and reallocated on demand.
+	reply  chan wire.Response
+	rtimer *time.Timer
 }
 
 // shot is one server-side injection: the correlation ID journaled with
@@ -369,6 +395,9 @@ func New(db *memdb.DB, cfg Config) (*Server, error) {
 	db.SetClock(s.env.Now)
 	if cfg.Guard {
 		db.EnableConcurrencyCheck(nil)
+	}
+	if !cfg.DisableFastLane {
+		s.view = db.ReadView()
 	}
 
 	if !cfg.DisableMetrics {
@@ -538,8 +567,12 @@ type telemetry struct {
 	reg *metrics.Registry
 
 	// latency is indexed by wire.Op (index 0, the invalid op, stays nil).
-	// Each histogram observes queue wait + execution, measured in submit.
+	// Each histogram observes queue wait + execution, measured in submit;
+	// fast-lane reads observe their in-goroutine service time instead.
 	latency [wire.NumOps]*metrics.Histogram
+
+	// batchSize observes how many requests each executor wakeup drained.
+	batchSize *metrics.Histogram
 
 	// forcedSweeps counts OpSweep-driven full sweeps (shutdown's certifying
 	// sweep included); "audit.sweeps" counts all completed sweeps.
@@ -556,6 +589,7 @@ func newTelemetry(reg *metrics.Registry) *telemetry {
 	for op := 1; op < wire.NumOps; op++ {
 		t.latency[op] = reg.Histogram("server.latency."+wire.Op(op).String(), nil)
 	}
+	t.batchSize = reg.Histogram("server.batch.size", batchBuckets())
 	t.forcedSweeps = reg.Counter("audit.sweeps.forced")
 	t.mgrProbes = reg.Gauge("manager.probes")
 	t.mgrReplies = reg.Gauge("manager.replies")
@@ -564,6 +598,16 @@ func newTelemetry(reg *metrics.Registry) *telemetry {
 	t.progRecoveries = reg.Gauge("audit.progress.recoveries")
 	t.perSweeps = reg.Gauge("audit.triggers.periodic")
 	return t
+}
+
+// batchBuckets is the power-of-two bucket set for the executor batch-size
+// histogram (batches are capped by Config.BatchSize, default 64).
+func batchBuckets() []int64 {
+	b := make([]int64, 9)
+	for i := range b {
+		b[i] = 1 << i
+	}
+	return b
 }
 
 // registerMetrics wires the gauge functions that read the server's own
@@ -615,6 +659,9 @@ func (s *Server) registerMetrics() {
 		// overflow (events lost to the bounded buffers) is first-class
 		// telemetry from the start.
 		s.rec.RegisterMetrics(reg)
+	}
+	if s.view != nil {
+		s.view.BindMetrics(reg)
 	}
 	s.db.BindMetrics(reg)
 }
@@ -828,7 +875,7 @@ func (s *Server) executor() {
 	for {
 		select {
 		case t := <-s.reqs:
-			s.execute(t)
+			s.executeBatch(t)
 		case f := <-s.ctrl:
 			f()
 		case <-tick.C:
@@ -837,6 +884,34 @@ func (s *Server) executor() {
 			s.drainAndStop()
 			return
 		}
+	}
+}
+
+// executeBatch drains up to Config.BatchSize queued requests in one
+// executor wakeup, starting with the task that woke it. A batch runs
+// back-to-back with no channel round trips between requests, and because
+// the WAL buffers appends until the clock-tick Sync, the whole batch's
+// appends coalesce into the same buffered write. The audit clock is
+// untouched here: sweeps fire on the tick select arm, between batches,
+// never inside one.
+func (s *Server) executeBatch(first task) {
+	s.execute(first)
+	n := 1
+drain:
+	for n < s.cfg.BatchSize {
+		select {
+		case t := <-s.reqs:
+			s.execute(t)
+			n++
+		default:
+			break drain
+		}
+	}
+	if s.tel != nil {
+		s.tel.batchSize.Observe(int64(n))
+	}
+	if s.srvRing != nil && n > 1 {
+		s.srvRing.Emit(trace.Event{Kind: trace.KindBatchExec, Arg: int64(n)})
 	}
 }
 
@@ -1024,45 +1099,46 @@ func (s *Server) handle(c *conn, q wire.Request) wire.Response {
 		}
 		return wire.Response{Detail: string(data)}
 	case wire.OpInit:
-		if c.sess != nil {
+		if c.sess.Load() != nil {
 			return wire.ErrorResponse(q.Seq, wire.ErrSessionExists)
 		}
 		cl, err := s.db.Connect()
 		if err != nil {
 			return wire.ErrorResponse(q.Seq, err)
 		}
-		c.sess = cl
+		c.sess.Store(cl)
 		return ok(uint32(cl.PID()))
 	}
 	if !q.Op.Valid() {
 		return wire.ErrorResponse(q.Seq, wire.ErrUnknownOp)
 	}
-	if c.sess == nil {
+	sess := c.sess.Load()
+	if sess == nil {
 		return wire.ErrorResponse(q.Seq, wire.ErrNoSession)
 	}
 	table, rec, field := int(q.Table), int(q.Record), int(q.Field)
 	switch q.Op {
 	case wire.OpClose:
-		err := c.sess.Close()
-		c.sess = nil
+		err := sess.Close()
+		c.sess.Store(nil)
 		if err != nil {
 			return wire.ErrorResponse(q.Seq, err)
 		}
 		return ok()
 	case wire.OpReadRec:
-		vals, err := c.sess.ReadRec(table, rec)
+		vals, err := sess.ReadRec(table, rec)
 		if err != nil {
 			return wire.ErrorResponse(q.Seq, err)
 		}
 		return ok(vals...)
 	case wire.OpReadFld:
-		v, err := c.sess.ReadFld(table, rec, field)
+		v, err := sess.ReadFld(table, rec, field)
 		if err != nil {
 			return wire.ErrorResponse(q.Seq, err)
 		}
 		return ok(v)
 	case wire.OpWriteRec:
-		if err := c.sess.WriteRec(table, rec, q.Vals); err != nil {
+		if err := sess.WriteRec(table, rec, q.Vals); err != nil {
 			return wire.ErrorResponse(q.Seq, err)
 		}
 		return ok()
@@ -1071,38 +1147,38 @@ func (s *Server) handle(c *conn, q wire.Request) wire.Response {
 			return wire.ErrorResponse(q.Seq,
 				fmt.Errorf("%w: DBwrite_fld carries %d values", wire.ErrBadFrame, len(q.Vals)))
 		}
-		if err := c.sess.WriteFld(table, rec, field, q.Vals[0]); err != nil {
+		if err := sess.WriteFld(table, rec, field, q.Vals[0]); err != nil {
 			return wire.ErrorResponse(q.Seq, err)
 		}
 		return ok()
 	case wire.OpMove:
-		if err := c.sess.Move(table, rec, int(q.Aux)); err != nil {
+		if err := sess.Move(table, rec, int(q.Aux)); err != nil {
 			return wire.ErrorResponse(q.Seq, err)
 		}
 		return ok()
 	case wire.OpAlloc:
-		ri, err := c.sess.Alloc(table, int(q.Aux))
+		ri, err := sess.Alloc(table, int(q.Aux))
 		if err != nil {
 			return wire.ErrorResponse(q.Seq, err)
 		}
 		return ok(uint32(ri))
 	case wire.OpFree:
-		if err := c.sess.Free(table, rec); err != nil {
+		if err := sess.Free(table, rec); err != nil {
 			return wire.ErrorResponse(q.Seq, err)
 		}
 		return ok()
 	case wire.OpBegin:
-		if err := c.sess.Begin(table); err != nil {
+		if err := sess.Begin(table); err != nil {
 			return wire.ErrorResponse(q.Seq, err)
 		}
 		return ok()
 	case wire.OpCommit:
-		if err := c.sess.Commit(); err != nil {
+		if err := sess.Commit(); err != nil {
 			return wire.ErrorResponse(q.Seq, err)
 		}
 		return ok()
 	case wire.OpStatus:
-		st, err := c.sess.Status(table, rec)
+		st, err := sess.Status(table, rec)
 		if err != nil {
 			return wire.ErrorResponse(q.Seq, err)
 		}
@@ -1135,15 +1211,31 @@ func (s *Server) serveConn(c *conn) {
 	defer s.connWG.Done()
 	defer s.teardownConn(c)
 	br := bufio.NewReader(c.nc)
-	var respBuf []byte
+	bw := bufio.NewWriter(c.nc)
+	w := connWriter{s: s, c: c, bw: bw}
 	for {
 		select {
 		case <-s.quit:
 			return
 		default:
 		}
-		if err := c.nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
-			return
+		// Flush accumulated replies only before blocking for more input:
+		// while a pipelined client's frames are still buffered, responses
+		// pile up in bw and one socket write carries the whole batch back.
+		// (A peer that sends half a frame and then stalls waits for its own
+		// tail; the idle timeout bounds that.)
+		if bw.Buffered() > 0 && br.Buffered() == 0 {
+			if !w.flush() {
+				return
+			}
+		}
+		// Re-arm the idle deadline only when the read will actually block;
+		// frames already buffered (the pipelined case) are covered by the
+		// deadline from the read that fetched them.
+		if br.Buffered() == 0 {
+			if err := c.nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
+				return
+			}
 		}
 		payload, err := wire.ReadFrame(br, s.cfg.MaxFrame)
 		if err != nil {
@@ -1151,7 +1243,9 @@ func (s *Server) serveConn(c *conn) {
 			// in every case the connection is done. A malformed
 			// length prefix gets a parting diagnostic.
 			if errors.Is(err, wire.ErrBadFrame) {
-				s.writeResponse(c, &respBuf, wire.ErrorResponse(0, err))
+				if w.write(wire.ErrorResponse(0, err)) {
+					w.flush()
+				}
 			}
 			return
 		}
@@ -1160,7 +1254,13 @@ func (s *Server) serveConn(c *conn) {
 			// Frame arrived intact but the payload is malformed:
 			// answer and keep the connection (framing is still
 			// synchronized).
-			s.writeResponse(c, &respBuf, wire.ErrorResponse(0, err))
+			w.write(wire.ErrorResponse(0, err))
+			continue
+		}
+		if resp, served := s.tryFastLane(c, req); served {
+			if !w.write(resp) {
+				return
+			}
 			continue
 		}
 		if req.Op == wire.OpReplicate {
@@ -1173,13 +1273,13 @@ func (s *Server) serveConn(c *conn) {
 			} else {
 				s.perOpErr[int(req.Op)].Add(1)
 			}
-			if !s.writeResponse(c, &respBuf, resp) {
+			if !w.write(resp) {
 				return
 			}
 			continue
 		}
 		resp := s.submit(c, req)
-		if !s.writeResponse(c, &respBuf, resp) {
+		if !w.write(resp) {
 			return
 		}
 	}
@@ -1202,7 +1302,10 @@ func (s *Server) submit(c *conn, req wire.Request) wire.Response {
 	if rec || tr {
 		t0 = time.Now()
 	}
-	t := task{c: c, req: req, reply: make(chan wire.Response, 1)}
+	if c.reply == nil {
+		c.reply = make(chan wire.Response, 1)
+	}
+	t := task{c: c, req: req, reply: c.reply}
 	if tr {
 		// The enqueue event is journaled before the send so its sequence
 		// number precedes the executor's req-execute for the same trace.
@@ -1227,6 +1330,19 @@ func (s *Server) submit(c *conn, req wire.Request) wire.Response {
 		}
 		return wire.ErrorResponse(req.Seq, wire.ErrOverload)
 	}
+	// One timer per connection instead of a time.After allocation per
+	// request; stop-and-drain before Reset per pre-1.23 timer semantics.
+	if c.rtimer == nil {
+		c.rtimer = time.NewTimer(s.cfg.ReplyTimeout)
+	} else {
+		if !c.rtimer.Stop() {
+			select {
+			case <-c.rtimer.C:
+			default:
+			}
+		}
+		c.rtimer.Reset(s.cfg.ReplyTimeout)
+	}
 	select {
 	case resp := <-t.reply:
 		if rec {
@@ -1239,23 +1355,43 @@ func (s *Server) submit(c *conn, req wire.Request) wire.Response {
 			})
 		}
 		return resp
-	case <-time.After(s.cfg.ReplyTimeout):
+	case <-c.rtimer.C:
 		// The executor is wedged or far behind. The buffered reply
 		// channel lets it finish without blocking; this connection
-		// reports the timeout.
+		// reports the timeout — and abandons the channel, because the
+		// executor still owes it the late reply.
+		c.reply = nil
 		return wire.ErrorResponse(req.Seq, wire.ErrTimeout)
 	}
 }
 
-func (s *Server) writeResponse(c *conn, buf *[]byte, resp wire.Response) bool {
-	*buf = wire.AppendResponse((*buf)[:0], resp)
-	if err := c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
+// connWriter batches response frames for one connection. Frames accumulate
+// in the buffered writer and hit the socket when serveConn flushes before
+// blocking for input (or when the buffer fills mid-batch). The write
+// deadline is armed once per batch — when the first frame lands in an empty
+// buffer — which still bounds every auto-flush the batch can trigger.
+type connWriter struct {
+	s   *Server
+	c   *conn
+	bw  *bufio.Writer
+	buf []byte
+}
+
+func (w *connWriter) write(resp wire.Response) bool {
+	w.buf = wire.AppendResponse(w.buf[:0], resp)
+	if w.bw.Buffered() == 0 {
+		if err := w.c.nc.SetWriteDeadline(time.Now().Add(w.s.cfg.WriteTimeout)); err != nil {
+			return false
+		}
+	}
+	return wire.WriteFrame(w.bw, w.buf) == nil
+}
+
+func (w *connWriter) flush() bool {
+	if err := w.c.nc.SetWriteDeadline(time.Now().Add(w.s.cfg.WriteTimeout)); err != nil {
 		return false
 	}
-	if err := wire.WriteFrame(c.nc, *buf); err != nil {
-		return false
-	}
-	return true
+	return w.bw.Flush() == nil
 }
 
 // teardownConn unregisters the connection and retires its DB session on
@@ -1269,9 +1405,9 @@ func (s *Server) teardownConn(c *conn) {
 		s.srvRing.Emit(trace.Event{Kind: trace.KindConnClose, Aux: int64(c.id)})
 	}
 	closeSess := func() {
-		if c.sess != nil {
-			_ = c.sess.Close()
-			c.sess = nil
+		if sess := c.sess.Load(); sess != nil {
+			_ = sess.Close()
+			c.sess.Store(nil)
 		}
 	}
 	select {

@@ -100,6 +100,14 @@ const (
 	// KindWALCheckpoint: a checkpoint was written (Aux = captured
 	// sequence, low bits).
 	KindWALCheckpoint
+	// KindFastRead: a read served in the connection goroutine through the
+	// memdb read view, sampled 1-in-N to keep the hot path cheap (Op =
+	// opcode name, Code = response code, Arg = latency ns, Aux = conn ID).
+	KindFastRead
+	// KindBatchExec: the executor drained a batch of queued requests in
+	// one wakeup (Arg = batch size); the per-request KindReqExecute events
+	// inside the span carry the individual trace IDs.
+	KindBatchExec
 	kindMax
 )
 
@@ -133,6 +141,8 @@ var kindNames = [...]string{
 	KindReplPromote:   "repl-promote",
 	KindWALRecover:    "wal-recover",
 	KindWALCheckpoint: "wal-checkpoint",
+	KindFastRead:      "fast-read",
+	KindBatchExec:     "batch-exec",
 }
 
 // Kinds lists every defined event kind, in declaration order.

@@ -1,0 +1,127 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Request pipelining. The synchronous Conn.Call pays one full network round
+// trip per operation, so throughput is bounded by latency no matter how
+// fast the server executes. A Pipeline decouples send from receive over the
+// same connection: up to window requests ride in flight at once, frames
+// accumulate in the connection's buffered writer and go to the socket in
+// one flush, and replies come back in send order (the server processes each
+// connection's frames serially), matched to their requests by the sequence
+// number acting as a correlation ID.
+//
+// A Pipeline borrows the Conn's buffers and sequence counter; do not mix
+// Conn.Call (or the typed helpers) with an active Pipeline while requests
+// are in flight. Like Conn itself, a Pipeline is not safe for concurrent
+// use — open one connection per worker.
+
+// ErrWindowFull is returned by Send when the in-flight window is exhausted;
+// the caller must Recv at least one reply before sending more.
+var ErrWindowFull = errors.New("wire: pipeline window full")
+
+// Pipeline is an asynchronous send/receive window over a Conn.
+type Pipeline struct {
+	c       *Conn
+	window  int
+	pending []uint32 // in-flight sequence numbers, FIFO from head
+	head    int
+}
+
+// Pipeline returns a pipelined sender over c with the given in-flight
+// window (minimum 1).
+func (c *Conn) Pipeline(window int) *Pipeline {
+	if window < 1 {
+		window = 1
+	}
+	return &Pipeline{c: c, window: window}
+}
+
+// Window returns the configured in-flight depth.
+func (p *Pipeline) Window() int { return p.window }
+
+// InFlight returns how many requests await a reply.
+func (p *Pipeline) InFlight() int { return len(p.pending) - p.head }
+
+// Send assigns q a sequence number and encodes it into the connection's
+// write buffer without flushing. It returns the assigned sequence. When the
+// window is full it fails with ErrWindowFull and sends nothing.
+func (p *Pipeline) Send(q Request) (uint32, error) {
+	if p.InFlight() >= p.window {
+		return 0, ErrWindowFull
+	}
+	c := p.c
+	c.seq++
+	q.Seq = c.seq
+	// Arm the write deadline once per batch (first frame into an empty
+	// buffer); it bounds any auto-flush later frames trigger, and Flush
+	// re-arms before the real socket write.
+	if c.Timeout > 0 && c.bw.Buffered() == 0 {
+		if err := c.nc.SetWriteDeadline(time.Now().Add(c.Timeout)); err != nil {
+			return 0, err
+		}
+	}
+	c.buf = AppendRequest(c.buf[:0], q)
+	if err := WriteFrame(c.bw, c.buf); err != nil {
+		return 0, fmt.Errorf("wire: pipeline send %v: %w", q.Op, err)
+	}
+	if p.head == len(p.pending) {
+		p.pending = p.pending[:0]
+		p.head = 0
+	}
+	p.pending = append(p.pending, q.Seq)
+	return q.Seq, nil
+}
+
+// Flush pushes every buffered frame to the socket. Recv flushes implicitly;
+// explicit Flush is for callers that want requests moving before they are
+// ready to read replies.
+func (p *Pipeline) Flush() error {
+	c := p.c
+	if c.Timeout > 0 && c.bw.Buffered() > 0 {
+		if err := c.nc.SetWriteDeadline(time.Now().Add(c.Timeout)); err != nil {
+			return err
+		}
+	}
+	if err := c.bw.Flush(); err != nil {
+		return fmt.Errorf("wire: pipeline flush: %w", err)
+	}
+	return nil
+}
+
+// Recv flushes pending output and reads the next reply, which must match
+// the oldest in-flight request's sequence (responses arrive in send order).
+func (p *Pipeline) Recv() (Response, error) {
+	if p.InFlight() == 0 {
+		return Response{}, errors.New("wire: pipeline Recv with nothing in flight")
+	}
+	c := p.c
+	if err := p.Flush(); err != nil {
+		return Response{}, err
+	}
+	// Skip the deadline syscall when the reply (or its prefix) is already
+	// buffered from an earlier read — the common case mid-batch.
+	if c.Timeout > 0 && c.br.Buffered() == 0 {
+		if err := c.nc.SetReadDeadline(time.Now().Add(c.Timeout)); err != nil {
+			return Response{}, err
+		}
+	}
+	payload, err := ReadFrame(c.br, c.MaxFrame)
+	if err != nil {
+		return Response{}, fmt.Errorf("wire: pipeline recv: %w", err)
+	}
+	r, err := ParseResponse(payload)
+	if err != nil {
+		return Response{}, err
+	}
+	want := p.pending[p.head]
+	p.head++
+	if r.Seq != want {
+		return Response{}, fmt.Errorf("%w: reply seq %d, expected %d", ErrBadFrame, r.Seq, want)
+	}
+	return r, nil
+}

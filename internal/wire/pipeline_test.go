@@ -1,0 +1,115 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"testing"
+)
+
+// echoServer answers every request in arrival order with a response
+// carrying the request's sequence and its Record value echoed back.
+func echoServer(t *testing.T, nc net.Conn) {
+	t.Helper()
+	go func() {
+		br := bufio.NewReader(nc)
+		bw := bufio.NewWriter(nc)
+		var buf []byte
+		for {
+			payload, err := ReadFrame(br, MaxFrame)
+			if err != nil {
+				return
+			}
+			q, err := ParseRequest(payload)
+			if err != nil {
+				return
+			}
+			buf = AppendResponse(buf[:0], Response{Seq: q.Seq, Vals: []uint32{uint32(q.Record)}})
+			if err := WriteFrame(bw, buf); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+func TestPipelineWindowAndOrder(t *testing.T) {
+	cn, sn := net.Pipe()
+	defer cn.Close()
+	defer sn.Close()
+	echoServer(t, sn)
+
+	c := NewConn(cn)
+	c.Timeout = 0 // net.Pipe does not support deadlines reliably across goroutines
+	p := c.Pipeline(4)
+
+	// Fill the window.
+	for i := 0; i < 4; i++ {
+		if _, err := p.Send(Request{Op: OpReadFld, Record: int32(i)}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if p.InFlight() != 4 {
+		t.Fatalf("in flight = %d, want 4", p.InFlight())
+	}
+	if _, err := p.Send(Request{Op: OpReadFld}); !errors.Is(err, ErrWindowFull) {
+		t.Fatalf("send past window = %v, want ErrWindowFull", err)
+	}
+
+	// net.Pipe is unbuffered: the echo server can only drain our frames
+	// once a reader exists, so Recv (which flushes first) drives both
+	// directions. Replies must come back in send order.
+	for i := 0; i < 4; i++ {
+		r, err := p.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if len(r.Vals) != 1 || r.Vals[0] != uint32(i) {
+			t.Fatalf("recv %d echoed %v, want [%d]", i, r.Vals, i)
+		}
+	}
+	if p.InFlight() != 0 {
+		t.Fatalf("in flight after drain = %d, want 0", p.InFlight())
+	}
+	if _, err := p.Recv(); err == nil {
+		t.Fatal("Recv with nothing in flight should error")
+	}
+
+	// The window is reusable after draining.
+	if _, err := p.Send(Request{Op: OpReadFld, Record: 9}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.Recv()
+	if err != nil || r.Vals[0] != 9 {
+		t.Fatalf("reuse recv = %v, %v", r.Vals, err)
+	}
+}
+
+func TestPipelineSharesConnSequence(t *testing.T) {
+	cn, sn := net.Pipe()
+	defer cn.Close()
+	defer sn.Close()
+	echoServer(t, sn)
+
+	c := NewConn(cn)
+	c.Timeout = 0
+	p := c.Pipeline(2)
+	seq1, err := p.Send(Request{Op: OpPing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	// The synchronous shim keeps working on the same connection once the
+	// pipeline is drained, continuing the shared sequence.
+	r, err := c.Call(Request{Op: OpPing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Seq != seq1+1 {
+		t.Fatalf("Call after pipeline got seq %d, want %d", r.Seq, seq1+1)
+	}
+}

@@ -1,0 +1,71 @@
+#!/bin/sh
+# bench_compare.sh — guard against throughput regressions between two
+# saved `go test -bench` outputs. Extracts the ops/s metric every
+# BenchmarkServerThroughput subrun reports and fails when any benchmark
+# present in both files dropped by more than THRESHOLD percent (default
+# 15). Benchmarks present in only one file are reported but never fail
+# the run, so adding or retiring subruns does not break the gate.
+#
+# Usage:
+#   go test -run '^$' -bench BenchmarkServerThroughput -benchtime 2s . > old.txt
+#   ... apply changes ...
+#   go test -run '^$' -bench BenchmarkServerThroughput -benchtime 2s . > new.txt
+#   sh scripts/bench_compare.sh old.txt new.txt [threshold-pct]
+#
+# POSIX sh + awk only; no external benchmark tooling.
+set -eu
+
+if [ $# -lt 2 ]; then
+    echo "usage: $0 <baseline-bench-output> <new-bench-output> [threshold-pct]" >&2
+    exit 2
+fi
+OLD=$1
+NEW=$2
+THRESHOLD=${3:-15}
+
+awk -v threshold="$THRESHOLD" '
+# Benchmark lines look like:
+#   BenchmarkServerThroughput/audited-4   12345   98765 ns/op   54321 ops/s
+# Strip the -<GOMAXPROCS> suffix so runs from different -cpu settings
+# still line up, and take the value preceding each "ops/s" token.
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    for (i = 3; i <= NF; i++) {
+        if ($i == "ops/s") {
+            if (FNR == NR) old[name] = $(i - 1)
+            else           new[name] = $(i - 1)
+        }
+    }
+}
+END {
+    failed = 0
+    compared = 0
+    for (name in new) {
+        if (!(name in old)) {
+            printf "new-only   %-55s %12.0f ops/s\n", name, new[name]
+            continue
+        }
+        compared++
+        delta = 100 * (new[name] - old[name]) / old[name]
+        verdict = "ok"
+        if (delta < -threshold) { verdict = "REGRESSED"; failed = 1 }
+        printf "%-10s %-55s %12.0f -> %12.0f ops/s (%+.1f%%)\n",
+               verdict, name, old[name], new[name], delta
+    }
+    for (name in old) {
+        if (!(name in new))
+            printf "gone       %-55s %12.0f ops/s\n", name, old[name]
+    }
+    if (compared == 0) {
+        print "bench_compare: no common ops/s benchmarks between the two files" > "/dev/stderr"
+        exit 2
+    }
+    if (failed) {
+        printf "bench_compare: FAIL: at least one benchmark lost more than %s%% ops/s\n",
+               threshold > "/dev/stderr"
+        exit 1
+    }
+    printf "bench_compare: ok (%d benchmarks within %s%%)\n", compared, threshold
+}
+' "$OLD" "$NEW"
