@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test check cover fuzz-smoke trace-smoke failover-smoke bench bench-smoke clean
+.PHONY: all build vet test check cover fuzz-smoke trace-smoke failover-smoke proc-smoke bench bench-smoke clean
 
 all: check
 
@@ -42,6 +42,13 @@ trace-smoke:
 # mid-run, run must complete against the self-promoted standby.
 failover-smoke:
 	sh scripts/failover_smoke.sh
+
+# Procedure-subsystem smoke over real processes: a race-built server flips
+# bits in registered procedures' text under concurrent PROC load; the run
+# must show PECOS detections joined to request trace IDs, registry-reload
+# recovery, and a clean certifying sweep.
+proc-smoke:
+	sh scripts/proc_smoke.sh
 
 bench:
 	$(GO) test -bench . -benchtime 0.5s -run '^$$' .

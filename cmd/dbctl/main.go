@@ -12,6 +12,12 @@
 //	dbctl -op verify  -img db.img                 # run all audits, report only
 //	dbctl -op repair  -img db.img                 # run all audits, write back
 //
+// The proc ops talk to a live dbserve instead of an image — they manage the
+// server-side procedure registry:
+//
+//	dbctl -op proc-load -addr 127.0.0.1:7420 -name p -src prog.asm
+//	dbctl -op proc-list -addr 127.0.0.1:7420
+//
 // Images use the built-in controller schema; -config-records,
 // -config-fields, and -call-records size it.
 package main
@@ -24,6 +30,8 @@ import (
 	"repro/internal/audit"
 	"repro/internal/callproc"
 	"repro/internal/memdb"
+	"repro/internal/proc"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -35,16 +43,26 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("dbctl", flag.ContinueOnError)
-	op := fs.String("op", "", "operation: init | dump | corrupt | verify | repair")
+	op := fs.String("op", "", "operation: init | dump | corrupt | verify | repair | proc-load | proc-list")
 	img := fs.String("img", "", "image file path")
 	table := fs.Int("table", -1, "dump: restrict to one table")
 	offset := fs.Int("offset", 0, "corrupt: region byte offset")
 	bit := fs.Uint("bit", 0, "corrupt: bit index 0..7")
+	addr := fs.String("addr", "", "proc ops: live dbserve address")
+	name := fs.String("name", "", "proc-load: procedure name")
+	src := fs.String("src", "", "proc-load: assembly source file")
 	cfgRecords := fs.Int("config-records", 16, "schema: configuration records")
 	cfgFields := fs.Int("config-fields", 4, "schema: configuration fields")
 	callRecords := fs.Int("call-records", 24, "schema: records per call table")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// The proc ops are networked: they bypass the image machinery entirely.
+	switch *op {
+	case "proc-load":
+		return procLoad(*addr, *name, *src)
+	case "proc-list":
+		return procList(*addr)
 	}
 	if *img == "" {
 		return fmt.Errorf("-img is required")
@@ -206,6 +224,58 @@ func dump(db *memdb.DB, only int) error {
 			fmt.Println("]")
 		}
 		fmt.Printf("  %d active records\n", active)
+	}
+	return nil
+}
+
+// procLoad registers an assembly source file as a named server-side
+// procedure on a live dbserve.
+func procLoad(addr, name, srcPath string) error {
+	if addr == "" || name == "" || srcPath == "" {
+		return fmt.Errorf("proc-load requires -addr, -name, and -src")
+	}
+	source, err := os.ReadFile(srcPath)
+	if err != nil {
+		return err
+	}
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	words, blocks, version, err := c.ProcLoad(name, string(source))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %s: %d words, %d assertion blocks, version %d\n",
+		name, words, blocks, version)
+	return nil
+}
+
+// procList prints a live dbserve's procedure registry inventory.
+func procList(addr string) error {
+	if addr == "" {
+		return fmt.Errorf("proc-list requires -addr")
+	}
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	data, err := c.ProcList()
+	if err != nil {
+		return err
+	}
+	infos, err := proc.DecodeInfos(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-16s %6s %7s %5s %8s %6s %11s %7s %8s\n",
+		"NAME", "WORDS", "BLOCKS", "CFIS", "VERSION", "EXECS", "VIOLATIONS", "FAULTS", "RELOADS")
+	for _, in := range infos {
+		fmt.Printf("%-16s %6d %7d %5d %8d %6d %11d %7d %8d\n",
+			in.Name, in.Words, in.Blocks, in.CFIs, in.Version,
+			in.Execs, in.Violations, in.Faults, in.Reloads)
 	}
 	return nil
 }

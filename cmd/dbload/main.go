@@ -84,8 +84,12 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	watchN := fs.Int("watch-n", 0, "watch mode: stop after this many polls (0 = until interrupted)")
 	tracePath := fs.String("trace", "", "after the run, fetch the server's flight-recorder journal and write it as JSON to this file (\"-\" = stdout)")
 	expectFindings := fs.Bool("expect-findings", false, "tolerate golden-copy mismatches and audit findings (for servers running with fault injection)")
+	procPct := fs.Int("proc-pct", 0, "percentage 0-100 of operations routed through server-side procedures (PROC op)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *procPct < 0 || *procPct > 100 {
+		return errors.New("-proc-pct must be 0-100")
 	}
 	addrs := splitAddrs(*addr)
 	if len(addrs) == 0 {
@@ -101,7 +105,7 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		return errors.New("-pipeline must be >= 1 and -read-pct <= 100")
 	}
 
-	runErr := loadRun(out, addrs, *conns, *ops, *pipeline, *readPct, *expectFindings)
+	runErr := loadRun(out, addrs, *conns, *ops, *pipeline, *readPct, *procPct, *expectFindings)
 	// The journal is fetched after the run, success or not: when the run
 	// failed it is exactly the evidence worth keeping.
 	if *tracePath != "" {
@@ -195,7 +199,7 @@ func dialAny(addrs []string) (*wire.Conn, error) {
 }
 
 // loadRun drives the closed-loop workload and verifies the end state.
-func loadRun(out io.Writer, addrs []string, conns, ops, pipeline, readPct int, expectFindings bool) error {
+func loadRun(out io.Writer, addrs []string, conns, ops, pipeline, readPct, procPct int, expectFindings bool) error {
 	var wg sync.WaitGroup
 	workers := make([]*worker, conns)
 	perWorker := ops / conns
@@ -205,7 +209,7 @@ func loadRun(out io.Writer, addrs []string, conns, ops, pipeline, readPct int, e
 	start := time.Now()
 	for i := range workers {
 		w := &worker{id: i, addrs: addrs, ops: perWorker, lax: expectFindings,
-			pipeline: pipeline, readPct: readPct}
+			pipeline: pipeline, readPct: readPct, procPct: procPct}
 		workers[i] = w
 		wg.Add(1)
 		go func() {
@@ -218,6 +222,7 @@ func loadRun(out io.Writer, addrs []string, conns, ops, pipeline, readPct int, e
 
 	var lats []time.Duration
 	done, mismatches, reconnects := 0, 0, 0
+	procCalls, procAborts := 0, 0
 	for _, w := range workers {
 		if w.err != nil {
 			return fmt.Errorf("worker %d: %w", w.id, w.err)
@@ -226,6 +231,8 @@ func loadRun(out io.Writer, addrs []string, conns, ops, pipeline, readPct int, e
 		done += len(w.lats)
 		mismatches += w.mismatches
 		reconnects += w.reconnects
+		procCalls += w.procCalls
+		procAborts += w.procAborts
 	}
 
 	// The workload only wrote in-range values through the API, so a full
@@ -263,6 +270,9 @@ func loadRun(out io.Writer, addrs []string, conns, ops, pipeline, readPct int, e
 	fmt.Fprintf(out, "  final sweep: %d findings\n", findings)
 	if reconnects > 0 {
 		fmt.Fprintf(out, "  failover: %d reconnects\n", reconnects)
+	}
+	if procCalls > 0 {
+		fmt.Fprintf(out, "  procedures: %d calls, %d detected aborts\n", procCalls, procAborts)
 	}
 	if expectFindings {
 		fmt.Fprintf(out, "  tolerated: %d golden-copy mismatches, %d live findings (-expect-findings)\n",
@@ -326,6 +336,35 @@ func dumpJournal(out io.Writer, addrs []string, path string) error {
 		return err
 	}
 	fmt.Fprintf(out, "dbload: journal: %d events to %s\n", len(merged), path)
+	// PECOS detection join summary: how many pecos-violation events the
+	// journal holds, and how many carry a trace ID that joins the request
+	// path — a request-enqueue event (when the bounded req ring still holds
+	// that request) or the control-flow finding/recovery pair the detection
+	// raised, which inherits the same request trace ID. This is the
+	// live-load evidence the smoke test greps for.
+	reqs := make(map[uint64]bool)
+	for _, ev := range merged {
+		switch {
+		case ev.Kind == trace.KindReqEnqueue && ev.Trace != 0:
+			reqs[ev.Trace] = true
+		case ev.Kind == trace.KindFinding && ev.Op == "control-flow" && ev.Trace != 0:
+			reqs[ev.Trace] = true
+		case ev.Kind == trace.KindRecovery && ev.Op == "reload-text" && ev.Trace != 0:
+			reqs[ev.Trace] = true
+		}
+	}
+	total, joined := 0, 0
+	for _, ev := range merged {
+		if ev.Kind == trace.KindPECOS {
+			total++
+			if reqs[ev.Trace] {
+				joined++
+			}
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(out, "dbload: pecos: total=%d joined=%d\n", total, joined)
+	}
 	return nil
 }
 
@@ -404,6 +443,10 @@ func watchLine(snap metrics.Snapshot, rate float64) string {
 		line += fmt.Sprintf(" fast=%d/%d/%d", reads,
 			snap.Counters["fastlane.retries"], snap.Counters["fastlane.fallbacks"])
 	}
+	if execs, ok := snap.Counters["proc.execs"]; ok && execs > 0 {
+		line += fmt.Sprintf(" proc=%d/%d/%d", execs,
+			snap.Counters["proc.violations"], snap.Counters["proc.reloads"])
+	}
 	// Busiest operation's latency distribution, if any traffic yet.
 	var busiest string
 	var hs metrics.HistogramSnapshot
@@ -445,11 +488,16 @@ type worker struct {
 	// a read/write mix with up to pipeline requests in flight.
 	pipeline int
 	readPct  int
+	// procPct routes that share of closed-loop operations through the
+	// server-side procedures (PROC op) instead of direct API calls.
+	procPct int
 
 	c          *wire.Conn
 	lats       []time.Duration
 	mismatches int
 	reconnects int
+	procCalls  int
+	procAborts int // PECOS violations and faults (detected, nothing committed)
 	err        error
 }
 
@@ -564,6 +612,17 @@ func (w *worker) drive() error {
 	}
 	for i := 0; i < w.ops; i++ {
 		var err error
+		if w.procPct > 0 && i%100 < w.procPct {
+			perr := w.procOp(i, ri, golden)
+			if perr != nil {
+				if w.lax {
+					w.mismatches++
+					continue
+				}
+				return fmt.Errorf("op %d: %w", i, perr)
+			}
+			continue
+		}
 		switch i % 6 {
 		case 0:
 			v := uint32((w.id + i*13) % 101)
@@ -654,6 +713,49 @@ func (w *worker) drive() error {
 		return fmt.Errorf("DBclose: %w", err)
 	}
 	return nil
+}
+
+// procOp drives one server-side procedure call: mostly res_touch (a
+// verified write through the staged-commit engine, folded into the golden
+// copy), with a res_scan sprinkled in. Calls ride the same retry layers as
+// direct operations (lock contention, failover). A PECOS violation or
+// fault is a DETECTED abort — the procedure committed nothing, so the
+// golden copy stays as-is and the worker keeps driving; recovery (registry
+// reload) happens server-side before the next call.
+func (w *worker) procOp(i, ri int, golden []uint32) error {
+	w.procCalls++
+	t0 := time.Now()
+	defer func() { w.lats = append(w.lats, time.Since(t0)) }()
+	if i%5 == 4 {
+		err := w.call(func() (err error) {
+			_, err = w.c.ProcExec("res_scan", []uint32{uint32(ri), 1})
+			return err
+		})
+		if errors.Is(err, wire.ErrProcViolation) || errors.Is(err, wire.ErrProcFault) {
+			w.procAborts++
+			return nil
+		}
+		return err
+	}
+	v := uint32((w.id + i*7) % 101)
+	var out []uint32
+	err := w.call(func() (err error) {
+		out, err = w.c.ProcExec("res_touch", []uint32{uint32(ri), v})
+		return err
+	})
+	switch {
+	case err == nil:
+		if len(out) != 2 || out[0] != v {
+			return fmt.Errorf("res_touch emitted %v, want quality %d", out, v)
+		}
+		golden[callproc.FldResQuality] = v
+		return nil
+	case errors.Is(err, wire.ErrProcViolation) || errors.Is(err, wire.ErrProcFault):
+		w.procAborts++
+		return nil
+	default:
+		return err
+	}
 }
 
 // defaultReadPct is the pipelined workload's read share when -read-pct is

@@ -76,6 +76,8 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 	auditPeriod := fs.Duration("audit-period", time.Second, "periodic audit sweep interval; negative disables audits")
 	injectPeriod := fs.Duration("inject-period", 0, "flip one random database bit per interval and journal the shot (fault-injection demo; 0 disables)")
 	injectSeed := fs.Int64("inject-seed", 1, "fault injector RNG seed")
+	procInjectPeriod := fs.Duration("proc-inject-period", 0, "flip one bit in a registered procedure's text segment per interval (PECOS live-load demo; 0 disables)")
+	procInjectSeed := fs.Int64("proc-inject-seed", 1, "procedure text injector RNG seed")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "drain deadline on shutdown")
 	walDir := fs.String("wal-dir", "", "operation-log directory: recover the database from it on start, log every mutation, checkpoint on shutdown")
 	walSegment := fs.Int("wal-segment", 0, "WAL segment size cap in bytes (0 = default)")
@@ -158,18 +160,20 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 	}
 
 	srv, err := server.New(db, server.Config{
-		QueueDepth:    *queue,
-		AuditPeriod:   *auditPeriod,
-		InjectPeriod:  *injectPeriod,
-		InjectSeed:    *injectSeed,
-		Trace:         rec,
-		WAL:           walLog,
-		Standby:       *replicaOf != "",
-		PrimaryAddr:   *replicaOf,
-		AdvertiseAddr: advertiseAddr,
-		ReplPoll:      *replPoll,
-		ReplFailLimit: *replFailLimit,
-		CheckpointCap: *walCheckpoint,
+		QueueDepth:       *queue,
+		AuditPeriod:      *auditPeriod,
+		InjectPeriod:     *injectPeriod,
+		InjectSeed:       *injectSeed,
+		ProcInjectPeriod: *procInjectPeriod,
+		ProcInjectSeed:   *procInjectSeed,
+		Trace:            rec,
+		WAL:              walLog,
+		Standby:          *replicaOf != "",
+		PrimaryAddr:      *replicaOf,
+		AdvertiseAddr:    advertiseAddr,
+		ReplPoll:         *replPoll,
+		ReplFailLimit:    *replFailLimit,
+		CheckpointCap:    *walCheckpoint,
 	})
 	if err != nil {
 		ln.Close()
@@ -182,6 +186,10 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 	if *injectPeriod > 0 {
 		fmt.Fprintf(out, "dbserve: fault injector armed (one bit flip per %v, seed %d)\n",
 			*injectPeriod, *injectSeed)
+	}
+	if *procInjectPeriod > 0 {
+		fmt.Fprintf(out, "dbserve: procedure text injector armed (one flip per %v, seed %d)\n",
+			*procInjectPeriod, *procInjectSeed)
 	}
 
 	if *metricsAddr != "" {

@@ -37,6 +37,11 @@ const (
 	// in-place repair — most notably a standby promoting itself after
 	// losing its primary.
 	ClassFailover
+	// ClassControlFlow: a PECOS assertion tripped inside a server-side
+	// procedure — program text, not database data, is corrupt. Raised by
+	// the serving plane so control-flow detections ride the same
+	// escalation ladder as database audit findings.
+	ClassControlFlow
 )
 
 // String returns the class name.
@@ -56,6 +61,8 @@ func (c Class) String() string {
 		return "deadlock"
 	case ClassFailover:
 		return "failover"
+	case ClassControlFlow:
+		return "control-flow"
 	default:
 		return "unknown"
 	}
@@ -89,6 +96,10 @@ const (
 	// ActionPromote: the fifth escalation level — the standby took over
 	// as primary.
 	ActionPromote
+	// ActionReloadText: a registered procedure's live text segment was
+	// restored from its pristine instrumented image — the paper's
+	// "reload from permanent storage" applied to program text.
+	ActionReloadText
 )
 
 // String returns the action name.
@@ -114,6 +125,8 @@ func (a Action) String() string {
 		return "mirror-restore"
 	case ActionPromote:
 		return "promote"
+	case ActionReloadText:
+		return "reload-text"
 	default:
 		return "unknown"
 	}

@@ -1,0 +1,317 @@
+package proc
+
+import (
+	"fmt"
+
+	"repro/internal/memdb"
+	"repro/internal/pecos"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// Status classifies one execution.
+type Status int
+
+// Execution outcomes.
+const (
+	// StatusOK: the program halted cleanly and its staged mutations were
+	// applied.
+	StatusOK Status = iota + 1
+	// StatusViolation: a PECOS assertion caught an impending illegal
+	// transfer; the procedure was aborted with no mutation committed.
+	StatusViolation
+	// StatusFault: the program crashed on an unhandled trap or exhausted
+	// its step budget (hang); aborted with no mutation committed.
+	StatusFault
+	// StatusCommitFail: the program halted cleanly but a staged mutation
+	// was rejected by the database API (bounds, inactive record, ...).
+	// Mutations preceding the failure were applied.
+	StatusCommitFail
+)
+
+// String returns the outcome name.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusViolation:
+		return "violation"
+	case StatusFault:
+		return "fault"
+	case StatusCommitFail:
+		return "commit-fail"
+	default:
+		return "unknown"
+	}
+}
+
+// MutKind is one staged mutation's operation.
+type MutKind int
+
+// Mutation kinds.
+const (
+	MutWriteFld MutKind = iota + 1
+	MutAlloc
+	MutFree
+	MutMove
+)
+
+// Mutation is one database mutation a procedure performed, in program
+// order. The server translates applied mutations into operation-log
+// records so procedure effects replicate like any other write.
+type Mutation struct {
+	Kind  MutKind
+	Table int
+	Rec   int
+	Field int
+	Group int
+	Val   uint32
+}
+
+// Result is one execution's outcome.
+type Result struct {
+	Status Status
+	// Out carries the values the program emitted (the PROC reply vector).
+	Out []uint32
+	// Steps is the instruction count executed.
+	Steps uint64
+	// Reason is the abort diagnostic for violations and faults.
+	Reason string
+	// AssertPC/Target are the offending signature pair on a violation.
+	AssertPC uint32
+	Target   uint32
+	// Err is the database error on StatusCommitFail.
+	Err error
+	// Applied lists the mutations that reached the database, in order.
+	Applied []Mutation
+}
+
+// Procedure syscall numbers — the ABI between the assembly library and the
+// engine's database bridge. Inputs ride in r1..r4; results come back in r0
+// with a 1/0 status in r15 (the bridge writes no other register).
+const (
+	sysArgc  = 1 // r0 = argument count
+	sysArg   = 2 // r1 = index          → r0 = argument value (0 out of range)
+	sysRdFld = 3 // r1,r2,r3 = t,r,f    → r0 = value (through the write set), r15 = ok
+	sysWrFld = 4 // r1,r2,r3,r4 = t,r,f,v staged until commit
+	sysAlloc = 5 // r1,r2 = table,group → r0 = record, or allocFail
+	sysFree  = 6 // r1,r2 = table,rec     staged until commit
+	sysMove  = 7 // r1,r2,r3 = t,r,group  staged until commit
+	sysEmit  = 8 // r1 = value appended to the reply vector
+)
+
+// allocFail is the in-program allocation-failure sentinel (the same
+// convention as the offline call-processing client).
+const allocFail = 65535
+
+// DefaultStepBudget bounds one execution; exhausting it with the thread
+// still runnable is the engine's hang detector.
+const DefaultStepBudget = 100_000
+
+// maxEmit bounds the reply vector a procedure can build.
+const maxEmit = 1024
+
+// Engine executes registered procedures against a live database session.
+// One engine serves every procedure; it is executor-thread-only, like the
+// session clients it drives.
+type Engine struct {
+	// Ring, when set, receives the PECOS violation events (trace-joined to
+	// the request that ran the procedure).
+	Ring *trace.Ring
+	// StepBudget overrides DefaultStepBudget when positive.
+	StepBudget uint64
+	// MemWords/MaxStack size each execution's VM (vm.DefaultConfig when
+	// zero).
+	MemWords int
+	MaxStack int
+}
+
+// NewEngine builds an engine with default sizing.
+func NewEngine() *Engine { return &Engine{} }
+
+// Exec runs p against sess with the given arguments. tid correlates the
+// execution's trace events with the originating request. The procedure's
+// own counters are updated here (executor thread).
+//
+// Mutation discipline: writes, frees, and moves are staged and applied only
+// after a clean halt, so an aborted procedure commits nothing. Reads see
+// the procedure's own staged writes. Allocations apply eagerly (later
+// operations need the record live) and are compensated by a free on abort.
+func (e *Engine) Exec(p *Procedure, sess *memdb.Client, args []uint32, tid uint64) Result {
+	p.Execs++
+	st := &stage{sess: sess, writes: make(map[[3]int]uint32)}
+	out := make([]uint32, 0, 8)
+
+	bridge := func(t *vm.Thread, num uint32) vm.Trap {
+		switch num {
+		case sysArgc:
+			t.Regs[0] = uint32(len(args))
+		case sysArg:
+			t.Regs[0] = 0
+			if i := int(t.Regs[1]); i >= 0 && i < len(args) {
+				t.Regs[0] = args[i]
+			}
+		case sysRdFld:
+			v, ok := st.read(int(t.Regs[1]), int(t.Regs[2]), int(t.Regs[3]))
+			t.Regs[0], t.Regs[15] = v, boolReg(ok)
+		case sysWrFld:
+			st.write(int(t.Regs[1]), int(t.Regs[2]), int(t.Regs[3]), t.Regs[4])
+			t.Regs[15] = 1
+		case sysAlloc:
+			t.Regs[0] = st.alloc(int(t.Regs[1]), int(t.Regs[2]))
+		case sysFree:
+			st.free(int(t.Regs[1]), int(t.Regs[2]))
+			t.Regs[15] = 1
+		case sysMove:
+			st.move(int(t.Regs[1]), int(t.Regs[2]), int(t.Regs[3]))
+			t.Regs[15] = 1
+		case sysEmit:
+			if len(out) < maxEmit {
+				out = append(out, t.Regs[1])
+			}
+		default:
+			return vm.TrapIllegal
+		}
+		return vm.TrapNone
+	}
+
+	cfg := vm.Config{MemWords: e.MemWords, MaxStack: e.MaxStack}
+	m, err := vm.New(p.text, 1, cfg, bridge)
+	if err != nil {
+		p.Faults++
+		return Result{Status: StatusFault, Reason: "vm: " + err.Error()}
+	}
+	rt := pecos.NewRuntime(p.ins)
+	rt.Trace = e.Ring
+	rt.TraceID = tid
+	m.OnTrap = rt.OnTrap
+
+	budget := e.StepBudget
+	if budget == 0 {
+		budget = DefaultStepBudget
+	}
+	steps := m.Run(budget)
+	t := m.Thread(0)
+	switch {
+	case rt.Detections > 0:
+		st.rollback()
+		p.Violations++
+		return Result{
+			Status: StatusViolation, Steps: steps,
+			AssertPC: t.TrapPC, Target: t.TrapTarget,
+			Reason: "control-flow violation (PECOS assertion)",
+		}
+	case m.Crashed():
+		st.rollback()
+		p.Faults++
+		return Result{
+			Status: StatusFault, Steps: steps,
+			Reason: fmt.Sprintf("trap %s at pc=%d", t.Trap, t.TrapPC),
+		}
+	case m.Runnable() > 0:
+		st.rollback()
+		p.Faults++
+		return Result{Status: StatusFault, Steps: steps, Reason: "step budget exhausted (hang)"}
+	}
+	applied, err := st.commit()
+	if err != nil {
+		return Result{Status: StatusCommitFail, Steps: steps, Err: err, Applied: applied, Out: out}
+	}
+	return Result{Status: StatusOK, Steps: steps, Out: out, Applied: applied}
+}
+
+func boolReg(ok bool) uint32 {
+	if ok {
+		return 1
+	}
+	return 0
+}
+
+// stage is one execution's mutation buffer: the ordered operation list, the
+// read-your-writes overlay, and the eager-allocation ledger.
+type stage struct {
+	sess   *memdb.Client
+	ops    []Mutation
+	writes map[[3]int]uint32
+	allocs []Mutation // eager allocations, for abort compensation
+}
+
+// read resolves a field through the staged write set, falling back to the
+// live database. Staged frees and moves do not mask reads — the procedure
+// observes the record state its writes will produce, not its releases.
+func (st *stage) read(table, rec, field int) (uint32, bool) {
+	if v, ok := st.writes[[3]int{table, rec, field}]; ok {
+		return v, true
+	}
+	v, err := st.sess.ReadFld(table, rec, field)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func (st *stage) write(table, rec, field int, v uint32) {
+	st.writes[[3]int{table, rec, field}] = v
+	st.ops = append(st.ops, Mutation{Kind: MutWriteFld, Table: table, Rec: rec, Field: field, Val: v})
+}
+
+// alloc claims a record immediately — later syscalls address it by index —
+// and records the claim both in program order (for the commit log) and in
+// the compensation ledger (freed again on abort).
+func (st *stage) alloc(table, group int) uint32 {
+	ri, err := st.sess.Alloc(table, group)
+	if err != nil {
+		return allocFail
+	}
+	m := Mutation{Kind: MutAlloc, Table: table, Rec: ri, Group: group}
+	st.ops = append(st.ops, m)
+	st.allocs = append(st.allocs, m)
+	return uint32(ri)
+}
+
+func (st *stage) free(table, rec int) {
+	st.ops = append(st.ops, Mutation{Kind: MutFree, Table: table, Rec: rec})
+}
+
+func (st *stage) move(table, rec, group int) {
+	st.ops = append(st.ops, Mutation{Kind: MutMove, Table: table, Rec: rec, Group: group})
+}
+
+// commit applies the staged operations in program order. Allocations were
+// already applied at execution time and only join the applied list here.
+// On the first API rejection the remaining operations are dropped and any
+// not-yet-reported allocation is compensated, so nothing half-built leaks.
+func (st *stage) commit() ([]Mutation, error) {
+	applied := make([]Mutation, 0, len(st.ops))
+	for i, m := range st.ops {
+		var err error
+		switch m.Kind {
+		case MutWriteFld:
+			err = st.sess.WriteFld(m.Table, m.Rec, m.Field, m.Val)
+		case MutFree:
+			err = st.sess.Free(m.Table, m.Rec)
+		case MutMove:
+			err = st.sess.Move(m.Table, m.Rec, m.Group)
+		case MutAlloc:
+			// Applied eagerly during execution.
+		}
+		if err != nil {
+			for j := len(st.ops) - 1; j > i; j-- {
+				if st.ops[j].Kind == MutAlloc {
+					_ = st.sess.Free(st.ops[j].Table, st.ops[j].Rec)
+				}
+			}
+			return applied, err
+		}
+		applied = append(applied, m)
+	}
+	return applied, nil
+}
+
+// rollback compensates the eager allocations, newest first. Staged writes,
+// frees, and moves never touched the database, so dropping them is free.
+func (st *stage) rollback() {
+	for i := len(st.allocs) - 1; i >= 0; i-- {
+		_ = st.sess.Free(st.allocs[i].Table, st.allocs[i].Rec)
+	}
+}

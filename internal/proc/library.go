@@ -1,0 +1,201 @@
+package proc
+
+// BuiltinProc is one procedure the server preloads at startup so procedure
+// traffic (dbload -proc-pct, the smoke script) works against a fresh server
+// with no explicit proc-load step.
+type BuiltinProc struct {
+	Name   string
+	Source string
+}
+
+// Library returns the built-in call-processing procedures. They are written
+// against the callproc schema (tables: 0 config, 1 process, 2 connection,
+// 3 resource) and use the engine's syscall ABI (see engine.go).
+func Library() []BuiltinProc {
+	return []BuiltinProc{
+		{Name: "res_touch", Source: SrcResTouch},
+		{Name: "res_scan", Source: SrcResScan},
+		{Name: "call_setup", Source: SrcCallSetup},
+	}
+}
+
+// SrcResTouch writes a clamped quality value to a resource record and reads
+// it back through the staged write set before emitting. args: [rec, quality].
+// Emits [quality, rec] on success, [0] on readback mismatch.
+const SrcResTouch = `
+; res_touch(rec, quality): clamp quality to 100, stage the field write,
+; verify read-your-writes, emit the pair.
+        movi r1, 0
+        sys 2            ; r0 = arg0 (rec)
+        mov r8, r0
+        movi r1, 1
+        sys 2            ; r0 = arg1 (quality)
+        mov r9, r0
+        movi r4, 100
+        cmp r9, r4
+        blt clamped
+        mov r9, r4       ; quality > 100: clamp
+clamped:
+        movi r1, 3       ; table = resource
+        mov r2, r8
+        movi r3, 2       ; field = quality
+        mov r4, r9
+        sys 4            ; WRFLD resource[rec].quality = quality (staged)
+        movi r1, 3
+        mov r2, r8
+        movi r3, 2
+        sys 3            ; RDFLD through the write set
+        cmp r0, r9
+        bne mismatch
+        call emitpair
+        halt
+mismatch:
+        movi r1, 0
+        sys 8            ; EMIT 0: readback disagreed
+        halt
+emitpair:
+        mov r1, r9
+        sys 8            ; EMIT quality
+        mov r1, r8
+        sys 8            ; EMIT rec
+        ret
+`
+
+// SrcResScan sums the quality of up to 16 consecutive busy resources.
+// args: [start, n]. Emits [sum].
+const SrcResScan = `
+; res_scan(start, n): sum quality over resource[start..start+n) where
+; status == busy(1); n clamped to 16. Emits the sum.
+        movi r1, 0
+        sys 2
+        mov r8, r0       ; start
+        movi r1, 1
+        sys 2
+        mov r9, r0       ; n
+        movi r4, 16
+        cmp r9, r4
+        blt sized
+        mov r9, r4       ; n > 16: clamp
+sized:
+        movi r10, 0      ; sum
+        movi r11, 0      ; i
+loop:
+        cmp r11, r9
+        bge done
+        movi r1, 3       ; table = resource
+        add r2, r8, r11
+        movi r3, 1       ; field = status
+        sys 3
+        cmpi r15, 1
+        bne next         ; read failed: skip
+        cmpi r0, 1
+        bne next         ; not busy: skip
+        movi r1, 3
+        add r2, r8, r11
+        movi r3, 2       ; field = quality
+        sys 3
+        add r10, r10, r0
+next:
+        addi r11, r11, 1
+        jmp loop
+done:
+        mov r1, r10
+        sys 8            ; EMIT sum
+        halt
+`
+
+// SrcCallSetup allocates a process/connection/resource triple, links the
+// semantic loop (process.conn_id -> connection.channel_id -> resource.proc_id),
+// rebanks the resource, then stages the teardown so a committed run leaves
+// the region clean. args: [group, caller]. group must be a valid resource
+// bank (0..3). Emits [caller, proc, conn, res] on success, [65535] when an
+// allocation fails.
+const SrcCallSetup = `
+; call_setup(group, caller): full call lifecycle in one procedure.
+        movi r1, 0
+        sys 2
+        mov r8, r0       ; group
+        movi r1, 1
+        sys 2
+        mov r9, r0       ; caller
+        movi r1, 1       ; table = process
+        mov r2, r8
+        sys 5            ; ALLOC process
+        mov r10, r0
+        movi r4, 65535
+        cmp r10, r4
+        beq nospace
+        movi r1, 2       ; table = connection
+        mov r2, r8
+        sys 5            ; ALLOC connection
+        mov r11, r0
+        cmp r11, r4
+        beq freeproc
+        movi r1, 3       ; table = resource
+        mov r2, r8
+        sys 5            ; ALLOC resource (group checked: 0..3)
+        mov r12, r0
+        cmp r12, r4
+        beq freeconn
+        movi r1, 1       ; process.conn_id = conn
+        mov r2, r10
+        movi r3, 0
+        mov r4, r11
+        sys 4
+        movi r1, 2       ; connection.channel_id = res
+        mov r2, r11
+        movi r3, 0
+        mov r4, r12
+        sys 4
+        movi r1, 2       ; connection.caller_id = caller
+        mov r2, r11
+        movi r3, 1
+        mov r4, r9
+        sys 4
+        movi r1, 3       ; resource.proc_id = proc (closes the loop)
+        mov r2, r12
+        movi r3, 0
+        mov r4, r10
+        sys 4
+        movi r1, 2       ; read the caller id back through the write set
+        mov r2, r11
+        movi r3, 1
+        sys 3
+        mov r1, r0
+        sys 8            ; EMIT caller
+        mov r1, r10
+        sys 8            ; EMIT proc
+        mov r1, r11
+        sys 8            ; EMIT conn
+        mov r1, r12
+        sys 8            ; EMIT res
+        addi r5, r8, 1   ; rebank the resource into (group+1) & 3
+        movi r6, 3
+        and r5, r5, r6
+        movi r1, 3
+        mov r2, r12
+        mov r3, r5
+        sys 7            ; MOVE resource
+        movi r1, 3       ; teardown, staged in program order
+        mov r2, r12
+        sys 6            ; FREE resource
+        movi r1, 2
+        mov r2, r11
+        sys 6            ; FREE connection
+        movi r1, 1
+        mov r2, r10
+        sys 6            ; FREE process
+        halt
+freeconn:
+        movi r1, 2
+        mov r2, r11
+        sys 6
+freeproc:
+        movi r1, 1
+        mov r2, r10
+        sys 6
+nospace:
+        movi r1, 65535
+        sys 8            ; EMIT the failure sentinel
+        halt
+`

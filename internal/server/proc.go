@@ -1,0 +1,271 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/inject"
+	"repro/internal/memdb"
+	"repro/internal/metrics"
+	"repro/internal/proc"
+	"repro/internal/trace"
+	"repro/internal/wal"
+	"repro/internal/wire"
+)
+
+// This file is the serving-plane face of the procedure subsystem: the PROC
+// wire handlers, the control-flow finding that rides the audit escalation
+// ladder, the operation-log translation for procedure mutations, and the
+// executor-clock text injector. Everything here runs on the executor
+// thread.
+
+// procTelemetry is the procedure metric set: outcome counters, injection
+// shots, a registered-count gauge, and one latency histogram per procedure
+// (created lazily on first execution).
+type procTelemetry struct {
+	reg        *metrics.Registry
+	execs      *metrics.Counter
+	violations *metrics.Counter
+	faults     *metrics.Counter
+	reloads    *metrics.Counter
+	shots      *metrics.Counter
+	registered *metrics.Gauge
+	latency    map[string]*metrics.Histogram
+}
+
+func newProcTelemetry(reg *metrics.Registry) *procTelemetry {
+	return &procTelemetry{
+		reg:        reg,
+		execs:      reg.Counter("proc.execs"),
+		violations: reg.Counter("proc.violations"),
+		faults:     reg.Counter("proc.faults"),
+		reloads:    reg.Counter("proc.reloads"),
+		shots:      reg.Counter("proc.shots"),
+		registered: reg.Gauge("proc.registered"),
+		latency:    make(map[string]*metrics.Histogram),
+	}
+}
+
+// histFor returns the per-procedure execution-latency histogram.
+func (t *procTelemetry) histFor(name string) *metrics.Histogram {
+	h, ok := t.latency[name]
+	if !ok {
+		h = t.reg.Histogram("proc.exec."+name, nil)
+		t.latency[name] = h
+	}
+	return h
+}
+
+// handleProcExec runs a registered procedure for one PROC request. A PECOS
+// violation here is the live-load detection the subsystem exists for: the
+// abort surfaces to the client, the damage becomes a control-flow finding
+// joined to this request's trace ID, and the registry reloads the pristine
+// text so the next invocation runs clean.
+func (s *Server) handleProcExec(sess *memdb.Client, q wire.Request, tid uint64) wire.Response {
+	p := s.procs.Get(q.Detail)
+	if p == nil {
+		return wire.ErrorResponse(q.Seq, fmt.Errorf("%s: %w", q.Detail, wire.ErrUnknownProc))
+	}
+	t0 := time.Now()
+	res := s.procEng.Exec(p, sess, q.Vals, tid)
+	if s.procTel != nil {
+		s.procTel.execs.Inc()
+		s.procTel.histFor(p.Name).ObserveSince(t0)
+	}
+	if len(res.Applied) > 0 {
+		s.logProcMutations(res.Applied, tid)
+	}
+	switch res.Status {
+	case proc.StatusOK:
+		return ok(res.Out...)
+	case proc.StatusViolation:
+		if s.procTel != nil {
+			s.procTel.violations.Inc()
+		}
+		s.noteProcDamage(p, tid,
+			fmt.Sprintf("proc %s: assert pc=%d target=%d", p.Name, res.AssertPC, res.Target))
+		return wire.ErrorResponse(q.Seq,
+			fmt.Errorf("%s: %s: %w", p.Name, res.Reason, wire.ErrProcViolation))
+	case proc.StatusCommitFail:
+		// Lock contention with nothing applied (and clean text) is not a
+		// fault: the table lock is advisory and non-blocking, so the
+		// procedure answers the same retryable ErrLocked a direct write
+		// against the table would.
+		if len(res.Applied) == 0 && errors.Is(res.Err, memdb.ErrLocked) && !p.Damaged() {
+			return wire.ErrorResponse(q.Seq, fmt.Errorf("%s: %w", p.Name, res.Err))
+		}
+		if s.procTel != nil {
+			s.procTel.faults.Inc()
+		}
+		if p.Damaged() {
+			s.noteProcDamage(p, tid,
+				fmt.Sprintf("proc %s: commit: %v (text damaged)", p.Name, res.Err))
+		}
+		return wire.ErrorResponse(q.Seq,
+			fmt.Errorf("%s: commit: %v: %w", p.Name, res.Err, wire.ErrProcFault))
+	default: // StatusFault
+		if s.procTel != nil {
+			s.procTel.faults.Inc()
+		}
+		// A fault in a procedure whose live text differs from the pristine
+		// image is detected text damage even when no PECOS assertion fired
+		// (a flip can land on an opcode and trap before reaching a check):
+		// it rides the same finding/reload ladder so the registry keeps
+		// serving.
+		if p.Damaged() {
+			s.noteProcDamage(p, tid,
+				fmt.Sprintf("proc %s: %s (text damaged)", p.Name, res.Reason))
+		}
+		return wire.ErrorResponse(q.Seq,
+			fmt.Errorf("%s: %s: %w", p.Name, res.Reason, wire.ErrProcFault))
+	}
+}
+
+// noteProcDamage turns detected procedure-text damage (a PECOS violation,
+// or a fault/commit failure with the live text differing from pristine)
+// into a control-flow finding on the audit escalation ladder and performs
+// its recovery action: reload the procedure's live text from the pristine
+// instrumented image. procTID is set around noteFinding so resolveShot
+// joins the finding (and its recovery event) to the PROC request whose
+// execution tripped the detection.
+func (s *Server) noteProcDamage(p *proc.Procedure, tid uint64, detail string) {
+	f := audit.Finding{
+		Class: audit.ClassControlFlow, Action: audit.ActionReloadText,
+		Table: -1, Record: -1, Field: -1, Offset: -1,
+		Detail: detail,
+	}
+	s.procTID = tid
+	s.noteFinding(f)
+	s.procTID = 0
+	s.procs.Reload(p.Name)
+	if s.procTel != nil {
+		s.procTel.reloads.Inc()
+	}
+	if s.procRing != nil {
+		s.procRing.Emit(trace.Event{
+			Kind: trace.KindProcLoad, Trace: tid, Op: "reload",
+			Detail: p.Name, Code: int64(p.Version),
+		})
+	}
+}
+
+// handleProcLoad registers (or replaces) a procedure from wire-supplied
+// source: Detail is name + "\n" + source. Session-less, like the other
+// control-plane ops.
+func (s *Server) handleProcLoad(q wire.Request) wire.Response {
+	name, source, found := strings.Cut(q.Detail, "\n")
+	if !found || source == "" {
+		return wire.ErrorResponse(q.Seq,
+			fmt.Errorf("%w: ProcLoad detail must be name + newline + source", wire.ErrBadFrame))
+	}
+	p, err := s.procs.Load(name, source)
+	if err != nil {
+		return wire.ErrorResponse(q.Seq, err)
+	}
+	if s.procRing != nil {
+		s.procRing.Emit(trace.Event{
+			Kind: trace.KindProcLoad, Op: "load",
+			Detail: p.Name, Code: int64(p.Version), Arg: int64(p.Words()),
+		})
+	}
+	return ok(uint32(p.Words()), uint32(p.Blocks()), uint32(p.Version))
+}
+
+// handleProcList serves the registry inventory as a JSON document.
+func (s *Server) handleProcList(q wire.Request) wire.Response {
+	data, err := proc.EncodeInfos(s.procs.Infos())
+	if err != nil {
+		return wire.ErrorResponse(q.Seq, err)
+	}
+	return wire.Response{Detail: string(data)}
+}
+
+// logProcMutations appends a committed procedure's mutations to the
+// operation log so procedure effects replicate and replay like any other
+// write. The PROC request itself is not logged (walRecordFor returns nil
+// for it): replaying the program could diverge — only its applied effects
+// are deterministic.
+func (s *Server) logProcMutations(applied []proc.Mutation, tid uint64) {
+	if s.walLog == nil || s.standby.Load() {
+		return
+	}
+	for _, m := range applied {
+		var rec wal.Record
+		switch m.Kind {
+		case proc.MutWriteFld:
+			rec = wal.Record{Op: wal.OpWriteFld, Table: int32(m.Table), Rec: int32(m.Rec),
+				Field: int32(m.Field), Vals: []uint32{m.Val}}
+		case proc.MutAlloc:
+			rec = wal.Record{Op: wal.OpAlloc, Table: int32(m.Table), Rec: int32(m.Rec),
+				Aux: int32(m.Group)}
+		case proc.MutFree:
+			rec = wal.Record{Op: wal.OpFree, Table: int32(m.Table), Rec: int32(m.Rec)}
+		case proc.MutMove:
+			rec = wal.Record{Op: wal.OpMove, Table: int32(m.Table), Rec: int32(m.Rec),
+				Aux: int32(m.Group)}
+		default:
+			continue
+		}
+		rec.Trace = tid
+		if _, err := s.walLog.Append(rec); err != nil && s.replRing != nil {
+			s.replRing.Emit(trace.Event{Kind: trace.KindWALRecover,
+				Op: "append-error", Detail: err.Error()})
+		}
+	}
+}
+
+// procInjectOnce is the procedure text injector (Config.ProcInjectPeriod):
+// flip one bit in a random registered procedure's control words while real
+// connections invoke it. Executor thread only (env ticker).
+func (s *Server) procInjectOnce() {
+	if s.procFlip == nil || s.procs.Len() == 0 {
+		return
+	}
+	names := s.procs.Names()
+	name := names[s.procRNG.Intn(len(names))]
+	p := s.procs.Get(name)
+	addr, mask, flipped := s.procFlip.Flip(p.Text(), p.ControlWords())
+	if !flipped {
+		return
+	}
+	s.journalProcShot(p.Name, addr, mask)
+}
+
+// procInjectAt flips one bit of one registered procedure's live text — the
+// deterministic variant for targeted tests. Executor thread only.
+func (s *Server) procInjectAt(name string, addr uint32, bit uint) bool {
+	p := s.procs.Get(name)
+	if p == nil {
+		return false
+	}
+	flip := s.procFlip
+	if flip == nil {
+		flip = &inject.TextFlipper{}
+	}
+	mask, flipped := flip.FlipAt(p.Text(), addr, bit)
+	if !flipped {
+		return false
+	}
+	s.journalProcShot(name, addr, mask)
+	return true
+}
+
+// journalProcShot records one text-segment shot on the inject ring. The
+// shot deliberately does NOT join s.shots: those offsets are region byte
+// offsets matched by Finding.Covers, and a VM text address would falsely
+// join database findings.
+func (s *Server) journalProcShot(name string, addr, mask uint32) {
+	if s.procTel != nil {
+		s.procTel.shots.Inc()
+	}
+	if s.rec == nil || s.injRing == nil {
+		return
+	}
+	s.injRing.Emit(trace.Event{
+		Kind: trace.KindShot, Trace: s.rec.NextTrace(), Op: "textflip",
+		Detail: name, Arg: int64(addr), Code: int64(mask),
+	})
+}

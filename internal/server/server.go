@@ -39,10 +39,12 @@ import (
 	"time"
 
 	"repro/internal/audit"
+	"repro/internal/inject"
 	"repro/internal/ipc"
 	"repro/internal/manager"
 	"repro/internal/memdb"
 	"repro/internal/metrics"
+	"repro/internal/proc"
 	"repro/internal/replica"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -149,6 +151,14 @@ type Config struct {
 	InjectPeriod time.Duration
 	// InjectSeed seeds the injector RNG.
 	InjectSeed int64
+	// ProcInjectPeriod, when positive, arms a procedure text injector on
+	// the executor clock: each period flips one bit in a random registered
+	// procedure's live text segment (targeting its control words), so PROC
+	// traffic exercises the PECOS detection → finding → reload loop under
+	// live load. For tests and demos only.
+	ProcInjectPeriod time.Duration
+	// ProcInjectSeed seeds the procedure text injector RNG.
+	ProcInjectSeed int64
 }
 
 func (c *Config) applyDefaults() {
@@ -291,6 +301,20 @@ type Server struct {
 	injRNG *sim.RNG
 	shots  []shot
 
+	// Procedure subsystem (executor thread only): the registry of
+	// PECOS-instrumented programs, the engine that runs them against the
+	// live region, and the text injector that corrupts them. procTID
+	// carries the current PROC request's trace ID across noteFinding so
+	// resolveShot can join a control-flow finding to the request that
+	// detected it.
+	procs    *proc.Registry
+	procEng  *proc.Engine
+	procRing *trace.Ring
+	procFlip *inject.TextFlipper
+	procRNG  *sim.RNG
+	procTel  *procTelemetry
+	procTID  uint64
+
 	// Audit-process elements of the most recent buildAuditProcess run,
 	// retained so refreshExecutorMetrics can publish their counters.
 	// Executor-thread only.
@@ -407,6 +431,7 @@ func New(db *memdb.DB, cfg Config) (*Server, error) {
 		}
 		s.auditTel = audit.NewTelemetry(reg)
 		s.tel = newTelemetry(reg)
+		s.procTel = newProcTelemetry(reg)
 	}
 
 	if !cfg.DisableTrace {
@@ -418,12 +443,29 @@ func New(db *memdb.DB, cfg Config) (*Server, error) {
 		s.srvRing = r.Ring("server", cfg.TraceRingSize)
 		s.auditTracer = audit.NewTracer(r, cfg.TraceRingSize)
 		s.auditTracer.Resolve = s.resolveShot
-		if cfg.InjectPeriod > 0 {
+		if cfg.InjectPeriod > 0 || cfg.ProcInjectPeriod > 0 {
 			s.injRing = r.Ring("inject", cfg.TraceRingSize)
 		}
+		s.procRing = r.Ring("proc", cfg.TraceRingSize)
 	}
 	if cfg.InjectPeriod > 0 {
 		s.injRNG = sim.NewRNG(cfg.InjectSeed)
+	}
+
+	// Procedure subsystem: registry preloaded with the built-in library so
+	// PROC traffic works against a fresh server, engine wired to the proc
+	// ring so violation events join request trace IDs.
+	s.procs = proc.NewRegistry()
+	for _, b := range proc.Library() {
+		if _, err := s.procs.Load(b.Name, b.Source); err != nil {
+			return nil, fmt.Errorf("server: builtin procedure %s: %w", b.Name, err)
+		}
+	}
+	s.procEng = proc.NewEngine()
+	s.procEng.Ring = s.procRing
+	if cfg.ProcInjectPeriod > 0 {
+		s.procRNG = sim.NewRNG(cfg.ProcInjectSeed)
+		s.procFlip = inject.NewTextFlipper(s.procRNG)
 	}
 
 	// Durability & failover wiring. The shipper exists whenever there is a
@@ -536,6 +578,11 @@ func (s *Server) noteFinding(f audit.Finding) {
 // produced by executor-run checks, and shots only by the executor's
 // injector ticker.
 func (s *Server) resolveShot(f audit.Finding) uint64 {
+	if f.Class == audit.ClassControlFlow {
+		// Control-flow findings carry no region offset: they join the
+		// PROC request whose execution tripped the assertion.
+		return s.procTID
+	}
 	for i := len(s.shots) - 1; i >= 0; i-- {
 		if f.Covers(s.shots[i].off) {
 			return s.shots[i].id
@@ -692,6 +739,9 @@ func (s *Server) refreshExecutorMetrics() {
 	}
 	if s.periodic != nil {
 		s.tel.perSweeps.Set(int64(s.periodic.Sweeps()))
+	}
+	if s.procTel != nil && s.procs != nil {
+		s.procTel.registered.Set(int64(s.procs.Len()))
 	}
 }
 
@@ -863,6 +913,13 @@ func (s *Server) executor() {
 			s.injRNG = nil
 		}
 	}
+	if s.cfg.ProcInjectPeriod > 0 && s.procFlip != nil {
+		// Same discipline for the text injector: flips land between
+		// procedure executions, never mid-run.
+		if _, err := s.env.NewTicker(s.cfg.ProcInjectPeriod, s.procInjectOnce); err != nil {
+			s.procFlip = nil
+		}
+	}
 	if s.applier != nil {
 		// Replication rides the executor clock too: the applier is the
 		// standby region's single writer, interleaved with audits.
@@ -1022,7 +1079,7 @@ func (s *Server) execute(t task) {
 	if t.tid != 0 {
 		s.srvRing.Emit(trace.Event{Kind: trace.KindReqExecute, Trace: t.tid, Op: t.req.Op.String()})
 	}
-	resp := s.handle(t.c, t.req)
+	resp := s.handle(t.c, t.req, t.tid)
 	resp.Seq = t.req.Seq
 	s.logMutation(t.req, resp, t.tid)
 	op := t.req.Op
@@ -1041,7 +1098,7 @@ func (s *Server) execute(t task) {
 func ok(vals ...uint32) wire.Response { return wire.Response{Vals: vals} }
 
 // handle dispatches one request against the session's DB client.
-func (s *Server) handle(c *conn, q wire.Request) wire.Response {
+func (s *Server) handle(c *conn, q wire.Request, tid uint64) wire.Response {
 	// A standby answers only the control/replication plane; everything
 	// else is refused with CodeStandby so clients re-resolve to the
 	// primary.
@@ -1064,6 +1121,10 @@ func (s *Server) handle(c *conn, q wire.Request) wire.Response {
 		return s.handleReplSnap(c, q)
 	case wire.OpReplFetch:
 		return s.handleReplFetch(q)
+	case wire.OpProcLoad:
+		return s.handleProcLoad(q)
+	case wire.OpProcList:
+		return s.handleProcList(q)
 	case wire.OpSweep:
 		return ok(uint32(s.runSweep()))
 	case wire.OpStats:
@@ -1183,6 +1244,8 @@ func (s *Server) handle(c *conn, q wire.Request) wire.Response {
 			return wire.ErrorResponse(q.Seq, err)
 		}
 		return ok(uint32(st))
+	case wire.OpProcExec:
+		return s.handleProcExec(sess, q, tid)
 	default:
 		return wire.ErrorResponse(q.Seq, wire.ErrUnknownOp)
 	}

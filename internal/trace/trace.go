@@ -108,6 +108,9 @@ const (
 	// one wakeup (Arg = batch size); the per-request KindReqExecute events
 	// inside the span carry the individual trace IDs.
 	KindBatchExec
+	// KindProcLoad: the procedure registry loaded or reloaded a program
+	// (Op "load"/"reload", Detail = procedure name, Code = version).
+	KindProcLoad
 	kindMax
 )
 
@@ -143,6 +146,7 @@ var kindNames = [...]string{
 	KindWALCheckpoint: "wal-checkpoint",
 	KindFastRead:      "fast-read",
 	KindBatchExec:     "batch-exec",
+	KindProcLoad:      "proc-load",
 }
 
 // Kinds lists every defined event kind, in declaration order.

@@ -325,3 +325,38 @@ func (c *Conn) Stats() ([]uint32, error) {
 	}
 	return r.Vals, nil
 }
+
+// ProcExec runs the named server-side procedure with args and returns the
+// values it emitted. A PECOS abort surfaces as ErrProcViolation; crashes,
+// hangs, and commit rejections as ErrProcFault.
+func (c *Conn) ProcExec(name string, args []uint32) ([]uint32, error) {
+	r, err := c.call(Request{Op: OpProcExec, Detail: name, Vals: args})
+	if err != nil {
+		return nil, err
+	}
+	return r.Vals, nil
+}
+
+// ProcLoad registers source under name (assembled and PECOS-instrumented
+// server-side) and returns the instrumented size, assertion-block count, and
+// registry version.
+func (c *Conn) ProcLoad(name, source string) (words, blocks, version int, err error) {
+	r, err := c.call(Request{Op: OpProcLoad, Detail: name + "\n" + source})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if len(r.Vals) != 3 {
+		return 0, 0, 0, fmt.Errorf("%w: ProcLoad reply carries %d values", ErrBadFrame, len(r.Vals))
+	}
+	return int(r.Vals[0]), int(r.Vals[1]), int(r.Vals[2]), nil
+}
+
+// ProcList fetches the procedure registry inventory as a JSON document
+// (decode with proc.DecodeInfos).
+func (c *Conn) ProcList() ([]byte, error) {
+	r, err := c.call(Request{Op: OpProcList})
+	if err != nil {
+		return nil, err
+	}
+	return []byte(r.Detail), nil
+}

@@ -19,6 +19,9 @@ func FuzzCodec(f *testing.F) {
 	f.Add(AppendRequest(nil, Request{Seq: 1, Op: OpWriteRec, Table: 1, Vals: []uint32{1, 2, 3}}))
 	f.Add(AppendResponse(nil, Response{Seq: 7, Vals: []uint32{42}}))
 	f.Add(AppendResponse(nil, Response{Seq: 9, Code: CodeBounds, Index: 5, Limit: 4, Detail: "record"}))
+	f.Add(AppendRequest(nil, Request{Seq: 11, Op: OpProcExec, Detail: "res_touch", Vals: []uint32{3, 77}}))
+	f.Add(AppendRequest(nil, Request{Seq: 12, Op: OpProcLoad, Detail: "p\nmovi r1, 1\nhalt\n"}))
+	f.Add(AppendResponse(nil, Response{Seq: 11, Code: CodeProcViolation, Detail: "res_touch: control-flow violation"}))
 	f.Add([]byte{})
 	f.Add([]byte{1, 2, 3})
 	f.Add(bytes.Repeat([]byte{0xFF}, reqFixed))

@@ -64,6 +64,9 @@ const (
 	OpReplSnap    // bootstrap snapshot chunk; Record is the byte offset, response Vals [total, seq-lo, seq-hi], Detail = chunk
 	OpReplPromote // force a standby to take over as primary
 	OpReplFetch   // mirror read for audit repair: returns [status, fields...] of (Table, Record)
+	OpProcExec    // run a registered procedure: Detail = name, Vals = args; returns the emitted values
+	OpProcLoad    // register a procedure: Detail = name + "\n" + source; returns [words, blocks, version]
+	OpProcList    // procedure registry introspection; response Detail carries the JSON inventory
 	opMax
 )
 
@@ -117,6 +120,12 @@ func (o Op) String() string {
 		return "ReplPromote"
 	case OpReplFetch:
 		return "ReplFetch"
+	case OpProcExec:
+		return "ProcExec"
+	case OpProcLoad:
+		return "ProcLoad"
+	case OpProcList:
+		return "ProcList"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -150,6 +159,9 @@ const (
 	CodeNotPrimary     // replication op requires a WAL-backed primary
 	CodeNotStandby     // promotion requires a standby
 	CodeReplGap        // requested log position evicted; re-bootstrap from snapshot
+	CodeUnknownProc    // PROC op named an unregistered procedure
+	CodeProcViolation  // procedure aborted by a PECOS control-flow check
+	CodeProcFault      // procedure crashed, hung, or failed to commit
 )
 
 // Serving-plane sentinel errors decoded from response codes.
@@ -165,6 +177,9 @@ var (
 	ErrNotPrimary    = errors.New("wire: not a WAL-backed primary")
 	ErrNotStandby    = errors.New("wire: not a standby")
 	ErrReplGap       = errors.New("wire: replication gap, snapshot bootstrap required")
+	ErrUnknownProc   = errors.New("wire: unknown procedure")
+	ErrProcViolation = errors.New("wire: procedure aborted by PECOS control-flow check")
+	ErrProcFault     = errors.New("wire: procedure faulted")
 )
 
 // Request is one client→server call.
@@ -175,7 +190,7 @@ type Request struct {
 	Record int32
 	Field  int32
 	Aux    int32  // group for DBmove/DBalloc; operation-specific otherwise
-	Detail string // replication-plane side data (standby address); empty for API ops
+	Detail string // side data: standby address (replication), procedure name/source (PROC ops)
 	Vals   []uint32
 }
 
@@ -387,6 +402,15 @@ func ErrorResponse(seq uint32, err error) Response {
 		r.Code = CodeNotStandby
 	case errors.Is(err, ErrReplGap):
 		r.Code = CodeReplGap
+	case errors.Is(err, ErrUnknownProc):
+		r.Code = CodeUnknownProc
+		r.Detail = err.Error()
+	case errors.Is(err, ErrProcViolation):
+		r.Code = CodeProcViolation
+		r.Detail = err.Error()
+	case errors.Is(err, ErrProcFault):
+		r.Code = CodeProcFault
+		r.Detail = err.Error()
 	case errors.Is(err, ErrBadFrame):
 		r.Code = CodeBadFrame
 		r.Detail = err.Error()
@@ -438,6 +462,12 @@ func (r Response) Err() error {
 		return ErrNotStandby
 	case CodeReplGap:
 		return ErrReplGap
+	case CodeUnknownProc:
+		return fmt.Errorf("%s: %w", r.Detail, ErrUnknownProc)
+	case CodeProcViolation:
+		return fmt.Errorf("%s: %w", r.Detail, ErrProcViolation)
+	case CodeProcFault:
+		return fmt.Errorf("%s: %w", r.Detail, ErrProcFault)
 	default:
 		return fmt.Errorf("wire: server error (code %d): %s", r.Code, r.Detail)
 	}

@@ -1,0 +1,84 @@
+#!/bin/sh
+# proc_smoke.sh — end-to-end smoke for the server-side procedure subsystem,
+# built with the race detector: boot a dbserve whose text injector flips
+# bits in the registered procedures' control words while dbload routes a
+# slice of its closed-loop workload through PROC calls. The run must finish
+# with zero golden-copy mismatches, a clean final audit sweep, and at least
+# one PECOS detection joined to the request path in the fetched journal
+# (the `pecos: total=N joined=M` line with M >= 1). Golden-copy mismatches
+# are tolerated: a flip can produce a silently wrong-but-legal execution
+# PECOS cannot see — the client-side verification and the audit sweeps are
+# the layers that catch those, and the certifying sweep must end clean.
+#
+# Run via `make proc-smoke`. No external tools beyond the go toolchain and
+# POSIX sh: readiness is probed with a 1-op dbload retry loop, not nc.
+set -eu
+
+GO=${GO:-go}
+DIR=$(mktemp -d)
+SERVER_PID=
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$DIR"
+}
+trap cleanup EXIT INT TERM
+
+ADDR=127.0.0.1:7441
+
+$GO build -race -o "$DIR/dbserve" ./cmd/dbserve
+$GO build -race -o "$DIR/dbload" ./cmd/dbload
+
+# A short audit period so the certifying sweep machinery runs during the
+# load, and a tight injection period so several flips land mid-run.
+"$DIR/dbserve" -addr "$ADDR" -audit-period 200ms \
+    -proc-inject-period 20ms -proc-inject-seed 3 >"$DIR/server.out" 2>&1 &
+SERVER_PID=$!
+
+ready=0
+i=0
+while [ "$i" -lt 100 ]; do
+    if "$DIR/dbload" -addr "$ADDR" -conns 1 -ops 1 >/dev/null 2>&1; then
+        ready=1
+        break
+    fi
+    i=$((i + 1))
+    sleep 0.1
+done
+if [ "$ready" != 1 ]; then
+    echo "proc-smoke: server never came up" >&2
+    cat "$DIR/server.out" >&2
+    exit 1
+fi
+
+# -expect-findings: detected procedure aborts raise control-flow findings
+# by design; the invariants asserted below are the joined detections and
+# the clean final sweep, not a findings-free run. The race-built binaries
+# are slow enough that 8000 ops comfortably straddle many injection ticks.
+if ! "$DIR/dbload" -addr "$ADDR" -conns 4 -ops 8000 -proc-pct 40 \
+    -expect-findings -trace "$DIR/journal.json" >"$DIR/load.out" 2>&1; then
+    echo "proc-smoke: load run failed" >&2
+    cat "$DIR/load.out" >&2
+    echo "--- server log ---" >&2
+    cat "$DIR/server.out" >&2
+    exit 1
+fi
+cat "$DIR/load.out"
+
+if ! grep -q 'procedures: [0-9]* calls' "$DIR/load.out"; then
+    echo "proc-smoke: no procedure traffic recorded" >&2
+    exit 1
+fi
+if ! grep -Eq 'pecos: total=[0-9]+ joined=[1-9][0-9]*' "$DIR/load.out"; then
+    echo "proc-smoke: no PECOS detection joined to the request path — raise -ops or tighten -proc-inject-period" >&2
+    exit 1
+fi
+if ! grep -q 'final sweep: 0 findings' "$DIR/load.out"; then
+    echo "proc-smoke: final sweep found corruption the detections missed" >&2
+    exit 1
+fi
+if grep -q 'DATA RACE' "$DIR/server.out"; then
+    echo "proc-smoke: race detector fired in the server" >&2
+    cat "$DIR/server.out" >&2
+    exit 1
+fi
+echo "proc-smoke: OK (detections joined, registry recovered, sweep clean)"
