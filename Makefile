@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test check cover fuzz-smoke trace-smoke failover-smoke proc-smoke bench bench-smoke clean
+.PHONY: all build vet test check cover fuzz-smoke trace-smoke failover-smoke proc-smoke scenario-smoke bench bench-smoke clean
 
 all: check
 
@@ -49,6 +49,15 @@ failover-smoke:
 # recovery, and a clean certifying sweep.
 proc-smoke:
 	sh scripts/proc_smoke.sh
+
+# Scenario-engine smoke over real processes: compressed steady-calls and
+# fault-storm runs against a race-built server. steady-calls must end
+# mismatch-free with a clean sweep; fault-storm arms the injector mid-run
+# via INJECT_CTL and must join every shot to a finding (unjoined=0). JSON
+# report artifacts land in SCENARIO_REPORT_DIR, and per-phase ops/s are
+# diffed against scripts/scenario_baseline.txt.
+scenario-smoke:
+	sh scripts/scenario_smoke.sh
 
 bench:
 	$(GO) test -bench . -benchtime 0.5s -run '^$$' .

@@ -10,6 +10,18 @@
 //	dbload -addr 127.0.0.1:7420 -conns 4 -ops 10000
 //	dbload -addr 127.0.0.1:7420,127.0.0.1:7421 -ops 10000   # failover-aware
 //	dbload -addr 127.0.0.1:7420 -watch 1s            # live telemetry feed
+//	dbload -addr 127.0.0.1:7420 -scenario fault-storm -seed 7 \
+//	    -scenario-scale 0.1 -scenario-report storm.json
+//
+// With -scenario, dbload replays a named traffic scenario from
+// internal/scenario instead of the closed-loop workload: profile/timeline-
+// driven load (steady, diurnal, flash-crowd shapes; Zipf-skewed keys;
+// churn; PROC calls) whose op sequence is fully determined by -seed, with
+// a per-run JSON report (-scenario-report) covering achieved throughput,
+// per-op latency percentiles, server-side findings and recoveries, and —
+// for fault-storm timelines — the shot-to-finding detection-latency join.
+// `-scenario list` prints the registered names. -scenario-scale compresses
+// the timeline for smokes; the shape (and op mix per seed) is preserved.
 //
 // -addr accepts a comma-separated address list. With more than one address
 // dbload is failover-aware: it resolves the current primary via REPL_STATUS
@@ -55,6 +67,7 @@ import (
 	"repro/internal/callproc"
 	"repro/internal/memdb"
 	"repro/internal/metrics"
+	"repro/internal/scenario"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -85,15 +98,34 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	tracePath := fs.String("trace", "", "after the run, fetch the server's flight-recorder journal and write it as JSON to this file (\"-\" = stdout)")
 	expectFindings := fs.Bool("expect-findings", false, "tolerate golden-copy mismatches and audit findings (for servers running with fault injection)")
 	procPct := fs.Int("proc-pct", 0, "percentage 0-100 of operations routed through server-side procedures (PROC op)")
+	scenarioName := fs.String("scenario", "", "run a named traffic scenario instead of the closed-loop workload (see -scenario list)")
+	seed := fs.Int64("seed", 1, "scenario mode: RNG seed; a fixed seed reproduces the exact op sequence")
+	scenarioScale := fs.Float64("scenario-scale", 1, "scenario mode: time-compression factor (0.05 replays the shape in 5% of the time)")
+	scenarioReport := fs.String("scenario-report", "", "scenario mode: write the JSON report artifact to this file")
+	scenarioConns := fs.Int("scenario-conns", 0, "scenario mode: override the scenario's worker count (0 = scenario default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *procPct < 0 || *procPct > 100 {
 		return errors.New("-proc-pct must be 0-100")
 	}
+	if *readPct != -1 && (*readPct < 0 || *readPct > 100) {
+		return errors.New("-read-pct must be -1 (unset) or 0-100")
+	}
 	addrs := splitAddrs(*addr)
 	if len(addrs) == 0 {
 		return errors.New("-addr must name at least one address")
+	}
+	if *scenarioName != "" {
+		// Scenario mode replaces the closed-loop generator wholesale; the
+		// knobs that shape that generator have no meaning here.
+		if *watch > 0 {
+			return errors.New("-scenario and -watch are mutually exclusive: a scenario run samples the server itself")
+		}
+		if *pipeline != 1 || *readPct != -1 {
+			return errors.New("-scenario drives its own workload; -pipeline and -read-pct apply only to the closed-loop generator")
+		}
+		return scenarioRun(out, addrs, *scenarioName, *seed, *scenarioConns, *scenarioScale, *scenarioReport, *tracePath, stop)
 	}
 	if *watch > 0 {
 		return watchLoop(out, addrs, *watch, *watchN, stop)
@@ -101,8 +133,8 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	if *conns <= 0 || *ops <= 0 {
 		return errors.New("-conns and -ops must be positive")
 	}
-	if *pipeline < 1 || *readPct > 100 {
-		return errors.New("-pipeline must be >= 1 and -read-pct <= 100")
+	if *pipeline < 1 {
+		return errors.New("-pipeline must be >= 1")
 	}
 
 	runErr := loadRun(out, addrs, *conns, *ops, *pipeline, *readPct, *procPct, *expectFindings)
@@ -116,6 +148,54 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 				fmt.Fprintf(out, "dbload: trace dump failed: %v\n", derr)
 			}
 		}
+	}
+	return runErr
+}
+
+// scenarioRun drives one named scenario and writes its artifacts: the
+// plan summary and throughput lines to out, the full JSON report to
+// reportPath, and (like the closed-loop mode) the flight-recorder journal
+// to tracePath. The report is written even when the run failed — a failed
+// acceptance is exactly the run worth inspecting.
+func scenarioRun(out io.Writer, addrs []string, name string, seed int64, conns int, scale float64, reportPath, tracePath string, stop <-chan struct{}) error {
+	if name == "list" {
+		for _, n := range scenario.Names() {
+			fmt.Fprintln(out, n)
+		}
+		return nil
+	}
+	sc, ok := scenario.Lookup(name)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (have: %s)", name, strings.Join(scenario.Names(), ", "))
+	}
+	rep, runErr := scenario.Run(sc, scenario.RunOptions{
+		Options: scenario.Options{Seed: seed, Conns: conns, Scale: scale},
+		Addrs:   addrs,
+		Out:     out,
+		Stop:    stop,
+	})
+	if rep != nil && reportPath != "" {
+		if werr := rep.WriteFile(reportPath); werr != nil {
+			if runErr == nil {
+				runErr = werr
+			} else {
+				fmt.Fprintf(out, "dbload: scenario report write failed: %v\n", werr)
+			}
+		} else {
+			fmt.Fprintf(out, "scenario %s: report written to %s\n", name, reportPath)
+		}
+	}
+	if tracePath != "" {
+		if derr := dumpJournal(out, addrs, tracePath); derr != nil {
+			if runErr == nil {
+				runErr = derr
+			} else {
+				fmt.Fprintf(out, "dbload: trace dump failed: %v\n", derr)
+			}
+		}
+	}
+	if runErr == nil {
+		fmt.Fprintf(out, "scenario %s: PASS\n", name)
 	}
 	return runErr
 }

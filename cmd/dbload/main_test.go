@@ -142,11 +142,113 @@ func TestWatchModeStops(t *testing.T) {
 }
 
 func TestFlagValidation(t *testing.T) {
-	if err := run([]string{"-conns", "0"}, &bytes.Buffer{}, nil); err == nil {
-		t.Fatal("zero conns accepted")
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the expected error
+	}{
+		{"zero conns", []string{"-conns", "0"}, "-conns"},
+		{"negative ops", []string{"-ops", "-5"}, "-ops"},
+		{"zero pipeline", []string{"-pipeline", "0"}, "-pipeline"},
+		{"read-pct below unset", []string{"-read-pct", "-2"}, "-read-pct"},
+		{"read-pct above 100", []string{"-read-pct", "101"}, "-read-pct"},
+		{"proc-pct above 100", []string{"-proc-pct", "101"}, "-proc-pct"},
+		{"empty addr list", []string{"-addr", " , "}, "-addr"},
+		{"scenario with watch", []string{"-scenario", "steady-calls", "-watch", "1s"}, "-watch"},
+		{"scenario with pipeline", []string{"-scenario", "steady-calls", "-pipeline", "4"}, "-pipeline"},
+		{"scenario with read-pct", []string{"-scenario", "steady-calls", "-read-pct", "50"}, "-read-pct"},
+		{"unknown scenario", []string{"-scenario", "no-such"}, "unknown scenario"},
 	}
-	if err := run([]string{"-ops", "-5"}, &bytes.Buffer{}, nil); err == nil {
-		t.Fatal("negative ops accepted")
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := run(c.args, &bytes.Buffer{}, nil)
+			if err == nil {
+				t.Fatalf("run(%v) accepted", c.args)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("run(%v) = %q, want mention of %q", c.args, err, c.want)
+			}
+		})
+	}
+	// The boundary values stay valid: -1 means unset, 0 and 100 are in
+	// range (they still need a live server, so only the parse must pass —
+	// expect a dial error, not a validation error).
+	for _, v := range []string{"-1", "0", "100"} {
+		err := run([]string{"-addr", "127.0.0.1:1", "-read-pct", v, "-ops", "1", "-conns", "1"}, &bytes.Buffer{}, nil)
+		if err != nil && strings.Contains(err.Error(), "-read-pct") {
+			t.Errorf("read-pct %s rejected: %v", v, err)
+		}
+	}
+}
+
+func TestSplitAddrs(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"   ", nil},
+		{",", nil},
+		{" , ,, ", nil},
+		{"a:1", []string{"a:1"}},
+		{"a:1,b:2", []string{"a:1", "b:2"}},
+		{" a:1 , b:2 ", []string{"a:1", "b:2"}},
+		{"a:1,,b:2,", []string{"a:1", "b:2"}},
+	}
+	for _, c := range cases {
+		got := splitAddrs(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("splitAddrs(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("splitAddrs(%q) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+// TestScenarioList prints the registry without needing a server.
+func TestScenarioList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "list"}, &out, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"steady-calls", "flash-crowd", "fault-storm"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestScenarioRunEndToEnd drives a compressed named scenario through the
+// dbload entry point against the live stack: PASS on stdout, the JSON
+// report artifact on disk.
+func TestScenarioRunEndToEnd(t *testing.T) {
+	addr := startServer(t)
+	report := filepath.Join(t.TempDir(), "report.json")
+	var out bytes.Buffer
+	err := run([]string{"-addr", addr, "-scenario", "steady-calls", "-seed", "5",
+		"-scenario-scale", "0.05", "-scenario-report", report}, &out, nil)
+	if err != nil {
+		t.Fatalf("scenario run: %v\noutput:\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"ScenarioThroughput/steady-calls/main ", "scenario steady-calls: PASS"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q in:\n%s", want, s)
+		}
+	}
+	doc, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatalf("report artifact: %v", err)
+	}
+	for _, want := range []string{`"scenario": "steady-calls"`, `"seed": 5`, `"op_stats"`} {
+		if !strings.Contains(string(doc), want) {
+			t.Errorf("report missing %s", want)
+		}
 	}
 }
 

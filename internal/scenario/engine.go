@@ -1,0 +1,765 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/callproc"
+	"repro/internal/memdb"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// ErrStopped reports a run cut short by the caller's stop channel.
+var ErrStopped = errors.New("scenario: run stopped")
+
+// RunOptions parameterize a live run on top of the plan options.
+type RunOptions struct {
+	Options
+	Addrs []string
+	Out   io.Writer       // progress + ScenarioThroughput lines; nil = silent
+	Stop  <-chan struct{} // optional cancellation
+}
+
+// Run builds the plan for (scenario, seed) and replays it against the
+// server: workers pace their pre-drawn ops along the tick schedule, a
+// sampler polls STATS2 and tails the trace journal each tick, and phase
+// boundaries apply the timeline's injector changes via InjectCtl. The
+// returned report is non-nil whenever the run got far enough to measure,
+// even if it also returns an error (failed acceptance still wants the
+// artifact).
+func Run(sc *Scenario, opts RunOptions) (*Report, error) {
+	plan, err := Build(sc, opts.Options)
+	if err != nil {
+		return nil, err
+	}
+	out := opts.Out
+	if out == nil {
+		out = io.Discard
+	}
+	if len(opts.Addrs) == 0 {
+		return nil, errors.New("scenario: no server address")
+	}
+
+	ctl, err := dialPrimary(opts.Addrs)
+	if err != nil {
+		return nil, err
+	}
+	defer ctl.Close()
+
+	fmt.Fprintf(out, "scenario %s: seed=%d conns=%d slots=%d scale=%g ticks=%d target-ops=%d\n",
+		sc.Name, plan.Seed, plan.Conns, plan.Slots, plan.Scale, len(plan.Ticks), plan.Summary.TotalOps)
+
+	workers := make([]*runWorker, plan.Conns)
+	for i := range workers {
+		w := &runWorker{id: i, plan: plan, sc: sc, addrs: opts.Addrs}
+		if err := w.setup(); err != nil {
+			for _, p := range workers[:i] {
+				p.close()
+			}
+			return nil, fmt.Errorf("worker %d setup: %w", i, err)
+		}
+		workers[i] = w
+	}
+	defer func() {
+		for _, w := range workers {
+			w.close()
+		}
+	}()
+
+	hasInject := false
+	for _, ph := range sc.Phases {
+		if ph.Inject.Set {
+			hasInject = true
+		}
+	}
+
+	start0, err := ctl.Stats2()
+	if err != nil {
+		return nil, fmt.Errorf("STATS2: %w", err)
+	}
+	snap0, err := metrics.ParseSnapshot(start0)
+	if err != nil {
+		return nil, fmt.Errorf("STATS2 decode: %w", err)
+	}
+
+	samp := &sampler{ctl: ctl, base0: snap0, journal: map[uint64]trace.Event{}, fetchTrace: hasInject}
+
+	// The timeline's first injector change belongs before the first op.
+	if sc.Phases[0].Inject.Set {
+		in := scaleInject(sc.Phases[0].Inject, plan.Scale)
+		if err := ctl.InjectCtl(in.Period, in.ProcPeriod, in.Mode); err != nil {
+			return nil, fmt.Errorf("InjectCtl: %w", err)
+		}
+	}
+
+	base := time.Now()
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *runWorker) {
+			defer wg.Done()
+			w.run(base, opts.Stop)
+		}(w)
+	}
+
+	// Sampler loop: at each phase boundary apply the injector change, at
+	// each tick end take a sample. Runs on the caller's goroutine.
+	stopped := false
+	curPhase := 0
+	for ti := range plan.Ticks {
+		tp := &plan.Ticks[ti]
+		if tp.Phase != curPhase {
+			curPhase = tp.Phase
+			if ph := &sc.Phases[curPhase]; ph.Inject.Set {
+				sleepUntil(base.Add(tp.Start), opts.Stop)
+				in := scaleInject(ph.Inject, plan.Scale)
+				if err := ctl.InjectCtl(in.Period, in.ProcPeriod, in.Mode); err != nil {
+					stopped = true
+					samp.err = fmt.Errorf("InjectCtl: %w", err)
+					break
+				}
+				fmt.Fprintf(out, "scenario %s: phase %q: inject %s\n", sc.Name, ph.Name, ph.Inject.Describe())
+			}
+		}
+		if !sleepUntil(base.Add(tp.Start+plan.Tick), opts.Stop) {
+			stopped = true
+			break
+		}
+		samp.take(base, sc.Phases[tp.Phase].Name, workers)
+	}
+	wg.Wait()
+	elapsed := time.Since(base)
+
+	// Quiesce the injectors before the verification sweeps, whatever state
+	// the timeline left them in.
+	if hasInject {
+		if err := ctl.InjectCtl(0, 0, wire.InjectModeRandom); err != nil && samp.err == nil {
+			samp.err = fmt.Errorf("InjectCtl disarm: %w", err)
+		}
+	}
+
+	// Forced sweeps until clean: the first repairs anything still damaged
+	// (journaling the findings the join below needs); a clean pass proves
+	// the repairs held.
+	sweeps, found := 0, 0
+	for sweeps < 5 {
+		n, err := ctl.Sweep()
+		if err != nil {
+			if samp.err == nil {
+				samp.err = fmt.Errorf("SWEEP: %w", err)
+			}
+			break
+		}
+		sweeps++
+		found += n
+		if n == 0 {
+			break
+		}
+	}
+	samp.fetchJournal() // final tail, after the sweeps journaled their findings
+	endDoc, err := ctl.Stats2()
+	if err != nil {
+		return nil, fmt.Errorf("STATS2: %w", err)
+	}
+	endSnap, err := metrics.ParseSnapshot(endDoc)
+	if err != nil {
+		return nil, fmt.Errorf("STATS2 decode: %w", err)
+	}
+
+	rep := buildReport(plan, workers, samp, endSnap, elapsed, sweeps, found)
+	for _, pr := range rep.Phases {
+		fmt.Fprintf(out, "ScenarioThroughput/%s/%s %.0f ops/s\n", sc.Name, pr.Name, pr.OpsPerSec)
+	}
+	if rep.Detection != nil {
+		fmt.Fprintf(out, "scenario %s: detection: shots=%d joined=%d unjoined=%d p50=%.1fms max=%.1fms\n",
+			sc.Name, rep.Detection.Shots, rep.Detection.Joined, rep.Detection.Unjoined,
+			rep.Detection.P50ms, rep.Detection.MaxMs)
+	}
+
+	if stopped && samp.err == nil {
+		return rep, ErrStopped
+	}
+	if samp.err != nil {
+		return rep, samp.err
+	}
+	for _, w := range workers {
+		if w.err != nil {
+			return rep, w.err
+		}
+	}
+	return rep, acceptance(sc, rep)
+}
+
+// acceptance applies the scenario's pass/fail rules to the finished report.
+func acceptance(sc *Scenario, rep *Report) error {
+	if sc.RequireJoin {
+		if rep.Detection == nil {
+			return fmt.Errorf("scenario %s: no detection evidence (tracing disabled?)", sc.Name)
+		}
+		if rep.Detection.Shots == 0 {
+			return fmt.Errorf("scenario %s: injector armed but no shots journaled", sc.Name)
+		}
+		if rep.Detection.Unjoined > 0 {
+			return fmt.Errorf("scenario %s: %d of %d injected faults never joined a finding",
+				sc.Name, rep.Detection.Unjoined, rep.Detection.Shots)
+		}
+	}
+	if !sc.Lax {
+		if rep.Mismatches > 0 {
+			return fmt.Errorf("scenario %s: %d golden-copy mismatches", sc.Name, rep.Mismatches)
+		}
+		if rep.Server.FinalSweepFound > 0 {
+			return fmt.Errorf("scenario %s: final sweep found %d findings on a clean run",
+				sc.Name, rep.Server.FinalSweepFound)
+		}
+	}
+	if rep.Server.FinalSweepFound > 0 && rep.Server.FinalSweepCount >= 5 {
+		return fmt.Errorf("scenario %s: %d forced sweeps never came back clean", sc.Name, rep.Server.FinalSweepCount)
+	}
+	return nil
+}
+
+// sleepUntil waits for the deadline; false means the stop channel fired.
+func sleepUntil(at time.Time, stop <-chan struct{}) bool {
+	d := time.Until(at)
+	if d <= 0 {
+		select {
+		case <-stop:
+			return false
+		default:
+			return true
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-stop:
+		return false
+	}
+}
+
+// sampler owns the per-tick observation state: STATS2 polls relative to
+// the run's starting snapshot, plus a cumulative journal tail keyed by
+// recorder sequence so ring overwrites between ticks cannot lose the
+// early shot and finding events.
+type sampler struct {
+	ctl        *wire.Conn
+	base0      metrics.Snapshot
+	samples    []Sample
+	journal    map[uint64]trace.Event
+	fetchTrace bool
+	last       metrics.Snapshot
+	haveLast   bool
+	prevDone   int64
+	prevAt     time.Time
+	err        error
+}
+
+func (sm *sampler) take(base time.Time, phase string, workers []*runWorker) {
+	doc, err := sm.ctl.Stats2()
+	if err != nil {
+		if sm.err == nil {
+			sm.err = fmt.Errorf("STATS2: %w", err)
+		}
+		return
+	}
+	snap, err := metrics.ParseSnapshot(doc)
+	if err != nil {
+		if sm.err == nil {
+			sm.err = fmt.Errorf("STATS2 decode: %w", err)
+		}
+		return
+	}
+	sm.last, sm.haveLast = snap, true
+
+	var done int64
+	for _, w := range workers {
+		done += w.done.Load()
+	}
+	now := time.Now()
+	rate := 0.0
+	if !sm.prevAt.IsZero() {
+		if dt := now.Sub(sm.prevAt).Seconds(); dt > 0 {
+			rate = float64(done-sm.prevDone) / dt
+		}
+	} else if dt := now.Sub(base).Seconds(); dt > 0 {
+		rate = float64(done) / dt
+	}
+	sm.prevDone, sm.prevAt = done, now
+
+	var findings uint64
+	for name, v := range snap.Counters {
+		if len(name) > len("audit.findings.") && name[:len("audit.findings.")] == "audit.findings." {
+			findings += v - sm.base0.Counters[name]
+		}
+	}
+	sm.samples = append(sm.samples, Sample{
+		AtSec:      now.Sub(base).Seconds(),
+		Phase:      phase,
+		OpsPerSec:  rate,
+		QueueDepth: snap.Gauges["server.queue.depth"],
+		Shed:       snap.Gauges["server.queue.dropped"] - sm.base0.Gauges["server.queue.dropped"],
+		Findings:   findings,
+		Sweeps:     snap.Counters["audit.sweeps"] - sm.base0.Counters["audit.sweeps"],
+	})
+	sm.fetchJournal()
+}
+
+// fetchJournal tails the shot/finding/recovery kinds and merges them into
+// the cumulative map. A server without tracing answers with an error; the
+// sampler notes that once and stops asking.
+func (sm *sampler) fetchJournal() {
+	if !sm.fetchTrace {
+		return
+	}
+	for _, k := range []trace.Kind{trace.KindShot, trace.KindFinding, trace.KindRecovery} {
+		doc, err := sm.ctl.TraceJSON(int(k), trace.DefaultRingSize)
+		if err != nil {
+			sm.fetchTrace = false
+			return
+		}
+		evs, err := trace.DecodeJSON(doc)
+		if err != nil {
+			if sm.err == nil {
+				sm.err = fmt.Errorf("TRACE decode: %w", err)
+			}
+			return
+		}
+		for _, ev := range evs {
+			sm.journal[ev.Seq] = ev
+		}
+	}
+}
+
+// buildReport assembles the JSON artifact from the plan, the workers'
+// client-side tallies, the sampler's timeline, and the final snapshot.
+func buildReport(plan *Plan, workers []*runWorker, samp *sampler, end metrics.Snapshot,
+	elapsed time.Duration, sweeps, found int) *Report {
+	rep := &Report{
+		Summary:    plan.Summary,
+		ElapsedSec: elapsed.Seconds(),
+		OpStats:    map[string]OpStat{},
+		Samples:    samp.samples,
+	}
+	if rep.Samples == nil {
+		rep.Samples = []Sample{}
+	}
+
+	// Per-phase achieved throughput: ops done over the phase's measured
+	// span (scheduled start to the latest worker activity in it).
+	phaseStart := make([]time.Duration, len(plan.Summary.Phases))
+	phaseEnd := make([]time.Duration, len(plan.Summary.Phases))
+	seen := make([]bool, len(plan.Summary.Phases))
+	for _, tp := range plan.Ticks {
+		if !seen[tp.Phase] {
+			phaseStart[tp.Phase], seen[tp.Phase] = tp.Start, true
+		}
+		phaseEnd[tp.Phase] = tp.Start + plan.Tick
+	}
+	for pi, ps := range plan.Summary.Phases {
+		prDone := 0
+		endAt := phaseEnd[pi]
+		for _, w := range workers {
+			prDone += w.phaseDone[pi]
+			if w.phaseEnd[pi] > endAt {
+				endAt = w.phaseEnd[pi]
+			}
+		}
+		span := (endAt - phaseStart[pi]).Seconds()
+		pr := PhaseResult{Name: ps.Name, TargetOps: ps.TargetOps, DoneOps: prDone, ElapsedSec: span}
+		if span > 0 {
+			pr.OpsPerSec = float64(prDone) / span
+		}
+		rep.Phases = append(rep.Phases, pr)
+	}
+
+	for k := OpKind(0); k < numOpKinds; k++ {
+		var lats []time.Duration
+		for _, w := range workers {
+			lats = append(lats, w.lats[k]...)
+		}
+		if len(lats) > 0 {
+			rep.OpStats[k.String()] = opStat(lats)
+		}
+	}
+	for _, w := range workers {
+		rep.Mismatches += w.mismatches
+		rep.ProcAborts += w.procAborts
+	}
+
+	sv := ServerStats{
+		Executed:        end.Gauges["server.executed"] - samp.base0.Gauges["server.executed"],
+		Shed:            end.Gauges["server.queue.dropped"] - samp.base0.Gauges["server.queue.dropped"],
+		Sweeps:          end.Counters["audit.sweeps"] - samp.base0.Counters["audit.sweeps"],
+		ProcExecs:       int64(end.Counters["proc.execs"] - samp.base0.Counters["proc.execs"]),
+		ProcViolations:  int64(end.Counters["proc.violations"] - samp.base0.Counters["proc.violations"]),
+		ProcReloads:     int64(end.Counters["proc.reloads"] - samp.base0.Counters["proc.reloads"]),
+		LiveFindings:    end.Gauges["server.audit.findings"],
+		FinalSweepCount: sweeps,
+		FinalSweepFound: found,
+	}
+	for name, v := range end.Counters {
+		if cls, ok := cutPrefix(name, "audit.findings."); ok {
+			if d := int64(v - samp.base0.Counters[name]); d != 0 {
+				if sv.FindingsByClass == nil {
+					sv.FindingsByClass = map[string]int64{}
+				}
+				sv.FindingsByClass[cls] = d
+			}
+		}
+		if act, ok := cutPrefix(name, "audit.actions."); ok {
+			if d := int64(v - samp.base0.Counters[name]); d != 0 {
+				if sv.ActionsByKind == nil {
+					sv.ActionsByKind = map[string]int64{}
+				}
+				sv.ActionsByKind[act] = d
+			}
+		}
+	}
+	rep.Server = sv
+
+	if len(samp.journal) > 0 {
+		rep.Detection = joinDetection(samp.journal)
+	}
+	return rep
+}
+
+func cutPrefix(s, prefix string) (string, bool) {
+	if len(s) > len(prefix) && s[:len(prefix)] == prefix {
+		return s[len(prefix):], true
+	}
+	return "", false
+}
+
+// joinDetection replays the journal tail: each region shot ("dbflip")
+// must reappear as a finding carrying the same trace ID; the gap between
+// the two recorder timestamps is the detection latency. Procedure text
+// shots are tallied separately — PECOS joins those to the aborted PROC
+// request, not to the shot's trace ID.
+func joinDetection(journal map[uint64]trace.Event) *Detection {
+	evs := make([]trace.Event, 0, len(journal))
+	for _, ev := range journal {
+		evs = append(evs, ev)
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
+
+	det := &Detection{}
+	var shots []trace.Event
+	firstFinding := map[uint64]trace.Event{}
+	for _, ev := range evs {
+		switch ev.Kind {
+		case trace.KindShot:
+			if ev.Op == "dbflip" {
+				shots = append(shots, ev)
+			} else {
+				det.TextShots++
+			}
+		case trace.KindFinding:
+			if ev.Trace != 0 {
+				if _, ok := firstFinding[ev.Trace]; !ok {
+					firstFinding[ev.Trace] = ev
+				}
+			}
+		}
+	}
+	det.Shots = len(shots)
+	var lats []time.Duration
+	for _, sh := range shots {
+		f, ok := firstFinding[sh.Trace]
+		if !ok {
+			det.Unjoined++
+			continue
+		}
+		det.Joined++
+		if d := f.At - sh.At; d >= 0 {
+			lats = append(lats, d)
+		}
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+		det.P50ms = ms(durPct(lats, 0.50))
+		det.P95ms = ms(durPct(lats, 0.95))
+		det.MaxMs = ms(lats[len(lats)-1])
+	}
+	return det
+}
+
+// slotState is one Resource record a worker owns: its index, current
+// bank, and the golden copy reads are verified against.
+type slotState struct {
+	ri     int
+	bank   int
+	golden []uint32
+}
+
+// runWorker replays one worker's column of the plan over its own
+// connection.
+type runWorker struct {
+	id    int
+	plan  *Plan
+	sc    *Scenario
+	addrs []string
+	c     *wire.Conn
+
+	slots      []slotState
+	done       atomic.Int64
+	lats       [numOpKinds][]time.Duration
+	phaseDone  []int
+	phaseEnd   []time.Duration
+	mismatches int
+	procAborts int
+	err        error
+}
+
+func (w *runWorker) setup() error {
+	c, err := dialPrimary(w.addrs)
+	if err != nil {
+		return err
+	}
+	w.c = c
+	if _, err := c.Init(); err != nil {
+		return fmt.Errorf("DBinit: %w", err)
+	}
+	w.slots = make([]slotState, w.plan.Slots)
+	for si := range w.slots {
+		bank := (w.id + si) % callproc.ResourceBanks
+		ri, golden, err := w.allocSeed(bank)
+		if err != nil {
+			return err
+		}
+		w.slots[si] = slotState{ri: ri, bank: bank, golden: golden}
+	}
+	w.phaseDone = make([]int, len(w.plan.Summary.Phases))
+	w.phaseEnd = make([]time.Duration, len(w.plan.Summary.Phases))
+	return nil
+}
+
+// close tears the session down best-effort; the measurements are already
+// taken, so teardown errors are not interesting.
+func (w *runWorker) close() {
+	if w.c == nil {
+		return
+	}
+	for _, s := range w.slots {
+		_ = w.call(func() error { return w.c.Free(callproc.TblRes, s.ri) })
+	}
+	_ = w.c.CloseSession()
+	_ = w.c.Close()
+	w.c = nil
+}
+
+// run paces the worker's pre-drawn ops along the tick schedule against
+// wall clock: sleep to each tick's start, then issue that tick's ops
+// back-to-back.
+func (w *runWorker) run(base time.Time, stop <-chan struct{}) {
+	for ti := range w.plan.Ticks {
+		tp := &w.plan.Ticks[ti]
+		if !sleepUntil(base.Add(tp.Start), stop) {
+			w.err = ErrStopped
+			return
+		}
+		for _, op := range w.plan.Ops[w.id][ti] {
+			t0 := time.Now()
+			err := w.exec(op)
+			w.lats[op.Kind] = append(w.lats[op.Kind], time.Since(t0))
+			w.phaseDone[tp.Phase]++
+			w.done.Add(1)
+			if err != nil {
+				w.err = fmt.Errorf("worker %d %s: %w", w.id, op.Kind, err)
+				return
+			}
+		}
+		if end := time.Since(base); end > w.phaseEnd[tp.Phase] {
+			w.phaseEnd[tp.Phase] = end
+		}
+	}
+}
+
+// call retries op while the table lock is contended, like dbload's
+// workers: locks are advisory and non-blocking, so a busy table answers
+// ErrLocked immediately.
+func (w *runWorker) call(op func() error) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := op()
+		if err == nil || !errors.Is(err, memdb.ErrLocked) || time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// fault handles an op error: strict runs abort, lax runs count it and —
+// when the record itself was reclaimed by audit recovery — re-seed the
+// slot so the rest of the plan still drives load.
+func (w *runWorker) fault(s *slotState, err error) error {
+	if !w.sc.Lax {
+		return err
+	}
+	w.mismatches++
+	if s != nil && errors.Is(err, memdb.ErrNotActive) {
+		if ri, golden, aerr := w.allocSeed(s.bank); aerr == nil {
+			s.ri, s.golden = ri, golden
+		}
+	}
+	return nil
+}
+
+// mismatch handles a golden-copy divergence on a verified read.
+func (w *runWorker) mismatch(format string, args ...any) error {
+	if !w.sc.Lax {
+		return fmt.Errorf(format, args...)
+	}
+	w.mismatches++
+	return nil
+}
+
+// allocSeed allocates one Resource record in bank and seeds its golden
+// copy, mirroring dbload's workers.
+func (w *runWorker) allocSeed(bank int) (int, []uint32, error) {
+	var ri int
+	if err := w.call(func() (err error) {
+		ri, err = w.c.Alloc(callproc.TblRes, bank)
+		return err
+	}); err != nil {
+		return 0, nil, fmt.Errorf("DBalloc: %w", err)
+	}
+	golden := []uint32{uint32(ri), 1, 50}
+	if err := w.call(func() error {
+		return w.c.WriteRec(callproc.TblRes, ri, golden)
+	}); err != nil {
+		return 0, nil, fmt.Errorf("DBwrite_rec: %w", err)
+	}
+	return ri, golden, nil
+}
+
+// exec issues one planned op. Every value written stays inside the ranges
+// the audit checks enforce, so a strict run must end sweep-clean.
+func (w *runWorker) exec(op plannedOp) error {
+	s := &w.slots[op.Slot]
+	switch op.Kind {
+	case OpReadRec:
+		var vals []uint32
+		if err := w.call(func() (err error) {
+			vals, err = w.c.ReadRec(callproc.TblRes, s.ri)
+			return err
+		}); err != nil {
+			return w.fault(s, err)
+		}
+		for fi := range s.golden {
+			if fi < len(vals) && vals[fi] != s.golden[fi] {
+				return w.mismatch("slot %d field %d = %d, golden %d", op.Slot, fi, vals[fi], s.golden[fi])
+			}
+		}
+	case OpReadFld:
+		var v uint32
+		if err := w.call(func() (err error) {
+			v, err = w.c.ReadFld(callproc.TblRes, s.ri, callproc.FldResQuality)
+			return err
+		}); err != nil {
+			return w.fault(s, err)
+		}
+		if v != s.golden[callproc.FldResQuality] {
+			return w.mismatch("slot %d Quality = %d, golden %d", op.Slot, v, s.golden[callproc.FldResQuality])
+		}
+	case OpWriteRec:
+		next := []uint32{uint32(s.ri), uint32(op.Arg), op.Val}
+		if err := w.call(func() error {
+			return w.c.WriteRec(callproc.TblRes, s.ri, next)
+		}); err != nil {
+			return w.fault(s, err)
+		}
+		s.golden = next
+	case OpWriteFld:
+		if err := w.call(func() error {
+			return w.c.WriteFld(callproc.TblRes, s.ri, callproc.FldResQuality, op.Val)
+		}); err != nil {
+			return w.fault(s, err)
+		}
+		s.golden[callproc.FldResQuality] = op.Val
+	case OpMove:
+		bank := (s.bank + op.Arg) % callproc.ResourceBanks
+		if err := w.call(func() error {
+			return w.c.Move(callproc.TblRes, s.ri, bank)
+		}); err != nil {
+			return w.fault(s, err)
+		}
+		s.bank = bank
+	case OpStatus:
+		if err := w.call(func() error {
+			_, err := w.c.Status(callproc.TblRes, s.ri)
+			return err
+		}); err != nil {
+			return w.fault(s, err)
+		}
+	case OpChurn:
+		// Deregistration/re-registration: release the record and claim a
+		// fresh one in another bank, like a subscriber roaming between
+		// logical groups.
+		if err := w.call(func() error {
+			return w.c.Free(callproc.TblRes, s.ri)
+		}); err != nil {
+			return w.fault(s, err)
+		}
+		bank := (s.bank + op.Arg) % callproc.ResourceBanks
+		ri, golden, err := w.allocSeed(bank)
+		if err != nil {
+			return w.fault(s, err)
+		}
+		*s = slotState{ri: ri, bank: bank, golden: golden}
+	case OpProc:
+		err := w.call(func() error {
+			_, err := w.c.ProcExec("res_touch", []uint32{uint32(s.ri), op.Val})
+			return err
+		})
+		switch {
+		case err == nil:
+			s.golden[callproc.FldResQuality] = op.Val
+		case errors.Is(err, wire.ErrProcViolation) || errors.Is(err, wire.ErrProcFault):
+			// A DETECTED abort: nothing committed, the registry reloads
+			// server-side. That is the mechanism working, not a failure.
+			w.procAborts++
+		default:
+			return w.fault(s, err)
+		}
+	}
+	return nil
+}
+
+// dialPrimary mirrors dbload: with one address connect straight to it;
+// with several, find the node answering as primary.
+func dialPrimary(addrs []string) (*wire.Conn, error) {
+	if len(addrs) == 1 {
+		return wire.Dial(addrs[0])
+	}
+	lastErr := errors.New("wire: no reachable address")
+	for _, a := range addrs {
+		c, err := wire.Dial(a)
+		if err != nil {
+			lastErr = fmt.Errorf("%s: %w", a, err)
+			continue
+		}
+		st, err := c.ReplStatus()
+		if err != nil {
+			c.Close()
+			lastErr = fmt.Errorf("%s: %w", a, err)
+			continue
+		}
+		if st.Role == wire.RolePrimary {
+			return c, nil
+		}
+		c.Close()
+		lastErr = fmt.Errorf("%s: %w", a, wire.ErrStandby)
+	}
+	return nil, lastErr
+}

@@ -1,0 +1,175 @@
+package scenario
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/callproc"
+	"repro/internal/memdb"
+	"repro/internal/server"
+)
+
+// startServer brings up the real serving stack on a loopback port with
+// fast audits, mirroring cmd/dbload's test harness.
+func startServer(t *testing.T) string {
+	t.Helper()
+	db, err := memdb.New(callproc.Schema(callproc.DefaultSchemaConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(db, server.Config{AuditPeriod: 20 * time.Millisecond, Guard: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		if err := srv.Shutdown(5 * time.Second); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return ln.Addr().String()
+}
+
+// TestRunSteadyCallsClean replays a compressed steady-calls run under the
+// strict rules: every read verified, no mismatches, final sweep clean.
+func TestRunSteadyCallsClean(t *testing.T) {
+	addr := startServer(t)
+	sc, _ := Lookup("steady-calls")
+	var out bytes.Buffer
+	rep, err := Run(sc, RunOptions{
+		Options: Options{Seed: 11, Scale: 0.05},
+		Addrs:   []string{addr},
+		Out:     &out,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v\noutput:\n%s", err, out.String())
+	}
+	if rep.Mismatches != 0 {
+		t.Errorf("strict run counted %d mismatches", rep.Mismatches)
+	}
+	done := 0
+	for _, pr := range rep.Phases {
+		done += pr.DoneOps
+	}
+	if done != rep.Summary.TotalOps {
+		t.Errorf("done %d ops, plan targeted %d", done, rep.Summary.TotalOps)
+	}
+	if len(rep.OpStats) == 0 || rep.OpStats["read-rec"].Count == 0 {
+		t.Errorf("op stats missing read-rec: %v", rep.OpStats)
+	}
+	if len(rep.Samples) == 0 {
+		t.Error("no per-tick samples recorded")
+	}
+	if rep.Detection != nil {
+		t.Errorf("clean run grew a detection section: %+v", rep.Detection)
+	}
+	if !strings.Contains(out.String(), "ScenarioThroughput/steady-calls/main ") {
+		t.Errorf("missing throughput line in:\n%s", out.String())
+	}
+}
+
+// TestRunFaultStormJoinsEveryShot is the e2e acceptance check: under the
+// race detector, a compressed fault-storm must journal injected shots and
+// join every one of them to an audit finding by trace ID.
+func TestRunFaultStormJoinsEveryShot(t *testing.T) {
+	addr := startServer(t)
+	sc, _ := Lookup("fault-storm")
+	var out bytes.Buffer
+	rep, err := Run(sc, RunOptions{
+		Options: Options{Seed: 7, Scale: 0.05},
+		Addrs:   []string{addr},
+		Out:     &out,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v\noutput:\n%s", err, out.String())
+	}
+	det := rep.Detection
+	if det == nil {
+		t.Fatalf("no detection section; output:\n%s", out.String())
+	}
+	if det.Shots == 0 {
+		t.Fatal("storm phase journaled no shots")
+	}
+	if det.Unjoined != 0 {
+		t.Fatalf("%d of %d shots never joined a finding", det.Unjoined, det.Shots)
+	}
+	if det.Joined != det.Shots {
+		t.Errorf("joined %d != shots %d", det.Joined, det.Shots)
+	}
+	if det.MaxMs <= 0 {
+		t.Errorf("detection latency not measured: %+v", det)
+	}
+	if rep.Server.FinalSweepFound != 0 && rep.Server.FinalSweepCount >= 5 {
+		t.Errorf("forced sweeps never came back clean: %+v", rep.Server)
+	}
+	// The encoded artifact must round-trip.
+	if b, err := rep.Encode(); err != nil || len(b) == 0 {
+		t.Errorf("report encode: %v", err)
+	}
+}
+
+// TestRunFlashCrowdShapes: the burst phase must achieve a visibly higher
+// rate than the calm phase, even compressed.
+func TestRunFlashCrowdShapes(t *testing.T) {
+	addr := startServer(t)
+	sc, _ := Lookup("flash-crowd")
+	rep, err := Run(sc, RunOptions{
+		Options: Options{Seed: 3, Scale: 0.05},
+		Addrs:   []string{addr},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var calm, flash float64
+	for _, pr := range rep.Phases {
+		switch pr.Name {
+		case "calm":
+			calm = pr.OpsPerSec
+		case "flash":
+			flash = pr.OpsPerSec
+		}
+	}
+	if flash <= calm {
+		t.Errorf("flash phase %v ops/s not above calm %v ops/s", flash, calm)
+	}
+}
+
+// TestRunStops: closing the stop channel must end the run promptly with
+// ErrStopped rather than playing out the timeline.
+func TestRunStops(t *testing.T) {
+	addr := startServer(t)
+	sc, _ := Lookup("steady-calls")
+	stop := make(chan struct{})
+	close(stop)
+	start := time.Now()
+	_, err := Run(sc, RunOptions{
+		Options: Options{Seed: 1, Scale: 0.5},
+		Addrs:   []string{addr},
+		Stop:    stop,
+	})
+	if err != ErrStopped {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if e := time.Since(start); e > 5*time.Second {
+		t.Errorf("stopped run still took %v", e)
+	}
+}
+
+// TestRunRejectsUnreachableServer: no address and a dead address both fail
+// fast with a useful error.
+func TestRunRejectsUnreachableServer(t *testing.T) {
+	sc, _ := Lookup("steady-calls")
+	if _, err := Run(sc, RunOptions{Options: Options{Seed: 1}}); err == nil {
+		t.Error("no address accepted")
+	}
+	if _, err := Run(sc, RunOptions{Options: Options{Seed: 1, Scale: 0.05}, Addrs: []string{"127.0.0.1:1"}}); err == nil {
+		t.Error("dead address accepted")
+	}
+}

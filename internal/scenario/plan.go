@@ -1,0 +1,233 @@
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/callproc"
+	"repro/internal/sim"
+)
+
+// Options parameterize a plan build.
+type Options struct {
+	Seed  int64
+	Conns int // 0 = the scenario's default
+	// Scale compresses time: phase durations, the tick, and injector
+	// periods are multiplied by it while rates stay untouched, so a 0.05
+	// run replays the same shape with 5% of the ops in 5% of the time.
+	// 0 means 1.
+	Scale float64
+}
+
+// tickPlan is one scheduling quantum on the timeline.
+type tickPlan struct {
+	Phase int
+	Start time.Duration // scaled offset from run start
+	Ops   int           // aggregate ops due this tick
+}
+
+// Plan is the fully materialized run: every op each worker will send, at
+// which tick, already drawn from the seeded RNG. Build is the single code
+// path behind both the golden summary and the live run, so what the
+// summary promises is exactly what the engine replays.
+type Plan struct {
+	Scenario *Scenario
+	Seed     int64
+	Conns    int
+	Slots    int
+	Scale    float64
+	Tick     time.Duration // scaled
+	Ticks    []tickPlan
+	Ops      [][][]plannedOp // [worker][tick] -> ops for that worker in that tick
+	Summary  Summary
+}
+
+// Summary is the deterministic half of the report: for a fixed
+// (scenario, seed, conns, scale) it is byte-identical across runs and
+// platforms, which is what the golden tests pin.
+type Summary struct {
+	Scenario    string         `json:"scenario"`
+	Description string         `json:"description,omitempty"`
+	Seed        int64          `json:"seed"`
+	Conns       int            `json:"conns"`
+	Slots       int            `json:"slots"`
+	Scale       float64        `json:"scale"`
+	Tick        string         `json:"tick"`
+	TotalOps    int            `json:"total_ops"`
+	Phases      []PhaseSummary `json:"phases"`
+}
+
+// PhaseSummary is one timeline segment of the plan.
+type PhaseSummary struct {
+	Name      string         `json:"name"`
+	Profile   string         `json:"profile"`
+	Dur       string         `json:"dur"` // scaled
+	Ticks     int            `json:"ticks"`
+	TargetOps int            `json:"target_ops"`
+	OpMix     map[string]int `json:"op_mix,omitempty"`
+	Inject    string         `json:"inject,omitempty"`
+}
+
+// Encode renders the summary as stable, indented JSON (map keys sorted by
+// encoding/json), newline-terminated.
+func (s Summary) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// minTick floors the scaled scheduling quantum so extreme compression
+// cannot spin the workers on zero-length ticks.
+const minTick = time.Millisecond
+
+// Build materializes the scenario into a plan. Per tick, the op count is
+// the floor-difference of the rate integral (midpoint rule over the
+// unscaled phase clock, weighted by the scaled tick length), so fractional
+// ops carry across ticks and phase totals track the integral exactly.
+func Build(sc *Scenario, opts Options) (*Plan, error) {
+	if sc == nil {
+		return nil, errors.New("scenario: nil scenario")
+	}
+	if len(sc.Phases) == 0 {
+		return nil, fmt.Errorf("scenario %s: no phases", sc.Name)
+	}
+	conns := opts.Conns
+	if conns <= 0 {
+		conns = sc.Conns
+	}
+	if conns <= 0 {
+		conns = 4
+	}
+	slots := sc.Slots
+	if slots <= 0 {
+		slots = 8
+	}
+	if conns*slots > 64 {
+		// The Resource table has 64 records; a plan that cannot allocate
+		// its working set would fail at setup anyway, so reject it here.
+		return nil, fmt.Errorf("scenario %s: %d conns x %d slots exceeds the Resource table", sc.Name, conns, slots)
+	}
+	scale := opts.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	if scale < 0 {
+		return nil, errors.New("scenario: scale must be positive")
+	}
+	tick := sc.Tick
+	if tick <= 0 {
+		tick = 500 * time.Millisecond
+	}
+	scaledTick := time.Duration(float64(tick) * scale)
+	if scaledTick < minTick {
+		scaledTick = minTick
+	}
+
+	p := &Plan{
+		Scenario: sc,
+		Seed:     opts.Seed,
+		Conns:    conns,
+		Slots:    slots,
+		Scale:    scale,
+		Tick:     scaledTick,
+		Ops:      make([][][]plannedOp, conns),
+	}
+	base := sim.NewRNG(opts.Seed)
+	workerRNG := make([]*sim.RNG, conns)
+	for i := range workerRNG {
+		workerRNG[i] = base.Split()
+	}
+
+	sum := Summary{
+		Scenario:    sc.Name,
+		Description: sc.Description,
+		Seed:        opts.Seed,
+		Conns:       conns,
+		Slots:       slots,
+		Scale:       scale,
+		Tick:        scaledTick.String(),
+	}
+	start := time.Duration(0)
+	for pi, ph := range sc.Phases {
+		if ph.Dur <= 0 {
+			return nil, fmt.Errorf("scenario %s: phase %q has no duration", sc.Name, ph.Name)
+		}
+		if ph.Profile == nil {
+			return nil, fmt.Errorf("scenario %s: phase %q has no profile", sc.Name, ph.Name)
+		}
+		nticks := int(math.Round(float64(ph.Dur) / float64(tick)))
+		if nticks < 1 {
+			nticks = 1
+		}
+		zw := zipfWeights(slots, ph.Pattern.Zipf)
+		ps := PhaseSummary{
+			Name:    ph.Name,
+			Profile: ph.Profile.Describe(),
+			Dur:     (time.Duration(nticks) * scaledTick).String(),
+			Ticks:   nticks,
+			Inject:  ph.Inject.Describe(),
+			OpMix:   map[string]int{},
+		}
+		cum, emitted := 0.0, 0
+		for k := 0; k < nticks; k++ {
+			// Rate sampled at the unscaled midpoint of the tick; weight is
+			// the scaled wall-clock length, which is what shrinks op counts
+			// under compression.
+			mid := time.Duration((float64(k) + 0.5) * float64(tick))
+			cum += ph.Profile.Rate(mid) * scaledTick.Seconds()
+			n := int(cum) - emitted
+			emitted = int(cum)
+			ti := len(p.Ticks)
+			p.Ticks = append(p.Ticks, tickPlan{Phase: pi, Start: start, Ops: n})
+			// Split n across workers; the remainder rotates with the tick
+			// index so no worker systematically runs hot.
+			quo, rem := n/conns, n%conns
+			for wi := 0; wi < conns; wi++ {
+				q := quo
+				if ((wi-ti)%conns+conns)%conns < rem {
+					q++
+				}
+				ops := make([]plannedOp, 0, q)
+				for j := 0; j < q; j++ {
+					op := ph.Pattern.draw(workerRNG[wi], zw, callproc.ResourceBanks)
+					ops = append(ops, op)
+					ps.OpMix[op.Kind.String()]++
+				}
+				p.Ops[wi] = append(p.Ops[wi], ops)
+			}
+			start += scaledTick
+		}
+		ps.TargetOps = emitted
+		sum.TotalOps += emitted
+		if len(ps.OpMix) == 0 {
+			ps.OpMix = nil
+		}
+		sum.Phases = append(sum.Phases, ps)
+	}
+	p.Summary = sum
+	return p, nil
+}
+
+// scaleInject maps a phase's injector spec onto compressed time, flooring
+// live periods so a heavily scaled storm cannot outrun the audit sweeps.
+func scaleInject(sp InjectSpec, scale float64) InjectSpec {
+	out := sp
+	if sp.Period > 0 {
+		out.Period = time.Duration(float64(sp.Period) * scale)
+		if out.Period < 2*minTick {
+			out.Period = 2 * minTick
+		}
+	}
+	if sp.ProcPeriod > 0 {
+		out.ProcPeriod = time.Duration(float64(sp.ProcPeriod) * scale)
+		if out.ProcPeriod < 2*minTick {
+			out.ProcPeriod = 2 * minTick
+		}
+	}
+	return out
+}

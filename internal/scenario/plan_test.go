@@ -1,0 +1,252 @@
+package scenario
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden summary files")
+
+// TestGoldenSummaries pins the deterministic half of each named scenario:
+// for a fixed (seed, scale) the encoded plan summary must stay
+// byte-identical. Regenerate intentionally with `go test -run Golden
+// ./internal/scenario -update`.
+func TestGoldenSummaries(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			sc, ok := Lookup(name)
+			if !ok {
+				t.Fatalf("Lookup(%q) missing", name)
+			}
+			plan, err := Build(sc, Options{Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := plan.Summary.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", name+".summary.golden.json")
+			if *update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("summary diverged from golden %s\n--- got ---\n%s", path, got)
+			}
+		})
+	}
+}
+
+// TestBuildDeterminism: the full op plan — not just the summary — must be
+// identical for the same seed, and visibly different for another seed.
+func TestBuildDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		sc, _ := Lookup(name)
+		a, err := Build(sc, Options{Seed: 42, Scale: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc2, _ := Lookup(name)
+		b, err := Build(sc2, Options{Seed: 42, Scale: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Ops, b.Ops) {
+			t.Errorf("%s: same seed produced different op plans", name)
+		}
+		sc3, _ := Lookup(name)
+		c, err := Build(sc3, Options{Seed: 43, Scale: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reflect.DeepEqual(a.Ops, c.Ops) {
+			t.Errorf("%s: different seeds produced identical op plans", name)
+		}
+	}
+}
+
+// TestPhaseOpCountsMatchRateIntegral is the property test: each phase's
+// planned op count must track the numeric integral of its profile's rate
+// curve within a small quadrature tolerance, at several scales.
+func TestPhaseOpCountsMatchRateIntegral(t *testing.T) {
+	for _, name := range Names() {
+		for _, scale := range []float64{1, 0.25, 0.05} {
+			sc, _ := Lookup(name)
+			plan, err := Build(sc, Options{Seed: 9, Scale: scale})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for pi, ph := range sc.Phases {
+				// Fine-grained trapezoid integral over the unscaled phase
+				// clock, then compressed by the scale like the plan is.
+				const steps = 100000
+				h := ph.Dur.Seconds() / steps
+				integral := 0.0
+				for i := 0; i < steps; i++ {
+					mid := time.Duration((float64(i) + 0.5) * h * float64(time.Second))
+					integral += ph.Profile.Rate(mid) * h
+				}
+				want := integral * scale
+				got := float64(plan.Summary.Phases[pi].TargetOps)
+				tol := 0.02*want + 2
+				if diff := got - want; diff < -tol || diff > tol {
+					t.Errorf("%s/%s scale=%g: planned %v ops, rate integral %.1f (tol %.1f)",
+						name, ph.Name, scale, got, want, tol)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanOpsMatchSummary: the per-worker op lists and the summary are two
+// views of one draw; their totals and mixes must agree.
+func TestPlanOpsMatchSummary(t *testing.T) {
+	sc, _ := Lookup("flash-crowd")
+	plan, err := Build(sc, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	mix := map[string]int{}
+	for _, ticks := range plan.Ops {
+		if len(ticks) != len(plan.Ticks) {
+			t.Fatalf("worker has %d tick slots, plan has %d", len(ticks), len(plan.Ticks))
+		}
+		for _, ops := range ticks {
+			total += len(ops)
+			for _, op := range ops {
+				mix[op.Kind.String()]++
+			}
+		}
+	}
+	if total != plan.Summary.TotalOps {
+		t.Errorf("ops in plan = %d, summary says %d", total, plan.Summary.TotalOps)
+	}
+	fromSummary := map[string]int{}
+	for _, ps := range plan.Summary.Phases {
+		for k, n := range ps.OpMix {
+			fromSummary[k] += n
+		}
+	}
+	if !reflect.DeepEqual(mix, fromSummary) {
+		t.Errorf("plan mix %v != summary mix %v", mix, fromSummary)
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	b := Burst{Base: 100, Peak: 900, At: 2 * time.Second, Dur: 3 * time.Second}
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 100}, {2*time.Second - 1, 100}, {2 * time.Second, 900},
+		{5*time.Second - 1, 900}, {5 * time.Second, 100},
+	}
+	for _, c := range cases {
+		if got := b.Rate(c.at); got != c.want {
+			t.Errorf("Burst.Rate(%v) = %g, want %g", c.at, got, c.want)
+		}
+	}
+	d := Diurnal{Base: 50, Amp: 100, Period: 4 * time.Second}
+	if got := d.Rate(3 * time.Second); got != 0 {
+		t.Errorf("Diurnal trough should clamp to 0, got %g", got)
+	}
+	if got := d.Rate(1 * time.Second); got != 150 {
+		t.Errorf("Diurnal crest = %g, want 150", got)
+	}
+	if got := (Steady{PerSec: 42}).Rate(time.Hour); got != 42 {
+		t.Errorf("Steady.Rate = %g", got)
+	}
+}
+
+func TestInjectSpecDescribe(t *testing.T) {
+	cases := []struct {
+		sp   InjectSpec
+		want string
+	}{
+		{InjectSpec{}, ""},
+		{InjectSpec{Set: true}, "off"},
+		{InjectSpec{Set: true, Period: 250 * time.Millisecond, Mode: 1}, "data=250ms mode=static"},
+		{InjectSpec{Set: true, Period: time.Second, ProcPeriod: 2 * time.Second}, "data=1s mode=random proc=2s"},
+	}
+	for _, c := range cases {
+		if got := c.sp.Describe(); got != c.want {
+			t.Errorf("Describe(%+v) = %q, want %q", c.sp, got, c.want)
+		}
+	}
+}
+
+func TestScaleInject(t *testing.T) {
+	sp := scaleInject(InjectSpec{Set: true, Period: 100 * time.Millisecond, ProcPeriod: time.Second}, 0.001)
+	if sp.Period != 2*minTick || sp.ProcPeriod != 2*minTick {
+		t.Errorf("scaled periods %v/%v: live period must floor at %v", sp.Period, sp.ProcPeriod, 2*minTick)
+	}
+	sp = scaleInject(InjectSpec{Set: true}, 0.001)
+	if sp.Period != 0 || sp.ProcPeriod != 0 {
+		t.Errorf("disarm spec must stay zero, got %+v", sp)
+	}
+}
+
+func TestBuildRejects(t *testing.T) {
+	if _, err := Build(nil, Options{}); err == nil {
+		t.Error("nil scenario accepted")
+	}
+	sc, _ := Lookup("steady-calls")
+	if _, err := Build(sc, Options{Scale: -1}); err == nil {
+		t.Error("negative scale accepted")
+	}
+	sc2, _ := Lookup("steady-calls")
+	if _, err := Build(sc2, Options{Conns: 40}); err == nil {
+		t.Error("working set beyond the Resource table accepted")
+	}
+	if _, err := Build(&Scenario{Name: "empty"}, Options{}); err == nil {
+		t.Error("phaseless scenario accepted")
+	}
+	if _, err := Build(&Scenario{Name: "bad", Phases: []Phase{{Name: "p", Dur: time.Second}}}, Options{}); err == nil {
+		t.Error("profileless phase accepted")
+	}
+}
+
+func TestLookupAndNames(t *testing.T) {
+	want := []string{"fault-storm", "flash-crowd", "steady-calls"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Names() = %v, want %v", got, want)
+	}
+	if _, ok := Lookup("no-such"); ok {
+		t.Error("Lookup of unknown name succeeded")
+	}
+	a, _ := Lookup("steady-calls")
+	b, _ := Lookup("steady-calls")
+	if a == b {
+		t.Error("Lookup must return fresh copies")
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w := zipfWeights(4, 1)
+	for i := 1; i < len(w); i++ {
+		if w[i] >= w[i-1] {
+			t.Fatalf("weights not decreasing: %v", w)
+		}
+	}
+	if got := fmt.Sprintf("%.2f", w[1]); got != "0.50" {
+		t.Errorf("rank-2 weight = %s, want 0.50", got)
+	}
+	for _, v := range zipfWeights(3, 0) {
+		if v != 1 {
+			t.Errorf("exponent 0 must be uniform, got %v", zipfWeights(3, 0))
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Profile sets a phase's target aggregate rate over time. Rate is queried
+// at unscaled phase-relative instants; time compression (Options.Scale)
+// shrinks durations, not rates, so a scaled run issues proportionally
+// fewer ops with the same shape.
+type Profile interface {
+	// Rate returns the target rate in ops/s at phase-relative time t.
+	Rate(t time.Duration) float64
+	// Describe names the shape for the plan summary.
+	Describe() string
+}
+
+// Steady is a flat rate.
+type Steady struct {
+	PerSec float64
+}
+
+func (p Steady) Rate(time.Duration) float64 { return p.PerSec }
+func (p Steady) Describe() string           { return fmt.Sprintf("steady(%g/s)", p.PerSec) }
+
+// Diurnal is a sine around a base rate — the compressed day/night curve of
+// a subscriber population. Negative excursions clamp to zero.
+type Diurnal struct {
+	Base, Amp float64
+	Period    time.Duration
+}
+
+func (p Diurnal) Rate(t time.Duration) float64 {
+	r := p.Base + p.Amp*math.Sin(2*math.Pi*t.Seconds()/p.Period.Seconds())
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+func (p Diurnal) Describe() string {
+	return fmt.Sprintf("diurnal(%g±%g/s over %s)", p.Base, p.Amp, p.Period)
+}
+
+// Burst is a flash-crowd step: Base, jumping to Peak during [At, At+Dur).
+type Burst struct {
+	Base, Peak float64
+	At, Dur    time.Duration
+}
+
+func (p Burst) Rate(t time.Duration) float64 {
+	if t >= p.At && t < p.At+p.Dur {
+		return p.Peak
+	}
+	return p.Base
+}
+
+func (p Burst) Describe() string {
+	return fmt.Sprintf("burst(%g/s, peak %g/s at %s for %s)", p.Base, p.Peak, p.At, p.Dur)
+}

@@ -1,0 +1,123 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"time"
+)
+
+// Report is the per-run JSON artifact: the deterministic plan summary plus
+// the measured timeline. Only Summary is golden-testable; the rest depends
+// on real scheduling and wall time.
+type Report struct {
+	Summary    Summary           `json:"summary"`
+	ElapsedSec float64           `json:"elapsed_sec"`
+	Phases     []PhaseResult     `json:"phases"`
+	OpStats    map[string]OpStat `json:"op_stats"`
+	Server     ServerStats       `json:"server"`
+	// Detection is present when the timeline armed the injectors: the
+	// shot -> finding join over the trace journal.
+	Detection  *Detection `json:"detection,omitempty"`
+	Samples    []Sample   `json:"samples"`
+	Mismatches int        `json:"mismatches"`
+	ProcAborts int        `json:"proc_aborts"`
+}
+
+// PhaseResult reports achieved throughput for one timeline phase.
+type PhaseResult struct {
+	Name       string  `json:"name"`
+	TargetOps  int     `json:"target_ops"`
+	DoneOps    int     `json:"done_ops"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+}
+
+// OpStat is the client-side latency profile for one op kind.
+type OpStat struct {
+	Count int     `json:"count"`
+	P50us float64 `json:"p50_us"`
+	P95us float64 `json:"p95_us"`
+	P99us float64 `json:"p99_us"`
+	MaxUs float64 `json:"max_us"`
+}
+
+// ServerStats is the end-of-run server-side tally pulled from STATS2.
+type ServerStats struct {
+	Executed        int64            `json:"executed"`
+	Shed            int64            `json:"shed"`
+	Sweeps          uint64           `json:"sweeps"`
+	FindingsByClass map[string]int64 `json:"findings_by_class,omitempty"`
+	ActionsByKind   map[string]int64 `json:"actions_by_kind,omitempty"`
+	ProcExecs       int64            `json:"proc_execs"`
+	ProcViolations  int64            `json:"proc_violations"`
+	ProcReloads     int64            `json:"proc_reloads"`
+	LiveFindings    int64            `json:"live_findings"`
+	FinalSweepCount int              `json:"final_sweep_count"`
+	FinalSweepFound int              `json:"final_sweep_found"`
+}
+
+// Detection joins injected region shots to the findings that repaired them
+// by trace ID, and summarizes the shot-to-detection latency.
+type Detection struct {
+	Shots     int     `json:"shots"`      // dbflip shots journaled by the injector
+	Joined    int     `json:"joined"`     // shots whose trace ID reappears on a finding
+	Unjoined  int     `json:"unjoined"`   // shots never detected (must be 0 under RequireJoin)
+	TextShots int     `json:"text_shots"` // proc textflip shots (join via PECOS, not trace ID)
+	P50ms     float64 `json:"p50_ms"`
+	P95ms     float64 `json:"p95_ms"`
+	MaxMs     float64 `json:"max_ms"`
+}
+
+// Sample is one per-tick observation of the run.
+type Sample struct {
+	AtSec      float64 `json:"at_sec"`
+	Phase      string  `json:"phase"`
+	OpsPerSec  float64 `json:"ops_per_sec"` // achieved since the previous sample
+	QueueDepth int64   `json:"queue_depth"`
+	Shed       int64   `json:"shed"`
+	Findings   uint64  `json:"findings"` // cumulative, all classes
+	Sweeps     uint64  `json:"sweeps"`   // cumulative
+}
+
+// Encode renders the full report as indented JSON, newline-terminated.
+func (r *Report) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile writes the encoded report to path.
+func (r *Report) WriteFile(path string) error {
+	b, err := r.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// durPct returns the p-th percentile of a sorted duration slice.
+func durPct(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// opStat condenses one kind's latency samples.
+func opStat(lats []time.Duration) OpStat {
+	st := OpStat{Count: len(lats)}
+	if len(lats) == 0 {
+		return st
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	st.P50us = us(durPct(lats, 0.50))
+	st.P95us = us(durPct(lats, 0.95))
+	st.P99us = us(durPct(lats, 0.99))
+	st.MaxUs = us(lats[len(lats)-1])
+	return st
+}

@@ -297,9 +297,18 @@ type Server struct {
 
 	// Server-side fault injector state; executor thread only. shots
 	// retains the most recent injections so resolveShot can join audit
-	// findings back to the shot that caused them.
-	injRNG *sim.RNG
-	shots  []shot
+	// findings back to the shot that caused them. The tickers are retained
+	// so OpInjectCtl can stop and re-arm the injectors at runtime; injMode
+	// selects the targeting policy (wire.InjectMode*), and the walk cursor
+	// plus cached static extents drive the detectable-byte stride walk.
+	injRNG        *sim.RNG
+	shots         []shot
+	injTicker     *sim.Ticker
+	procInjTicker *sim.Ticker
+	injMode       int
+	injWalk       int
+	injStride     int
+	injTargets    []memdb.Extent
 
 	// Procedure subsystem (executor thread only): the registry of
 	// PECOS-instrumented programs, the engine that runs them against the
@@ -443,9 +452,9 @@ func New(db *memdb.DB, cfg Config) (*Server, error) {
 		s.srvRing = r.Ring("server", cfg.TraceRingSize)
 		s.auditTracer = audit.NewTracer(r, cfg.TraceRingSize)
 		s.auditTracer.Resolve = s.resolveShot
-		if cfg.InjectPeriod > 0 || cfg.ProcInjectPeriod > 0 {
-			s.injRing = r.Ring("inject", cfg.TraceRingSize)
-		}
+		// The inject ring exists whenever tracing does — OpInjectCtl can
+		// arm the injectors at runtime long after New.
+		s.injRing = r.Ring("inject", cfg.TraceRingSize)
 		s.procRing = r.Ring("proc", cfg.TraceRingSize)
 	}
 	if cfg.InjectPeriod > 0 {
@@ -906,19 +915,11 @@ func (s *Server) executor() {
 			s.mgr = nil
 		}
 	}
-	if s.cfg.InjectPeriod > 0 {
-		// The injector rides the executor clock: flips land between
-		// requests, never during one, like every other executor action.
-		if _, err := s.env.NewTicker(s.cfg.InjectPeriod, s.injectOnce); err != nil {
-			s.injRNG = nil
-		}
-	}
-	if s.cfg.ProcInjectPeriod > 0 && s.procFlip != nil {
-		// Same discipline for the text injector: flips land between
-		// procedure executions, never mid-run.
-		if _, err := s.env.NewTicker(s.cfg.ProcInjectPeriod, s.procInjectOnce); err != nil {
-			s.procFlip = nil
-		}
+	if s.cfg.InjectPeriod > 0 || s.cfg.ProcInjectPeriod > 0 {
+		// The injectors ride the executor clock: flips land between
+		// requests (and between procedure executions), never during one,
+		// like every other executor action.
+		s.setInjectPeriods(s.cfg.InjectPeriod, s.cfg.ProcInjectPeriod, wire.InjectModeRandom)
 	}
 	if s.applier != nil {
 		// Replication rides the executor clock too: the applier is the
@@ -1028,15 +1029,106 @@ func (s *Server) drainAndStop() {
 	s.refreshExecutorMetrics()
 }
 
-// injectOnce is the server-side fault injector (Config.InjectPeriod):
-// flip one random bit in the live region and journal the shot, so the
-// next audit pass demonstrably detects and recovers a known corruption.
-// Executor thread only (env ticker).
+// setInjectPeriods stops the running injector tickers and re-arms them
+// with the given periods (zero or negative leaves the respective injector
+// off) and targeting mode. Called on the executor thread only: at startup
+// for the Config.InjectPeriod/ProcInjectPeriod knobs, and from the
+// OpInjectCtl handler when a scenario timeline ramps a fault storm.
+func (s *Server) setInjectPeriods(data, proc time.Duration, mode int) {
+	s.injMode = mode
+	if s.injTicker != nil {
+		s.injTicker.Stop()
+		s.injTicker = nil
+	}
+	if data > 0 {
+		if s.injRNG == nil {
+			s.injRNG = sim.NewRNG(s.cfg.InjectSeed)
+		}
+		if tk, err := s.env.NewTicker(data, s.injectOnce); err == nil {
+			s.injTicker = tk
+		}
+	}
+	if s.procInjTicker != nil {
+		s.procInjTicker.Stop()
+		s.procInjTicker = nil
+	}
+	if proc > 0 {
+		if s.procRNG == nil {
+			s.procRNG = sim.NewRNG(s.cfg.ProcInjectSeed)
+		}
+		if s.procFlip == nil {
+			s.procFlip = inject.NewTextFlipper(s.procRNG)
+		}
+		if tk, err := s.env.NewTicker(proc, s.procInjectOnce); err == nil {
+			s.procInjTicker = tk
+		}
+	}
+}
+
+// injectOnce is the server-side fault injector (Config.InjectPeriod or a
+// runtime OpInjectCtl): flip one bit in the live region and journal the
+// shot, so the next audit pass demonstrably detects and recovers a known
+// corruption. Executor thread only (env ticker).
 func (s *Server) injectOnce() {
 	if s.injRNG == nil {
 		return
 	}
+	if s.injMode == wire.InjectModeStatic {
+		if off, ok := s.nextStaticTarget(); ok {
+			s.injectAt(off, uint(s.injRNG.Intn(8)))
+		}
+		return
+	}
 	s.injectAt(s.injRNG.Intn(s.db.Size()), uint(s.injRNG.Intn(8)))
+}
+
+// nextStaticTarget walks the non-catalog static extents with a stride
+// coprime to their total length, so consecutive shots land on distinct,
+// non-adjacent bytes: each one becomes its own damaged run for the static
+// checksum audit, and every shot joins exactly one finding. The catalog is
+// excluded so injection never turns live requests into catalog errors.
+// Executor thread only.
+func (s *Server) nextStaticTarget() (int, bool) {
+	if s.injTargets == nil {
+		s.injTargets = []memdb.Extent{} // computed, possibly empty
+		for _, e := range s.db.StaticExtents() {
+			if e.Name == "catalog" || e.Len <= 0 {
+				continue
+			}
+			s.injTargets = append(s.injTargets, e)
+		}
+		total := 0
+		for _, e := range s.injTargets {
+			total += e.Len
+		}
+		s.injStride = 5
+		for total > 0 && gcd(s.injStride, total) != 1 {
+			s.injStride++
+		}
+	}
+	total := 0
+	for _, e := range s.injTargets {
+		total += e.Len
+	}
+	if total == 0 {
+		return 0, false
+	}
+	pos := (s.injWalk * s.injStride) % total
+	s.injWalk++
+	for _, e := range s.injTargets {
+		if pos < e.Len {
+			return e.Off + pos, true
+		}
+		pos -= e.Len
+	}
+	return 0, false
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
 }
 
 // injectAt flips one bit at a region offset and journals the shot,
@@ -1125,6 +1217,8 @@ func (s *Server) handle(c *conn, q wire.Request, tid uint64) wire.Response {
 		return s.handleProcLoad(q)
 	case wire.OpProcList:
 		return s.handleProcList(q)
+	case wire.OpInjectCtl:
+		return s.handleInjectCtl(q)
 	case wire.OpSweep:
 		return ok(uint32(s.runSweep()))
 	case wire.OpStats:
@@ -1249,6 +1343,29 @@ func (s *Server) handle(c *conn, q wire.Request, tid uint64) wire.Response {
 	default:
 		return wire.ErrorResponse(q.Seq, wire.ErrUnknownOp)
 	}
+}
+
+// handleInjectCtl decodes one OpInjectCtl request and retimes the
+// injectors. Runs on the executor thread like every control op, so the
+// ticker swap cannot race a flip in progress.
+func (s *Server) handleInjectCtl(q wire.Request) wire.Response {
+	if len(q.Vals) < 4 {
+		return wire.ErrorResponse(q.Seq,
+			fmt.Errorf("%w: InjectCtl carries %d values, want 4", wire.ErrBadFrame, len(q.Vals)))
+	}
+	data := time.Duration(wire.JoinU64(q.Vals[0], q.Vals[1]))
+	proc := time.Duration(wire.JoinU64(q.Vals[2], q.Vals[3]))
+	if data < 0 || proc < 0 {
+		return wire.ErrorResponse(q.Seq,
+			fmt.Errorf("%w: InjectCtl period must be >= 0", wire.ErrBadFrame))
+	}
+	mode := int(q.Aux)
+	if mode != wire.InjectModeRandom && mode != wire.InjectModeStatic {
+		return wire.ErrorResponse(q.Seq,
+			fmt.Errorf("%w: InjectCtl mode %d", wire.ErrBadFrame, mode))
+	}
+	s.setInjectPeriods(data, proc, mode)
+	return ok()
 }
 
 // statsVals builds the OpStats value vector. Executor thread, but all

@@ -360,3 +360,18 @@ func (c *Conn) ProcList() ([]byte, error) {
 	}
 	return []byte(r.Detail), nil
 }
+
+// InjectCtl retimes the server-side fault injectors at runtime: data is the
+// region bit-flip period, proc the procedure text-flip period (zero stops
+// the respective injector), and mode one of the InjectMode constants.
+// Scenario timelines use it to ramp a fault storm mid-run and disarm it
+// again for the quiesce phase.
+func (c *Conn) InjectCtl(data, proc time.Duration, mode int) error {
+	dlo, dhi := SplitU64(uint64(data))
+	plo, phi := SplitU64(uint64(proc))
+	_, err := c.call(Request{
+		Op: OpInjectCtl, Aux: int32(mode),
+		Vals: []uint32{dlo, dhi, plo, phi},
+	})
+	return err
+}

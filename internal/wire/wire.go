@@ -67,7 +67,21 @@ const (
 	OpProcExec    // run a registered procedure: Detail = name, Vals = args; returns the emitted values
 	OpProcLoad    // register a procedure: Detail = name + "\n" + source; returns [words, blocks, version]
 	OpProcList    // procedure registry introspection; response Detail carries the JSON inventory
+	OpInjectCtl   // retime the server-side fault injectors at runtime: Vals [data-lo, data-hi, proc-lo, proc-hi] periods in ns (0 = off), Aux = InjectMode*
 	opMax
+)
+
+// Injection targeting modes carried in OpInjectCtl's Aux field.
+const (
+	// InjectModeRandom flips bits anywhere in the region (the legacy
+	// Config.InjectPeriod behavior): some shots land on bytes no check
+	// characterizes and go undetected, as in the paper's campaigns.
+	InjectModeRandom = 0
+	// InjectModeStatic walks the static table extents (catalog excluded)
+	// with a coprime stride, so every shot is a distinct byte the static
+	// checksum audit is guaranteed to detect and repair — the mode
+	// fault-storm scenarios use when every shot must join a finding.
+	InjectModeStatic = 1
 )
 
 // NumOps is the number of defined operations (for per-op stat arrays).
@@ -126,6 +140,8 @@ func (o Op) String() string {
 		return "ProcLoad"
 	case OpProcList:
 		return "ProcList"
+	case OpInjectCtl:
+		return "InjectCtl"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}

@@ -26,9 +26,11 @@ THRESHOLD=${3:-15}
 awk -v threshold="$THRESHOLD" '
 # Benchmark lines look like:
 #   BenchmarkServerThroughput/audited-4   12345   98765 ns/op   54321 ops/s
+# Scenario runs (dbload -scenario) emit the same shape per phase:
+#   ScenarioThroughput/fault-storm/storm 300 ops/s
 # Strip the -<GOMAXPROCS> suffix so runs from different -cpu settings
 # still line up, and take the value preceding each "ops/s" token.
-/^Benchmark/ {
+/^Benchmark|^ScenarioThroughput/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
     for (i = 3; i <= NF; i++) {

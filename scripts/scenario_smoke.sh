@@ -1,0 +1,104 @@
+#!/bin/sh
+# scenario_smoke.sh — end-to-end smoke for the scenario engine, built with
+# the race detector: boot a plain dbserve and replay compressed variants of
+# two named scenarios against it.
+#
+#   steady-calls  strict: every read verified, zero mismatches, the final
+#                 sweep must come back clean.
+#   fault-storm   the timeline arms the server-side injector mid-run via
+#                 INJECT_CTL and disarms it again; the run fails unless
+#                 every injected shot joins an audit finding by trace ID
+#                 (the `unjoined=0` acceptance line).
+#
+# Both runs write their JSON report artifacts into SCENARIO_REPORT_DIR
+# (default: the scratch dir; CI points this at an upload path), and the
+# achieved per-phase ops/s are diffed against the checked-in baseline with
+# scripts/bench_compare.sh. The workload is rate-paced, so achieved
+# throughput tracks the scenario's target rates at any -scenario-scale; a
+# generous threshold only catches a server too slow to keep up.
+#
+# Run via `make scenario-smoke`. POSIX sh + the go toolchain only.
+set -eu
+
+GO=${GO:-go}
+DIR=$(mktemp -d)
+REPORT_DIR=${SCENARIO_REPORT_DIR:-$DIR}
+mkdir -p "$REPORT_DIR"
+SERVER_PID=
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$DIR"
+}
+trap cleanup EXIT INT TERM
+
+ADDR=127.0.0.1:7451
+SCALE=${SCENARIO_SCALE:-0.1}
+SEED=${SCENARIO_SEED:-7}
+
+$GO build -race -o "$DIR/dbserve" ./cmd/dbserve
+$GO build -race -o "$DIR/dbload" ./cmd/dbload
+
+# A short audit period so detection keeps pace with the compressed storm.
+"$DIR/dbserve" -addr "$ADDR" -audit-period 200ms >"$DIR/server.out" 2>&1 &
+SERVER_PID=$!
+
+ready=0
+i=0
+while [ "$i" -lt 100 ]; do
+    if "$DIR/dbload" -addr "$ADDR" -conns 1 -ops 1 >/dev/null 2>&1; then
+        ready=1
+        break
+    fi
+    i=$((i + 1))
+    sleep 0.1
+done
+if [ "$ready" != 1 ]; then
+    echo "scenario-smoke: server never came up" >&2
+    cat "$DIR/server.out" >&2
+    exit 1
+fi
+
+run_scenario() {
+    name=$1
+    if ! "$DIR/dbload" -addr "$ADDR" -scenario "$name" -seed "$SEED" \
+        -scenario-scale "$SCALE" \
+        -scenario-report "$REPORT_DIR/$name.report.json" \
+        >"$DIR/$name.out" 2>&1; then
+        echo "scenario-smoke: $name failed" >&2
+        cat "$DIR/$name.out" >&2
+        echo "--- server log ---" >&2
+        cat "$DIR/server.out" >&2
+        exit 1
+    fi
+    cat "$DIR/$name.out"
+    if ! grep -q "scenario $name: PASS" "$DIR/$name.out"; then
+        echo "scenario-smoke: $name did not report PASS" >&2
+        exit 1
+    fi
+    if [ ! -s "$REPORT_DIR/$name.report.json" ]; then
+        echo "scenario-smoke: $name wrote no report artifact" >&2
+        exit 1
+    fi
+}
+
+run_scenario steady-calls
+run_scenario fault-storm
+
+# The fault-storm acceptance line: every injected shot joined a finding.
+if ! grep -Eq 'detection: shots=[1-9][0-9]* joined=[0-9]+ unjoined=0' "$DIR/fault-storm.out"; then
+    echo "scenario-smoke: fault-storm left unjoined shots (or injected none)" >&2
+    exit 1
+fi
+if grep -q 'DATA RACE' "$DIR/server.out"; then
+    echo "scenario-smoke: race detector fired in the server" >&2
+    cat "$DIR/server.out" >&2
+    exit 1
+fi
+
+# Regression gate: achieved per-phase ops/s against the checked-in
+# baseline. Rate-paced workers hit their targets unless the server (or the
+# runner) cannot keep up, so the threshold is deliberately loose.
+cat "$DIR/steady-calls.out" "$DIR/fault-storm.out" >"$DIR/scenario.bench"
+sh scripts/bench_compare.sh scripts/scenario_baseline.txt "$DIR/scenario.bench" 40
+
+echo "scenario-smoke: OK (reports in $REPORT_DIR)"
