@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test check cover fuzz-smoke trace-smoke failover-smoke proc-smoke scenario-smoke bench bench-smoke clean
+.PHONY: all build vet test check cover fuzz-smoke trace-smoke failover-smoke proc-smoke scenario-smoke health-smoke bench bench-smoke clean
 
 all: check
 
@@ -58,6 +58,15 @@ proc-smoke:
 # diffed against scripts/scenario_baseline.txt.
 scenario-smoke:
 	sh scripts/scenario_smoke.sh
+
+# Health-plane smoke over real processes: a compressed fault-storm against
+# a race-built server with /healthz up. The storm phase must show open
+# (undetected) shots on the health timeline; at exit dbctl health must not
+# be CRITICAL, the detect-p99 objective must be ok, the watermark must be
+# drained (zero open shots / overruns / audit debt), and the Prometheus
+# exposition must carry histogram buckets. Artifacts in HEALTH_REPORT_DIR.
+health-smoke:
+	sh scripts/health_smoke.sh
 
 bench:
 	$(GO) test -bench . -benchtime 0.5s -run '^$$' .

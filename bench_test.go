@@ -368,7 +368,11 @@ func BenchmarkAuditFullSweep(b *testing.B) {
 // walDir appends every mutation to an operation log there, so audited-wal
 // vs audited pins the durability cost — append + batched fsync on the
 // executor clock, never an fsync on the request path (target < 10%).
-func benchmarkServerThroughput(b *testing.B, auditPeriod time.Duration, disableMetrics, disableTrace bool, walDir string) {
+// disableHealth gates the health & SLO plane (which needs both metrics and
+// tracing), so audited-traced-health vs audited-traced pins the
+// self-monitoring cost — recorder tap, SLO evaluation on the executor
+// clock, stage histograms (target < 5%).
+func benchmarkServerThroughput(b *testing.B, auditPeriod time.Duration, disableMetrics, disableTrace bool, walDir string, disableHealth bool) {
 	db, err := memdb.New(callproc.Schema(callproc.DefaultSchemaConfig()))
 	if err != nil {
 		b.Fatal(err)
@@ -384,6 +388,7 @@ func benchmarkServerThroughput(b *testing.B, auditPeriod time.Duration, disableM
 		AuditPeriod:    auditPeriod,
 		DisableMetrics: disableMetrics,
 		DisableTrace:   disableTrace,
+		DisableHealth:  disableHealth,
 		WAL:            walLog,
 	})
 	if err != nil {
@@ -559,11 +564,12 @@ func BenchmarkServerThroughput(b *testing.B) {
 	// The flight recorder stays off in the first three subruns so
 	// "audited" remains the metrics-only baseline; "audited-traced" is the
 	// same configuration with per-request journaling on.
-	b.Run("noaudit", func(b *testing.B) { benchmarkServerThroughput(b, -1, false, true, "") })
-	b.Run("audited", func(b *testing.B) { benchmarkServerThroughput(b, 50*time.Millisecond, false, true, "") })
-	b.Run("audited-nometrics", func(b *testing.B) { benchmarkServerThroughput(b, 50*time.Millisecond, true, true, "") })
-	b.Run("audited-traced", func(b *testing.B) { benchmarkServerThroughput(b, 50*time.Millisecond, false, false, "") })
-	b.Run("audited-wal", func(b *testing.B) { benchmarkServerThroughput(b, 50*time.Millisecond, false, true, b.TempDir()) })
+	b.Run("noaudit", func(b *testing.B) { benchmarkServerThroughput(b, -1, false, true, "", true) })
+	b.Run("audited", func(b *testing.B) { benchmarkServerThroughput(b, 50*time.Millisecond, false, true, "", true) })
+	b.Run("audited-nometrics", func(b *testing.B) { benchmarkServerThroughput(b, 50*time.Millisecond, true, true, "", true) })
+	b.Run("audited-traced", func(b *testing.B) { benchmarkServerThroughput(b, 50*time.Millisecond, false, false, "", true) })
+	b.Run("audited-traced-health", func(b *testing.B) { benchmarkServerThroughput(b, 50*time.Millisecond, false, false, "", false) })
+	b.Run("audited-wal", func(b *testing.B) { benchmarkServerThroughput(b, 50*time.Millisecond, false, true, b.TempDir(), true) })
 	// Scaling subruns: multiconn adds concurrent synchronous clients (one
 	// request in flight each, capped at GOMAXPROCS so -cpu shrinks it);
 	// fastlane-pipelined adds request pipelining on top, which is where the

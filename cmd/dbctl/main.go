@@ -17,18 +17,25 @@
 //
 //	dbctl -op proc-load -addr 127.0.0.1:7420 -name p -src prog.asm
 //	dbctl -op proc-list -addr 127.0.0.1:7420
+//	dbctl -op health    -addr 127.0.0.1:7420 [-format json]
+//
+// The health op prints the server's health & SLO status document and exits
+// nonzero when overall health is CRITICAL, so scripts can gate on it.
 //
 // Images use the built-in controller schema; -config-records,
 // -config-fields, and -call-records size it.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/audit"
 	"repro/internal/callproc"
+	"repro/internal/health"
 	"repro/internal/memdb"
 	"repro/internal/proc"
 	"repro/internal/wire"
@@ -43,7 +50,8 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("dbctl", flag.ContinueOnError)
-	op := fs.String("op", "", "operation: init | dump | corrupt | verify | repair | proc-load | proc-list")
+	op := fs.String("op", "", "operation: init | dump | corrupt | verify | repair | proc-load | proc-list | health")
+	format := fs.String("format", "text", "health: output format, text | json")
 	img := fs.String("img", "", "image file path")
 	table := fs.Int("table", -1, "dump: restrict to one table")
 	offset := fs.Int("offset", 0, "corrupt: region byte offset")
@@ -57,12 +65,14 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	// The proc ops are networked: they bypass the image machinery entirely.
+	// The networked ops bypass the image machinery entirely.
 	switch *op {
 	case "proc-load":
 		return procLoad(*addr, *name, *src)
 	case "proc-list":
 		return procList(*addr)
+	case "health":
+		return healthOp(*addr, *format)
 	}
 	if *img == "" {
 		return fmt.Errorf("-img is required")
@@ -249,6 +259,47 @@ func procLoad(addr, name, srcPath string) error {
 	}
 	fmt.Printf("loaded %s: %d words, %d assertion blocks, version %d\n",
 		name, words, blocks, version)
+	return nil
+}
+
+// healthOp fetches and prints a live dbserve's health status document.
+// Exit is nonzero (an error) when overall health is CRITICAL, so shell
+// gates can rely on the status code alone.
+func healthOp(addr, format string) error {
+	if addr == "" {
+		return fmt.Errorf("health requires -addr")
+	}
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	doc, err := c.Health()
+	if err != nil {
+		return err
+	}
+	st, err := health.ParseStatus(doc)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "json":
+		var buf bytes.Buffer
+		if json.Indent(&buf, doc, "", "  ") != nil {
+			buf.Reset()
+			buf.Write(doc)
+		}
+		fmt.Println(buf.String())
+	case "text":
+		if err := st.WriteText(os.Stdout); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown -format %q: want text or json", format)
+	}
+	if st.State == health.Critical {
+		return fmt.Errorf("overall health is critical")
+	}
 	return nil
 }
 

@@ -65,6 +65,7 @@ import (
 	"time"
 
 	"repro/internal/callproc"
+	"repro/internal/health"
 	"repro/internal/memdb"
 	"repro/internal/metrics"
 	"repro/internal/scenario"
@@ -497,7 +498,9 @@ func watchLoop(out io.Writer, addrs []string, interval time.Duration, n int, sto
 // after the slash, journal events lost to ring overflow. Durable servers
 // add wal= (appends awaiting fsync — sustained growth means the disk is
 // falling behind the executor clock) and lag= (log records the standby has
-// yet to acknowledge).
+// yet to acknowledge). Servers with the health plane on add health= (the
+// overall SLO state, with the count of injected-but-undetected faults in
+// parentheses while any are open).
 func watchLine(snap metrics.Snapshot, rate float64) string {
 	var traceDrops int64
 	for name, v := range snap.Gauges {
@@ -518,6 +521,12 @@ func watchLine(snap metrics.Snapshot, rate float64) string {
 	}
 	if lag, ok := snap.Gauges["repl.lag"]; ok {
 		line += fmt.Sprintf(" lag=%d", lag)
+	}
+	if hstate, ok := snap.Gauges["health.state"]; ok {
+		line += " health=" + health.State(hstate).String()
+		if open := snap.Gauges["health.detect.open_shots"]; open > 0 {
+			line += fmt.Sprintf("(open=%d)", open)
+		}
 	}
 	if reads, ok := snap.Counters["fastlane.reads"]; ok {
 		line += fmt.Sprintf(" fast=%d/%d/%d", reads,

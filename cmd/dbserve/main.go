@@ -28,6 +28,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -42,7 +43,9 @@ import (
 	"time"
 
 	"repro/internal/callproc"
+	"repro/internal/health"
 	"repro/internal/memdb"
+	"repro/internal/metrics"
 	"repro/internal/server"
 	"repro/internal/trace"
 	"repro/internal/wal"
@@ -230,27 +233,78 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 
 // statszMux serves the server's observability endpoints: GET /statsz
 // answers the metrics snapshot (the same document the wire STATS2 request
-// returns; ?format=text for the line format), GET /tracez the flight-
+// returns; ?format=text for the line format, ?format=prom for the
+// Prometheus text exposition with histogram buckets), GET /healthz the
+// health plane's status document (?format=text for the line format;
+// answers 503 when overall health is CRITICAL), GET /tracez the flight-
 // recorder journal (?n= caps the event count, ?kind= filters by journal
 // name like "req-reply" or "finding", ?format=text for the line format),
 // and /debug/pprof/ the standard Go profiles.
 func statszMux(srv *server.Server) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
-		snap, err := srv.SnapshotMetrics()
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		switch r.URL.Query().Get("format") {
+		case "prom":
+			// Prometheus needs the bucket arrays the compact snapshot
+			// omits, so this path takes the full variant.
+			snap, err := srv.SnapshotMetricsFull()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			w.Header().Set("Content-Type", metrics.PromContentType)
+			snap.WriteProm(w)
+		case "text":
+			snap, err := srv.SnapshotMetrics()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			snap.WriteText(w)
+		default:
+			snap, err := srv.SnapshotMetrics()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(snap)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := srv.Health()
+		if !ok {
+			http.Error(w, "health plane disabled", http.StatusServiceUnavailable)
 			return
+		}
+		// CRITICAL answers 503 so load balancers and smoke gates can act
+		// on the status code alone; DEGRADED still serves, so it stays 200.
+		code := http.StatusOK
+		if st.State == health.Critical {
+			code = http.StatusServiceUnavailable
 		}
 		if r.URL.Query().Get("format") == "text" {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			snap.WriteText(w)
+			w.WriteHeader(code)
+			st.WriteText(w)
+			return
+		}
+		data, err := st.MarshalJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(snap)
+		w.WriteHeader(code)
+		var buf bytes.Buffer
+		if json.Indent(&buf, data, "", "  ") == nil {
+			data = buf.Bytes()
+		}
+		w.Write(data)
+		w.Write([]byte("\n"))
 	})
 	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
 		if srv.Trace() == nil {

@@ -22,12 +22,27 @@ const (
 	TableSlice
 )
 
+// DebtSink receives the periodic element's schedule accounting: sweep
+// start/end and per-checker element completion. Implementations must be
+// safe to call from the executor thread; the health plane's DebtMeter is
+// the production sink.
+type DebtSink interface {
+	// SweepStart marks a sweep beginning with n checker elements due.
+	SweepStart(n int)
+	// ElementScheduled / ElementDone bracket one checker's element.
+	ElementScheduled(name string)
+	ElementDone(name string)
+	// SweepEnd marks the sweep complete.
+	SweepEnd()
+}
+
 // PeriodicElement runs the registered checkers on a fixed period (§4.3).
 type PeriodicElement struct {
 	checks    []Checker
 	mode      SweepMode
 	scheduler Scheduler
 	period    time.Duration
+	debt      DebtSink
 
 	ctx    *Context
 	ticker *sim.Ticker
@@ -46,6 +61,11 @@ func NewPeriodicElement(period time.Duration, mode SweepMode, sched Scheduler, c
 		period:    period,
 	}
 }
+
+// SetDebt attaches a schedule-accounting sink (nil disables). Attach
+// before Start; the same sink may be re-attached across manager restarts
+// so accounting survives a heartbeat-driven rebuild.
+func (e *PeriodicElement) SetDebt(d DebtSink) { e.debt = d }
 
 // Name implements Element.
 func (e *PeriodicElement) Name() string { return "periodic-audit" }
@@ -91,6 +111,12 @@ func (e *PeriodicElement) sweep() {
 
 func (e *PeriodicElement) sweepOnce() []Finding {
 	e.sweeps++
+	if e.debt != nil {
+		e.debt.SweepStart(len(e.checks))
+		for _, c := range e.checks {
+			e.debt.ElementScheduled(c.Name())
+		}
+	}
 	var findings []Finding
 	switch e.mode {
 	case TableSlice:
@@ -100,18 +126,27 @@ func (e *PeriodicElement) sweepOnce() []Finding {
 		ti := e.scheduler.Next()
 		for _, c := range e.checks {
 			findings = append(findings, c.CheckTable(ti)...)
+			if e.debt != nil {
+				e.debt.ElementDone(c.Name())
+			}
 		}
 	default: // FullSweep
 		for _, c := range e.checks {
 			if fc, ok := c.(FullChecker); ok {
 				findings = append(findings, fc.CheckAll()...)
-				continue
+			} else {
+				for ti := 0; ti < tableCount(e.ctx.DB); ti++ {
+					findings = append(findings, c.CheckTable(ti)...)
+				}
 			}
-			for ti := 0; ti < tableCount(e.ctx.DB); ti++ {
-				findings = append(findings, c.CheckTable(ti)...)
+			if e.debt != nil {
+				e.debt.ElementDone(c.Name())
 			}
 		}
 		e.ctx.DB.EndAuditCycle()
+	}
+	if e.debt != nil {
+		e.debt.SweepEnd()
 	}
 	e.ctx.Stats.Add(findings)
 	return findings

@@ -1,0 +1,192 @@
+package health
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// detCacheTTL bounds how often a Snapshot recomputes; gauges read the
+// tracker several times per STATS2 snapshot and share one computation.
+const detCacheTTL = 50 * time.Millisecond
+
+// defaultMaxOpen caps the open-shot table: past it the oldest entry is
+// evicted (and counted), so a storm of never-detected faults cannot grow
+// the tracker without bound.
+const defaultMaxOpen = 1024
+
+// defaultMaxSamples is the join-latency ring capacity.
+const defaultMaxSamples = 512
+
+// Detector joins injection shots to audit findings online, as the trace
+// recorder emits them, and maintains windowed detection-latency
+// percentiles plus an open-shot age watermark. All methods are safe from
+// any goroutine; Shot/Finding are called from the recorder tap on the
+// emitting goroutine's path and do one short mutex hold each.
+type Detector struct {
+	window  time.Duration // latency sample window
+	bound   time.Duration // open-shot age past which a shot is an overrun
+	capOpen int           // open-shot table cap
+
+	mu       sync.Mutex
+	open     map[uint64]*openShot
+	samples  []detSample // ring of joined (at, latency) pairs
+	next     int
+	filled   bool
+	joined   uint64
+	overruns uint64
+	evicted  uint64
+	cache    DetectionStats
+	cacheAt  time.Duration
+	cached   bool
+}
+
+type openShot struct {
+	at      time.Duration
+	overrun bool // already counted against the watermark bound
+}
+
+type detSample struct {
+	at, lat time.Duration
+}
+
+// NewDetector builds a tracker. window is the latency sample window,
+// bound the open-shot overrun threshold; maxOpen <= 0 means the default
+// table cap.
+func NewDetector(window, bound time.Duration, maxOpen int) *Detector {
+	if maxOpen <= 0 {
+		maxOpen = defaultMaxOpen
+	}
+	return &Detector{
+		window:  window,
+		bound:   bound,
+		capOpen: maxOpen,
+		open:    make(map[uint64]*openShot, 16),
+		samples: make([]detSample, defaultMaxSamples),
+	}
+}
+
+// Shot records an injection at trace ID tr at recorder time at.
+func (d *Detector) Shot(tr uint64, at time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.open) >= d.capOpen {
+		d.evictOldestLocked()
+	}
+	d.open[tr] = &openShot{at: at}
+	d.cached = false
+}
+
+// Finding closes the shot with the same trace ID, folding the detection
+// latency into the sample window. Findings without a matching open shot
+// (procedure-text detections, re-findings on an already-joined trace)
+// are ignored.
+func (d *Detector) Finding(tr uint64, at time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sh, ok := d.open[tr]
+	if !ok {
+		return
+	}
+	delete(d.open, tr)
+	lat := at - sh.at
+	if lat < 0 {
+		lat = 0
+	}
+	if lat > d.bound && !sh.overrun {
+		d.overruns++
+	}
+	d.samples[d.next] = detSample{at: at, lat: lat}
+	d.next++
+	if d.next == len(d.samples) {
+		d.next = 0
+		d.filled = true
+	}
+	d.joined++
+	d.cached = false
+}
+
+func (d *Detector) evictOldestLocked() {
+	var oldest uint64
+	var oldestAt time.Duration
+	first := true
+	for tr, sh := range d.open {
+		if first || sh.at < oldestAt {
+			first = false
+			oldest, oldestAt = tr, sh.at
+		}
+	}
+	if !first {
+		delete(d.open, oldest)
+		d.evicted++
+	}
+}
+
+// DetectionStats is the tracker's exported view at one instant.
+type DetectionStats struct {
+	// Joined is the lifetime count of shots joined to findings.
+	Joined uint64
+	// WindowJoined is how many joins fall inside the sample window; P50
+	// and P99 are computed over exactly these.
+	WindowJoined int
+	P50, P99     time.Duration
+	// OpenShots counts injected faults no finding has closed yet;
+	// OldestOpen is the age of the oldest — the detection watermark.
+	OpenShots  int
+	OldestOpen time.Duration
+	// Overruns counts shots whose detection (or open age) exceeded the
+	// bound; Evicted counts open shots dropped by the table cap.
+	Overruns uint64
+	Evicted  uint64
+}
+
+// Snapshot computes the stats as of recorder time now. Results are
+// cached briefly so gauge fan-out shares one computation.
+func (d *Detector) Snapshot(now time.Duration) DetectionStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cached && now >= d.cacheAt && now-d.cacheAt < detCacheTTL {
+		return d.cache
+	}
+	s := DetectionStats{Joined: d.joined, Evicted: d.evicted}
+
+	// Watermark scan; age past the bound counts as an overrun exactly
+	// once per shot, whether or not a late finding eventually lands.
+	for _, sh := range d.open {
+		age := now - sh.at
+		if age < 0 {
+			age = 0
+		}
+		if age > s.OldestOpen {
+			s.OldestOpen = age
+		}
+		if age > d.bound && !sh.overrun {
+			sh.overrun = true
+			d.overruns++
+		}
+	}
+	s.OpenShots = len(d.open)
+	s.Overruns = d.overruns
+
+	n := d.next
+	if d.filled {
+		n = len(d.samples)
+	}
+	lats := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		if sm := d.samples[i]; now-sm.at <= d.window {
+			lats = append(lats, sm.lat)
+		}
+	}
+	s.WindowJoined = len(lats)
+	if n := len(lats); n > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		// Nearest-rank percentiles (ceil(q*n)), so small samples report
+		// their worst joins instead of rounding down to the median.
+		s.P50 = lats[(n+1)/2-1]
+		s.P99 = lats[(n*99+99)/100-1]
+	}
+
+	d.cache, d.cacheAt, d.cached = s, now, true
+	return s
+}

@@ -1,0 +1,307 @@
+// Package health is the server's self-monitoring plane: it watches the
+// audited database serve live traffic and answers, continuously and from
+// inside the process, the question the paper's framework exists to keep
+// true — is corruption still being detected fast enough?
+//
+// Three cooperating pieces:
+//
+//   - Detector: an online detection-latency tracker fed by the trace
+//     recorder's live tap. Injection shots open an entry keyed by trace
+//     ID; the audit finding that repairs the same region closes it. The
+//     tracker keeps windowed p50/p99 detection latency plus an open-shot
+//     age watermark, so a fault the audits have NOT yet found is visible
+//     as a rising age, not an absence of data.
+//   - DebtMeter: audit-debt accounting published from the audit
+//     scheduler — scheduled-vs-completed sweeps and per-checker elements,
+//     sweep-interval overruns, and a behind-schedule gauge. This is the
+//     observable substrate for the ROADMAP's Audit-QoS pacing work.
+//   - Evaluator: a declarative SLO engine. Each Objective samples a value
+//     (detection p99, shed rate, replication lag, heartbeat-miss rate,
+//     audit debt) against a bound on every tick; violations burn a
+//     per-objective error budget over short and long windows, and the
+//     burn rates drive a per-subsystem OK/DEGRADED/CRITICAL state machine
+//     with hysteresis (degrade immediately, recover only after a streak
+//     of clean evaluations, so a value oscillating across its bound
+//     cannot flap the state).
+//
+// Plane bundles the three and renders the Status document served by the
+// HEALTH wire op, GET /healthz, and `dbctl health`.
+package health
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// State is a subsystem (or overall) health level. Order matters: higher
+// is worse, and aggregation takes the max.
+type State int32
+
+const (
+	OK State = iota
+	Degraded
+	Critical
+)
+
+// String returns the lowercase state name used across JSON, text, and
+// watch output.
+func (s State) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case Degraded:
+		return "degraded"
+	case Critical:
+		return "critical"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// MarshalText renders the state name, so Status marshals states as
+// strings.
+func (s State) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText parses a state name.
+func (s *State) UnmarshalText(b []byte) error {
+	v, ok := ParseState(string(b))
+	if !ok {
+		return fmt.Errorf("health: unknown state %q", b)
+	}
+	*s = v
+	return nil
+}
+
+// ParseState resolves a state name; ok is false for unknown names.
+func ParseState(name string) (State, bool) {
+	switch name {
+	case "ok":
+		return OK, true
+	case "degraded":
+		return Degraded, true
+	case "critical":
+		return Critical, true
+	}
+	return OK, false
+}
+
+// SLO declares the service-level objectives the plane evaluates and the
+// evaluator's windowing. Zero values take the documented defaults, so
+// `health.SLO{}` is a complete, sane declaration.
+type SLO struct {
+	// DetectP99 bounds the windowed detection-latency p99 AND the open-
+	// shot age watermark: an injected fault should be found and repaired
+	// within this long. Default 2s (ten 200ms audit periods).
+	DetectP99 time.Duration
+	// DetectWindow is the detection-latency sample window. Default 60s.
+	DetectWindow time.Duration
+	// MaxShedRate bounds request sheds per second. Default 1.
+	MaxShedRate float64
+	// MaxReplLag bounds the standby's replication lag in WAL records.
+	// Default 512. Only evaluated when replication is wired.
+	MaxReplLag float64
+	// MaxHeartbeatMissPerMin bounds audit heartbeat misses per minute.
+	// Default 1.
+	MaxHeartbeatMissPerMin float64
+	// MaxAuditBehind bounds how many periodic sweeps the audit scheduler
+	// may run behind its own cadence. Default 3.
+	MaxAuditBehind float64
+
+	// Budget is the fraction of evaluation samples allowed to violate an
+	// objective before its error budget burns at rate 1. Default 0.1.
+	Budget float64
+	// ShortWindow / LongWindow are the burn-rate windows. Defaults 10s
+	// and 60s.
+	ShortWindow time.Duration
+	LongWindow  time.Duration
+	// EvalPeriod is the minimum spacing between evaluation samples.
+	// Default 250ms.
+	EvalPeriod time.Duration
+	// DegradeBurn and CritBurn are the burn-rate thresholds: DEGRADED
+	// when the short window burns >= DegradeBurn; CRITICAL when the
+	// short window burns >= CritBurn while the long window also burns
+	// >= DegradeBurn. Defaults 1 and 2.
+	DegradeBurn float64
+	CritBurn    float64
+	// RecoverStreak is how many consecutive cleaner evaluations a state
+	// needs before stepping one level toward OK (degrading is always
+	// immediate). Default 4.
+	RecoverStreak int
+	// MinSamples is how many samples a burn window needs before it
+	// reports a nonzero burn, so a single early violation cannot page.
+	// Default 8.
+	MinSamples int
+}
+
+func (s *SLO) applyDefaults() {
+	if s.DetectP99 <= 0 {
+		s.DetectP99 = 2 * time.Second
+	}
+	if s.DetectWindow <= 0 {
+		s.DetectWindow = 60 * time.Second
+	}
+	if s.MaxShedRate <= 0 {
+		s.MaxShedRate = 1
+	}
+	if s.MaxReplLag <= 0 {
+		s.MaxReplLag = 512
+	}
+	if s.MaxHeartbeatMissPerMin <= 0 {
+		s.MaxHeartbeatMissPerMin = 1
+	}
+	if s.MaxAuditBehind <= 0 {
+		s.MaxAuditBehind = 3
+	}
+	if s.Budget <= 0 {
+		s.Budget = 0.1
+	}
+	if s.ShortWindow <= 0 {
+		s.ShortWindow = 10 * time.Second
+	}
+	if s.LongWindow <= 0 {
+		s.LongWindow = 60 * time.Second
+	}
+	if s.EvalPeriod <= 0 {
+		s.EvalPeriod = 250 * time.Millisecond
+	}
+	if s.DegradeBurn <= 0 {
+		s.DegradeBurn = 1
+	}
+	if s.CritBurn <= 0 {
+		s.CritBurn = 2
+	}
+	if s.RecoverStreak <= 0 {
+		s.RecoverStreak = 4
+	}
+	if s.MinSamples <= 0 {
+		s.MinSamples = 8
+	}
+}
+
+// Plane bundles the detector, the SLO evaluator, and (when auditing is
+// armed) the debt meter behind one construction point and one Status
+// document.
+type Plane struct {
+	slo  SLO
+	now  func() time.Duration
+	det  *Detector
+	eval *Evaluator
+	debt *DebtMeter
+}
+
+// NewPlane builds a health plane on the given clock (normally the trace
+// recorder's, so detection latencies share the journal's timebase).
+// Defaults are applied to slo first; the caller declares objectives with
+// AddObjective.
+func NewPlane(slo SLO, now func() time.Duration) *Plane {
+	slo.applyDefaults()
+	return &Plane{
+		slo:  slo,
+		now:  now,
+		det:  NewDetector(slo.DetectWindow, slo.DetectP99, 0),
+		eval: NewEvaluator(slo, now),
+	}
+}
+
+// SLO returns the declaration with defaults applied.
+func (p *Plane) SLO() SLO { return p.slo }
+
+// Detect exposes the detection-latency tracker.
+func (p *Plane) Detect() *Detector { return p.det }
+
+// SetDebt attaches the audit-debt meter (nil when auditing is off).
+func (p *Plane) SetDebt(m *DebtMeter) { p.debt = m }
+
+// Debt returns the attached audit-debt meter, or nil.
+func (p *Plane) Debt() *DebtMeter { return p.debt }
+
+// AddObjective declares one SLO objective. Not safe concurrently with
+// Tick/Status; wire all objectives before the server starts evaluating.
+func (p *Plane) AddObjective(o Objective) { p.eval.Add(o) }
+
+// OnTraceEvent is the recorder tap (trace.Recorder.Observe): it feeds
+// region injection shots and audit findings to the detection tracker.
+// Anything else returns after one switch, keeping the emit path cheap.
+func (p *Plane) OnTraceEvent(ev trace.Event) {
+	switch ev.Kind {
+	case trace.KindShot:
+		// Only region shots ("dbflip") are joined by region coverage;
+		// procedure text shots join through PECOS requests instead and
+		// would sit forever as false open debt.
+		if ev.Op == "dbflip" && ev.Trace != 0 {
+			p.det.Shot(ev.Trace, ev.At)
+		}
+	case trace.KindFinding:
+		if ev.Trace != 0 {
+			p.det.Finding(ev.Trace, ev.At)
+		}
+	}
+}
+
+// Tick runs an SLO evaluation if at least EvalPeriod has elapsed since
+// the last one. Safe from any goroutine; the server drives it from the
+// executor clock.
+func (p *Plane) Tick() { p.eval.Tick() }
+
+// State returns the overall health state (max over subsystems) from the
+// latest evaluation. Lock-free.
+func (p *Plane) State() State { return p.eval.State() }
+
+// Rate converts a cumulative counter read into a per-perUnit rate
+// measured between evaluator ticks. The returned func keeps private
+// state and must only be used as one Objective's Value (the evaluator
+// serializes calls under its lock).
+func Rate(load func() float64, perUnit time.Duration) func(now time.Duration) float64 {
+	var prev float64
+	var prevAt time.Duration
+	primed := false
+	return func(now time.Duration) float64 {
+		v := load()
+		if !primed {
+			primed, prev, prevAt = true, v, now
+			return 0
+		}
+		dt := now - prevAt
+		if dt <= 0 {
+			return 0
+		}
+		rate := (v - prev) * float64(perUnit) / float64(dt)
+		prev, prevAt = v, now
+		return rate
+	}
+}
+
+// RegisterMetrics publishes the plane's gauges, so STATS2 (and with it
+// dbload -watch and the scenario sampler) carries health state with no
+// extra plumbing. Call after all objectives are added.
+func (p *Plane) RegisterMetrics(reg *metrics.Registry) {
+	reg.GaugeFunc("health.state", func() int64 { return int64(p.State()) })
+	for _, name := range p.eval.Subsystems() {
+		name := name
+		reg.GaugeFunc("health."+name+".state", func() int64 {
+			return int64(p.eval.SubsystemState(name))
+		})
+	}
+	det := p.det
+	now := p.now
+	reg.GaugeFunc("health.detect.open_shots", func() int64 {
+		return int64(det.Snapshot(now()).OpenShots)
+	})
+	reg.GaugeFunc("health.detect.watermark_ms", func() int64 {
+		return det.Snapshot(now()).OldestOpen.Milliseconds()
+	})
+	reg.GaugeFunc("health.detect.p99_ms", func() int64 {
+		return det.Snapshot(now()).P99.Milliseconds()
+	})
+	reg.GaugeFunc("health.detect.joined", func() int64 {
+		return int64(det.Snapshot(now()).Joined)
+	})
+	reg.GaugeFunc("health.detect.overruns", func() int64 {
+		return int64(det.Snapshot(now()).Overruns)
+	})
+	if p.debt != nil {
+		p.debt.Register(reg)
+	}
+}

@@ -1,0 +1,239 @@
+package health
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+func TestDetectorJoinAndWatermark(t *testing.T) {
+	d := NewDetector(time.Minute, 2*time.Second, 0)
+	// Three shots; two joined at 100ms and 300ms, one left open.
+	d.Shot(1, 1*time.Second)
+	d.Shot(2, 1*time.Second)
+	d.Shot(3, 2*time.Second)
+	d.Finding(1, 1100*time.Millisecond)
+	d.Finding(2, 1300*time.Millisecond)
+	// A finding with no open shot is ignored.
+	d.Finding(99, 1400*time.Millisecond)
+
+	s := d.Snapshot(3 * time.Second)
+	if s.Joined != 2 || s.WindowJoined != 2 {
+		t.Fatalf("joined = %d/%d, want 2/2", s.Joined, s.WindowJoined)
+	}
+	if s.P50 != 100*time.Millisecond || s.P99 != 300*time.Millisecond {
+		t.Fatalf("p50/p99 = %v/%v, want 100ms/300ms", s.P50, s.P99)
+	}
+	if s.OpenShots != 1 || s.OldestOpen != 1*time.Second {
+		t.Fatalf("open = %d oldest = %v, want 1 / 1s", s.OpenShots, s.OldestOpen)
+	}
+	if s.Overruns != 0 {
+		t.Fatalf("overruns = %d, want 0", s.Overruns)
+	}
+
+	// Past the 2s bound the open shot becomes an overrun — counted once,
+	// even across repeated snapshots and a late join.
+	s = d.Snapshot(5 * time.Second)
+	if s.Overruns != 1 || s.OldestOpen != 3*time.Second {
+		t.Fatalf("overruns = %d oldest = %v, want 1 / 3s", s.Overruns, s.OldestOpen)
+	}
+	d.Snapshot(6 * time.Second)
+	d.Finding(3, 6*time.Second)
+	if s = d.Snapshot(7 * time.Second); s.Overruns != 1 {
+		t.Fatalf("overrun double-counted: %d", s.Overruns)
+	}
+	if s.OpenShots != 0 || s.OldestOpen != 0 {
+		t.Fatalf("watermark did not drain: open=%d oldest=%v", s.OpenShots, s.OldestOpen)
+	}
+}
+
+func TestDetectorEvictsAtCap(t *testing.T) {
+	d := NewDetector(time.Minute, time.Minute, 4)
+	for i := 1; i <= 6; i++ {
+		d.Shot(uint64(i), time.Duration(i)*time.Millisecond)
+	}
+	s := d.Snapshot(10 * time.Millisecond)
+	if s.OpenShots != 4 || s.Evicted != 2 {
+		t.Fatalf("open=%d evicted=%d, want 4/2", s.OpenShots, s.Evicted)
+	}
+	// The evicted entries were the oldest.
+	if s.OldestOpen != 7*time.Millisecond {
+		t.Fatalf("oldest = %v, want 7ms (shot 3)", s.OldestOpen)
+	}
+}
+
+func TestDebtMeterSchedule(t *testing.T) {
+	m := NewDebtMeter(100 * time.Millisecond)
+	at := time.Unix(1000, 0)
+	m.nowFn = func() time.Time { return at }
+
+	if m.Behind() != 0 {
+		t.Fatal("unstarted meter reports debt")
+	}
+	sweep := func(names ...string) {
+		m.SweepStart(len(names))
+		for _, n := range names {
+			m.ElementScheduled(n)
+			m.ElementDone(n)
+		}
+		m.SweepEnd()
+	}
+	sweep("checksum", "semantic")
+	if m.Behind() != 0 {
+		t.Fatalf("on-schedule behind = %d, want 0", m.Behind())
+	}
+
+	// 500ms pass with no sweeps: 5 sweeps owed.
+	at = at.Add(500 * time.Millisecond)
+	if got := m.Behind(); got != 5 {
+		t.Fatalf("behind = %d, want 5", got)
+	}
+	// The late sweep's start gap (>1.5x period) is an interval overrun,
+	// and catch-up sweeps drain the debt to zero.
+	for i := 0; i < 5; i++ {
+		sweep("checksum", "semantic")
+	}
+	if got := m.Behind(); got != 0 {
+		t.Fatalf("post-catch-up behind = %d, want 0", got)
+	}
+	st := m.Status()
+	if st.IntervalOverruns != 1 {
+		t.Fatalf("interval overruns = %d, want 1", st.IntervalOverruns)
+	}
+	if st.MaxBehind < 5 {
+		t.Fatalf("max behind = %d, want >= 5", st.MaxBehind)
+	}
+	if st.SweepsStarted != 6 || st.SweepsCompleted != 6 {
+		t.Fatalf("sweeps = %d/%d, want 6/6", st.SweepsCompleted, st.SweepsStarted)
+	}
+	if e := st.Elements["checksum"]; e.Scheduled != 6 || e.Completed != 6 {
+		t.Fatalf("checksum element debt = %+v, want 6/6", e)
+	}
+	if st.ElementsScheduled != 12 || st.ElementsCompleted != 12 {
+		t.Fatalf("elements = %d/%d, want 12/12", st.ElementsCompleted, st.ElementsScheduled)
+	}
+}
+
+// TestConcurrentHealthReads is the race-detector stress test: health-state
+// readers (Status, State, gauges through a registry snapshot) run against
+// concurrent tracker updates from the trace tap, debt hooks, and evaluator
+// ticks. Run with -race (the repo's `make test` does).
+func TestConcurrentHealthReads(t *testing.T) {
+	rec := trace.New()
+	p := NewPlane(SLO{EvalPeriod: time.Millisecond, MinSamples: 1}, rec.Now)
+	debt := NewDebtMeter(time.Millisecond)
+	p.SetDebt(debt)
+	p.AddObjective(Objective{
+		Name: "detect-p99", Subsystem: "audit", Bound: 2000,
+		Value: func(now time.Duration) float64 {
+			return float64(p.Detect().Snapshot(now).P99.Milliseconds())
+		},
+	})
+	p.AddObjective(Objective{
+		Name: "audit-behind", Subsystem: "audit", Bound: 3,
+		Value: func(time.Duration) float64 { return float64(debt.Behind()) },
+	})
+	rec.Observe(p.OnTraceEvent)
+	reg := metrics.NewRegistry()
+	p.RegisterMetrics(reg)
+	ring := rec.Ring("test", 64)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	work := func(f func(i int)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					f(i)
+				}
+			}
+		}()
+	}
+	// Writers: shots/findings through the recorder tap, debt hooks, ticks.
+	work(func(i int) {
+		tr := rec.NextTrace()
+		ring.Emit(trace.Event{Kind: trace.KindShot, Op: "dbflip", Trace: tr})
+		ring.Emit(trace.Event{Kind: trace.KindFinding, Trace: tr})
+	})
+	work(func(i int) {
+		debt.SweepStart(1)
+		debt.ElementScheduled("checksum")
+		debt.ElementDone("checksum")
+		debt.SweepEnd()
+	})
+	work(func(i int) { p.Tick() })
+	// Readers.
+	for r := 0; r < 3; r++ {
+		work(func(i int) {
+			st := p.Status()
+			_ = st.State.String()
+			_ = p.State()
+			_ = reg.Snapshot()
+		})
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if p.Detect().Snapshot(rec.Now()).Joined == 0 {
+		t.Fatal("stress run joined nothing")
+	}
+}
+
+func TestStatusRoundTripAndText(t *testing.T) {
+	rec := trace.New()
+	p := NewPlane(SLO{}, rec.Now)
+	debt := NewDebtMeter(200 * time.Millisecond)
+	p.SetDebt(debt)
+	p.AddObjective(Objective{
+		Name: "shed-rate", Subsystem: "serving", Bound: 1,
+		Value: func(time.Duration) float64 { return 0 },
+	})
+	debt.SweepStart(1)
+	debt.ElementScheduled("checksum")
+	debt.ElementDone("checksum")
+	debt.SweepEnd()
+	p.Tick()
+
+	st := p.Status()
+	data, err := st.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseStatus(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.State != st.State || len(back.Subsystems) != 1 || back.Subsystems[0].Name != "serving" {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	if back.AuditDebt == nil || back.AuditDebt.SweepsCompleted != 1 {
+		t.Fatalf("debt lost in round trip: %+v", back.AuditDebt)
+	}
+	if back.Detection == nil {
+		t.Fatal("detection lost in round trip")
+	}
+
+	var sb strings.Builder
+	if err := st.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"health: ok", "subsystem serving", "shed-rate", "detection:", "audit debt:"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("text output missing %q:\n%s", want, sb.String())
+		}
+	}
+
+	if _, err := ParseStatus([]byte(`{"state":"nonsense"}`)); err == nil {
+		t.Fatal("garbage state accepted")
+	}
+}

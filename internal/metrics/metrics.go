@@ -134,6 +134,18 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 
 // SnapshotHistogram captures the distribution at one instant.
 func (h *Histogram) SnapshotHistogram() HistogramSnapshot {
+	return h.snapshot(false)
+}
+
+// SnapshotHistogramFull is SnapshotHistogram with the raw bucket bounds
+// and per-bucket counts attached — the source for Prometheus exposition,
+// where cumulative buckets are first-class. The compact form keeps the
+// STATS2 wire document small.
+func (h *Histogram) SnapshotHistogramFull() HistogramSnapshot {
+	return h.snapshot(true)
+}
+
+func (h *Histogram) snapshot(full bool) HistogramSnapshot {
 	// Read count last so the quantile ranks never exceed the bucket sums
 	// under concurrent Observe (buckets are bumped before count).
 	counts := make([]uint64, len(h.counts))
@@ -150,29 +162,37 @@ func (h *Histogram) SnapshotHistogram() HistogramSnapshot {
 	s.P50 = quantile(h.bounds, counts, total, s.Max, 0.50)
 	s.P95 = quantile(h.bounds, counts, total, s.Max, 0.95)
 	s.P99 = quantile(h.bounds, counts, total, s.Max, 0.99)
+	if full {
+		s.Bounds = append([]int64(nil), h.bounds...)
+		s.Buckets = counts
+	}
 	return s
 }
 
-// quantile interpolates the q-th quantile from bucket counts. The overflow
-// bucket interpolates toward the observed max.
+// quantile interpolates the q-th quantile from bucket counts using a
+// continuous rank: the q-th quantile sits pos = q·total observations into
+// the distribution, and within the bucket containing pos the value is
+// linearly interpolated between the bucket's bounds (the overflow bucket
+// interpolates toward the observed max, and the top bound clamps to max
+// so a distribution ending mid-bucket is not stretched to the bound).
 func quantile(bounds []int64, counts []uint64, total uint64, max int64, q float64) int64 {
 	if total == 0 {
 		return 0
 	}
-	rank := uint64(q * float64(total))
-	if rank >= total {
-		rank = total - 1
+	pos := q * float64(total)
+	if pos > float64(total) {
+		pos = float64(total)
 	}
 	var seen uint64
 	for i, c := range counts {
 		if c == 0 {
 			continue
 		}
-		if rank >= seen+c {
+		if pos > float64(seen+c) {
 			seen += c
 			continue
 		}
-		// The rank lands in bucket i spanning (lo, hi].
+		// pos lands in bucket i spanning (lo, hi].
 		var lo int64
 		if i > 0 {
 			lo = bounds[i-1]
@@ -184,22 +204,32 @@ func quantile(bounds []int64, counts []uint64, total uint64, max int64, q float6
 		if hi < lo {
 			hi = lo
 		}
-		frac := (float64(rank-seen) + 0.5) / float64(c)
-		return lo + int64(frac*float64(hi-lo))
+		frac := (pos - float64(seen)) / float64(c)
+		if frac < 0 {
+			frac = 0
+		} else if frac > 1 {
+			frac = 1
+		}
+		return lo + int64(frac*float64(hi-lo)+0.5)
 	}
 	return max
 }
 
 // HistogramSnapshot is the exported view of a histogram: exact count, sum,
 // and max plus interpolated percentiles, all in the observed unit
-// (nanoseconds for latency histograms).
+// (nanoseconds for latency histograms). Bounds and Buckets carry the raw
+// distribution (ascending upper bounds plus one trailing overflow bucket)
+// only when taken via SnapshotHistogramFull / Registry.SnapshotFull; the
+// compact wire form omits them.
 type HistogramSnapshot struct {
-	Count uint64 `json:"count"`
-	Sum   int64  `json:"sum"`
-	Max   int64  `json:"max"`
-	P50   int64  `json:"p50"`
-	P95   int64  `json:"p95"`
-	P99   int64  `json:"p99"`
+	Count   uint64   `json:"count"`
+	Sum     int64    `json:"sum"`
+	Max     int64    `json:"max"`
+	P50     int64    `json:"p50"`
+	P95     int64    `json:"p95"`
+	P99     int64    `json:"p99"`
+	Bounds  []int64  `json:"bounds,omitempty"`
+	Buckets []uint64 `json:"buckets,omitempty"`
 }
 
 // Mean returns the average observation, or 0 when empty.
@@ -307,7 +337,14 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 
 // Snapshot captures every registered metric at one instant. Gauge
 // functions are evaluated outside the registry lock.
-func (r *Registry) Snapshot() Snapshot {
+func (r *Registry) Snapshot() Snapshot { return r.snapshot(false) }
+
+// SnapshotFull is Snapshot with raw histogram bucket data included — the
+// Prometheus exposition source. The compact Snapshot stays the STATS2
+// payload so the wire document does not grow with bucket arrays.
+func (r *Registry) SnapshotFull() Snapshot { return r.snapshot(true) }
+
+func (r *Registry) snapshot(full bool) Snapshot {
 	r.mu.Lock()
 	entries := make([]*entry, 0, len(r.entries))
 	for _, e := range r.entries {
@@ -329,7 +366,7 @@ func (r *Registry) Snapshot() Snapshot {
 		case e.gf != nil:
 			s.Gauges[e.name] = e.gf()
 		case e.h != nil:
-			s.Histograms[e.name] = e.h.SnapshotHistogram()
+			s.Histograms[e.name] = e.h.snapshot(full)
 		}
 	}
 	return s

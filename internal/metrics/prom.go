@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PromContentType is the content type of the Prometheus text exposition
+// format emitted by WriteProm.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteProm renders the snapshot in the Prometheus text exposition format
+// (version 0.0.4): counters and gauges as single samples, histograms as
+// cumulative `_bucket{le="..."}` series plus `_sum` and `_count` when the
+// snapshot carries raw bucket data (Registry.SnapshotFull), falling back
+// to `_sum`/`_count` alone for compact snapshots. Metric names are
+// sanitized (dots and other invalid runes become underscores); values stay
+// in the observed unit, so latency histograms scrape in nanoseconds.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	var names []string
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := writePromHistogram(w, promName(n), s.Histograms[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, pn string, h HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+		return err
+	}
+	if len(h.Buckets) == len(h.Bounds)+1 {
+		var cum uint64
+		for i, bound := range h.Bounds {
+			cum += h.Buckets[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, bound, cum); err != nil {
+				return err
+			}
+		}
+		cum += h.Buckets[len(h.Bounds)]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", pn, h.Sum, pn, h.Count)
+	return err
+}
+
+// promName maps a registry name onto the Prometheus metric-name alphabet
+// [a-zA-Z_:][a-zA-Z0-9_:]*; every invalid rune becomes an underscore.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/callproc"
+	"repro/internal/health"
 	"repro/internal/memdb"
 	"repro/internal/metrics"
 	"repro/internal/trace"
@@ -177,6 +178,12 @@ func Run(sc *Scenario, opts RunOptions) (*Report, error) {
 	for _, pr := range rep.Phases {
 		fmt.Fprintf(out, "ScenarioThroughput/%s/%s %.0f ops/s\n", sc.Name, pr.Name, pr.OpsPerSec)
 	}
+	for _, pr := range rep.Phases {
+		if pr.Health != "" {
+			fmt.Fprintf(out, "scenario %s: health[%s]: worst=%s max_open=%d max_debt=%d\n",
+				sc.Name, pr.Name, pr.Health, pr.MaxOpen, pr.MaxDebt)
+		}
+	}
 	if rep.Detection != nil {
 		fmt.Fprintf(out, "scenario %s: detection: shots=%d joined=%d unjoined=%d p50=%.1fms max=%.1fms\n",
 			sc.Name, rep.Detection.Shots, rep.Detection.Joined, rep.Detection.Unjoined,
@@ -302,7 +309,7 @@ func (sm *sampler) take(base time.Time, phase string, workers []*runWorker) {
 			findings += v - sm.base0.Counters[name]
 		}
 	}
-	sm.samples = append(sm.samples, Sample{
+	s := Sample{
 		AtSec:      now.Sub(base).Seconds(),
 		Phase:      phase,
 		OpsPerSec:  rate,
@@ -310,7 +317,13 @@ func (sm *sampler) take(base time.Time, phase string, workers []*runWorker) {
 		Shed:       snap.Gauges["server.queue.dropped"] - sm.base0.Gauges["server.queue.dropped"],
 		Findings:   findings,
 		Sweeps:     snap.Counters["audit.sweeps"] - sm.base0.Counters["audit.sweeps"],
-	})
+	}
+	if hstate, ok := snap.Gauges["health.state"]; ok {
+		s.Health = health.State(hstate).String()
+		s.OpenShots = snap.Gauges["health.detect.open_shots"]
+		s.AuditDebt = snap.Gauges["audit.debt.behind"]
+	}
+	sm.samples = append(sm.samples, s)
 	sm.fetchJournal()
 }
 
@@ -380,6 +393,35 @@ func buildReport(plan *Plan, workers []*runWorker, samp *sampler, end metrics.Sn
 			pr.OpsPerSec = float64(prDone) / span
 		}
 		rep.Phases = append(rep.Phases, pr)
+	}
+
+	// Condense each phase's health timeline from its samples: worst SLO
+	// state, peak undetected-fault count, peak audit debt.
+	for i := range rep.Phases {
+		worst, seen := health.OK, false
+		var maxOpen, maxDebt int64
+		for _, s := range samp.samples {
+			if s.Phase != rep.Phases[i].Name || s.Health == "" {
+				continue
+			}
+			if st, ok := health.ParseState(s.Health); ok {
+				seen = true
+				if st > worst {
+					worst = st
+				}
+			}
+			if s.OpenShots > maxOpen {
+				maxOpen = s.OpenShots
+			}
+			if s.AuditDebt > maxDebt {
+				maxDebt = s.AuditDebt
+			}
+		}
+		if seen {
+			rep.Phases[i].Health = worst.String()
+			rep.Phases[i].MaxOpen = maxOpen
+			rep.Phases[i].MaxDebt = maxDebt
+		}
 	}
 
 	for k := OpKind(0); k < numOpKinds; k++ {

@@ -24,13 +24,20 @@ type Report struct {
 	ProcAborts int        `json:"proc_aborts"`
 }
 
-// PhaseResult reports achieved throughput for one timeline phase.
+// PhaseResult reports achieved throughput for one timeline phase, plus the
+// phase's health timeline condensed from the samples (absent when the
+// server's health plane is off): the worst overall SLO state observed, the
+// peak count of injected-but-undetected faults, and the peak audit
+// sweeps-behind debt.
 type PhaseResult struct {
 	Name       string  `json:"name"`
 	TargetOps  int     `json:"target_ops"`
 	DoneOps    int     `json:"done_ops"`
 	ElapsedSec float64 `json:"elapsed_sec"`
 	OpsPerSec  float64 `json:"ops_per_sec"`
+	Health     string  `json:"health,omitempty"`
+	MaxOpen    int64   `json:"max_open_shots,omitempty"`
+	MaxDebt    int64   `json:"max_audit_debt,omitempty"`
 }
 
 // OpStat is the client-side latency profile for one op kind.
@@ -69,7 +76,8 @@ type Detection struct {
 	MaxMs     float64 `json:"max_ms"`
 }
 
-// Sample is one per-tick observation of the run.
+// Sample is one per-tick observation of the run. The health fields are
+// populated only when the server publishes the health plane's gauges.
 type Sample struct {
 	AtSec      float64 `json:"at_sec"`
 	Phase      string  `json:"phase"`
@@ -78,6 +86,9 @@ type Sample struct {
 	Shed       int64   `json:"shed"`
 	Findings   uint64  `json:"findings"` // cumulative, all classes
 	Sweeps     uint64  `json:"sweeps"`   // cumulative
+	Health     string  `json:"health,omitempty"`
+	OpenShots  int64   `json:"open_shots,omitempty"` // injected, not yet detected
+	AuditDebt  int64   `json:"audit_debt,omitempty"` // periodic sweeps behind schedule
 }
 
 // Encode renders the full report as indented JSON, newline-terminated.

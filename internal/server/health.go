@@ -1,0 +1,96 @@
+package server
+
+import (
+	"time"
+
+	"repro/internal/health"
+)
+
+// buildHealthPlane assembles the health & SLO plane: the detection-latency
+// tracker tapped into the trace recorder, the audit-debt meter the periodic
+// element reports into, and the SLO evaluator over the serving, audit, and
+// replication subsystems. Called once from New, before registerMetrics and
+// before the executor starts, so every objective is declared before the
+// first evaluation. The plane requires both metrics and tracing: the
+// detector is fed by the recorder's live tap, and the gauges ride STATS2.
+func (s *Server) buildHealthPlane() {
+	if s.cfg.DisableHealth || s.tel == nil || s.rec == nil {
+		return
+	}
+	p := health.NewPlane(s.cfg.SLO, s.rec.Now)
+	slo := p.SLO()
+
+	if s.cfg.AuditPeriod > 0 {
+		s.healthDebt = health.NewDebtMeter(s.cfg.AuditPeriod)
+		p.SetDebt(s.healthDebt)
+	}
+
+	// serving: request sheds per second at the bounded executor queue.
+	p.AddObjective(health.Objective{
+		Name: "shed-rate", Subsystem: "serving", Bound: slo.MaxShedRate,
+		Value: health.Rate(func() float64 {
+			s.dropMu.Lock()
+			defer s.dropMu.Unlock()
+			return float64(s.dropped)
+		}, time.Second),
+	})
+
+	// audit: is corruption still found fast enough, and is the periodic
+	// scheduler keeping its own cadence?
+	det := p.Detect()
+	p.AddObjective(health.Objective{
+		Name: "detect-p99", Subsystem: "audit",
+		Bound: float64(slo.DetectP99.Milliseconds()),
+		Value: func(now time.Duration) float64 {
+			return float64(det.Snapshot(now).P99.Milliseconds())
+		},
+	})
+	p.AddObjective(health.Objective{
+		Name: "detect-watermark", Subsystem: "audit",
+		Bound: float64(slo.DetectP99.Milliseconds()),
+		Value: func(now time.Duration) float64 {
+			return float64(det.Snapshot(now).OldestOpen.Milliseconds())
+		},
+	})
+	if s.cfg.AuditPeriod > 0 {
+		debt := s.healthDebt
+		p.AddObjective(health.Objective{
+			Name: "audit-behind", Subsystem: "audit", Bound: slo.MaxAuditBehind,
+			Value: func(time.Duration) float64 { return float64(debt.Behind()) },
+		})
+		p.AddObjective(health.Objective{
+			Name: "heartbeat-miss", Subsystem: "audit", Bound: slo.MaxHeartbeatMissPerMin,
+			Value: health.Rate(func() float64 {
+				return float64(s.hbMisses.Load())
+			}, time.Minute),
+		})
+	}
+
+	// replication: only when this node ships a WAL tail to a standby.
+	if s.shipper != nil {
+		sh := s.shipper
+		p.AddObjective(health.Objective{
+			Name: "repl-lag", Subsystem: "replication", Bound: slo.MaxReplLag,
+			Value: func(time.Duration) float64 { return float64(sh.Lag()) },
+		})
+	}
+
+	// Register the recorder tap last: objectives are wired, so a shot
+	// arriving immediately is accounted against a complete plane.
+	s.rec.Observe(p.OnTraceEvent)
+	s.health = p
+}
+
+// Health returns the current health status document. Safe from any
+// goroutine — the plane's state is read lock-free or under its own short
+// locks, never via the executor. ok is false when the plane is disabled.
+func (s *Server) Health() (health.Status, bool) {
+	if s.health == nil {
+		return health.Status{}, false
+	}
+	return s.health.Status(), true
+}
+
+// HealthPlane exposes the plane itself (nil when disabled) for tests and
+// the embedding daemon's HTTP endpoint.
+func (s *Server) HealthPlane() *health.Plane { return s.health }

@@ -296,7 +296,8 @@ func (s *Server) handleReplFetch(q wire.Request) wire.Response {
 func standbyAllowed(op wire.Op) bool {
 	switch op {
 	case wire.OpPing, wire.OpSweep, wire.OpStats, wire.OpStats2, wire.OpTrace,
-		wire.OpReplStatus, wire.OpReplPromote, wire.OpReplSnap, wire.OpReplFetch:
+		wire.OpHealth, wire.OpReplStatus, wire.OpReplPromote, wire.OpReplSnap,
+		wire.OpReplFetch:
 		return true
 	}
 	return false

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/audit"
+	"repro/internal/health"
 	"repro/internal/inject"
 	"repro/internal/ipc"
 	"repro/internal/manager"
@@ -116,6 +117,14 @@ type Config struct {
 	// TraceRingSize overrides the per-ring event capacity
 	// (default trace.DefaultRingSize).
 	TraceRingSize int
+	// SLO declares the health plane's objectives and evaluator windows;
+	// the zero value takes every documented default. Ignored when the
+	// plane is off.
+	SLO health.SLO
+	// DisableHealth turns the health & SLO plane off. The plane also
+	// stays off when metrics or tracing are disabled — it is built from
+	// the registry's gauges and the recorder's live tap.
+	DisableHealth bool
 	// WAL, when set, is the operation log: every successful mutating
 	// request is appended, fsync batched on the executor clock tick. The
 	// server owns it from here on — Shutdown syncs, checkpoints, and
@@ -215,7 +224,8 @@ func (c *Config) applyDefaults() {
 type task struct {
 	c     *conn
 	req   wire.Request
-	tid   uint64 // request trace ID (0: tracing off or untraced op)
+	tid   uint64    // request trace ID (0: tracing off or untraced op)
+	t0    time.Time // enqueue instant (zero when metrics are off)
 	reply chan wire.Response
 }
 
@@ -279,6 +289,14 @@ type Server struct {
 	// auditTel publishes audit-layer metrics into the same registry.
 	tel      *telemetry
 	auditTel *audit.Telemetry
+
+	// Health & SLO plane (nil when Config.DisableHealth, or when metrics
+	// or tracing are off). healthDebt is the audit scheduler's debt sink;
+	// hbMisses mirrors the manager's cumulative heartbeat-miss count into
+	// an atomic the plane's rate objective can read from any goroutine.
+	health     *health.Plane
+	healthDebt *health.DebtMeter
+	hbMisses   atomic.Uint64
 
 	// view is the fast-lane read view (nil when Config.DisableFastLane):
 	// connection goroutines serve read opcodes through it without an
@@ -554,14 +572,16 @@ func New(db *memdb.DB, cfg Config) (*Server, error) {
 				}
 			}),
 		}
-		if s.auditTracer != nil {
-			mopts = append(mopts, manager.WithOnMiss(func(n int) {
+		mopts = append(mopts, manager.WithOnMiss(func(n int) {
+			s.hbMisses.Store(uint64(n))
+			if s.auditTracer != nil {
 				s.auditTracer.Ring().Emit(trace.Event{Kind: trace.KindHeartbeatMiss, Aux: int64(n)})
-			}))
-		}
+			}
+		}))
 		s.mgr = manager.New(s.env, q, s.buildAuditProcess, mopts...)
 	}
 	s.start = time.Now()
+	s.buildHealthPlane()
 	if s.tel != nil {
 		s.registerMetrics()
 	}
@@ -630,6 +650,14 @@ type telemetry struct {
 	// batchSize observes how many requests each executor wakeup drained.
 	batchSize *metrics.Histogram
 
+	// Per-stage request latency: time on the executor queue, time inside
+	// handle, and time spent encoding + buffering the response frame.
+	// Together they decompose the per-op latency histograms, so a latency
+	// regression is attributable to queueing vs execution vs the socket.
+	stageQueueWait  *metrics.Histogram
+	stageExecute    *metrics.Histogram
+	stageReplyWrite *metrics.Histogram
+
 	// forcedSweeps counts OpSweep-driven full sweeps (shutdown's certifying
 	// sweep included); "audit.sweeps" counts all completed sweeps.
 	forcedSweeps *metrics.Counter
@@ -646,6 +674,9 @@ func newTelemetry(reg *metrics.Registry) *telemetry {
 		t.latency[op] = reg.Histogram("server.latency."+wire.Op(op).String(), nil)
 	}
 	t.batchSize = reg.Histogram("server.batch.size", batchBuckets())
+	t.stageQueueWait = reg.Histogram("server.stage.queue_wait", nil)
+	t.stageExecute = reg.Histogram("server.stage.execute", nil)
+	t.stageReplyWrite = reg.Histogram("server.stage.reply_write", nil)
 	t.forcedSweeps = reg.Counter("audit.sweeps.forced")
 	t.mgrProbes = reg.Gauge("manager.probes")
 	t.mgrReplies = reg.Gauge("manager.replies")
@@ -719,6 +750,9 @@ func (s *Server) registerMetrics() {
 	if s.view != nil {
 		s.view.BindMetrics(reg)
 	}
+	if s.health != nil {
+		s.health.RegisterMetrics(reg)
+	}
 	s.db.BindMetrics(reg)
 }
 
@@ -751,6 +785,9 @@ func (s *Server) refreshExecutorMetrics() {
 	}
 	if s.procTel != nil && s.procs != nil {
 		s.procTel.registered.Set(int64(s.procs.Len()))
+	}
+	if s.health != nil {
+		s.health.Tick()
 	}
 }
 
@@ -785,18 +822,33 @@ func (s *Server) SnapshotMetrics() (metrics.Snapshot, error) {
 	if s.tel == nil {
 		return metrics.Snapshot{}, errors.New("server: metrics disabled")
 	}
+	s.refreshViaExecutor()
+	return s.tel.reg.Snapshot(), nil
+}
+
+// SnapshotMetricsFull is SnapshotMetrics with per-histogram bucket arrays
+// included — the Prometheus exposition path. Same freshness contract.
+func (s *Server) SnapshotMetricsFull() (metrics.Snapshot, error) {
+	if s.tel == nil {
+		return metrics.Snapshot{}, errors.New("server: metrics disabled")
+	}
+	s.refreshViaExecutor()
+	return s.tel.reg.SnapshotFull(), nil
+}
+
+// refreshViaExecutor runs refreshExecutorMetrics on the executor thread
+// and waits for it (or for executor exit, after which the gauges hold
+// their final values). Safe from any goroutine.
+func (s *Server) refreshViaExecutor() {
 	refreshed := make(chan struct{})
 	select {
 	case s.ctrl <- func() { s.refreshExecutorMetrics(); close(refreshed) }:
 		select {
 		case <-refreshed:
 		case <-s.done:
-			// Executor exited first; drainAndStop ran a final refresh.
 		}
 	case <-s.done:
-		// Executor already gone: the gauges hold their final values.
 	}
-	return s.tel.reg.Snapshot(), nil
 }
 
 // buildAuditProcess is the manager's factory: heartbeat responder,
@@ -818,6 +870,11 @@ func (s *Server) buildAuditProcess(q *ipc.Queue) (*audit.Process, error) {
 		checkers[i] = c
 	}
 	per := audit.NewPeriodicElement(s.cfg.AuditPeriod, audit.FullSweep, nil, checkers...)
+	if s.healthDebt != nil {
+		// Re-attached on every restart, so schedule accounting survives a
+		// heartbeat-driven rebuild of the audit process.
+		per.SetDebt(s.healthDebt)
+	}
 	if err := p.Register(per); err != nil {
 		return nil, err
 	}
@@ -1171,7 +1228,18 @@ func (s *Server) execute(t task) {
 	if t.tid != 0 {
 		s.srvRing.Emit(trace.Event{Kind: trace.KindReqExecute, Trace: t.tid, Op: t.req.Op.String()})
 	}
+	// Stage decomposition: everything before this instant was queue wait,
+	// handle is the execute stage (reply_write is observed in connWriter).
+	staged := s.tel != nil && !t.t0.IsZero()
+	var e0 time.Time
+	if staged {
+		e0 = time.Now()
+		s.tel.stageQueueWait.Observe(int64(e0.Sub(t.t0)))
+	}
 	resp := s.handle(t.c, t.req, t.tid)
+	if staged {
+		s.tel.stageExecute.Observe(int64(time.Since(e0)))
+	}
 	resp.Seq = t.req.Seq
 	s.logMutation(t.req, resp, t.tid)
 	op := t.req.Op
@@ -1229,6 +1297,15 @@ func (s *Server) handle(c *conn, q wire.Request, tid uint64) wire.Response {
 		}
 		s.refreshExecutorMetrics()
 		data, err := json.Marshal(s.tel.reg.Snapshot())
+		if err != nil {
+			return wire.ErrorResponse(q.Seq, err)
+		}
+		return wire.Response{Detail: string(data)}
+	case wire.OpHealth:
+		if s.health == nil {
+			return wire.ErrorResponse(q.Seq, errors.New("server: health plane disabled"))
+		}
+		data, err := s.health.Status().MarshalJSON()
 		if err != nil {
 			return wire.ErrorResponse(q.Seq, err)
 		}
@@ -1486,6 +1563,9 @@ func (s *Server) submit(c *conn, req wire.Request) wire.Response {
 		c.reply = make(chan wire.Response, 1)
 	}
 	t := task{c: c, req: req, reply: c.reply}
+	if rec {
+		t.t0 = t0
+	}
 	if tr {
 		// The enqueue event is journaled before the send so its sequence
 		// number precedes the executor's req-execute for the same trace.
@@ -1558,13 +1638,21 @@ type connWriter struct {
 }
 
 func (w *connWriter) write(resp wire.Response) bool {
+	var t0 time.Time
+	if w.s.tel != nil {
+		t0 = time.Now()
+	}
 	w.buf = wire.AppendResponse(w.buf[:0], resp)
 	if w.bw.Buffered() == 0 {
 		if err := w.c.nc.SetWriteDeadline(time.Now().Add(w.s.cfg.WriteTimeout)); err != nil {
 			return false
 		}
 	}
-	return wire.WriteFrame(w.bw, w.buf) == nil
+	ok := wire.WriteFrame(w.bw, w.buf) == nil
+	if w.s.tel != nil {
+		w.s.tel.stageReplyWrite.Observe(int64(time.Since(t0)))
+	}
+	return ok
 }
 
 func (w *connWriter) flush() bool {

@@ -97,6 +97,37 @@ func TestSaturatedEmitNeverBlocksOrAllocates(t *testing.T) {
 	}
 }
 
+func TestObserverTapsEveryEmit(t *testing.T) {
+	r := New()
+	g := r.Ring("hot", 8)
+	var mu sync.Mutex
+	var seen []Event
+	r.Observe(func(ev Event) {
+		mu.Lock()
+		seen = append(seen, ev)
+		mu.Unlock()
+	})
+	for i := 0; i < 20; i++ { // more than the ring retains
+		g.Emit(Event{Kind: KindShot, Op: "dbflip", Trace: uint64(i + 1)})
+	}
+	mu.Lock()
+	n := len(seen)
+	mu.Unlock()
+	if n != 20 {
+		t.Fatalf("observer saw %d events, want 20 (ring overflow must not drop tap calls)", n)
+	}
+	if seen[0].Seq == 0 || seen[0].Ring != "hot" {
+		t.Fatalf("observer event missing Seq/Ring: %+v", seen[0])
+	}
+	r.Observe(nil)
+	g.Emit(Event{Kind: KindShot})
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 20 {
+		t.Fatalf("removed observer still invoked: %d events", len(seen))
+	}
+}
+
 func TestConcurrentEmitters(t *testing.T) {
 	r := New()
 	var wg sync.WaitGroup

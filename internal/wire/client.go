@@ -225,6 +225,21 @@ func (c *Conn) Stats2() ([]byte, error) {
 	return []byte(r.Detail), nil
 }
 
+// Health fetches the server's health & SLO document as JSON: the overall
+// and per-subsystem OK/DEGRADED/CRITICAL states, objective values with
+// error-budget burn rates, the online detection-latency tracker, and
+// audit-debt accounting. Decode it with health.ParseStatus.
+func (c *Conn) Health() ([]byte, error) {
+	r, err := c.call(Request{Op: OpHealth})
+	if err != nil {
+		return nil, err
+	}
+	if len(r.Detail) == 0 {
+		return nil, fmt.Errorf("%w: Health reply carries no document", ErrBadFrame)
+	}
+	return []byte(r.Detail), nil
+}
+
 // TraceJSON fetches the server's flight-recorder journal as a JSON array
 // of trace events. kind filters to one event kind (0 = all kinds); n caps
 // the result to the most recent n events (0 = server default). Decode it

@@ -68,6 +68,7 @@ const (
 	OpProcLoad    // register a procedure: Detail = name + "\n" + source; returns [words, blocks, version]
 	OpProcList    // procedure registry introspection; response Detail carries the JSON inventory
 	OpInjectCtl   // retime the server-side fault injectors at runtime: Vals [data-lo, data-hi, proc-lo, proc-hi] periods in ns (0 = off), Aux = InjectMode*
+	OpHealth      // health & SLO plane snapshot; Detail carries the JSON health.Status document
 	opMax
 )
 
@@ -142,6 +143,8 @@ func (o Op) String() string {
 		return "ProcList"
 	case OpInjectCtl:
 		return "InjectCtl"
+	case OpHealth:
+		return "Health"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}

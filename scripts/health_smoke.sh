@@ -1,0 +1,144 @@
+#!/bin/sh
+# health_smoke.sh — end-to-end smoke for the health & SLO plane, built with
+# the race detector: boot a dbserve with the metrics endpoint up, replay a
+# compressed fault-storm scenario against it, and gate on the plane's own
+# evidence:
+#
+#   during the storm   the scenario's per-phase health timeline must show
+#                      open (injected-but-undetected) shots — the detection
+#                      watermark doing its job while faults are landing.
+#   at exit            `dbctl health` must not report CRITICAL, the
+#                      detect-p99 objective must be ok (detection latency
+#                      within the SLO bound), and the /healthz document must
+#                      show the watermark drained: zero open shots, zero
+#                      overruns, zero audit sweeps behind schedule.
+#   exposition         /healthz answers 200 with the JSON document, and
+#                      /statsz?format=prom serves the Prometheus text
+#                      format with cumulative histogram buckets.
+#
+# Artifacts (healthz JSON, dbctl health text, prom exposition, scenario
+# report) land in HEALTH_REPORT_DIR (default: the scratch dir; CI points
+# this at an upload path).
+#
+# Run via `make health-smoke`. POSIX sh + the go toolchain only.
+set -eu
+
+GO=${GO:-go}
+DIR=$(mktemp -d)
+REPORT_DIR=${HEALTH_REPORT_DIR:-$DIR}
+mkdir -p "$REPORT_DIR"
+SERVER_PID=
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$DIR"
+}
+trap cleanup EXIT INT TERM
+
+ADDR=127.0.0.1:7461
+HTTP_ADDR=127.0.0.1:7462
+SCALE=${SCENARIO_SCALE:-0.1}
+SEED=${SCENARIO_SEED:-7}
+
+$GO build -race -o "$DIR/dbserve" ./cmd/dbserve
+$GO build -race -o "$DIR/dbload" ./cmd/dbload
+$GO build -race -o "$DIR/dbctl" ./cmd/dbctl
+
+# A short audit period so detection keeps pace with the compressed storm.
+"$DIR/dbserve" -addr "$ADDR" -metrics-addr "$HTTP_ADDR" -audit-period 200ms \
+    >"$DIR/server.out" 2>&1 &
+SERVER_PID=$!
+
+ready=0
+i=0
+while [ "$i" -lt 100 ]; do
+    if "$DIR/dbload" -addr "$ADDR" -conns 1 -ops 1 >/dev/null 2>&1; then
+        ready=1
+        break
+    fi
+    i=$((i + 1))
+    sleep 0.1
+done
+if [ "$ready" != 1 ]; then
+    echo "health-smoke: server never came up" >&2
+    cat "$DIR/server.out" >&2
+    exit 1
+fi
+
+# The storm: injector armed mid-run via INJECT_CTL, every shot must join.
+if ! "$DIR/dbload" -addr "$ADDR" -scenario fault-storm -seed "$SEED" \
+    -scenario-scale "$SCALE" \
+    -scenario-report "$REPORT_DIR/fault-storm.report.json" \
+    >"$DIR/storm.out" 2>&1; then
+    echo "health-smoke: fault-storm failed" >&2
+    cat "$DIR/storm.out" >&2
+    echo "--- server log ---" >&2
+    cat "$DIR/server.out" >&2
+    exit 1
+fi
+cat "$DIR/storm.out"
+
+# Storm-phase evidence: the health timeline must have seen open shots —
+# injected faults the audits had not yet found at sample time.
+if ! grep -Eq 'health\[storm\]: worst=[a-z]+ max_open=[1-9]' "$DIR/storm.out"; then
+    echo "health-smoke: storm phase never showed an open (undetected) shot" >&2
+    exit 1
+fi
+
+# End-state gates over the wire op: dbctl health exits nonzero on CRITICAL.
+if ! "$DIR/dbctl" -op health -addr "$ADDR" >"$REPORT_DIR/health.txt" 2>&1; then
+    echo "health-smoke: dbctl health reported CRITICAL (or failed)" >&2
+    cat "$REPORT_DIR/health.txt" >&2
+    exit 1
+fi
+cat "$REPORT_DIR/health.txt"
+# Detection p99 within the SLO bound: the detect-p99 objective is ok.
+if ! grep -Eq 'detect-p99 +ok' "$REPORT_DIR/health.txt"; then
+    echo "health-smoke: detect-p99 objective not ok" >&2
+    exit 1
+fi
+# The watermark drained: no shot left undetected, none ever overran the
+# bound, and the audit scheduler is not behind its own cadence.
+if ! grep -Eq 'detection: .*open_shots=0 .*overruns=0' "$REPORT_DIR/health.txt"; then
+    echo "health-smoke: open shots or overruns at exit" >&2
+    exit 1
+fi
+if ! grep -Eq 'audit debt: behind=0 ' "$REPORT_DIR/health.txt"; then
+    echo "health-smoke: audit debt not drained at exit" >&2
+    exit 1
+fi
+# The debt meter did account the storm's sweeps.
+if ! grep -Eq 'audit debt: .*sweeps=[1-9][0-9]*/[1-9][0-9]*' "$REPORT_DIR/health.txt"; then
+    echo "health-smoke: no sweeps accounted by the debt meter" >&2
+    exit 1
+fi
+
+# /healthz: 200 (httpget exits nonzero on the CRITICAL 503) with the same
+# drained document.
+if ! $GO run scripts/httpget.go "http://$HTTP_ADDR/healthz" >"$REPORT_DIR/healthz.json"; then
+    echo "health-smoke: /healthz not healthy" >&2
+    cat "$REPORT_DIR/healthz.json" >&2
+    exit 1
+fi
+if ! grep -q '"open_shots": 0' "$REPORT_DIR/healthz.json"; then
+    echo "health-smoke: /healthz shows open shots at exit" >&2
+    cat "$REPORT_DIR/healthz.json" >&2
+    exit 1
+fi
+
+# Prometheus exposition: histogram buckets present and cumulative (+Inf),
+# health gauges exported.
+$GO run scripts/httpget.go "http://$HTTP_ADDR/statsz?format=prom" >"$REPORT_DIR/statsz.prom"
+for want in '_bucket{le="' '_bucket{le="+Inf"}' 'health_state' 'audit_debt_behind'; do
+    if ! grep -Fq "$want" "$REPORT_DIR/statsz.prom"; then
+        echo "health-smoke: prom exposition missing $want" >&2
+        exit 1
+    fi
+done
+
+if grep -q 'DATA RACE' "$DIR/server.out"; then
+    echo "health-smoke: race detector fired in the server" >&2
+    cat "$DIR/server.out" >&2
+    exit 1
+fi
+
+echo "health-smoke: OK (artifacts in $REPORT_DIR)"

@@ -1,0 +1,39 @@
+//go:build ignore
+
+// httpget fetches one URL and writes the response body to stdout — a curl
+// substitute for smoke scripts, so they depend only on the go toolchain.
+// Exits 1 on a network error or a non-2xx status (the /healthz contract:
+// CRITICAL answers 503, so gating on the exit code alone works).
+//
+// Usage: go run scripts/httpget.go URL
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: httpget URL")
+		os.Exit(2)
+	}
+	c := &http.Client{Timeout: 10 * time.Second}
+	resp, err := c.Get(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "httpget:", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		fmt.Fprintln(os.Stderr, "httpget:", err)
+		os.Exit(1)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		fmt.Fprintf(os.Stderr, "httpget: %s answered %s\n", os.Args[1], resp.Status)
+		os.Exit(1)
+	}
+}
