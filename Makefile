@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test check cover fuzz-smoke trace-smoke failover-smoke proc-smoke scenario-smoke health-smoke bench bench-smoke clean
+.PHONY: all build vet test check cover fuzz-smoke trace-smoke failover-smoke proc-smoke scenario-smoke health-smoke replica-smoke bench bench-smoke clean
 
 all: check
 
@@ -67,6 +67,17 @@ scenario-smoke:
 # exposition must carry histogram buckets. Artifacts in HEALTH_REPORT_DIR.
 health-smoke:
 	sh scripts/health_smoke.sh
+
+# Read fan-out smoke over real processes: WAL-backed primary + two
+# serve-reads standbys, routed dbload over the set. Phase 1 (race-built)
+# gates on zero staleness-bound violations, reads landing on both
+# standbys, a clean dbctl repl-status picture, and no data races; phase 2
+# (race-free, GOMAXPROCS=1 servers) compares routed read throughput to a
+# single-node fastlane baseline — the 1.5x aggregate gate applies on
+# hosts with >= 4 CPUs, the routing-share gate everywhere. Artifacts in
+# REPLICA_REPORT_DIR.
+replica-smoke:
+	sh scripts/replica_smoke.sh
 
 bench:
 	$(GO) test -bench . -benchtime 0.5s -run '^$$' .

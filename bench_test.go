@@ -30,6 +30,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pecos"
 	"repro/internal/robust"
+	"repro/internal/router"
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/vm"
@@ -560,6 +561,129 @@ func benchmarkServerMulti(b *testing.B, conns, window int) {
 	}
 }
 
+// benchmarkReplicaFanout measures routed read throughput over a replica
+// set: one audited WAL-backed primary, read-serving standbys replicating
+// off it, and conns router sessions reading at full tilt once their
+// seeding writes have replicated. Each session still carries the lease
+// token of its own seed write, so every routed read is a bounded-
+// staleness read — the settled-session case the fan-out exists for (write
+// throughput is benchmarked by the other subruns; a session that writes
+// continuously pins its reads to the primary until the standbys catch
+// up, by design). replica-read-share reports how much of the read
+// traffic actually left the primary.
+func benchmarkReplicaFanout(b *testing.B, standbys, conns int) {
+	schema := callproc.Schema(callproc.DefaultSchemaConfig())
+	newNode := func(cfg server.Config, withWAL bool) (*server.Server, string) {
+		db, err := memdb.New(schema)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if withWAL {
+			l, err := wal.Open(wal.Config{Dir: b.TempDir()}, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.WAL = l
+		}
+		cfg.AuditPeriod = 50 * time.Millisecond
+		cfg.DisableTrace = true
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cfg.Standby {
+			cfg.AdvertiseAddr = ln.Addr().String()
+		}
+		srv, err := server.New(db, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		go srv.Serve(ln)
+		return srv, ln.Addr().String()
+	}
+	primarySrv, primary := newNode(server.Config{}, true)
+	defer primarySrv.Shutdown(10 * time.Second)
+	addrs := []string{primary}
+	for i := 0; i < standbys; i++ {
+		srv, addr := newNode(server.Config{
+			Standby:       true,
+			ServeReads:    true,
+			PrimaryAddr:   primary,
+			ReplPoll:      time.Millisecond,
+			ReplFailLimit: -1,
+			ReplTimeout:   time.Second,
+		}, false)
+		defer srv.Shutdown(10 * time.Second)
+		addrs = append(addrs, addr)
+	}
+
+	rt, err := router.New(router.Config{Addrs: addrs, ProbeInterval: 5 * time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+
+	sessions := make([]*router.Session, conns)
+	recs := make([]int, conns)
+	for w := 0; w < conns; w++ {
+		s, err := rt.NewSession()
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		ri, err := s.Alloc(callproc.TblRes, w%callproc.ResourceBanks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.WriteRec(callproc.TblRes, ri, []uint32{uint32(ri), 1, 50}); err != nil {
+			b.Fatal(err)
+		}
+		sessions[w], recs[w] = s, ri
+	}
+	// Let the standbys absorb the seeding writes (and a probe sweep see
+	// that) so the measured reads are routable rather than lease-pinned.
+	time.Sleep(25 * time.Millisecond)
+
+	drive := func(s *router.Session, ri, n int) error {
+		for i := 0; i < n; i++ {
+			if _, err := s.ReadFld(callproc.TblRes, ri, callproc.FldResQuality); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	workerErrs := make([]error, conns)
+	per, rem := b.N/conns, b.N%conns
+	for w := 0; w < conns; w++ {
+		n := per
+		if w < rem {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			workerErrs[w] = drive(sessions[w], recs[w], n)
+		}(w, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+	for _, err := range workerErrs {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "ops/s")
+	st := rt.Stats()
+	if total := st.ReplicaReads + st.PrimaryReads; total > 0 {
+		b.ReportMetric(float64(st.ReplicaReads)/float64(total), "replica-read-share")
+	}
+}
+
 func BenchmarkServerThroughput(b *testing.B) {
 	// The flight recorder stays off in the first three subruns so
 	// "audited" remains the metrics-only baseline; "audited-traced" is the
@@ -582,6 +706,10 @@ func BenchmarkServerThroughput(b *testing.B) {
 		benchmarkServerMulti(b, conns, 1)
 	})
 	b.Run("fastlane-pipelined", func(b *testing.B) { benchmarkServerMulti(b, 4, 16) })
+	// replica-fanout spreads a read-heavy routed workload over one primary
+	// plus two read-serving standbys; replica-read-share reports how much
+	// of the read traffic left the primary.
+	b.Run("replica-fanout", func(b *testing.B) { benchmarkReplicaFanout(b, 2, 4) })
 }
 
 func BenchmarkVMStep(b *testing.B) {

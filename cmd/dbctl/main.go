@@ -18,9 +18,13 @@
 //	dbctl -op proc-load -addr 127.0.0.1:7420 -name p -src prog.asm
 //	dbctl -op proc-list -addr 127.0.0.1:7420
 //	dbctl -op health    -addr 127.0.0.1:7420 [-format json]
+//	dbctl -op repl-status -addr 127.0.0.1:7420,127.0.0.1:7421,127.0.0.1:7422
 //
 // The health op prints the server's health & SLO status document and exits
 // nonzero when overall health is CRITICAL, so scripts can gate on it.
+// repl-status takes a comma-separated -addr list — the whole replica set —
+// and prints one row per node: role, applied sequence, lag, and whether
+// the node answers routed reads.
 //
 // Images use the built-in controller schema; -config-records,
 // -config-fields, and -call-records size it.
@@ -32,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/audit"
 	"repro/internal/callproc"
@@ -50,7 +55,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("dbctl", flag.ContinueOnError)
-	op := fs.String("op", "", "operation: init | dump | corrupt | verify | repair | proc-load | proc-list | health")
+	op := fs.String("op", "", "operation: init | dump | corrupt | verify | repair | proc-load | proc-list | health | repl-status")
 	format := fs.String("format", "text", "health: output format, text | json")
 	img := fs.String("img", "", "image file path")
 	table := fs.Int("table", -1, "dump: restrict to one table")
@@ -73,6 +78,8 @@ func run(args []string) error {
 		return procList(*addr)
 	case "health":
 		return healthOp(*addr, *format)
+	case "repl-status":
+		return replStatusOp(*addr)
 	}
 	if *img == "" {
 		return fmt.Errorf("-img is required")
@@ -301,6 +308,54 @@ func healthOp(addr, format string) error {
 		return fmt.Errorf("overall health is critical")
 	}
 	return nil
+}
+
+// replStatusOp queries every node of a comma-separated -addr list and
+// prints one aligned row per node: role, applied sequence, lag in
+// records, and whether the node answers routed reads. Unreachable nodes
+// get a diagnostic row; the op only fails when no node answered at all.
+func replStatusOp(addrs string) error {
+	if addrs == "" {
+		return fmt.Errorf("repl-status requires -addr")
+	}
+	fmt.Printf("%-24s %-16s %12s %12s %8s %s\n",
+		"ADDR", "ROLE", "LAST", "APPLIED", "LAG", "SERVE-READS")
+	answered := 0
+	for _, addr := range strings.Split(addrs, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		st, err := fetchReplStatus(addr)
+		if err != nil {
+			fmt.Printf("%-24s unreachable: %v\n", addr, err)
+			continue
+		}
+		answered++
+		role := "primary"
+		if st.Role == wire.RoleStandby {
+			role = "standby"
+		}
+		serves := "no"
+		if st.ServeReads {
+			serves = "yes"
+		}
+		fmt.Printf("%-24s %-16s %12d %12d %8d %s\n",
+			addr, role, st.LastSeq, st.Applied, st.Lag, serves)
+	}
+	if answered == 0 {
+		return fmt.Errorf("no node in %q answered", addrs)
+	}
+	return nil
+}
+
+func fetchReplStatus(addr string) (wire.ReplState, error) {
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return wire.ReplState{}, err
+	}
+	defer c.Close()
+	return c.ReplStatus()
 }
 
 // procList prints a live dbserve's procedure registry inventory.

@@ -9,6 +9,8 @@
 //
 //	dbload -addr 127.0.0.1:7420 -conns 4 -ops 10000
 //	dbload -addr 127.0.0.1:7420,127.0.0.1:7421 -ops 10000   # failover-aware
+//	dbload -addr 127.0.0.1:7420,127.0.0.1:7421,127.0.0.1:7422 -route \
+//	    -ops 10000                                   # replica read fan-out
 //	dbload -addr 127.0.0.1:7420 -watch 1s            # live telemetry feed
 //	dbload -addr 127.0.0.1:7420 -scenario fault-storm -seed 7 \
 //	    -scenario-scale 0.1 -scenario-report storm.json
@@ -22,6 +24,22 @@
 // for fault-storm timelines — the shot-to-finding detection-latency join.
 // `-scenario list` prints the registered names. -scenario-scale compresses
 // the timeline for smokes; the shape (and op mix per seed) is preserved.
+//
+// With -route, workers drive a -read-pct read/write mix through the
+// internal/router read fan-out instead of a single primary connection:
+// reads (READ_REC/READ_FLD) spread across the set's read-serving standbys
+// under the session's bounded-staleness lease, while writes pin to the
+// primary. Because each write advances the session's lease token — pinning
+// its reads to the primary until the standbys re-apply past it — the read
+// share is the scaling lever: -read-pct 100 routes everything once the
+// seed writes replicate, the default 80 keeps replication and lease
+// pinning continuously exercised.
+// Every routed read is still verified against the worker's golden
+// copy — and because the lease token covers the worker's last acknowledged
+// write to its private record, any mismatch on a routed read is a
+// staleness-bound violation, which the run reports and fails on. The
+// summary adds the router's counters (replica vs primary reads, lease
+// pins, stale fallbacks, failovers) and a per-target read breakdown.
 //
 // -addr accepts a comma-separated address list. With more than one address
 // dbload is failover-aware: it resolves the current primary via REPL_STATUS
@@ -68,6 +86,7 @@ import (
 	"repro/internal/health"
 	"repro/internal/memdb"
 	"repro/internal/metrics"
+	"repro/internal/router"
 	"repro/internal/scenario"
 	"repro/internal/trace"
 	"repro/internal/wire"
@@ -99,6 +118,8 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	tracePath := fs.String("trace", "", "after the run, fetch the server's flight-recorder journal and write it as JSON to this file (\"-\" = stdout)")
 	expectFindings := fs.Bool("expect-findings", false, "tolerate golden-copy mismatches and audit findings (for servers running with fault injection)")
 	procPct := fs.Int("proc-pct", 0, "percentage 0-100 of operations routed through server-side procedures (PROC op)")
+	route := fs.Bool("route", false, "fan reads out across the replica set via the client-side read router (writes stay on the primary)")
+	routeProbe := fs.Duration("route-probe", 0, "routed mode: router health-probe interval (0 = router default); shorter shrinks the window where reads pin to the primary after a write")
 	scenarioName := fs.String("scenario", "", "run a named traffic scenario instead of the closed-loop workload (see -scenario list)")
 	seed := fs.Int64("seed", 1, "scenario mode: RNG seed; a fixed seed reproduces the exact op sequence")
 	scenarioScale := fs.Float64("scenario-scale", 1, "scenario mode: time-compression factor (0.05 replays the shape in 5% of the time)")
@@ -126,9 +147,15 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		if *pipeline != 1 || *readPct != -1 {
 			return errors.New("-scenario drives its own workload; -pipeline and -read-pct apply only to the closed-loop generator")
 		}
+		if *route {
+			return errors.New("-scenario and -route are mutually exclusive: scenarios drive the primary directly")
+		}
 		return scenarioRun(out, addrs, *scenarioName, *seed, *scenarioConns, *scenarioScale, *scenarioReport, *tracePath, stop)
 	}
 	if *watch > 0 {
+		if *route {
+			return errors.New("-watch and -route are mutually exclusive: watch mode generates no load to route")
+		}
 		return watchLoop(out, addrs, *watch, *watchN, stop)
 	}
 	if *conns <= 0 || *ops <= 0 {
@@ -137,8 +164,20 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	if *pipeline < 1 {
 		return errors.New("-pipeline must be >= 1")
 	}
+	if *route {
+		if *pipeline != 1 {
+			return errors.New("-route and -pipeline are mutually exclusive: routed sessions are synchronous")
+		}
+		if *procPct != 0 {
+			return errors.New("-route and -proc-pct are mutually exclusive: procedures always run on the primary over the direct client")
+		}
+	}
 
-	runErr := loadRun(out, addrs, *conns, *ops, *pipeline, *readPct, *procPct, *expectFindings)
+	runErr := loadRun(out, addrs, loadOptions{
+		conns: *conns, ops: *ops, pipeline: *pipeline, readPct: *readPct,
+		procPct: *procPct, expectFindings: *expectFindings,
+		route: *route, routeProbe: *routeProbe,
+	})
 	// The journal is fetched after the run, success or not: when the run
 	// failed it is exactly the evidence worth keeping.
 	if *tracePath != "" {
@@ -279,18 +318,37 @@ func dialAny(addrs []string) (*wire.Conn, error) {
 	return nil, lastErr
 }
 
+// loadOptions bundles the closed-loop generator's knobs.
+type loadOptions struct {
+	conns, ops, pipeline, readPct, procPct int
+	expectFindings                         bool
+	route                                  bool
+	routeProbe                             time.Duration
+}
+
 // loadRun drives the closed-loop workload and verifies the end state.
-func loadRun(out io.Writer, addrs []string, conns, ops, pipeline, readPct, procPct int, expectFindings bool) error {
+func loadRun(out io.Writer, addrs []string, opts loadOptions) error {
+	conns, pipeline, readPct := opts.conns, opts.pipeline, opts.readPct
+	expectFindings, route := opts.expectFindings, opts.route
+	var rt *router.Router
+	if route {
+		var err error
+		rt, err = router.New(router.Config{Addrs: addrs, ProbeInterval: opts.routeProbe})
+		if err != nil {
+			return err
+		}
+		defer rt.Close()
+	}
 	var wg sync.WaitGroup
 	workers := make([]*worker, conns)
-	perWorker := ops / conns
+	perWorker := opts.ops / conns
 	if perWorker == 0 {
 		perWorker = 1
 	}
 	start := time.Now()
 	for i := range workers {
 		w := &worker{id: i, addrs: addrs, ops: perWorker, lax: expectFindings,
-			pipeline: pipeline, readPct: readPct, procPct: procPct}
+			pipeline: pipeline, readPct: readPct, procPct: opts.procPct, rt: rt}
 		workers[i] = w
 		wg.Add(1)
 		go func() {
@@ -302,7 +360,7 @@ func loadRun(out io.Writer, addrs []string, conns, ops, pipeline, readPct, procP
 	elapsed := time.Since(start)
 
 	var lats []time.Duration
-	done, mismatches, reconnects := 0, 0, 0
+	done, mismatches, reconnects, stale := 0, 0, 0, 0
 	procCalls, procAborts := 0, 0
 	for _, w := range workers {
 		if w.err != nil {
@@ -312,6 +370,7 @@ func loadRun(out io.Writer, addrs []string, conns, ops, pipeline, readPct, procP
 		done += len(w.lats)
 		mismatches += w.mismatches
 		reconnects += w.reconnects
+		stale += w.staleViolations
 		procCalls += w.procCalls
 		procAborts += w.procAborts
 	}
@@ -342,6 +401,12 @@ func loadRun(out io.Writer, addrs []string, conns, ops, pipeline, readPct, procP
 		}
 		mode = fmt.Sprintf(" (pipeline=%d read-pct=%d)", pipeline, readPct)
 	}
+	if route {
+		if readPct < 0 {
+			readPct = defaultReadPct
+		}
+		mode = fmt.Sprintf(" (routed read-pct=%d)", readPct)
+	}
 	fmt.Fprintf(out, "dbload: %d ops over %d conns in %v: %.0f ops/s%s\n",
 		done, conns, elapsed.Round(time.Millisecond), float64(done)/elapsed.Seconds(), mode)
 	fmt.Fprintf(out, "  latency p50=%v p95=%v p99=%v max=%v\n",
@@ -355,10 +420,26 @@ func loadRun(out io.Writer, addrs []string, conns, ops, pipeline, readPct, procP
 	if procCalls > 0 {
 		fmt.Fprintf(out, "  procedures: %d calls, %d detected aborts\n", procCalls, procAborts)
 	}
+	if rt != nil {
+		st := rt.Stats()
+		fmt.Fprintf(out, "  %s\n", st)
+		targets := make([]string, 0, len(st.PerTarget))
+		for a := range st.PerTarget {
+			targets = append(targets, a)
+		}
+		sort.Strings(targets)
+		for _, a := range targets {
+			fmt.Fprintf(out, "    %s: %d routed reads\n", a, st.PerTarget[a])
+		}
+		fmt.Fprintf(out, "  staleness violations: %d\n", stale)
+	}
 	if expectFindings {
 		fmt.Fprintf(out, "  tolerated: %d golden-copy mismatches, %d live findings (-expect-findings)\n",
 			mismatches, stats[wire.StatAuditFindings])
 		return nil
+	}
+	if stale != 0 {
+		return fmt.Errorf("routed reads observed %d staleness-bound violations", stale)
 	}
 	if findings != 0 {
 		return fmt.Errorf("final audit sweep found %d errors", findings)
@@ -580,6 +661,10 @@ type worker struct {
 	// procPct routes that share of closed-loop operations through the
 	// server-side procedures (PROC op) instead of direct API calls.
 	procPct int
+	// rt, when set, switches the worker to the routed workload: reads fan
+	// out across the replica set through a router.Session, writes pin to
+	// the primary.
+	rt *router.Router
 
 	c          *wire.Conn
 	lats       []time.Duration
@@ -587,7 +672,12 @@ type worker struct {
 	reconnects int
 	procCalls  int
 	procAborts int // PECOS violations and faults (detected, nothing committed)
-	err        error
+	// staleViolations counts routed reads that did not match the golden
+	// copy: under the session lease that can only happen when a replica
+	// served state older than the lease floor (or the region is corrupt) —
+	// either way a violation the run must fail on.
+	staleViolations int
+	err             error
 }
 
 // retryLocked retries op while it fails with lock contention: table locks
@@ -671,6 +761,9 @@ func (w *worker) allocSeed(group int) (int, []uint32, error) {
 // and transactions over it. Every value written stays inside the ranges
 // the audit checks enforce.
 func (w *worker) drive() error {
+	if w.rt != nil {
+		return w.driveRouted()
+	}
 	c, err := dialPrimary(w.addrs)
 	if err != nil {
 		return err
@@ -800,6 +893,113 @@ func (w *worker) drive() error {
 	}
 	if err := w.c.CloseSession(); err != nil && !w.lax {
 		return fmt.Errorf("DBclose: %w", err)
+	}
+	return nil
+}
+
+// driveRouted is the -route workload: a -read-pct read/write mix over one
+// Resource record through a router.Session — reads fan out across
+// read-serving standbys under the session's bounded-staleness lease,
+// writes pin to the primary. The Session owns failover (primary
+// re-resolution, replica fallback), so only the lock-contention retry
+// layer remains here. Note the lease semantics make the read share the
+// scaling lever: each write advances the session's token, pinning its
+// reads back to the primary until the standbys catch up, so a read-heavy
+// session routes nearly everything while a write-heavy one stays pinned.
+//
+// Verification doubles as the staleness detector: only this worker writes
+// its record, and the session's lease token always covers its last
+// acknowledged write, so a routed read must return exactly the golden copy
+// — state older than the token is a lease violation, and there is no newer
+// state to observe. Mismatches are counted, reported, and fail the run.
+func (w *worker) driveRouted() error {
+	sess, err := w.rt.NewSession()
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	readPct := w.readPct
+	if readPct < 0 {
+		readPct = defaultReadPct
+	}
+	group := w.id % callproc.ResourceBanks
+	var ri int
+	if err := retryLocked(func() (err error) {
+		ri, err = sess.Alloc(callproc.TblRes, group)
+		return err
+	}); err != nil {
+		return fmt.Errorf("DBalloc: %w", err)
+	}
+	golden := []uint32{uint32(ri), 1, 50}
+	if err := retryLocked(func() error {
+		return sess.WriteRec(callproc.TblRes, ri, golden)
+	}); err != nil {
+		return fmt.Errorf("DBwrite_rec: %w", err)
+	}
+
+	timed := func(op func() error) error {
+		t0 := time.Now()
+		err := retryLocked(op)
+		w.lats = append(w.lats, time.Since(t0))
+		return err
+	}
+	reads, writes := 0, 0
+	for i := 0; i < w.ops; i++ {
+		var err error
+		if i%100 < readPct {
+			reads++
+			if reads%8 == 0 {
+				var vals []uint32
+				err = timed(func() (err error) {
+					vals, err = sess.ReadRec(callproc.TblRes, ri)
+					return err
+				})
+				if err == nil {
+					for fi := range golden {
+						if fi >= len(vals) || vals[fi] != golden[fi] {
+							w.staleViolations++
+							break
+						}
+					}
+				}
+			} else {
+				var v uint32
+				err = timed(func() (err error) {
+					v, err = sess.ReadFld(callproc.TblRes, ri, callproc.FldResQuality)
+					return err
+				})
+				if err == nil && v != golden[callproc.FldResQuality] {
+					w.staleViolations++
+				}
+			}
+		} else {
+			writes++
+			if writes%8 == 0 {
+				next := []uint32{uint32(ri), uint32(i % 3), uint32(i % 101)}
+				err = timed(func() error { return sess.WriteRec(callproc.TblRes, ri, next) })
+				if err == nil {
+					golden = next
+				}
+			} else {
+				v := uint32((w.id + i*13) % 101)
+				err = timed(func() error {
+					return sess.WriteFld(callproc.TblRes, ri, callproc.FldResQuality, v)
+				})
+				if err == nil {
+					golden[callproc.FldResQuality] = v
+				}
+			}
+		}
+		if err != nil {
+			if w.lax {
+				w.mismatches++
+				continue
+			}
+			return fmt.Errorf("op %d: %w", i, err)
+		}
+	}
+	if err := retryLocked(func() error { return sess.Free(callproc.TblRes, ri) }); err != nil && !w.lax {
+		return fmt.Errorf("DBfree: %w", err)
 	}
 	return nil
 }

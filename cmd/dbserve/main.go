@@ -86,6 +86,7 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 	walSegment := fs.Int("wal-segment", 0, "WAL segment size cap in bytes (0 = default)")
 	walCheckpoint := fs.Int64("wal-checkpoint", 0, "logged bytes between automatic checkpoints (0 = default, negative disables)")
 	replicaOf := fs.String("replica-of", "", "start as a hot standby replicating from this primary address")
+	serveReads := fs.Bool("serve-reads", false, "standby: answer routed reads (READ_REC/READ_FLD/STATUS) from the replica for a client-side read router")
 	replPoll := fs.Duration("repl-poll", 100*time.Millisecond, "standby: replication poll interval")
 	replFailLimit := fs.Int("repl-fail-limit", 10, "standby: consecutive poll failures before self-promotion (negative disables)")
 	advertise := fs.String("advertise", "", "standby: address the primary should mirror-fetch from (default: the bound listen address)")
@@ -173,6 +174,7 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 		WAL:              walLog,
 		Standby:          *replicaOf != "",
 		PrimaryAddr:      *replicaOf,
+		ServeReads:       *serveReads,
 		AdvertiseAddr:    advertiseAddr,
 		ReplPoll:         *replPoll,
 		ReplFailLimit:    *replFailLimit,
@@ -183,8 +185,12 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 		return err
 	}
 	if *replicaOf != "" {
-		fmt.Fprintf(out, "dbserve: hot standby of %s (poll %v, fail limit %d)\n",
-			*replicaOf, *replPoll, *replFailLimit)
+		mode := ""
+		if *serveReads {
+			mode = ", serving routed reads"
+		}
+		fmt.Fprintf(out, "dbserve: hot standby of %s (poll %v, fail limit %d%s)\n",
+			*replicaOf, *replPoll, *replFailLimit, mode)
 	}
 	if *injectPeriod > 0 {
 		fmt.Fprintf(out, "dbserve: fault injector armed (one bit flip per %v, seed %d)\n",

@@ -18,6 +18,13 @@ type Tracer struct {
 	// injected shot whose offset it covers); nil or a zero return leaves
 	// the finding uncorrelated.
 	Resolve func(Finding) uint64
+
+	// Role names the node's replication role at emission time ("standby",
+	// "standby-serving"); a non-empty return is prefixed onto the finding
+	// event's detail so shadow-audit (DetectOnly) findings journaled on a
+	// replica are attributed to the replica in merged journals, not read
+	// as primary corruption. Nil or empty leaves the detail untouched.
+	Role func() string
 }
 
 // NewTracer builds an audit tracer emitting into rec's "audit" ring.
@@ -36,6 +43,16 @@ func (t *Tracer) Note(f Finding) {
 	if t.Resolve != nil {
 		id = t.Resolve(f)
 	}
+	detail := f.Detail
+	if t.Role != nil {
+		if role := t.Role(); role != "" {
+			if detail != "" {
+				detail = role + ": " + detail
+			} else {
+				detail = role
+			}
+		}
+	}
 	t.ring.Emit(trace.Event{
 		Kind:   trace.KindFinding,
 		Trace:  id,
@@ -43,7 +60,7 @@ func (t *Tracer) Note(f Finding) {
 		Code:   int64(f.Action),
 		Arg:    int64(f.Offset),
 		Aux:    int64(f.Table),
-		Detail: f.Detail,
+		Detail: detail,
 	})
 	if f.Action != ActionNone {
 		t.ring.Emit(trace.Event{

@@ -51,6 +51,32 @@ func TestTracerNoteEmitsFindingAndRecovery(t *testing.T) {
 	}
 }
 
+// TestTracerRolePrefixesFindingDetail: with a Role hook installed, a
+// finding's journal entry names the node it was detected on — shadow-audit
+// findings on a read-serving standby must not read as primary corruption
+// in merged journals.
+func TestTracerRolePrefixesFindingDetail(t *testing.T) {
+	rec := trace.New()
+	tr := NewTracer(rec, 0)
+	role := "standby-serving"
+	tr.Role = func() string { return role }
+
+	tr.Note(Finding{Class: ClassRange, Action: ActionNone, Detail: "oob"})
+	tr.Note(Finding{Class: ClassRange, Action: ActionNone})
+	role = "" // a promoted standby is the primary: no prefix
+	tr.Note(Finding{Class: ClassRange, Action: ActionNone, Detail: "oob"})
+
+	evs := rec.Snapshot()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3 findings", len(evs))
+	}
+	for i, want := range []string{"standby-serving: oob", "standby-serving", "oob"} {
+		if evs[i].Detail != want {
+			t.Fatalf("finding %d Detail = %q, want %q", i, evs[i].Detail, want)
+		}
+	}
+}
+
 func TestTracerWrapFullBracketsPasses(t *testing.T) {
 	rec := trace.New()
 	tr := NewTracer(rec, 0)

@@ -11,7 +11,12 @@ import (
 // Status is the health document served by the HEALTH wire op, GET
 // /healthz, and `dbctl health`.
 type Status struct {
-	State      State            `json:"state"`
+	State State `json:"state"`
+	// Role is the node's replication role ("primary", "standby",
+	// "standby-serving"), set by the server so a read-serving standby's
+	// shadow-audit state is attributed to the standby, not misread as the
+	// primary's. Empty when the node does not replicate.
+	Role       string           `json:"role,omitempty"`
 	Subsystems []Subsystem      `json:"subsystems"`
 	Detection  *DetectionStatus `json:"detection,omitempty"`
 	AuditDebt  *DebtStatus      `json:"audit_debt,omitempty"`
@@ -93,6 +98,11 @@ func ParseStatus(data []byte) (Status, error) {
 func (s Status) WriteText(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "health: %s\n", s.State); err != nil {
 		return err
+	}
+	if s.Role != "" {
+		if _, err := fmt.Fprintf(w, "role: %s\n", s.Role); err != nil {
+			return err
+		}
 	}
 	for _, sub := range s.Subsystems {
 		if _, err := fmt.Fprintf(w, "subsystem %-12s %s\n", sub.Name, sub.State); err != nil {

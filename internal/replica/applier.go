@@ -57,11 +57,12 @@ type Applier struct {
 
 	needBoot bool
 
-	applied  atomic.Uint64
-	failures atomic.Int64 // consecutive poll failures
-	batches  atomic.Uint64
-	records  atomic.Uint64
-	snaps    atomic.Uint64
+	applied     atomic.Uint64
+	primaryLast atomic.Uint64 // primary's log position from the latest poll
+	failures    atomic.Int64  // consecutive poll failures
+	batches     atomic.Uint64
+	records     atomic.Uint64
+	snaps       atomic.Uint64
 }
 
 // NewApplier builds an applier over the standby's database and optional
@@ -79,6 +80,22 @@ func (a *Applier) SetRing(r *trace.Ring) { a.ring = r }
 
 // Applied returns the last applied log position. Safe from any goroutine.
 func (a *Applier) Applied() uint64 { return a.applied.Load() }
+
+// PrimaryLast returns the primary's log position as of the latest
+// successful poll (zero before the first one). Safe from any goroutine.
+func (a *Applier) PrimaryLast() uint64 { return a.primaryLast.Load() }
+
+// Lag returns how many log records this standby is behind the primary, as
+// of the latest successful poll. A standby that has lost its primary keeps
+// reporting the last known estimate; the failure streak is the signal for
+// that condition. Safe from any goroutine.
+func (a *Applier) Lag() uint64 {
+	last, applied := a.primaryLast.Load(), a.applied.Load()
+	if last > applied {
+		return last - applied
+	}
+	return 0
+}
 
 // Failures returns the current consecutive-failure streak. Safe from any
 // goroutine.
@@ -110,7 +127,10 @@ func (a *Applier) step() error {
 	if a.needBoot {
 		return a.bootstrap()
 	}
-	blob, _, err := a.conn.Replicate(a.applied.Load(), a.cfg.Advertise)
+	blob, lastSeq, err := a.conn.Replicate(a.applied.Load(), a.cfg.Advertise)
+	if err == nil {
+		a.primaryLast.Store(lastSeq)
+	}
 	if errors.Is(err, wire.ErrReplGap) {
 		// Fell off the primary's tail ring (standby was down too long, or
 		// is brand new): rebuild from a snapshot instead of the log.
@@ -222,6 +242,7 @@ func (a *Applier) Close() { a.dropConn() }
 // BindMetrics publishes the applier's gauges into reg.
 func (a *Applier) BindMetrics(reg *metrics.Registry) {
 	reg.GaugeFunc("repl.applied", func() int64 { return int64(a.applied.Load()) })
+	reg.GaugeFunc("repl.apply.lag", func() int64 { return int64(a.Lag()) })
 	reg.GaugeFunc("repl.failures", func() int64 { return a.failures.Load() })
 	reg.GaugeFunc("repl.apply.batches", func() int64 { return int64(a.batches.Load()) })
 	reg.GaugeFunc("repl.apply.records", func() int64 { return int64(a.records.Load()) })

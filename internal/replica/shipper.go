@@ -18,6 +18,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/trace"
@@ -32,19 +33,34 @@ var ErrGap = errors.New("replica: requested records fell off the primary's tail 
 // wire.MaxDetail so a batch always fits one response frame.
 const DefaultMaxBatch = 24 * 1024
 
-// Shipper is the primary side: it serves WAL record batches to a polling
-// standby and remembers where that standby can be reached, so the audit's
-// mirror-sourced recovery knows whom to ask. Safe from any goroutine —
+// PeerTTL is how long a standby stays "live" after its last poll. A peer
+// that has not polled within the TTL stops holding back the lag floor and
+// stops being offered as a mirror; it re-registers on its next poll.
+const PeerTTL = 5 * time.Second
+
+// peerState is what the shipper remembers about one polling standby.
+type peerState struct {
+	acked uint64    // highest position this peer has acknowledged
+	seen  time.Time // last poll arrival
+}
+
+// Shipper is the primary side: it serves WAL record batches to polling
+// standbys and remembers where each can be reached, so the audit's
+// mirror-sourced recovery knows whom to ask and the health plane can see
+// the slowest live replica. A replica set chains every standby off this
+// one shipper: each poll carries the standby's own position, so per-peer
+// progress falls out of the protocol. Safe from any goroutine —
 // replication reads deliberately bypass the executor.
 type Shipper struct {
 	log      *wal.Log
 	maxBatch int
 	ring     *trace.Ring // may be nil
+	now      func() time.Time
 
-	mu     sync.Mutex
-	mirror string
+	mu    sync.Mutex
+	peers map[string]*peerState // keyed by advertised addr ("" = anonymous poller)
 
-	acked   atomic.Uint64 // highest position acknowledged by the standby
+	acked   atomic.Uint64 // highest position acknowledged by any standby
 	batches atomic.Uint64
 	bytes   atomic.Uint64
 }
@@ -55,7 +71,7 @@ func NewShipper(log *wal.Log, maxBatch int) *Shipper {
 	if maxBatch <= 0 {
 		maxBatch = DefaultMaxBatch
 	}
-	return &Shipper{log: log, maxBatch: maxBatch}
+	return &Shipper{log: log, maxBatch: maxBatch, now: time.Now, peers: make(map[string]*peerState)}
 }
 
 // SetRing directs ship events into a trace ring.
@@ -64,14 +80,21 @@ func (s *Shipper) SetRing(r *trace.Ring) { s.ring = r }
 // Serve answers one standby poll: records after afterSeq, up to the batch
 // cap, as a framed blob. addr, when non-empty, is recorded as the standby's
 // serving address (the audit's mirror). A poll is also an acknowledgement:
-// afterSeq advances the acked watermark monotonically. Returns ErrGap when
-// afterSeq has been evicted from the tail ring.
+// afterSeq advances that peer's acked watermark monotonically (and the
+// set-wide high-water mark). Returns ErrGap when afterSeq has been evicted
+// from the tail ring.
 func (s *Shipper) Serve(afterSeq uint64, addr string) (blob []byte, lastSeq uint64, err error) {
-	if addr != "" {
-		s.mu.Lock()
-		s.mirror = addr
-		s.mu.Unlock()
+	s.mu.Lock()
+	p := s.peers[addr]
+	if p == nil {
+		p = &peerState{}
+		s.peers[addr] = p
 	}
+	if afterSeq > p.acked {
+		p.acked = afterSeq
+	}
+	p.seen = s.now()
+	s.mu.Unlock()
 	for {
 		cur := s.acked.Load()
 		if afterSeq <= cur || s.acked.CompareAndSwap(cur, afterSeq) {
@@ -90,30 +113,81 @@ func (s *Shipper) Serve(afterSeq uint64, addr string) (blob []byte, lastSeq uint
 	return blob, lastSeq, nil
 }
 
-// MirrorAddr returns the standby's advertised serving address, or "" when
-// no standby has polled yet.
+// MirrorAddr returns the most caught-up live standby's advertised serving
+// address, or "" when no addressable standby has polled within PeerTTL.
+// With one standby this is the PR 4 behavior; with a replica set the audit
+// repairs from the freshest mirror.
 func (s *Shipper) MirrorAddr() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.mirror
+	cutoff := s.now().Add(-PeerTTL)
+	best, bestAcked := "", uint64(0)
+	for addr, p := range s.peers {
+		if addr == "" || p.seen.Before(cutoff) {
+			continue
+		}
+		if best == "" || p.acked > bestAcked {
+			best, bestAcked = addr, p.acked
+		}
+	}
+	return best
 }
 
-// Acked returns the standby's acknowledged log position.
+// Acked returns the highest log position any standby has acknowledged.
 func (s *Shipper) Acked() uint64 { return s.acked.Load() }
 
-// Lag returns how many log records the standby is behind the primary.
+// Peers returns how many standbys have polled within PeerTTL.
+func (s *Shipper) Peers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cutoff := s.now().Add(-PeerTTL)
+	n := 0
+	for _, p := range s.peers {
+		if !p.seen.Before(cutoff) {
+			n++
+		}
+	}
+	return n
+}
+
+// ackFloor returns the slowest live standby's acknowledged position and
+// whether any standby is live at all.
+func (s *Shipper) ackFloor() (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cutoff := s.now().Add(-PeerTTL)
+	floor, live := uint64(0), false
+	for _, p := range s.peers {
+		if p.seen.Before(cutoff) {
+			continue
+		}
+		if !live || p.acked < floor {
+			floor, live = p.acked, true
+		}
+	}
+	return floor, live
+}
+
+// Lag returns how many log records the slowest live standby is behind the
+// primary. With no live standby there is nothing to replicate to and the
+// lag is zero — a fresh primary (or one whose replicas all died) is not
+// "behind", it is alone; the repl.peers gauge carries that distinction.
 func (s *Shipper) Lag() uint64 {
-	last, acked := s.log.LastSeq(), s.acked.Load()
-	if acked >= last {
+	floor, live := s.ackFloor()
+	if !live {
 		return 0
 	}
-	return last - acked
+	if last := s.log.LastSeq(); last > floor {
+		return last - floor
+	}
+	return 0
 }
 
 // BindMetrics publishes the shipper's gauges into reg.
 func (s *Shipper) BindMetrics(reg *metrics.Registry) {
 	reg.GaugeFunc("repl.lag", func() int64 { return int64(s.Lag()) })
 	reg.GaugeFunc("repl.acked", func() int64 { return int64(s.acked.Load()) })
+	reg.GaugeFunc("repl.peers", func() int64 { return int64(s.Peers()) })
 	reg.GaugeFunc("repl.ship.batches", func() int64 { return int64(s.batches.Load()) })
 	reg.GaugeFunc("repl.ship.bytes", func() int64 { return int64(s.bytes.Load()) })
 }

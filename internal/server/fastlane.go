@@ -36,11 +36,26 @@ func (s *Server) tryFastLane(c *conn, req wire.Request) (wire.Response, bool) {
 	default:
 		return wire.Response{}, false
 	}
-	// A standby refuses reads with CodeStandby; let the executor say so.
-	if s.view == nil || s.standby.Load() {
+	if s.view == nil {
 		return wire.Response{}, false
 	}
-	if c.sess.Load() == nil {
+	if s.standby.Load() {
+		// A standby outside serve-reads mode refuses reads with
+		// CodeStandby; let the executor say so.
+		if !s.serveReads.Load() {
+			return wire.Response{}, false
+		}
+		// Serve-reads standby: routed reads are session-less. Check the
+		// lease floor first — the applied sequence is stored only after a
+		// record's effects reach the region, so applied >= floor here
+		// guarantees the view read below observes everything up to the
+		// floor (it may observe newer state; the bound is one-sided).
+		if s.behindLease(req) {
+			resp := wire.ErrorResponse(req.Seq, wire.ErrStale)
+			s.noteFastLane(c, req, resp, time.Now())
+			return resp, true
+		}
+	} else if c.sess.Load() == nil {
 		// Deterministic and database-independent: answer without a hop.
 		resp := wire.ErrorResponse(req.Seq, wire.ErrNoSession)
 		s.noteFastLane(c, req, resp, time.Now())

@@ -66,12 +66,29 @@ func (s *Server) buildHealthPlane() {
 		})
 	}
 
-	// replication: only when this node ships a WAL tail to a standby.
-	if s.shipper != nil {
-		sh := s.shipper
+	// replication: only when this node participates in replication at
+	// all. The value is role-aware: a standby reports its own distance
+	// behind the primary (its applier's estimate), a primary the distance
+	// of its slowest live standby (zero with no live peers — a lone
+	// primary is not "behind"). A WAL-backed standby also has a shipper,
+	// whose LastSeq grows with every applied record while no peer ever
+	// acks; reading the shipper there would charge the standby's entire
+	// log length against the primary-facing SLO — a false CRITICAL.
+	if s.shipper != nil || s.applier != nil {
 		p.AddObjective(health.Objective{
 			Name: "repl-lag", Subsystem: "replication", Bound: slo.MaxReplLag,
-			Value: func(time.Duration) float64 { return float64(sh.Lag()) },
+			Value: func(time.Duration) float64 {
+				if s.standby.Load() {
+					if s.applier != nil {
+						return float64(s.applier.Lag())
+					}
+					return 0
+				}
+				if s.shipper != nil {
+					return float64(s.shipper.Lag())
+				}
+				return 0
+			},
 		})
 	}
 
@@ -88,7 +105,20 @@ func (s *Server) Health() (health.Status, bool) {
 	if s.health == nil {
 		return health.Status{}, false
 	}
-	return s.health.Status(), true
+	return s.healthStatus(), true
+}
+
+// healthStatus decorates the plane's snapshot with this node's replication
+// role, so /healthz and the HEALTH op attribute a read-serving standby's
+// shadow-audit state to the standby rather than the primary's SLOs.
+func (s *Server) healthStatus() health.Status {
+	st := s.health.Status()
+	if tag := s.roleTag(); tag != "" {
+		st.Role = tag
+	} else {
+		st.Role = "primary"
+	}
+	return st
 }
 
 // HealthPlane exposes the plane itself (nil when disabled) for tests and

@@ -54,20 +54,27 @@ func (s *Server) Role() int {
 }
 
 // logMutation appends one successfully executed mutating request to the
-// operation log. Alloc logs the index the executor chose (resp.Vals[0]), so
-// replay is deterministic. Executor thread only.
-func (s *Server) logMutation(q wire.Request, resp wire.Response, tid uint64) {
+// operation log and returns the assigned log sequence (zero when nothing
+// was logged) — the write-acknowledgement token the client's router uses
+// as its read-your-writes lease floor. Alloc logs the index the executor
+// chose (resp.Vals[0]), so replay is deterministic. Executor thread only.
+func (s *Server) logMutation(q wire.Request, resp wire.Response, tid uint64) uint64 {
 	if s.walLog == nil || resp.Code != wire.CodeOK || s.standby.Load() {
-		return
+		return 0
 	}
 	rec := walRecordFor(q, resp)
 	if rec == nil {
-		return
+		return 0
 	}
 	rec.Trace = tid
-	if _, err := s.walLog.Append(*rec); err != nil && s.replRing != nil {
-		s.replRing.Emit(trace.Event{Kind: trace.KindWALRecover, Op: "append-error", Detail: err.Error()})
+	seq, err := s.walLog.Append(*rec)
+	if err != nil {
+		if s.replRing != nil {
+			s.replRing.Emit(trace.Event{Kind: trace.KindWALRecover, Op: "append-error", Detail: err.Error()})
+		}
+		return 0
 	}
+	return seq
 }
 
 // walRecordFor translates a mutating request into its log record, or nil
@@ -220,21 +227,35 @@ func (s *Server) handleReplicate(q wire.Request) wire.Response {
 	return wire.Response{Seq: q.Seq, Detail: string(blob), Vals: []uint32{lo, hi}}
 }
 
-// handleReplStatus reports role and log positions. Executor thread.
+// handleReplStatus reports role, log positions, and the router extension:
+// whether this node answers routed reads, and its own lag estimate (a
+// standby's distance behind its primary; a primary's distance ahead of its
+// slowest live standby). Executor thread.
 func (s *Server) handleReplStatus() wire.Response {
 	vals := make([]uint32, wire.NumReplStatusVals)
 	vals[wire.ReplRole] = uint32(s.Role())
-	var last, applied uint64
+	var last, applied, lag uint64
 	if s.walLog != nil {
 		last = s.walLog.LastSeq()
 	}
-	if s.standby.Load() && s.applier != nil {
-		applied = s.applier.Applied()
-	} else if s.shipper != nil {
-		applied = s.shipper.Acked()
+	if s.standby.Load() {
+		if s.applier != nil {
+			applied = s.applier.Applied()
+			lag = s.applier.Lag()
+		}
+		if s.serveReads.Load() {
+			vals[wire.ReplServeReads] = 1
+		}
+	} else {
+		if s.shipper != nil {
+			applied = s.shipper.Acked()
+			lag = s.shipper.Lag()
+		}
+		vals[wire.ReplServeReads] = 1 // a primary always serves reads
 	}
 	vals[wire.ReplLastLo], vals[wire.ReplLastHi] = wire.SplitU64(last)
 	vals[wire.ReplAppliedLo], vals[wire.ReplAppliedHi] = wire.SplitU64(applied)
+	vals[wire.ReplLagLo], vals[wire.ReplLagHi] = wire.SplitU64(lag)
 	return ok(vals...)
 }
 
@@ -291,14 +312,94 @@ func (s *Server) handleReplFetch(q wire.Request) wire.Response {
 	return ok(vals...)
 }
 
+// leaseFloor extracts a routed read's lease floor from the request's
+// otherwise-unused value vector (Vals [seq-lo, seq-hi]); zero means the
+// read carries no read-your-writes requirement.
+func leaseFloor(q wire.Request) uint64 {
+	if len(q.Vals) < 2 {
+		return 0
+	}
+	return wire.JoinU64(q.Vals[0], q.Vals[1])
+}
+
+// behindLease reports whether this standby's applied position is below a
+// routed read's lease floor. The applied sequence is monotonic and stored
+// only after the record's effects are in the region, so applied >= floor
+// here guarantees the subsequent region read observes everything up to the
+// floor — the staleness bound's load-bearing comparison.
+func (s *Server) behindLease(q wire.Request) bool {
+	floor := leaseFloor(q)
+	if floor == 0 {
+		return false
+	}
+	return s.applier == nil || s.applier.Applied() < floor
+}
+
+// handleStandbyRead answers a routed read on a serve-reads standby with
+// direct region reads — session-less, because a standby refuses DBinit.
+// This is the executor half of the standby read path (the fastlane view
+// serves the common case); semantics match the view: raw reads with bounds
+// checks, no table-lock interaction. Executor thread only.
+func (s *Server) handleStandbyRead(q wire.Request) wire.Response {
+	if s.behindLease(q) {
+		return wire.ErrorResponse(q.Seq, wire.ErrStale)
+	}
+	table, rec := int(q.Table), int(q.Record)
+	switch q.Op {
+	case wire.OpReadRec:
+		nt := s.db.Schema().Tables
+		if table < 0 || table >= len(nt) {
+			return wire.ErrorResponse(q.Seq, &memdb.BoundsError{What: "table", Index: table, Limit: len(nt)})
+		}
+		nf := len(nt[table].Fields)
+		vals := make([]uint32, 0, nf)
+		for fi := 0; fi < nf; fi++ {
+			v, err := s.db.ReadFieldDirect(table, rec, fi)
+			if err != nil {
+				return wire.ErrorResponse(q.Seq, err)
+			}
+			vals = append(vals, v)
+		}
+		return ok(vals...)
+	case wire.OpReadFld:
+		v, err := s.db.ReadFieldDirect(table, rec, int(q.Field))
+		if err != nil {
+			return wire.ErrorResponse(q.Seq, err)
+		}
+		return ok(v)
+	case wire.OpStatus:
+		st, err := s.db.StatusDirect(table, rec)
+		if err != nil {
+			return wire.ErrorResponse(q.Seq, err)
+		}
+		return ok(uint32(st))
+	}
+	return wire.ErrorResponse(q.Seq, wire.ErrStandby)
+}
+
 // standbyAllowed reports whether a standby answers op at all; everything
-// else gets ErrStandby so clients re-resolve to the primary.
-func standbyAllowed(op wire.Op) bool {
+// else gets ErrStandby so clients re-resolve to the primary. Serve-reads
+// mode additionally admits the read opcodes for the replica router.
+func (s *Server) standbyAllowed(op wire.Op) bool {
 	switch op {
 	case wire.OpPing, wire.OpSweep, wire.OpStats, wire.OpStats2, wire.OpTrace,
 		wire.OpHealth, wire.OpReplStatus, wire.OpReplPromote, wire.OpReplSnap,
 		wire.OpReplFetch:
 		return true
+	case wire.OpReadRec, wire.OpReadFld, wire.OpStatus:
+		return s.serveReads.Load()
 	}
 	return false
+}
+
+// roleTag names this node's replication role for shadow-audit attribution
+// in trace events; empty on a primary, whose findings need no tag.
+func (s *Server) roleTag() string {
+	if !s.standby.Load() {
+		return ""
+	}
+	if s.serveReads.Load() {
+		return "standby-serving"
+	}
+	return "standby"
 }

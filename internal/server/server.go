@@ -139,6 +139,14 @@ type Config struct {
 	// AdvertiseAddr is this node's own serving address, told to the
 	// primary so its audit can mirror-fetch from here. Standby only.
 	AdvertiseAddr string
+	// ServeReads lets a standby answer READ_REC/READ_FLD/STATUS itself —
+	// session-less, through the fastlane read view with an executor
+	// direct-read fallback — for a client-side replica router. A routed
+	// read may carry a lease floor (Vals [seq-lo, seq-hi]); the standby
+	// refuses with CodeStale when its applied sequence is below it, which
+	// is what bounds staleness. Ignored without Standby (a primary always
+	// serves reads).
+	ServeReads bool
 	// ReplPoll is the standby's replication poll interval on the executor
 	// clock. Default 100ms.
 	ReplPoll time.Duration
@@ -281,6 +289,7 @@ type Server struct {
 	shipper    *replica.Shipper
 	applier    *replica.Applier
 	standby    atomic.Bool
+	serveReads atomic.Bool // standby answers routed reads (Config.ServeReads)
 	replTicker *sim.Ticker
 	mirrorConn *wire.Conn  // executor-only cached conn to the standby
 	replRing   *trace.Ring // repl.*/wal.* events (nil when tracing off)
@@ -470,6 +479,11 @@ func New(db *memdb.DB, cfg Config) (*Server, error) {
 		s.srvRing = r.Ring("server", cfg.TraceRingSize)
 		s.auditTracer = audit.NewTracer(r, cfg.TraceRingSize)
 		s.auditTracer.Resolve = s.resolveShot
+		// Shadow-audit attribution: a finding journaled on a standby is
+		// DetectOnly evidence from the replica's copy, not the primary's —
+		// the role tag keeps a read-serving standby's findings from being
+		// misread as primary corruption in merged journals.
+		s.auditTracer.Role = s.roleTag
 		// The inject ring exists whenever tracing does — OpInjectCtl can
 		// arm the injectors at runtime long after New.
 		s.injRing = r.Ring("inject", cfg.TraceRingSize)
@@ -499,6 +513,7 @@ func New(db *memdb.DB, cfg Config) (*Server, error) {
 	// log — a promoted standby ships to the next standby with no rebuild.
 	s.walLog = cfg.WAL
 	s.standby.Store(cfg.Standby)
+	s.serveReads.Store(cfg.Standby && cfg.ServeReads)
 	if s.walLog != nil {
 		s.shipper = replica.NewShipper(s.walLog, 0)
 	}
@@ -732,6 +747,12 @@ func (s *Server) registerMetrics() {
 		s.audit.RegisterMetrics(reg, "audit.queue")
 	}
 	reg.GaugeFunc("repl.role", func() int64 { return int64(s.Role()) })
+	reg.GaugeFunc("repl.serve_reads", func() int64 {
+		if s.Role() == wire.RolePrimary || s.serveReads.Load() {
+			return 1
+		}
+		return 0
+	})
 	if s.walLog != nil {
 		s.walLog.BindMetrics(reg)
 	}
@@ -1241,7 +1262,11 @@ func (s *Server) execute(t task) {
 		s.tel.stageExecute.Observe(int64(time.Since(e0)))
 	}
 	resp.Seq = t.req.Seq
-	s.logMutation(t.req, resp, t.tid)
+	if seq := s.logMutation(t.req, resp, t.tid); seq != 0 {
+		// The WAL position of an acknowledged write doubles as the
+		// client's read-your-writes lease token.
+		resp.SetToken(seq)
+	}
 	op := t.req.Op
 	if op.Valid() {
 		if resp.Code == wire.CodeOK {
@@ -1259,10 +1284,10 @@ func ok(vals ...uint32) wire.Response { return wire.Response{Vals: vals} }
 
 // handle dispatches one request against the session's DB client.
 func (s *Server) handle(c *conn, q wire.Request, tid uint64) wire.Response {
-	// A standby answers only the control/replication plane; everything
-	// else is refused with CodeStandby so clients re-resolve to the
-	// primary.
-	if s.standby.Load() && !standbyAllowed(q.Op) {
+	// A standby answers only the control/replication plane (plus routed
+	// reads in serve-reads mode); everything else is refused with
+	// CodeStandby so clients re-resolve to the primary.
+	if s.standby.Load() && !s.standbyAllowed(q.Op) {
 		return wire.ErrorResponse(q.Seq, wire.ErrStandby)
 	}
 	// Session-less control ops first.
@@ -1305,7 +1330,7 @@ func (s *Server) handle(c *conn, q wire.Request, tid uint64) wire.Response {
 		if s.health == nil {
 			return wire.ErrorResponse(q.Seq, errors.New("server: health plane disabled"))
 		}
-		data, err := s.health.Status().MarshalJSON()
+		data, err := s.healthStatus().MarshalJSON()
 		if err != nil {
 			return wire.ErrorResponse(q.Seq, err)
 		}
@@ -1343,6 +1368,15 @@ func (s *Server) handle(c *conn, q wire.Request, tid uint64) wire.Response {
 	}
 	if !q.Op.Valid() {
 		return wire.ErrorResponse(q.Seq, wire.ErrUnknownOp)
+	}
+	if s.standby.Load() {
+		// Serve-reads standby: routed reads are session-less (a standby
+		// refuses DBinit), answered by direct region reads. This is the
+		// fastlane's executor fallback path.
+		switch q.Op {
+		case wire.OpReadRec, wire.OpReadFld, wire.OpStatus:
+			return s.handleStandbyRead(q)
+		}
 	}
 	sess := c.sess.Load()
 	if sess == nil {

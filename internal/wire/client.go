@@ -12,11 +12,12 @@ import (
 // cmd/dbload and the server's end-to-end tests; it is not safe for
 // concurrent use (open one Conn per worker goroutine).
 type Conn struct {
-	nc  net.Conn
-	br  *bufio.Reader
-	bw  *bufio.Writer
-	seq uint32
-	buf []byte
+	nc    net.Conn
+	br    *bufio.Reader
+	bw    *bufio.Writer
+	seq   uint32
+	buf   []byte
+	token uint64
 
 	// Timeout bounds each call (write + reply read). Zero disables
 	// deadlines.
@@ -76,8 +77,24 @@ func (c *Conn) Call(q Request) (Response, error) {
 	if r.Seq != q.Seq {
 		return Response{}, fmt.Errorf("%w: reply seq %d for request %d", ErrBadFrame, r.Seq, q.Seq)
 	}
+	c.noteToken(r)
 	return r, nil
 }
+
+// noteToken retains the highest write-acknowledgement token seen on this
+// connection; a WAL-backed primary stamps one onto every OK reply of a
+// logged mutation.
+func (c *Conn) noteToken(r Response) {
+	if t := r.Token(); t > c.token {
+		c.token = t
+	}
+}
+
+// LastToken returns the highest write-acknowledgement sequence token any
+// reply on this connection has carried — the session's read-your-writes
+// lease floor for a replica router. Zero means no acknowledged write yet
+// (or a primary without a WAL, which stamps no tokens).
+func (c *Conn) LastToken() uint64 { return c.token }
 
 // call runs Call and folds the response code into the error.
 func (c *Conn) call(q Request) (Response, error) {
@@ -255,25 +272,34 @@ func (c *Conn) TraceJSON(kind, n int) ([]byte, error) {
 
 // ReplState is the decoded OpReplStatus reply.
 type ReplState struct {
-	Role    int    // RolePrimary or RoleStandby
-	LastSeq uint64 // last WAL sequence appended on the queried node
-	Applied uint64 // standby: last applied; primary: standby's last acked
+	Role       int    // RolePrimary or RoleStandby
+	LastSeq    uint64 // last WAL sequence appended on the queried node
+	Applied    uint64 // standby: last applied; primary: standby's last acked
+	ServeReads bool   // node answers routed reads (router extension)
+	Lag        uint64 // node's own replication-lag estimate in records (router extension)
 }
 
-// ReplStatus queries a node's replication role and log positions.
+// ReplStatus queries a node's replication role and log positions. The
+// serve-reads flag and lag estimate decode to their zero values against a
+// node that predates the router extension.
 func (c *Conn) ReplStatus() (ReplState, error) {
 	r, err := c.call(Request{Op: OpReplStatus})
 	if err != nil {
 		return ReplState{}, err
 	}
-	if len(r.Vals) < NumReplStatusVals {
+	if len(r.Vals) <= ReplAppliedHi {
 		return ReplState{}, fmt.Errorf("%w: ReplStatus reply carries %d values", ErrBadFrame, len(r.Vals))
 	}
-	return ReplState{
+	st := ReplState{
 		Role:    int(r.Vals[ReplRole]),
 		LastSeq: JoinU64(r.Vals[ReplLastLo], r.Vals[ReplLastHi]),
 		Applied: JoinU64(r.Vals[ReplAppliedLo], r.Vals[ReplAppliedHi]),
-	}, nil
+	}
+	if len(r.Vals) >= NumReplStatusVals {
+		st.ServeReads = r.Vals[ReplServeReads] != 0
+		st.Lag = JoinU64(r.Vals[ReplLagLo], r.Vals[ReplLagHi])
+	}
+	return st, nil
 }
 
 // Replicate polls the primary for WAL records after afterSeq. addr is the

@@ -123,5 +123,6 @@ func (p *Pipeline) Recv() (Response, error) {
 	if r.Seq != want {
 		return Response{}, fmt.Errorf("%w: reply seq %d, expected %d", ErrBadFrame, r.Seq, want)
 	}
+	c.noteToken(r)
 	return r, nil
 }

@@ -181,6 +181,7 @@ const (
 	CodeUnknownProc    // PROC op named an unregistered procedure
 	CodeProcViolation  // procedure aborted by a PECOS control-flow check
 	CodeProcFault      // procedure crashed, hung, or failed to commit
+	CodeStale          // read-serving standby is behind the request's lease floor
 )
 
 // Serving-plane sentinel errors decoded from response codes.
@@ -199,6 +200,7 @@ var (
 	ErrUnknownProc   = errors.New("wire: unknown procedure")
 	ErrProcViolation = errors.New("wire: procedure aborted by PECOS control-flow check")
 	ErrProcFault     = errors.New("wire: procedure faulted")
+	ErrStale         = errors.New("wire: replica behind the requested sequence token")
 )
 
 // Request is one client→server call.
@@ -430,6 +432,8 @@ func ErrorResponse(seq uint32, err error) Response {
 	case errors.Is(err, ErrProcFault):
 		r.Code = CodeProcFault
 		r.Detail = err.Error()
+	case errors.Is(err, ErrStale):
+		r.Code = CodeStale
 	case errors.Is(err, ErrBadFrame):
 		r.Code = CodeBadFrame
 		r.Detail = err.Error()
@@ -487,6 +491,8 @@ func (r Response) Err() error {
 		return fmt.Errorf("%s: %w", r.Detail, ErrProcViolation)
 	case CodeProcFault:
 		return fmt.Errorf("%s: %w", r.Detail, ErrProcFault)
+	case CodeStale:
+		return ErrStale
 	default:
 		return fmt.Errorf("wire: server error (code %d): %s", r.Code, r.Detail)
 	}
@@ -512,15 +518,50 @@ const (
 	RoleStandby = 1
 )
 
-// ReplStatusVals indexes the value vector returned by OpReplStatus.
+// ReplStatusVals indexes the value vector returned by OpReplStatus. The
+// first five entries are the original replication vector; the router
+// extension appends the serve-reads flag and the node's own lag estimate
+// (standby: primary's last shipped seq minus applied; primary: last
+// appended seq minus the slowest live standby's ack) so a client-side
+// router can health-rank a replica set from one round trip per node.
 const (
-	ReplRole      = iota // RolePrimary or RoleStandby
-	ReplLastLo           // last WAL sequence appended (lo 32 bits)
-	ReplLastHi           //   "  (hi 32 bits)
-	ReplAppliedLo        // standby: last applied seq; primary: standby's last acked seq
-	ReplAppliedHi        //   "  (hi 32 bits)
+	ReplRole       = iota // RolePrimary or RoleStandby
+	ReplLastLo            // last WAL sequence appended (lo 32 bits)
+	ReplLastHi            //   "  (hi 32 bits)
+	ReplAppliedLo         // standby: last applied seq; primary: standby's last acked seq
+	ReplAppliedHi         //   "  (hi 32 bits)
+	ReplServeReads        // 1 when the node answers routed reads (primary always; standby only in serve-reads mode)
+	ReplLagLo             // node's replication lag estimate in records (lo 32 bits)
+	ReplLagHi             //   "  (hi 32 bits)
 	NumReplStatusVals
 )
+
+// Write-acknowledgement tokens (bounded-staleness leases). A WAL-backed
+// primary stamps every OK response to a logged mutation with the record's
+// log sequence in the Index/Limit pair — those fields only carry
+// BoundsError operands on failure, so they are free on success and old
+// clients ignore them. A router session keeps the highest token it has
+// seen and forwards it as the lease floor in the Vals of routed reads
+// ([lo, hi]); a read-serving standby refuses with CodeStale when its
+// applied sequence is below the floor, which the router turns into a
+// primary fallback (read-your-writes).
+
+// SetToken stamps a write-acknowledgement sequence token onto an OK
+// response. Zero clears it.
+func (r *Response) SetToken(seq uint64) {
+	lo, hi := SplitU64(seq)
+	r.Index, r.Limit = int32(lo), int32(hi)
+}
+
+// Token returns the write-acknowledgement sequence token of an OK
+// response, or zero when the response is an error (Index/Limit then carry
+// BoundsError operands) or the server did not stamp one.
+func (r Response) Token() uint64 {
+	if r.Code != CodeOK {
+		return 0
+	}
+	return JoinU64(uint32(r.Index), uint32(r.Limit))
+}
 
 // SplitU64 and JoinU64 move 64-bit log sequence numbers through the u32
 // value vector.
