@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test check cover fuzz-smoke trace-smoke failover-smoke proc-smoke scenario-smoke health-smoke replica-smoke bench bench-smoke clean
+.PHONY: all build vet test check cover fuzz-smoke trace-smoke failover-smoke proc-smoke scenario-smoke health-smoke replica-smoke shard-smoke bench bench-smoke clean
 
 all: check
 
@@ -78,6 +78,15 @@ health-smoke:
 # REPLICA_REPORT_DIR.
 replica-smoke:
 	sh scripts/replica_smoke.sh
+
+# Sharded-core smoke over real processes: a race-built dbserve -shards 4
+# must run the verified closed-loop load clean, join every injected shot
+# to a per-shard audit finding by trace ID, survive a SIGKILL with one
+# parallel WAL recovery per shard (and refuse a mismatched -shards
+# restart), and — on hosts with >= 4 CPUs — deliver >= 2x the aggregate
+# pure-write throughput of -shards 1. Artifacts in SHARD_REPORT_DIR.
+shard-smoke:
+	sh scripts/shard_smoke.sh
 
 bench:
 	$(GO) test -bench . -benchtime 0.5s -run '^$$' .

@@ -710,6 +710,146 @@ func BenchmarkServerThroughput(b *testing.B) {
 	// plus two read-serving standbys; replica-read-share reports how much
 	// of the read traffic left the primary.
 	b.Run("replica-fanout", func(b *testing.B) { benchmarkReplicaFanout(b, 2, 4) })
+	// The sharded pair isolates executor scaling: identical client-side
+	// setup (4 pipelined all-write connections, one record each on a
+	// distinct stripe), one single-executor core vs a 4-shard core. The
+	// ops/s ratio between them is the write-scaling headline the sharded
+	// core exists for (expect ~linear on >= 4 CPUs, ~1x under -cpu 1).
+	b.Run("sharded-baseline", func(b *testing.B) { benchmarkShardedThroughput(b, 1) })
+	b.Run("sharded", func(b *testing.B) { benchmarkShardedThroughput(b, 4) })
+}
+
+// benchmarkShardedThroughput measures aggregate mutate throughput against
+// a core with the given shard count, holding the client side fixed: 4
+// connections, each pipelining field writes to its own Resource record.
+// Under a sharded core the setup-time alloc rotation gives each
+// connection a record on a different shard, so the four write streams
+// land on four independent executors; against shards=1 the same four
+// streams serialize on the one executor. Audits run at the standard
+// 50ms bench pacing in both configurations.
+func benchmarkShardedThroughput(b *testing.B, shards int) {
+	const conns = 4
+	const window = 16
+	schema := callproc.Schema(callproc.DefaultSchemaConfig())
+	cfg := server.Config{AuditPeriod: 50 * time.Millisecond, DisableTrace: true}
+	var srv interface {
+		Serve(net.Listener) error
+		Shutdown(time.Duration) error
+	}
+	if shards > 1 {
+		schemas, err := memdb.ShardSchemas(schema, shards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dbs := make([]*memdb.DB, shards)
+		for k := range dbs {
+			if dbs[k], err = memdb.New(schemas[k]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sd, err := server.NewSharded(dbs, nil, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv = sd
+	} else {
+		db, err := memdb.New(schema)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := server.New(db, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv = s
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown(10 * time.Second)
+
+	clients := make([]*wire.Conn, conns)
+	recs := make([]int, conns)
+	for w := 0; w < conns; w++ {
+		c, err := wire.Dial(ln.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		if _, err := c.Init(); err != nil {
+			b.Fatal(err)
+		}
+		ri, err := c.Alloc(callproc.TblRes, w%callproc.ResourceBanks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.WriteRec(callproc.TblRes, ri, []uint32{uint32(ri), 1, 50}); err != nil {
+			b.Fatal(err)
+		}
+		clients[w], recs[w] = c, ri
+	}
+
+	drive := func(c *wire.Conn, ri, n int) error {
+		p := c.Pipeline(window)
+		recv := func() error {
+			r, err := p.Recv()
+			if err != nil {
+				return err
+			}
+			return r.Err()
+		}
+		for i := 0; i < n; i++ {
+			if p.InFlight() >= window {
+				for p.InFlight() > window/2 {
+					if err := recv(); err != nil {
+						return err
+					}
+				}
+			}
+			q := wire.Request{
+				Op: wire.OpWriteFld, Table: int32(callproc.TblRes),
+				Record: int32(ri), Field: int32(callproc.FldResQuality),
+				Vals: []uint32{uint32(i % 101)},
+			}
+			if _, err := p.Send(q); err != nil {
+				return err
+			}
+		}
+		for p.InFlight() > 0 {
+			if err := recv(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	workerErrs := make([]error, conns)
+	per, rem := b.N/conns, b.N%conns
+	for w := 0; w < conns; w++ {
+		n := per
+		if w < rem {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			workerErrs[w] = drive(clients[w], recs[w], n)
+		}(w, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+	for _, err := range workerErrs {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "ops/s")
 }
 
 func BenchmarkVMStep(b *testing.B) {

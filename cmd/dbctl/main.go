@@ -19,6 +19,13 @@
 //	dbctl -op proc-list -addr 127.0.0.1:7420
 //	dbctl -op health    -addr 127.0.0.1:7420 [-format json]
 //	dbctl -op repl-status -addr 127.0.0.1:7420,127.0.0.1:7421,127.0.0.1:7422
+//	dbctl -op status    -addr 127.0.0.1:7420
+//
+// The status op prints a serving summary from the live metrics snapshot:
+// one overall line (role, executed requests, connections, queue, shed,
+// audit sweeps and findings), and — against a sharded core — one row per
+// shard with its executor queue, shed counter, executed requests, audit
+// findings, and restarts, read from the "shard.<k>." gauge namespace.
 //
 // The health op prints the server's health & SLO status document and exits
 // nonzero when overall health is CRITICAL, so scripts can gate on it.
@@ -42,6 +49,7 @@ import (
 	"repro/internal/callproc"
 	"repro/internal/health"
 	"repro/internal/memdb"
+	"repro/internal/metrics"
 	"repro/internal/proc"
 	"repro/internal/wire"
 )
@@ -55,7 +63,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("dbctl", flag.ContinueOnError)
-	op := fs.String("op", "", "operation: init | dump | corrupt | verify | repair | proc-load | proc-list | health | repl-status")
+	op := fs.String("op", "", "operation: init | dump | corrupt | verify | repair | proc-load | proc-list | health | repl-status | status")
 	format := fs.String("format", "text", "health: output format, text | json")
 	img := fs.String("img", "", "image file path")
 	table := fs.Int("table", -1, "dump: restrict to one table")
@@ -80,6 +88,8 @@ func run(args []string) error {
 		return healthOp(*addr, *format)
 	case "repl-status":
 		return replStatusOp(*addr)
+	case "status":
+		return statusOp(*addr)
 	}
 	if *img == "" {
 		return fmt.Errorf("-img is required")
@@ -356,6 +366,65 @@ func fetchReplStatus(addr string) (wire.ReplState, error) {
 	}
 	defer c.Close()
 	return c.ReplStatus()
+}
+
+// statusOp prints a serving summary from a live dbserve's metrics
+// snapshot: one overall line, then — when the server is a sharded core —
+// one row per shard from the "shard.<k>." gauge namespace, so a
+// hot-spotted or shedding stripe shows up without scraping /statsz.
+func statusOp(addr string) error {
+	if addr == "" {
+		return fmt.Errorf("status requires -addr")
+	}
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	doc, err := c.Stats2()
+	if err != nil {
+		return err
+	}
+	snap, err := metrics.ParseSnapshot(doc)
+	if err != nil {
+		return err
+	}
+	role := "primary"
+	if snap.Gauges["repl.role"] == int64(wire.RoleStandby) {
+		role = "standby"
+	}
+	fmt.Printf("%s: role=%s executed=%d conns=%d/%d queue=%d/%d shed=%d sweeps=%d findings=%d\n",
+		addr, role,
+		snap.Gauges["server.executed"],
+		snap.Gauges["server.conns.active"], snap.Gauges["server.conns.total"],
+		snap.Gauges["server.queue.depth"], snap.Gauges["server.queue.capacity"],
+		snap.Gauges["server.queue.dropped"],
+		snap.Counters["audit.sweeps"],
+		snap.Gauges["server.audit.findings"])
+	n := 0
+	for {
+		if _, ok := snap.Gauges[fmt.Sprintf("shard.%d.server.queue.depth", n)]; !ok {
+			break
+		}
+		n++
+	}
+	if n == 0 {
+		fmt.Println("shards: none (single core)")
+		return nil
+	}
+	fmt.Printf("shards: %d\n", n)
+	fmt.Printf("  %-5s %12s %8s %10s %9s %9s\n",
+		"SHARD", "QUEUE", "SHED", "EXECUTED", "FINDINGS", "RESTARTS")
+	for k := 0; k < n; k++ {
+		g := func(name string) int64 {
+			return snap.Gauges[fmt.Sprintf("shard.%d.%s", k, name)]
+		}
+		fmt.Printf("  %-5d %7d/%-4d %8d %10d %9d %9d\n",
+			k, g("server.queue.depth"), g("server.queue.capacity"),
+			g("server.queue.dropped"), g("server.executed"),
+			g("server.audit.findings"), g("server.audit.restarts"))
+	}
+	return nil
 }
 
 // procList prints a live dbserve's procedure registry inventory.

@@ -77,6 +77,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -597,6 +598,32 @@ func watchLine(snap metrics.Snapshot, rate float64) string {
 		snap.Gauges["trace.events"], traceDrops,
 		snap.Counters["audit.sweeps"],
 		snap.Gauges["server.audit.findings"])
+	// A sharded core publishes per-shard detail under "shard.<k>."; show
+	// each shard's executor queue and drop counter plus the busiest shard
+	// (by executed requests), so a hot-spotted stripe is visible at a
+	// glance while the aggregate gauges above stay comparable to a single
+	// server's.
+	nShards := 0
+	for {
+		if _, ok := snap.Gauges[fmt.Sprintf("shard.%d.server.queue.depth", nShards)]; !ok {
+			break
+		}
+		nShards++
+	}
+	if nShards > 1 {
+		depths := make([]string, nShards)
+		sheds := make([]string, nShards)
+		hot, hotExec := 0, int64(-1)
+		for k := 0; k < nShards; k++ {
+			depths[k] = strconv.FormatInt(snap.Gauges[fmt.Sprintf("shard.%d.server.queue.depth", k)], 10)
+			sheds[k] = strconv.FormatInt(snap.Gauges[fmt.Sprintf("shard.%d.server.queue.dropped", k)], 10)
+			if e := snap.Gauges[fmt.Sprintf("shard.%d.server.executed", k)]; e > hotExec {
+				hot, hotExec = k, e
+			}
+		}
+		line += fmt.Sprintf(" shards=%d q=[%s] shed=[%s] hot=%d",
+			nShards, strings.Join(depths, " "), strings.Join(sheds, " "), hot)
+	}
 	if pending, ok := snap.Gauges["wal.flush_pending"]; ok {
 		line += fmt.Sprintf(" wal=%d", pending)
 	}

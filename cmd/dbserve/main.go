@@ -11,6 +11,7 @@
 //	dbserve -addr :7420 -audit-period 250ms -queue 512
 //	dbserve -addr :7420 -wal-dir wal/           # durable: recover, log, checkpoint
 //	dbserve -addr :7421 -wal-dir wal2/ -replica-of 127.0.0.1:7420   # hot standby
+//	dbserve -addr :7420 -shards 4 -wal-dir wal/ # sharded core: 4 executors, 4 WAL streams
 //
 // With -wal-dir the database is recovered from the newest checkpoint plus
 // the operation-log tail (a torn final record is truncated), every mutating
@@ -25,6 +26,14 @@
 // values as dbctl. SIGINT/SIGTERM trigger a drain-then-stop shutdown: open
 // connections finish their in-flight requests, queued work executes, a
 // final audit sweep certifies the region, and a stats summary is printed.
+//
+// With -shards N (N > 1) the database is striped across N complete server
+// cores — N executors, N audit schedulers, N WAL streams — behind one
+// coordinator; see internal/server.Sharded. A sharded WAL directory holds
+// per-shard subdirectories (shard-0 ... shard-N-1) plus a "shards" marker
+// file recording N; recovery runs the shards in parallel. The shard count
+// is part of the durable layout: restart with the same -shards, and give a
+// sharded standby the same -shards as its primary.
 package main
 
 import (
@@ -38,7 +47,10 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
+	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -75,6 +87,7 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 	addr := fs.String("addr", "127.0.0.1:7420", "listen address")
 	metricsAddr := fs.String("metrics-addr", "", "serve metrics snapshots over HTTP on this address (GET /statsz, ?format=text for the line format)")
 	img := fs.String("img", "", "serve this dbctl image instead of a pristine database")
+	shards := fs.Int("shards", 1, "partition the database into N audited shards, each with its own executor, audit scheduler, and WAL stream (1 = classic single core)")
 	queue := fs.Int("queue", 0, "request queue depth (0 = default)")
 	auditPeriod := fs.Duration("audit-period", time.Second, "periodic audit sweep interval; negative disables audits")
 	injectPeriod := fs.Duration("inject-period", 0, "flip one random database bit per interval and journal the shot (fault-injection demo; 0 disables)")
@@ -105,13 +118,82 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 	if *img != "" && *walDir != "" {
 		return fmt.Errorf("-img and -wal-dir are mutually exclusive: the WAL recovery is the image")
 	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be at least 1, got %d", *shards)
+	}
+	if *shards > 1 && *img != "" {
+		return fmt.Errorf("-img serves a single-region image; a sharded core starts pristine or recovers from -wal-dir")
+	}
 
-	var db *memdb.DB
-	var err error
-	var walLog *wal.Log
+	var db *memdb.DB        // single core
+	var dbs []*memdb.DB     // sharded core: one region per shard
+	var walLogs []*wal.Log  // per shard; one entry when unsharded
 	var rec *trace.Recorder
+	var err error
 	switch {
+	case *shards > 1:
+		schemas, serr := memdb.ShardSchemas(schema, *shards)
+		if serr != nil {
+			return serr
+		}
+		dbs = make([]*memdb.DB, *shards)
+		if *walDir == "" {
+			for k := range dbs {
+				if dbs[k], err = memdb.New(schemas[k]); err != nil {
+					return err
+				}
+			}
+			break
+		}
+		if err := checkShardMarker(*walDir, *shards); err != nil {
+			return err
+		}
+		// Each shard stream recovers independently — its checkpoint plus its
+		// log tail touch only its own stripe — so recovery runs them in
+		// parallel and the wall-clock cost is the largest shard's, not the
+		// region's.
+		walLogs = make([]*wal.Log, *shards)
+		results := make([]*wal.RecoverResult, *shards)
+		errs := make([]error, *shards)
+		var wg sync.WaitGroup
+		for k := 0; k < *shards; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				dir := shardWALDir(*walDir, k)
+				res, rerr := wal.Recover(dir, schemas[k])
+				if rerr != nil {
+					errs[k] = fmt.Errorf("shard %d: wal recover: %w", k, rerr)
+					return
+				}
+				results[k], dbs[k] = res, res.DB
+				walLogs[k], errs[k] = wal.Open(wal.Config{Dir: dir, SegmentCap: *walSegment}, res.LastSeq)
+			}(k)
+		}
+		wg.Wait()
+		for _, e := range errs {
+			if e != nil {
+				return e
+			}
+		}
+		rec = trace.New()
+		ring := rec.Ring("wal", 0)
+		for k, res := range results {
+			torn, code := "", int64(0)
+			if res.Truncated {
+				torn, code = " (torn tail truncated)", 1
+			}
+			fmt.Fprintf(out, "dbserve: shard %d: WAL recovered from %s: checkpoint seq %d, replayed %d records to seq %d%s\n",
+				k, shardWALDir(*walDir, k), res.CheckpointSeq, res.Replayed, res.LastSeq, torn)
+			ring.Emit(trace.Event{
+				Kind: trace.KindWALRecover, Code: code, Op: fmt.Sprintf("shard-%d", k),
+				Arg: int64(res.Replayed), Aux: int64(res.LastSeq),
+			})
+		}
 	case *walDir != "":
+		if err := checkShardMarker(*walDir, 1); err != nil {
+			return err
+		}
 		res, rerr := wal.Recover(*walDir, schema)
 		if rerr != nil {
 			return fmt.Errorf("wal recover: %w", rerr)
@@ -123,10 +205,12 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 		}
 		fmt.Fprintf(out, "dbserve: WAL recovered from %s: checkpoint seq %d, replayed %d records to seq %d%s\n",
 			*walDir, res.CheckpointSeq, res.Replayed, res.LastSeq, torn)
+		var walLog *wal.Log
 		walLog, err = wal.Open(wal.Config{Dir: *walDir, SegmentCap: *walSegment}, res.LastSeq)
 		if err != nil {
 			return fmt.Errorf("wal open: %w", err)
 		}
+		walLogs = []*wal.Log{walLog}
 		// Journal the recovery so a post-start TRACE shows how this region
 		// came to be (Code 1 = a torn record was truncated).
 		rec = trace.New()
@@ -163,7 +247,7 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 		advertiseAddr = ln.Addr().String()
 	}
 
-	srv, err := server.New(db, server.Config{
+	cfg := server.Config{
 		QueueDepth:       *queue,
 		AuditPeriod:      *auditPeriod,
 		InjectPeriod:     *injectPeriod,
@@ -171,7 +255,6 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 		ProcInjectPeriod: *procInjectPeriod,
 		ProcInjectSeed:   *procInjectSeed,
 		Trace:            rec,
-		WAL:              walLog,
 		Standby:          *replicaOf != "",
 		PrimaryAddr:      *replicaOf,
 		ServeReads:       *serveReads,
@@ -179,10 +262,27 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 		ReplPoll:         *replPoll,
 		ReplFailLimit:    *replFailLimit,
 		CheckpointCap:    *walCheckpoint,
-	})
-	if err != nil {
-		ln.Close()
-		return err
+	}
+	var srv core
+	if *shards > 1 {
+		s, nerr := server.NewSharded(dbs, walLogs, cfg)
+		if nerr != nil {
+			ln.Close()
+			return nerr
+		}
+		srv = s
+		fmt.Fprintf(out, "dbserve: sharded core: %d shards, %d executors, %d audit schedulers\n",
+			*shards, *shards, *shards)
+	} else {
+		if walLogs != nil {
+			cfg.WAL = walLogs[0]
+		}
+		s, nerr := server.New(db, cfg)
+		if nerr != nil {
+			ln.Close()
+			return nerr
+		}
+		srv = s
 	}
 	if *replicaOf != "" {
 		mode := ""
@@ -227,14 +327,75 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 	// latter case the server still needs draining before the summary.
 	drainErr := srv.Shutdown(*shutdownTimeout)
 	printSummary(out, srv.Stats())
-	if walLog != nil {
-		fmt.Fprintf(out, "  wal: synced through seq %d, checkpoint at seq %d\n",
-			walLog.SyncedSeq(), walLog.CheckpointSeq())
+	for k, wl := range walLogs {
+		if wl == nil {
+			continue
+		}
+		if len(walLogs) == 1 {
+			fmt.Fprintf(out, "  wal: synced through seq %d, checkpoint at seq %d\n",
+				wl.SyncedSeq(), wl.CheckpointSeq())
+		} else {
+			fmt.Fprintf(out, "  wal shard %d: synced through seq %d, checkpoint at seq %d\n",
+				k, wl.SyncedSeq(), wl.CheckpointSeq())
+		}
 	}
 	if serveErr != nil {
 		return serveErr
 	}
 	return drainErr
+}
+
+// core is the serving surface shared by the single server and the sharded
+// coordinator — everything the daemon needs to serve, observe, and drain
+// either one.
+type core interface {
+	Serve(net.Listener) error
+	Shutdown(time.Duration) error
+	Stats() server.Stats
+	SnapshotMetrics() (metrics.Snapshot, error)
+	SnapshotMetricsFull() (metrics.Snapshot, error)
+	Health() (health.Status, bool)
+	Trace() *trace.Recorder
+	TraceEvents(trace.Kind, int) []trace.Event
+}
+
+var (
+	_ core = (*server.Server)(nil)
+	_ core = (*server.Sharded)(nil)
+)
+
+// shardWALDir is shard k's stream directory under a sharded WAL root.
+func shardWALDir(root string, k int) string {
+	return filepath.Join(root, fmt.Sprintf("shard-%d", k))
+}
+
+// checkShardMarker enforces that a WAL directory's durable shard layout
+// matches -shards. A sharded root carries a "shards" marker file with the
+// count; an unsharded directory carries none. The marker is written on
+// first sharded use.
+func checkShardMarker(dir string, n int) error {
+	path := filepath.Join(dir, "shards")
+	data, err := os.ReadFile(path)
+	if err == nil {
+		got, perr := strconv.Atoi(strings.TrimSpace(string(data)))
+		if perr != nil || got < 1 {
+			return fmt.Errorf("wal dir %s: unreadable shards marker %q", dir, strings.TrimSpace(string(data)))
+		}
+		if got != n {
+			return fmt.Errorf("wal dir %s was written with -shards=%d, started with -shards=%d", dir, got, n)
+		}
+		return nil
+	}
+	if !os.IsNotExist(err) {
+		return err
+	}
+	if n == 1 {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(strconv.Itoa(n)+"\n"), 0o644)
 }
 
 // statszMux serves the server's observability endpoints: GET /statsz
@@ -246,7 +407,7 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 // recorder journal (?n= caps the event count, ?kind= filters by journal
 // name like "req-reply" or "finding", ?format=text for the line format),
 // and /debug/pprof/ the standard Go profiles.
-func statszMux(srv *server.Server) *http.ServeMux {
+func statszMux(srv core) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
 		switch r.URL.Query().Get("format") {

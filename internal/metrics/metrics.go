@@ -253,17 +253,38 @@ type entry struct {
 // Gauge / GaugeFunc / Histogram methods) is get-or-create by name and safe
 // for concurrent use; re-registering a name as a different kind panics, as
 // that is always a programming error.
+//
+// A Registry value is a view onto shared state: WithPrefix returns a new
+// view over the same entries whose registrations are transparently
+// namespaced, which is how N database shards publish into one snapshot
+// without clobbering each other's gauges. Snapshots taken through any view
+// cover the whole shared state, prefixed names included.
 type Registry struct {
+	s      *regState
+	prefix string
+}
+
+// regState is the storage every prefix view of one registry shares.
+type regState struct {
 	mu      sync.Mutex
 	entries map[string]*entry
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{entries: make(map[string]*entry)}
+	return &Registry{s: &regState{entries: make(map[string]*entry)}}
 }
 
-func (r *Registry) lookup(name, kind string) *entry {
+// WithPrefix returns a view of the same registry that prepends p to every
+// name it registers or resolves. Prefixes compose: r.WithPrefix("a.").
+// WithPrefix("b.") namespaces under "a.b.". The view shares storage with r,
+// so a name registered through the view is visible (under its full name)
+// to snapshots taken anywhere.
+func (r *Registry) WithPrefix(p string) *Registry {
+	return &Registry{s: r.s, prefix: r.prefix + p}
+}
+
+func (r *regState) lookup(name, kind string) *entry {
 	e, ok := r.entries[name]
 	if !ok {
 		e = &entry{name: name}
@@ -289,9 +310,9 @@ func (r *Registry) lookup(name, kind string) *entry {
 
 // Counter returns the named counter, creating it if needed.
 func (r *Registry) Counter(name string) *Counter {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	e := r.lookup(name, "counter")
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	e := r.s.lookup(r.prefix+name, "counter")
 	if e.c == nil {
 		e.c = &Counter{}
 	}
@@ -300,9 +321,9 @@ func (r *Registry) Counter(name string) *Counter {
 
 // Gauge returns the named gauge, creating it if needed.
 func (r *Registry) Gauge(name string) *Gauge {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	e := r.lookup(name, "gauge")
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	e := r.s.lookup(r.prefix+name, "gauge")
 	if e.g == nil {
 		e.g = &Gauge{}
 	}
@@ -313,9 +334,9 @@ func (r *Registry) Gauge(name string) *Gauge {
 // fn must be safe to call from any goroutine; it may take locks of its
 // own. Re-registering a name replaces the function.
 func (r *Registry) GaugeFunc(name string, fn func() int64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	e := r.lookup(name, "gaugefunc")
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	e := r.s.lookup(r.prefix+name, "gaugefunc")
 	e.gf = fn
 }
 
@@ -323,9 +344,9 @@ func (r *Registry) GaugeFunc(name string, fn func() int64) {
 // bounds if needed (bounds are ignored for an existing histogram; nil
 // means LatencyBuckets).
 func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	e := r.lookup(name, "histogram")
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	e := r.s.lookup(r.prefix+name, "histogram")
 	if e.h == nil {
 		if bounds == nil {
 			bounds = LatencyBuckets()
@@ -345,12 +366,12 @@ func (r *Registry) Snapshot() Snapshot { return r.snapshot(false) }
 func (r *Registry) SnapshotFull() Snapshot { return r.snapshot(true) }
 
 func (r *Registry) snapshot(full bool) Snapshot {
-	r.mu.Lock()
-	entries := make([]*entry, 0, len(r.entries))
-	for _, e := range r.entries {
+	r.s.mu.Lock()
+	entries := make([]*entry, 0, len(r.s.entries))
+	for _, e := range r.s.entries {
 		entries = append(entries, e)
 	}
-	r.mu.Unlock()
+	r.s.mu.Unlock()
 
 	s := Snapshot{
 		Counters:   make(map[string]uint64),

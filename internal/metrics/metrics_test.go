@@ -32,6 +32,32 @@ func TestCounterGauge(t *testing.T) {
 	}
 }
 
+func TestWithPrefix(t *testing.T) {
+	r := NewRegistry()
+	v0 := r.WithPrefix("shard.0.")
+	v1 := r.WithPrefix("shard.1.")
+	v0.Gauge("queue.depth").Set(3)
+	v1.Gauge("queue.depth").Set(8)
+	// Same full name through the view and through the root resolves to the
+	// same instance — the view is a namespace, not a separate registry.
+	if v0.Gauge("queue.depth") != r.Gauge("shard.0.queue.depth") {
+		t.Fatal("prefixed gauge is not the same instance as its full name")
+	}
+	// Counters registered unprefixed from two views' code paths merge.
+	v0.WithPrefix("").Counter("x") // prefixes compose (empty is identity)
+	if r.WithPrefix("a.").WithPrefix("b.").Counter("c") != r.Counter("a.b.c") {
+		t.Fatal("composed prefixes did not resolve to the full name")
+	}
+	s := r.Snapshot()
+	if s.Gauges["shard.0.queue.depth"] != 3 || s.Gauges["shard.1.queue.depth"] != 8 {
+		t.Fatalf("snapshot missing prefixed gauges: %+v", s.Gauges)
+	}
+	// A snapshot through a view still covers the whole shared state.
+	if sv := v1.Snapshot(); sv.Gauges["shard.0.queue.depth"] != 3 {
+		t.Fatalf("view snapshot lost sibling entries: %+v", sv.Gauges)
+	}
+}
+
 func TestKindMismatchPanics(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("x")

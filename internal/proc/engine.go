@@ -111,6 +111,21 @@ const DefaultStepBudget = 100_000
 // maxEmit bounds the reply vector a procedure can build.
 const maxEmit = 1024
 
+// Session is the database surface a procedure execution drives: exactly
+// the five calls the stage issues. *memdb.Client satisfies it, which is
+// the direct single-database path; the sharded server substitutes an
+// adapter that routes each call to the shard owning the record while
+// every shard executor is parked at the procedure barrier.
+type Session interface {
+	ReadFld(table, rec, field int) (uint32, error)
+	WriteFld(table, rec, field int, val uint32) error
+	Alloc(table, group int) (int, error)
+	Free(table, rec int) error
+	Move(table, rec, group int) error
+}
+
+var _ Session = (*memdb.Client)(nil)
+
 // Engine executes registered procedures against a live database session.
 // One engine serves every procedure; it is executor-thread-only, like the
 // session clients it drives.
@@ -137,7 +152,7 @@ func NewEngine() *Engine { return &Engine{} }
 // after a clean halt, so an aborted procedure commits nothing. Reads see
 // the procedure's own staged writes. Allocations apply eagerly (later
 // operations need the record live) and are compensated by a free on abort.
-func (e *Engine) Exec(p *Procedure, sess *memdb.Client, args []uint32, tid uint64) Result {
+func (e *Engine) Exec(p *Procedure, sess Session, args []uint32, tid uint64) Result {
 	p.Execs++
 	st := &stage{sess: sess, writes: make(map[[3]int]uint32)}
 	out := make([]uint32, 0, 8)
@@ -230,7 +245,7 @@ func boolReg(ok bool) uint32 {
 // stage is one execution's mutation buffer: the ordered operation list, the
 // read-your-writes overlay, and the eager-allocation ledger.
 type stage struct {
-	sess   *memdb.Client
+	sess   Session
 	ops    []Mutation
 	writes map[[3]int]uint32
 	allocs []Mutation // eager allocations, for abort compensation

@@ -20,6 +20,10 @@ import (
 type ApplierConfig struct {
 	// Primary is the primary's serving address.
 	Primary string
+	// Shard names which of the primary's WAL streams this applier follows
+	// (sharded pairs run one applier per shard). Zero is the single-stream
+	// default and interoperates with unsharded primaries.
+	Shard int
 	// Advertise is the standby's own serving address, sent with every poll
 	// so the primary's audit knows where its mirror lives. May be empty.
 	Advertise string
@@ -127,7 +131,7 @@ func (a *Applier) step() error {
 	if a.needBoot {
 		return a.bootstrap()
 	}
-	blob, lastSeq, err := a.conn.Replicate(a.applied.Load(), a.cfg.Advertise)
+	blob, lastSeq, err := a.conn.ReplicateShard(a.cfg.Shard, a.applied.Load(), a.cfg.Advertise)
 	if err == nil {
 		a.primaryLast.Store(lastSeq)
 	}
@@ -195,7 +199,7 @@ func (a *Applier) bootstrap() error {
 	var buf []byte
 	total, seq := -1, uint64(0)
 	for off := 0; total < 0 || off < total; {
-		chunk, t, s, err := a.conn.ReplSnap(off)
+		chunk, t, s, err := a.conn.ReplSnapShard(a.cfg.Shard, off)
 		if err != nil {
 			a.dropConn()
 			return err

@@ -36,7 +36,10 @@ type procTelemetry struct {
 	latency    map[string]*metrics.Histogram
 }
 
-func newProcTelemetry(reg *metrics.Registry) *procTelemetry {
+// newProcTelemetry follows the shard discipline of newTelemetry: counters
+// and histograms on the plain registry, the Set-based gauge on the possibly
+// shard-prefixed view.
+func newProcTelemetry(reg, greg *metrics.Registry) *procTelemetry {
 	return &procTelemetry{
 		reg:        reg,
 		execs:      reg.Counter("proc.execs"),
@@ -44,7 +47,7 @@ func newProcTelemetry(reg *metrics.Registry) *procTelemetry {
 		faults:     reg.Counter("proc.faults"),
 		reloads:    reg.Counter("proc.reloads"),
 		shots:      reg.Counter("proc.shots"),
-		registered: reg.Gauge("proc.registered"),
+		registered: greg.Gauge("proc.registered"),
 		latency:    make(map[string]*metrics.Histogram),
 	}
 }
@@ -64,7 +67,7 @@ func (t *procTelemetry) histFor(name string) *metrics.Histogram {
 // abort surfaces to the client, the damage becomes a control-flow finding
 // joined to this request's trace ID, and the registry reloads the pristine
 // text so the next invocation runs clean.
-func (s *Server) handleProcExec(sess *memdb.Client, q wire.Request, tid uint64) wire.Response {
+func (s *Server) handleProcExec(sess proc.Session, q wire.Request, tid uint64) wire.Response {
 	p := s.procs.Get(q.Detail)
 	if p == nil {
 		return wire.ErrorResponse(q.Seq, fmt.Errorf("%s: %w", q.Detail, wire.ErrUnknownProc))
@@ -76,7 +79,13 @@ func (s *Server) handleProcExec(sess *memdb.Client, q wire.Request, tid uint64) 
 		s.procTel.histFor(p.Name).ObserveSince(t0)
 	}
 	if len(res.Applied) > 0 {
-		s.logProcMutations(res.Applied, tid)
+		if s.cfg.procLog != nil {
+			// Sharded: the coordinator owns the mutation log, routing each
+			// applied mutation to the shard whose WAL stream owns the record.
+			s.cfg.procLog(res.Applied, tid)
+		} else {
+			s.logProcMutations(res.Applied, tid)
+		}
 	}
 	switch res.Status {
 	case proc.StatusOK:

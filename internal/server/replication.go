@@ -171,6 +171,12 @@ func (s *Server) promote(reason string) {
 	if s.replRing != nil {
 		s.replRing.Emit(trace.Event{Kind: trace.KindReplPromote, Detail: reason})
 	}
+	if s.cfg.onPromote != nil {
+		// Role coherence under a sharded coordinator: one shard's promotion
+		// (self-triggered or requested) promotes the whole group. The CAS
+		// above makes the resulting fan-out converge.
+		s.cfg.onPromote(reason)
+	}
 }
 
 // fetchMirror reads the standby's copy of a record for mirror-sourced audit
@@ -192,7 +198,7 @@ func (s *Server) fetchMirror(table, rec int) ([]uint32, bool) {
 		s.mirrorConn = wire.NewConn(nc)
 		s.mirrorConn.Timeout = mirrorTimeout
 	}
-	st, vals, err := s.mirrorConn.ReplFetch(table, rec)
+	st, vals, err := s.mirrorConn.ReplFetchShard(s.cfg.shardID, table, rec)
 	if err != nil {
 		s.mirrorConn.Close()
 		s.mirrorConn = nil

@@ -176,6 +176,27 @@ type Config struct {
 	ProcInjectPeriod time.Duration
 	// ProcInjectSeed seeds the procedure text injector RNG.
 	ProcInjectSeed int64
+
+	// Sharding wiring, set only by NewSharded (same package). shardCount > 1
+	// marks this server as one shard of a sharded coordinator: its uniquely-
+	// named gauges register under a "shard.<id>." registry prefix (counters
+	// and histograms stay unprefixed and merge across shards), and the
+	// coordinator-owned registrations (trace recorder, health plane) are
+	// skipped.
+	shardID    int
+	shardCount int
+	// shardDebt is the shared audit-debt meter every shard's periodic
+	// element reports into; the coordinator's health plane reads it.
+	shardDebt *health.DebtMeter
+	// onPromote is called after this shard promotes itself so the
+	// coordinator can promote the remaining shards (role coherence).
+	onPromote func(reason string)
+	// procLog replaces logProcMutations for procedure commits: the
+	// coordinator routes each applied mutation to the owning shard's WAL.
+	procLog func(applied []proc.Mutation, tid uint64)
+	// onRefresh is called at the end of every executor metrics refresh;
+	// the coordinator rides shard 0's tick to drive its health plane.
+	onRefresh func()
 }
 
 func (c *Config) applyDefaults() {
@@ -295,9 +316,13 @@ type Server struct {
 	replRing   *trace.Ring // repl.*/wal.* events (nil when tracing off)
 
 	// tel is the server-level telemetry (nil when Config.DisableMetrics);
-	// auditTel publishes audit-layer metrics into the same registry.
+	// auditTel publishes audit-layer metrics into the same registry. greg
+	// is the registry view uniquely-named gauges bind into — the plain
+	// registry normally, a "shard.<id>." prefix view under a sharded
+	// coordinator.
 	tel      *telemetry
 	auditTel *audit.Telemetry
+	greg     *metrics.Registry
 
 	// Health & SLO plane (nil when Config.DisableHealth, or when metrics
 	// or tracing are off). healthDebt is the audit scheduler's debt sink;
@@ -465,9 +490,16 @@ func New(db *memdb.DB, cfg Config) (*Server, error) {
 		if reg == nil {
 			reg = metrics.NewRegistry()
 		}
+		// A shard's uniquely-named gauges live under its own prefix view so
+		// they cannot clobber a sibling shard's; counters and histograms keep
+		// plain names and merge into registry-wide aggregates.
+		s.greg = reg
+		if cfg.shardCount > 1 {
+			s.greg = reg.WithPrefix(fmt.Sprintf("shard.%d.", cfg.shardID))
+		}
 		s.auditTel = audit.NewTelemetry(reg)
-		s.tel = newTelemetry(reg)
-		s.procTel = newProcTelemetry(reg)
+		s.tel = newTelemetry(reg, s.greg)
+		s.procTel = newProcTelemetry(reg, s.greg)
 	}
 
 	if !cfg.DisableTrace {
@@ -524,6 +556,7 @@ func New(db *memdb.DB, cfg Config) (*Server, error) {
 		}
 		s.applier = replica.NewApplier(db, s.walLog, startSeq, replica.ApplierConfig{
 			Primary:   cfg.PrimaryAddr,
+			Shard:     cfg.shardID,
 			Advertise: cfg.AdvertiseAddr,
 			Timeout:   cfg.ReplTimeout,
 			FailLimit: cfg.ReplFailLimit,
@@ -597,6 +630,11 @@ func New(db *memdb.DB, cfg Config) (*Server, error) {
 	}
 	s.start = time.Now()
 	s.buildHealthPlane()
+	if s.healthDebt == nil && cfg.shardDebt != nil {
+		// Shards run with the plane disabled but still meter audit debt —
+		// into the coordinator's shared meter.
+		s.healthDebt = cfg.shardDebt
+	}
 	if s.tel != nil {
 		s.registerMetrics()
 	}
@@ -683,7 +721,11 @@ type telemetry struct {
 	hbReplies, progRecoveries, perSweeps *metrics.Gauge
 }
 
-func newTelemetry(reg *metrics.Registry) *telemetry {
+// newTelemetry builds the server's metric handles. Histograms and counters
+// go to reg (plain names: under a sharded coordinator every shard merges
+// into the same distribution); the executor-refreshed gauges go to greg,
+// the possibly shard-prefixed view, since each shard Sets its own values.
+func newTelemetry(reg, greg *metrics.Registry) *telemetry {
 	t := &telemetry{reg: reg}
 	for op := 1; op < wire.NumOps; op++ {
 		t.latency[op] = reg.Histogram("server.latency."+wire.Op(op).String(), nil)
@@ -693,12 +735,12 @@ func newTelemetry(reg *metrics.Registry) *telemetry {
 	t.stageExecute = reg.Histogram("server.stage.execute", nil)
 	t.stageReplyWrite = reg.Histogram("server.stage.reply_write", nil)
 	t.forcedSweeps = reg.Counter("audit.sweeps.forced")
-	t.mgrProbes = reg.Gauge("manager.probes")
-	t.mgrReplies = reg.Gauge("manager.replies")
-	t.mgrAlive = reg.Gauge("manager.alive")
-	t.hbReplies = reg.Gauge("audit.heartbeat.replies")
-	t.progRecoveries = reg.Gauge("audit.progress.recoveries")
-	t.perSweeps = reg.Gauge("audit.triggers.periodic")
+	t.mgrProbes = greg.Gauge("manager.probes")
+	t.mgrReplies = greg.Gauge("manager.replies")
+	t.mgrAlive = greg.Gauge("manager.alive")
+	t.hbReplies = greg.Gauge("audit.heartbeat.replies")
+	t.progRecoveries = greg.Gauge("audit.progress.recoveries")
+	t.perSweeps = greg.Gauge("audit.triggers.periodic")
 	return t
 }
 
@@ -714,9 +756,12 @@ func batchBuckets() []int64 {
 
 // registerMetrics wires the gauge functions that read the server's own
 // lock-protected or atomic state, binds the memdb activity gauges, and
-// exports the audit notification queue. Called once from New.
+// exports the audit notification queue. Called once from New. Uniquely-
+// named per-server gauges bind through s.greg so that under a sharded
+// coordinator each shard's land under "shard.<id>."; the coordinator then
+// republishes the plain names as cross-shard aggregates.
 func (s *Server) registerMetrics() {
-	reg := s.tel.reg
+	reg := s.greg
 	reg.GaugeFunc("server.queue.depth", func() int64 { return int64(len(s.reqs)) })
 	reg.GaugeFunc("server.queue.capacity", func() int64 { return int64(cap(s.reqs)) })
 	reg.GaugeFunc("server.queue.dropped", func() int64 {
@@ -762,14 +807,16 @@ func (s *Server) registerMetrics() {
 	if s.applier != nil {
 		s.applier.BindMetrics(reg)
 	}
-	if s.rec != nil {
+	if s.rec != nil && s.cfg.shardCount <= 1 {
 		// Every ring the server will ever emit on exists by now, so ring
 		// overflow (events lost to the bounded buffers) is first-class
-		// telemetry from the start.
+		// telemetry from the start. Shards share the coordinator's recorder,
+		// which registers these once itself.
 		s.rec.RegisterMetrics(reg)
 	}
 	if s.view != nil {
-		s.view.BindMetrics(reg)
+		// Fastlane counters are plain: shard views merge into one tally.
+		s.view.BindMetrics(s.tel.reg)
 	}
 	if s.health != nil {
 		s.health.RegisterMetrics(reg)
@@ -809,6 +856,9 @@ func (s *Server) refreshExecutorMetrics() {
 	}
 	if s.health != nil {
 		s.health.Tick()
+	}
+	if s.cfg.onRefresh != nil {
+		s.cfg.onRefresh()
 	}
 }
 
@@ -861,14 +911,26 @@ func (s *Server) SnapshotMetricsFull() (metrics.Snapshot, error) {
 // and waits for it (or for executor exit, after which the gauges hold
 // their final values). Safe from any goroutine.
 func (s *Server) refreshViaExecutor() {
-	refreshed := make(chan struct{})
+	s.onExecutor(s.refreshExecutorMetrics)
+}
+
+// onExecutor runs f on the executor thread and waits for it to finish,
+// returning false when the executor has already exited (or exits before
+// running f). Safe from any goroutine; the executor's drain loop runs
+// queued control closures before it exits, so a successful send almost
+// always means f ran.
+func (s *Server) onExecutor(f func()) bool {
+	ran := make(chan struct{})
 	select {
-	case s.ctrl <- func() { s.refreshExecutorMetrics(); close(refreshed) }:
+	case s.ctrl <- func() { f(); close(ran) }:
 		select {
-		case <-refreshed:
+		case <-ran:
+			return true
 		case <-s.done:
+			return false
 		}
 	case <-s.done:
+		return false
 	}
 }
 

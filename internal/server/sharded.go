@@ -1,0 +1,1481 @@
+package server
+
+// Sharded multi-executor core: the audited region is striped across N
+// independent Server cores (memdb.ShardOf — global record g lives on shard
+// g mod N at local index g div N), each with its own single-writer
+// executor, audit scheduler, WAL segment stream, and seqlock read view.
+// Write throughput scales with shards because unrelated records never
+// serialize on one executor; every audit technique runs unchanged per
+// shard because each shard is a complete memdb region.
+//
+// The coordinator here is deliberately thin. It owns the TCP front end and
+// routes single-record operations to the owning shard's executor queue (or
+// its fastlane view); everything cross-shard follows one ordering
+// discipline: fan-outs visit shards in ascending shard order, and a
+// partial failure rolls back the lower shards before the error surfaces.
+// The memdb table locks are non-blocking (DBbegin answers ErrLocked rather
+// than waiting), so no lock-order deadlock is possible even against an
+// adversarial interleaving; ascending order adds determinism — of two
+// racing cross-shard transactions, whichever wins shard 0 wins everything.
+//
+// Wire-level compatibility: STATS/STATS2, HEALTH, TRACE, the replication
+// ops, and the lease-token protocol all keep their single-server shapes.
+// Shards publish uniquely-named gauges under "shard.<k>." and the
+// coordinator republishes the plain names as aggregates, so dbload -watch,
+// /healthz, and the scenario sampler read a sharded server exactly like a
+// single one. Counters and histograms keep plain names and merge.
+//
+// Known semantic deltas versus a single server, all conservative:
+//   - Write tokens come from the owning shard's WAL sequence space. A
+//     client router keeps the max across shards, so a routed standby read
+//     may see a lease floor from a busier shard's space and answer STALE
+//     when it is actually fresh — staleness bounds hold, at the cost of
+//     extra primary fallbacks.
+//   - A request that is both out-of-bounds and lease-stale answers the
+//     bounds error (the coordinator validates global bounds before
+//     routing); a single standby would answer STALE first.
+//   - OpInjectCtl arms every shard's data injector at the requested
+//     period, so the aggregate shot rate is N times a single server's.
+//     The procedure text injector arms on shard 0 only, where the
+//     registry that serves PROC_EXEC lives.
+//
+// A sharded standby must run with the same -shards as its primary: each
+// shard's applier follows the matching shard stream (wire shard id rides
+// the otherwise-unused Table/Field words of the replication ops).
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/health"
+	"repro/internal/memdb"
+	"repro/internal/metrics"
+	"repro/internal/proc"
+	"repro/internal/trace"
+	"repro/internal/wal"
+	"repro/internal/wire"
+)
+
+// Sharded is the coordinator over N shard Servers. It satisfies the same
+// serving surface as Server (ListenAndServe/Serve/Shutdown/Stats/
+// SnapshotMetrics/Health/TraceEvents), so the daemon embeds either.
+type Sharded struct {
+	cfg    Config
+	n      int
+	shards []*Server
+
+	// globalRecs[t] is table t's record count across all shards — the
+	// coordinator's bounds oracle, so out-of-range errors carry global
+	// limits exactly as a single server's would.
+	globalRecs []int
+
+	reg     *metrics.Registry
+	rec     *trace.Recorder
+	srvRing *trace.Ring
+	latency [wire.NumOps]*metrics.Histogram
+
+	healthP    atomic.Pointer[health.Plane]
+	healthDebt *health.DebtMeter
+
+	standby    atomic.Bool
+	serveReads atomic.Bool
+
+	// procMu serializes cross-shard procedure barriers: one PROC_EXEC
+	// parks every shard executor at a time.
+	procMu sync.Mutex
+
+	quit     chan struct{}
+	listener net.Listener
+	acceptWG sync.WaitGroup
+	connWG   sync.WaitGroup
+
+	mu       sync.Mutex
+	conns    map[*shConn]struct{}
+	shutdown bool
+
+	// Coordinator-level accounting for the ops it answers itself (fan-outs
+	// and control ops); routed ops are counted by the owning shard, and
+	// Stats sums both so every request is counted exactly once.
+	perOpOK    [wire.NumOps]atomic.Uint64
+	perOpErr   [wire.NumOps]atomic.Uint64
+	executed   atomic.Uint64
+	totalConns atomic.Uint64
+	allocSeq   atomic.Uint64
+
+	start time.Time
+}
+
+// shConn is one client connection to the coordinator. Each shard sees it
+// as its own conn (per-shard session, snapshot cursor, reply channel), so
+// the shard-side submit/fastlane/teardown machinery runs unmodified.
+type shConn struct {
+	nc    net.Conn
+	id    uint64
+	inner []*conn
+}
+
+// NewSharded builds the coordinator over the per-shard databases (derive
+// them with memdb.ShardSchemas) and optional per-shard WALs (nil, or one
+// entry per shard, entries may be nil). cfg is the same Config a single
+// Server takes; Metrics and Trace are shared across shards, WAL must be
+// nil (per-shard logs ride wals), and health is built once here rather
+// than per shard.
+func NewSharded(dbs []*memdb.DB, wals []*wal.Log, cfg Config) (*Sharded, error) {
+	n := len(dbs)
+	if n < 2 {
+		return nil, fmt.Errorf("server: sharded core needs at least 2 shards, got %d", n)
+	}
+	if wals != nil && len(wals) != n {
+		return nil, fmt.Errorf("server: %d shards but %d WALs", n, len(wals))
+	}
+	if cfg.WAL != nil {
+		return nil, errors.New("server: sharded core takes per-shard WALs, not Config.WAL")
+	}
+	if cfg.Standby && cfg.PrimaryAddr == "" {
+		return nil, errors.New("server: standby requires a primary address")
+	}
+	cfg.applyDefaults()
+
+	base := dbs[0].Schema()
+	globalRecs := make([]int, len(base.Tables))
+	for k, db := range dbs {
+		sch := db.Schema()
+		if len(sch.Tables) != len(base.Tables) {
+			return nil, fmt.Errorf("server: shard %d has %d tables, shard 0 has %d",
+				k, len(sch.Tables), len(base.Tables))
+		}
+		for ti, t := range sch.Tables {
+			if t.Name != base.Tables[ti].Name {
+				return nil, fmt.Errorf("server: shard %d table %d is %q, shard 0 has %q",
+					k, ti, t.Name, base.Tables[ti].Name)
+			}
+			globalRecs[ti] += t.NumRecords
+		}
+	}
+	// Second pass: every table's stripe sizes must match the canonical
+	// striping of the global total — the layout ShardSchemas produces.
+	// This catches a full-size region slipped in next to striped ones.
+	for k, db := range dbs {
+		for ti, t := range db.Schema().Tables {
+			if want := memdb.ShardRecords(globalRecs[ti], k, n); t.NumRecords != want {
+				return nil, fmt.Errorf("server: shard %d table %q has %d records, want %d of a %d-record stripe set",
+					k, t.Name, t.NumRecords, want, globalRecs[ti])
+			}
+		}
+	}
+
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	rec := cfg.Trace
+	if rec == nil && !cfg.DisableTrace {
+		rec = trace.New()
+	}
+	var debt *health.DebtMeter
+	if cfg.AuditPeriod > 0 {
+		// N schedulers complete N sweeps per period; metering at period/N
+		// makes Behind() the aggregate schedule debt across all shards.
+		debt = health.NewDebtMeter(cfg.AuditPeriod / time.Duration(n))
+	}
+
+	sd := &Sharded{
+		cfg:        cfg,
+		n:          n,
+		globalRecs: globalRecs,
+		reg:        reg,
+		rec:        rec,
+		quit:       make(chan struct{}),
+		conns:      make(map[*shConn]struct{}),
+		start:      time.Now(),
+	}
+	sd.standby.Store(cfg.Standby)
+	sd.serveReads.Store(cfg.Standby && cfg.ServeReads)
+	if rec != nil {
+		sd.srvRing = rec.Ring("server", cfg.TraceRingSize)
+	}
+
+	for k := 0; k < n; k++ {
+		scfg := cfg
+		scfg.Metrics, scfg.Trace = reg, rec
+		scfg.DisableHealth = true
+		scfg.WAL = nil
+		if wals != nil {
+			scfg.WAL = wals[k]
+		}
+		scfg.shardID, scfg.shardCount = k, n
+		scfg.shardDebt = debt
+		scfg.onPromote = sd.notePromote
+		// Distinct executor/injector streams per shard; identical seeds
+		// would corrupt the same stripe offsets in lockstep.
+		scfg.Seed = cfg.Seed + int64(k)
+		scfg.InjectSeed = cfg.InjectSeed + int64(k)
+		if k == 0 {
+			scfg.procLog = sd.logProcMutations
+			scfg.onRefresh = sd.tickHealth
+		} else {
+			// The procedure registry serving PROC_EXEC is shard 0's; a text
+			// shot on any other shard's registry could never be detected
+			// (nothing executes there) and would sit as false open debt.
+			scfg.ProcInjectPeriod = 0
+			scfg.ProcInjectSeed = 0
+		}
+		sh, err := New(dbs[k], scfg)
+		if err != nil {
+			for _, built := range sd.shards {
+				_ = built.Shutdown(time.Second)
+			}
+			return nil, fmt.Errorf("server: shard %d: %w", k, err)
+		}
+		sd.shards = append(sd.shards, sh)
+	}
+
+	if !cfg.DisableMetrics {
+		for op := 1; op < wire.NumOps; op++ {
+			sd.latency[op] = reg.Histogram("server.latency."+wire.Op(op).String(), nil)
+		}
+		sd.registerAggregates()
+		if rec != nil {
+			rec.RegisterMetrics(reg)
+		}
+	}
+	sd.healthDebt = debt
+	sd.buildHealthPlane()
+	return sd, nil
+}
+
+// Shards returns the shard count.
+func (sd *Sharded) Shards() int { return sd.n }
+
+// Shard returns shard k's Server (tests and the daemon's summary).
+func (sd *Sharded) Shard(k int) *Server { return sd.shards[k] }
+
+// Metrics returns the shared registry, or nil when metrics are disabled.
+func (sd *Sharded) Metrics() *metrics.Registry {
+	if sd.cfg.DisableMetrics {
+		return nil
+	}
+	return sd.reg
+}
+
+// --- Aggregate metrics ------------------------------------------------------
+
+// registerAggregates republishes the consumer-facing plain gauge names as
+// cross-shard aggregates. Sums for monotonic tallies, max for high-water
+// marks and lag, the coordinator's own state for connection counts and
+// role. Shard-local detail stays available under "shard.<k>.".
+func (sd *Sharded) registerAggregates() {
+	reg := sd.reg
+	shards := sd.shards
+	sum := func(per func(*Server) int64) func() int64 {
+		return func() int64 {
+			var t int64
+			for _, sh := range shards {
+				t += per(sh)
+			}
+			return t
+		}
+	}
+	max := func(per func(*Server) int64) func() int64 {
+		return func() int64 {
+			var m int64
+			for _, sh := range shards {
+				if v := per(sh); v > m {
+					m = v
+				}
+			}
+			return m
+		}
+	}
+	reg.GaugeFunc("server.queue.depth", sum(func(sh *Server) int64 { return int64(len(sh.reqs)) }))
+	reg.GaugeFunc("server.queue.capacity", sum(func(sh *Server) int64 { return int64(cap(sh.reqs)) }))
+	reg.GaugeFunc("server.queue.dropped", sum(func(sh *Server) int64 {
+		sh.dropMu.Lock()
+		defer sh.dropMu.Unlock()
+		return int64(sh.dropped)
+	}))
+	reg.GaugeFunc("server.queue.drop_burst", max(func(sh *Server) int64 {
+		sh.dropMu.Lock()
+		defer sh.dropMu.Unlock()
+		return int64(sh.maxBurst)
+	}))
+	reg.GaugeFunc("server.queue.high_water", max(func(sh *Server) int64 {
+		sh.dropMu.Lock()
+		defer sh.dropMu.Unlock()
+		return int64(sh.highWater)
+	}))
+	reg.GaugeFunc("server.conns.active", func() int64 {
+		sd.mu.Lock()
+		defer sd.mu.Unlock()
+		return int64(len(sd.conns))
+	})
+	reg.GaugeFunc("server.conns.total", func() int64 { return int64(sd.totalConns.Load()) })
+	shardExecuted := sum(func(sh *Server) int64 { return int64(sh.executed.Load()) })
+	reg.GaugeFunc("server.executed", func() int64 {
+		return int64(sd.executed.Load()) + shardExecuted()
+	})
+	reg.GaugeFunc("server.audit.restarts", sum(func(sh *Server) int64 { return sh.restarts.Load() }))
+	reg.GaugeFunc("server.audit.findings", sum(func(sh *Server) int64 { return int64(sh.findings.Load()) }))
+	reg.GaugeFunc("repl.role", func() int64 {
+		if sd.standby.Load() {
+			return wire.RoleStandby
+		}
+		return wire.RolePrimary
+	})
+	reg.GaugeFunc("repl.serve_reads", func() int64 {
+		if !sd.standby.Load() || sd.serveReads.Load() {
+			return 1
+		}
+		return 0
+	})
+	reg.GaugeFunc("wal.flush_pending", sum(func(sh *Server) int64 {
+		if sh.walLog == nil {
+			return 0
+		}
+		return sh.walLog.Pending()
+	}))
+	reg.GaugeFunc("wal.last_seq", sum(func(sh *Server) int64 {
+		if sh.walLog == nil {
+			return 0
+		}
+		return int64(sh.walLog.LastSeq())
+	}))
+	reg.GaugeFunc("repl.lag", func() int64 { return int64(sd.replLag()) })
+
+	// memdb activity: the shards Set "shard.<k>.memdb..." gauges on their
+	// refresh; the plain names sum those handles (get-or-create returns
+	// the same storage the shard binds).
+	handlesFor := func(name string) []*metrics.Gauge {
+		hs := make([]*metrics.Gauge, sd.n)
+		for k := range hs {
+			hs[k] = reg.Gauge(fmt.Sprintf("shard.%d.%s", k, name))
+		}
+		return hs
+	}
+	sumGauges := func(name string) {
+		hs := handlesFor(name)
+		reg.GaugeFunc(name, func() int64 {
+			var t int64
+			for _, h := range hs {
+				t += h.Load()
+			}
+			return t
+		})
+	}
+	for _, t := range sd.shards[0].db.Schema().Tables {
+		p := "memdb.table." + t.Name
+		sumGauges(p + ".reads")
+		sumGauges(p + ".writes")
+		sumGauges(p + ".errors_last")
+		sumGauges(p + ".errors_all")
+	}
+	sumGauges("memdb.locks.held")
+	sumGauges("memdb.clients")
+	sumGauges("memdb.guard.violations")
+}
+
+// replLag is the role-aware aggregate lag: the worst shard stream's
+// estimate, because one stalled stream is one unrecoverable shard.
+func (sd *Sharded) replLag() uint64 {
+	var m uint64
+	for _, sh := range sd.shards {
+		var v uint64
+		if sd.standby.Load() {
+			if sh.applier != nil {
+				v = sh.applier.Lag()
+			}
+		} else if sh.shipper != nil {
+			v = sh.shipper.Lag()
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// --- Health plane -----------------------------------------------------------
+
+// buildHealthPlane mirrors Server.buildHealthPlane with aggregate value
+// sources: summed shed and heartbeat-miss counters, the shared audit-debt
+// meter, the shared detection tracker (trace IDs are globally unique, so
+// shot/finding joins work across shards), and worst-shard replication lag.
+func (sd *Sharded) buildHealthPlane() {
+	if sd.cfg.DisableHealth || sd.cfg.DisableMetrics || sd.rec == nil {
+		return
+	}
+	p := health.NewPlane(sd.cfg.SLO, sd.rec.Now)
+	slo := p.SLO()
+	shards := sd.shards
+
+	p.AddObjective(health.Objective{
+		Name: "shed-rate", Subsystem: "serving", Bound: slo.MaxShedRate,
+		Value: health.Rate(func() float64 {
+			var t uint64
+			for _, sh := range shards {
+				sh.dropMu.Lock()
+				t += sh.dropped
+				sh.dropMu.Unlock()
+			}
+			return float64(t)
+		}, time.Second),
+	})
+
+	det := p.Detect()
+	p.AddObjective(health.Objective{
+		Name: "detect-p99", Subsystem: "audit",
+		Bound: float64(slo.DetectP99.Milliseconds()),
+		Value: func(now time.Duration) float64 {
+			return float64(det.Snapshot(now).P99.Milliseconds())
+		},
+	})
+	p.AddObjective(health.Objective{
+		Name: "detect-watermark", Subsystem: "audit",
+		Bound: float64(slo.DetectP99.Milliseconds()),
+		Value: func(now time.Duration) float64 {
+			return float64(det.Snapshot(now).OldestOpen.Milliseconds())
+		},
+	})
+	if sd.healthDebt != nil {
+		debt := sd.healthDebt
+		p.SetDebt(debt)
+		p.AddObjective(health.Objective{
+			Name: "audit-behind", Subsystem: "audit", Bound: slo.MaxAuditBehind,
+			Value: func(time.Duration) float64 { return float64(debt.Behind()) },
+		})
+		p.AddObjective(health.Objective{
+			Name: "heartbeat-miss", Subsystem: "audit", Bound: slo.MaxHeartbeatMissPerMin,
+			Value: health.Rate(func() float64 {
+				var t uint64
+				for _, sh := range shards {
+					t += sh.hbMisses.Load()
+				}
+				return float64(t)
+			}, time.Minute),
+		})
+	}
+	replicated := false
+	for _, sh := range shards {
+		if sh.shipper != nil || sh.applier != nil {
+			replicated = true
+		}
+	}
+	if replicated {
+		p.AddObjective(health.Objective{
+			Name: "repl-lag", Subsystem: "replication", Bound: slo.MaxReplLag,
+			Value: func(time.Duration) float64 { return float64(sd.replLag()) },
+		})
+	}
+	p.RegisterMetrics(sd.reg)
+	sd.rec.Observe(p.OnTraceEvent)
+	sd.healthP.Store(p)
+}
+
+// tickHealth rides shard 0's executor metrics refresh (Config.onRefresh),
+// so the coordinator plane evaluates on the same cadence a single server's
+// does.
+func (sd *Sharded) tickHealth() {
+	if p := sd.healthP.Load(); p != nil {
+		p.Tick()
+	}
+}
+
+// Health returns the coordinator's health status document; ok is false
+// when the plane is disabled.
+func (sd *Sharded) Health() (health.Status, bool) {
+	p := sd.healthP.Load()
+	if p == nil {
+		return health.Status{}, false
+	}
+	st := p.Status()
+	st.Role = sd.roleName()
+	return st, true
+}
+
+// HealthPlane exposes the coordinator plane (nil when disabled).
+func (sd *Sharded) HealthPlane() *health.Plane { return sd.healthP.Load() }
+
+func (sd *Sharded) roleName() string {
+	if !sd.standby.Load() {
+		return "primary"
+	}
+	if sd.serveReads.Load() {
+		return "standby-serving"
+	}
+	return "standby"
+}
+
+// --- Serving ----------------------------------------------------------------
+
+// ListenAndServe binds addr and serves until Shutdown.
+func (sd *Sharded) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return sd.Serve(ln)
+}
+
+// Serve runs the coordinator accept loop on ln.
+func (sd *Sharded) Serve(ln net.Listener) error {
+	sd.mu.Lock()
+	if sd.listener != nil {
+		sd.mu.Unlock()
+		return errors.New("server: already serving")
+	}
+	sd.listener = ln
+	down := sd.shutdown
+	sd.mu.Unlock()
+	if down {
+		ln.Close()
+		return nil
+	}
+	sd.acceptWG.Add(1)
+	defer sd.acceptWG.Done()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-sd.quit:
+				return nil
+			default:
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		sc := &shConn{nc: nc, inner: make([]*conn, sd.n)}
+		for k := range sc.inner {
+			sc.inner[k] = &conn{nc: nc}
+		}
+		sd.mu.Lock()
+		if sd.shutdown {
+			sd.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		sd.conns[sc] = struct{}{}
+		sd.mu.Unlock()
+		sc.id = sd.totalConns.Add(1)
+		for _, ic := range sc.inner {
+			ic.id = sc.id
+		}
+		if sd.srvRing != nil {
+			sd.srvRing.Emit(trace.Event{Kind: trace.KindConnAccept, Aux: int64(sc.id)})
+		}
+		sd.connWG.Add(1)
+		go sd.serveConn(sc)
+	}
+}
+
+// Addr returns the bound listener address, or nil before Serve.
+func (sd *Sharded) Addr() net.Addr {
+	sd.mu.Lock()
+	defer sd.mu.Unlock()
+	if sd.listener == nil {
+		return nil
+	}
+	return sd.listener.Addr()
+}
+
+// serveConn mirrors Server.serveConn: same framing, flush-before-block
+// batching, and idle discipline. The connWriter borrows shard 0 for the
+// write timeout and the (merged) reply-write histogram.
+func (sd *Sharded) serveConn(sc *shConn) {
+	defer sd.connWG.Done()
+	defer sd.teardownConn(sc)
+	br := bufio.NewReader(sc.nc)
+	bw := bufio.NewWriter(sc.nc)
+	w := connWriter{s: sd.shards[0], c: sc.inner[0], bw: bw}
+	for {
+		select {
+		case <-sd.quit:
+			return
+		default:
+		}
+		if bw.Buffered() > 0 && br.Buffered() == 0 {
+			if !w.flush() {
+				return
+			}
+		}
+		if br.Buffered() == 0 {
+			if err := sc.nc.SetReadDeadline(time.Now().Add(sd.cfg.IdleTimeout)); err != nil {
+				return
+			}
+		}
+		payload, err := wire.ReadFrame(br, sd.cfg.MaxFrame)
+		if err != nil {
+			if errors.Is(err, wire.ErrBadFrame) {
+				if w.write(wire.ErrorResponse(0, err)) {
+					w.flush()
+				}
+			}
+			return
+		}
+		req, err := wire.ParseRequest(payload)
+		if err != nil {
+			w.write(wire.ErrorResponse(0, err))
+			continue
+		}
+		if resp, served := sd.tryFastLane(sc, req); served {
+			if !w.write(resp) {
+				return
+			}
+			continue
+		}
+		if req.Op == wire.OpReplicate {
+			// Executor bypass, per shard: the stream id rides q.Table.
+			resp := sd.handleReplicate(req)
+			if resp.Code == wire.CodeOK {
+				sd.perOpOK[int(req.Op)].Add(1)
+			} else {
+				sd.perOpErr[int(req.Op)].Add(1)
+			}
+			if !w.write(resp) {
+				return
+			}
+			continue
+		}
+		if !w.write(sd.serveRequest(sc, req)) {
+			return
+		}
+	}
+}
+
+// teardownConn unregisters the connection and retires its per-shard DB
+// sessions on each shard's executor.
+func (sd *Sharded) teardownConn(sc *shConn) {
+	sc.nc.Close()
+	sd.mu.Lock()
+	delete(sd.conns, sc)
+	sd.mu.Unlock()
+	if sd.srvRing != nil {
+		sd.srvRing.Emit(trace.Event{Kind: trace.KindConnClose, Aux: int64(sc.id)})
+	}
+	for k, ic := range sc.inner {
+		sh, ic := sd.shards[k], ic
+		closeSess := func() {
+			if sess := ic.sess.Load(); sess != nil {
+				_ = sess.Close()
+				ic.sess.Store(nil)
+			}
+		}
+		select {
+		case sh.ctrl <- closeSess:
+		case <-sh.done:
+		}
+	}
+}
+
+// tryFastLane routes read opcodes to the owning shard's seqlock view after
+// global bounds validation, so the sharded fast lane keeps the
+// single-server contract: an error answered here is byte-identical to the
+// executor path's.
+func (sd *Sharded) tryFastLane(sc *shConn, q wire.Request) (wire.Response, bool) {
+	switch q.Op {
+	case wire.OpReadRec, wire.OpReadFld, wire.OpStatus:
+	default:
+		return wire.Response{}, false
+	}
+	table, rec := int(q.Table), int(q.Record)
+	if resp, bad := sd.checkBounds(sc, q, table, rec); bad {
+		sd.perOpErr[int(q.Op)].Add(1)
+		sd.executed.Add(1)
+		return resp, true
+	}
+	k := memdb.ShardOf(rec, sd.n)
+	lq := q
+	lq.Record = int32(memdb.LocalIndex(rec, sd.n))
+	return sd.shards[k].tryFastLane(sc.inner[k], lq)
+}
+
+// checkBounds validates global table/record bounds (and the primary's
+// session requirement, which precedes them) for a record-addressed op.
+// bad=true means resp is the final answer.
+func (sd *Sharded) checkBounds(sc *shConn, q wire.Request, table, rec int) (wire.Response, bool) {
+	if sd.standby.Load() {
+		if !sd.shards[0].standbyAllowed(q.Op) {
+			return wire.ErrorResponse(q.Seq, wire.ErrStandby), true
+		}
+	} else if sc.inner[0].sess.Load() == nil {
+		return wire.ErrorResponse(q.Seq, wire.ErrNoSession), true
+	}
+	if table < 0 || table >= len(sd.globalRecs) {
+		return wire.ErrorResponse(q.Seq,
+			&memdb.BoundsError{What: "table", Index: table, Limit: len(sd.globalRecs)}), true
+	}
+	if rec < 0 || rec >= sd.globalRecs[table] {
+		return wire.ErrorResponse(q.Seq,
+			&memdb.BoundsError{What: "record", Index: rec, Limit: sd.globalRecs[table]}), true
+	}
+	return wire.Response{}, false
+}
+
+// serveRequest routes one parsed request: single-record ops to the owning
+// shard's executor queue, shard-addressed replication ops by their wire
+// shard id, everything cross-shard to the coordinator's own handlers.
+func (sd *Sharded) serveRequest(sc *shConn, q wire.Request) wire.Response {
+	switch q.Op {
+	case wire.OpReadRec, wire.OpReadFld, wire.OpWriteRec, wire.OpWriteFld,
+		wire.OpMove, wire.OpFree, wire.OpStatus:
+		table, rec := int(q.Table), int(q.Record)
+		if resp, bad := sd.checkBounds(sc, q, table, rec); bad {
+			sd.perOpErr[int(q.Op)].Add(1)
+			sd.executed.Add(1)
+			return resp
+		}
+		k := memdb.ShardOf(rec, sd.n)
+		lq := q
+		lq.Record = int32(memdb.LocalIndex(rec, sd.n))
+		return sd.shards[k].submit(sc.inner[k], lq)
+	case wire.OpAlloc:
+		return sd.routeAlloc(sc, q)
+	case wire.OpReplSnap:
+		k := int(q.Table)
+		if k < 0 || k >= sd.n {
+			return wire.ErrorResponse(q.Seq,
+				fmt.Errorf("%w: snapshot shard %d of %d", wire.ErrBadFrame, k, sd.n))
+		}
+		return sd.shards[k].submit(sc.inner[k], q)
+	case wire.OpReplFetch:
+		k := int(q.Field)
+		if k < 0 || k >= sd.n {
+			return wire.ErrorResponse(q.Seq,
+				fmt.Errorf("%w: fetch shard %d of %d", wire.ErrBadFrame, k, sd.n))
+		}
+		return sd.shards[k].submit(sc.inner[k], q)
+	case wire.OpProcLoad, wire.OpProcList:
+		// The canonical procedure registry is shard 0's (PROC_EXEC runs
+		// there under the all-shard barrier).
+		return sd.shards[0].submit(sc.inner[0], q)
+	}
+	return sd.handleLocal(sc, q)
+}
+
+// routeAlloc fans DBalloc across shards starting from a rotating cursor,
+// so allocations spread even when one stripe's free list runs dry; only
+// table exhaustion moves to the next shard. The winner's local index is
+// translated back to the global record ID.
+func (sd *Sharded) routeAlloc(sc *shConn, q wire.Request) wire.Response {
+	if sd.standby.Load() {
+		return wire.ErrorResponse(q.Seq, wire.ErrStandby)
+	}
+	if sc.inner[0].sess.Load() == nil {
+		return wire.ErrorResponse(q.Seq, wire.ErrNoSession)
+	}
+	table := int(q.Table)
+	if table < 0 || table >= len(sd.globalRecs) {
+		sd.perOpErr[int(q.Op)].Add(1)
+		sd.executed.Add(1)
+		return wire.ErrorResponse(q.Seq,
+			&memdb.BoundsError{What: "table", Index: table, Limit: len(sd.globalRecs)})
+	}
+	start := int(sd.allocSeq.Add(1)-1) % sd.n
+	var resp wire.Response
+	for i := 0; i < sd.n; i++ {
+		k := (start + i) % sd.n
+		resp = sd.shards[k].submit(sc.inner[k], q)
+		if resp.Code == wire.CodeOK {
+			if len(resp.Vals) > 0 {
+				resp.Vals[0] = uint32(memdb.GlobalIndex(int(resp.Vals[0]), k, sd.n))
+			}
+			return resp
+		}
+		if resp.Code != wire.CodeNoFreeRecord {
+			return resp
+		}
+	}
+	return resp // every stripe exhausted: the last shard's ErrNoFreeRecord
+}
+
+// handleLocal answers the coordinator-level ops (control plane and
+// cross-shard session ops) with single-server accounting: per-op counters,
+// the merged latency histogram, and enqueue/reply trace events so trace
+// joins (PECOS findings to PROC requests in particular) work unchanged.
+func (sd *Sharded) handleLocal(sc *shConn, q wire.Request) wire.Response {
+	valid := q.Op.Valid()
+	var tid uint64
+	var t0 time.Time
+	if valid {
+		t0 = time.Now()
+		if sd.srvRing != nil {
+			tid = sd.rec.NextTrace()
+			sd.srvRing.Emit(trace.Event{
+				Kind: trace.KindReqEnqueue, Trace: tid,
+				Op: q.Op.String(), Aux: int64(sc.id),
+			})
+		}
+	}
+	resp := sd.handle(sc, q, tid)
+	resp.Seq = q.Seq
+	if valid {
+		if resp.Code == wire.CodeOK {
+			sd.perOpOK[int(q.Op)].Add(1)
+		} else {
+			sd.perOpErr[int(q.Op)].Add(1)
+		}
+		sd.executed.Add(1)
+		if h := sd.latency[int(q.Op)]; h != nil {
+			h.Observe(int64(time.Since(t0)))
+		}
+		if tid != 0 {
+			sd.srvRing.Emit(trace.Event{
+				Kind: trace.KindReqReply, Trace: tid, Op: q.Op.String(),
+				Code: int64(resp.Code), Arg: int64(time.Since(t0)), Aux: int64(sc.id),
+			})
+		}
+	}
+	return resp
+}
+
+func (sd *Sharded) handle(sc *shConn, q wire.Request, tid uint64) wire.Response {
+	if sd.standby.Load() && !sd.shards[0].standbyAllowed(q.Op) {
+		return wire.ErrorResponse(q.Seq, wire.ErrStandby)
+	}
+	switch q.Op {
+	case wire.OpPing:
+		return ok()
+	case wire.OpReplStatus:
+		return sd.handleReplStatus()
+	case wire.OpReplPromote:
+		if !sd.standby.Load() {
+			return wire.ErrorResponse(q.Seq, wire.ErrNotStandby)
+		}
+		for _, sh := range sd.shards {
+			sh := sh
+			sh.onExecutor(func() { sh.promote("operator-ordered promotion") })
+		}
+		sd.standby.Store(false)
+		return ok()
+	case wire.OpInjectCtl:
+		return sd.handleInjectCtl(q)
+	case wire.OpSweep:
+		total := 0
+		for _, sh := range sd.shards {
+			sh := sh
+			sh.onExecutor(func() { total += sh.runSweep() })
+		}
+		return ok(uint32(total))
+	case wire.OpStats:
+		return ok(sd.statsVals()...)
+	case wire.OpStats2:
+		if sd.cfg.DisableMetrics {
+			return wire.ErrorResponse(q.Seq, errors.New("server: metrics disabled"))
+		}
+		for _, sh := range sd.shards {
+			sh.refreshViaExecutor()
+		}
+		data, err := json.Marshal(sd.reg.Snapshot())
+		if err != nil {
+			return wire.ErrorResponse(q.Seq, err)
+		}
+		return wire.Response{Detail: string(data)}
+	case wire.OpHealth:
+		st, hok := sd.Health()
+		if !hok {
+			return wire.ErrorResponse(q.Seq, errors.New("server: health plane disabled"))
+		}
+		data, err := st.MarshalJSON()
+		if err != nil {
+			return wire.ErrorResponse(q.Seq, err)
+		}
+		return wire.Response{Detail: string(data)}
+	case wire.OpTrace:
+		if sd.rec == nil {
+			return wire.ErrorResponse(q.Seq, errors.New("server: tracing disabled"))
+		}
+		n := int(q.Aux)
+		if n <= 0 {
+			n = defaultTraceTail
+		}
+		evs := sd.TraceEvents(trace.Kind(q.Table), n)
+		data, err := trace.EncodeJSON(evs)
+		for err == nil && len(data) > wire.MaxDetail && len(evs) > 0 {
+			evs = evs[(len(evs)+1)/2:]
+			data, err = trace.EncodeJSON(evs)
+		}
+		if err != nil {
+			return wire.ErrorResponse(q.Seq, err)
+		}
+		return wire.Response{Detail: string(data)}
+	case wire.OpInit:
+		return sd.fanInit(sc, q)
+	}
+	if !q.Op.Valid() {
+		return wire.ErrorResponse(q.Seq, wire.ErrUnknownOp)
+	}
+	switch q.Op {
+	case wire.OpClose, wire.OpCommit:
+		return sd.fanSession(sc, q)
+	case wire.OpBegin:
+		return sd.fanBegin(sc, q)
+	case wire.OpProcExec:
+		return sd.handleProcExec(sc, q, tid)
+	}
+	return wire.ErrorResponse(q.Seq, wire.ErrUnknownOp)
+}
+
+// --- Cross-shard session fan-outs -------------------------------------------
+
+// fanInit opens one DB session per shard, ascending; a failure closes the
+// lower shards' sessions so session state stays all-or-nothing. The reply
+// carries shard 0's PID.
+func (sd *Sharded) fanInit(sc *shConn, q wire.Request) wire.Response {
+	if sc.inner[0].sess.Load() != nil {
+		return wire.ErrorResponse(q.Seq, wire.ErrSessionExists)
+	}
+	var pid uint32
+	for k := range sd.shards {
+		sh, ic := sd.shards[k], sc.inner[k]
+		resp := wire.ErrorResponse(q.Seq, wire.ErrShutdown)
+		sh.onExecutor(func() { resp = sh.handle(ic, q, 0) })
+		if resp.Code != wire.CodeOK {
+			sd.closeShards(sc, k)
+			return resp
+		}
+		if k == 0 && len(resp.Vals) > 0 {
+			pid = resp.Vals[0]
+		}
+	}
+	return ok(pid)
+}
+
+// closeShards retires the sessions on shards [0, upTo) — fanInit's
+// rollback.
+func (sd *Sharded) closeShards(sc *shConn, upTo int) {
+	for j := 0; j < upTo; j++ {
+		sh, ic := sd.shards[j], sc.inner[j]
+		sh.onExecutor(func() {
+			if sess := ic.sess.Load(); sess != nil {
+				_ = sess.Close()
+				ic.sess.Store(nil)
+			}
+		})
+	}
+}
+
+// fanSession runs a session op (Close, Commit) on every shard ascending,
+// visiting all of them even after an error so per-shard session state
+// cannot diverge; the first error is the reply.
+func (sd *Sharded) fanSession(sc *shConn, q wire.Request) wire.Response {
+	var firstErr *wire.Response
+	last := ok()
+	for k := range sd.shards {
+		sh, ic := sd.shards[k], sc.inner[k]
+		resp := wire.ErrorResponse(q.Seq, wire.ErrShutdown)
+		sh.onExecutor(func() { resp = sh.handle(ic, q, 0) })
+		if resp.Code != wire.CodeOK && firstErr == nil {
+			r := resp
+			firstErr = &r
+		}
+		if k == 0 {
+			last = resp
+		}
+	}
+	if firstErr != nil {
+		return *firstErr
+	}
+	return last
+}
+
+// fanBegin acquires the table's transaction lock on every shard in
+// ascending shard order. The locks are non-blocking, so this cannot
+// deadlock regardless of concurrent interleavings; ascending order makes
+// the outcome deterministic (the winner of shard 0 wins all). On a partial
+// failure the lower shards are rolled back to exactly the lock set they
+// held before — Commit drops every lock, so the rollback re-acquires the
+// tables the session already held going in.
+func (sd *Sharded) fanBegin(sc *shConn, q wire.Request) wire.Response {
+	nt := len(sd.globalRecs)
+	table := int(q.Table)
+	held := make([][]bool, sd.n)
+	for k := range sd.shards {
+		sh, ic := sd.shards[k], sc.inner[k]
+		resp := wire.ErrorResponse(q.Seq, wire.ErrShutdown)
+		sh.onExecutor(func() {
+			sess := ic.sess.Load()
+			if sess == nil {
+				resp = wire.ErrorResponse(q.Seq, wire.ErrNoSession)
+				return
+			}
+			h := make([]bool, nt)
+			for ti := 0; ti < nt; ti++ {
+				h[ti] = sess.InTxn(ti)
+			}
+			held[k] = h
+			if err := sess.Begin(table); err != nil {
+				resp = wire.ErrorResponse(q.Seq, err)
+				return
+			}
+			resp = ok()
+		})
+		if resp.Code != wire.CodeOK {
+			for j := k - 1; j >= 0; j-- {
+				shj, icj, hj := sd.shards[j], sc.inner[j], held[j]
+				shj.onExecutor(func() {
+					sess := icj.sess.Load()
+					if sess == nil || hj == nil || (table >= 0 && table < nt && hj[table]) {
+						return // nothing acquired here, or Begin was a no-op
+					}
+					_ = sess.Commit()
+					for ti, was := range hj {
+						if was {
+							_ = sess.Begin(ti)
+						}
+					}
+				})
+			}
+			return resp
+		}
+	}
+	return ok()
+}
+
+// --- Cross-shard procedure execution ----------------------------------------
+
+// withAllParked runs f while every shard executor is parked on its control
+// channel — the procedure barrier. With all single writers held, f owns
+// every shard region and every shard WAL at once, which is what lets the
+// engine's commit stage mutate records on any shard mid-program.
+func (sd *Sharded) withAllParked(f func()) bool {
+	sd.procMu.Lock()
+	defer sd.procMu.Unlock()
+	release := make(chan struct{})
+	acks := make(chan struct{}, sd.n)
+	parked := 0
+	for _, sh := range sd.shards {
+		sh := sh
+		select {
+		case sh.ctrl <- func() {
+			acks <- struct{}{}
+			select {
+			case <-release:
+			case <-sh.done:
+			}
+		}:
+			parked++
+		case <-sh.done:
+			// A stopped executor is as parked as it gets.
+		}
+	}
+	for i := 0; i < parked; i++ {
+		<-acks
+	}
+	f()
+	close(release)
+	return parked == sd.n
+}
+
+// handleProcExec runs a procedure under the all-shard barrier. Shard 0's
+// handler does the real work (its registry, engine, telemetry, and
+// escalation ladder), driving a session adapter that routes each database
+// call to the owning shard; committed mutations reach the owning shards'
+// WALs through the procLog hook.
+func (sd *Sharded) handleProcExec(sc *shConn, q wire.Request, tid uint64) wire.Response {
+	sess := make([]*memdb.Client, sd.n)
+	for k, ic := range sc.inner {
+		if sess[k] = ic.sess.Load(); sess[k] == nil {
+			return wire.ErrorResponse(q.Seq, wire.ErrNoSession)
+		}
+	}
+	resp := wire.ErrorResponse(q.Seq, wire.ErrShutdown)
+	sd.withAllParked(func() {
+		resp = sd.shards[0].handleProcExec(&shardSession{sd: sd, sess: sess}, q, tid)
+	})
+	return resp
+}
+
+// logProcMutations is shard 0's Config.procLog: translate each applied
+// mutation's global record to the owning shard and append to that shard's
+// WAL. Runs under the procedure barrier, so the coordinator is every
+// log's only writer for the duration.
+func (sd *Sharded) logProcMutations(applied []proc.Mutation, tid uint64) {
+	if sd.standby.Load() {
+		return
+	}
+	for _, m := range applied {
+		k := memdb.ShardOf(m.Rec, sd.n)
+		sh := sd.shards[k]
+		if sh.walLog == nil {
+			continue
+		}
+		local := int32(memdb.LocalIndex(m.Rec, sd.n))
+		var rec wal.Record
+		switch m.Kind {
+		case proc.MutWriteFld:
+			rec = wal.Record{Op: wal.OpWriteFld, Table: int32(m.Table), Rec: local,
+				Field: int32(m.Field), Vals: []uint32{m.Val}}
+		case proc.MutAlloc:
+			rec = wal.Record{Op: wal.OpAlloc, Table: int32(m.Table), Rec: local,
+				Aux: int32(m.Group)}
+		case proc.MutFree:
+			rec = wal.Record{Op: wal.OpFree, Table: int32(m.Table), Rec: local}
+		case proc.MutMove:
+			rec = wal.Record{Op: wal.OpMove, Table: int32(m.Table), Rec: local,
+				Aux: int32(m.Group)}
+		default:
+			continue
+		}
+		rec.Trace = tid
+		if _, err := sh.walLog.Append(rec); err != nil && sh.replRing != nil {
+			sh.replRing.Emit(trace.Event{Kind: trace.KindWALRecover,
+				Op: "append-error", Detail: err.Error()})
+		}
+	}
+}
+
+// shardSession is the proc.Session adapter the barrier path drives: each
+// call translates the global record index and runs against the owning
+// shard's session client. Only valid while withAllParked holds every
+// executor.
+type shardSession struct {
+	sd   *Sharded
+	sess []*memdb.Client
+}
+
+func (ss *shardSession) locate(table, rec int) (*memdb.Client, int, error) {
+	n := ss.sd.n
+	if table >= 0 && table < len(ss.sd.globalRecs) {
+		if rec < 0 || rec >= ss.sd.globalRecs[table] {
+			return nil, 0, &memdb.BoundsError{What: "record", Index: rec, Limit: ss.sd.globalRecs[table]}
+		}
+	} else {
+		// Bad table: any shard produces the identical table bounds error.
+		return ss.sess[0], rec, nil
+	}
+	return ss.sess[memdb.ShardOf(rec, n)], memdb.LocalIndex(rec, n), nil
+}
+
+func (ss *shardSession) ReadFld(table, rec, field int) (uint32, error) {
+	cl, l, err := ss.locate(table, rec)
+	if err != nil {
+		return 0, err
+	}
+	return cl.ReadFld(table, l, field)
+}
+
+func (ss *shardSession) WriteFld(table, rec, field int, val uint32) error {
+	cl, l, err := ss.locate(table, rec)
+	if err != nil {
+		return err
+	}
+	return cl.WriteFld(table, l, field, val)
+}
+
+func (ss *shardSession) Free(table, rec int) error {
+	cl, l, err := ss.locate(table, rec)
+	if err != nil {
+		return err
+	}
+	return cl.Free(table, l)
+}
+
+func (ss *shardSession) Move(table, rec, group int) error {
+	cl, l, err := ss.locate(table, rec)
+	if err != nil {
+		return err
+	}
+	return cl.Move(table, l, group)
+}
+
+func (ss *shardSession) Alloc(table, group int) (int, error) {
+	n := ss.sd.n
+	start := int(ss.sd.allocSeq.Add(1)-1) % n
+	var lastErr error
+	for i := 0; i < n; i++ {
+		k := (start + i) % n
+		ri, err := ss.sess[k].Alloc(table, group)
+		if err == nil {
+			return memdb.GlobalIndex(ri, k, n), nil
+		}
+		lastErr = err
+		if !errors.Is(err, memdb.ErrNoFreeRecord) {
+			return 0, err
+		}
+	}
+	return 0, lastErr
+}
+
+// --- Replication & control --------------------------------------------------
+
+// handleReplicate serves one shard's WAL stream (the shard id rides
+// q.Table), bypassing every executor like the single-server path.
+func (sd *Sharded) handleReplicate(q wire.Request) wire.Response {
+	k := int(q.Table)
+	if k < 0 || k >= sd.n {
+		return wire.ErrorResponse(q.Seq,
+			fmt.Errorf("%w: replication shard %d of %d (mismatched -shards?)", wire.ErrBadFrame, k, sd.n))
+	}
+	return sd.shards[k].handleReplicate(q)
+}
+
+// handleReplStatus aggregates conservatively: last = total appended across
+// shard streams, applied = the minimum shard position (the only floor a
+// cross-shard lease can trust), lag = the worst stream's estimate.
+func (sd *Sharded) handleReplStatus() wire.Response {
+	vals := make([]uint32, wire.NumReplStatusVals)
+	var last, lag uint64
+	applied := ^uint64(0)
+	seen := false
+	standby := sd.standby.Load()
+	if standby {
+		vals[wire.ReplRole] = wire.RoleStandby
+		if sd.serveReads.Load() {
+			vals[wire.ReplServeReads] = 1
+		}
+	} else {
+		vals[wire.ReplRole] = wire.RolePrimary
+		vals[wire.ReplServeReads] = 1
+	}
+	for _, sh := range sd.shards {
+		if sh.walLog != nil {
+			last += sh.walLog.LastSeq()
+		}
+		var a, l uint64
+		switch {
+		case standby && sh.applier != nil:
+			a, l = sh.applier.Applied(), sh.applier.Lag()
+			seen = true
+		case !standby && sh.shipper != nil:
+			a, l = sh.shipper.Acked(), sh.shipper.Lag()
+			seen = true
+		default:
+			continue
+		}
+		if a < applied {
+			applied = a
+		}
+		if l > lag {
+			lag = l
+		}
+	}
+	if !seen {
+		applied = 0
+	}
+	vals[wire.ReplLastLo], vals[wire.ReplLastHi] = wire.SplitU64(last)
+	vals[wire.ReplAppliedLo], vals[wire.ReplAppliedHi] = wire.SplitU64(applied)
+	vals[wire.ReplLagLo], vals[wire.ReplLagHi] = wire.SplitU64(lag)
+	return ok(vals...)
+}
+
+// notePromote is every shard's Config.onPromote: the first promotion (a
+// shard applier hitting its failure limit, or an operator order) promotes
+// the whole group. Fire-and-forget per sibling — promote() is CAS-guarded,
+// so the fan-out converges however the calls interleave.
+func (sd *Sharded) notePromote(reason string) {
+	sd.standby.Store(false)
+	for _, sh := range sd.shards {
+		sh := sh
+		go sh.onExecutor(func() { sh.promote(reason) })
+	}
+}
+
+// handleInjectCtl arms shard 0 with both periods (it validates the
+// request), then the siblings with the data period only; see the package
+// comment for the aggregate-rate semantics.
+func (sd *Sharded) handleInjectCtl(q wire.Request) wire.Response {
+	resp := wire.ErrorResponse(q.Seq, wire.ErrShutdown)
+	sd.shards[0].onExecutor(func() { resp = sd.shards[0].handleInjectCtl(q) })
+	if resp.Code != wire.CodeOK {
+		return resp
+	}
+	q2 := q
+	q2.Vals = []uint32{q.Vals[0], q.Vals[1], 0, 0}
+	for k := 1; k < sd.n; k++ {
+		sh := sd.shards[k]
+		sh.onExecutor(func() { _ = sh.handleInjectCtl(q2) })
+	}
+	return resp
+}
+
+// --- Stats, snapshots, lifecycle --------------------------------------------
+
+// Stats sums the coordinator's own counters with every shard's.
+func (sd *Sharded) Stats() Stats {
+	var st Stats
+	for i := 0; i < wire.NumOps; i++ {
+		st.PerOp[i] = OpStat{OK: sd.perOpOK[i].Load(), Errs: sd.perOpErr[i].Load()}
+	}
+	st.Executed = sd.executed.Load()
+	for _, sh := range sd.shards {
+		shs := sh.Stats()
+		for i := range st.PerOp {
+			st.PerOp[i].OK += shs.PerOp[i].OK
+			st.PerOp[i].Errs += shs.PerOp[i].Errs
+		}
+		st.ReqDrops.Dropped += shs.ReqDrops.Dropped
+		if shs.ReqDrops.Burst > st.ReqDrops.Burst {
+			st.ReqDrops.Burst = shs.ReqDrops.Burst
+		}
+		if shs.ReqDrops.HighWater > st.ReqDrops.HighWater {
+			st.ReqDrops.HighWater = shs.ReqDrops.HighWater
+		}
+		st.AuditDrops.Dropped += shs.AuditDrops.Dropped
+		if shs.AuditDrops.Burst > st.AuditDrops.Burst {
+			st.AuditDrops.Burst = shs.AuditDrops.Burst
+		}
+		if shs.AuditDrops.HighWater > st.AuditDrops.HighWater {
+			st.AuditDrops.HighWater = shs.AuditDrops.HighWater
+		}
+		st.AuditFindings += shs.AuditFindings
+		st.Sweeps += shs.Sweeps
+		st.Restarts += shs.Restarts
+		st.Executed += shs.Executed
+	}
+	sd.mu.Lock()
+	st.ActiveConns = len(sd.conns)
+	sd.mu.Unlock()
+	st.TotalConns = sd.totalConns.Load()
+	return st
+}
+
+func (sd *Sharded) statsVals() []uint32 {
+	st := sd.Stats()
+	vals := make([]uint32, wire.NumStatVals)
+	vals[wire.StatReqDropped] = uint32(st.ReqDrops.Dropped)
+	vals[wire.StatReqDropBurst] = uint32(st.ReqDrops.Burst)
+	vals[wire.StatReqHighWater] = uint32(st.ReqDrops.HighWater)
+	vals[wire.StatAuditDropped] = uint32(st.AuditDrops.Dropped)
+	vals[wire.StatAuditHighWater] = uint32(st.AuditDrops.HighWater)
+	vals[wire.StatAuditFindings] = uint32(st.AuditFindings)
+	vals[wire.StatAuditSweeps] = uint32(st.Sweeps)
+	vals[wire.StatActiveConns] = uint32(st.ActiveConns)
+	vals[wire.StatTotalConns] = uint32(st.TotalConns)
+	return vals
+}
+
+// SnapshotMetrics refreshes every shard's executor-owned gauges and
+// snapshots the shared registry.
+func (sd *Sharded) SnapshotMetrics() (metrics.Snapshot, error) {
+	if sd.cfg.DisableMetrics {
+		return metrics.Snapshot{}, errors.New("server: metrics disabled")
+	}
+	for _, sh := range sd.shards {
+		sh.refreshViaExecutor()
+	}
+	return sd.reg.Snapshot(), nil
+}
+
+// SnapshotMetricsFull is SnapshotMetrics with histogram buckets.
+func (sd *Sharded) SnapshotMetricsFull() (metrics.Snapshot, error) {
+	if sd.cfg.DisableMetrics {
+		return metrics.Snapshot{}, errors.New("server: metrics disabled")
+	}
+	for _, sh := range sd.shards {
+		sh.refreshViaExecutor()
+	}
+	return sd.reg.SnapshotFull(), nil
+}
+
+// Trace returns the shared flight recorder, or nil when tracing is
+// disabled.
+func (sd *Sharded) Trace() *trace.Recorder { return sd.rec }
+
+// TraceEvents returns the newest n journal events of kind (0 = all) from
+// the shared recorder.
+func (sd *Sharded) TraceEvents(kind trace.Kind, n int) []trace.Event {
+	if sd.rec == nil {
+		return nil
+	}
+	return trace.Tail(trace.Filter(sd.rec.Snapshot(), kind), n)
+}
+
+// Checkpoint writes a checkpoint on every shard's WAL (test hook, mirrors
+// the single server's executor-driven checkpointNow).
+func (sd *Sharded) Checkpoint() {
+	for _, sh := range sd.shards {
+		sh := sh
+		sh.onExecutor(func() { sh.checkpointNow() })
+	}
+}
+
+// Shutdown stops the front end, drains the client connections, then shuts
+// the shards down in ascending order (each runs its own certifying sweep
+// and closes its WAL segment stream).
+func (sd *Sharded) Shutdown(timeout time.Duration) error {
+	sd.mu.Lock()
+	if sd.shutdown {
+		sd.mu.Unlock()
+		var err error
+		for _, sh := range sd.shards {
+			if e := sh.Shutdown(timeout); e != nil && err == nil {
+				err = e
+			}
+		}
+		return err
+	}
+	sd.shutdown = true
+	ln := sd.listener
+	sd.mu.Unlock()
+
+	close(sd.quit)
+	if ln != nil {
+		ln.Close()
+	}
+	sd.acceptWG.Wait()
+
+	sd.mu.Lock()
+	for sc := range sd.conns {
+		_ = sc.nc.SetReadDeadline(time.Now())
+	}
+	sd.mu.Unlock()
+
+	connsDone := make(chan struct{})
+	go func() {
+		sd.connWG.Wait()
+		close(connsDone)
+	}()
+	var timedOut bool
+	if timeout > 0 {
+		select {
+		case <-connsDone:
+		case <-time.After(timeout):
+			timedOut = true
+			sd.mu.Lock()
+			for sc := range sd.conns {
+				sc.nc.Close()
+			}
+			sd.mu.Unlock()
+			<-connsDone
+		}
+	} else {
+		<-connsDone
+	}
+
+	var err error
+	for _, sh := range sd.shards {
+		if e := sh.Shutdown(timeout); e != nil && err == nil {
+			err = e
+		}
+	}
+	if timedOut && err == nil {
+		err = ErrShutdownTimeout
+	}
+	return err
+}
+
+// snapshotOracle reads one global record's fields directly from the owning
+// shard region, after shutdown — the recovery tests' byte-for-byte oracle.
+func (sd *Sharded) snapshotOracle(table, rec int) ([]uint32, int, error) {
+	k := memdb.ShardOf(rec, sd.n)
+	l := memdb.LocalIndex(rec, sd.n)
+	db := sd.shards[k].db
+	st, err := db.StatusDirect(table, l)
+	if err != nil {
+		return nil, 0, err
+	}
+	nf := len(db.Schema().Tables[table].Fields)
+	vals := make([]uint32, 0, nf)
+	for fi := 0; fi < nf; fi++ {
+		v, err := db.ReadFieldDirect(table, l, fi)
+		if err != nil {
+			return nil, 0, err
+		}
+		vals = append(vals, v)
+	}
+	return vals, st, nil
+}

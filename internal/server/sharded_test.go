@@ -1,0 +1,832 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/callproc"
+	"repro/internal/memdb"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+	"repro/internal/wal"
+	"repro/internal/wire"
+)
+
+// startSharded builds an n-shard controller-schema core and serves it on a
+// loopback listener with fast audit pacing and the concurrent-access guard
+// armed, mirroring startServer. wals may be nil (no durability) or one log
+// per shard.
+func startSharded(t *testing.T, n int, wals []*wal.Log, cfg Config) (*Sharded, string) {
+	t.Helper()
+	schemas, err := memdb.ShardSchemas(callproc.Schema(callproc.DefaultSchemaConfig()), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbs := make([]*memdb.DB, n)
+	for k := range dbs {
+		if dbs[k], err = memdb.New(schemas[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cfg.AuditPeriod == 0 {
+		cfg.AuditPeriod = 50 * time.Millisecond
+	}
+	if cfg.ClockTick == 0 {
+		cfg.ClockTick = 5 * time.Millisecond
+	}
+	cfg.Guard = true
+	sd, err := NewSharded(dbs, wals, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- sd.Serve(ln) }()
+	t.Cleanup(func() {
+		if err := sd.Shutdown(5 * time.Second); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return sd, ln.Addr().String()
+}
+
+// TestNewShardedValidates covers the constructor's layout checks.
+func TestNewShardedValidates(t *testing.T) {
+	schema := callproc.Schema(callproc.DefaultSchemaConfig())
+	db, err := memdb.New(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSharded([]*memdb.DB{db}, nil, Config{}); err == nil {
+		t.Error("single-shard NewSharded accepted; want an error (use New)")
+	}
+	schemas, err := memdb.ShardSchemas(schema, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbs := make([]*memdb.DB, 2)
+	for k := range dbs {
+		if dbs[k], err = memdb.New(schemas[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := NewSharded(dbs, []*wal.Log{nil}, Config{}); err == nil {
+		t.Error("mismatched WAL count accepted")
+	}
+	// Mismatched shard regions (one full-size, one striped) must be caught.
+	full, err := memdb.New(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSharded([]*memdb.DB{dbs[0], full}, nil, Config{}); err == nil {
+		t.Error("inconsistent shard schemas accepted")
+	}
+}
+
+// TestShardedRoutingRoundTrip drives every record-addressed op through the
+// coordinator across records spanning all shards and checks each against
+// global addressing: what a client writes at global record g it must read
+// back at global record g, whatever shard owns it, with bounds errors
+// carrying global limits.
+func TestShardedRoutingRoundTrip(t *testing.T) {
+	const n = 4
+	sd, addr := startSharded(t, n, nil, Config{})
+	c := dialInit(t, addr)
+
+	ti := callproc.TblRes
+	total := sd.globalRecs[ti]
+
+	// Allocate one record per shard via the rotating cursor and write a
+	// distinct value to each.
+	recs := make([]int, 0, n)
+	owned := map[int]bool{}
+	for len(recs) < n {
+		ri, err := c.Alloc(ti, len(recs)%callproc.ResourceBanks)
+		if err != nil {
+			t.Fatalf("alloc %d: %v", len(recs), err)
+		}
+		if ri < 0 || ri >= total {
+			t.Fatalf("alloc returned out-of-range global record %d (limit %d)", ri, total)
+		}
+		if owned[memdb.ShardOf(ri, n)] {
+			t.Fatalf("alloc rotation reused shard %d (records %v + %d)", memdb.ShardOf(ri, n), recs, ri)
+		}
+		owned[memdb.ShardOf(ri, n)] = true
+		recs = append(recs, ri)
+	}
+
+	for i, ri := range recs {
+		vals := []uint32{uint32(i + 1), 1, uint32(10 * (i + 1))}
+		if err := c.WriteRec(ti, ri, vals); err != nil {
+			t.Fatalf("writerec %d: %v", ri, err)
+		}
+	}
+	for i, ri := range recs {
+		got, err := c.ReadRec(ti, ri)
+		if err != nil {
+			t.Fatalf("readrec %d: %v", ri, err)
+		}
+		want := []uint32{uint32(i + 1), 1, uint32(10 * (i + 1))}
+		for f := range want {
+			if got[f] != want[f] {
+				t.Fatalf("record %d field %d = %d, want %d", ri, f, got[f], want[f])
+			}
+		}
+		if v, err := c.ReadFld(ti, ri, callproc.FldResQuality); err != nil || v != want[callproc.FldResQuality] {
+			t.Fatalf("readfld %d = %d (%v), want %d", ri, v, err, want[callproc.FldResQuality])
+		}
+		if st, err := c.Status(ti, ri); err != nil || st == 0 {
+			t.Fatalf("status %d = %d (%v), want active", ri, st, err)
+		}
+	}
+
+	// Move and free route to the owning shard too.
+	if err := c.Move(ti, recs[1], 1%callproc.ResourceBanks); err != nil {
+		t.Fatalf("move: %v", err)
+	}
+	if err := c.Free(ti, recs[2]); err != nil {
+		t.Fatalf("free: %v", err)
+	}
+	if st, err := c.Status(ti, recs[2]); err != nil || st != 0 {
+		t.Fatalf("freed record status = %d (%v), want 0", st, err)
+	}
+
+	// Bounds errors must carry the GLOBAL record limit, not a shard's.
+	if _, err := c.ReadRec(ti, total); err == nil || !strings.Contains(err.Error(), fmt.Sprint(total)) {
+		t.Fatalf("out-of-bounds read err = %v, want global limit %d in message", err, total)
+	}
+	if _, err := c.ReadRec(len(sd.globalRecs), 0); err == nil {
+		t.Fatal("out-of-bounds table accepted")
+	}
+
+	// STATS must count exactly one execution per request, whichever side
+	// of the coordinator served it.
+	st := sd.Stats()
+	if st.PerOp[wire.OpWriteRec].OK != uint64(len(recs)) {
+		t.Fatalf("WriteRec OK = %d, want %d", st.PerOp[wire.OpWriteRec].OK, len(recs))
+	}
+	if st.PerOp[wire.OpAlloc].OK != uint64(len(recs)) {
+		t.Fatalf("Alloc OK = %d, want %d", st.PerOp[wire.OpAlloc].OK, len(recs))
+	}
+}
+
+// TestShardedAllocFullRotation exhausts the whole table through the
+// coordinator: every stripe must fill before the table reports full, and
+// the resulting global IDs must cover every record exactly once.
+func TestShardedAllocFullRotation(t *testing.T) {
+	const n = 4
+	sd, addr := startSharded(t, n, nil, Config{})
+	c := dialInit(t, addr)
+
+	ti := callproc.TblRes
+	total := sd.globalRecs[ti]
+	seen := map[int]bool{}
+	for i := 0; i < total; i++ {
+		ri, err := c.Alloc(ti, i%callproc.ResourceBanks)
+		if err != nil {
+			t.Fatalf("alloc %d of %d: %v", i, total, err)
+		}
+		if seen[ri] {
+			t.Fatalf("alloc %d returned duplicate global record %d", i, ri)
+		}
+		seen[ri] = true
+	}
+	if _, err := c.Alloc(ti, 0); !errors.Is(err, memdb.ErrNoFreeRecord) {
+		t.Fatalf("alloc past capacity err = %v, want ErrNoFreeRecord", err)
+	}
+}
+
+// TestShardedBeginOrdering covers the cross-shard transaction fan-out: a
+// held table lock excludes a second session on every shard, a partial
+// conflict rolls the winner's lower shards back cleanly, and two sessions
+// hammering Begin/Commit from opposite ends never deadlock (the locks are
+// non-blocking and acquired in ascending shard order).
+func TestShardedBeginOrdering(t *testing.T) {
+	_, addr := startSharded(t, 4, nil, Config{})
+	a := dialInit(t, addr)
+	b := dialInit(t, addr)
+
+	ti := callproc.TblRes
+	if err := a.Begin(ti); err != nil {
+		t.Fatalf("A begin: %v", err)
+	}
+	if err := b.Begin(ti); !errors.Is(err, memdb.ErrLocked) {
+		t.Fatalf("B begin while A holds = %v, want ErrLocked", err)
+	}
+	// The failed fan-out must have rolled back completely: A still holds
+	// every shard (its writes proceed), and after A commits B can begin.
+	ri, err := a.Alloc(ti, 0)
+	if err != nil {
+		t.Fatalf("A alloc under txn: %v", err)
+	}
+	if err := a.WriteFld(ti, ri, callproc.FldResQuality, 7); err != nil {
+		t.Fatalf("A write under txn: %v", err)
+	}
+	if err := b.WriteFld(ti, ri, callproc.FldResQuality, 8); !errors.Is(err, memdb.ErrLocked) {
+		t.Fatalf("B write against A's lock = %v, want ErrLocked", err)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatalf("A commit: %v", err)
+	}
+	if err := b.Begin(ti); err != nil {
+		t.Fatalf("B begin after A commit: %v", err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatalf("B commit: %v", err)
+	}
+
+	// A Begin on a second table while holding the first must not disturb
+	// the held lock when it loses the race (rollback re-acquires only what
+	// was newly taken).
+	if err := a.Begin(ti); err != nil {
+		t.Fatalf("A re-begin: %v", err)
+	}
+	if err := b.Begin(callproc.TblConn); err != nil {
+		t.Fatalf("B begin trunk: %v", err)
+	}
+	if err := a.Begin(callproc.TblConn); !errors.Is(err, memdb.ErrLocked) {
+		t.Fatalf("A begin trunk while B holds = %v, want ErrLocked", err)
+	}
+	if err := a.WriteFld(ti, ri, callproc.FldResQuality, 9); err != nil {
+		t.Fatalf("A lost trunk race but must still hold res: %v", err)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Adversarial interleaving: two sessions race Begin/Commit on two
+	// tables in opposite orders. Non-blocking locks mean no deadlock is
+	// possible; the test simply has to finish.
+	done := make(chan error, 2)
+	contend := func(c *wire.Conn, first, second int) {
+		for i := 0; i < 200; i++ {
+			if err := c.Begin(first); err != nil {
+				if errors.Is(err, memdb.ErrLocked) {
+					continue
+				}
+				done <- err
+				return
+			}
+			if err := c.Begin(second); err != nil && !errors.Is(err, memdb.ErrLocked) {
+				done <- err
+				return
+			}
+			if err := c.Commit(); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}
+	go contend(a, callproc.TblRes, callproc.TblConn)
+	go contend(b, callproc.TblConn, callproc.TblRes)
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("contender: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("cross-shard Begin contention deadlocked")
+		}
+	}
+}
+
+// TestShardedProcBarrier runs procedures whose mutations land on different
+// shards: the all-shard barrier must let one program read and write
+// records on any shard with its effects visible to routed reads after.
+func TestShardedProcBarrier(t *testing.T) {
+	const n = 4
+	sd, addr := startSharded(t, n, nil, Config{})
+	c := dialInit(t, addr)
+
+	ti := callproc.TblRes
+	recs := make([]int, n)
+	for i := range recs {
+		ri, err := c.Alloc(ti, i%callproc.ResourceBanks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs[i] = ri
+	}
+	// One res_touch per record: each execution's committed write lands on
+	// a different shard through the same shard0-hosted program.
+	for i, ri := range recs {
+		want := uint32(40 + i)
+		out, err := c.ProcExec("res_touch", []uint32{uint32(ri), want})
+		if err != nil {
+			t.Fatalf("ProcExec(res_touch, rec %d): %v", ri, err)
+		}
+		if len(out) != 2 || out[0] != want {
+			t.Fatalf("res_touch out = %v, want [%d, ...]", out, want)
+		}
+		if v, err := c.ReadFld(ti, ri, callproc.FldResQuality); err != nil || v != want {
+			t.Fatalf("quality after proc = %d (%v), want %d", v, err, want)
+		}
+	}
+	// A procedure addressing a record past the global bounds must answer
+	// the global bounds error, same as a direct write would.
+	if _, err := c.ProcExec("res_touch", []uint32{uint32(sd.globalRecs[ti]), 1}); err == nil {
+		t.Fatal("res_touch past global bounds succeeded")
+	}
+	// PROC requests must still be trace-joined: each execution emits a
+	// req-enqueue/req-reply pair at the coordinator.
+	evs := sd.TraceEvents(trace.KindReqReply, 0)
+	procReplies := 0
+	for _, e := range evs {
+		if e.Op == wire.OpProcExec.String() {
+			procReplies++
+		}
+	}
+	if procReplies < len(recs) {
+		t.Fatalf("PROC req-reply events = %d, want >= %d", procReplies, len(recs))
+	}
+}
+
+// TestShardedInjectionDetectJoin arms the data injector across the
+// coordinator and requires the single-server acceptance loop to hold per
+// shard: shots journal, sweeps find and repair them, and every shot joins
+// a finding by trace ID — the IDs coming from whichever shard's audit
+// detected the damage.
+func TestShardedInjectionDetectJoin(t *testing.T) {
+	sd, addr := startSharded(t, 4, nil, Config{AuditPeriod: 10 * time.Millisecond})
+	c := dialInit(t, addr)
+
+	if err := c.InjectCtl(2*time.Millisecond, 0, wire.InjectModeStatic); err != nil {
+		t.Fatalf("InjectCtl arm: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("too few shots journaled within deadline")
+		}
+		time.Sleep(10 * time.Millisecond)
+		if len(sd.TraceEvents(trace.KindShot, 0)) >= 8 {
+			break
+		}
+	}
+	if err := c.InjectCtl(0, 0, wire.InjectModeRandom); err != nil {
+		t.Fatalf("InjectCtl disarm: %v", err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if _, err := c.Sweep(); err != nil {
+		t.Fatalf("SWEEP: %v", err)
+	}
+	evs := sd.TraceEvents(0, 0)
+	findings := map[uint64]bool{}
+	for _, e := range trace.Filter(evs, trace.KindFinding) {
+		findings[e.Trace] = true
+	}
+	shots := trace.Filter(evs, trace.KindShot)
+	if len(shots) == 0 {
+		t.Fatal("no shots on the shared journal")
+	}
+	for _, s := range shots {
+		if s.Op != "dbflip" {
+			continue
+		}
+		if !findings[s.Trace] {
+			t.Errorf("shot seq=%d trace=%d never joined a finding", s.Seq, s.Trace)
+		}
+	}
+	// The damage and repairs happened on individual shards; a second sweep
+	// must now certify the whole region clean.
+	if n, err := c.Sweep(); err != nil || n != 0 {
+		t.Fatalf("certifying sweep = %d findings (%v), want 0", n, err)
+	}
+}
+
+// TestShardedHotShardWorkload is the scaling e2e: several pipelined
+// writers saturate ONE shard's executor while background sessions touch
+// the others and the per-shard audits keep sweeping. After drain, every
+// record must match its writer's golden copy, a forced sweep must certify
+// clean, and the untouched shards' audits must have kept running — the
+// isolation the partitioning exists to provide. Run with -race in CI.
+func TestShardedHotShardWorkload(t *testing.T) {
+	const n = 4
+	const hotWriters = 3
+	const opsPerWriter = 300
+	sd, addr := startSharded(t, n, nil, Config{AuditPeriod: 20 * time.Millisecond})
+
+	ti := callproc.TblRes
+	// Pick the hot shard, then give every hot writer its own record ON
+	// that shard (allocating and freeing until the rotating cursor lands
+	// there — ownership is global, the stripe is what we are aiming at).
+	setup := dialInit(t, addr)
+	hotRec, err := setup.Alloc(ti, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := memdb.ShardOf(hotRec, n)
+	claim := func(c *wire.Conn, shard int, group int) (int, error) {
+		for tries := 0; tries < 64; tries++ {
+			ri, err := c.Alloc(ti, group)
+			if err != nil {
+				return 0, err
+			}
+			if memdb.ShardOf(ri, n) == shard {
+				return ri, nil
+			}
+			if err := c.Free(ti, ri); err != nil {
+				return 0, err
+			}
+		}
+		return 0, fmt.Errorf("could not land an allocation on shard %d", shard)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, hotWriters+1)
+
+	// Hot writers: pipelined field writes, all to records on `hot`.
+	for w := 0; w < hotWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := wire.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			if _, err := c.Init(); err != nil {
+				errs <- err
+				return
+			}
+			ri, err := claim(c, hot, w%callproc.ResourceBanks)
+			if err != nil {
+				errs <- err
+				return
+			}
+			last := uint32(0)
+			for i := 0; i < opsPerWriter; i++ {
+				last = uint32((w*opsPerWriter + i) % 101)
+				if err := c.WriteFld(ti, ri, callproc.FldResQuality, last); err != nil {
+					errs <- fmt.Errorf("hot writer %d op %d: %w", w, i, err)
+					return
+				}
+			}
+			if v, err := c.ReadFld(ti, ri, callproc.FldResQuality); err != nil || v != last {
+				errs <- fmt.Errorf("hot writer %d: final quality = %d (%v), want %d", w, v, err, last)
+				return
+			}
+			errs <- nil
+		}(w)
+	}
+
+	// One background session exercises the other shards while the hot
+	// stripe is saturated.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := wire.Dial(addr)
+		if err != nil {
+			errs <- err
+			return
+		}
+		defer c.Close()
+		if _, err := c.Init(); err != nil {
+			errs <- err
+			return
+		}
+		ri, err := claim(c, (hot+1)%n, 0)
+		if err != nil {
+			errs <- err
+			return
+		}
+		for i := 0; i < opsPerWriter/2; i++ {
+			if err := c.WriteFld(ti, ri, callproc.FldResQuality, uint32(i%101)); err != nil {
+				errs <- fmt.Errorf("background op %d: %w", i, err)
+				return
+			}
+			if _, err := c.ReadFld(ti, ri, callproc.FldResQuality); err != nil {
+				errs <- fmt.Errorf("background read %d: %w", i, err)
+				return
+			}
+		}
+		errs <- nil
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The per-shard audit schedulers keep certifying through and after the
+	// stampede; every shard contributes to the aggregate sweep counter.
+	deadline := time.Now().Add(5 * time.Second)
+	for sd.Stats().Sweeps < uint64(n) {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d sweeps across %d shards", sd.Stats().Sweeps, n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n, err := setup.Sweep(); err != nil || n != 0 {
+		t.Fatalf("final sweep = %d findings (%v), want clean", n, err)
+	}
+}
+
+// TestShardedStatsAggregation checks the wire-compatible observability
+// surface: STATS2 must carry both the plain aggregate gauges a single
+// server publishes and the per-shard "shard.<k>." namespace, HEALTH must
+// answer with the coordinator plane's document, and SWEEP must report the
+// shard totals.
+func TestShardedStatsAggregation(t *testing.T) {
+	const n = 4
+	sd, addr := startSharded(t, n, nil, Config{})
+	c := dialInit(t, addr)
+
+	ti := callproc.TblRes
+	ri, err := c.Alloc(ti, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := c.WriteFld(ti, ri, callproc.FldResQuality, uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := c.Stats2()
+	if err != nil {
+		t.Fatalf("STATS2: %v", err)
+	}
+	snap, err := metrics.ParseSnapshot(raw)
+	if err != nil {
+		t.Fatalf("STATS2 decode: %v", err)
+	}
+	for _, name := range []string{
+		"server.queue.depth", "server.queue.capacity", "server.executed",
+		"server.conns.active", "server.audit.findings", "memdb.clients",
+	} {
+		if _, ok := snap.Gauges[name]; !ok {
+			t.Errorf("aggregate gauge %q missing from STATS2", name)
+		}
+	}
+	for k := 0; k < n; k++ {
+		if _, ok := snap.Gauges[fmt.Sprintf("shard.%d.server.queue.depth", k)]; !ok {
+			t.Errorf("per-shard gauge shard.%d.server.queue.depth missing", k)
+		}
+	}
+	if snap.Gauges["server.executed"] < 11 {
+		t.Errorf("aggregate server.executed = %d, want >= 11", snap.Gauges["server.executed"])
+	}
+	// The executed aggregate must equal the Stats() sum (single-counting).
+	if st := sd.Stats(); snap.Gauges["server.executed"] > int64(st.Executed) {
+		t.Errorf("gauge executed %d > Stats executed %d", snap.Gauges["server.executed"], st.Executed)
+	}
+
+	if _, err := c.Health(); err != nil {
+		t.Fatalf("HEALTH: %v", err)
+	}
+	st, ok := sd.Health()
+	if !ok || st.Role != "primary" {
+		t.Fatalf("Health = %+v ok=%v, want primary role", st, ok)
+	}
+	if _, err := c.Sweep(); err != nil {
+		t.Fatalf("SWEEP: %v", err)
+	}
+	if vals, err := c.Stats(); err != nil || len(vals) != wire.NumStatVals {
+		t.Fatalf("STATS vals = %d (%v), want %d", len(vals), err, wire.NumStatVals)
+	}
+}
+
+// shardedWALDriver mirrors walDriver with global addressing: every
+// acknowledged mutation is recorded per OWNING SHARD in stream order, so
+// each shard's recovered region can be compared byte-for-byte against a
+// replay of exactly the operations its WAL stream certified.
+type shardedWALDriver struct {
+	conn *wire.Conn
+	n    int
+	ops  [][]func(*memdb.DB) error // per shard, in that shard's stream order
+}
+
+func (d *shardedWALDriver) record(ri int, op func(*memdb.DB, int) error) func(*memdb.DB) error {
+	local := memdb.LocalIndex(ri, d.n)
+	return func(db *memdb.DB) error { return op(db, local) }
+}
+
+func (d *shardedWALDriver) runCycles(t *testing.T, cycles int) {
+	t.Helper()
+	ti := callproc.TblRes
+	for c := 0; c < cycles; c++ {
+		group := c % callproc.ResourceBanks
+		ri, err := d.conn.Alloc(ti, group)
+		if err != nil {
+			t.Fatalf("cycle %d: alloc: %v", c, err)
+		}
+		k := memdb.ShardOf(ri, d.n)
+		d.ops[k] = append(d.ops[k], d.record(ri, func(db *memdb.DB, l int) error {
+			return db.AllocDirect(ti, l, group)
+		}))
+
+		vals := []uint32{uint32(c % 10), uint32(c % 3), uint32(c % 101)}
+		if err := d.conn.WriteRec(ti, ri, vals); err != nil {
+			t.Fatalf("cycle %d: writerec: %v", c, err)
+		}
+		d.ops[k] = append(d.ops[k], d.record(ri, func(db *memdb.DB, l int) error {
+			return db.WriteRecDirect(ti, l, vals)
+		}))
+
+		q := uint32(c%50 + 1)
+		if err := d.conn.WriteFld(ti, ri, callproc.FldResQuality, q); err != nil {
+			t.Fatalf("cycle %d: writefld: %v", c, err)
+		}
+		d.ops[k] = append(d.ops[k], d.record(ri, func(db *memdb.DB, l int) error {
+			return db.WriteFieldDirect(ti, l, callproc.FldResQuality, q)
+		}))
+
+		ng := (group + 1) % callproc.ResourceBanks
+		if err := d.conn.Move(ti, ri, ng); err != nil {
+			t.Fatalf("cycle %d: move: %v", c, err)
+		}
+		d.ops[k] = append(d.ops[k], d.record(ri, func(db *memdb.DB, l int) error {
+			return db.MoveDirect(ti, l, ng)
+		}))
+
+		if c%2 == 0 {
+			if err := d.conn.Free(ti, ri); err != nil {
+				t.Fatalf("cycle %d: free: %v", c, err)
+			}
+			d.ops[k] = append(d.ops[k], d.record(ri, func(db *memdb.DB, l int) error {
+				return db.FreeRecordDirect(ti, l)
+			}))
+		}
+	}
+}
+
+// model replays the first count recorded operations of shard k against a
+// fresh shard-k region.
+func (d *shardedWALDriver) model(t *testing.T, schemas []memdb.Schema, k, count int) *memdb.DB {
+	t.Helper()
+	db, err := memdb.New(schemas[k])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count > len(d.ops[k]) {
+		t.Fatalf("shard %d: recovered %d ops but only %d were acknowledged", k, count, len(d.ops[k]))
+	}
+	for i := 0; i < count; i++ {
+		if err := d.ops[k][i](db); err != nil {
+			t.Fatalf("shard %d model op %d: %v", k, i, err)
+		}
+	}
+	return db
+}
+
+// TestShardedWALRecoveryIdentical drives a workload through a sharded
+// WAL-backed core, shuts down (per-shard certifying checkpoints), and
+// recovers every shard stream independently and in parallel: each
+// recovered region must byte-match both the shard's final region and the
+// replay of exactly the client operations that shard's stream owns.
+func TestShardedWALRecoveryIdentical(t *testing.T) {
+	const n = 4
+	schemas, err := memdb.ShardSchemas(callproc.Schema(callproc.DefaultSchemaConfig()), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := make([]string, n)
+	wals := make([]*wal.Log, n)
+	for k := range wals {
+		dirs[k] = t.TempDir()
+		wals[k] = openTestWAL(t, dirs[k], wal.Config{})
+	}
+	sd, addr := startSharded(t, n, wals, Config{})
+	conn := dialInit(t, addr)
+
+	d := &shardedWALDriver{conn: conn, n: n, ops: make([][]func(*memdb.DB) error, n)}
+	d.runCycles(t, 16)
+
+	if err := sd.Shutdown(5 * time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	type result struct {
+		k   int
+		res *wal.RecoverResult
+		err error
+	}
+	results := make([]result, n)
+	var wg sync.WaitGroup
+	for k := 0; k < n; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			res, err := wal.Recover(dirs[k], schemas[k])
+			results[k] = result{k, res, err}
+		}(k)
+	}
+	wg.Wait()
+
+	for _, r := range results {
+		if r.err != nil {
+			t.Fatalf("shard %d: recover: %v", r.k, r.err)
+		}
+		if r.res.Replayed != 0 {
+			t.Errorf("shard %d: %d records past the shutdown checkpoint", r.k, r.res.Replayed)
+		}
+		if want := uint64(len(d.ops[r.k])); r.res.CheckpointSeq != want {
+			t.Errorf("shard %d: checkpoint seq = %d, want %d (one per owned mutation)",
+				r.k, r.res.CheckpointSeq, want)
+		}
+		if !bytes.Equal(r.res.DB.Raw(), sd.Shard(r.k).DB().Raw()) {
+			t.Errorf("shard %d: recovered region differs from the shard's final region", r.k)
+		}
+		oracle := d.model(t, schemas, r.k, len(d.ops[r.k]))
+		if !bytes.Equal(r.res.DB.Raw(), oracle.Raw()) {
+			t.Errorf("shard %d: recovered region differs from the client-op oracle", r.k)
+		}
+	}
+}
+
+// TestShardedWALCrashRecovery takes a crash image of every shard stream
+// mid-run — no shutdown, no final checkpoint — and recovers from the
+// copies: each shard must land byte-identical to the replay of exactly the
+// prefix of its acknowledged operations that reached its log, and no
+// shard may recover past what the client observed.
+func TestShardedWALCrashRecovery(t *testing.T) {
+	const n = 4
+	schemas, err := memdb.ShardSchemas(callproc.Schema(callproc.DefaultSchemaConfig()), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := make([]string, n)
+	wals := make([]*wal.Log, n)
+	for k := range wals {
+		dirs[k] = t.TempDir()
+		wals[k] = openTestWAL(t, dirs[k], wal.Config{})
+	}
+	_, addr := startSharded(t, n, wals, Config{ClockTick: 2 * time.Millisecond})
+	conn := dialInit(t, addr)
+
+	d := &shardedWALDriver{conn: conn, n: n, ops: make([][]func(*memdb.DB) error, n)}
+	d.runCycles(t, 16)
+
+	// Give the executor clocks a tick to fsync the tails, then snapshot
+	// the directories — the simulated kill point. The live server keeps
+	// running (and writing) underneath; the copies are frozen.
+	time.Sleep(50 * time.Millisecond)
+	crash := make([]string, n)
+	for k := range crash {
+		crash[k] = copyWALDir(t, dirs[k])
+	}
+
+	for k := 0; k < n; k++ {
+		res, err := wal.Recover(crash[k], schemas[k])
+		if err != nil {
+			t.Fatalf("shard %d: recover from crash image: %v", k, err)
+		}
+		recovered := int(res.LastSeq)
+		if recovered > len(d.ops[k]) {
+			t.Fatalf("shard %d: recovered %d ops, but only %d were acknowledged",
+				k, recovered, len(d.ops[k]))
+		}
+		oracle := d.model(t, schemas, k, recovered)
+		if !bytes.Equal(res.DB.Raw(), oracle.Raw()) {
+			t.Errorf("shard %d: crash-recovered region differs from the %d-op oracle prefix",
+				k, recovered)
+		}
+	}
+}
+
+// copyWALDir snapshots a WAL directory into a fresh temp dir — the crash
+// image idiom from TestWALTornTailRecovery, extended to per-shard streams.
+func copyWALDir(t *testing.T, dir string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}

@@ -309,8 +309,15 @@ func (c *Conn) ReplStatus() (ReplState, error) {
 // A wire.ErrReplGap error means afterSeq fell off the primary's tail ring
 // and the standby must re-bootstrap with ReplSnap.
 func (c *Conn) Replicate(afterSeq uint64, addr string) (blob []byte, lastSeq uint64, err error) {
+	return c.ReplicateShard(0, afterSeq, addr)
+}
+
+// ReplicateShard is Replicate against one WAL stream of a sharded primary:
+// shard rides the request's otherwise-unused Table field (zero on the wire
+// is shard 0, so unsharded peers interoperate unchanged).
+func (c *Conn) ReplicateShard(shard int, afterSeq uint64, addr string) (blob []byte, lastSeq uint64, err error) {
 	lo, hi := SplitU64(afterSeq)
-	r, err := c.call(Request{Op: OpReplicate, Detail: addr, Vals: []uint32{lo, hi}})
+	r, err := c.call(Request{Op: OpReplicate, Table: int32(shard), Detail: addr, Vals: []uint32{lo, hi}})
 	if err != nil {
 		return nil, 0, err
 	}
@@ -325,7 +332,13 @@ func (c *Conn) Replicate(afterSeq uint64, addr string) (blob []byte, lastSeq uin
 // position the snapshot captured; both are constant across the chunks of
 // one bootstrap.
 func (c *Conn) ReplSnap(off int) (chunk []byte, total int, seq uint64, err error) {
-	r, err := c.call(Request{Op: OpReplSnap, Record: int32(off)})
+	return c.ReplSnapShard(0, off)
+}
+
+// ReplSnapShard is ReplSnap against one shard of a sharded primary; shard
+// rides the request's otherwise-unused Table field.
+func (c *Conn) ReplSnapShard(shard, off int) (chunk []byte, total int, seq uint64, err error) {
+	r, err := c.call(Request{Op: OpReplSnap, Table: int32(shard), Record: int32(off)})
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -344,7 +357,14 @@ func (c *Conn) Promote() error {
 // ReplFetch reads a record directly from a replica for mirror-sourced audit
 // repair: the record's status byte plus every field value.
 func (c *Conn) ReplFetch(table, rec int) (status int, vals []uint32, err error) {
-	r, err := c.call(Request{Op: OpReplFetch, Table: int32(table), Record: int32(rec)})
+	return c.ReplFetchShard(0, table, rec)
+}
+
+// ReplFetchShard is ReplFetch addressed to one shard of a sharded standby
+// (the record index is the shard's local index); shard rides the request's
+// otherwise-unused Field field.
+func (c *Conn) ReplFetchShard(shard, table, rec int) (status int, vals []uint32, err error) {
+	r, err := c.call(Request{Op: OpReplFetch, Table: int32(table), Record: int32(rec), Field: int32(shard)})
 	if err != nil {
 		return 0, nil, err
 	}

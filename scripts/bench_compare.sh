@@ -6,6 +6,13 @@
 # 15). Benchmarks present in only one file are reported but never fail
 # the run, so adding or retiring subruns does not break the gate.
 #
+# When the new output carries the sharded pair
+# (BenchmarkServerThroughput/sharded-baseline and .../sharded) the report
+# also prints their ops/s ratio — the write-scaling figure the sharded
+# core is gated on. The ratio is informational here (it depends on the
+# host's CPU count); the hard >= 2x gate lives in scripts/shard_smoke.sh,
+# which checks nproc first.
+#
 # Usage:
 #   go test -run '^$' -bench BenchmarkServerThroughput -benchtime 2s . > old.txt
 #   ... apply changes ...
@@ -63,6 +70,11 @@ END {
         print "bench_compare: no common ops/s benchmarks between the two files" > "/dev/stderr"
         exit 2
     }
+    base = "BenchmarkServerThroughput/sharded-baseline"
+    shrd = "BenchmarkServerThroughput/sharded"
+    if ((base in new) && (shrd in new) && new[base] > 0)
+        printf "sharded scaling: %.0f -> %.0f ops/s (%.2fx, 4 shards vs 1; host-dependent, gated in shard_smoke.sh)\n",
+               new[base], new[shrd], new[shrd] / new[base]
     if (failed) {
         printf "bench_compare: FAIL: at least one benchmark lost more than %s%% ops/s\n",
                threshold > "/dev/stderr"

@@ -7,6 +7,13 @@
 # (with at least one recorded failover reconnect to prove the kill landed
 # mid-flight).
 #
+# The same drill then repeats against a sharded pair (-shards 2 on both
+# nodes): each standby shard polls its own primary shard's log stream,
+# and when one shard's poller trips the fail limit the promotion fans to
+# the whole coordinator. The gates are identical — the run must finish
+# on the promoted standby with every verified read matching the client's
+# golden copy, so no acknowledged-and-replicated write may be lost.
+#
 # Run via `make failover-smoke`. No external tools beyond the go toolchain
 # and POSIX sh: readiness is probed with a 1-op dbload retry loop, not nc.
 set -eu
@@ -28,57 +35,86 @@ STANDBY=127.0.0.1:7432
 $GO build -race -o "$DIR/dbserve" ./cmd/dbserve
 $GO build -race -o "$DIR/dbload" ./cmd/dbload
 
-"$DIR/dbserve" -addr "$PRIMARY" -wal-dir "$DIR/wal-primary" \
-    -audit-period 200ms -inject-period 300ms >"$DIR/primary.out" 2>&1 &
-PRIMARY_PID=$!
-"$DIR/dbserve" -addr "$STANDBY" -wal-dir "$DIR/wal-standby" \
-    -replica-of "$PRIMARY" -repl-poll 25ms -repl-fail-limit 8 \
-    >"$DIR/standby.out" 2>&1 &
-STANDBY_PID=$!
+# run_drill <shards> <label> <extra primary flags...>: boot a WAL-backed
+# primary + hot standby pair with the given shard count, drive the
+# failover-aware client at the pair, SIGKILL the primary mid-run, and
+# require the run to finish against the self-promoted standby with at
+# least one recorded reconnect.
+run_drill() {
+    shards=$1
+    label=$2
+    shift 2
 
-ready=0
-i=0
-while [ "$i" -lt 100 ]; do
-    if "$DIR/dbload" -addr "$PRIMARY" -conns 1 -ops 1 >/dev/null 2>&1; then
-        ready=1
-        break
+    "$DIR/dbserve" -addr "$PRIMARY" -shards "$shards" \
+        -wal-dir "$DIR/wal-primary-$label" \
+        -audit-period 200ms "$@" >"$DIR/primary-$label.out" 2>&1 &
+    PRIMARY_PID=$!
+    "$DIR/dbserve" -addr "$STANDBY" -shards "$shards" \
+        -wal-dir "$DIR/wal-standby-$label" \
+        -replica-of "$PRIMARY" -repl-poll 25ms -repl-fail-limit 8 \
+        >"$DIR/standby-$label.out" 2>&1 &
+    STANDBY_PID=$!
+
+    ready=0
+    i=0
+    while [ "$i" -lt 100 ]; do
+        if "$DIR/dbload" -addr "$PRIMARY" -conns 1 -ops 1 >/dev/null 2>&1; then
+            ready=1
+            break
+        fi
+        i=$((i + 1))
+        sleep 0.1
+    done
+    if [ "$ready" != 1 ]; then
+        echo "failover-smoke: $label primary never came up" >&2
+        cat "$DIR/primary-$label.out" >&2
+        exit 1
     fi
-    i=$((i + 1))
-    sleep 0.1
-done
-if [ "$ready" != 1 ]; then
-    echo "failover-smoke: primary never came up" >&2
-    cat "$DIR/primary.out" >&2
-    exit 1
-fi
 
-# A run long enough to straddle the kill. -expect-findings: an ack the
-# standby had not yet polled when the primary died is legitimately lost,
-# and the client counts the resulting mismatch instead of aborting.
-"$DIR/dbload" -addr "$PRIMARY,$STANDBY" -conns 2 -ops 30000 \
-    -expect-findings >"$DIR/load.out" 2>&1 &
-LOAD_PID=$!
+    # A run long enough to straddle the kill. -expect-findings: an ack the
+    # standby had not yet polled when the primary died is legitimately lost,
+    # and the client counts the resulting mismatch instead of aborting.
+    "$DIR/dbload" -addr "$PRIMARY,$STANDBY" -conns 2 -ops 30000 \
+        -expect-findings >"$DIR/load-$label.out" 2>&1 &
+    LOAD_PID=$!
 
-sleep 0.5
-kill -9 "$PRIMARY_PID"
-echo "failover-smoke: primary killed, waiting for the run to finish on the standby"
+    sleep 0.5
+    kill -9 "$PRIMARY_PID"
+    PRIMARY_PID=
+    echo "failover-smoke: $label primary killed, waiting for the run to finish on the standby"
 
-if ! wait "$LOAD_PID"; then
-    echo "failover-smoke: load run failed" >&2
-    cat "$DIR/load.out" >&2
-    echo "--- standby log ---" >&2
-    cat "$DIR/standby.out" >&2
-    exit 1
-fi
-cat "$DIR/load.out"
+    if ! wait "$LOAD_PID"; then
+        echo "failover-smoke: $label load run failed" >&2
+        cat "$DIR/load-$label.out" >&2
+        echo "--- standby log ---" >&2
+        cat "$DIR/standby-$label.out" >&2
+        exit 1
+    fi
+    cat "$DIR/load-$label.out"
 
-if ! grep -q 'failover: [0-9]* reconnects' "$DIR/load.out"; then
-    echo "failover-smoke: no reconnects recorded — the run finished before the kill; raise -ops" >&2
-    exit 1
-fi
-if grep -q 'DATA RACE' "$DIR/primary.out" "$DIR/standby.out"; then
-    echo "failover-smoke: race detector fired in a server" >&2
-    cat "$DIR/primary.out" "$DIR/standby.out" >&2
-    exit 1
-fi
-echo "failover-smoke: OK (run survived primary loss)"
+    if ! grep -q 'failover: [0-9]* reconnects' "$DIR/load-$label.out"; then
+        echo "failover-smoke: $label: no reconnects recorded — the run finished before the kill; raise -ops" >&2
+        exit 1
+    fi
+    if grep -q 'DATA RACE' "$DIR/primary-$label.out" "$DIR/standby-$label.out"; then
+        echo "failover-smoke: race detector fired in a $label server" >&2
+        cat "$DIR/primary-$label.out" "$DIR/standby-$label.out" >&2
+        exit 1
+    fi
+
+    kill -9 "$STANDBY_PID" 2>/dev/null || true
+    STANDBY_PID=
+    sleep 0.3
+    echo "failover-smoke: $label OK (run survived primary loss)"
+}
+
+# Phase 1: the classic single-core pair, with the primary injecting
+# faults into its own region (the original drill).
+run_drill 1 single -inject-period 300ms
+
+# Phase 2: a sharded pair. Replication requires the standby's -shards to
+# match the primary's; per-shard promotion must fan to every shard or the
+# survivors would refuse the rerouted sessions.
+run_drill 2 sharded
+
+echo "failover-smoke: OK (single and sharded pairs survived primary loss)"
